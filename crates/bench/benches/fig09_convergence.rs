@@ -1,0 +1,54 @@
+//! Figure 9: baseline convergence over epochs.
+//!
+//! Trains each benchmark with the TensorFlow-style baseline and prints the
+//! test-accuracy curve plus the TTA threshold (the red line in the
+//! paper's plots). These runs establish each model's target accuracy for
+//! every later TTA experiment, exactly as §5.1 does.
+
+use crossbow::benchmark::Benchmark;
+use crossbow::engine::AlgorithmKind;
+use crossbow_bench::{epochs, fmt_eta, quick_mode, section, stat_run};
+
+fn main() {
+    let benchmarks: Vec<Benchmark> = if quick_mode() {
+        vec![Benchmark::lenet(), Benchmark::resnet32()]
+    } else {
+        Benchmark::all().to_vec()
+    };
+    for benchmark in benchmarks {
+        let budget = epochs(benchmark.default_epochs);
+        let curve = stat_run(
+            benchmark,
+            AlgorithmKind::SSgd,
+            1,
+            1,
+            benchmark.profile.default_batch,
+            budget,
+            benchmark.scaled_target,
+            42,
+        );
+        section(&format!(
+            "Figure 9 ({}): baseline test accuracy over epochs (target {:.0}%)",
+            benchmark.name,
+            benchmark.scaled_target * 100.0
+        ));
+        print!("  ");
+        for (e, acc) in curve.epoch_accuracy.iter().enumerate() {
+            print!("{}:{:.2} ", e + 1, acc);
+            if (e + 1) % 10 == 0 {
+                println!();
+                print!("  ");
+            }
+        }
+        println!();
+        println!(
+            "  epochs to target: {}   best: {:.3}   final: {:.3}",
+            fmt_eta(curve.epochs_to_target),
+            curve.best_accuracy(),
+            curve.final_accuracy
+        );
+    }
+    println!();
+    println!("  paper thresholds: 99% (LeNet), 88% (ResNet-32), 69% (VGG-16), 53% (ResNet-50)");
+    println!("  scaled here to the synthetic tasks; see EXPERIMENTS.md.");
+}

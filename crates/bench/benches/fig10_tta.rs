@@ -1,0 +1,74 @@
+//! Figure 10: time-to-accuracy for the four benchmarks.
+//!
+//! For each model: the TensorFlow-style baseline, CROSSBOW with one
+//! learner per GPU, and CROSSBOW with the best (auto-tuned) learner
+//! count. TTA = epochs-to-target (real training on the synthetic task) x
+//! simulated full-scale epoch time, following the paper's §2.1
+//! decomposition.
+//!
+//! Paper sweeps g in {1,2,4,8} for ResNet-32/VGG, g=8 for ResNet-50 and
+//! g=1 for LeNet; quick mode trims to one GPU count per model.
+
+use crossbow::benchmark::Benchmark;
+use crossbow::engine::AlgorithmKind;
+use crossbow_bench::{epochs, fmt_eta, fmt_tta, full_run, quick_mode, section, table};
+
+fn main() {
+    let sweeps: Vec<(Benchmark, Vec<usize>)> = if quick_mode() {
+        vec![
+            (Benchmark::resnet32(), vec![8]),
+            (Benchmark::lenet(), vec![1]),
+        ]
+    } else {
+        vec![
+            (Benchmark::resnet32(), vec![1, 8]),
+            (Benchmark::vgg16(), vec![1, 8]),
+            (Benchmark::resnet50(), vec![8]),
+            (Benchmark::lenet(), vec![1]),
+        ]
+    };
+    for (benchmark, gpu_counts) in sweeps {
+        let budget = epochs(benchmark.default_epochs.max(40));
+        section(&format!(
+            "Figure 10 ({}): TTA({:.0}%)",
+            benchmark.name,
+            benchmark.scaled_target * 100.0
+        ));
+        let mut rows = Vec::new();
+        for &g in &gpu_counts {
+            let batch = benchmark.profile.default_batch;
+            let systems: [(&str, AlgorithmKind, Option<usize>); 3] = [
+                ("TensorFlow (S-SGD)", AlgorithmKind::SSgd, Some(1)),
+                ("Crossbow m=1", AlgorithmKind::Sma { tau: 1 }, Some(1)),
+                ("Crossbow best m", AlgorithmKind::Sma { tau: 1 }, None),
+            ];
+            for (label, algorithm, m) in systems {
+                let row = full_run(
+                    benchmark,
+                    algorithm,
+                    g,
+                    m,
+                    batch,
+                    budget,
+                    benchmark.scaled_target,
+                    42,
+                );
+                rows.push(vec![
+                    format!("g={g}"),
+                    label.to_string(),
+                    row.m.to_string(),
+                    format!("{:.0}", row.throughput),
+                    fmt_eta(row.eta),
+                    fmt_tta(row.tta_secs),
+                ]);
+            }
+        }
+        table(
+            &["gpus", "system", "m", "images/s", "ETA (epochs)", "TTA"],
+            &rows,
+        );
+    }
+    println!();
+    println!("  paper: CROSSBOW reduces TTA vs TensorFlow by 1.3x (ResNet-32, g=8),");
+    println!("         4.2x (VGG @ g=8), 1.5x (ResNet-50, g=8), 2.7x (LeNet, g=1).");
+}

@@ -1,0 +1,75 @@
+//! Figure 12: hardware vs statistical efficiency with 1 GPU.
+//!
+//! ResNet-32, b = 64: (a) training throughput, (b) epochs to 80% test
+//! accuracy, (c) TTA(80%) — for CROSSBOW with m in {1, 2, 4} and the
+//! TensorFlow-style baseline. The paper's shape: throughput grows with m
+//! and TTA falls, because extra learners raise hardware efficiency
+//! without requiring a larger batch.
+
+use crossbow::benchmark::Benchmark;
+use crossbow::engine::AlgorithmKind;
+use crossbow_bench::{epochs, fmt_eta, fmt_tta, full_run, quick_mode, section, table};
+
+fn main() {
+    run_tradeoff(1, "Figure 12");
+}
+
+/// Shared by fig12 (g=1) and fig13 (g=8).
+pub fn run_tradeoff(gpus: usize, figure: &str) {
+    let benchmark = Benchmark::resnet32();
+    let target = 0.80; // the paper lowers the target to 80% here (§5.3)
+    let budget = epochs(40);
+    let ms: &[usize] = if quick_mode() { &[1, 2] } else { &[1, 2, 4] };
+
+    section(&format!(
+        "{figure}: ResNet-32, b=64, g={gpus}: throughput / ETA(80%) / TTA(80%)"
+    ));
+    let mut rows = Vec::new();
+    for &m in ms {
+        let row = full_run(
+            benchmark,
+            AlgorithmKind::Sma { tau: 1 },
+            gpus,
+            Some(m),
+            64,
+            budget,
+            target,
+            42,
+        );
+        rows.push(vec![
+            format!("Crossbow m={m}"),
+            format!("{:.0}", row.throughput),
+            fmt_eta(row.eta),
+            fmt_tta(row.tta_secs),
+            format!("{:.3}", row.final_accuracy),
+        ]);
+    }
+    let tf = full_run(
+        benchmark,
+        AlgorithmKind::SSgd,
+        gpus,
+        Some(1),
+        64,
+        budget,
+        target,
+        42,
+    );
+    rows.push(vec![
+        "TensorFlow".to_string(),
+        format!("{:.0}", tf.throughput),
+        fmt_eta(tf.eta),
+        fmt_tta(tf.tta_secs),
+        format!("{:.3}", tf.final_accuracy),
+    ]);
+    table(
+        &["system", "images/s", "ETA(80%) epochs", "TTA(80%)", "final acc"],
+        &rows,
+    );
+    println!();
+    if gpus == 1 {
+        println!("  paper (g=1): throughput 1.4x at m=4; ETA drops 30 -> 14; TTA 3.2x better.");
+    } else {
+        println!("  paper (g=8): m=2 is the sweet spot (1.3x TTA); m=4 adds sync overhead");
+        println!("  and loses statistical efficiency with 32 learners.");
+    }
+}

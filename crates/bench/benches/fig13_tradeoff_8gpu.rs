@@ -1,0 +1,14 @@
+//! Figure 13: hardware vs statistical efficiency with 8 GPUs.
+//!
+//! Same experiment as Figure 12 at g = 8: with 8 x m learners the paper
+//! finds m = 2 the best trade-off — m = 4 (32 learners) adds
+//! synchronisation overhead and loses statistical efficiency because
+//! "there is not enough stochastic noise in the training process".
+
+#[path = "fig12_tradeoff_1gpu.rs"]
+#[allow(dead_code)] // fig12's `main` is unused when included as a module
+mod fig12;
+
+fn main() {
+    fig12::run_tradeoff(8, "Figure 13");
+}

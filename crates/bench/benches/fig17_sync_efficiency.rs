@@ -1,0 +1,42 @@
+//! Figure 17: efficiency of the synchronisation implementation.
+//!
+//! ResNet-32, g=8: simulated throughput for m in {1, 2, 4} under τ in
+//! {1, 2, 3, ∞}. If synchronisation were expensive, throughput would jump
+//! as τ grows; the paper measures only ~20% (m=1) to 27% (m=4) headroom,
+//! evidence that the overlapped, hierarchical implementation is cheap.
+//! Pure simulation — runs in seconds.
+
+use crossbow::exec_sim::{simulate, SimConfig};
+use crossbow::nn::ModelProfile;
+use crossbow_bench::{section, table};
+
+fn main() {
+    let profile = ModelProfile::resnet32();
+    let gpus = 8;
+
+    section("Figure 17: throughput vs m for tau in {1, 2, 3, inf} (ResNet-32, g=8)");
+    let taus: [(Option<usize>, &str); 4] = [
+        (Some(1), "tau=1"),
+        (Some(2), "tau=2"),
+        (Some(3), "tau=3"),
+        (None, "tau=inf"),
+    ];
+    let mut rows = Vec::new();
+    for m in [1usize, 2, 4] {
+        let mut row = vec![format!("m={m}")];
+        let mut base = None;
+        for (tau, _) in taus {
+            let mut cfg = SimConfig::crossbow(profile, gpus, m, 64);
+            cfg.tau = tau;
+            let t = simulate(&cfg).throughput;
+            let b = *base.get_or_insert(t);
+            row.push(format!("{:.0} ({:+.0}%)", t, (t / b - 1.0) * 100.0));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> = std::iter::once("").chain(taus.iter().map(|(_, l)| *l)).collect();
+    table(&headers, &rows);
+    println!();
+    println!("  paper: no-sync headroom is only 20% (m=1) to 27% (m=4): the");
+    println!("  overlapped synchronisation implementation is well optimised (§5.6).");
+}

@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks of the hot paths: GEMM, the SMA step, the
+//! simulated all-reduce, the discrete-event engine and the memory
+//! planner.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crossbow::memory::offline_plan;
+use crossbow::nn::graph::OpGraph;
+use crossbow::nn::zoo::resnet_small;
+use crossbow::sync::algorithm::SyncAlgorithm;
+use crossbow::sync::sma::{Sma, SmaConfig};
+use crossbow_gpu_sim::{KernelDesc, Machine, MachineConfig};
+use crossbow_tensor::gemm::gemm;
+use crossbow_tensor::Rng;
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for &n in &[32usize, 64, 128] {
+        let mut rng = Rng::new(1);
+        let a: Vec<f32> = (0..n * n).map(|_| rng.normal()).collect();
+        let b: Vec<f32> = (0..n * n).map(|_| rng.normal()).collect();
+        let mut out = vec![0.0f32; n * n];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| {
+                gemm(n, n, n, 1.0, black_box(&a), black_box(&b), 0.0, &mut out);
+                black_box(&out);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sma_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sma_step");
+    for &k in &[2usize, 8] {
+        let dim = 100_000;
+        let mut sma = Sma::new(vec![0.1; dim], k, SmaConfig::default());
+        let grads: Vec<Vec<f32>> = (0..k).map(|_| vec![0.01; dim]).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
+            bench.iter(|| {
+                sma.step(black_box(&grads), 0.01);
+                black_box(sma.consensus());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulator_iteration(c: &mut Criterion) {
+    c.bench_function("sim_8gpu_allreduce_round", |bench| {
+        bench.iter(|| {
+            let mut machine = Machine::new(MachineConfig::titan_x_server(8).without_trace());
+            let streams: Vec<_> = (0..8)
+                .map(|g| machine.create_stream(machine.device(g)))
+                .collect();
+            for &s in &streams {
+                for _ in 0..32 {
+                    machine.submit_kernel(s, KernelDesc::compute("k", 50_000_000, 12));
+                }
+            }
+            machine.all_reduce(&streams, 1_790_000, "ar");
+            machine.callback(streams[0], 0);
+            black_box(machine.run())
+        })
+    });
+}
+
+fn bench_memory_planner(c: &mut Criterion) {
+    let net = resnet_small(3, 16, 10);
+    let graph = OpGraph::from_network(&net, 16);
+    c.bench_function("memory_offline_plan_resnet", |bench| {
+        bench.iter(|| black_box(offline_plan(black_box(&graph))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_sma_step,
+    bench_simulator_iteration,
+    bench_memory_planner
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Table 1: deep learning benchmarks and datasets used.
+//!
+//! Prints the paper's table from the cost profiles, alongside the reduced
+//! CPU-trainable models and synthetic datasets this reproduction trains.
+
+use crossbow::benchmark::Benchmark;
+use crossbow::memory::offline_plan;
+use crossbow::nn::graph::OpGraph;
+use crossbow_bench::{section, table};
+
+fn main() {
+    section("Table 1: benchmark models and datasets (paper scale)");
+    let rows: Vec<Vec<String>> = Benchmark::all()
+        .iter()
+        .map(|b| {
+            vec![
+                b.name.to_string(),
+                b.profile.dataset.to_string(),
+                format!("{:.2}", b.profile.input_mb),
+                b.profile.num_ops.to_string(),
+                format!("{:.2}", b.profile.model_mb),
+            ]
+        })
+        .collect();
+    table(
+        &["model", "dataset", "input (MB)", "# ops", "model (MB)"],
+        &rows,
+    );
+
+    section("Reduced models really trained in this reproduction");
+    let rows: Vec<Vec<String>> = Benchmark::all()
+        .iter()
+        .map(|b| {
+            let net = b.network();
+            let graph = OpGraph::from_network(&net, b.stat_batch);
+            let plan = offline_plan(&graph);
+            let (train, test) = b.dataset(1);
+            vec![
+                b.name.to_string(),
+                format!(
+                    "{}x{}x{} x{} cls",
+                    b.data_spec.channels, b.data_spec.hw, b.data_spec.hw, b.data_spec.classes
+                ),
+                format!("{}/{}", train.len(), test.len()),
+                net.param_len().to_string(),
+                format!("{:.1}M", net.flops_per_sample() as f64 / 1e6),
+                format!("{:.0}%", plan.savings() * 100.0),
+            ]
+        })
+        .collect();
+    table(
+        &[
+            "model",
+            "synthetic input",
+            "train/test",
+            "params",
+            "fwd FLOPs/sample",
+            "mem plan saves",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,246 @@
+//! The four paper benchmarks (Table 1), wired to this reproduction's
+//! substrates.
+//!
+//! Each [`Benchmark`] couples:
+//!
+//! * the **full-scale cost profile** from Table 1 (drives the GPU
+//!   simulator — hardware efficiency at the paper's scale);
+//! * a **reduced, CPU-trainable network** of the same family (drives real
+//!   training — statistical efficiency);
+//! * a **synthetic dataset** standing in for MNIST / CIFAR-10 /
+//!   CIFAR-100 / ILSVRC (see `crossbow-data`);
+//! * a **scaled target accuracy** playing the role of the paper's TTA
+//!   thresholds (99% / 88% / 69% / 53%, §5.1) on the synthetic task, and
+//!   the matching learning-rate schedule.
+
+use crossbow_data::synth::{image_classification, ImageSpec};
+use crossbow_data::Dataset;
+use crossbow_nn::zoo;
+use crossbow_nn::{ModelProfile, Network};
+use crossbow_sync::LrSchedule;
+
+/// One paper benchmark: model family + dataset + targets.
+#[derive(Clone, Copy, Debug)]
+pub struct Benchmark {
+    /// Benchmark name (matches the profile name).
+    pub name: &'static str,
+    /// Full-scale cost profile (Table 1).
+    pub profile: ModelProfile,
+    /// Synthetic-dataset spec substituting the paper's dataset.
+    pub data_spec: ImageSpec,
+    /// Target accuracy on the synthetic task (the TTA threshold).
+    pub scaled_target: f64,
+    /// Epoch budget for the synthetic task.
+    pub default_epochs: usize,
+    /// Base learning rate for the synthetic task. Constant-rate training
+    /// keeps the run inside the oscillating-plateau regime where the
+    /// paper's statistical-efficiency effects live.
+    pub base_lr: f32,
+    /// Fraction of generated samples used for training (rest is test).
+    pub train_fraction: f64,
+    /// Label noise applied to the training split (test stays clean); see
+    /// [`crossbow_data::Dataset::corrupt_labels`].
+    pub label_noise: f64,
+    /// Statistical batch size corresponding to the profile's
+    /// `default_batch`: the synthetic datasets are smaller than the
+    /// paper's, so per-learner batches scale down by
+    /// `default_batch / stat_batch` (documented in EXPERIMENTS.md).
+    pub stat_batch: usize,
+}
+
+impl Benchmark {
+    /// LeNet on an MNIST-like task.
+    pub fn lenet() -> Self {
+        Benchmark {
+            name: "lenet",
+            profile: ModelProfile::lenet(),
+            data_spec: ImageSpec::mnist_like(),
+            scaled_target: 0.93,
+            default_epochs: 25,
+            base_lr: 0.01,
+            train_fraction: 5.0 / 6.0,
+            label_noise: 0.1,
+            stat_batch: 4,
+        }
+    }
+
+    /// ResNet-32 on a CIFAR-10-like task.
+    pub fn resnet32() -> Self {
+        Benchmark {
+            name: "resnet-32",
+            profile: ModelProfile::resnet32(),
+            data_spec: ImageSpec::cifar10_like(),
+            scaled_target: 0.82,
+            default_epochs: 40,
+            base_lr: 0.2,
+            train_fraction: 5.0 / 6.0,
+            label_noise: 0.3,
+            stat_batch: 16,
+        }
+    }
+
+    /// VGG-16 on a CIFAR-100-like task.
+    pub fn vgg16() -> Self {
+        Benchmark {
+            name: "vgg-16",
+            profile: ModelProfile::vgg16(),
+            data_spec: ImageSpec::cifar100_like(),
+            scaled_target: 0.70,
+            default_epochs: 40,
+            base_lr: 0.2,
+            train_fraction: 5.0 / 6.0,
+            label_noise: 0.25,
+            stat_batch: 32,
+        }
+    }
+
+    /// ResNet-50 on an ImageNet-like task.
+    pub fn resnet50() -> Self {
+        Benchmark {
+            name: "resnet-50",
+            profile: ModelProfile::resnet50(),
+            data_spec: ImageSpec::imagenet_like(),
+            scaled_target: 0.65,
+            default_epochs: 40,
+            base_lr: 0.2,
+            train_fraction: 5.0 / 6.0,
+            label_noise: 0.25,
+            stat_batch: 8,
+        }
+    }
+
+    /// All four benchmarks, in Table 1 order.
+    pub fn all() -> [Benchmark; 4] {
+        [
+            Self::lenet(),
+            Self::resnet32(),
+            Self::vgg16(),
+            Self::resnet50(),
+        ]
+    }
+
+    /// Looks a benchmark up by name.
+    pub fn by_name(name: &str) -> Option<Benchmark> {
+        Self::all().into_iter().find(|b| b.name == name)
+    }
+
+    /// Builds the reduced, CPU-trainable network of this family.
+    pub fn network(&self) -> Network {
+        let c = self.data_spec.channels;
+        let hw = self.data_spec.hw;
+        let classes = self.data_spec.classes;
+        match self.name {
+            "lenet" => zoo::lenet(c, hw, classes),
+            "resnet-32" => zoo::resnet_small(c, hw, classes),
+            "vgg-16" => zoo::vgg_small(c, hw, classes),
+            "resnet-50" => zoo::resnet(3, 8, c, hw, classes), // deeper stack
+            other => unreachable!("unknown benchmark {other}"),
+        }
+    }
+
+    /// Generates the synthetic train/test split for a seed, applying the
+    /// benchmark's label noise to the training split only.
+    pub fn dataset(&self, seed: u64) -> (Dataset, Dataset) {
+        let full = image_classification(&self.data_spec, seed);
+        let train_n = (full.len() as f64 * self.train_fraction) as usize;
+        let (mut train, test) = full.split_at(train_n);
+        if self.label_noise > 0.0 {
+            let mut rng = crossbow_tensor::Rng::new(seed ^ 0x1ABE15);
+            train.corrupt_labels(self.label_noise, &mut rng);
+        }
+        (train, test)
+    }
+
+    /// Maps a full-scale per-learner batch size to the synthetic task:
+    /// the paper's `default_batch` corresponds to `stat_batch` here, and
+    /// other sizes scale proportionally (minimum 1).
+    pub fn scale_batch(&self, full_batch: usize) -> usize {
+        (full_batch * self.stat_batch / self.profile.default_batch).max(1)
+    }
+
+    /// Learning-rate schedule for the synthetic task.
+    ///
+    /// The paper decays the rate late in training (epochs 80/120 for
+    /// ResNet-32); our scaled runs stop well before the equivalent point,
+    /// so the effective schedule within the measured window is constant —
+    /// which also keeps every run inside the plateau regime the TTA
+    /// comparisons probe. The decayed recipes remain available through
+    /// [`LrSchedule`] and are exercised by the SMA restart tests.
+    pub fn schedule(&self) -> LrSchedule {
+        LrSchedule::Constant { lr: self.base_lr }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_build_their_networks() {
+        for b in Benchmark::all() {
+            let net = b.network();
+            assert_eq!(net.output_classes(), b.data_spec.classes, "{}", b.name);
+            assert!(net.param_len() > 0);
+        }
+    }
+
+    #[test]
+    fn datasets_split_deterministically() {
+        let b = Benchmark::lenet();
+        let (tr1, te1) = b.dataset(5);
+        let (tr2, te2) = b.dataset(5);
+        assert_eq!(tr1.len(), tr2.len());
+        assert_eq!(te1.len(), te2.len());
+        assert_eq!(tr1.image(0), tr2.image(0));
+        assert_eq!(te1.image(0), te2.image(0));
+        assert!(tr1.len() > 4 * te1.len(), "5/6 train split");
+    }
+
+    #[test]
+    fn lookup_and_order_match_table1() {
+        let names: Vec<&str> = Benchmark::all().iter().map(|b| b.name).collect();
+        assert_eq!(names, vec!["lenet", "resnet-32", "vgg-16", "resnet-50"]);
+        assert!(Benchmark::by_name("vgg-16").is_some());
+        assert!(Benchmark::by_name("bert").is_none());
+    }
+
+    #[test]
+    fn schedules_are_constant_within_the_measured_window() {
+        for b in Benchmark::all() {
+            let s = b.schedule();
+            assert_eq!(s.lr_at(0), b.base_lr, "{}", b.name);
+            assert!(!s.changes_at(b.default_epochs / 2));
+        }
+    }
+
+    #[test]
+    fn train_split_is_noisy_but_test_split_is_clean() {
+        let b = Benchmark::resnet32();
+        let (train, _test) = b.dataset(3);
+        // The generator interleaves labels (i % classes); corruption must
+        // have broken that pattern for a noticeable fraction.
+        let broken = (0..train.len())
+            .filter(|&i| train.label(i) != i % train.classes())
+            .count();
+        let frac = broken as f64 / train.len() as f64;
+        assert!(
+            (0.15..0.45).contains(&frac),
+            "expected ~label_noise * (1 - 1/classes) broken labels, got {frac}"
+        );
+    }
+
+    #[test]
+    fn batch_scaling_maps_default_to_stat() {
+        let b = Benchmark::resnet32();
+        assert_eq!(b.scale_batch(b.profile.default_batch), b.stat_batch);
+        assert_eq!(b.scale_batch(2 * b.profile.default_batch), 2 * b.stat_batch);
+        assert_eq!(b.scale_batch(1), 1, "never below one");
+    }
+
+    #[test]
+    fn profiles_match_names() {
+        for b in Benchmark::all() {
+            assert_eq!(b.profile.name, b.name);
+        }
+    }
+}

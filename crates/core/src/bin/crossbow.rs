@@ -1,0 +1,229 @@
+//! The `crossbow` command-line interface.
+//!
+//! ```text
+//! crossbow train    --model resnet-32 --gpus 8 --learners 2 --batch 64
+//! crossbow simulate --model resnet-50 --gpus 8 --learners 2 --batch 16
+//! crossbow autotune --model vgg-16 --gpus 1
+//! crossbow models
+//! ```
+//!
+//! `train` runs the full session (simulated hardware + real training on
+//! the synthetic benchmark); `simulate` only measures hardware
+//! efficiency; `autotune` shows Algorithm 2's decisions; `models` lists
+//! the benchmarks.
+
+use crossbow::autotuner::tune_to_convergence;
+use crossbow::benchmark::Benchmark;
+use crossbow::engine::{AlgorithmKind, Session, SessionConfig};
+use crossbow::exec_sim::{simulate, SimConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "train" => cmd_train(rest),
+        "simulate" => cmd_simulate(rest),
+        "autotune" => cmd_autotune(rest),
+        "models" => cmd_models(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+crossbow — CROSSBOW (VLDB 2019) reproduction
+
+USAGE:
+    crossbow train    [--model NAME] [--gpus N] [--learners M|auto]
+                      [--batch B] [--algorithm sma|ssgd|easgd|hier]
+                      [--tau T] [--epochs E] [--target ACC] [--seed S]
+    crossbow simulate [--model NAME] [--gpus N] [--learners M] [--batch B]
+                      [--tau T|inf]
+    crossbow autotune [--model NAME] [--gpus N] [--batch B]
+    crossbow models
+
+MODELS: lenet, resnet-32, vgg-16, resnet-50 (default: resnet-32)";
+
+/// Minimal `--key value` parser.
+struct Flags<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Flags<'a> {
+    fn parse(args: &'a [String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let key = key
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got `{key}`"))?;
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            pairs.push((key, value.as_str()));
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got `{v}`")),
+        }
+    }
+
+    fn benchmark(&self) -> Result<Benchmark, String> {
+        let name = self.get("model").unwrap_or("resnet-32");
+        Benchmark::by_name(name)
+            .ok_or_else(|| format!("unknown model `{name}` (try `crossbow models`)"))
+    }
+
+    fn reject_unknown(&self, allowed: &[&str]) -> Result<(), String> {
+        for (key, _) in &self.pairs {
+            if !allowed.contains(key) {
+                return Err(format!("unknown flag --{key}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.reject_unknown(&[
+        "model",
+        "gpus",
+        "learners",
+        "batch",
+        "algorithm",
+        "tau",
+        "epochs",
+        "target",
+        "seed",
+    ])?;
+    let benchmark = flags.benchmark()?;
+    let gpus = flags.parse_num("gpus", 1usize)?;
+    let batch = flags.parse_num("batch", benchmark.profile.default_batch)?;
+    let tau = flags.parse_num("tau", 1usize)?;
+    let algorithm = match flags.get("algorithm").unwrap_or("sma") {
+        "sma" => AlgorithmKind::Sma { tau },
+        "ssgd" => AlgorithmKind::SSgd,
+        "easgd" => AlgorithmKind::EaSgd { tau },
+        "hier" => AlgorithmKind::HierarchicalSma,
+        other => return Err(format!("unknown algorithm `{other}`")),
+    };
+    let mut config = SessionConfig::new(benchmark)
+        .with_gpus(gpus)
+        .with_batch(batch)
+        .with_algorithm(algorithm)
+        .with_seed(flags.parse_num("seed", 42u64)?);
+    match flags.get("learners") {
+        None | Some("auto") => {}
+        Some(m) => {
+            config = config.with_learners_per_gpu(
+                m.parse().map_err(|_| "--learners expects a number or `auto`")?,
+            )
+        }
+    }
+    if let Some(e) = flags.get("epochs") {
+        config = config.with_epochs(e.parse().map_err(|_| "--epochs expects a number")?);
+    }
+    if let Some(t) = flags.get("target") {
+        config = config.with_target(t.parse().map_err(|_| "--target expects a number")?);
+    }
+    let report = Session::new(config).run();
+    println!("{}", report.summary());
+    println!();
+    println!("accuracy per epoch:");
+    for (e, acc) in report.curve.epoch_accuracy.iter().enumerate() {
+        println!("  epoch {:>3}: {:.4}", e + 1, acc);
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.reject_unknown(&["model", "gpus", "learners", "batch", "tau"])?;
+    let benchmark = flags.benchmark()?;
+    let gpus = flags.parse_num("gpus", 1usize)?;
+    let m = flags.parse_num("learners", 1usize)?;
+    let batch = flags.parse_num("batch", benchmark.profile.default_batch)?;
+    let mut config = SimConfig::crossbow(benchmark.profile, gpus, m, batch);
+    config.tau = match flags.get("tau") {
+        None => Some(1),
+        Some("inf") => None,
+        Some(v) => Some(v.parse().map_err(|_| "--tau expects a number or `inf`")?),
+    };
+    let report = simulate(&config);
+    println!(
+        "{} on {gpus} GPU(s), m={m}, b={batch}:",
+        benchmark.profile.name
+    );
+    println!("  throughput      : {:.0} images/s", report.throughput);
+    println!("  iteration time  : {}", report.iteration_time);
+    println!("  SM utilisation  : {:.0}%", report.utilisation * 100.0);
+    println!(
+        "  epoch time      : {}",
+        report.epoch_time(benchmark.profile.train_samples)
+    );
+    Ok(())
+}
+
+fn cmd_autotune(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.reject_unknown(&["model", "gpus", "batch"])?;
+    let benchmark = flags.benchmark()?;
+    let gpus = flags.parse_num("gpus", 1usize)?;
+    let batch = flags.parse_num("batch", benchmark.profile.default_batch)?;
+    let probe = |m: usize| {
+        simulate(&SimConfig::crossbow(benchmark.profile, gpus, m, batch)).throughput
+    };
+    let base = probe(1);
+    let (chosen, observations) = tune_to_convergence(base * 0.05, 8, probe);
+    println!("{} on {gpus} GPU(s), b={batch}:", benchmark.profile.name);
+    for (m, t) in &observations {
+        println!(
+            "  m={m}: {t:.0} images/s{}",
+            if *m == chosen { "   <- chosen" } else { "" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_models() -> Result<(), String> {
+    println!("available benchmarks:");
+    for b in Benchmark::all() {
+        println!(
+            "  {:<10} {:<12} default batch {:<4} target {:.0}%",
+            b.name,
+            b.profile.dataset,
+            b.profile.default_batch,
+            b.scaled_target * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,402 @@
+//! The end-to-end engine: the public façade of the reproduction.
+//!
+//! A [`Session`] runs one training configuration the way the paper
+//! evaluates one (§5.1):
+//!
+//! 1. if the learner count is not pinned, the **auto-tuner** picks the
+//!    number of learners per GPU by probing simulated throughput
+//!    (Algorithm 2);
+//! 2. the **task engine** runs on the GPU simulator to measure hardware
+//!    efficiency — steady-state throughput and epoch time at the paper's
+//!    full model/dataset scale;
+//! 3. the **trainer** really trains the reduced model on the synthetic
+//!    dataset to measure statistical efficiency — accuracy per epoch and
+//!    epochs-to-accuracy under the `TTA(x)` median-of-5 rule;
+//! 4. the two halves multiply into **time-to-accuracy**, the paper's
+//!    headline metric.
+
+use crate::autotuner::tune_to_convergence;
+use crate::benchmark::Benchmark;
+use crate::exec_sim::{simulate, EngineKind, SimConfig, SimReport};
+use crossbow_gpu_sim::SimDuration;
+use crossbow_sync::algorithm::SyncAlgorithm;
+use crossbow_sync::sma::{easgd, Sma, SmaConfig};
+use crossbow_sync::hierarchical::HierarchicalSma;
+use crossbow_sync::optimizer::SgdConfig;
+use crossbow_sync::ssgd::SSgd;
+use crossbow_sync::{train, TrainerConfig, TrainingCurve};
+use crossbow_tensor::Rng;
+
+/// Which training algorithm a session uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlgorithmKind {
+    /// Synchronous model averaging (the paper's contribution), with a
+    /// synchronisation period τ (1 = every iteration, the default).
+    Sma {
+        /// Synchronisation period.
+        tau: usize,
+    },
+    /// The two-level SMA of §3.3 (local reference models per GPU).
+    HierarchicalSma,
+    /// Parallel S-SGD — the TensorFlow-style baseline.
+    SSgd,
+    /// Elastic averaging SGD [69] — the §5.5 comparator.
+    EaSgd {
+        /// Synchronisation period.
+        tau: usize,
+    },
+}
+
+/// Configuration of one training session.
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// The benchmark (model family + dataset + profile).
+    pub benchmark: Benchmark,
+    /// Number of GPUs (`g`).
+    pub gpus: usize,
+    /// Learners per GPU (`m`); `None` lets the auto-tuner decide.
+    pub learners_per_gpu: Option<usize>,
+    /// Batch size per learner (`b`).
+    pub batch_per_learner: usize,
+    /// Training algorithm.
+    pub algorithm: AlgorithmKind,
+    /// Epoch budget for the statistical run (`None` = benchmark default).
+    pub max_epochs: Option<usize>,
+    /// TTA threshold (`None` = benchmark default).
+    pub target_accuracy: Option<f64>,
+    /// Master seed (dataset, init, batch order).
+    pub seed: u64,
+    /// Auto-tuner throughput tolerance, as a fraction of the current
+    /// throughput (paper Algorithm 2's τ parameter).
+    pub tuner_tolerance: f64,
+    /// Cap on learners per GPU the tuner may reach.
+    pub max_learners_per_gpu: usize,
+}
+
+impl SessionConfig {
+    /// A session on the given benchmark with paper-style defaults:
+    /// 1 GPU, auto-tuned learners, the benchmark's default batch.
+    pub fn new(benchmark: Benchmark) -> Self {
+        SessionConfig {
+            batch_per_learner: benchmark.profile.default_batch,
+            benchmark,
+            gpus: 1,
+            learners_per_gpu: None,
+            algorithm: AlgorithmKind::Sma { tau: 1 },
+            max_epochs: None,
+            target_accuracy: None,
+            seed: 42,
+            tuner_tolerance: 0.05,
+            max_learners_per_gpu: 8,
+        }
+    }
+
+    /// A small LeNet session that trains in a couple of seconds — the
+    /// quickstart configuration.
+    pub fn lenet_quick() -> Self {
+        let mut cfg = SessionConfig::new(Benchmark::lenet());
+        cfg.max_epochs = Some(6);
+        cfg.learners_per_gpu = Some(2);
+        cfg
+    }
+
+    /// Sets the GPU count (builder style).
+    pub fn with_gpus(mut self, gpus: usize) -> Self {
+        self.gpus = gpus;
+        self
+    }
+
+    /// Pins the learners per GPU (builder style).
+    pub fn with_learners_per_gpu(mut self, m: usize) -> Self {
+        self.learners_per_gpu = Some(m);
+        self
+    }
+
+    /// Sets the per-learner batch size (builder style).
+    pub fn with_batch(mut self, b: usize) -> Self {
+        self.batch_per_learner = b;
+        self
+    }
+
+    /// Sets the algorithm (builder style).
+    pub fn with_algorithm(mut self, algorithm: AlgorithmKind) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the epoch budget (builder style).
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.max_epochs = Some(epochs);
+        self
+    }
+
+    /// Sets the TTA target (builder style).
+    pub fn with_target(mut self, target: f64) -> Self {
+        self.target_accuracy = Some(target);
+        self
+    }
+
+    /// Sets the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The combined result of a session.
+#[derive(Clone, Debug)]
+pub struct TrainingReport {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Algorithm used.
+    pub algorithm: AlgorithmKind,
+    /// GPUs used.
+    pub gpus: usize,
+    /// Learners per GPU actually used (after auto-tuning).
+    pub learners_per_gpu: usize,
+    /// Batch size per learner.
+    pub batch_per_learner: usize,
+    /// Statistical-efficiency result (real training).
+    pub curve: TrainingCurve,
+    /// Hardware-efficiency result (simulator).
+    pub sim: SimReport,
+    /// Simulated time of one full-scale epoch.
+    pub epoch_time: SimDuration,
+    /// Time-to-accuracy: epochs-to-target x epoch time, when the target
+    /// was reached.
+    pub tta: Option<SimDuration>,
+}
+
+impl TrainingReport {
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        let tta = match self.tta {
+            Some(t) => format!("TTA {t}"),
+            None => "target not reached".to_string(),
+        };
+        format!(
+            "{} [{:?}] g={} m={} b={}: {:.1} images/s, epoch {}, ETA {:?} epochs, acc {:.3}, {}",
+            self.benchmark,
+            self.algorithm,
+            self.gpus,
+            self.learners_per_gpu,
+            self.batch_per_learner,
+            self.sim.throughput,
+            self.epoch_time,
+            self.curve.epochs_to_target,
+            self.curve.final_accuracy,
+            tta
+        )
+    }
+}
+
+/// A configured training session.
+pub struct Session {
+    config: SessionConfig,
+}
+
+impl Session {
+    /// Creates a session.
+    ///
+    /// # Panics
+    /// Panics on zero-sized configuration values.
+    pub fn new(config: SessionConfig) -> Self {
+        assert!(config.gpus >= 1, "need at least one GPU");
+        assert!(config.batch_per_learner >= 1, "need a batch");
+        assert!(config.max_learners_per_gpu >= 1);
+        if config.algorithm == AlgorithmKind::SSgd {
+            assert!(
+                config.learners_per_gpu.unwrap_or(1) == 1,
+                "S-SGD trains one replica per GPU"
+            );
+        }
+        Session { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Builds the simulator configuration for a given learner count.
+    fn sim_config(&self, m: usize) -> SimConfig {
+        let c = &self.config;
+        let (kind, tau) = match c.algorithm {
+            AlgorithmKind::SSgd => (EngineKind::BaselineSSgd, Some(1)),
+            AlgorithmKind::Sma { tau } | AlgorithmKind::EaSgd { tau } => {
+                (EngineKind::Crossbow, Some(tau))
+            }
+            AlgorithmKind::HierarchicalSma => (EngineKind::Crossbow, Some(1)),
+        };
+        let mut sim = match kind {
+            EngineKind::Crossbow => {
+                SimConfig::crossbow(c.benchmark.profile, c.gpus, m, c.batch_per_learner)
+            }
+            EngineKind::BaselineSSgd => {
+                SimConfig::baseline(c.benchmark.profile, c.gpus, c.batch_per_learner)
+            }
+        };
+        sim.tau = tau;
+        sim
+    }
+
+    /// Auto-tunes (or reads) the learners-per-GPU count, then measures
+    /// hardware efficiency on the simulator.
+    pub fn plan_hardware(&self) -> (usize, SimReport) {
+        let c = &self.config;
+        if c.algorithm == AlgorithmKind::SSgd {
+            return (1, simulate(&self.sim_config(1)));
+        }
+        let m = match c.learners_per_gpu {
+            Some(m) => m,
+            None => {
+                let probe = |m: usize| simulate(&self.sim_config(m)).throughput;
+                let base = probe(1);
+                let tolerance = base * c.tuner_tolerance;
+                let (m, _) = tune_to_convergence(tolerance, c.max_learners_per_gpu, probe);
+                m
+            }
+        };
+        (m, simulate(&self.sim_config(m)))
+    }
+
+    /// Runs the statistical-efficiency half: real training of the reduced
+    /// model with `k = m * gpus` learners.
+    pub fn train_statistics(&self, m: usize) -> TrainingCurve {
+        let c = &self.config;
+        let net = c.benchmark.network();
+        let (train_set, test_set) = c.benchmark.dataset(c.seed);
+        let mut rng = Rng::new(c.seed ^ 0xC0FFEE);
+        let init = net.init_params(&mut rng);
+        let k = m * c.gpus;
+        let mut algo: Box<dyn SyncAlgorithm> = match c.algorithm {
+            AlgorithmKind::Sma { tau } => Box::new(Sma::new(
+                init,
+                k,
+                SmaConfig {
+                    tau,
+                    ..SmaConfig::default()
+                },
+            )),
+            AlgorithmKind::HierarchicalSma => Box::new(HierarchicalSma::new(
+                init,
+                c.gpus,
+                m,
+                SmaConfig::default(),
+            )),
+            AlgorithmKind::SSgd => Box::new(SSgd::new(init, k, SgdConfig::paper_default())),
+            AlgorithmKind::EaSgd { tau } => Box::new(easgd(init, k, None, tau)),
+        };
+        // The simulator runs at the paper's full scale; the statistical
+        // run maps the batch onto the (smaller) synthetic task.
+        let stat_batch = c.benchmark.scale_batch(c.batch_per_learner);
+        let trainer_config = TrainerConfig {
+            batch_per_learner: stat_batch.min(train_set.len() / k.max(1)).max(1),
+            max_epochs: c.max_epochs.unwrap_or(c.benchmark.default_epochs),
+            target_accuracy: Some(
+                c.target_accuracy.unwrap_or(c.benchmark.scaled_target),
+            ),
+            schedule: c.benchmark.schedule(),
+            weight_decay: 1e-4,
+            eval_batch: 256,
+            seed: c.seed,
+            threads: 0,
+        };
+        train(&net, &train_set, &test_set, algo.as_mut(), &trainer_config)
+    }
+
+    /// Runs the full session: auto-tune, simulate, train, combine.
+    pub fn run(&self) -> TrainingReport {
+        let (m, sim) = self.plan_hardware();
+        let curve = self.train_statistics(m);
+        let epoch_time = sim.epoch_time(self.config.benchmark.profile.train_samples);
+        let tta = curve.epochs_to_target.map(|e| {
+            SimDuration::from_secs_f64(e as f64 * epoch_time.as_secs_f64())
+        });
+        TrainingReport {
+            benchmark: self.config.benchmark.name,
+            algorithm: self.config.algorithm,
+            gpus: self.config.gpus,
+            learners_per_gpu: m,
+            batch_per_learner: self.config.batch_per_learner,
+            curve,
+            sim,
+            epoch_time,
+            tta,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lenet_quick_session_learns() {
+        let report = Session::new(SessionConfig::lenet_quick()).run();
+        assert!(report.curve.final_accuracy > 0.5, "{}", report.summary());
+        assert!(report.sim.throughput > 0.0);
+        assert_eq!(report.learners_per_gpu, 2);
+        assert!(report.epoch_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn auto_tuner_picks_more_than_one_learner_for_small_batches() {
+        // ResNet-32 at b = 64 cannot saturate a Titan X with one learner;
+        // the paper's tuner lands at m = 4 on one GPU (Figure 14a).
+        let cfg = SessionConfig::new(Benchmark::resnet32()).with_batch(64);
+        let session = Session::new(cfg);
+        let (m, _) = session.plan_hardware();
+        assert!(m >= 2, "tuner chose m = {m}");
+        assert!(m <= 8);
+    }
+
+    #[test]
+    fn ssgd_sessions_use_one_replica_per_gpu() {
+        let cfg = SessionConfig::new(Benchmark::lenet())
+            .with_algorithm(AlgorithmKind::SSgd)
+            .with_gpus(2);
+        let session = Session::new(cfg);
+        let (m, _) = session.plan_hardware();
+        assert_eq!(m, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one replica per GPU")]
+    fn ssgd_rejects_multiple_learners() {
+        let cfg = SessionConfig::new(Benchmark::lenet())
+            .with_algorithm(AlgorithmKind::SSgd)
+            .with_learners_per_gpu(3);
+        let _ = Session::new(cfg);
+    }
+
+    #[test]
+    fn tta_combines_eta_and_epoch_time() {
+        let mut cfg = SessionConfig::lenet_quick();
+        cfg.max_epochs = Some(12);
+        cfg.target_accuracy = Some(0.6); // easily reached
+        let report = Session::new(cfg).run();
+        let eta = report.curve.epochs_to_target.expect("easy target");
+        let tta = report.tta.expect("tta present");
+        let expect = eta as f64 * report.epoch_time.as_secs_f64();
+        assert!((tta.as_secs_f64() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let run = || {
+            Session::new(SessionConfig::lenet_quick().with_seed(7))
+                .run()
+                .curve
+                .epoch_accuracy
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn summary_mentions_the_benchmark() {
+        let report = Session::new(SessionConfig::lenet_quick()).run();
+        let s = report.summary();
+        assert!(s.contains("lenet"), "{s}");
+    }
+}

@@ -1,0 +1,401 @@
+//! A concurrent CPU training runtime mirroring the paper's system
+//! architecture (Figure 7).
+//!
+//! The synchronous driver in `crossbow-sync::trainer` computes all `k`
+//! gradients, then synchronises — convenient for statistical experiments,
+//! but it hides the system structure the paper builds. This module is the
+//! *runtime* version: real threads, real queues, and the same pipelined
+//! overlap as the GPU engine:
+//!
+//! * **data pre-processors** ([`crossbow_data::Prefetcher`]) fill a
+//!   bounded batch queue (the circular buffer of §4.5);
+//! * each **learner** runs on a worker thread: it takes a batch, computes
+//!   the gradient against its replica (the *learning task*), applies the
+//!   gradient plus the SMA correction against its snapshot of the central
+//!   average model (the *local synchronisation task*), and posts its
+//!   correction to the task manager;
+//! * the **task manager** aggregates the `k` corrections of iteration `n`
+//!   (the *global synchronisation task*), advances the central average
+//!   model with Polyak momentum, and publishes the new version;
+//! * learners may start iteration `n+1`'s learning task immediately after
+//!   updating their replica — they only *wait for the published average
+//!   model of iteration `n`* at their next local sync, reproducing the
+//!   one-iteration-deep pipeline of Figure 8 (points *d*, *f*, *g*).
+//!
+//! Every learner draws batches from its own seeded sampler, so the
+//! *numerics* are deterministic regardless of thread interleaving — a
+//! property the tests rely on.
+
+use crossbow_data::{BatchSampler, Dataset};
+use crossbow_nn::Network;
+use crossbow_tensor::ops;
+use crossbow_tensor::stats::WindowedMedian;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// Configuration of the concurrent runtime.
+#[derive(Clone, Debug)]
+pub struct CpuEngineConfig {
+    /// Number of learners (worker threads).
+    pub learners: usize,
+    /// Batch size per learner.
+    pub batch_per_learner: usize,
+    /// Learning rate (constant; the runtime demonstrates the engine, not
+    /// schedules).
+    pub lr: f32,
+    /// Central-model momentum µ.
+    pub momentum: f32,
+    /// Correction strength α (`None` = 1/k).
+    pub alpha: Option<f32>,
+    /// Weight decay added to gradients.
+    pub weight_decay: f32,
+    /// Stop after this many epochs (per the shared epoch clock).
+    pub max_epochs: usize,
+    /// Stop early at this median-of-5 test accuracy.
+    pub target_accuracy: Option<f64>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl CpuEngineConfig {
+    /// A small default suitable for the synthetic tasks.
+    pub fn new(learners: usize, batch_per_learner: usize) -> Self {
+        CpuEngineConfig {
+            learners,
+            batch_per_learner,
+            lr: 0.1,
+            momentum: 0.9,
+            alpha: None,
+            weight_decay: 1e-4,
+            max_epochs: 10,
+            target_accuracy: None,
+            seed: 42,
+        }
+    }
+}
+
+/// Result of a concurrent training run.
+#[derive(Clone, Debug)]
+pub struct CpuEngineReport {
+    /// Test accuracy of the central average model after each epoch.
+    pub epoch_accuracy: Vec<f64>,
+    /// Epochs until the median-of-5 accuracy reached the target.
+    pub epochs_to_target: Option<usize>,
+    /// Global synchronisation rounds executed.
+    pub iterations: u64,
+    /// Wall-clock training throughput (samples/s) — *real* time, unlike
+    /// the simulator's.
+    pub throughput: f64,
+    /// Final accuracy.
+    pub final_accuracy: f64,
+}
+
+/// Shared state: the published central average model.
+struct CentralModel {
+    /// (version, z); version counts completed global syncs.
+    state: Mutex<(u64, Arc<Vec<f32>>)>,
+    ready: Condvar,
+}
+
+impl CentralModel {
+    fn new(init: Vec<f32>) -> Self {
+        CentralModel {
+            state: Mutex::new((0, Arc::new(init))),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Blocks until version >= `version`, returning that snapshot.
+    fn wait_for(&self, version: u64) -> Arc<Vec<f32>> {
+        let mut guard = self.state.lock();
+        while guard.0 < version {
+            self.ready.wait(&mut guard);
+        }
+        Arc::clone(&guard.1)
+    }
+
+    fn publish(&self, version: u64, z: Vec<f32>) {
+        let mut guard = self.state.lock();
+        debug_assert_eq!(guard.0 + 1, version, "versions advance one at a time");
+        *guard = (version, Arc::new(z));
+        self.ready.notify_all();
+    }
+
+    fn snapshot(&self) -> Arc<Vec<f32>> {
+        Arc::clone(&self.state.lock().1)
+    }
+}
+
+/// A correction message from a learner to the task manager.
+struct Contribution {
+    iteration: u64,
+    /// Sum contribution `c_j = α (w_j − z)` (computed pre-update).
+    correction: Vec<f32>,
+    /// Epoch of the batch that produced it (for the epoch clock).
+    epoch: usize,
+}
+
+/// Runs SMA training with the concurrent runtime.
+///
+/// # Panics
+/// Panics on configuration mismatches (empty model, zero learners, batch
+/// larger than the training set).
+pub fn train_concurrent(
+    net: &Network,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    config: &CpuEngineConfig,
+) -> CpuEngineReport {
+    assert!(config.learners > 0, "need at least one learner");
+    assert!(config.max_epochs > 0, "need at least one epoch");
+    let k = config.learners;
+    let alpha = config.alpha.unwrap_or(1.0 / k as f32);
+    let plen = net.param_len();
+    let mut rng = crossbow_tensor::Rng::new(config.seed ^ 0xC0FFEE);
+    let init = net.init_params(&mut rng);
+
+    let central = Arc::new(CentralModel::new(init.clone()));
+    let (tx, rx) = crossbeam::channel::unbounded::<Contribution>();
+    let start = std::time::Instant::now();
+    let batches_per_epoch_per_learner = {
+        // Each learner owns a sampler over the whole set; an "epoch" of
+        // the engine is one pass of every learner over its sampler, i.e.
+        // k passes over the data in aggregate — matching the paper's
+        // convention that epochs count data consumed across all learners.
+        let per = train_set.len() / config.batch_per_learner;
+        assert!(per > 0, "batch larger than the training set");
+        per.div_ceil(k)
+    };
+    let iterations_total = (config.max_epochs * batches_per_epoch_per_learner) as u64;
+
+    // Spawn learners.
+    crossbeam::thread::scope(|scope| {
+        for j in 0..k {
+            let central = Arc::clone(&central);
+            let tx = tx.clone();
+            let config = config.clone();
+            scope.spawn(move |_| {
+                let mut sampler = BatchSampler::new(
+                    train_set.len(),
+                    config.batch_per_learner,
+                    true,
+                    config.seed.wrapping_add(j as u64 * 7919),
+                );
+                let mut scratch = net.scratch();
+                let mut replica = central.snapshot().as_ref().clone();
+                let mut grad = vec![0.0f32; plen];
+                let mut correction = vec![0.0f32; plen];
+                for iteration in 0..iterations_total {
+                    // Learning task: batch + gradient on the replica.
+                    let (indices, _) = sampler.next_batch();
+                    let (images, labels) = train_set.gather(&indices);
+                    let epoch = (iteration / batches_per_epoch_per_learner as u64) as usize;
+                    net.loss_and_grad(&replica, &images, &labels, &mut grad, &mut scratch);
+                    if config.weight_decay != 0.0 {
+                        ops::axpy(config.weight_decay, &replica, &mut grad);
+                    }
+                    // Local synchronisation task: needs the average model
+                    // of the previous iteration (Figure 8, point d).
+                    let z = central.wait_for(iteration);
+                    ops::scaled_diff(alpha, &replica, &z, &mut correction);
+                    for ((w, &g), &c) in
+                        replica.iter_mut().zip(grad.iter()).zip(correction.iter())
+                    {
+                        *w -= config.lr * g + c;
+                    }
+                    // Hand the correction to the task manager; the next
+                    // learning task starts immediately (point g).
+                    tx.send(Contribution {
+                        iteration,
+                        correction: correction.clone(),
+                        epoch,
+                    })
+                    .expect("manager alive");
+                }
+            });
+        }
+        drop(tx);
+
+        // Task manager: aggregate corrections, run global sync, evaluate
+        // at epoch boundaries.
+        let test_images = test_set.images_tensor();
+        let test_labels = test_set.labels().to_vec();
+        let mut report = CpuEngineReport {
+            epoch_accuracy: Vec::new(),
+            epochs_to_target: None,
+            iterations: 0,
+            throughput: 0.0,
+            final_accuracy: 0.0,
+        };
+        let mut z = init.clone();
+        let mut z_prev = init;
+        let mut median5 = WindowedMedian::new(5);
+        let mut pending: std::collections::BTreeMap<u64, (usize, Vec<f32>, usize)> =
+            std::collections::BTreeMap::new();
+        let mut next_iteration = 0u64;
+        let mut current_epoch = 0usize;
+        let mut samples = 0u64;
+        let mut stop_at_epoch: Option<usize> = None;
+        while let Ok(msg) = rx.recv() {
+            let entry = pending
+                .entry(msg.iteration)
+                .or_insert_with(|| (0, vec![0.0f32; plen], 0));
+            entry.0 += 1;
+            ops::add_assign(&mut entry.1, &msg.correction);
+            entry.2 = entry.2.max(msg.epoch);
+            // Apply ready iterations in order.
+            while pending
+                .get(&next_iteration)
+                .is_some_and(|(count, _, _)| *count == k)
+            {
+                let (_, sum_c, epoch) = pending.remove(&next_iteration).expect("checked");
+                // Global synchronisation: z += Σc + µ(z − z_prev).
+                for ((zi, zpi), &ci) in z.iter_mut().zip(z_prev.iter_mut()).zip(&sum_c) {
+                    let old = *zi;
+                    *zi = old + ci + config.momentum * (old - *zpi);
+                    *zpi = old;
+                }
+                central.publish(next_iteration + 1, z.clone());
+                report.iterations += 1;
+                samples += (k * config.batch_per_learner) as u64;
+                next_iteration += 1;
+                if epoch > current_epoch
+                    || next_iteration == iterations_total
+                {
+                    let acc =
+                        net.evaluate(&z, &test_images, &test_labels, 256);
+                    report.epoch_accuracy.push(acc);
+                    median5.push(acc);
+                    let finished = report.epoch_accuracy.len();
+                    if let (Some(target), None) =
+                        (config.target_accuracy, report.epochs_to_target)
+                    {
+                        if median5.median().is_some_and(|m| m >= target) {
+                            report.epochs_to_target = Some(finished);
+                            // Let the in-flight iterations drain; learners
+                            // stop at the epoch clock.
+                            stop_at_epoch.get_or_insert(epoch);
+                        }
+                    }
+                    current_epoch = epoch;
+                    report.final_accuracy = acc;
+                }
+            }
+        }
+        report.throughput = samples as f64 / start.elapsed().as_secs_f64().max(1e-9);
+        report
+    })
+    .expect("engine threads must not panic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbow_data::synth::gaussian_mixture;
+    use crossbow_nn::zoo::mlp;
+
+    fn setup() -> (Network, Dataset, Dataset) {
+        let net = mlp(6, &[16], 4);
+        let data = gaussian_mixture(4, 6, 480, 0.35, 7);
+        let (train_set, test_set) = data.split_at(400);
+        (net, train_set, test_set)
+    }
+
+    #[test]
+    fn concurrent_engine_learns() {
+        let (net, train_set, test_set) = setup();
+        let mut cfg = CpuEngineConfig::new(4, 8);
+        cfg.max_epochs = 8;
+        let report = train_concurrent(&net, &train_set, &test_set, &cfg);
+        assert!(
+            report.final_accuracy > 0.85,
+            "accuracy {}",
+            report.final_accuracy
+        );
+        assert!(report.throughput > 0.0);
+        assert_eq!(report.epoch_accuracy.len(), 8);
+    }
+
+    #[test]
+    fn deterministic_despite_threads() {
+        // Batches come from per-learner samplers and synchronisation is
+        // ordered by iteration number, so thread interleaving cannot
+        // change the numerics.
+        let (net, train_set, test_set) = setup();
+        let run = || {
+            let mut cfg = CpuEngineConfig::new(3, 8);
+            cfg.max_epochs = 4;
+            train_concurrent(&net, &train_set, &test_set, &cfg).epoch_accuracy
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn iterations_count_global_syncs() {
+        let (net, train_set, test_set) = setup();
+        let mut cfg = CpuEngineConfig::new(2, 10);
+        cfg.max_epochs = 3;
+        let report = train_concurrent(&net, &train_set, &test_set, &cfg);
+        // 400 samples / batch 10 = 40 batches/epoch, / 2 learners = 20
+        // iterations per epoch, x3 epochs.
+        assert_eq!(report.iterations, 60);
+    }
+
+    #[test]
+    fn single_learner_works() {
+        let (net, train_set, test_set) = setup();
+        let mut cfg = CpuEngineConfig::new(1, 16);
+        cfg.max_epochs = 6;
+        let report = train_concurrent(&net, &train_set, &test_set, &cfg);
+        assert!(report.final_accuracy > 0.8, "{}", report.final_accuracy);
+    }
+
+    #[test]
+    fn target_is_recorded() {
+        let (net, train_set, test_set) = setup();
+        let mut cfg = CpuEngineConfig::new(2, 8);
+        cfg.max_epochs = 12;
+        cfg.target_accuracy = Some(0.8);
+        let report = train_concurrent(&net, &train_set, &test_set, &cfg);
+        let eta = report.epochs_to_target.expect("easy target");
+        assert!(eta <= 12);
+    }
+
+    #[test]
+    fn matches_synchronous_sma_closely() {
+        // The runtime computes the same algorithm as `sync::Sma` driven by
+        // the synchronous trainer (modulo batch-order differences);
+        // accuracies must land in the same region.
+        let (net, train_set, test_set) = setup();
+        let mut cfg = CpuEngineConfig::new(4, 8);
+        cfg.max_epochs = 8;
+        let concurrent = train_concurrent(&net, &train_set, &test_set, &cfg);
+        let mut algo = crossbow_sync::Sma::new(
+            {
+                let mut rng = crossbow_tensor::Rng::new(cfg.seed ^ 0xC0FFEE);
+                net.init_params(&mut rng)
+            },
+            4,
+            crossbow_sync::SmaConfig::default(),
+        );
+        let trainer_cfg = crossbow_sync::TrainerConfig {
+            batch_per_learner: 8,
+            max_epochs: 8,
+            target_accuracy: None,
+            schedule: crossbow_sync::LrSchedule::Constant { lr: cfg.lr },
+            weight_decay: cfg.weight_decay,
+            eval_batch: 256,
+            seed: cfg.seed,
+            threads: 1,
+        };
+        let synchronous =
+            crossbow_sync::train(&net, &train_set, &test_set, &mut algo, &trainer_cfg);
+        let diff = (concurrent.final_accuracy - synchronous.final_accuracy).abs();
+        assert!(
+            diff < 0.15,
+            "concurrent {} vs synchronous {}",
+            concurrent.final_accuracy,
+            synchronous.final_accuracy
+        );
+    }
+}

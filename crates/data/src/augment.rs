@@ -1,0 +1,175 @@
+//! Training-time augmentation — the transformations the paper's data
+//! pre-processors apply ("image decoding and cropping", §4.1).
+
+use crossbow_tensor::{Rng, Tensor};
+
+/// Augmentation configuration applied per sample by the pre-processors.
+#[derive(Clone, Copy, Debug)]
+pub struct Augment {
+    /// Maximum random translation (pad-and-crop) in pixels.
+    pub max_shift: usize,
+    /// Probability of a horizontal flip.
+    pub flip_prob: f64,
+    /// Stddev of additive Gaussian pixel noise.
+    pub noise: f32,
+}
+
+impl Augment {
+    /// No-op augmentation.
+    pub fn none() -> Self {
+        Augment {
+            max_shift: 0,
+            flip_prob: 0.0,
+            noise: 0.0,
+        }
+    }
+
+    /// The standard CIFAR-style recipe: shift up to 2 px, flip half the
+    /// time, light noise.
+    pub fn standard() -> Self {
+        Augment {
+            max_shift: 2,
+            flip_prob: 0.5,
+            noise: 0.05,
+        }
+    }
+
+    /// True when this configuration changes nothing.
+    pub fn is_noop(&self) -> bool {
+        self.max_shift == 0 && self.flip_prob == 0.0 && self.noise == 0.0
+    }
+
+    /// Applies the augmentation in place to a `[batch, c, h, w]` tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not 4-dimensional.
+    pub fn apply(&self, batch: &mut Tensor, rng: &mut Rng) {
+        if self.is_noop() {
+            return;
+        }
+        let dims = batch.shape().dims().to_vec();
+        assert_eq!(dims.len(), 4, "augment expects [batch, c, h, w]");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let sample_len = c * h * w;
+        let mut scratch = vec![0.0f32; sample_len];
+        for i in 0..n {
+            let img = &mut batch.data_mut()[i * sample_len..(i + 1) * sample_len];
+            if self.max_shift > 0 {
+                let dx = rng.below(2 * self.max_shift + 1) as isize - self.max_shift as isize;
+                let dy = rng.below(2 * self.max_shift + 1) as isize - self.max_shift as isize;
+                if dx != 0 || dy != 0 {
+                    shift_into(img, &mut scratch, c, h, w, dx, dy);
+                    img.copy_from_slice(&scratch);
+                }
+            }
+            if self.flip_prob > 0.0 && rng.bernoulli(self.flip_prob) {
+                flip_horizontal(img, c, h, w);
+            }
+            if self.noise > 0.0 {
+                for v in img.iter_mut() {
+                    *v += rng.normal() * self.noise;
+                }
+            }
+        }
+    }
+}
+
+fn shift_into(src: &[f32], dst: &mut [f32], c: usize, h: usize, w: usize, dx: isize, dy: isize) {
+    dst.iter_mut().for_each(|v| *v = 0.0);
+    let plane = h * w;
+    for ch in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                let sy = y as isize - dy;
+                let sx = x as isize - dx;
+                if sy >= 0 && sy < h as isize && sx >= 0 && sx < w as isize {
+                    dst[ch * plane + y * w + x] = src[ch * plane + sy as usize * w + sx as usize];
+                }
+            }
+        }
+    }
+}
+
+fn flip_horizontal(img: &mut [f32], c: usize, h: usize, w: usize) {
+    let plane = h * w;
+    for ch in 0..c {
+        for y in 0..h {
+            let row = &mut img[ch * plane + y * w..ch * plane + (y + 1) * w];
+            row.reverse();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbow_tensor::Shape;
+
+    #[test]
+    fn noop_changes_nothing() {
+        let mut rng = Rng::new(1);
+        let mut t = Tensor::randn(Shape::new(&[2, 1, 4, 4]), 1.0, &mut rng);
+        let before = t.clone();
+        Augment::none().apply(&mut t, &mut rng);
+        assert_eq!(t.data(), before.data());
+        assert!(Augment::none().is_noop());
+    }
+
+    #[test]
+    fn flip_reverses_rows() {
+        let mut img = vec![1.0, 2.0, 3.0, 4.0]; // 1x2x2
+        flip_horizontal(&mut img, 1, 2, 2);
+        assert_eq!(img, vec![2.0, 1.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn flip_twice_is_identity() {
+        let mut rng = Rng::new(2);
+        let orig: Vec<f32> = (0..27).map(|_| rng.normal()).collect();
+        let mut img = orig.clone();
+        flip_horizontal(&mut img, 3, 3, 3);
+        flip_horizontal(&mut img, 3, 3, 3);
+        assert_eq!(img, orig);
+    }
+
+    #[test]
+    fn shift_moves_mass() {
+        let src = vec![1.0, 0.0, 0.0, 0.0];
+        let mut dst = vec![0.0; 4];
+        shift_into(&src, &mut dst, 1, 2, 2, 1, 1);
+        assert_eq!(dst, vec![0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn augment_preserves_shape_and_stays_finite() {
+        let mut rng = Rng::new(3);
+        let mut t = Tensor::randn(Shape::new(&[4, 3, 8, 8]), 1.0, &mut rng);
+        Augment::standard().apply(&mut t, &mut rng);
+        assert_eq!(t.shape().dims(), &[4, 3, 8, 8]);
+        assert!(t.is_finite());
+    }
+
+    #[test]
+    fn noise_perturbs_values() {
+        let mut rng = Rng::new(4);
+        let mut t = Tensor::zeros([1, 1, 4, 4]);
+        let aug = Augment {
+            max_shift: 0,
+            flip_prob: 0.0,
+            noise: 0.5,
+        };
+        aug.apply(&mut t, &mut rng);
+        assert!(t.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut rng = Rng::new(seed);
+            let mut t = Tensor::randn(Shape::new(&[2, 1, 4, 4]), 1.0, &mut rng);
+            Augment::standard().apply(&mut t, &mut rng);
+            t.into_vec()
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

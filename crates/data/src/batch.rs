@@ -1,0 +1,160 @@
+//! Epoch-aware shuffled batch sampling.
+//!
+//! SMA consumes "a set of batches" and removes each batch as a learner
+//! takes it (Algorithm 1, lines 6–7); an epoch ends when the set is empty.
+//! [`BatchSampler`] provides exactly that: a shuffled permutation of the
+//! dataset handed out in batch-sized index blocks, reshuffled every epoch.
+
+use crossbow_tensor::Rng;
+
+/// Hands out shuffled index batches, tracking epoch boundaries.
+#[derive(Clone, Debug)]
+pub struct BatchSampler {
+    n: usize,
+    batch: usize,
+    order: Vec<usize>,
+    pos: usize,
+    epoch: usize,
+    rng: Rng,
+    drop_last: bool,
+}
+
+impl BatchSampler {
+    /// Creates a sampler over `n` samples with the given batch size.
+    ///
+    /// `drop_last` discards a final partial batch (the common training
+    /// setting, and what keeps every learning task the same shape).
+    ///
+    /// # Panics
+    /// Panics when `batch == 0`, `n == 0`, or `drop_last` would discard
+    /// everything (`batch > n`).
+    pub fn new(n: usize, batch: usize, drop_last: bool, seed: u64) -> Self {
+        assert!(n > 0, "empty dataset");
+        assert!(batch > 0, "zero batch size");
+        assert!(
+            !drop_last || batch <= n,
+            "batch {batch} larger than dataset {n} with drop_last"
+        );
+        let mut rng = Rng::new(seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut order);
+        BatchSampler {
+            n,
+            batch,
+            order,
+            pos: 0,
+            epoch: 0,
+            rng,
+            drop_last,
+        }
+    }
+
+    /// Batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    /// Completed epochs (starts at 0; increments when the permutation is
+    /// exhausted and reshuffled).
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// Batches per epoch.
+    pub fn batches_per_epoch(&self) -> usize {
+        if self.drop_last {
+            self.n / self.batch
+        } else {
+            self.n.div_ceil(self.batch)
+        }
+    }
+
+    /// Returns the next batch of sample indices, reshuffling at epoch
+    /// boundaries. The returned epoch number is the epoch this batch
+    /// belongs to.
+    pub fn next_batch(&mut self) -> (Vec<usize>, usize) {
+        let remaining = self.n - self.pos;
+        let boundary = if self.drop_last {
+            remaining < self.batch
+        } else {
+            remaining == 0
+        };
+        if boundary {
+            self.epoch += 1;
+            self.rng.shuffle(&mut self.order);
+            self.pos = 0;
+        }
+        let end = (self.pos + self.batch).min(self.n);
+        let batch = self.order[self.pos..end].to_vec();
+        let epoch = self.epoch;
+        self.pos = end;
+        (batch, epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_sample_each_epoch() {
+        let mut s = BatchSampler::new(10, 3, false, 1);
+        let mut seen = vec![0usize; 10];
+        for _ in 0..s.batches_per_epoch() {
+            let (b, e) = s.next_batch();
+            assert_eq!(e, 0);
+            for i in b {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+
+    #[test]
+    fn drop_last_trims_partial_batches() {
+        let mut s = BatchSampler::new(10, 3, true, 1);
+        assert_eq!(s.batches_per_epoch(), 3);
+        for _ in 0..3 {
+            let (b, e) = s.next_batch();
+            assert_eq!(b.len(), 3);
+            assert_eq!(e, 0);
+        }
+        let (_, e) = s.next_batch();
+        assert_eq!(e, 1, "fourth batch starts epoch 1");
+    }
+
+    #[test]
+    fn epochs_reshuffle() {
+        let mut s = BatchSampler::new(64, 64, true, 2);
+        let (b0, _) = s.next_batch();
+        let (b1, e1) = s.next_batch();
+        assert_eq!(e1, 1);
+        assert_ne!(b0, b1, "reshuffled order should differ");
+        let mut sorted = b1.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = BatchSampler::new(20, 4, true, 9);
+        let mut b = BatchSampler::new(20, 4, true, 9);
+        for _ in 0..12 {
+            assert_eq!(a.next_batch(), b.next_batch());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than dataset")]
+    fn oversized_batch_with_drop_last_rejected() {
+        let _ = BatchSampler::new(5, 8, true, 0);
+    }
+
+    #[test]
+    fn oversized_batch_without_drop_last_is_one_batch() {
+        let mut s = BatchSampler::new(5, 8, false, 0);
+        let (b, _) = s.next_batch();
+        assert_eq!(b.len(), 5);
+        assert_eq!(s.batches_per_epoch(), 1);
+    }
+}

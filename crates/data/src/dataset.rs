@@ -1,0 +1,241 @@
+//! In-memory labelled datasets.
+
+use crossbow_tensor::{Rng, Shape, Tensor};
+
+/// An in-memory classification dataset: `n` samples of a fixed per-sample
+/// shape with integer labels.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    images: Vec<f32>,
+    labels: Vec<usize>,
+    sample_shape: Shape,
+    classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset.
+    ///
+    /// # Panics
+    /// Panics if sizes are inconsistent or a label is out of range.
+    pub fn new(images: Vec<f32>, labels: Vec<usize>, sample_shape: Shape, classes: usize) -> Self {
+        let sample_len = sample_shape.len();
+        assert!(sample_len > 0, "zero-length samples");
+        assert!(classes > 0, "need at least one class");
+        assert_eq!(
+            images.len(),
+            labels.len() * sample_len,
+            "images/labels size mismatch"
+        );
+        assert!(
+            labels.iter().all(|&l| l < classes),
+            "label out of range for {classes} classes"
+        );
+        Dataset {
+            images,
+            labels,
+            sample_shape,
+            classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Per-sample shape.
+    pub fn sample_shape(&self) -> &Shape {
+        &self.sample_shape
+    }
+
+    /// Elements per sample.
+    pub fn sample_len(&self) -> usize {
+        self.sample_shape.len()
+    }
+
+    /// Raw view of sample `i`.
+    pub fn image(&self, i: usize) -> &[f32] {
+        let l = self.sample_len();
+        &self.images[i * l..(i + 1) * l]
+    }
+
+    /// Label of sample `i`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// All images as one `[n, sample_len]` tensor (copies).
+    pub fn images_tensor(&self) -> Tensor {
+        Tensor::from_vec(
+            Shape::new(&[self.len(), self.sample_len()]),
+            self.images.clone(),
+        )
+    }
+
+    /// Gathers the given sample indices into a `[batch, ...sample]` tensor
+    /// and a label vector.
+    ///
+    /// # Panics
+    /// Panics on empty or out-of-range indices.
+    pub fn gather(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        assert!(!indices.is_empty(), "empty batch");
+        let l = self.sample_len();
+        let mut data = Vec::with_capacity(indices.len() * l);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(self.image(i));
+            labels.push(self.labels[i]);
+        }
+        let mut dims = vec![indices.len()];
+        dims.extend_from_slice(self.sample_shape.dims());
+        (Tensor::from_vec(Shape::new(&dims), data), labels)
+    }
+
+    /// Splits into `(first, second)` where `first` holds `first_n`
+    /// samples. Used for train/test splits (generators interleave classes,
+    /// so a prefix split is stratified enough).
+    ///
+    /// # Panics
+    /// Panics if `first_n > len()`.
+    pub fn split_at(self, first_n: usize) -> (Dataset, Dataset) {
+        assert!(first_n <= self.len(), "split beyond dataset");
+        let l = self.sample_len();
+        let (img_a, img_b) = {
+            let mut imgs = self.images;
+            let b = imgs.split_off(first_n * l);
+            (imgs, b)
+        };
+        let (lab_a, lab_b) = {
+            let mut labs = self.labels;
+            let b = labs.split_off(first_n);
+            (labs, b)
+        };
+        (
+            Dataset::new(img_a, lab_a, self.sample_shape.clone(), self.classes),
+            Dataset::new(img_b, lab_b, self.sample_shape, self.classes),
+        )
+    }
+
+    /// Randomises a fraction of the labels (uniformly over all classes).
+    ///
+    /// Label noise creates the *variance-limited* training regime the
+    /// paper's statistical-efficiency experiments live in: test accuracy
+    /// plateaus below 100% and oscillates under constant-rate SGD, so a
+    /// smoother consensus model (SMA's central average) crosses a target
+    /// earlier. Apply to the **training split only**.
+    ///
+    /// # Panics
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn corrupt_labels(&mut self, fraction: f64, rng: &mut Rng) {
+        assert!((0.0..=1.0).contains(&fraction), "bad fraction {fraction}");
+        for l in &mut self.labels {
+            if rng.bernoulli(fraction) {
+                *l = rng.below(self.classes);
+            }
+        }
+    }
+
+    /// Per-class sample counts; useful for balance assertions in tests.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.classes];
+        for &l in &self.labels {
+            h[l] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+            vec![0, 1, 0],
+            Shape::vector(2),
+            2,
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.classes(), 2);
+        assert_eq!(d.sample_len(), 2);
+        assert_eq!(d.image(1), &[2.0, 3.0]);
+        assert_eq!(d.label(2), 0);
+        assert_eq!(d.class_histogram(), vec![2, 1]);
+    }
+
+    #[test]
+    fn gather_builds_batches() {
+        let d = toy();
+        let (t, l) = d.gather(&[2, 0]);
+        assert_eq!(t.shape().dims(), &[2, 2]);
+        assert_eq!(t.data(), &[4.0, 5.0, 0.0, 1.0]);
+        assert_eq!(l, vec![0, 0]);
+    }
+
+    #[test]
+    fn split_preserves_everything() {
+        let d = toy();
+        let (a, b) = d.split_at(2);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.image(0), &[4.0, 5.0]);
+        assert_eq!(b.label(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn inconsistent_sizes_rejected() {
+        let _ = Dataset::new(vec![1.0; 5], vec![0, 1], Shape::vector(2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_label_rejected() {
+        let _ = Dataset::new(vec![1.0; 4], vec![0, 5], Shape::vector(2), 2);
+    }
+
+    #[test]
+    fn corrupt_labels_randomises_a_fraction() {
+        let n = 1000;
+        let images = vec![0.0f32; n];
+        let labels = vec![0usize; n];
+        let mut d = Dataset::new(images, labels, Shape::vector(1), 4);
+        let mut rng = Rng::new(3);
+        d.corrupt_labels(0.5, &mut rng);
+        let changed = d.labels().iter().filter(|&&l| l != 0).count();
+        // Half are re-drawn; 3/4 of re-draws land on another class.
+        assert!((changed as f64 - 375.0).abs() < 60.0, "changed {changed}");
+        let mut clean = d.clone();
+        clean.corrupt_labels(0.0, &mut Rng::new(4));
+        assert_eq!(clean.labels(), d.labels(), "fraction 0 is a no-op");
+    }
+
+    #[test]
+    fn images_tensor_round_trips() {
+        let d = toy();
+        let t = d.images_tensor();
+        assert_eq!(t.shape().dims(), &[3, 2]);
+        assert_eq!(&t.data()[..2], d.image(0));
+    }
+}

@@ -1,0 +1,31 @@
+//! Datasets, batching and pre-processing for the CROSSBOW reproduction.
+//!
+//! The paper trains on MNIST, CIFAR-10, CIFAR-100 and ILSVRC 2012
+//! (Table 1). Those datasets are not available offline, so [`synth`]
+//! provides *deterministic synthetic substitutes* with the same structure:
+//! image tensors with class structure, per-sample noise, nuisance
+//! transforms and a train/test split. Statistical-efficiency phenomena
+//! (small batches converge in fewer epochs; replica diversity helps SMA)
+//! arise from running real SGD on a non-trivial loss surface, which these
+//! tasks provide while converging in seconds on a CPU.
+//!
+//! The remaining modules mirror the paper's input pipeline (§4.1, §4.5):
+//!
+//! * [`batch`] — epoch-aware shuffled batch sampling;
+//! * [`augment`] — the "image decoding and cropping" transformations the
+//!   data pre-processors apply;
+//! * [`prefetch`] — multi-threaded data pre-processors feeding a bounded
+//!   (double-buffered) queue, CROSSBOW's circular input buffer.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod augment;
+pub mod batch;
+pub mod dataset;
+pub mod prefetch;
+pub mod synth;
+
+pub use batch::BatchSampler;
+pub use dataset::Dataset;
+pub use prefetch::{Batch, Prefetcher};

@@ -1,0 +1,255 @@
+//! Multi-threaded data pre-processors.
+//!
+//! CROSSBOW's data pre-processors "read the training dataset into memory
+//! and arrange samples into batches, possibly after some transformations"
+//! (§4.1), writing into a page-locked circular buffer sized for "at least
+//! one input batch per learner", with double buffering between the
+//! pre-processors and the task scheduler (§4.5).
+//!
+//! [`Prefetcher`] reproduces that pipeline in CPU terms: worker threads
+//! draw index blocks from a shared epoch-aware sampler, gather and augment
+//! the batch, and push it into a *bounded* channel whose capacity plays
+//! the role of the circular buffer. When the consumers outpace the
+//! producers the channel runs empty — the pipeline stall the paper
+//! mitigates by moving transformations onto the GPU; tests exercise that
+//! path with an artificially slow transform.
+
+use crate::augment::Augment;
+use crate::batch::BatchSampler;
+use crate::dataset::Dataset;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError};
+use crossbow_tensor::{Rng, Tensor};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One pre-processed input batch.
+#[derive(Clone, Debug)]
+pub struct Batch {
+    /// `[batch, ...sample]` images.
+    pub images: Tensor,
+    /// Per-sample labels.
+    pub labels: Vec<usize>,
+    /// The epoch this batch belongs to.
+    pub epoch: usize,
+}
+
+/// Configuration of the pre-processor pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct PrefetchConfig {
+    /// Batch size.
+    pub batch_size: usize,
+    /// Number of pre-processor threads.
+    pub threads: usize,
+    /// Queue capacity in batches — the paper sizes its circular buffer to
+    /// one batch per learner, double buffered; pass `2 * learners`.
+    pub capacity: usize,
+    /// Per-sample augmentation.
+    pub augment: Augment,
+    /// Artificial per-batch preparation delay; used by tests and the
+    /// failure-injection suite to emulate a pre-processing bottleneck.
+    pub slowdown: Duration,
+}
+
+impl PrefetchConfig {
+    /// A sensible default: two threads, double buffering for `learners`.
+    pub fn for_learners(batch_size: usize, learners: usize) -> Self {
+        PrefetchConfig {
+            batch_size,
+            threads: 2,
+            capacity: (2 * learners).max(2),
+            augment: Augment::none(),
+            slowdown: Duration::ZERO,
+        }
+    }
+}
+
+/// A running pre-processor pipeline.
+pub struct Prefetcher {
+    rx: Receiver<Batch>,
+    stop: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Prefetcher {
+    /// Spawns the pipeline.
+    ///
+    /// # Panics
+    /// Panics on zero threads/capacity or a batch larger than the dataset.
+    pub fn spawn(dataset: Arc<Dataset>, config: PrefetchConfig, seed: u64) -> Self {
+        assert!(config.threads > 0, "need at least one pre-processor");
+        assert!(config.capacity > 0, "need a buffer");
+        let sampler = Arc::new(Mutex::new(BatchSampler::new(
+            dataset.len(),
+            config.batch_size,
+            true,
+            seed,
+        )));
+        let (tx, rx) = bounded::<Batch>(config.capacity);
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::with_capacity(config.threads);
+        for t in 0..config.threads {
+            let dataset = Arc::clone(&dataset);
+            let sampler = Arc::clone(&sampler);
+            let tx = tx.clone();
+            let stop = Arc::clone(&stop);
+            let mut rng = Rng::new(seed ^ 0x9E37_79B9).fork(t as u64);
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let (indices, epoch) = sampler.lock().next_batch();
+                    let (mut images, labels) = dataset.gather(&indices);
+                    if !config.augment.is_noop() {
+                        config.augment.apply(&mut images, &mut rng);
+                    }
+                    if !config.slowdown.is_zero() {
+                        std::thread::sleep(config.slowdown);
+                    }
+                    let batch = Batch {
+                        images,
+                        labels,
+                        epoch,
+                    };
+                    // A bounded send blocks when the buffer is full
+                    // (back-pressure); bail out promptly on shutdown.
+                    loop {
+                        match tx.send_timeout(batch.clone(), Duration::from_millis(50)) {
+                            Ok(()) => break,
+                            Err(_) if stop.load(Ordering::Relaxed) => return,
+                            Err(crossbeam::channel::SendTimeoutError::Disconnected(_)) => return,
+                            Err(_) => continue,
+                        }
+                    }
+                }
+            }));
+        }
+        Prefetcher { rx, stop, handles }
+    }
+
+    /// Takes the next batch, blocking until one is ready.
+    pub fn next(&self) -> Batch {
+        self.rx.recv().expect("pre-processors alive while held")
+    }
+
+    /// Takes a batch if one is ready right now.
+    pub fn try_next(&self) -> Option<Batch> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Takes a batch, waiting at most `timeout`.
+    pub fn next_timeout(&self, timeout: Duration) -> Option<Batch> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(b) => Some(b),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Number of batches currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Drain so producers blocked on a full channel can observe stop.
+        while self.rx.try_recv().is_ok() {}
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::gaussian_mixture;
+
+    fn dataset() -> Arc<Dataset> {
+        Arc::new(gaussian_mixture(4, 6, 64, 0.3, 1))
+    }
+
+    #[test]
+    fn produces_batches_of_requested_size() {
+        let p = Prefetcher::spawn(dataset(), PrefetchConfig::for_learners(8, 2), 42);
+        for _ in 0..10 {
+            let b = p.next();
+            assert_eq!(b.labels.len(), 8);
+            assert_eq!(b.images.shape().dims(), &[8, 6]);
+        }
+    }
+
+    #[test]
+    fn epochs_advance() {
+        let p = Prefetcher::spawn(dataset(), PrefetchConfig::for_learners(16, 1), 42);
+        // 64 samples / batch 16 = 4 batches per epoch.
+        let mut max_epoch = 0;
+        for _ in 0..12 {
+            max_epoch = max_epoch.max(p.next().epoch);
+        }
+        assert!(max_epoch >= 2, "saw epoch {max_epoch}");
+    }
+
+    #[test]
+    fn bounded_buffer_applies_backpressure() {
+        let p = Prefetcher::spawn(
+            dataset(),
+            PrefetchConfig {
+                capacity: 2,
+                ..PrefetchConfig::for_learners(8, 1)
+            },
+            42,
+        );
+        // Give producers time; the buffer must not exceed its capacity.
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(p.buffered() <= 2);
+        let _ = p.next();
+    }
+
+    #[test]
+    fn slow_preprocessors_stall_the_pipeline() {
+        let p = Prefetcher::spawn(
+            dataset(),
+            PrefetchConfig {
+                threads: 1,
+                slowdown: Duration::from_millis(200),
+                ..PrefetchConfig::for_learners(8, 1)
+            },
+            42,
+        );
+        // An eager consumer sees an empty buffer at first.
+        assert!(p.try_next().is_none(), "slow producer cannot keep up");
+        assert!(p.next_timeout(Duration::from_secs(5)).is_some());
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        let p = Prefetcher::spawn(dataset(), PrefetchConfig::for_learners(8, 4), 42);
+        let _ = p.next();
+        drop(p); // must not hang
+    }
+
+    #[test]
+    fn covers_dataset_within_epoch() {
+        // With one producer thread, the batches of epoch 0 partition the
+        // (drop_last-trimmed) dataset.
+        let p = Prefetcher::spawn(
+            dataset(),
+            PrefetchConfig {
+                threads: 1,
+                ..PrefetchConfig::for_learners(16, 1)
+            },
+            42,
+        );
+        let mut labels_seen = 0usize;
+        for _ in 0..4 {
+            let b = p.next();
+            assert_eq!(b.epoch, 0);
+            labels_seen += b.labels.len();
+        }
+        assert_eq!(labels_seen, 64);
+    }
+}

@@ -1,0 +1,119 @@
+//! Collective operations (ring all-reduce).
+//!
+//! CROSSBOW's global synchronisation tasks aggregate the per-GPU reference
+//! models with a collective all-reduce (paper §4.2, citing Horovod [56]).
+//! A ring all-reduce over `k` participants splits the buffer into `k`
+//! chunks and performs `2(k-1)` steps (a reduce-scatter phase followed by
+//! an all-gather phase); each step moves one chunk between every pair of
+//! ring neighbours concurrently, so a step's duration is bounded by the
+//! slowest link on the ring.
+//!
+//! The rendezvous semantics mirror NCCL: the collective starts when every
+//! participating stream has reached its join item, occupies all of them for
+//! the modelled duration and completes simultaneously on all of them.
+
+use crate::stream::StreamId;
+use crate::time::SimDuration;
+
+/// A pending or running collective.
+#[derive(Debug)]
+pub(crate) struct Collective {
+    pub(crate) participants: Vec<StreamId>,
+    pub(crate) arrived: u32,
+    pub(crate) bytes: u64,
+    pub(crate) label: &'static str,
+    pub(crate) started: bool,
+}
+
+impl Collective {
+    pub(crate) fn new(participants: Vec<StreamId>, bytes: u64, label: &'static str) -> Self {
+        assert!(!participants.is_empty(), "collective needs participants");
+        Collective {
+            participants,
+            arrived: 0,
+            bytes,
+            label,
+            started: false,
+        }
+    }
+
+    /// Records one participant's arrival; true when all have arrived.
+    pub(crate) fn arrive(&mut self) -> bool {
+        self.arrived += 1;
+        debug_assert!(self.arrived as usize <= self.participants.len());
+        self.arrived as usize == self.participants.len()
+    }
+}
+
+/// Duration of a ring all-reduce of `bytes` over `k` participants with the
+/// given bottleneck link bandwidth (bytes/s) and per-step latency.
+///
+/// `k == 1` degenerates to a device-local reduction: only one step latency.
+pub fn ring_all_reduce_duration(
+    bytes: u64,
+    k: usize,
+    bottleneck_bw: f64,
+    step_latency: SimDuration,
+) -> SimDuration {
+    assert!(k >= 1, "all-reduce needs at least one participant");
+    assert!(bottleneck_bw > 0.0, "bandwidth must be positive");
+    if k == 1 {
+        return step_latency;
+    }
+    let steps = 2 * (k - 1) as u64;
+    let chunk = bytes as f64 / k as f64;
+    let per_step = SimDuration::from_secs_f64(chunk / bottleneck_bw) + step_latency;
+    let mut total = SimDuration::ZERO;
+    for _ in 0..steps {
+        total = total + per_step;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn single_participant_costs_one_latency() {
+        let d = ring_all_reduce_duration(1 << 30, 1, 12e9, SimDuration::from_micros(20));
+        assert_eq!(d, SimDuration::from_micros(20));
+    }
+
+    #[test]
+    fn duration_grows_with_participants_but_sublinearly_in_bytes_per_gpu() {
+        let bw = 12e9;
+        let lat = SimDuration::from_micros(20);
+        let bytes = 100_000_000u64; // 100 MB model
+        let d2 = ring_all_reduce_duration(bytes, 2, bw, lat);
+        let d8 = ring_all_reduce_duration(bytes, 8, bw, lat);
+        assert!(d8 > d2);
+        // Ring property: total wire time approaches 2 * bytes / bw as k
+        // grows, so d8 < 2 * d2.
+        assert!(d8.as_nanos() < 2 * d2.as_nanos(), "{d8} vs {d2}");
+    }
+
+    #[test]
+    fn matches_closed_form() {
+        // 12 MB over 4 GPUs at 12 GB/s: chunk 3 MB, step 0.25 ms, 6 steps
+        // = 1.5 ms + 6 * 20 us = 1.62 ms.
+        let d = ring_all_reduce_duration(12_000_000, 4, 12e9, SimDuration::from_micros(20));
+        assert_eq!(d.as_nanos(), 1_500_000 + 6 * 20_000);
+        let _ = MS;
+    }
+
+    #[test]
+    fn arrive_counts_to_full() {
+        let mut c = Collective::new(vec![StreamId(0), StreamId(1)], 10, "ar");
+        assert!(!c.arrive());
+        assert!(c.arrive());
+    }
+
+    #[test]
+    #[should_panic(expected = "participants")]
+    fn empty_collective_rejected() {
+        let _ = Collective::new(vec![], 10, "ar");
+    }
+}

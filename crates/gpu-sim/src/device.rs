@@ -1,0 +1,150 @@
+//! Per-device state: the SM pool and the copy engines.
+//!
+//! The duration model is the heart of the hardware-efficiency reproduction:
+//!
+//! * a kernel granted `g` SMs runs for
+//!   `kernel_latency + max(flops / (g · flops_per_sm · efficiency),
+//!   bytes / mem_bandwidth)` — compute-bound or memory-bound, whichever
+//!   dominates;
+//! * a kernel's grant is `min(sm_demand, free SMs)` (at least one) at
+//!   launch time and is held until completion, like CUDA's SM residency:
+//!   launching into a busy device yields fewer SMs and a slower kernel,
+//!   which is exactly the sequentialisation the paper warns about when too
+//!   many learners share a GPU (§3.4);
+//! * each device has one host-to-device and one device-to-host copy engine;
+//!   transfers on one engine serialise, but overlap with compute (§2.2).
+
+use crate::config::DeviceConfig;
+use crate::kernel::KernelDesc;
+use crate::stream::StreamId;
+use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Dynamic state of one simulated GPU.
+#[derive(Debug)]
+pub(crate) struct Device {
+    pub(crate) config: DeviceConfig,
+    /// SMs not currently held by a running kernel.
+    pub(crate) free_sms: u32,
+    /// Streams whose head kernel found no free SMs, in arrival order.
+    pub(crate) sm_waiters: VecDeque<StreamId>,
+    /// Earliest time the host-to-device copy engine is free.
+    pub(crate) h2d_free: SimTime,
+    /// Earliest time the device-to-host copy engine is free.
+    pub(crate) d2h_free: SimTime,
+    /// Cumulative SM-nanoseconds consumed; used to report utilisation.
+    pub(crate) sm_busy_ns: u128,
+}
+
+impl Device {
+    pub(crate) fn new(config: DeviceConfig) -> Self {
+        Device {
+            free_sms: config.sm_total,
+            config,
+            sm_waiters: VecDeque::new(),
+            h2d_free: SimTime::ZERO,
+            d2h_free: SimTime::ZERO,
+            sm_busy_ns: 0,
+        }
+    }
+
+    /// SMs the device would grant a kernel right now, or `None` when no SM
+    /// is free.
+    pub(crate) fn grant(&self, demand: u32) -> Option<u32> {
+        if self.free_sms == 0 {
+            None
+        } else {
+            Some(demand.clamp(1, self.free_sms))
+        }
+    }
+
+    /// Takes `sms` out of the pool.
+    pub(crate) fn acquire(&mut self, sms: u32) {
+        debug_assert!(sms <= self.free_sms);
+        self.free_sms -= sms;
+    }
+
+    /// Returns `sms` to the pool.
+    pub(crate) fn release(&mut self, sms: u32) {
+        self.free_sms += sms;
+        debug_assert!(self.free_sms <= self.config.sm_total);
+    }
+
+    /// Modelled duration of `kernel` when granted `sms` multiprocessors.
+    pub(crate) fn kernel_duration(&self, kernel: &KernelDesc, sms: u32) -> SimDuration {
+        debug_assert!(sms >= 1);
+        let compute = kernel.flops as f64 / self.config.effective_flops(sms);
+        let memory = kernel.bytes as f64 / self.config.mem_bandwidth;
+        self.config.kernel_latency + SimDuration::from_secs_f64(compute.max(memory))
+    }
+
+    /// Fraction of SM capacity used over `elapsed` simulated time.
+    pub(crate) fn utilisation(&self, elapsed: SimDuration) -> f64 {
+        let capacity = u128::from(self.config.sm_total) * u128::from(elapsed.as_nanos());
+        if capacity == 0 {
+            0.0
+        } else {
+            self.sm_busy_ns as f64 / capacity as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::titan_x_pascal())
+    }
+
+    #[test]
+    fn grant_respects_pool() {
+        let mut d = dev();
+        let total = d.config.sm_total;
+        assert_eq!(d.grant(total + 10), Some(total));
+        assert_eq!(d.grant(4), Some(4));
+        d.acquire(total);
+        assert_eq!(d.grant(1), None);
+        d.release(total);
+        assert_eq!(d.grant(1), Some(1));
+    }
+
+    #[test]
+    fn kernel_duration_scales_inversely_with_sms() {
+        let d = dev();
+        let k = KernelDesc::compute("k", 1_000_000_000, 24);
+        let t1 = d.kernel_duration(&k, 1).as_nanos() as f64;
+        let t24 = d.kernel_duration(&k, 24).as_nanos() as f64;
+        let lat = d.config.kernel_latency.as_nanos() as f64;
+        // Strip the fixed launch latency and compare compute portions.
+        assert!(((t1 - lat) / (t24 - lat) - 24.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn memory_bound_kernels_are_bound_by_bandwidth() {
+        let d = dev();
+        // 480 MB of traffic at 480 GB/s = 1 ms regardless of SMs.
+        let k = KernelDesc::memory("axpy", 480_000_000, 1);
+        let t = d.kernel_duration(&k, 1);
+        let expect = d.config.kernel_latency + SimDuration::from_millis(1);
+        assert_eq!(t, expect);
+        assert_eq!(d.kernel_duration(&k, 24), expect);
+    }
+
+    #[test]
+    fn tiny_kernel_cost_is_dominated_by_latency() {
+        let d = dev();
+        let k = KernelDesc::compute("tiny", 1_000, 1);
+        let t = d.kernel_duration(&k, 1);
+        assert!(t < d.config.kernel_latency + SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn utilisation_is_a_fraction() {
+        let mut d = dev();
+        let elapsed = SimDuration::from_millis(10);
+        d.sm_busy_ns = u128::from(d.config.sm_total) * u128::from(elapsed.as_nanos()) / 2;
+        assert!((d.utilisation(elapsed) - 0.5).abs() < 1e-12);
+        assert_eq!(d.utilisation(SimDuration::ZERO), 0.0);
+    }
+}

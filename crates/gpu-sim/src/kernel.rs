@@ -1,0 +1,77 @@
+//! Kernel descriptors.
+//!
+//! A kernel is the unit of GPU compute. The simulator does not execute
+//! kernel code — the training math runs on the CPU in `crossbow-nn` — it
+//! executes kernel *costs*: a FLOP count, a memory-traffic byte count and an
+//! SM demand. The duration model lives in [`crate::device`].
+
+/// Cost descriptor for one GPU kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelDesc {
+    /// Human-readable label, recorded in the trace.
+    pub label: &'static str,
+    /// Floating-point operations performed.
+    pub flops: u64,
+    /// Bytes moved to/from device memory.
+    pub bytes: u64,
+    /// Streaming multiprocessors the kernel can usefully occupy.
+    ///
+    /// The device grants `min(sm_demand, free SMs)` (at least one) at launch
+    /// and the kernel's compute time scales inversely with the grant. A
+    /// batch-2 convolution has a small demand, which is exactly why several
+    /// learners fit on one GPU (paper §3.3, §4.3).
+    pub sm_demand: u32,
+}
+
+impl KernelDesc {
+    /// A compute-dominated kernel with negligible memory traffic.
+    pub fn compute(label: &'static str, flops: u64, sm_demand: u32) -> Self {
+        KernelDesc {
+            label,
+            flops,
+            bytes: 0,
+            sm_demand: sm_demand.max(1),
+        }
+    }
+
+    /// A memory-dominated kernel (e.g. an `axpy` model update) with
+    /// negligible compute.
+    pub fn memory(label: &'static str, bytes: u64, sm_demand: u32) -> Self {
+        KernelDesc {
+            label,
+            flops: 0,
+            bytes,
+            sm_demand: sm_demand.max(1),
+        }
+    }
+
+    /// A kernel with both compute and memory cost.
+    pub fn new(label: &'static str, flops: u64, bytes: u64, sm_demand: u32) -> Self {
+        KernelDesc {
+            label,
+            flops,
+            bytes,
+            sm_demand: sm_demand.max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sm_demand_is_clamped_to_one() {
+        assert_eq!(KernelDesc::compute("k", 10, 0).sm_demand, 1);
+        assert_eq!(KernelDesc::memory("k", 10, 0).sm_demand, 1);
+        assert_eq!(KernelDesc::new("k", 1, 1, 0).sm_demand, 1);
+    }
+
+    #[test]
+    fn constructors_set_costs() {
+        let c = KernelDesc::compute("c", 100, 4);
+        assert_eq!((c.flops, c.bytes, c.sm_demand), (100, 0, 4));
+        let m = KernelDesc::memory("m", 200, 2);
+        assert_eq!((m.flops, m.bytes, m.sm_demand), (0, 200, 2));
+    }
+}

@@ -1,0 +1,64 @@
+//! A deterministic discrete-event simulator of a multi-GPU server.
+//!
+//! The CROSSBOW paper evaluates on a server with 8 GTX Titan X GPUs, CUDA
+//! streams/events and NCCL collectives. None of that hardware is available
+//! to this reproduction, so this crate substitutes it with an event-driven
+//! model that preserves the *scheduling* phenomena the paper measures:
+//!
+//! * **streams** execute work in issue order; work on different streams may
+//!   overlap ([`stream`]);
+//! * **events** provide publish/subscribe synchronisation across streams
+//!   without stalling the whole device ([`work::WorkItem::RecordEvent`] /
+//!   [`work::WorkItem::WaitEvent`]);
+//! * **kernels** occupy streaming multiprocessors (SMs): a kernel grabs up
+//!   to its SM demand at launch and runs for a duration derived from its
+//!   FLOP count and granted SMs — small kernels leave SMs free, so
+//!   concurrent streams genuinely overlap, which is what makes training
+//!   multiple model replicas per GPU profitable and then saturate
+//!   ([`device`]);
+//! * **copy engines** move data over a PCIe tree topology concurrently with
+//!   compute ([`topology`]);
+//! * **collectives** implement a ring all-reduce rendezvous with the cost
+//!   model `2(k-1)` chunk steps over the slowest link ([`collective`]).
+//!
+//! The host (the CROSSBOW task engine in the `crossbow` crate) drives a
+//! [`Machine`] by submitting work items to streams and reacting to
+//! completion callbacks, exactly like a CUDA host thread. Simulation is
+//! fully deterministic: equal submissions produce identical traces.
+//!
+//! # Example
+//!
+//! ```
+//! use crossbow_gpu_sim::{Machine, MachineConfig, KernelDesc};
+//!
+//! let mut machine = Machine::new(MachineConfig::titan_x_server(2));
+//! let dev = machine.device(0);
+//! let stream = machine.create_stream(dev);
+//! machine.submit_kernel(stream, KernelDesc::compute("gemm", 1_000_000_000, 8));
+//! machine.callback(stream, 42);
+//! let completions = machine.run();
+//! assert_eq!(completions[0].tag, 42);
+//! assert!(machine.now().as_nanos() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod collective;
+pub mod config;
+pub mod device;
+pub mod kernel;
+pub mod machine;
+pub mod stream;
+pub mod time;
+pub mod topology;
+pub mod trace;
+pub mod work;
+
+pub use config::{DeviceConfig, MachineConfig};
+pub use kernel::KernelDesc;
+pub use machine::{Completion, Machine};
+pub use stream::{DeviceId, EventId, StreamId};
+pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceKind, TraceRecord};
+pub use work::{CopyKind, WorkItem};

@@ -1,0 +1,125 @@
+//! Streams, stream state and the id newtypes shared across the simulator.
+//!
+//! A stream is an in-order queue of device work, mirroring a CUDA stream:
+//! items on one stream execute in issue order; items on different streams
+//! may execute concurrently subject to SM and copy-engine availability, and
+//! can be ordered across streams with events.
+
+use crate::work::WorkItem;
+use std::collections::VecDeque;
+
+/// Identifier of a simulated GPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(pub(crate) u32);
+
+/// Identifier of a stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StreamId(pub(crate) u32);
+
+/// Identifier of a one-shot synchronisation event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub(crate) u32);
+
+/// Identifier of a collective rendezvous.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CollectiveId(pub(crate) u32);
+
+impl DeviceId {
+    /// Raw index, usable for indexing per-device tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl StreamId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EventId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl CollectiveId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Execution status of a stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum StreamState {
+    /// Ready to dispatch the item at the front of its queue.
+    Idle,
+    /// The head item occupies the device (kernel, copy or collective span).
+    Running,
+    /// Blocked on an unsignalled event.
+    BlockedOnEvent(EventId),
+    /// A kernel is at the head but no SMs are free.
+    WaitingForSms,
+    /// Arrived at a collective; waiting for the other participants.
+    InCollective(CollectiveId),
+}
+
+/// Internal stream bookkeeping.
+#[derive(Debug)]
+pub(crate) struct Stream {
+    pub(crate) device: DeviceId,
+    pub(crate) queue: VecDeque<WorkItem>,
+    pub(crate) state: StreamState,
+    /// Total items ever submitted; used for idleness accounting and tests.
+    pub(crate) submitted: u64,
+    /// Total items fully retired.
+    pub(crate) retired: u64,
+}
+
+impl Stream {
+    pub(crate) fn new(device: DeviceId) -> Self {
+        Stream {
+            device,
+            queue: VecDeque::new(),
+            state: StreamState::Idle,
+            submitted: 0,
+            retired: 0,
+        }
+    }
+
+    /// True when the stream has no queued or in-flight work.
+    pub(crate) fn is_quiescent(&self) -> bool {
+        self.queue.is_empty() && self.state == StreamState::Idle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_stream_is_quiescent() {
+        let s = Stream::new(DeviceId(0));
+        assert!(s.is_quiescent());
+        assert_eq!(s.submitted, 0);
+        assert_eq!(s.retired, 0);
+    }
+
+    #[test]
+    fn queued_work_breaks_quiescence() {
+        let mut s = Stream::new(DeviceId(0));
+        s.queue.push_back(WorkItem::Callback { tag: 1 });
+        assert!(!s.is_quiescent());
+    }
+
+    #[test]
+    fn ids_expose_indices() {
+        assert_eq!(DeviceId(3).index(), 3);
+        assert_eq!(StreamId(4).index(), 4);
+        assert_eq!(EventId(5).index(), 5);
+        assert_eq!(CollectiveId(6).index(), 6);
+    }
+}

@@ -1,0 +1,321 @@
+//! The interconnect topology of the simulated server.
+//!
+//! The paper's testbed (§2.2, §5.1) is a two-socket server in which GPUs
+//! form a binary tree: each GPU pair hangs off a PCIe switch, two switches
+//! hang off a PCI host bridge attached to a CPU socket, and the sockets are
+//! joined by an inter-socket link. Transfers are routed along the unique
+//! tree path and their bandwidth is the minimum link bandwidth on the path.
+//!
+//! The topology is a tree, so paths are computed by walking parents — no
+//! general graph search is needed.
+
+/// A node in the interconnect tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Host memory/root complex (tree root).
+    Host,
+    /// A CPU socket's PCI host bridge.
+    HostBridge,
+    /// A PCIe switch.
+    Switch,
+    /// A GPU endpoint.
+    Gpu(u32),
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    /// Retained for Debug output and future latency models.
+    #[allow(dead_code)]
+    kind: NodeKind,
+    /// Parent node index and bandwidth (bytes/s) of the uplink; `None` for
+    /// the root.
+    uplink: Option<(usize, f64)>,
+}
+
+/// An interconnect tree with per-link bandwidths.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    /// Node index of each GPU, indexed by GPU id.
+    gpu_nodes: Vec<usize>,
+    host: usize,
+    /// Bandwidth of a direct NVLink bridge between pair mates (GPUs
+    /// `2i`/`2i+1`), bypassing PCIe; `None` when not fitted (§2.2 mentions
+    /// NVLink as the fast direct interconnect option).
+    nvlink_pair_bw: Option<f64>,
+}
+
+/// Bandwidth of a Pascal-generation NVLink bridge (bytes/s).
+pub const NVLINK_PASCAL: f64 = 20.0e9;
+
+/// Effective bandwidth of a PCIe 3.0 x16 link (bytes/s). 16 GB/s raw,
+/// ~12 GB/s achievable with DMA overheads.
+pub const PCIE3_X16: f64 = 12.0e9;
+
+/// Bandwidth of the inter-socket (QPI-era) link (bytes/s).
+pub const INTER_SOCKET: f64 = 9.6e9;
+
+impl Topology {
+    /// Builds the paper's binary-tree server: GPUs in pairs under switches,
+    /// two switches per host bridge (one bridge per socket), bridges joined
+    /// at the host. Works for any `n_gpus >= 1`.
+    pub fn binary_tree(n_gpus: usize, link_bw: f64) -> Self {
+        assert!(n_gpus >= 1, "need at least one GPU");
+        assert!(link_bw > 0.0, "bandwidth must be positive");
+        let mut nodes = vec![Node {
+            kind: NodeKind::Host,
+            uplink: None,
+        }];
+        let host = 0usize;
+        let n_switches = n_gpus.div_ceil(2);
+        let n_bridges = n_switches.div_ceil(2).max(1);
+        let mut bridges = Vec::with_capacity(n_bridges);
+        for _ in 0..n_bridges {
+            nodes.push(Node {
+                kind: NodeKind::HostBridge,
+                // The host <-> bridge hop models the socket interconnect:
+                // traffic between GPUs under different bridges (and between
+                // host memory and any GPU) crosses it.
+                uplink: Some((host, INTER_SOCKET.min(link_bw))),
+            });
+            bridges.push(nodes.len() - 1);
+        }
+        let mut switches = Vec::with_capacity(n_switches);
+        for s in 0..n_switches {
+            let bridge = bridges[s / 2 % n_bridges];
+            nodes.push(Node {
+                kind: NodeKind::Switch,
+                uplink: Some((bridge, link_bw)),
+            });
+            switches.push(nodes.len() - 1);
+        }
+        let mut gpu_nodes = Vec::with_capacity(n_gpus);
+        for g in 0..n_gpus {
+            let switch = switches[g / 2];
+            nodes.push(Node {
+                kind: NodeKind::Gpu(g as u32),
+                uplink: Some((switch, link_bw)),
+            });
+            gpu_nodes.push(nodes.len() - 1);
+        }
+        Topology {
+            nodes,
+            gpu_nodes,
+            host,
+            nvlink_pair_bw: None,
+        }
+    }
+
+    /// Fits NVLink bridges between pair mates (builder style): GPU `2i`
+    /// and `2i+1` get a direct link of `bandwidth` bytes/s.
+    ///
+    /// # Panics
+    /// Panics on a non-positive bandwidth.
+    pub fn with_nvlink_pairs(mut self, bandwidth: f64) -> Self {
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        self.nvlink_pair_bw = Some(bandwidth);
+        self
+    }
+
+    /// Number of GPUs in the topology.
+    pub fn gpu_count(&self) -> usize {
+        self.gpu_nodes.len()
+    }
+
+    /// Minimum link bandwidth (bytes/s) on the unique path between two
+    /// GPUs.
+    ///
+    /// # Panics
+    /// Panics on out-of-range GPU ids.
+    pub fn gpu_to_gpu_bandwidth(&self, a: usize, b: usize) -> f64 {
+        if a == b {
+            // Same-device "transfer": bounded by device memory, effectively
+            // instantaneous at PCIe scale; report a very high bandwidth.
+            return 1e12;
+        }
+        if let Some(nvlink) = self.nvlink_pair_bw {
+            if a / 2 == b / 2 {
+                // Pair mates take the direct bridge when it is faster.
+                return nvlink.max(self.path_bandwidth(self.gpu_nodes[a], self.gpu_nodes[b]));
+            }
+        }
+        self.path_bandwidth(self.gpu_nodes[a], self.gpu_nodes[b])
+    }
+
+    /// Minimum link bandwidth (bytes/s) between host memory and a GPU.
+    pub fn host_to_gpu_bandwidth(&self, gpu: usize) -> f64 {
+        self.path_bandwidth(self.host, self.gpu_nodes[gpu])
+    }
+
+    /// Number of hops between two GPUs (0 for the same GPU); useful for
+    /// latency models and for tests that check locality.
+    pub fn gpu_hop_distance(&self, a: usize, b: usize) -> usize {
+        if a == b {
+            return 0;
+        }
+        let pa = self.path_to_root(self.gpu_nodes[a]);
+        let pb = self.path_to_root(self.gpu_nodes[b]);
+        // Remove the shared suffix (common ancestors).
+        let mut ia = pa.len();
+        let mut ib = pb.len();
+        while ia > 0 && ib > 0 && pa[ia - 1] == pb[ib - 1] {
+            ia -= 1;
+            ib -= 1;
+        }
+        ia + ib
+    }
+
+    fn path_to_root(&self, mut node: usize) -> Vec<usize> {
+        let mut path = vec![node];
+        while let Some((parent, _)) = self.nodes[node].uplink {
+            path.push(parent);
+            node = parent;
+        }
+        path
+    }
+
+    fn path_bandwidth(&self, a: usize, b: usize) -> f64 {
+        let pa = self.path_to_root(a);
+        let pb = self.path_to_root(b);
+        let mut ia = pa.len();
+        let mut ib = pb.len();
+        while ia > 1 && ib > 1 && pa[ia - 2] == pb[ib - 2] {
+            ia -= 1;
+            ib -= 1;
+        }
+        // pa[..ia] and pb[..ib] now end at the lowest common ancestor.
+        let mut min_bw = f64::INFINITY;
+        for w in pa[..ia].windows(2) {
+            min_bw = min_bw.min(self.link_bw(w[0]));
+        }
+        for w in pb[..ib].windows(2) {
+            min_bw = min_bw.min(self.link_bw(w[0]));
+        }
+        assert!(min_bw.is_finite(), "disconnected topology");
+        min_bw
+    }
+
+    fn link_bw(&self, child: usize) -> f64 {
+        self.nodes[child]
+            .uplink
+            .expect("link_bw of root")
+            .1
+    }
+
+    /// The slowest GPU-to-neighbour bandwidth around the natural ring
+    /// `0 -> 1 -> ... -> n-1 -> 0`; this is the bandwidth that bounds a
+    /// ring all-reduce.
+    pub fn ring_bottleneck_bandwidth(&self) -> f64 {
+        let n = self.gpu_count();
+        if n <= 1 {
+            return 1e12;
+        }
+        (0..n)
+            .map(|g| self.gpu_to_gpu_bandwidth(g, (g + 1) % n))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_gpu_tree_shape() {
+        let t = Topology::binary_tree(8, PCIE3_X16);
+        assert_eq!(t.gpu_count(), 8);
+        // Pair members are two hops apart (gpu -> switch -> gpu).
+        assert_eq!(t.gpu_hop_distance(0, 1), 2);
+        // Across switches under one bridge: four hops.
+        assert_eq!(t.gpu_hop_distance(0, 2), 4);
+        // Across bridges: six hops.
+        assert_eq!(t.gpu_hop_distance(0, 4), 6);
+        assert_eq!(t.gpu_hop_distance(3, 3), 0);
+    }
+
+    #[test]
+    fn pair_bandwidth_is_link_bandwidth() {
+        let t = Topology::binary_tree(8, PCIE3_X16);
+        assert_eq!(t.gpu_to_gpu_bandwidth(0, 1), PCIE3_X16);
+        assert_eq!(t.gpu_to_gpu_bandwidth(1, 0), PCIE3_X16);
+    }
+
+    #[test]
+    fn cross_socket_is_bounded_by_socket_link() {
+        let t = Topology::binary_tree(8, PCIE3_X16);
+        let bw = t.gpu_to_gpu_bandwidth(0, 7);
+        assert!(bw <= INTER_SOCKET, "cross-socket bw {bw}");
+    }
+
+    #[test]
+    fn host_to_gpu_uses_tree_path() {
+        let t = Topology::binary_tree(4, PCIE3_X16);
+        for g in 0..4 {
+            let bw = t.host_to_gpu_bandwidth(g);
+            assert!(bw > 0.0 && bw <= PCIE3_X16);
+        }
+    }
+
+    #[test]
+    fn single_gpu_ring_has_no_bottleneck() {
+        let t = Topology::binary_tree(1, PCIE3_X16);
+        assert!(t.ring_bottleneck_bandwidth() >= 1e11);
+        assert_eq!(t.gpu_to_gpu_bandwidth(0, 0), 1e12);
+    }
+
+    #[test]
+    fn ring_bottleneck_is_min_neighbour_bw() {
+        let t = Topology::binary_tree(8, PCIE3_X16);
+        let ring = t.ring_bottleneck_bandwidth();
+        let direct = (0..8)
+            .map(|g| t.gpu_to_gpu_bandwidth(g, (g + 1) % 8))
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(ring, direct);
+        assert!(ring <= INTER_SOCKET);
+    }
+
+    #[test]
+    fn odd_gpu_counts_are_supported() {
+        for n in [1, 2, 3, 5, 7, 10] {
+            let t = Topology::binary_tree(n, PCIE3_X16);
+            assert_eq!(t.gpu_count(), n);
+            for a in 0..n {
+                for b in 0..n {
+                    assert!(t.gpu_to_gpu_bandwidth(a, b) > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn zero_gpus_rejected() {
+        let _ = Topology::binary_tree(0, PCIE3_X16);
+    }
+
+    #[test]
+    fn nvlink_speeds_up_pair_mates_only() {
+        let t = Topology::binary_tree(8, PCIE3_X16).with_nvlink_pairs(NVLINK_PASCAL);
+        assert_eq!(t.gpu_to_gpu_bandwidth(0, 1), NVLINK_PASCAL);
+        assert_eq!(t.gpu_to_gpu_bandwidth(6, 7), NVLINK_PASCAL);
+        // Non-mates still route over PCIe.
+        assert!(t.gpu_to_gpu_bandwidth(1, 2) <= PCIE3_X16);
+        assert!(t.gpu_to_gpu_bandwidth(0, 7) <= INTER_SOCKET);
+    }
+
+    #[test]
+    fn nvlink_raises_the_ring_bottleneck_only_when_links_cover_the_ring() {
+        // The natural ring alternates pair links and PCIe hops, so the
+        // bottleneck stays at PCIe/socket speed — matching the paper's
+        // choice to all-reduce over the PCIe tree.
+        let pcie = Topology::binary_tree(8, PCIE3_X16);
+        let nv = Topology::binary_tree(8, PCIE3_X16).with_nvlink_pairs(NVLINK_PASCAL);
+        assert_eq!(
+            pcie.ring_bottleneck_bandwidth(),
+            nv.ring_bottleneck_bandwidth()
+        );
+        // A 2-GPU "ring" is exactly one pair: NVLink wins outright.
+        let nv2 = Topology::binary_tree(2, PCIE3_X16).with_nvlink_pairs(NVLINK_PASCAL);
+        assert_eq!(nv2.ring_bottleneck_bandwidth(), NVLINK_PASCAL);
+    }
+}

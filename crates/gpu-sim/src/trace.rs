@@ -1,0 +1,168 @@
+//! Execution traces.
+//!
+//! Every timed item the machine dispatches can be recorded with its stream,
+//! device, label and `[start, end)` interval. Integration tests use traces
+//! to assert the paper's overlap claims — e.g. that iteration *N*'s global
+//! synchronisation tasks run concurrently with iteration *N+1*'s learning
+//! tasks (Figure 8, point *f*).
+
+use crate::stream::{DeviceId, StreamId};
+use crate::time::{SimDuration, SimTime};
+
+/// What kind of work a trace record covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A compute kernel.
+    Kernel,
+    /// A DMA copy.
+    Copy,
+    /// A collective span.
+    Collective,
+    /// A host-side stall ([`crate::work::WorkItem::Delay`]).
+    Host,
+}
+
+/// One dispatched item.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceRecord {
+    /// Stream the item ran on.
+    pub stream: StreamId,
+    /// Device owning the stream.
+    pub device: DeviceId,
+    /// Item kind.
+    pub kind: TraceKind,
+    /// Item label (kernel/copy/collective label).
+    pub label: &'static str,
+    /// Dispatch time.
+    pub start: SimTime,
+    /// Completion time.
+    pub end: SimTime,
+    /// SMs granted (kernels only; 0 otherwise).
+    pub sms: u32,
+}
+
+impl TraceRecord {
+    /// Item duration.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// True when the two records overlap in time (half-open intervals).
+    pub fn overlaps(&self, other: &TraceRecord) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+/// A recorded execution.
+#[derive(Debug, Default)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+    enabled: bool,
+}
+
+impl Trace {
+    pub(crate) fn new(enabled: bool) -> Self {
+        Trace {
+            records: Vec::new(),
+            enabled,
+        }
+    }
+
+    pub(crate) fn push(&mut self, record: TraceRecord) {
+        if self.enabled {
+            self.records.push(record);
+        }
+    }
+
+    /// All records, in dispatch order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records whose label matches a predicate.
+    pub fn with_label<'a>(
+        &'a self,
+        pred: impl Fn(&str) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a TraceRecord> + 'a {
+        self.records.iter().filter(move |r| pred(r.label))
+    }
+
+    /// True when any record labelled `a` overlaps any record labelled `b`.
+    pub fn labels_overlap(&self, a: &str, b: &str) -> bool {
+        let bs: Vec<&TraceRecord> = self.with_label(|l| l == b).collect();
+        self.with_label(|l| l == a)
+            .any(|ra| bs.iter().any(|rb| ra.overlaps(rb)))
+    }
+
+    /// Total busy time (sum of record durations) on one device.
+    pub fn device_busy(&self, device: DeviceId) -> SimDuration {
+        let ns: u64 = self
+            .records
+            .iter()
+            .filter(|r| r.device == device)
+            .map(|r| r.duration().as_nanos())
+            .sum();
+        SimDuration::from_nanos(ns)
+    }
+
+    /// Clears all records, keeping the enabled flag.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(label: &'static str, start: u64, end: u64) -> TraceRecord {
+        TraceRecord {
+            stream: StreamId(0),
+            device: DeviceId(0),
+            kind: TraceKind::Kernel,
+            label,
+            start: SimTime::from_nanos(start),
+            end: SimTime::from_nanos(end),
+            sms: 1,
+        }
+    }
+
+    #[test]
+    fn overlap_is_half_open() {
+        let a = rec("a", 0, 10);
+        let b = rec("b", 10, 20);
+        let c = rec("c", 5, 15);
+        assert!(!a.overlaps(&b), "touching intervals do not overlap");
+        assert!(a.overlaps(&c));
+        assert!(c.overlaps(&b));
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new(false);
+        t.push(rec("a", 0, 1));
+        assert!(t.records().is_empty());
+    }
+
+    #[test]
+    fn labels_overlap_queries() {
+        let mut t = Trace::new(true);
+        t.push(rec("learn", 0, 10));
+        t.push(rec("sync", 5, 15));
+        t.push(rec("learn", 20, 30));
+        assert!(t.labels_overlap("learn", "sync"));
+        assert!(!t.labels_overlap("sync", "missing"));
+        assert_eq!(t.with_label(|l| l == "learn").count(), 2);
+    }
+
+    #[test]
+    fn device_busy_sums_durations() {
+        let mut t = Trace::new(true);
+        t.push(rec("a", 0, 10));
+        t.push(rec("b", 20, 25));
+        assert_eq!(t.device_busy(DeviceId(0)).as_nanos(), 15);
+        assert_eq!(t.device_busy(DeviceId(1)).as_nanos(), 0);
+        t.clear();
+        assert!(t.records().is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! Work items — the vocabulary of things a host can submit to a stream.
+
+use crate::kernel::KernelDesc;
+use crate::stream::{CollectiveId, EventId};
+use crate::time::SimDuration;
+
+/// Direction/route of a DMA copy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CopyKind {
+    /// Host memory to the stream's device (input batches; uses the device's
+    /// host-to-device copy engine).
+    HostToDevice,
+    /// Stream's device to host memory (metrics, checkpoints).
+    DeviceToHost,
+    /// Peer-to-peer to another device over the PCIe tree.
+    PeerToPeer {
+        /// Destination device index.
+        to: u32,
+    },
+}
+
+/// One unit of work submitted to a stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WorkItem {
+    /// Occupy SMs for the kernel's modelled duration.
+    Kernel(KernelDesc),
+    /// Move `bytes` over the copy engine / PCIe path.
+    Copy {
+        /// Route of the transfer.
+        kind: CopyKind,
+        /// Bytes transferred.
+        bytes: u64,
+        /// Label recorded in the trace.
+        label: &'static str,
+    },
+    /// Signal an event when all preceding work on this stream is done.
+    RecordEvent(EventId),
+    /// Block this stream until the event is signalled.
+    WaitEvent(EventId),
+    /// Deliver `(now, tag)` to the host completion queue. Zero duration.
+    Callback {
+        /// Opaque host cookie.
+        tag: u64,
+    },
+    /// Rendezvous: the collective begins when every participating stream
+    /// reaches its join item, and occupies all of them for the collective's
+    /// modelled duration (ring all-reduce).
+    JoinCollective(CollectiveId),
+    /// Occupies the stream (but no SMs or copy engines) for a fixed span.
+    /// Models host-side stalls such as per-task scheduling overhead.
+    Delay {
+        /// Length of the stall.
+        duration: SimDuration,
+        /// Label recorded in the trace.
+        label: &'static str,
+    },
+}
+
+impl WorkItem {
+    /// Short label for traces and debugging.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkItem::Kernel(k) => k.label,
+            WorkItem::Copy { label, .. } => label,
+            WorkItem::RecordEvent(_) => "record-event",
+            WorkItem::WaitEvent(_) => "wait-event",
+            WorkItem::Callback { .. } => "callback",
+            WorkItem::JoinCollective(_) => "collective",
+            WorkItem::Delay { label, .. } => label,
+        }
+    }
+
+    /// True for items that consume simulated time when dispatched.
+    pub fn is_timed(&self) -> bool {
+        matches!(
+            self,
+            WorkItem::Kernel(_)
+                | WorkItem::Copy { .. }
+                | WorkItem::JoinCollective(_)
+                | WorkItem::Delay { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_timing() {
+        let k = WorkItem::Kernel(KernelDesc::compute("conv", 1, 1));
+        assert_eq!(k.label(), "conv");
+        assert!(k.is_timed());
+        let cb = WorkItem::Callback { tag: 0 };
+        assert_eq!(cb.label(), "callback");
+        assert!(!cb.is_timed());
+        let w = WorkItem::WaitEvent(EventId(0));
+        assert!(!w.is_timed());
+        let c = WorkItem::Copy {
+            kind: CopyKind::HostToDevice,
+            bytes: 10,
+            label: "h2d",
+        };
+        assert!(c.is_timed());
+        assert_eq!(c.label(), "h2d");
+    }
+}

@@ -1,0 +1,168 @@
+//! Operator-graph export for the memory planner.
+//!
+//! CROSSBOW "devises an offline memory plan to reuse the output buffers of
+//! operators using reference counters" (§4.5): during initialisation it
+//! walks the operators of a learning task and reuses an output buffer
+//! whenever its reference count has dropped to zero. The planner itself
+//! lives in the `crossbow` crate; this module exports the dependency
+//! structure it walks — one forward node per layer plus one backward node
+//! per layer, with the data dependencies of back-propagation:
+//!
+//! * forward node `i` reads forward node `i-1`'s output;
+//! * backward node for layer `i` reads the *saved activation* (forward
+//!   node `i-1`'s output) and the upstream gradient (backward node `i+1`'s
+//!   output).
+//!
+//! The long liveness of forward activations until their backward consumer
+//! is exactly why the paper reports that "outputs are mostly reused during
+//! the backwards phase".
+
+use crate::network::Network;
+
+/// One operator in a learning task.
+#[derive(Clone, Debug)]
+pub struct OpNode {
+    /// Layer name plus direction, e.g. `conv2d.fwd`.
+    pub name: String,
+    /// Bytes of the operator's output buffer for the given batch size.
+    pub output_bytes: usize,
+    /// Indices of ops whose output buffers this op reads.
+    pub inputs: Vec<usize>,
+}
+
+/// The operator graph of one learning task, in execution order.
+#[derive(Clone, Debug)]
+pub struct OpGraph {
+    /// Operators in execution order (forwards, then backwards reversed).
+    pub ops: Vec<OpNode>,
+    /// Number of forward operators (the prefix of `ops`).
+    pub forward_count: usize,
+}
+
+impl OpGraph {
+    /// Builds the graph for a network at a given batch size.
+    ///
+    /// # Panics
+    /// Panics if `batch == 0`.
+    pub fn from_network(net: &Network, batch: usize) -> Self {
+        assert!(batch > 0, "batch must be positive");
+        let n = net.layers().len();
+        let bytes_of = |shape_idx: usize| net.shape_at(shape_idx).len() * batch * 4;
+        let mut ops = Vec::with_capacity(2 * n);
+        // Forward: op i consumes op i-1 (the first consumes the input
+        // batch, which the planner treats as externally owned).
+        for (i, layer) in net.layers().iter().enumerate() {
+            ops.push(OpNode {
+                name: format!("{}.fwd", layer.name()),
+                output_bytes: bytes_of(i + 1),
+                inputs: if i == 0 { vec![] } else { vec![i - 1] },
+            });
+        }
+        // Backward: executed for layers n-1 .. 0. The op for layer i sits
+        // at index n + (n-1-i).
+        for (rev, i) in (0..n).rev().enumerate() {
+            let mut inputs = Vec::with_capacity(2);
+            if i > 0 {
+                inputs.push(i - 1); // saved activation entering layer i
+            }
+            if rev > 0 {
+                inputs.push(n + rev - 1); // upstream gradient
+            } else {
+                inputs.push(n - 1); // loss gradient comes from the logits
+            }
+            ops.push(OpNode {
+                name: format!("{}.bwd", net.layers()[i].name()),
+                output_bytes: bytes_of(i), // gradient w.r.t. the layer input
+                inputs,
+            });
+        }
+        OpGraph {
+            ops,
+            forward_count: n,
+        }
+    }
+
+    /// Sum of all output buffer sizes — the footprint *without* any reuse.
+    pub fn total_output_bytes(&self) -> usize {
+        self.ops.iter().map(|o| o.output_bytes).sum()
+    }
+
+    /// How many ops read op `i`'s output.
+    pub fn consumer_count(&self, i: usize) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| o.inputs.contains(&i))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Dense, Relu};
+    use crate::network::Network;
+
+    fn net() -> Network {
+        Network::builder([4])
+            .add(Dense::new(4, 8))
+            .add(Relu)
+            .add(Dense::new(8, 3))
+            .build()
+    }
+
+    #[test]
+    fn graph_has_forward_and_backward_nodes() {
+        let g = OpGraph::from_network(&net(), 2);
+        assert_eq!(g.ops.len(), 6);
+        assert_eq!(g.forward_count, 3);
+        assert_eq!(g.ops[0].name, "dense.fwd");
+        assert_eq!(g.ops[3].name, "dense.bwd"); // last layer's backward first
+        assert_eq!(g.ops[5].name, "dense.bwd");
+        assert_eq!(g.ops[4].name, "relu.bwd");
+    }
+
+    #[test]
+    fn forward_chain_dependencies() {
+        let g = OpGraph::from_network(&net(), 2);
+        assert!(g.ops[0].inputs.is_empty());
+        assert_eq!(g.ops[1].inputs, vec![0]);
+        assert_eq!(g.ops[2].inputs, vec![1]);
+    }
+
+    #[test]
+    fn backward_reads_saved_activations() {
+        let g = OpGraph::from_network(&net(), 2);
+        // Backward of layer 2 (first backward op, index 3) reads the
+        // activation entering layer 2 (op 1's output) and the logits
+        // gradient (op 2).
+        assert_eq!(g.ops[3].inputs, vec![1, 2]);
+        // Backward of layer 1 (index 4) reads op 0 and backward op 3.
+        assert_eq!(g.ops[4].inputs, vec![0, 3]);
+        // Backward of layer 0 (index 5) reads only the upstream gradient.
+        assert_eq!(g.ops[5].inputs, vec![4]);
+    }
+
+    #[test]
+    fn output_bytes_scale_with_batch() {
+        let g1 = OpGraph::from_network(&net(), 1);
+        let g4 = OpGraph::from_network(&net(), 4);
+        assert_eq!(g4.total_output_bytes(), 4 * g1.total_output_bytes());
+        // Layer 0 output: 8 floats * batch 1 * 4 bytes.
+        assert_eq!(g1.ops[0].output_bytes, 32);
+    }
+
+    #[test]
+    fn consumer_counts() {
+        let g = OpGraph::from_network(&net(), 1);
+        // Op 0's output is read by fwd op 1 and bwd of layer 1 (op 4).
+        assert_eq!(g.consumer_count(0), 2);
+        // The final backward output is read by nobody.
+        assert_eq!(g.consumer_count(5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be positive")]
+    fn zero_batch_rejected() {
+        let _ = OpGraph::from_network(&net(), 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Weight initialisers.
+//!
+//! The paper configures CROSSBOW and TensorFlow with "the same model
+//! variable initialisation" (§5.1); here that means seeded He or Xavier
+//! initialisation, so two systems given the same seed start from identical
+//! weights.
+
+use crossbow_tensor::Rng;
+
+/// Initialisation scheme for a weight tensor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Init {
+    /// He/Kaiming normal: `N(0, sqrt(2 / fan_in))`. The right choice in
+    /// front of ReLU activations (convolutions, ResNet/VGG dense layers).
+    HeNormal,
+    /// Xavier/Glorot uniform: `U[-a, a]` with `a = sqrt(6 / (fan_in +
+    /// fan_out))`. Used for tanh/linear heads.
+    XavierUniform,
+    /// All zeros (biases, batch-norm shifts).
+    Zeros,
+    /// All ones (batch-norm scales).
+    Ones,
+}
+
+impl Init {
+    /// Fills `out` according to the scheme and the layer's fan-in/out.
+    pub fn fill(self, out: &mut [f32], fan_in: usize, fan_out: usize, rng: &mut Rng) {
+        match self {
+            Init::HeNormal => {
+                let std = (2.0 / fan_in.max(1) as f32).sqrt();
+                for v in out.iter_mut() {
+                    *v = rng.normal() * std;
+                }
+            }
+            Init::XavierUniform => {
+                let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                for v in out.iter_mut() {
+                    *v = rng.uniform(-a, a);
+                }
+            }
+            Init::Zeros => out.iter_mut().for_each(|v| *v = 0.0),
+            Init::Ones => out.iter_mut().for_each(|v| *v = 1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_normal_scale_tracks_fan_in() {
+        let mut rng = Rng::new(1);
+        let mut small = vec![0.0; 10_000];
+        let mut large = vec![0.0; 10_000];
+        Init::HeNormal.fill(&mut small, 10, 10, &mut rng);
+        Init::HeNormal.fill(&mut large, 1000, 10, &mut rng);
+        let std = |v: &[f32]| {
+            let m = v.iter().sum::<f32>() / v.len() as f32;
+            (v.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / v.len() as f32).sqrt()
+        };
+        let (s, l) = (std(&small), std(&large));
+        assert!((s - (2.0f32 / 10.0).sqrt()).abs() < 0.02, "std {s}");
+        assert!((l - (2.0f32 / 1000.0).sqrt()).abs() < 0.005, "std {l}");
+    }
+
+    #[test]
+    fn xavier_uniform_stays_in_bounds() {
+        let mut rng = Rng::new(2);
+        let mut w = vec![0.0; 1000];
+        Init::XavierUniform.fill(&mut w, 30, 30, &mut rng);
+        let a = (6.0f32 / 60.0).sqrt();
+        assert!(w.iter().all(|&v| v >= -a && v < a));
+        assert!(w.iter().any(|&v| v.abs() > a * 0.5), "should spread out");
+    }
+
+    #[test]
+    fn constant_inits() {
+        let mut rng = Rng::new(3);
+        let mut z = vec![9.0; 4];
+        Init::Zeros.fill(&mut z, 1, 1, &mut rng);
+        assert_eq!(z, vec![0.0; 4]);
+        let mut o = vec![9.0; 4];
+        Init::Ones.fill(&mut o, 1, 1, &mut rng);
+        assert_eq!(o, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let fill = |seed| {
+            let mut rng = Rng::new(seed);
+            let mut w = vec![0.0; 32];
+            Init::HeNormal.fill(&mut w, 8, 8, &mut rng);
+            w
+        };
+        assert_eq!(fill(5), fill(5));
+        assert_ne!(fill(5), fill(6));
+    }
+}

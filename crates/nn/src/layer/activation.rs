@@ -1,0 +1,162 @@
+//! Element-wise activation layers.
+
+use super::{Layer, Slot};
+use crossbow_tensor::{Rng, Shape, Tensor};
+
+/// Rectified linear unit: `y = max(x, 0)`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Relu;
+
+impl Layer for Relu {
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn param_len(&self) -> usize {
+        0
+    }
+
+    fn output_shape(&self, input: &Shape) -> Shape {
+        input.clone()
+    }
+
+    fn init(&self, _params: &mut [f32], _rng: &mut Rng) {}
+
+    fn forward(&self, _params: &[f32], input: &Tensor, slot: &mut Slot, train: bool) -> Tensor {
+        let mut out = input.clone();
+        out.data_mut().iter_mut().for_each(|v| *v = v.max(0.0));
+        if train {
+            slot.tensors.clear();
+            // Save the mask (1 where the input was positive).
+            let mask = Tensor::from_vec(
+                input.shape().clone(),
+                input
+                    .data()
+                    .iter()
+                    .map(|&x| if x > 0.0 { 1.0 } else { 0.0 })
+                    .collect(),
+            );
+            slot.tensors.push(mask);
+        }
+        out
+    }
+
+    fn backward(
+        &self,
+        _params: &[f32],
+        _grad_params: &mut [f32],
+        grad_output: &Tensor,
+        slot: &Slot,
+    ) -> Tensor {
+        let mask = &slot.tensors[0];
+        let mut grad_in = grad_output.clone();
+        for (g, &m) in grad_in.data_mut().iter_mut().zip(mask.data()) {
+            *g *= m;
+        }
+        grad_in
+    }
+
+    fn flops_per_sample(&self, input: &Shape) -> u64 {
+        input.len() as u64
+    }
+}
+
+/// Hyperbolic tangent activation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Tanh;
+
+impl Layer for Tanh {
+    fn name(&self) -> &'static str {
+        "tanh"
+    }
+
+    fn param_len(&self) -> usize {
+        0
+    }
+
+    fn output_shape(&self, input: &Shape) -> Shape {
+        input.clone()
+    }
+
+    fn init(&self, _params: &mut [f32], _rng: &mut Rng) {}
+
+    fn forward(&self, _params: &[f32], input: &Tensor, slot: &mut Slot, train: bool) -> Tensor {
+        let mut out = input.clone();
+        out.data_mut().iter_mut().for_each(|v| *v = v.tanh());
+        if train {
+            slot.tensors.clear();
+            slot.tensors.push(out.clone()); // y, since dy/dx = 1 - y^2
+        }
+        out
+    }
+
+    fn backward(
+        &self,
+        _params: &[f32],
+        _grad_params: &mut [f32],
+        grad_output: &Tensor,
+        slot: &Slot,
+    ) -> Tensor {
+        let y = &slot.tensors[0];
+        let mut grad_in = grad_output.clone();
+        for (g, &yv) in grad_in.data_mut().iter_mut().zip(y.data()) {
+            *g *= 1.0 - yv * yv;
+        }
+        grad_in
+    }
+
+    fn flops_per_sample(&self, input: &Shape) -> u64 {
+        // tanh is ~10 flops in most implementations.
+        10 * input.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::gradcheck::check_layer;
+
+    #[test]
+    fn relu_forward_clamps() {
+        let mut slot = Slot::default();
+        let x = Tensor::from_slice(&[-1.0, 0.0, 2.0]);
+        let y = Relu.forward(&[], &x, &mut slot, true);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let mut slot = Slot::default();
+        let x = Tensor::from_slice(&[-1.0, 3.0]);
+        let _ = Relu.forward(&[], &x, &mut slot, true);
+        let g = Relu.backward(&[], &mut [], &Tensor::from_slice(&[5.0, 5.0]), &slot);
+        assert_eq!(g.data(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn relu_gradcheck() {
+        check_layer(&Relu, &[6], 3, 11);
+    }
+
+    #[test]
+    fn tanh_gradcheck() {
+        check_layer(&Tanh, &[5], 4, 12);
+    }
+
+    #[test]
+    fn tanh_forward_is_odd() {
+        let mut slot = Slot::default();
+        let x = Tensor::from_slice(&[-1.0, 0.0, 1.0]);
+        let y = Tanh.forward(&[], &x, &mut slot, false);
+        assert!((y.data()[0] + y.data()[2]).abs() < 1e-6);
+        assert_eq!(y.data()[1], 0.0);
+    }
+
+    #[test]
+    fn shapes_pass_through() {
+        let s = Shape::new(&[3, 4, 4]);
+        assert_eq!(Relu.output_shape(&s), s);
+        assert_eq!(Tanh.output_shape(&s), s);
+        assert_eq!(Relu.param_len(), 0);
+    }
+}

@@ -1,0 +1,234 @@
+//! The [`Layer`] trait and the layer library.
+//!
+//! Layers are **stateless topology**: parameters and gradients live in flat
+//! external vectors owned by each learner, and everything a layer must
+//! remember between forward and backward (inputs, masks, batch statistics)
+//! is stashed in a per-learner [`Slot`]. This split is what allows one
+//! network definition to be shared by dozens of learner threads while each
+//! trains its own model replica — the heart of the paper's design.
+//!
+//! Conventions:
+//! * shapes are **per-sample**; the batch dimension is implicit (a batch of
+//!   `b` samples with per-sample shape `[c, h, w]` is a `[b, c, h, w]`
+//!   tensor);
+//! * `forward` pushes whatever it needs into its `Slot` in a layer-defined
+//!   order; `backward` reads it back;
+//! * `backward` *accumulates* into `grad_params` (callers zero it once per
+//!   batch) and returns the gradient with respect to the layer input.
+
+pub mod activation;
+pub mod conv2d;
+pub mod dense;
+pub mod norm;
+pub mod pool;
+pub mod residual;
+
+pub use activation::{Relu, Tanh};
+pub use conv2d::Conv2d;
+pub use dense::{Dense, Flatten};
+pub use norm::ChannelNorm;
+pub use pool::{GlobalAvgPool, MaxPool2d};
+pub use residual::Residual;
+
+use crossbow_tensor::{Rng, Shape, Tensor};
+
+/// Per-layer, per-learner storage for values carried from forward to
+/// backward. Composite layers (e.g. [`Residual`]) use `children` to give
+/// each inner layer its own slot.
+#[derive(Clone, Debug, Default)]
+pub struct Slot {
+    /// Saved tensors, in a layer-defined order.
+    pub tensors: Vec<Tensor>,
+    /// Nested slots for composite layers.
+    pub children: Vec<Slot>,
+}
+
+impl Slot {
+    /// Clears saved values (keeps child structure).
+    pub fn clear(&mut self) {
+        self.tensors.clear();
+        for c in &mut self.children {
+            c.clear();
+        }
+    }
+}
+
+/// A differentiable operator with externally stored parameters.
+pub trait Layer: Send + Sync {
+    /// Short name for traces, graphs and debugging.
+    fn name(&self) -> &'static str;
+
+    /// Number of parameters.
+    fn param_len(&self) -> usize;
+
+    /// Per-sample output shape for a given per-sample input shape.
+    ///
+    /// # Panics
+    /// Panics if the input shape is incompatible with the layer.
+    fn output_shape(&self, input: &Shape) -> Shape;
+
+    /// Initialises this layer's slice of the parameter vector.
+    fn init(&self, params: &mut [f32], rng: &mut Rng);
+
+    /// Computes the layer output for a batch, saving whatever backward
+    /// needs into `slot` when `train` is true.
+    fn forward(&self, params: &[f32], input: &Tensor, slot: &mut Slot, train: bool) -> Tensor;
+
+    /// Accumulates parameter gradients into `grad_params` and returns the
+    /// gradient with respect to the layer input.
+    fn backward(
+        &self,
+        params: &[f32],
+        grad_params: &mut [f32],
+        grad_output: &Tensor,
+        slot: &Slot,
+    ) -> Tensor;
+
+    /// Rough FLOPs per sample of one forward pass (for cost profiles).
+    fn flops_per_sample(&self, input: &Shape) -> u64;
+
+    /// Number of primitive device operators this layer lowers to (for the
+    /// operator-graph export; default 1 forward + 1 backward).
+    fn op_count(&self) -> usize {
+        2
+    }
+}
+
+/// Splits a batched tensor's first dimension: `(batch, per-sample length)`.
+///
+/// # Panics
+/// Panics if the tensor is not divisible into samples of `sample_len`.
+pub(crate) fn batch_of(input: &Tensor, sample_len: usize) -> usize {
+    assert!(sample_len > 0, "zero-length samples");
+    let total = input.len();
+    assert_eq!(
+        total % sample_len,
+        0,
+        "tensor of {total} elements is not a batch of {sample_len}-element samples"
+    );
+    total / sample_len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_clear_preserves_children() {
+        let mut s = Slot::default();
+        s.tensors.push(Tensor::zeros([2]));
+        s.children.push(Slot::default());
+        s.children[0].tensors.push(Tensor::zeros([2]));
+        s.clear();
+        assert!(s.tensors.is_empty());
+        assert_eq!(s.children.len(), 1);
+        assert!(s.children[0].tensors.is_empty());
+    }
+
+    #[test]
+    fn batch_of_divides() {
+        let t = Tensor::zeros([4, 3]);
+        assert_eq!(batch_of(&t, 3), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a batch")]
+    fn batch_of_rejects_ragged() {
+        let t = Tensor::zeros([5]);
+        let _ = batch_of(&t, 3);
+    }
+}
+
+/// Finite-difference gradient checking shared by the layer tests.
+#[cfg(test)]
+pub(crate) mod gradcheck {
+    use super::*;
+
+    /// Checks `d loss / d params` and `d loss / d input` of a layer against
+    /// central finite differences, where `loss = sum(output * probe)` for a
+    /// fixed random probe (so the analytic grad_output is just `probe`).
+    pub(crate) fn check_layer(layer: &dyn Layer, input_shape: &[usize], batch: usize, seed: u64) {
+        let mut rng = Rng::new(seed);
+        let per_sample = Shape::new(input_shape);
+        let mut full_dims = vec![batch];
+        full_dims.extend_from_slice(input_shape);
+        let input = Tensor::randn(Shape::new(&full_dims), 1.0, &mut rng);
+        let mut params = vec![0.0f32; layer.param_len()];
+        layer.init(&mut params, &mut rng);
+        // Nudge params away from symmetric points (e.g. all-zero biases are
+        // fine, but norm layers at exactly 1/0 can hide errors).
+        for p in params.iter_mut() {
+            *p += 0.01 * rng.normal();
+        }
+
+        let out_shape = layer.output_shape(&per_sample);
+        let probe = Tensor::randn(
+            Shape::new(&{
+                let mut d = vec![batch];
+                d.extend_from_slice(out_shape.dims());
+                d
+            }),
+            1.0,
+            &mut rng,
+        );
+
+        let loss = |params: &[f32], input: &Tensor| -> f64 {
+            let mut slot = Slot::default();
+            let out = layer.forward(params, input, &mut slot, true);
+            out.data()
+                .iter()
+                .zip(probe.data())
+                .map(|(&o, &p)| f64::from(o) * f64::from(p))
+                .sum()
+        };
+
+        // Analytic gradients.
+        let mut slot = Slot::default();
+        let _ = layer.forward(&params, &input, &mut slot, true);
+        let mut grad_params = vec![0.0f32; params.len()];
+        let grad_input = layer.backward(&params, &mut grad_params, &probe, &slot);
+
+        let eps = 3e-3f32;
+        // Parameter gradients: probe a subset for speed.
+        let stride = (params.len() / 24).max(1);
+        for i in (0..params.len()).step_by(stride) {
+            let mut p1 = params.clone();
+            p1[i] += eps;
+            let mut p2 = params.clone();
+            p2[i] -= eps;
+            let num = (loss(&p1, &input) - loss(&p2, &input)) / (2.0 * f64::from(eps));
+            let ana = f64::from(grad_params[i]);
+            // f32 forward passes through deep composites accumulate ~1e-3
+            // relative error per layer; 3% is the tightest tolerance that
+            // stays reliable for the bottleneck block.
+            let tol = 3e-2 * (1.0 + num.abs().max(ana.abs()));
+            assert!(
+                (num - ana).abs() < tol,
+                "{}: param {i} grad mismatch: numeric {num} vs analytic {ana}",
+                layer.name()
+            );
+        }
+        // Input gradients. Coordinates within eps of zero are skipped:
+        // piecewise-linear layers (ReLU, max-pool) have kinks there, where
+        // central differences straddle two linear pieces and disagree with
+        // the (one-sided) analytic derivative.
+        let istride = (input.len() / 24).max(1);
+        for i in (0..input.len()).step_by(istride) {
+            if input.data()[i].abs() < 5.0 * eps {
+                continue;
+            }
+            let mut x1 = input.clone();
+            x1.data_mut()[i] += eps;
+            let mut x2 = input.clone();
+            x2.data_mut()[i] -= eps;
+            let num = (loss(&params, &x1) - loss(&params, &x2)) / (2.0 * f64::from(eps));
+            let ana = f64::from(grad_input.data()[i]);
+            let tol = 3e-2 * (1.0 + num.abs().max(ana.abs()));
+            assert!(
+                (num - ana).abs() < tol,
+                "{}: input {i} grad mismatch: numeric {num} vs analytic {ana}",
+                layer.name()
+            );
+        }
+    }
+}

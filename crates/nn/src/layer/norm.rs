@@ -1,0 +1,230 @@
+//! Channel normalisation (batch-norm style).
+//!
+//! Normalises each channel over the batch and spatial dimensions, then
+//! applies a learnable per-channel scale (`gamma`) and shift (`beta`).
+//!
+//! *Substitution note*: unlike framework batch-norm we use batch statistics
+//! at evaluation time too, instead of maintaining running-average state —
+//! the `Layer` trait is stateless by design so that one network definition
+//! can serve many learner threads. Test accuracy is evaluated on full
+//! batches, where batch statistics are a faithful stand-in. This is
+//! documented in DESIGN.md.
+
+use super::{Layer, Slot};
+use crate::init::Init;
+use crossbow_tensor::{Rng, Shape, Tensor};
+
+const EPS: f32 = 1e-5;
+
+/// Per-channel normalisation with learnable scale and shift.
+#[derive(Clone, Copy, Debug)]
+pub struct ChannelNorm {
+    channels: usize,
+}
+
+impl ChannelNorm {
+    /// Creates a normalisation layer over `channels` channels.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "zero channels");
+        ChannelNorm { channels }
+    }
+}
+
+impl Layer for ChannelNorm {
+    fn name(&self) -> &'static str {
+        "norm"
+    }
+
+    fn param_len(&self) -> usize {
+        2 * self.channels
+    }
+
+    fn output_shape(&self, input: &Shape) -> Shape {
+        assert_eq!(
+            input.dim(0),
+            self.channels,
+            "norm expects {} channels, got {input}",
+            self.channels
+        );
+        input.clone()
+    }
+
+    fn init(&self, params: &mut [f32], rng: &mut Rng) {
+        let (gamma, beta) = params.split_at_mut(self.channels);
+        Init::Ones.fill(gamma, 0, 0, rng);
+        Init::Zeros.fill(beta, 0, 0, rng);
+    }
+
+    fn forward(&self, params: &[f32], input: &Tensor, slot: &mut Slot, train: bool) -> Tensor {
+        let dims = input.shape().dims();
+        let batch = dims[0];
+        let c = self.channels;
+        debug_assert_eq!(dims[1], c);
+        let plane: usize = dims[2..].iter().product::<usize>().max(1);
+        let n_per_c = (batch * plane) as f32;
+        let (gamma, beta) = params.split_at(c);
+        let mut out = Tensor::zeros(input.shape().clone());
+        let mut means = vec![0.0f32; c];
+        let mut inv_stds = vec![0.0f32; c];
+        for ch in 0..c {
+            // Two-pass mean/variance: the one-pass E[x^2] - E[x]^2 form
+            // cancels catastrophically in f32 once activations drift away
+            // from zero, which is enough noise to disturb gradient checks
+            // through deep blocks.
+            let mut sum = 0.0f32;
+            for n in 0..batch {
+                let p = &input.data()[(n * c + ch) * plane..(n * c + ch + 1) * plane];
+                for &v in p {
+                    sum += v;
+                }
+            }
+            let mean = sum / n_per_c;
+            let mut sq = 0.0f32;
+            for n in 0..batch {
+                let p = &input.data()[(n * c + ch) * plane..(n * c + ch + 1) * plane];
+                for &v in p {
+                    let d = v - mean;
+                    sq += d * d;
+                }
+            }
+            let var = (sq / n_per_c).max(0.0);
+            let inv_std = 1.0 / (var + EPS).sqrt();
+            means[ch] = mean;
+            inv_stds[ch] = inv_std;
+            for n in 0..batch {
+                let src = &input.data()[(n * c + ch) * plane..(n * c + ch + 1) * plane];
+                let dst_range = (n * c + ch) * plane..(n * c + ch + 1) * plane;
+                let dst = &mut out.data_mut()[dst_range];
+                for (o, &v) in dst.iter_mut().zip(src) {
+                    *o = gamma[ch] * (v - mean) * inv_std + beta[ch];
+                }
+            }
+        }
+        if train {
+            slot.tensors.clear();
+            slot.tensors.push(input.clone());
+            slot.tensors.push(Tensor::from_slice(&means));
+            slot.tensors.push(Tensor::from_slice(&inv_stds));
+        }
+        out
+    }
+
+    fn backward(
+        &self,
+        params: &[f32],
+        grad_params: &mut [f32],
+        grad_output: &Tensor,
+        slot: &Slot,
+    ) -> Tensor {
+        let input = &slot.tensors[0];
+        let means = slot.tensors[1].data();
+        let inv_stds = slot.tensors[2].data();
+        let dims = input.shape().dims();
+        let batch = dims[0];
+        let c = self.channels;
+        let plane: usize = dims[2..].iter().product::<usize>().max(1);
+        let n_per_c = (batch * plane) as f32;
+        let (gamma, _) = params.split_at(c);
+        let (g_gamma, g_beta) = grad_params.split_at_mut(c);
+        let mut grad_in = Tensor::zeros(input.shape().clone());
+        for ch in 0..c {
+            let mean = means[ch];
+            let inv_std = inv_stds[ch];
+            // Accumulate the three reductions the BN backward needs.
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for n in 0..batch {
+                let x = &input.data()[(n * c + ch) * plane..(n * c + ch + 1) * plane];
+                let dy = &grad_output.data()[(n * c + ch) * plane..(n * c + ch + 1) * plane];
+                for (&xv, &dv) in x.iter().zip(dy) {
+                    sum_dy += dv;
+                    sum_dy_xhat += dv * (xv - mean) * inv_std;
+                }
+            }
+            g_gamma[ch] += sum_dy_xhat;
+            g_beta[ch] += sum_dy;
+            // dX = gamma*inv_std/N * (N*dY - sum(dY) - xhat * sum(dY*xhat))
+            let scale = gamma[ch] * inv_std / n_per_c;
+            for n in 0..batch {
+                let x = &input.data()[(n * c + ch) * plane..(n * c + ch + 1) * plane];
+                let dy = &grad_output.data()[(n * c + ch) * plane..(n * c + ch + 1) * plane];
+                let dst_range = (n * c + ch) * plane..(n * c + ch + 1) * plane;
+                let dst = &mut grad_in.data_mut()[dst_range];
+                for ((o, &xv), &dv) in dst.iter_mut().zip(x).zip(dy) {
+                    let xhat = (xv - mean) * inv_std;
+                    *o = scale * (n_per_c * dv - sum_dy - xhat * sum_dy_xhat);
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn flops_per_sample(&self, input: &Shape) -> u64 {
+        8 * input.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::gradcheck::check_layer;
+
+    #[test]
+    fn output_is_normalised_per_channel() {
+        let layer = ChannelNorm::new(2);
+        let mut params = vec![0.0; 4];
+        let mut rng = Rng::new(1);
+        layer.init(&mut params, &mut rng);
+        let x = Tensor::randn([4, 2, 3, 3], 5.0, &mut rng);
+        let mut slot = Slot::default();
+        let y = layer.forward(&params, &x, &mut slot, true);
+        // With gamma=1, beta=0 each channel has ~zero mean, unit variance.
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for n in 0..4 {
+                let base = (n * 2 + ch) * 9;
+                vals.extend_from_slice(&y.data()[base..base + 9]);
+            }
+            let mean = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+                / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "channel {ch} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ch} var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_apply_affine() {
+        let layer = ChannelNorm::new(1);
+        let params = vec![2.0, 3.0]; // gamma=2, beta=3
+        let mut rng = Rng::new(2);
+        let x = Tensor::randn([8, 1, 2, 2], 1.0, &mut rng);
+        let mut slot = Slot::default();
+        let y = layer.forward(&params, &x, &mut slot, true);
+        let mean = y.mean();
+        assert!((mean - 3.0).abs() < 1e-4, "shifted mean {mean}");
+    }
+
+    #[test]
+    fn gradcheck() {
+        check_layer(&ChannelNorm::new(3), &[3, 3, 3], 4, 51);
+    }
+
+    #[test]
+    fn gradcheck_vector_input() {
+        // Norm over dense features: per-sample shape [c] treated as
+        // [c] with plane=1.
+        check_layer(&ChannelNorm::new(5), &[5], 6, 52);
+    }
+
+    #[test]
+    fn constant_input_does_not_blow_up() {
+        let layer = ChannelNorm::new(1);
+        let params = vec![1.0, 0.0];
+        let x = Tensor::full([4, 1, 2, 2], 7.0);
+        let mut slot = Slot::default();
+        let y = layer.forward(&params, &x, &mut slot, true);
+        assert!(y.is_finite());
+        assert!(y.max_abs() < 1e-2, "zero-variance input normalises to ~0");
+    }
+}

@@ -1,0 +1,264 @@
+//! Pooling layers.
+
+use super::{Layer, Slot};
+use crossbow_tensor::conv::conv_out;
+use crossbow_tensor::{Rng, Shape, Tensor};
+
+/// Max pooling over square windows of NCHW input.
+#[derive(Clone, Copy, Debug)]
+pub struct MaxPool2d {
+    window: usize,
+    stride: usize,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool with the given window and stride.
+    pub fn new(window: usize, stride: usize) -> Self {
+        assert!(window > 0 && stride > 0, "bad pool");
+        MaxPool2d { window, stride }
+    }
+
+    /// The classic non-overlapping 2x2 pool.
+    pub fn halving() -> Self {
+        MaxPool2d::new(2, 2)
+    }
+
+    fn dims(&self, input: &Shape) -> (usize, usize, usize, usize, usize) {
+        assert_eq!(input.rank(), 3, "maxpool expects CHW input, got {input}");
+        let (c, h, w) = (input.dim(0), input.dim(1), input.dim(2));
+        let oh = conv_out(h, self.window, self.stride, 0);
+        let ow = conv_out(w, self.window, self.stride, 0);
+        (c, h, w, oh, ow)
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "maxpool"
+    }
+
+    fn param_len(&self) -> usize {
+        0
+    }
+
+    fn output_shape(&self, input: &Shape) -> Shape {
+        let (c, _, _, oh, ow) = self.dims(input);
+        Shape::new(&[c, oh, ow])
+    }
+
+    fn init(&self, _params: &mut [f32], _rng: &mut Rng) {}
+
+    fn forward(&self, _params: &[f32], input: &Tensor, slot: &mut Slot, train: bool) -> Tensor {
+        let batch = input.shape().dim(0);
+        let per_sample = Shape::new(&input.shape().dims()[1..]);
+        let (c, h, w, oh, ow) = self.dims(&per_sample);
+        let mut out = Tensor::zeros([batch, c, oh, ow]);
+        // Flat input index of each output's argmax, stored as f32 (values
+        // stay far below the 2^24 exact-integer limit for our models).
+        let mut argmax = Tensor::zeros([batch, c, oh, ow]);
+        let in_plane = h * w;
+        let out_plane = oh * ow;
+        for n in 0..batch {
+            for ch in 0..c {
+                let plane = &input.data()[(n * c + ch) * in_plane..(n * c + ch + 1) * in_plane];
+                let base = (n * c + ch) * out_plane;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for ky in 0..self.window {
+                            let iy = oy * self.stride + ky;
+                            for kx in 0..self.window {
+                                let ix = ox * self.stride + kx;
+                                let v = plane[iy * w + ix];
+                                if v > best {
+                                    best = v;
+                                    best_idx = iy * w + ix;
+                                }
+                            }
+                        }
+                        out.data_mut()[base + oy * ow + ox] = best;
+                        argmax.data_mut()[base + oy * ow + ox] = best_idx as f32;
+                    }
+                }
+            }
+        }
+        if train {
+            slot.tensors.clear();
+            slot.tensors.push(argmax);
+            slot.tensors
+                .push(Tensor::from_slice(&[batch as f32, c as f32, in_plane as f32]));
+        }
+        out
+    }
+
+    fn backward(
+        &self,
+        _params: &[f32],
+        _grad_params: &mut [f32],
+        grad_output: &Tensor,
+        slot: &Slot,
+    ) -> Tensor {
+        let argmax = &slot.tensors[0];
+        let meta = slot.tensors[1].data();
+        let (batch, c, in_plane) = (meta[0] as usize, meta[1] as usize, meta[2] as usize);
+        let out_plane = grad_output.len() / (batch * c);
+        let mut grad_in = Tensor::zeros([batch, c, in_plane].as_slice());
+        for n in 0..batch {
+            for ch in 0..c {
+                let base_out = (n * c + ch) * out_plane;
+                let base_in = (n * c + ch) * in_plane;
+                for i in 0..out_plane {
+                    let idx = argmax.data()[base_out + i] as usize;
+                    grad_in.data_mut()[base_in + idx] += grad_output.data()[base_out + i];
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn flops_per_sample(&self, input: &Shape) -> u64 {
+        input.len() as u64
+    }
+}
+
+/// Global average pooling: collapses each channel plane to its mean — the
+/// ResNet head.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GlobalAvgPool;
+
+impl Layer for GlobalAvgPool {
+    fn name(&self) -> &'static str {
+        "gap"
+    }
+
+    fn param_len(&self) -> usize {
+        0
+    }
+
+    fn output_shape(&self, input: &Shape) -> Shape {
+        assert_eq!(input.rank(), 3, "gap expects CHW input, got {input}");
+        Shape::vector(input.dim(0))
+    }
+
+    fn init(&self, _params: &mut [f32], _rng: &mut Rng) {}
+
+    fn forward(&self, _params: &[f32], input: &Tensor, slot: &mut Slot, train: bool) -> Tensor {
+        let dims = input.shape().dims();
+        let (batch, c) = (dims[0], dims[1]);
+        let plane = dims[2] * dims[3];
+        let mut out = Tensor::zeros([batch, c]);
+        for n in 0..batch {
+            for ch in 0..c {
+                let p = &input.data()[(n * c + ch) * plane..(n * c + ch + 1) * plane];
+                out.data_mut()[n * c + ch] = p.iter().sum::<f32>() / plane as f32;
+            }
+        }
+        if train {
+            slot.tensors.clear();
+            slot.tensors.push(Tensor::from_slice(&[
+                batch as f32,
+                c as f32,
+                dims[2] as f32,
+                dims[3] as f32,
+            ]));
+        }
+        out
+    }
+
+    fn backward(
+        &self,
+        _params: &[f32],
+        _grad_params: &mut [f32],
+        grad_output: &Tensor,
+        slot: &Slot,
+    ) -> Tensor {
+        let meta = slot.tensors[0].data();
+        let (batch, c, h, w) = (
+            meta[0] as usize,
+            meta[1] as usize,
+            meta[2] as usize,
+            meta[3] as usize,
+        );
+        let plane = h * w;
+        let scale = 1.0 / plane as f32;
+        let mut grad_in = Tensor::zeros([batch, c, h, w]);
+        for n in 0..batch {
+            for ch in 0..c {
+                let g = grad_output.data()[n * c + ch] * scale;
+                let p = &mut grad_in.data_mut()[(n * c + ch) * plane..(n * c + ch + 1) * plane];
+                p.iter_mut().for_each(|v| *v = g);
+            }
+        }
+        grad_in
+    }
+
+    fn flops_per_sample(&self, input: &Shape) -> u64 {
+        input.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::gradcheck::check_layer;
+
+    #[test]
+    fn maxpool_forward_picks_maxima() {
+        let p = MaxPool2d::halving();
+        let x = Tensor::from_vec(
+            [1, 1, 4, 4],
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+        );
+        let mut slot = Slot::default();
+        let y = p.forward(&[], &x, &mut slot, true);
+        assert_eq!(y.data(), &[4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let p = MaxPool2d::halving();
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 9.0, 2.0, 3.0]);
+        let mut slot = Slot::default();
+        let _ = p.forward(&[], &x, &mut slot, true);
+        let g = p.backward(&[], &mut [], &Tensor::from_vec([1, 1, 1, 1], vec![5.0]), &slot);
+        assert_eq!(g.data(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_gradcheck() {
+        // Note: max-pool is piecewise linear; the random normal inputs make
+        // exact ties measure-zero, so finite differences are valid.
+        check_layer(&MaxPool2d::halving(), &[2, 4, 4], 2, 41);
+    }
+
+    #[test]
+    fn gap_forward_averages() {
+        let x = Tensor::from_vec([1, 2, 1, 2], vec![1.0, 3.0, 10.0, 20.0]);
+        let mut slot = Slot::default();
+        let y = GlobalAvgPool.forward(&[], &x, &mut slot, true);
+        assert_eq!(y.data(), &[2.0, 15.0]);
+    }
+
+    #[test]
+    fn gap_gradcheck() {
+        check_layer(&GlobalAvgPool, &[3, 2, 2], 2, 42);
+    }
+
+    #[test]
+    fn shapes() {
+        assert_eq!(
+            MaxPool2d::halving().output_shape(&Shape::new(&[8, 16, 16])),
+            Shape::new(&[8, 8, 8])
+        );
+        assert_eq!(
+            GlobalAvgPool.output_shape(&Shape::new(&[32, 4, 4])),
+            Shape::vector(32)
+        );
+    }
+}

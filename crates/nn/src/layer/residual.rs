@@ -1,0 +1,320 @@
+//! Residual blocks (He et al. [17]) as a composite layer.
+//!
+//! A block runs a body of inner layers, adds a skip connection (identity,
+//! or a strided 1x1 projection when the shape changes) and applies a final
+//! ReLU. ResNet-32 and ResNet-50 in the model zoo are stacks of these.
+
+use super::{Conv2d, Layer, Relu, Slot};
+use crate::layer::norm::ChannelNorm;
+use crossbow_tensor::ops::add_assign;
+use crossbow_tensor::{Rng, Shape, Tensor};
+
+/// A residual block: `out = relu(body(x) + skip(x))`.
+pub struct Residual {
+    body: Vec<Box<dyn Layer>>,
+    projection: Option<Conv2d>,
+}
+
+impl Residual {
+    /// Creates a block with an identity skip.
+    ///
+    /// # Panics
+    /// Panics if the body is empty.
+    pub fn new(body: Vec<Box<dyn Layer>>) -> Self {
+        assert!(!body.is_empty(), "residual body cannot be empty");
+        Residual {
+            body,
+            projection: None,
+        }
+    }
+
+    /// Adds a projection convolution on the skip path (used when the body
+    /// changes the channel count or resolution).
+    pub fn with_projection(mut self, projection: Conv2d) -> Self {
+        self.projection = Some(projection);
+        self
+    }
+
+    /// The three-convolution *bottleneck* block of ResNet-50:
+    /// `conv1x1(c_mid) -> norm -> relu -> conv3x3(c_mid, stride) -> norm ->
+    /// relu -> conv1x1(c_out) -> norm`, with a 1x1 projection skip when
+    /// the geometry changes. The 1x1 convolutions squeeze and re-expand
+    /// the channel count so the expensive 3x3 runs thin.
+    pub fn bottleneck_block(c_in: usize, c_mid: usize, c_out: usize, stride: usize) -> Self {
+        let body: Vec<Box<dyn Layer>> = vec![
+            Box::new(Conv2d::projection(c_in, c_mid, 1)),
+            Box::new(ChannelNorm::new(c_mid)),
+            Box::new(Relu),
+            Box::new(Conv2d::new(c_mid, c_mid, 3, stride, 1)),
+            Box::new(ChannelNorm::new(c_mid)),
+            Box::new(Relu),
+            Box::new(Conv2d::projection(c_mid, c_out, 1)),
+            Box::new(ChannelNorm::new(c_out)),
+        ];
+        let block = Residual::new(body);
+        if stride != 1 || c_in != c_out {
+            block.with_projection(Conv2d::projection(c_in, c_out, stride))
+        } else {
+            block
+        }
+    }
+
+    /// The standard two-convolution ResNet basic block:
+    /// `conv3x3(stride) -> norm -> relu -> conv3x3 -> norm`, with a 1x1
+    /// projection skip when `stride != 1` or the channel count changes.
+    pub fn basic_block(c_in: usize, c_out: usize, stride: usize) -> Self {
+        let body: Vec<Box<dyn Layer>> = vec![
+            Box::new(Conv2d::new(c_in, c_out, 3, stride, 1)),
+            Box::new(ChannelNorm::new(c_out)),
+            Box::new(Relu),
+            Box::new(Conv2d::same3x3(c_out, c_out)),
+            Box::new(ChannelNorm::new(c_out)),
+        ];
+        let block = Residual::new(body);
+        if stride != 1 || c_in != c_out {
+            block.with_projection(Conv2d::projection(c_in, c_out, stride))
+        } else {
+            block
+        }
+    }
+
+    fn param_ranges(&self) -> Vec<std::ops::Range<usize>> {
+        let mut ranges = Vec::with_capacity(self.body.len() + 1);
+        let mut off = 0usize;
+        for l in &self.body {
+            ranges.push(off..off + l.param_len());
+            off += l.param_len();
+        }
+        if let Some(p) = &self.projection {
+            ranges.push(off..off + p.param_len());
+        }
+        ranges
+    }
+
+    fn ensure_children(&self, slot: &mut Slot) {
+        let need = self.body.len() + 1; // +1 for the projection (maybe unused)
+        if slot.children.len() != need {
+            slot.children = vec![Slot::default(); need];
+        }
+    }
+}
+
+impl Layer for Residual {
+    fn name(&self) -> &'static str {
+        "residual"
+    }
+
+    fn param_len(&self) -> usize {
+        self.body.iter().map(|l| l.param_len()).sum::<usize>()
+            + self.projection.as_ref().map_or(0, |p| p.param_len())
+    }
+
+    fn output_shape(&self, input: &Shape) -> Shape {
+        let mut shape = input.clone();
+        for l in &self.body {
+            shape = l.output_shape(&shape);
+        }
+        let skip_shape = match &self.projection {
+            Some(p) => p.output_shape(input),
+            None => input.clone(),
+        };
+        assert_eq!(
+            shape, skip_shape,
+            "residual body output {shape} does not match skip path {skip_shape}"
+        );
+        shape
+    }
+
+    fn init(&self, params: &mut [f32], rng: &mut Rng) {
+        let ranges = self.param_ranges();
+        for (i, l) in self.body.iter().enumerate() {
+            l.init(&mut params[ranges[i].clone()], rng);
+        }
+        if let Some(p) = &self.projection {
+            p.init(&mut params[ranges[self.body.len()].clone()], rng);
+        }
+    }
+
+    fn forward(&self, params: &[f32], input: &Tensor, slot: &mut Slot, train: bool) -> Tensor {
+        self.ensure_children(slot);
+        let ranges = self.param_ranges();
+        let mut x = input.clone();
+        for (i, l) in self.body.iter().enumerate() {
+            x = l.forward(&params[ranges[i].clone()], &x, &mut slot.children[i], train);
+        }
+        let skip = match &self.projection {
+            Some(p) => p.forward(
+                &params[ranges[self.body.len()].clone()],
+                input,
+                &mut slot.children[self.body.len()],
+                train,
+            ),
+            None => input.clone(),
+        };
+        add_assign(x.data_mut(), skip.data());
+        // Final ReLU, recording the mask for backward.
+        let mut mask = Tensor::zeros(x.shape().clone());
+        for (m, v) in mask.data_mut().iter_mut().zip(x.data_mut().iter_mut()) {
+            if *v > 0.0 {
+                *m = 1.0;
+            } else {
+                *v = 0.0;
+            }
+        }
+        if train {
+            slot.tensors.clear();
+            slot.tensors.push(mask);
+        }
+        x
+    }
+
+    fn backward(
+        &self,
+        params: &[f32],
+        grad_params: &mut [f32],
+        grad_output: &Tensor,
+        slot: &Slot,
+    ) -> Tensor {
+        let ranges = self.param_ranges();
+        // Through the final ReLU.
+        let mask = &slot.tensors[0];
+        let mut dy = grad_output.clone();
+        for (g, &m) in dy.data_mut().iter_mut().zip(mask.data()) {
+            *g *= m;
+        }
+        // Body path, in reverse.
+        let mut d_body = dy.clone();
+        for (i, l) in self.body.iter().enumerate().rev() {
+            d_body = l.backward(
+                &params[ranges[i].clone()],
+                &mut grad_params[ranges[i].clone()],
+                &d_body,
+                &slot.children[i],
+            );
+        }
+        // Skip path.
+        let d_skip = match &self.projection {
+            Some(p) => {
+                let r = ranges[self.body.len()].clone();
+                p.backward(
+                    &params[r.clone()],
+                    &mut grad_params[r],
+                    &dy,
+                    &slot.children[self.body.len()],
+                )
+            }
+            None => dy,
+        };
+        add_assign(d_body.data_mut(), d_skip.data());
+        d_body
+    }
+
+    fn flops_per_sample(&self, input: &Shape) -> u64 {
+        let mut flops = 0u64;
+        let mut shape = input.clone();
+        for l in &self.body {
+            flops += l.flops_per_sample(&shape);
+            shape = l.output_shape(&shape);
+        }
+        if let Some(p) = &self.projection {
+            flops += p.flops_per_sample(input);
+        }
+        flops + shape.len() as u64 // the add
+    }
+
+    fn op_count(&self) -> usize {
+        self.body.iter().map(|l| l.op_count()).sum::<usize>()
+            + self.projection.as_ref().map_or(0, |p| p.op_count())
+            + 2 // add + relu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::gradcheck::check_layer;
+
+    #[test]
+    fn identity_skip_shapes_must_match() {
+        let block = Residual::basic_block(4, 4, 1);
+        let s = block.output_shape(&Shape::new(&[4, 8, 8]));
+        assert_eq!(s.dims(), &[4, 8, 8]);
+        assert!(block.projection.is_none());
+    }
+
+    #[test]
+    fn strided_block_gets_projection() {
+        let block = Residual::basic_block(4, 8, 2);
+        assert!(block.projection.is_some());
+        let s = block.output_shape(&Shape::new(&[4, 8, 8]));
+        assert_eq!(s.dims(), &[8, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match skip path")]
+    fn mismatched_skip_rejected() {
+        // Body changes channels but no projection is configured.
+        let block = Residual::new(vec![Box::new(Conv2d::same3x3(4, 8))]);
+        let _ = block.output_shape(&Shape::new(&[4, 8, 8]));
+    }
+
+    #[test]
+    fn zero_body_acts_like_relu_of_skip() {
+        // A single conv with zero weights: body(x) = 0, out = relu(x).
+        let block = Residual::new(vec![Box::new(Conv2d::same3x3(1, 1))]);
+        let params = vec![0.0; block.param_len()];
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![-1.0, 2.0, -3.0, 4.0]);
+        let mut slot = Slot::default();
+        let y = block.forward(&params, &x, &mut slot, true);
+        assert_eq!(y.data(), &[0.0, 2.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn gradcheck_identity_skip() {
+        check_layer(&Residual::basic_block(2, 2, 1), &[2, 4, 4], 2, 61);
+    }
+
+    #[test]
+    fn gradcheck_projection_skip() {
+        check_layer(&Residual::basic_block(2, 4, 2), &[2, 4, 4], 2, 62);
+    }
+
+    #[test]
+    fn bottleneck_squeezes_channels() {
+        let block = Residual::bottleneck_block(8, 2, 8, 1);
+        assert!(block.projection.is_none(), "same geometry: identity skip");
+        let s = block.output_shape(&Shape::new(&[8, 4, 4]));
+        assert_eq!(s.dims(), &[8, 4, 4]);
+        // A bottleneck has fewer parameters than a basic block of the
+        // same width — the whole point of the 1x1 squeeze.
+        let basic = Residual::basic_block(8, 8, 1);
+        assert!(block.param_len() < basic.param_len());
+    }
+
+    #[test]
+    fn bottleneck_with_stride_projects() {
+        let block = Residual::bottleneck_block(4, 2, 8, 2);
+        assert!(block.projection.is_some());
+        let s = block.output_shape(&Shape::new(&[4, 8, 8]));
+        assert_eq!(s.dims(), &[8, 4, 4]);
+    }
+
+    #[test]
+    fn gradcheck_bottleneck() {
+        check_layer(
+            &Residual::bottleneck_block(4, 2, 4, 1),
+            &[4, 4, 4],
+            2,
+            63,
+        );
+    }
+
+    #[test]
+    fn param_len_sums_inner_layers() {
+        let block = Residual::basic_block(4, 8, 2);
+        let body: usize = block.body.iter().map(|l| l.param_len()).sum();
+        let proj = block.projection.as_ref().unwrap().param_len();
+        assert_eq!(block.param_len(), body + proj);
+        assert!(block.op_count() > 2);
+    }
+}

@@ -1,0 +1,134 @@
+//! Softmax cross-entropy loss and accuracy metrics.
+
+use crossbow_tensor::Tensor;
+
+/// Softmax cross-entropy over a batch of logits.
+///
+/// `logits` is `[batch, classes]`; `labels[i]` is the class index of sample
+/// `i`. Returns the mean loss and the gradient with respect to the logits
+/// (already divided by the batch size, matching Eq. 2's averaging).
+///
+/// # Panics
+/// Panics on shape/label mismatches.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let dims = logits.shape().dims();
+    assert_eq!(dims.len(), 2, "logits must be [batch, classes]");
+    let (batch, classes) = (dims[0], dims[1]);
+    assert_eq!(labels.len(), batch, "one label per sample");
+    assert!(batch > 0, "empty batch");
+    let mut grad = Tensor::zeros(logits.shape().clone());
+    let mut loss = 0.0f64;
+    let inv_b = 1.0 / batch as f32;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = &logits.data()[i * classes..(i + 1) * classes];
+        assert!(label < classes, "label {label} out of range");
+        // Numerically stable log-softmax.
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut sum_exp = 0.0f32;
+        for &v in row {
+            sum_exp += (v - max).exp();
+        }
+        let log_z = max + sum_exp.ln();
+        loss += f64::from(log_z - row[label]);
+        let grow = &mut grad.data_mut()[i * classes..(i + 1) * classes];
+        for (j, g) in grow.iter_mut().enumerate() {
+            let p = (row[j] - log_z).exp();
+            *g = (p - if j == label { 1.0 } else { 0.0 }) * inv_b;
+        }
+    }
+    ((loss / batch as f64) as f32, grad)
+}
+
+/// Fraction of samples whose argmax logit matches the label.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    let dims = logits.shape().dims();
+    assert_eq!(dims.len(), 2, "logits must be [batch, classes]");
+    let (batch, classes) = (dims[0], dims[1]);
+    assert_eq!(labels.len(), batch, "one label per sample");
+    if batch == 0 {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = &logits.data()[i * classes..(i + 1) * classes];
+        let mut best = 0usize;
+        for j in 1..classes {
+            if row[j] > row[best] {
+                best = j;
+            }
+        }
+        if best == label {
+            correct += 1;
+        }
+    }
+    correct as f64 / batch as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_classes_loss() {
+        let logits = Tensor::zeros([2, 4]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+        // Gradient rows sum to zero.
+        for i in 0..2 {
+            let s: f32 = grad.data()[i * 4..(i + 1) * 4].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_small_loss() {
+        let logits = Tensor::from_vec([1, 3], vec![10.0, -10.0, -10.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3, "loss {loss}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec([2, 3], vec![0.3, -0.2, 0.9, 1.5, 0.1, -0.7]);
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut up = logits.clone();
+            up.data_mut()[i] += eps;
+            let mut dn = logits.clone();
+            dn.data_mut()[i] -= eps;
+            let (lu, _) = softmax_cross_entropy(&up, &labels);
+            let (ld, _) = softmax_cross_entropy(&dn, &labels);
+            let num = (lu - ld) / (2.0 * eps);
+            assert!(
+                (num - grad.data()[i]).abs() < 1e-3,
+                "elem {i}: {num} vs {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_logits_stay_finite() {
+        let logits = Tensor::from_vec([1, 2], vec![1000.0, -1000.0]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[1]);
+        assert!(loss.is_finite());
+        assert!(grad.is_finite());
+        assert!(loss > 100.0, "confidently wrong is expensive");
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::from_vec([3, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(accuracy(&logits, &[0, 1, 0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label")]
+    fn out_of_range_label_panics() {
+        let logits = Tensor::zeros([1, 2]);
+        let _ = softmax_cross_entropy(&logits, &[5]);
+    }
+}

@@ -1,0 +1,373 @@
+//! The [`Network`] container: a sequential stack of layers with flat,
+//! externally owned parameters.
+//!
+//! A `Network` is immutable after construction and `Send + Sync`, so one
+//! definition is shared by every learner thread. Each learner owns:
+//!
+//! * a parameter vector (`Vec<f32>` of [`Network::param_len`] elements) —
+//!   its *model replica* in the paper's vocabulary;
+//! * a gradient vector of the same length;
+//! * a [`Scratch`] workspace holding per-layer forward state.
+//!
+//! This mirrors CROSSBOW's memory layout: "model weights and their
+//! gradients are kept in contiguous memory, [so] a single allocation call
+//! suffices" when the auto-tuner adds a learner (§4.4).
+
+use crate::layer::{Layer, Slot};
+use crate::loss::{accuracy, softmax_cross_entropy};
+use crossbow_tensor::{Rng, Shape, Tensor};
+use std::ops::Range;
+
+/// A sequential neural network with externally stored parameters.
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+    input_shape: Shape,
+    output_classes: usize,
+    offsets: Vec<Range<usize>>,
+    param_len: usize,
+    /// Per-sample shapes entering each layer (index i = input of layer i);
+    /// the last entry is the network output shape.
+    shapes: Vec<Shape>,
+}
+
+/// Builder for [`Network`].
+pub struct NetworkBuilder {
+    input_shape: Shape,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl NetworkBuilder {
+    /// Appends a layer.
+    #[allow(clippy::should_implement_trait)] // builder-style push, not ops::Add
+    pub fn add(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends an already boxed layer.
+    pub fn add_boxed(mut self, layer: Box<dyn Layer>) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Validates the layer chain and produces the network.
+    ///
+    /// # Panics
+    /// Panics if shapes do not chain, the network is empty, or the output
+    /// is not a class-score vector.
+    pub fn build(self) -> Network {
+        Network::new(self.input_shape, self.layers)
+    }
+}
+
+/// Per-learner workspace: one [`Slot`] per layer.
+#[derive(Clone, Debug, Default)]
+pub struct Scratch {
+    slots: Vec<Slot>,
+}
+
+impl Network {
+    /// Starts building a network for per-sample inputs of `input_shape`.
+    pub fn builder<S: Into<Shape>>(input_shape: S) -> NetworkBuilder {
+        NetworkBuilder {
+            input_shape: input_shape.into(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Creates a network from a layer stack, validating shape chaining.
+    pub fn new(input_shape: Shape, layers: Vec<Box<dyn Layer>>) -> Self {
+        assert!(!layers.is_empty(), "network needs at least one layer");
+        let mut shapes = vec![input_shape.clone()];
+        for layer in &layers {
+            let next = layer.output_shape(shapes.last().expect("non-empty"));
+            shapes.push(next);
+        }
+        let out = shapes.last().expect("non-empty");
+        assert_eq!(
+            out.rank(),
+            1,
+            "network must end in a class-score vector, got {out}"
+        );
+        let output_classes = out.dim(0);
+        let mut offsets = Vec::with_capacity(layers.len());
+        let mut off = 0usize;
+        for layer in &layers {
+            offsets.push(off..off + layer.param_len());
+            off += layer.param_len();
+        }
+        Network {
+            layers,
+            input_shape,
+            output_classes,
+            offsets,
+            param_len: off,
+            shapes,
+        }
+    }
+
+    /// Total number of parameters.
+    pub fn param_len(&self) -> usize {
+        self.param_len
+    }
+
+    /// Per-sample input shape.
+    pub fn input_shape(&self) -> &Shape {
+        &self.input_shape
+    }
+
+    /// Number of output classes.
+    pub fn output_classes(&self) -> usize {
+        self.output_classes
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Per-sample shape entering layer `i` (`i == layers().len()` gives the
+    /// output shape).
+    pub fn shape_at(&self, i: usize) -> &Shape {
+        &self.shapes[i]
+    }
+
+    /// Parameter range of layer `i` within the flat vector.
+    pub fn param_range(&self, i: usize) -> Range<usize> {
+        self.offsets[i].clone()
+    }
+
+    /// Allocates and initialises a fresh parameter vector (a model
+    /// replica).
+    pub fn init_params(&self, rng: &mut Rng) -> Vec<f32> {
+        let mut params = vec![0.0f32; self.param_len];
+        for (layer, range) in self.layers.iter().zip(&self.offsets) {
+            layer.init(&mut params[range.clone()], rng);
+        }
+        params
+    }
+
+    /// Allocates a workspace sized for this network.
+    pub fn scratch(&self) -> Scratch {
+        Scratch {
+            slots: vec![Slot::default(); self.layers.len()],
+        }
+    }
+
+    /// Runs the forward pass over a batch, returning `[batch, classes]`
+    /// logits. With `train == true` the scratch retains what backward
+    /// needs.
+    ///
+    /// # Panics
+    /// Panics if `params` or the batch shape do not match the network.
+    pub fn forward(
+        &self,
+        params: &[f32],
+        batch: &Tensor,
+        scratch: &mut Scratch,
+        train: bool,
+    ) -> Tensor {
+        assert_eq!(params.len(), self.param_len, "parameter vector mismatch");
+        assert_eq!(
+            scratch.slots.len(),
+            self.layers.len(),
+            "scratch from a different network"
+        );
+        debug_assert_eq!(
+            batch.len() % self.input_shape.len().max(1),
+            0,
+            "batch not divisible into samples"
+        );
+        let mut x = batch.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward(&params[self.offsets[i].clone()], &x, &mut scratch.slots[i], train);
+        }
+        let b = x.len() / self.output_classes;
+        x.reshape([b, self.output_classes])
+    }
+
+    /// Forward + softmax cross-entropy + backward. Writes the gradient
+    /// (overwriting) into `grad` and returns `(mean loss, batch accuracy)`.
+    pub fn loss_and_grad(
+        &self,
+        params: &[f32],
+        batch: &Tensor,
+        labels: &[usize],
+        grad: &mut [f32],
+        scratch: &mut Scratch,
+    ) -> (f32, f64) {
+        assert_eq!(grad.len(), self.param_len, "gradient vector mismatch");
+        let logits = self.forward(params, batch, scratch, true);
+        let (loss, mut upstream) = softmax_cross_entropy(&logits, labels);
+        let acc = accuracy(&logits, labels);
+        grad.iter_mut().for_each(|g| *g = 0.0);
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            upstream = layer.backward(
+                &params[self.offsets[i].clone()],
+                &mut grad[self.offsets[i].clone()],
+                &upstream,
+                &scratch.slots[i],
+            );
+        }
+        (loss, acc)
+    }
+
+    /// Evaluates accuracy over a labelled set, in chunks of `batch_size`.
+    pub fn evaluate(
+        &self,
+        params: &[f32],
+        images: &Tensor,
+        labels: &[usize],
+        batch_size: usize,
+    ) -> f64 {
+        assert!(batch_size > 0, "batch_size must be positive");
+        let sample_len = self.input_shape.len();
+        let n = labels.len();
+        assert_eq!(images.len(), n * sample_len, "images/labels mismatch");
+        if n == 0 {
+            return 0.0;
+        }
+        let mut scratch = self.scratch();
+        let mut correct = 0.0f64;
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + batch_size).min(n);
+            let mut dims = vec![end - start];
+            dims.extend_from_slice(self.input_shape.dims());
+            let chunk = Tensor::from_vec(
+                Shape::new(&dims),
+                images.data()[start * sample_len..end * sample_len].to_vec(),
+            );
+            let logits = self.forward(params, &chunk, &mut scratch, false);
+            correct += accuracy(&logits, &labels[start..end]) * (end - start) as f64;
+            start = end;
+        }
+        correct / n as f64
+    }
+
+    /// Total forward FLOPs per sample.
+    pub fn flops_per_sample(&self) -> u64 {
+        self.layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| l.flops_per_sample(&self.shapes[i]))
+            .sum()
+    }
+
+    /// Total primitive operator count (forward + backward kernels).
+    pub fn op_count(&self) -> usize {
+        self.layers.iter().map(|l| l.op_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Dense, Relu};
+
+    fn tiny_net() -> Network {
+        Network::builder([4])
+            .add(Dense::new(4, 8))
+            .add(Relu)
+            .add(Dense::new(8, 3))
+            .build()
+    }
+
+    #[test]
+    fn param_layout_is_contiguous() {
+        let net = tiny_net();
+        assert_eq!(net.param_len(), 4 * 8 + 8 + 8 * 3 + 3);
+        assert_eq!(net.param_range(0), 0..40);
+        assert_eq!(net.param_range(1), 40..40);
+        assert_eq!(net.param_range(2), 40..67);
+        assert_eq!(net.output_classes(), 3);
+    }
+
+    #[test]
+    fn forward_shape_is_batch_by_classes() {
+        let net = tiny_net();
+        let mut rng = Rng::new(1);
+        let params = net.init_params(&mut rng);
+        let batch = Tensor::randn([5, 4], 1.0, &mut rng);
+        let mut scratch = net.scratch();
+        let logits = net.forward(&params, &batch, &mut scratch, false);
+        assert_eq!(logits.shape().dims(), &[5, 3]);
+        assert!(logits.is_finite());
+    }
+
+    #[test]
+    fn network_gradient_matches_finite_differences() {
+        let net = tiny_net();
+        let mut rng = Rng::new(2);
+        let params = net.init_params(&mut rng);
+        let batch = Tensor::randn([3, 4], 1.0, &mut rng);
+        let labels = [0usize, 2, 1];
+        let mut grad = vec![0.0f32; net.param_len()];
+        let mut scratch = net.scratch();
+        let (_, _) = net.loss_and_grad(&params, &batch, &labels, &mut grad, &mut scratch);
+        let eps = 1e-2f32;
+        let loss_at = |p: &[f32]| {
+            let mut s = net.scratch();
+            let logits = net.forward(p, &batch, &mut s, false);
+            softmax_cross_entropy(&logits, &labels).0
+        };
+        for i in (0..net.param_len()).step_by(7) {
+            let mut up = params.clone();
+            up[i] += eps;
+            let mut dn = params.clone();
+            dn[i] -= eps;
+            let num = (loss_at(&up) - loss_at(&dn)) / (2.0 * eps);
+            assert!(
+                (num - grad[i]).abs() < 5e-3 * (1.0 + num.abs()),
+                "param {i}: numeric {num} vs analytic {}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn loss_and_grad_overwrites_stale_gradients() {
+        let net = tiny_net();
+        let mut rng = Rng::new(3);
+        let params = net.init_params(&mut rng);
+        let batch = Tensor::randn([2, 4], 1.0, &mut rng);
+        let mut grad = vec![99.0f32; net.param_len()];
+        let mut scratch = net.scratch();
+        net.loss_and_grad(&params, &batch, &[0, 1], &mut grad, &mut scratch);
+        assert!(grad.iter().all(|g| g.abs() < 50.0), "stale values cleared");
+    }
+
+    #[test]
+    fn evaluate_chunks_cover_all_samples() {
+        let net = tiny_net();
+        let mut rng = Rng::new(4);
+        let params = net.init_params(&mut rng);
+        let images = Tensor::randn([10, 4], 1.0, &mut rng);
+        let labels: Vec<usize> = (0..10).map(|i| i % 3).collect();
+        let full = net.evaluate(&params, &images, &labels, 10);
+        let chunked = net.evaluate(&params, &images, &labels, 3);
+        assert!((full - chunked).abs() < 1e-12, "chunking must not change accuracy");
+    }
+
+    #[test]
+    fn init_is_deterministic_per_seed() {
+        let net = tiny_net();
+        let a = net.init_params(&mut Rng::new(9));
+        let b = net.init_params(&mut Rng::new(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "class-score vector")]
+    fn must_end_in_vector() {
+        let _ = Network::builder([1, 4, 4])
+            .add(crate::layer::Conv2d::same3x3(1, 2))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_network_rejected() {
+        let _ = Network::builder([4]).build();
+    }
+}

@@ -1,0 +1,70 @@
+//! LeNet (LeCun et al. [33]) — the paper's small MNIST benchmark.
+
+use crate::layer::{Conv2d, Dense, Flatten, MaxPool2d, Relu};
+use crate::network::Network;
+use crossbow_tensor::conv::conv_out;
+
+/// Builds a LeNet-5-style network for `in_c x hw x hw` inputs:
+/// `conv5x5(6) -> pool -> conv5x5(16) -> pool -> fc120 -> fc84 -> classes`
+/// (ReLU activations; the first convolution pads so any `hw >= 12` works).
+///
+/// # Panics
+/// Panics if `hw < 12` (the second conv/pool pair would not fit).
+pub fn lenet(in_c: usize, hw: usize, classes: usize) -> Network {
+    assert!(hw >= 12, "lenet needs inputs of at least 12x12, got {hw}");
+    // Track spatial size through the stack to size the dense head.
+    let after_pool1 = conv_out(hw, 2, 2, 0); // conv1 is "same"
+    let after_conv2 = conv_out(after_pool1, 5, 1, 0);
+    let after_pool2 = conv_out(after_conv2, 2, 2, 0);
+    let flat = 16 * after_pool2 * after_pool2;
+    Network::builder([in_c, hw, hw])
+        .add(Conv2d::new(in_c, 6, 5, 1, 2))
+        .add(Relu)
+        .add(MaxPool2d::halving())
+        .add(Conv2d::new(6, 16, 5, 1, 0))
+        .add(Relu)
+        .add(MaxPool2d::halving())
+        .add(Flatten)
+        .add(Dense::new(flat, 120))
+        .add(Relu)
+        .add(Dense::new(120, 84))
+        .add(Relu)
+        .add(Dense::new(84, classes).with_xavier())
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::zoo_tests::smoke;
+
+    #[test]
+    fn classic_28x28_geometry() {
+        // 28 -> pool 14 -> conv5 10 -> pool 5 -> flatten 16*25 = 400,
+        // matching the original LeNet-5 head.
+        let net = lenet(1, 28, 10);
+        assert_eq!(net.output_classes(), 10);
+        smoke(&net, 2, 81);
+    }
+
+    #[test]
+    fn compact_16x16_geometry() {
+        // 16 -> 8 -> 4 -> 2: flatten 64.
+        let net = lenet(1, 16, 10);
+        smoke(&net, 3, 82);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 12x12")]
+    fn too_small_input_rejected() {
+        let _ = lenet(1, 8, 10);
+    }
+
+    #[test]
+    fn parameter_count_is_lenet_scale() {
+        let net = lenet(1, 28, 10);
+        // Original LeNet-5 has ~61k parameters.
+        let p = net.param_len();
+        assert!((50_000..80_000).contains(&p), "got {p}");
+    }
+}

@@ -1,0 +1,50 @@
+//! Multi-layer perceptron — not one of the paper's benchmarks, but the
+//! fastest-converging model family; property tests and examples use it to
+//! exercise the training algorithms cheaply.
+
+use crate::layer::{Dense, Relu};
+use crate::network::Network;
+
+/// Builds `input -> hidden[0] -> ... -> classes` with ReLU between dense
+/// layers and a Xavier-initialised linear head.
+///
+/// # Panics
+/// Panics on zero sizes.
+pub fn mlp(input_len: usize, hidden: &[usize], classes: usize) -> Network {
+    assert!(input_len > 0 && classes > 0, "zero-sized mlp");
+    let mut b = Network::builder([input_len]);
+    let mut width = input_len;
+    for &h in hidden {
+        b = b.add(Dense::new(width, h)).add(Relu);
+        width = h;
+    }
+    b.add(Dense::new(width, classes).with_xavier()).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::zoo_tests::smoke;
+
+    #[test]
+    fn shapes_and_params() {
+        let net = mlp(10, &[16, 8], 3);
+        assert_eq!(net.output_classes(), 3);
+        assert_eq!(
+            net.param_len(),
+            10 * 16 + 16 + 16 * 8 + 8 + 8 * 3 + 3
+        );
+    }
+
+    #[test]
+    fn no_hidden_layers_is_logistic_regression() {
+        let net = mlp(4, &[], 2);
+        assert_eq!(net.layers().len(), 1);
+        smoke(&net, 4, 71);
+    }
+
+    #[test]
+    fn smoke_two_hidden() {
+        smoke(&mlp(8, &[12, 6], 4), 5, 72);
+    }
+}

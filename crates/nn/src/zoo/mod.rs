@@ -1,0 +1,50 @@
+//! The model zoo: the paper's four benchmark families (Table 1) in
+//! CPU-trainable form.
+//!
+//! *Substitution note.* The statistical-efficiency experiments really train
+//! these networks with real gradients, so they must converge in seconds on
+//! a CPU. We therefore keep each family's *topology* — LeNet's
+//! conv/pool/dense sandwich, ResNet's residual stages with strided
+//! transitions, VGG's conv-conv-pool stacks — but expose width/depth knobs
+//! and default to reduced sizes matched to the synthetic datasets in
+//! `crossbow-data`. The *full-size* cost parameters used by the GPU
+//! simulator live in [`crate::profile`] and are taken from Table 1
+//! unchanged.
+
+pub mod lenet;
+pub mod mlp;
+pub mod resnet;
+pub mod vgg;
+
+pub use lenet::lenet;
+pub use mlp::mlp;
+pub use resnet::{resnet, resnet_bottleneck, resnet_small};
+pub use vgg::{vgg, vgg_small};
+
+#[cfg(test)]
+pub(crate) mod zoo_tests {
+    use crate::network::Network;
+    use crossbow_tensor::{Rng, Tensor};
+
+    /// Shared smoke test: init, forward, backward run and produce finite
+    /// values of the right shapes.
+    pub(crate) fn smoke(net: &Network, batch: usize, seed: u64) {
+        let mut rng = Rng::new(seed);
+        let params = net.init_params(&mut rng);
+        assert_eq!(params.len(), net.param_len());
+        let mut dims = vec![batch];
+        dims.extend_from_slice(net.input_shape().dims());
+        let images = Tensor::randn(crossbow_tensor::Shape::new(&dims), 1.0, &mut rng);
+        let labels: Vec<usize> = (0..batch).map(|i| i % net.output_classes()).collect();
+        let mut grad = vec![0.0f32; net.param_len()];
+        let mut scratch = net.scratch();
+        let (loss, acc) = net.loss_and_grad(&params, &images, &labels, &mut grad, &mut scratch);
+        assert!(loss.is_finite() && loss > 0.0, "loss {loss}");
+        assert!((0.0..=1.0).contains(&acc));
+        assert!(grad.iter().all(|g| g.is_finite()));
+        assert!(
+            grad.iter().any(|&g| g != 0.0),
+            "gradient must not vanish identically"
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! CIFAR-style ResNets (He et al. [17]) — the paper's ResNet-32 and the
+//! family ResNet-50 belongs to.
+//!
+//! The CIFAR ResNet recipe has `6n + 2` layers: a stem convolution, three
+//! stages of `n` basic blocks with widths `w, 2w, 4w` (stages 2 and 3
+//! starting with a stride-2 transition), global average pooling and a
+//! dense classifier. ResNet-32 is `n = 5, w = 16`.
+
+use crate::layer::{ChannelNorm, Conv2d, Dense, GlobalAvgPool, Relu, Residual};
+use crate::network::Network;
+
+/// Builds a CIFAR-style ResNet with `n` basic blocks per stage and stem
+/// width `w` for `in_c x hw x hw` inputs. Depth = `6n + 2`.
+///
+/// # Panics
+/// Panics if `n == 0`, `w == 0` or `hw < 8` (three stages need two
+/// halvings).
+pub fn resnet(n: usize, w: usize, in_c: usize, hw: usize, classes: usize) -> Network {
+    assert!(n > 0 && w > 0, "resnet needs n, w >= 1");
+    assert!(hw >= 8, "resnet needs inputs of at least 8x8, got {hw}");
+    let mut b = Network::builder([in_c, hw, hw])
+        .add(Conv2d::same3x3(in_c, w))
+        .add(ChannelNorm::new(w))
+        .add(Relu);
+    let widths = [w, 2 * w, 4 * w];
+    let mut c_in = w;
+    for (stage, &c_out) in widths.iter().enumerate() {
+        for block in 0..n {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            b = b.add(Residual::basic_block(c_in, c_out, stride));
+            c_in = c_out;
+        }
+    }
+    b.add(GlobalAvgPool)
+        .add(Dense::new(4 * w, classes).with_xavier())
+        .build()
+}
+
+/// The reduced ResNet used for real CPU training in the statistical-
+/// efficiency experiments: depth 14 (`n = 2`), width 8. Same family shape
+/// as ResNet-32, ~45x fewer FLOPs.
+pub fn resnet_small(in_c: usize, hw: usize, classes: usize) -> Network {
+    resnet(2, 8, in_c, hw, classes)
+}
+
+/// A bottleneck-block ResNet — the ResNet-50 family shape: a stem, then
+/// three stages of `n` bottleneck blocks with a 4x channel expansion,
+/// global average pooling and a classifier.
+///
+/// # Panics
+/// Panics on zero sizes or inputs too small for two halvings.
+pub fn resnet_bottleneck(n: usize, w: usize, in_c: usize, hw: usize, classes: usize) -> Network {
+    assert!(n > 0 && w > 0, "resnet needs n, w >= 1");
+    assert!(hw >= 8, "resnet needs inputs of at least 8x8, got {hw}");
+    let expansion = 4;
+    let mut b = Network::builder([in_c, hw, hw])
+        .add(Conv2d::same3x3(in_c, w))
+        .add(ChannelNorm::new(w))
+        .add(Relu);
+    let mut c_in = w;
+    for stage in 0..3 {
+        let c_mid = w << stage;
+        let c_out = c_mid * expansion;
+        for block in 0..n {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            b = b.add(Residual::bottleneck_block(c_in, c_mid, c_out, stride));
+            c_in = c_out;
+        }
+    }
+    b.add(GlobalAvgPool)
+        .add(Dense::new(c_in, classes).with_xavier())
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::zoo_tests::smoke;
+
+    #[test]
+    fn depth_formula_holds() {
+        // n = 2 -> 6 blocks; layers() counts composites as one entry:
+        // stem (3) + 6 blocks + gap + dense = 11 top-level layers.
+        let net = resnet(2, 8, 3, 16, 10);
+        assert_eq!(net.layers().len(), 11);
+        assert_eq!(net.output_classes(), 10);
+    }
+
+    #[test]
+    fn stage_transitions_halve_resolution() {
+        let net = resnet(1, 4, 3, 16, 10);
+        // Shapes: input [3,16,16]; after stem+stage1 [4,16,16]; stage2
+        // [8,8,8]; stage3 [16,4,4].
+        let n_layers = net.layers().len();
+        let before_gap = net.shape_at(n_layers - 2);
+        assert_eq!(before_gap.dims(), &[16, 4, 4]);
+    }
+
+    #[test]
+    fn smoke_small() {
+        smoke(&resnet_small(3, 16, 10), 2, 91);
+    }
+
+    #[test]
+    fn resnet32_configuration_builds() {
+        // The real ResNet-32: n = 5, w = 16 on 32x32x3. Build and check
+        // the parameter count is ~0.46M (He et al. report 0.46M).
+        let net = resnet(5, 16, 3, 32, 10);
+        let p = net.param_len();
+        assert!((400_000..600_000).contains(&p), "got {p}");
+    }
+
+    #[test]
+    fn bottleneck_family_builds_and_trains() {
+        let net = resnet_bottleneck(1, 4, 3, 16, 10);
+        assert_eq!(net.output_classes(), 10);
+        smoke(&net, 2, 92);
+        // Output of the last stage is 4 * (4 << 2) = 64 channels.
+        let n_layers = net.layers().len();
+        assert_eq!(net.shape_at(n_layers - 2).dims()[0], 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8x8")]
+    fn tiny_input_rejected() {
+        let _ = resnet(1, 4, 3, 4, 10);
+    }
+}

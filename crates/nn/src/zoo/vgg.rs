@@ -1,0 +1,93 @@
+//! VGG (Simonyan & Zisserman) — the paper's shallow, high-dimension
+//! benchmark (VGG-16 on CIFAR-100, following [61]).
+
+use crate::layer::{ChannelNorm, Conv2d, Dense, Flatten, MaxPool2d, Relu};
+use crate::network::Network;
+
+/// Builds a VGG-style network: for each entry `w` in `stage_widths`, a
+/// `conv3x3(w) -> norm -> relu -> conv3x3(w) -> norm -> relu -> pool`
+/// stage, followed by a `fc(head) -> relu -> fc(classes)` classifier.
+///
+/// # Panics
+/// Panics if the input resolution cannot survive one halving per stage, or
+/// any size is zero.
+pub fn vgg(
+    stage_widths: &[usize],
+    head: usize,
+    in_c: usize,
+    hw: usize,
+    classes: usize,
+) -> Network {
+    assert!(!stage_widths.is_empty(), "vgg needs at least one stage");
+    assert!(head > 0 && classes > 0, "zero-sized vgg head");
+    assert!(
+        hw >= 1 << stage_widths.len(),
+        "{hw}x{hw} input cannot be pooled {} times",
+        stage_widths.len()
+    );
+    let mut b = Network::builder([in_c, hw, hw]);
+    let mut c_in = in_c;
+    let mut res = hw;
+    for &w in stage_widths {
+        assert!(w > 0, "zero-width stage");
+        b = b
+            .add(Conv2d::same3x3(c_in, w))
+            .add(ChannelNorm::new(w))
+            .add(Relu)
+            .add(Conv2d::same3x3(w, w))
+            .add(ChannelNorm::new(w))
+            .add(Relu)
+            .add(MaxPool2d::halving());
+        c_in = w;
+        res /= 2;
+    }
+    let flat = c_in * res * res;
+    b.add(Flatten)
+        .add(Dense::new(flat, head))
+        .add(Relu)
+        .add(Dense::new(head, classes).with_xavier())
+        .build()
+}
+
+/// The reduced VGG used for real CPU training: three two-conv stages of
+/// widths 8/16/32 and a 64-unit head. Same conv-conv-pool family shape as
+/// VGG-16, orders of magnitude fewer FLOPs.
+pub fn vgg_small(in_c: usize, hw: usize, classes: usize) -> Network {
+    vgg(&[8, 16, 32], 64, in_c, hw, classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::zoo_tests::smoke;
+
+    #[test]
+    fn stage_count_matches_widths() {
+        let net = vgg(&[4, 8], 16, 3, 16, 10);
+        // 2 stages x 7 layers + flatten + 3 head layers = 18.
+        assert_eq!(net.layers().len(), 18);
+        assert_eq!(net.output_classes(), 10);
+    }
+
+    #[test]
+    fn resolution_halves_per_stage() {
+        let net = vgg(&[4, 8, 16], 32, 3, 16, 10);
+        let flatten_idx = net
+            .layers()
+            .iter()
+            .position(|l| l.name() == "flatten")
+            .unwrap();
+        assert_eq!(net.shape_at(flatten_idx).dims(), &[16, 2, 2]);
+    }
+
+    #[test]
+    fn smoke_small() {
+        smoke(&vgg_small(3, 16, 10), 2, 101);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be pooled")]
+    fn too_many_stages_rejected() {
+        let _ = vgg(&[4, 8, 16, 32], 16, 3, 8, 10);
+    }
+}

@@ -1,0 +1,148 @@
+//! Asynchronous SGD with configurable staleness — the §2.3 strawman.
+//!
+//! In A-SGD a worker "progresses to the next iteration immediately after
+//! its partial gradient was added", so gradients are computed against
+//! *stale* model versions. We model that deterministically: `replica(j)`
+//! returns the model as it was `staleness` steps ago, while `step` applies
+//! the (stale) gradients to the current model sequentially. With
+//! `staleness == 0` this degenerates to sequential SGD.
+//!
+//! The paper rejects A-SGD because stale gradients make training complex
+//! models unreliable; the integration tests reproduce that finding
+//! (staleness slows or destabilises convergence), which is why CROSSBOW is
+//! synchronous.
+
+use crate::algorithm::SyncAlgorithm;
+use crate::optimizer::{Sgd, SgdConfig};
+use std::collections::VecDeque;
+
+/// Asynchronous SGD over a single shared model with stale reads.
+pub struct ASgd {
+    model: Vec<f32>,
+    opt: Sgd,
+    k: usize,
+    staleness: usize,
+    /// Ring of past model snapshots; front is the oldest retained.
+    history: VecDeque<Vec<f32>>,
+}
+
+impl ASgd {
+    /// Creates A-SGD with `k` workers reading `staleness`-step-old models.
+    ///
+    /// # Panics
+    /// Panics when `k == 0` or the model is empty.
+    pub fn new(initial: Vec<f32>, k: usize, staleness: usize, config: SgdConfig) -> Self {
+        assert!(k > 0, "need at least one worker");
+        assert!(!initial.is_empty(), "empty model");
+        let len = initial.len();
+        let mut history = VecDeque::with_capacity(staleness + 1);
+        history.push_back(initial.clone());
+        ASgd {
+            model: initial,
+            opt: Sgd::new(len, config),
+            k,
+            staleness,
+            history,
+        }
+    }
+
+    /// Configured staleness in steps.
+    pub fn staleness(&self) -> usize {
+        self.staleness
+    }
+}
+
+impl SyncAlgorithm for ASgd {
+    fn name(&self) -> &'static str {
+        "a-sgd"
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn param_len(&self) -> usize {
+        self.model.len()
+    }
+
+    /// Workers read the oldest retained snapshot — a model version up to
+    /// `staleness` steps behind the current one.
+    fn replica(&self, j: usize) -> &[f32] {
+        assert!(j < self.k, "worker {j} out of range");
+        self.history.front().expect("history never empty")
+    }
+
+    fn step(&mut self, grads: &[Vec<f32>], lr: f32) {
+        assert_eq!(grads.len(), self.k, "one gradient per worker");
+        // Workers race to apply their gradients one at a time; no
+        // averaging, each is a full update (Hogwild-style accumulation).
+        let scale = 1.0 / self.k as f32;
+        for g in grads {
+            let scaled: Vec<f32> = g.iter().map(|&x| x * scale).collect();
+            self.opt.step(&mut self.model, &scaled, lr);
+        }
+        self.history.push_back(self.model.clone());
+        while self.history.len() > self.staleness + 1 {
+            self.history.pop_front();
+        }
+    }
+
+    fn consensus(&self) -> &[f32] {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_staleness_reads_current_model() {
+        let mut a = ASgd::new(vec![0.0], 1, 0, SgdConfig::plain());
+        a.step(&[vec![1.0]], 0.5);
+        assert_eq!(a.replica(0), a.consensus());
+        assert!((a.consensus()[0] + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stale_reads_lag_behind() {
+        let mut a = ASgd::new(vec![0.0], 1, 2, SgdConfig::plain());
+        a.step(&[vec![1.0]], 0.1); // model: -0.1
+        a.step(&[vec![1.0]], 0.1); // model: -0.2
+        a.step(&[vec![1.0]], 0.1); // model: -0.3
+        // Worker reads the snapshot from 2 steps ago (-0.1).
+        assert!((a.replica(0)[0] + 0.1).abs() < 1e-6);
+        assert!((a.consensus()[0] + 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn staleness_slows_quadratic_convergence() {
+        // Minimise 0.5 w^2 from w=1 with gradients evaluated at stale
+        // points; more staleness leaves a larger residual after a fixed
+        // iteration budget (and can oscillate).
+        let run = |staleness: usize| {
+            let mut a = ASgd::new(vec![1.0], 2, staleness, SgdConfig::plain());
+            for _ in 0..40 {
+                let at = a.replica(0).to_vec();
+                a.step(&[vec![at[0]], vec![at[0]]], 0.3);
+            }
+            a.consensus()[0].abs()
+        };
+        let fresh = run(0);
+        let stale = run(4);
+        assert!(
+            stale > fresh,
+            "staleness should hurt: fresh {fresh} vs stale {stale}"
+        );
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut a = ASgd::new(vec![0.0], 1, 3, SgdConfig::plain());
+        for _ in 0..20 {
+            a.step(&[vec![0.1]], 0.1);
+        }
+        assert!(a.history.len() <= 4);
+        assert_eq!(a.staleness(), 3);
+    }
+}

@@ -1,0 +1,112 @@
+//! Learning-rate schedules.
+//!
+//! §5.1: "in ResNet-32, the learning rate is multiplied by 0.1 at epochs
+//! 80 and 120; in VGG, the learning rate is halved every 20 epochs". A
+//! schedule change is also the trigger for SMA's restart rule (§3.2).
+
+/// A learning-rate schedule over epochs.
+#[derive(Clone, Debug)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant {
+        /// The rate.
+        lr: f32,
+    },
+    /// Multiply the base rate by `factor` at each listed epoch (the
+    /// ResNet recipe: `factor = 0.1` at epochs 80 and 120).
+    StepDecay {
+        /// Base rate at epoch 0.
+        base: f32,
+        /// Epochs at which the rate is scaled (ascending).
+        boundaries: Vec<usize>,
+        /// Scale factor applied at each boundary.
+        factor: f32,
+    },
+    /// Halve the rate every `every` epochs (the VGG recipe).
+    HalveEvery {
+        /// Base rate at epoch 0.
+        base: f32,
+        /// Halving period in epochs.
+        every: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The ResNet-32 recipe: base 0.1, x0.1 at epochs 80 and 120.
+    pub fn resnet32() -> Self {
+        LrSchedule::StepDecay {
+            base: 0.1,
+            boundaries: vec![80, 120],
+            factor: 0.1,
+        }
+    }
+
+    /// The VGG recipe: base 0.1, halved every 20 epochs.
+    pub fn vgg() -> Self {
+        LrSchedule::HalveEvery {
+            base: 0.1,
+            every: 20,
+        }
+    }
+
+    /// Learning rate during `epoch`.
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        match self {
+            LrSchedule::Constant { lr } => *lr,
+            LrSchedule::StepDecay {
+                base,
+                boundaries,
+                factor,
+            } => {
+                let crossed = boundaries.iter().filter(|&&b| epoch >= b).count();
+                base * factor.powi(crossed as i32)
+            }
+            LrSchedule::HalveEvery { base, every } => {
+                assert!(*every > 0, "zero halving period");
+                base * 0.5f32.powi((epoch / every) as i32)
+            }
+        }
+    }
+
+    /// True when the rate changes *entering* `epoch` (epoch > 0); SMA
+    /// restarts at these points.
+    pub fn changes_at(&self, epoch: usize) -> bool {
+        epoch > 0 && self.lr_at(epoch) != self.lr_at(epoch - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_changes() {
+        let s = LrSchedule::Constant { lr: 0.05 };
+        assert_eq!(s.lr_at(0), 0.05);
+        assert_eq!(s.lr_at(500), 0.05);
+        assert!(!s.changes_at(100));
+    }
+
+    #[test]
+    fn resnet_recipe_steps_twice() {
+        let s = LrSchedule::resnet32();
+        assert!((s.lr_at(0) - 0.1).abs() < 1e-9);
+        assert!((s.lr_at(79) - 0.1).abs() < 1e-9);
+        assert!((s.lr_at(80) - 0.01).abs() < 1e-9);
+        assert!((s.lr_at(120) - 0.001).abs() < 1e-9);
+        assert!(s.changes_at(80));
+        assert!(s.changes_at(120));
+        assert!(!s.changes_at(81));
+        assert!(!s.changes_at(0));
+    }
+
+    #[test]
+    fn vgg_recipe_halves() {
+        let s = LrSchedule::vgg();
+        assert!((s.lr_at(19) - 0.1).abs() < 1e-9);
+        assert!((s.lr_at(20) - 0.05).abs() < 1e-9);
+        assert!((s.lr_at(40) - 0.025).abs() < 1e-9);
+        assert!(s.changes_at(20));
+        assert!(!s.changes_at(21));
+    }
+}

@@ -1,0 +1,365 @@
+//! Synchronous model averaging (SMA) — Algorithm 1, the paper's central
+//! contribution.
+//!
+//! `k` learners train independent replicas `w_1..w_k`. Each iteration:
+//!
+//! 1. learner `j` computes gradient `g_j = γ ∇l_{B_j}(w_j)` (line 8);
+//! 2. its correction is `c_j = α (w_j − z)` with `α ≈ 1/k` (line 9);
+//! 3. the replica is updated `w_j ← w_j − g_j − c_j` (line 10);
+//! 4. the central average model advances with all corrections and Polyak
+//!    momentum: `z ← z + Σ_j c_j + µ (z − z_prev)` (line 12).
+//!
+//! Two extra rules from the text:
+//!
+//! * **τ-gated synchronisation** (§5.5–5.6): corrections may be applied
+//!   every τ-th iteration only (EA-SGD style); the paper shows τ = 1 is
+//!   best for time-to-accuracy and uses τ as the knob in Figures 16/17.
+//! * **restart on learning-rate change** (§3.2): when the schedule steps,
+//!   Algorithm 1 restarts with the current `z` as the new initial model —
+//!   replicas are re-seeded from `z` and the momentum history is cleared.
+//!
+//! [`easgd`] configures the same machinery as elastic averaging SGD [69]:
+//! no centre momentum (µ = 0). This is the comparator of Figure 15.
+
+use crate::algorithm::SyncAlgorithm;
+use crossbow_tensor::ops;
+
+/// SMA hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SmaConfig {
+    /// Centre momentum µ (Polyak). The paper uses 0.9; 0 yields EA-SGD.
+    pub momentum: f32,
+    /// Correction strength α; `None` uses the paper's `α ≈ 1/k`,
+    /// re-derived whenever `k` changes.
+    pub alpha: Option<f32>,
+    /// Apply corrections every `tau` iterations (1 = every iteration).
+    pub tau: usize,
+}
+
+impl Default for SmaConfig {
+    fn default() -> Self {
+        SmaConfig {
+            momentum: 0.9,
+            alpha: None,
+            tau: 1,
+        }
+    }
+}
+
+/// Synchronous model averaging over `k` replicas.
+pub struct Sma {
+    name: &'static str,
+    config: SmaConfig,
+    replicas: Vec<Vec<f32>>,
+    /// The central average model `z`.
+    center: Vec<f32>,
+    /// `z` at the beginning of the previous iteration (`z_prev`).
+    center_prev: Vec<f32>,
+    iter: u64,
+    /// Scratch: sum of corrections.
+    sum_c: Vec<f32>,
+}
+
+impl Sma {
+    /// Creates SMA with `k` replicas, all initialised to `initial` (the
+    /// `w_0` of Algorithm 1).
+    ///
+    /// # Panics
+    /// Panics on `k == 0`, an empty model or `tau == 0`.
+    pub fn new(initial: Vec<f32>, k: usize, config: SmaConfig) -> Self {
+        assert!(k > 0, "need at least one learner");
+        assert!(!initial.is_empty(), "empty model");
+        assert!(config.tau > 0, "tau must be at least 1");
+        let len = initial.len();
+        Sma {
+            name: "sma",
+            config,
+            replicas: vec![initial.clone(); k],
+            center_prev: initial.clone(),
+            center: initial,
+            iter: 0,
+            sum_c: vec![0.0; len],
+        }
+    }
+
+    fn alpha(&self) -> f32 {
+        self.config
+            .alpha
+            .unwrap_or(1.0 / self.replicas.len() as f32)
+    }
+
+    /// The configured τ.
+    pub fn tau(&self) -> usize {
+        self.config.tau
+    }
+
+    /// Mutable access to the central model (used by the engine to seed a
+    /// restart from a checkpoint).
+    pub fn center_mut(&mut self) -> &mut [f32] {
+        &mut self.center
+    }
+}
+
+/// Elastic averaging SGD [69]: SMA without centre momentum, optionally
+/// synchronising only every `tau` iterations to cut communication.
+pub fn easgd(initial: Vec<f32>, k: usize, alpha: Option<f32>, tau: usize) -> Sma {
+    let mut algo = Sma::new(
+        initial,
+        k,
+        SmaConfig {
+            momentum: 0.0,
+            alpha,
+            tau,
+        },
+    );
+    algo.name = "ea-sgd";
+    algo
+}
+
+impl SyncAlgorithm for Sma {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn k(&self) -> usize {
+        self.replicas.len()
+    }
+
+    fn param_len(&self) -> usize {
+        self.center.len()
+    }
+
+    fn replica(&self, j: usize) -> &[f32] {
+        &self.replicas[j]
+    }
+
+    fn step(&mut self, grads: &[Vec<f32>], lr: f32) {
+        let k = self.replicas.len();
+        assert_eq!(grads.len(), k, "one gradient per learner");
+        let sync = self.iter.is_multiple_of(self.config.tau as u64);
+        if sync {
+            let alpha = self.alpha();
+            ops::zero(&mut self.sum_c);
+            for (w, g) in self.replicas.iter_mut().zip(grads) {
+                debug_assert_eq!(w.len(), g.len());
+                for ((wi, &gi), (sci, &zi)) in w
+                    .iter_mut()
+                    .zip(g.iter())
+                    .zip(self.sum_c.iter_mut().zip(self.center.iter()))
+                {
+                    let c = alpha * (*wi - zi);
+                    *wi -= lr * gi + c;
+                    *sci += c;
+                }
+            }
+            // z <- z + sum(c) + mu * (z - z_prev); z_prev <- old z.
+            let mu = self.config.momentum;
+            for ((zi, zpi), &sci) in self
+                .center
+                .iter_mut()
+                .zip(self.center_prev.iter_mut())
+                .zip(self.sum_c.iter())
+            {
+                let old = *zi;
+                *zi = old + sci + mu * (old - *zpi);
+                *zpi = old;
+            }
+        } else {
+            for (w, g) in self.replicas.iter_mut().zip(grads) {
+                ops::axpy(-lr, g, w);
+            }
+        }
+        self.iter += 1;
+    }
+
+    fn consensus(&self) -> &[f32] {
+        &self.center
+    }
+
+    /// Restart (§3.2): Algorithm 1 is executed again with the latest `z`
+    /// as the new initial model.
+    fn on_lr_change(&mut self) {
+        for w in &mut self.replicas {
+            w.copy_from_slice(&self.center);
+        }
+        self.center_prev.copy_from_slice(&self.center);
+        self.iter = 0;
+    }
+
+    /// The auto-tuner adds a learner: the new replica "is initialised with
+    /// the latest value of the average model" (§4.4).
+    fn add_replica(&mut self) -> bool {
+        self.replicas.push(self.center.clone());
+        true
+    }
+
+    fn remove_replica(&mut self) -> bool {
+        if self.replicas.len() > 1 {
+            self.replicas.pop();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::replica_spread;
+
+    fn zeros(k: usize, len: usize) -> Vec<Vec<f32>> {
+        vec![vec![0.0; len]; k]
+    }
+
+    #[test]
+    fn consensus_fixed_point_with_zero_gradients() {
+        // All replicas at z, zero gradients: nothing moves.
+        let mut sma = Sma::new(vec![1.0, -2.0], 3, SmaConfig::default());
+        sma.step(&zeros(3, 2), 0.1);
+        assert_eq!(sma.consensus(), &[1.0, -2.0]);
+        assert_eq!(replica_spread(&sma), 0.0);
+    }
+
+    #[test]
+    fn center_becomes_replica_mean_with_alpha_one_over_k() {
+        // With mu = 0 and zero gradients, one step moves z to the replica
+        // mean exactly: z + (1/k) sum(w_j - z) = mean(w_j).
+        let mut sma = easgd(vec![0.0], 2, None, 1);
+        sma.replicas[0] = vec![2.0];
+        sma.replicas[1] = vec![6.0];
+        sma.step(&zeros(2, 1), 0.0);
+        assert!((sma.consensus()[0] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn corrections_pull_replicas_toward_center() {
+        let mut sma = Sma::new(vec![0.0, 0.0], 2, SmaConfig::default());
+        sma.replicas[0] = vec![4.0, 0.0];
+        sma.replicas[1] = vec![-4.0, 0.0];
+        let before = replica_spread(&sma);
+        sma.step(&zeros(2, 2), 0.0);
+        let after = replica_spread(&sma);
+        assert!(after < before, "spread {before} -> {after}");
+    }
+
+    #[test]
+    fn momentum_keeps_center_moving() {
+        // Give z one kick via corrections, then confirm momentum carries
+        // it further with zero future corrections.
+        let mut sma = Sma::new(
+            vec![0.0],
+            1,
+            SmaConfig {
+                momentum: 0.9,
+                alpha: Some(0.5),
+                tau: 1,
+            },
+        );
+        sma.replicas[0] = vec![2.0]; // correction = 1.0 -> z = 1.0
+        sma.step(&zeros(1, 1), 0.0);
+        let z1 = sma.consensus()[0];
+        assert!((z1 - 1.0).abs() < 1e-6);
+        // Pin replica to z so corrections are 0; momentum term = 0.9 * 1.
+        sma.replicas[0] = vec![z1];
+        sma.step(&zeros(1, 1), 0.0);
+        assert!((sma.consensus()[0] - 1.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn easgd_has_no_momentum() {
+        let mut e = easgd(vec![0.0], 1, Some(0.5), 1);
+        e.replicas[0] = vec![2.0];
+        e.step(&zeros(1, 1), 0.0);
+        let z1 = e.consensus()[0];
+        e.replicas[0] = vec![z1];
+        e.step(&zeros(1, 1), 0.0);
+        assert!((e.consensus()[0] - z1).abs() < 1e-6, "no drift without momentum");
+        assert_eq!(e.name(), "ea-sgd");
+    }
+
+    #[test]
+    fn tau_gates_synchronisation() {
+        let mut sma = Sma::new(
+            vec![0.0],
+            1,
+            SmaConfig {
+                momentum: 0.0,
+                alpha: Some(0.5),
+                tau: 3,
+            },
+        );
+        // Iteration 0 syncs (0 % 3 == 0); 1 and 2 do not.
+        sma.replicas[0] = vec![2.0];
+        sma.step(&zeros(1, 1), 0.0);
+        assert!((sma.consensus()[0] - 1.0).abs() < 1e-6, "iter 0 synced");
+        sma.replicas[0] = vec![100.0];
+        sma.step(&zeros(1, 1), 0.0); // iter 1: no sync
+        sma.step(&zeros(1, 1), 0.0); // iter 2: no sync
+        assert!((sma.consensus()[0] - 1.0).abs() < 1e-6, "no sync at 1, 2");
+        sma.step(&zeros(1, 1), 0.0); // iter 3: sync
+        assert!(sma.consensus()[0] > 1.0, "iter 3 synced");
+    }
+
+    #[test]
+    fn restart_reseeds_replicas_from_center() {
+        let mut sma = Sma::new(vec![0.0, 0.0], 3, SmaConfig::default());
+        sma.replicas[0] = vec![5.0, 5.0];
+        sma.replicas[2] = vec![-1.0, 3.0];
+        sma.on_lr_change();
+        assert_eq!(replica_spread(&sma), 0.0);
+        for j in 0..3 {
+            assert_eq!(sma.replica(j), sma.consensus());
+        }
+    }
+
+    #[test]
+    fn add_replica_starts_from_center() {
+        let mut sma = Sma::new(vec![1.5], 2, SmaConfig::default());
+        assert!(sma.add_replica());
+        assert_eq!(sma.k(), 3);
+        assert_eq!(sma.replica(2), sma.consensus());
+        assert!(sma.remove_replica());
+        assert_eq!(sma.k(), 2);
+    }
+
+    #[test]
+    fn remove_keeps_at_least_one() {
+        let mut sma = Sma::new(vec![0.0], 1, SmaConfig::default());
+        assert!(!sma.remove_replica());
+        assert_eq!(sma.k(), 1);
+    }
+
+    #[test]
+    fn gradients_descend_replicas() {
+        let mut sma = Sma::new(vec![0.0], 2, SmaConfig::default());
+        sma.step(&[vec![1.0], vec![1.0]], 0.5);
+        // Replicas moved by -lr*g (corrections were zero: all at z).
+        assert!((sma.replica(0)[0] + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sma_converges_on_a_quadratic() {
+        // Minimise f(w) = 0.5 (w - 3)^2 with 4 learners whose gradients
+        // are exact; z must approach 3.
+        let mut sma = Sma::new(vec![0.0], 4, SmaConfig::default());
+        for _ in 0..300 {
+            let grads: Vec<Vec<f32>> =
+                (0..4).map(|j| vec![sma.replica(j)[0] - 3.0]).collect();
+            sma.step(&grads, 0.05);
+        }
+        let z = sma.consensus()[0];
+        assert!((z - 3.0).abs() < 0.05, "z = {z}");
+    }
+
+    #[test]
+    fn alpha_defaults_to_one_over_k() {
+        let sma = Sma::new(vec![0.0], 8, SmaConfig::default());
+        assert!((sma.alpha() - 0.125).abs() < 1e-9);
+        let sma = Sma::new(vec![0.0], 8, SmaConfig {
+            alpha: Some(0.3),
+            ..SmaConfig::default()
+        });
+        assert!((sma.alpha() - 0.3).abs() < 1e-9);
+    }
+}

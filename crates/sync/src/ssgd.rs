@@ -1,0 +1,130 @@
+//! Parallel synchronous SGD — the TensorFlow-style baseline (§2.3).
+//!
+//! One logical model; each iteration the aggregate batch is partitioned
+//! across `k` learners (each of this crate's "replicas" *is* the same
+//! model), the `k` partial gradients are averaged (Eq. 2) and the average
+//! is applied with momentum SGD (Eq. 3). After every iteration all
+//! replicas are identical by construction — the tight coupling that forces
+//! the aggregate batch size to grow with the number of GPUs.
+
+use crate::algorithm::SyncAlgorithm;
+use crate::optimizer::{Sgd, SgdConfig};
+
+/// Parallel S-SGD over `k` batch partitions.
+pub struct SSgd {
+    model: Vec<f32>,
+    opt: Sgd,
+    k: usize,
+    grad_buf: Vec<f32>,
+}
+
+impl SSgd {
+    /// Creates S-SGD from an initial model.
+    ///
+    /// # Panics
+    /// Panics when `k == 0` or the model is empty.
+    pub fn new(initial: Vec<f32>, k: usize, config: SgdConfig) -> Self {
+        assert!(k > 0, "need at least one learner");
+        assert!(!initial.is_empty(), "empty model");
+        let len = initial.len();
+        SSgd {
+            model: initial,
+            opt: Sgd::new(len, config),
+            k,
+            grad_buf: vec![0.0; len],
+        }
+    }
+}
+
+impl SyncAlgorithm for SSgd {
+    fn name(&self) -> &'static str {
+        "s-sgd"
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn param_len(&self) -> usize {
+        self.model.len()
+    }
+
+    fn replica(&self, j: usize) -> &[f32] {
+        assert!(j < self.k, "replica {j} out of range");
+        &self.model
+    }
+
+    fn step(&mut self, grads: &[Vec<f32>], lr: f32) {
+        assert_eq!(grads.len(), self.k, "one gradient per learner");
+        // Aggregate: mean of partial gradients (Eq. 2).
+        self.grad_buf.iter_mut().for_each(|g| *g = 0.0);
+        for g in grads {
+            crossbow_tensor::ops::add_assign(&mut self.grad_buf, g);
+        }
+        crossbow_tensor::ops::scal(1.0 / self.k as f32, &mut self.grad_buf);
+        self.opt.step(&mut self.model, &self.grad_buf, lr);
+    }
+
+    fn consensus(&self) -> &[f32] {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::replica_spread;
+
+    #[test]
+    fn replicas_are_always_identical() {
+        let mut s = SSgd::new(vec![1.0, 2.0], 4, SgdConfig::plain());
+        s.step(
+            &[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0], vec![0.0, 0.0]],
+            0.1,
+        );
+        assert_eq!(replica_spread(&s), 0.0);
+        for j in 0..4 {
+            assert_eq!(s.replica(j), s.consensus());
+        }
+    }
+
+    #[test]
+    fn step_applies_mean_gradient() {
+        let mut s = SSgd::new(vec![0.0], 2, SgdConfig::plain());
+        s.step(&[vec![1.0], vec![3.0]], 0.5);
+        // mean grad = 2, update = -1.
+        assert_eq!(s.consensus(), &[-1.0]);
+    }
+
+    #[test]
+    fn equivalent_to_sequential_sgd_on_aggregate_batch() {
+        // S-SGD over k partitions must match single-learner SGD whose
+        // gradient is the mean of the partition gradients.
+        let grads = [vec![0.2f32, -0.4], vec![0.6, 0.0]];
+        let mean: Vec<f32> = (0..2)
+            .map(|i| (grads[0][i] + grads[1][i]) / 2.0)
+            .collect();
+        let mut parallel = SSgd::new(vec![1.0, 1.0], 2, SgdConfig::paper_default());
+        parallel.step(grads.as_ref(), 0.1);
+        let mut sequential = SSgd::new(vec![1.0, 1.0], 1, SgdConfig::paper_default());
+        sequential.step(&[mean], 0.1);
+        for (a, b) in parallel.consensus().iter().zip(sequential.consensus()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one gradient per learner")]
+    fn wrong_gradient_count_panics() {
+        let mut s = SSgd::new(vec![0.0], 2, SgdConfig::plain());
+        s.step(&[vec![1.0]], 0.1);
+    }
+
+    #[test]
+    fn resizing_is_unsupported() {
+        let mut s = SSgd::new(vec![0.0], 2, SgdConfig::plain());
+        assert!(!s.add_replica());
+        assert!(!s.remove_replica());
+        assert_eq!(s.k(), 2);
+    }
+}

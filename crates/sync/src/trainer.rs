@@ -1,0 +1,427 @@
+//! The multi-threaded training driver.
+//!
+//! Runs any [`SyncAlgorithm`] over a dataset: every iteration draws one
+//! batch per learner from a shared epoch-aware sampler (Algorithm 1, lines
+//! 5–7), computes the learners' gradients *in parallel threads*, performs
+//! the algorithm's synchronisation step, and — at epoch boundaries —
+//! evaluates the consensus model on the test set.
+//!
+//! This driver produces the statistical-efficiency half of every paper
+//! experiment: accuracy-per-epoch curves and epochs-to-accuracy (ETA). The
+//! hardware-efficiency half (time per epoch) comes from the GPU simulator
+//! in the `crossbow` crate; time-to-accuracy is their product.
+
+use crate::algorithm::SyncAlgorithm;
+use crate::schedule::LrSchedule;
+use crossbow_data::{BatchSampler, Dataset};
+use crossbow_nn::Network;
+use crossbow_tensor::stats::WindowedMedian;
+use crossbow_tensor::Tensor;
+
+/// Configuration of a training run.
+#[derive(Clone, Debug)]
+pub struct TrainerConfig {
+    /// Batch size per learner (`b` in the paper).
+    pub batch_per_learner: usize,
+    /// Hard stop after this many epochs.
+    pub max_epochs: usize,
+    /// Stop early once the median test accuracy of the last 5 epochs
+    /// reaches this value — the paper's `TTA(x)` criterion (§5.1).
+    pub target_accuracy: Option<f64>,
+    /// Learning-rate schedule; changes trigger [`SyncAlgorithm::on_lr_change`].
+    pub schedule: LrSchedule,
+    /// Weight decay added to every learner gradient.
+    pub weight_decay: f32,
+    /// Evaluation batch size.
+    pub eval_batch: usize,
+    /// Seed for batch order.
+    pub seed: u64,
+    /// Gradient-computation threads (0 = one per learner, capped at the
+    /// machine's parallelism).
+    pub threads: usize,
+}
+
+impl TrainerConfig {
+    /// A sensible starting point for the synthetic tasks.
+    pub fn new(batch_per_learner: usize, max_epochs: usize) -> Self {
+        TrainerConfig {
+            batch_per_learner,
+            max_epochs,
+            target_accuracy: None,
+            schedule: LrSchedule::Constant { lr: 0.05 },
+            weight_decay: 1e-4,
+            eval_batch: 256,
+            seed: 42,
+            threads: 0,
+        }
+    }
+
+    /// Sets the target accuracy (builder style).
+    pub fn with_target(mut self, target: f64) -> Self {
+        self.target_accuracy = Some(target);
+        self
+    }
+
+    /// Sets the schedule (builder style).
+    pub fn with_schedule(mut self, schedule: LrSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The result of a training run.
+#[derive(Clone, Debug)]
+pub struct TrainingCurve {
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Test accuracy of the consensus model after each epoch.
+    pub epoch_accuracy: Vec<f64>,
+    /// Mean training loss of each epoch.
+    pub epoch_loss: Vec<f32>,
+    /// First epoch (1-based) at which the median test accuracy of the
+    /// last 5 epochs reached the target.
+    pub epochs_to_target: Option<usize>,
+    /// Total synchronisation iterations executed.
+    pub iterations: u64,
+    /// Total training samples consumed.
+    pub samples_processed: u64,
+    /// Accuracy after the final epoch.
+    pub final_accuracy: f64,
+}
+
+impl TrainingCurve {
+    /// Epochs run.
+    pub fn epochs(&self) -> usize {
+        self.epoch_accuracy.len()
+    }
+
+    /// Best accuracy along the curve.
+    pub fn best_accuracy(&self) -> f64 {
+        self.epoch_accuracy
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max)
+    }
+}
+
+/// Trains `algo` on `train_set`, evaluating on `test_set` at epoch ends.
+///
+/// # Panics
+/// Panics on configuration/dataset/network mismatches.
+pub fn train(
+    net: &Network,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    algo: &mut dyn SyncAlgorithm,
+    config: &TrainerConfig,
+) -> TrainingCurve {
+    assert_eq!(
+        algo.param_len(),
+        net.param_len(),
+        "algorithm replicas do not match the network"
+    );
+    assert_eq!(
+        train_set.sample_len(),
+        net.input_shape().len(),
+        "dataset does not match the network input"
+    );
+    assert!(config.max_epochs > 0, "need at least one epoch");
+    let mut sampler = BatchSampler::new(
+        train_set.len(),
+        config.batch_per_learner,
+        true,
+        config.seed,
+    );
+    let test_images = test_set.images_tensor();
+    let test_labels = test_set.labels().to_vec();
+
+    let mut curve = TrainingCurve {
+        algorithm: algo.name(),
+        epoch_accuracy: Vec::new(),
+        epoch_loss: Vec::new(),
+        epochs_to_target: None,
+        iterations: 0,
+        samples_processed: 0,
+        final_accuracy: 0.0,
+    };
+    let mut median5 = WindowedMedian::new(5);
+    let mut epoch_loss_sum = 0.0f64;
+    let mut epoch_loss_count = 0u64;
+    let mut current_epoch = 0usize;
+
+    loop {
+        let k = algo.k();
+        // Draw one batch per learner.
+        let mut batches: Vec<(Tensor, Vec<usize>)> = Vec::with_capacity(k);
+        for _ in 0..k {
+            let (idx, _) = sampler.next_batch();
+            batches.push(train_set.gather(&idx));
+        }
+        let lr = config.schedule.lr_at(current_epoch);
+        let losses = compute_gradients_parallel(net, algo, &batches, config);
+        let (grads, batch_losses) = losses;
+        for l in batch_losses {
+            epoch_loss_sum += f64::from(l);
+            epoch_loss_count += 1;
+        }
+        algo.step(&grads, lr);
+        curve.iterations += 1;
+        curve.samples_processed += (k * config.batch_per_learner) as u64;
+
+        if sampler.epoch() > current_epoch {
+            // Epoch boundary: evaluate, record, handle schedule changes.
+            let acc = net.evaluate(
+                algo.consensus(),
+                &test_images,
+                &test_labels,
+                config.eval_batch,
+            );
+            curve.epoch_accuracy.push(acc);
+            curve.epoch_loss.push(if epoch_loss_count > 0 {
+                (epoch_loss_sum / epoch_loss_count as f64) as f32
+            } else {
+                0.0
+            });
+            epoch_loss_sum = 0.0;
+            epoch_loss_count = 0;
+            median5.push(acc);
+            let finished_epoch = curve.epoch_accuracy.len();
+            if let Some(target) = config.target_accuracy {
+                if curve.epochs_to_target.is_none() {
+                    if let Some(m) = median5.median() {
+                        if m >= target {
+                            curve.epochs_to_target = Some(finished_epoch);
+                        }
+                    }
+                }
+            }
+            let done_target =
+                config.target_accuracy.is_some() && curve.epochs_to_target.is_some();
+            if finished_epoch >= config.max_epochs || done_target {
+                curve.final_accuracy = acc;
+                return curve;
+            }
+            current_epoch = sampler.epoch();
+            if config.schedule.changes_at(current_epoch) {
+                algo.on_lr_change();
+            }
+        }
+    }
+}
+
+/// Computes one gradient per learner, distributing learners across
+/// threads. Returns `(gradients, per-batch training losses)`.
+fn compute_gradients_parallel(
+    net: &Network,
+    algo: &dyn SyncAlgorithm,
+    batches: &[(Tensor, Vec<usize>)],
+    config: &TrainerConfig,
+) -> (Vec<Vec<f32>>, Vec<f32>) {
+    let k = batches.len();
+    let plen = algo.param_len();
+    let replicas: Vec<&[f32]> = (0..k).map(|j| algo.replica(j)).collect();
+    let hw = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let threads = if config.threads == 0 {
+        k.min(hw)
+    } else {
+        config.threads.min(k)
+    };
+    let wd = config.weight_decay;
+    let mut grads: Vec<Vec<f32>> = vec![vec![0.0; plen]; k];
+    let mut losses: Vec<f32> = vec![0.0; k];
+    if threads <= 1 {
+        let mut scratch = net.scratch();
+        for j in 0..k {
+            let (images, labels) = &batches[j];
+            let (loss, _) =
+                net.loss_and_grad(replicas[j], images, labels, &mut grads[j], &mut scratch);
+            losses[j] = loss;
+            if wd != 0.0 {
+                crossbow_tensor::ops::axpy(wd, replicas[j], &mut grads[j]);
+            }
+        }
+    } else {
+        // Hand each thread an interleaved subset of learners.
+        let mut grad_slots: Vec<(usize, &mut Vec<f32>, &mut f32)> = grads
+            .iter_mut()
+            .zip(losses.iter_mut())
+            .enumerate()
+            .map(|(j, (g, l))| (j, g, l))
+            .collect();
+        crossbeam::thread::scope(|scope| {
+            let mut per_thread: Vec<Vec<(usize, &mut Vec<f32>, &mut f32)>> =
+                (0..threads).map(|_| Vec::new()).collect();
+            for slot in grad_slots.drain(..) {
+                per_thread[slot.0 % threads].push(slot);
+            }
+            for thread_slots in per_thread {
+                let replicas = &replicas;
+                scope.spawn(move |_| {
+                    let mut scratch = net.scratch();
+                    for (j, grad, loss) in thread_slots {
+                        let (images, labels) = &batches[j];
+                        let (l, _) = net.loss_and_grad(
+                            replicas[j],
+                            images,
+                            labels,
+                            grad,
+                            &mut scratch,
+                        );
+                        *loss = l;
+                        if wd != 0.0 {
+                            crossbow_tensor::ops::axpy(wd, replicas[j], grad);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("gradient threads must not panic");
+    }
+    (grads, losses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::SgdConfig;
+    use crate::sma::{Sma, SmaConfig};
+    use crate::ssgd::SSgd;
+    use crossbow_data::synth::gaussian_mixture;
+    use crossbow_nn::zoo::mlp;
+    use crossbow_tensor::Rng;
+
+    fn setup() -> (Network, Dataset, Dataset) {
+        let net = mlp(6, &[16], 4);
+        let data = gaussian_mixture(4, 6, 480, 0.35, 7);
+        let (train_set, test_set) = data.split_at(400);
+        (net, train_set, test_set)
+    }
+
+    #[test]
+    fn ssgd_learns_the_mixture() {
+        let (net, train_set, test_set) = setup();
+        let init = net.init_params(&mut Rng::new(1));
+        let mut algo = SSgd::new(init, 2, SgdConfig::paper_default());
+        let curve = train(
+            &net,
+            &train_set,
+            &test_set,
+            &mut algo,
+            &TrainerConfig::new(8, 12),
+        );
+        assert_eq!(curve.epochs(), 12);
+        assert!(
+            curve.final_accuracy > 0.9,
+            "accuracy {}",
+            curve.final_accuracy
+        );
+        assert!(curve.iterations > 0);
+    }
+
+    #[test]
+    fn sma_learns_the_mixture() {
+        let (net, train_set, test_set) = setup();
+        let init = net.init_params(&mut Rng::new(1));
+        let mut algo = Sma::new(init, 4, SmaConfig::default());
+        let curve = train(
+            &net,
+            &train_set,
+            &test_set,
+            &mut algo,
+            &TrainerConfig::new(8, 12),
+        );
+        assert!(
+            curve.final_accuracy > 0.9,
+            "accuracy {}",
+            curve.final_accuracy
+        );
+        assert_eq!(curve.algorithm, "sma");
+    }
+
+    #[test]
+    fn target_stops_early_with_median_rule() {
+        let (net, train_set, test_set) = setup();
+        let init = net.init_params(&mut Rng::new(1));
+        let mut algo = SSgd::new(init, 2, SgdConfig::paper_default());
+        let curve = train(
+            &net,
+            &train_set,
+            &test_set,
+            &mut algo,
+            &TrainerConfig::new(8, 60).with_target(0.85),
+        );
+        let eta = curve.epochs_to_target.expect("should reach 85%");
+        // Median-of-5 needs at least 5 epochs... but the window fills
+        // gradually; the rule fires no earlier than epoch 1.
+        assert!(eta >= 1 && eta <= curve.epochs());
+        assert!(curve.epochs() < 60, "stopped early");
+    }
+
+    #[test]
+    fn deterministic_given_seed_single_thread() {
+        let (net, train_set, test_set) = setup();
+        let run = || {
+            let init = net.init_params(&mut Rng::new(3));
+            let mut algo = Sma::new(init, 2, SmaConfig::default());
+            let mut cfg = TrainerConfig::new(8, 3).with_seed(11);
+            cfg.threads = 1;
+            train(&net, &train_set, &test_set, &mut algo, &cfg)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.epoch_accuracy, b.epoch_accuracy);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn parallel_threads_match_single_thread() {
+        // Gradient computation is read-only on replicas; threading must
+        // not change the numbers.
+        let (net, train_set, test_set) = setup();
+        let run = |threads: usize| {
+            let init = net.init_params(&mut Rng::new(3));
+            let mut algo = Sma::new(init, 4, SmaConfig::default());
+            let mut cfg = TrainerConfig::new(8, 2).with_seed(11);
+            cfg.threads = threads;
+            train(&net, &train_set, &test_set, &mut algo, &cfg)
+        };
+        let single = run(1);
+        let multi = run(4);
+        assert_eq!(single.epoch_accuracy, multi.epoch_accuracy);
+    }
+
+    #[test]
+    fn samples_processed_counts_all_learners() {
+        let (net, train_set, test_set) = setup();
+        let init = net.init_params(&mut Rng::new(1));
+        let mut algo = Sma::new(init, 4, SmaConfig::default());
+        let curve = train(
+            &net,
+            &train_set,
+            &test_set,
+            &mut algo,
+            &TrainerConfig::new(8, 2),
+        );
+        assert_eq!(curve.samples_processed, curve.iterations * 4 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not match the network")]
+    fn mismatched_model_rejected() {
+        let (net, train_set, test_set) = setup();
+        let mut algo = SSgd::new(vec![0.0; 3], 1, SgdConfig::plain());
+        let _ = train(
+            &net,
+            &train_set,
+            &test_set,
+            &mut algo,
+            &TrainerConfig::new(8, 1),
+        );
+    }
+}

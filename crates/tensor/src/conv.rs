@@ -1,0 +1,271 @@
+//! im2col / col2im lowering for 2-D convolutions.
+//!
+//! The `nn` crate implements `Conv2d` as an im2col transform followed by a
+//! GEMM, the same lowering cuDNN's GEMM algorithm uses. `col2im` scatters
+//! gradients back for the backward pass with respect to the input.
+//!
+//! Layout conventions: images are NCHW; the column buffer for one image is
+//! `(c_in * kh * kw) x (out_h * out_w)`, row-major.
+
+/// Geometry of a 2-D convolution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvGeom {
+    /// Input channels.
+    pub c_in: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+}
+
+impl ConvGeom {
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        conv_out(self.h, self.kh, self.stride, self.pad)
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        conv_out(self.w, self.kw, self.stride, self.pad)
+    }
+
+    /// Rows of the column buffer: `c_in * kh * kw`.
+    pub fn col_rows(&self) -> usize {
+        self.c_in * self.kh * self.kw
+    }
+
+    /// Columns of the column buffer: `out_h * out_w`.
+    pub fn col_cols(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Elements of the column buffer for one image.
+    pub fn col_len(&self) -> usize {
+        self.col_rows() * self.col_cols()
+    }
+
+    /// Elements of one input image (`c_in * h * w`).
+    pub fn image_len(&self) -> usize {
+        self.c_in * self.h * self.w
+    }
+}
+
+/// Output extent of a 1-D convolution.
+pub fn conv_out(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    let padded = input + 2 * pad;
+    assert!(
+        padded >= kernel,
+        "kernel {kernel} larger than padded input {padded}"
+    );
+    (padded - kernel) / stride + 1
+}
+
+/// Unfolds one CHW image into a `(c_in*kh*kw) x (out_h*out_w)` column
+/// buffer. Out-of-bounds (padding) taps contribute zeros.
+///
+/// # Panics
+/// Panics if slice lengths do not match the geometry.
+pub fn im2col(geom: &ConvGeom, image: &[f32], col: &mut [f32]) {
+    assert_eq!(image.len(), geom.image_len(), "image length mismatch");
+    assert_eq!(col.len(), geom.col_len(), "column buffer length mismatch");
+    let (out_h, out_w) = (geom.out_h(), geom.out_w());
+    let cols = out_h * out_w;
+    let mut row = 0usize;
+    for c in 0..geom.c_in {
+        let plane = &image[c * geom.h * geom.w..(c + 1) * geom.h * geom.w];
+        for ky in 0..geom.kh {
+            for kx in 0..geom.kw {
+                let out_row = &mut col[row * cols..(row + 1) * cols];
+                let mut idx = 0usize;
+                for oy in 0..out_h {
+                    let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                    for ox in 0..out_w {
+                        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                        out_row[idx] = if iy >= 0
+                            && (iy as usize) < geom.h
+                            && ix >= 0
+                            && (ix as usize) < geom.w
+                        {
+                            plane[iy as usize * geom.w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        idx += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Folds a column buffer back into a CHW image, *accumulating* overlapping
+/// taps — the adjoint of [`im2col`], used for input gradients.
+///
+/// The caller must zero `image` first if accumulation from a clean slate is
+/// wanted.
+pub fn col2im(geom: &ConvGeom, col: &[f32], image: &mut [f32]) {
+    assert_eq!(image.len(), geom.image_len(), "image length mismatch");
+    assert_eq!(col.len(), geom.col_len(), "column buffer length mismatch");
+    let (out_h, out_w) = (geom.out_h(), geom.out_w());
+    let cols = out_h * out_w;
+    let mut row = 0usize;
+    for c in 0..geom.c_in {
+        let plane = &mut image[c * geom.h * geom.w..(c + 1) * geom.h * geom.w];
+        for ky in 0..geom.kh {
+            for kx in 0..geom.kw {
+                let col_row = &col[row * cols..(row + 1) * cols];
+                let mut idx = 0usize;
+                for oy in 0..out_h {
+                    let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                    for ox in 0..out_w {
+                        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                        if iy >= 0 && (iy as usize) < geom.h && ix >= 0 && (ix as usize) < geom.w {
+                            plane[iy as usize * geom.w + ix as usize] += col_row[idx];
+                        }
+                        idx += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom_3x3() -> ConvGeom {
+        ConvGeom {
+            c_in: 1,
+            h: 3,
+            w: 3,
+            kh: 2,
+            kw: 2,
+            stride: 1,
+            pad: 0,
+        }
+    }
+
+    #[test]
+    fn conv_out_matches_formula() {
+        assert_eq!(conv_out(32, 3, 1, 1), 32); // "same" conv
+        assert_eq!(conv_out(32, 3, 2, 1), 16);
+        assert_eq!(conv_out(28, 5, 1, 0), 24); // LeNet C1
+        assert_eq!(conv_out(4, 4, 1, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than padded input")]
+    fn conv_out_rejects_oversized_kernel() {
+        conv_out(2, 5, 1, 0);
+    }
+
+    #[test]
+    fn im2col_hand_example() {
+        // 3x3 image 1..9, 2x2 kernel, stride 1 -> 2x2 output, 4 rows.
+        let g = geom_3x3();
+        let image: Vec<f32> = (1..=9).map(|v| v as f32).collect();
+        let mut col = vec![0.0; g.col_len()];
+        im2col(&g, &image, &mut col);
+        // row 0 = top-left tap of each window: [1 2 4 5]
+        assert_eq!(&col[0..4], &[1.0, 2.0, 4.0, 5.0]);
+        // row 3 = bottom-right tap: [5 6 8 9]
+        assert_eq!(&col[12..16], &[5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn padding_contributes_zeros() {
+        let g = ConvGeom {
+            c_in: 1,
+            h: 2,
+            w: 2,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let image = [1.0, 2.0, 3.0, 4.0];
+        let mut col = vec![0.0; g.col_len()];
+        im2col(&g, &image, &mut col);
+        // First row is the (ky=0,kx=0) tap; for output (0,0) this reads the
+        // padded position (-1,-1) which must be zero.
+        assert_eq!(col[0], 0.0);
+        // Centre tap (ky=1,kx=1) of output (0,0) reads image (0,0) = 1.
+        let cols = g.col_cols();
+        assert_eq!(col[4 * cols], 1.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for all x, y — the defining
+        // property of the adjoint, checked on a small dense case.
+        let g = ConvGeom {
+            c_in: 2,
+            h: 4,
+            w: 3,
+            kh: 2,
+            kw: 2,
+            stride: 1,
+            pad: 1,
+        };
+        let mut rng = crate::rng::Rng::new(5);
+        let x: Vec<f32> = (0..g.image_len()).map(|_| rng.normal()).collect();
+        let y: Vec<f32> = (0..g.col_len()).map(|_| rng.normal()).collect();
+        let mut fx = vec![0.0; g.col_len()];
+        im2col(&g, &x, &mut fx);
+        let mut aty = vec![0.0; g.image_len()];
+        col2im(&g, &y, &mut aty);
+        let lhs: f32 = fx.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.iter().zip(&aty).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn multi_channel_rows_are_grouped_by_channel() {
+        let g = ConvGeom {
+            c_in: 2,
+            h: 2,
+            w: 2,
+            kh: 1,
+            kw: 1,
+            stride: 1,
+            pad: 0,
+        };
+        let image = [1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0];
+        let mut col = vec![0.0; g.col_len()];
+        im2col(&g, &image, &mut col);
+        assert_eq!(&col[0..4], &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(&col[4..8], &[10.0, 20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn strided_geometry() {
+        let g = ConvGeom {
+            c_in: 1,
+            h: 4,
+            w: 4,
+            kh: 2,
+            kw: 2,
+            stride: 2,
+            pad: 0,
+        };
+        assert_eq!(g.out_h(), 2);
+        assert_eq!(g.out_w(), 2);
+        let image: Vec<f32> = (0..16).map(|v| v as f32).collect();
+        let mut col = vec![0.0; g.col_len()];
+        im2col(&g, &image, &mut col);
+        // Top-left taps of the 4 windows: 0, 2, 8, 10.
+        assert_eq!(&col[0..4], &[0.0, 2.0, 8.0, 10.0]);
+    }
+}

@@ -1,0 +1,33 @@
+//! Dense `f32` tensors and the numeric kernels used throughout the CROSSBOW
+//! reproduction.
+//!
+//! This crate is the lowest layer of the workspace: it provides
+//!
+//! * [`Shape`] and [`Tensor`] — owned, row-major dense `f32` tensors;
+//! * element-wise and BLAS-like kernels ([`ops`], [`gemm`]) used by the
+//!   neural-network substrate;
+//! * [`conv`] — im2col/col2im lowering for convolution layers;
+//! * [`rng`] — a small, deterministic random number generator
+//!   (SplitMix64 + PCG32) so that every experiment in the workspace is
+//!   bit-reproducible given a seed;
+//! * [`stats`] — streaming statistics used by the auto-tuner and the metric
+//!   collectors.
+//!
+//! The training *math* of the paper (gradients, momentum, model averaging)
+//! operates on flat `&[f32]`/`&mut [f32]` parameter vectors, so most hot
+//! kernels here are slice-based rather than tensor-based.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod conv;
+pub mod gemm;
+pub mod ops;
+pub mod rng;
+pub mod shape;
+pub mod stats;
+pub mod tensor;
+
+pub use rng::Rng;
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,242 @@
+//! Deterministic random number generation.
+//!
+//! Every experiment in the CROSSBOW reproduction must be bit-reproducible
+//! from a seed: the same seed has to produce the same model initialisation,
+//! the same batch order, and therefore the same accuracy curve, regardless
+//! of the versions of external crates. We therefore implement a small RNG
+//! in-tree instead of depending on `rand` in library code: a SplitMix64
+//! seeder feeding a PCG32 stream, plus the Box–Muller transform for normal
+//! samples. `rand` and `proptest` remain dev-dependencies for tests.
+
+/// A deterministic PCG32 random number generator.
+///
+/// ```
+/// use crossbow_tensor::Rng;
+/// let mut a = Rng::new(7);
+/// let mut b = Rng::new(7);
+/// assert_eq!(a.next_u32(), b.next_u32());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+    inc: u64,
+    /// Cached second sample of the Box–Muller pair.
+    spare_normal: Option<f32>,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+/// SplitMix64 step; used to expand a user seed into PCG state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let state = splitmix64(&mut sm);
+        let inc = splitmix64(&mut sm) | 1; // stream must be odd
+        let mut rng = Rng {
+            state: 0,
+            inc,
+            spare_normal: None,
+        };
+        // Standard PCG initialisation: advance once with the seeded state.
+        rng.state = state.wrapping_add(inc);
+        rng.next_u32();
+        rng
+    }
+
+    /// Derives an independent generator; used to give each learner, data
+    /// pre-processor or GPU its own stream from one experiment seed.
+    pub fn fork(&mut self, stream: u64) -> Rng {
+        let mut sm = self.next_u64() ^ stream.wrapping_mul(0x9E3779B97F4A7C15);
+        let seed = splitmix64(&mut sm);
+        Rng::new(seed)
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Uniform sample in `[0, 1)` with 32 bits of precision.
+    pub fn next_f32(&mut self) -> f32 {
+        // 24 high bits -> exactly representable in f32.
+        (self.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Uniform sample in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Unbiased uniform integer in `[0, bound)` (Lemire rejection).
+    ///
+    /// # Panics
+    /// Panics when `bound == 0`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below(0) is meaningless");
+        let bound = bound as u64;
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = (
+                ((u128::from(x) * u128::from(bound)) >> 64) as u64,
+                x.wrapping_mul(bound),
+            );
+            if lo >= bound || lo >= x.wrapping_neg() % bound {
+                return hi as usize;
+            }
+        }
+    }
+
+    /// Standard normal sample via Box–Muller.
+    pub fn normal(&mut self) -> f32 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        loop {
+            let u1 = self.next_f64();
+            if u1 <= f64::EPSILON {
+                continue;
+            }
+            let u2 = self.next_f64();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            self.spare_normal = Some((r * theta.sin()) as f32);
+            return (r * theta.cos()) as f32;
+        }
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// A random permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut p);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Rng::new(123);
+        let mut b = Rng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..16).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "streams should not match");
+    }
+
+    #[test]
+    fn forks_are_independent_and_deterministic() {
+        let mut root1 = Rng::new(9);
+        let mut root2 = Rng::new(9);
+        let mut f1 = root1.fork(0);
+        let mut f2 = root2.fork(0);
+        assert_eq!(f1.next_u64(), f2.next_u64());
+        let mut g1 = root1.fork(1);
+        assert_ne!(f1.next_u64(), g1.next_u64());
+    }
+
+    #[test]
+    fn f32_in_unit_interval() {
+        let mut rng = Rng::new(4);
+        for _ in 0..10_000 {
+            let x = rng.next_f32();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers_values() {
+        let mut rng = Rng::new(5);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let x = rng.below(7);
+            assert!(x < 7);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let mut rng = Rng::new(6);
+        let n = 50_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.02, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::new(7);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle should move elements");
+    }
+
+    #[test]
+    fn bernoulli_respects_probability() {
+        let mut rng = Rng::new(8);
+        let hits = (0..20_000).filter(|_| rng.bernoulli(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn permutation_covers_all_indices() {
+        let mut rng = Rng::new(11);
+        let p = rng.permutation(10);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,235 @@
+//! Tensor shapes.
+//!
+//! A [`Shape`] is an ordered list of dimension extents. CROSSBOW tensors are
+//! row-major (C order), so the *last* dimension is contiguous. Shapes of up
+//! to four dimensions are stored inline; anything larger spills to the heap,
+//! which never happens for the models in this workspace (NCHW is the widest
+//! layout we use).
+
+use std::fmt;
+
+/// Maximum number of dimensions stored inline.
+const INLINE: usize = 4;
+
+/// The extents of a dense, row-major tensor.
+///
+/// ```
+/// use crossbow_tensor::Shape;
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.dim(1), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: ShapeRepr,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum ShapeRepr {
+    Inline { len: u8, dims: [usize; INLINE] },
+    Heap(Vec<usize>),
+}
+
+impl Shape {
+    /// Creates a shape from a slice of extents.
+    ///
+    /// A zero-rank shape is a scalar with `len() == 1`.
+    pub fn new(dims: &[usize]) -> Self {
+        if dims.len() <= INLINE {
+            let mut inline = [0usize; INLINE];
+            inline[..dims.len()].copy_from_slice(dims);
+            Shape {
+                dims: ShapeRepr::Inline {
+                    len: dims.len() as u8,
+                    dims: inline,
+                },
+            }
+        } else {
+            Shape {
+                dims: ShapeRepr::Heap(dims.to_vec()),
+            }
+        }
+    }
+
+    /// A 1-D shape of `n` elements.
+    pub fn vector(n: usize) -> Self {
+        Self::new(&[n])
+    }
+
+    /// A 2-D `rows x cols` shape.
+    pub fn matrix(rows: usize, cols: usize) -> Self {
+        Self::new(&[rows, cols])
+    }
+
+    /// An NCHW image-batch shape.
+    pub fn nchw(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Self::new(&[n, c, h, w])
+    }
+
+    /// The extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        match &self.dims {
+            ShapeRepr::Inline { len, dims } => &dims[..*len as usize],
+            ShapeRepr::Heap(v) => v,
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims().len()
+    }
+
+    /// Extent of dimension `i`. Panics if out of range.
+    pub fn dim(&self, i: usize) -> usize {
+        self.dims()[i]
+    }
+
+    /// Total number of elements (product of extents; 1 for a scalar shape).
+    pub fn len(&self) -> usize {
+        self.dims().iter().product()
+    }
+
+    /// True when the shape holds no elements (some extent is zero).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major strides, in elements.
+    ///
+    /// ```
+    /// use crossbow_tensor::Shape;
+    /// assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+    /// ```
+    pub fn strides(&self) -> Vec<usize> {
+        let dims = self.dims();
+        let mut strides = vec![1usize; dims.len()];
+        for i in (0..dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * dims[i + 1];
+        }
+        strides
+    }
+
+    /// Flat row-major offset of a multi-dimensional index.
+    ///
+    /// Panics (in debug builds) if the index is out of bounds.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        let dims = self.dims();
+        debug_assert_eq!(index.len(), dims.len(), "index rank mismatch");
+        let mut off = 0usize;
+        for (i, (&ix, &d)) in index.iter().zip(dims).enumerate() {
+            debug_assert!(ix < d, "index {ix} out of bounds for dim {i} ({d})");
+            off = off * d + ix;
+        }
+        off
+    }
+
+    /// Returns a new shape with the same number of elements, reinterpreted
+    /// with the given extents. Returns `None` if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Option<Shape> {
+        let new = Shape::new(dims);
+        (new.len() == self.len()).then_some(new)
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dims = self.dims();
+        write!(f, "[")?;
+        for (i, d) in dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(&dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape_has_one_element() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn len_is_product_of_dims() {
+        assert_eq!(Shape::new(&[2, 3, 4]).len(), 24);
+        assert_eq!(Shape::vector(7).len(), 7);
+        assert_eq!(Shape::matrix(5, 6).len(), 30);
+        assert_eq!(Shape::nchw(2, 3, 8, 8).len(), 384);
+    }
+
+    #[test]
+    fn zero_extent_is_empty() {
+        assert!(Shape::new(&[4, 0, 2]).is_empty());
+        assert_eq!(Shape::new(&[4, 0, 2]).len(), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::vector(5).strides(), vec![1]);
+        assert_eq!(Shape::new(&[]).strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = Shape::new(&[2, 3, 4]);
+        let strides = s.strides();
+        for n in 0..2 {
+            for c in 0..3 {
+                for h in 0..4 {
+                    let expect = n * strides[0] + c * strides[1] + h * strides[2];
+                    assert_eq!(s.offset(&[n, c, h]), expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heap_shape_round_trips() {
+        let dims = [2usize, 3, 4, 5, 6];
+        let s = Shape::new(&dims);
+        assert_eq!(s.dims(), &dims);
+        assert_eq!(s.len(), 720);
+        assert_eq!(s.rank(), 5);
+    }
+
+    #[test]
+    fn reshape_preserves_len() {
+        let s = Shape::new(&[2, 6]);
+        assert_eq!(s.reshape(&[3, 4]).unwrap().dims(), &[3, 4]);
+        assert!(s.reshape(&[5]).is_none());
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2x3]");
+        assert_eq!(Shape::new(&[]).to_string(), "[]");
+    }
+}

@@ -1,0 +1,36 @@
+//! Auto-tuning the number of learners per GPU (paper §3.4 / Algorithm 2).
+//!
+//! ```sh
+//! cargo run --release -p crossbow --example autotune
+//! ```
+//!
+//! For each benchmark the tuner probes simulated training throughput with
+//! growing learner counts and settles at the knee of the curve — more
+//! learners when one small-batch replica cannot fill the GPU (ResNet-32 at
+//! b = 64), fewer when a single task already saturates it (ResNet-50).
+
+use crossbow::autotuner::tune_to_convergence;
+use crossbow::benchmark::Benchmark;
+use crossbow::exec_sim::{simulate, SimConfig};
+
+fn main() {
+    println!("Auto-tuner decisions on one simulated Titan X GPU");
+    println!();
+    for benchmark in Benchmark::all() {
+        let batch = benchmark.profile.default_batch;
+        let probe = |m: usize| {
+            simulate(&SimConfig::crossbow(benchmark.profile, 1, m, batch)).throughput
+        };
+        let base = probe(1);
+        let (m, observations) = tune_to_convergence(base * 0.05, 8, probe);
+        println!("{:>10} (b = {batch}):", benchmark.name);
+        for (m_probe, t) in &observations {
+            println!(
+                "    m = {m_probe}: {:>9.0} images/s{}",
+                t,
+                if *m_probe == m { "   <- chosen" } else { "" }
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,53 @@
+//! Memory planning (paper §4.5): offline buffer reuse within a learning
+//! task, and online pool sharing across learners on one GPU.
+//!
+//! ```sh
+//! cargo run --release -p crossbow --example memory_plan
+//! ```
+
+use crossbow::benchmark::Benchmark;
+use crossbow::memory::{offline_plan, shared_plan};
+use crossbow::nn::graph::OpGraph;
+
+fn mb(bytes: usize) -> f64 {
+    bytes as f64 / 1e6
+}
+
+fn main() {
+    println!("Offline plan: reference-counted output-buffer reuse");
+    println!();
+    for benchmark in Benchmark::all() {
+        let net = benchmark.network();
+        let batch = benchmark.stat_batch;
+        let graph = OpGraph::from_network(&net, batch);
+        let plan = offline_plan(&graph);
+        println!(
+            "{:>10} (b = {batch:>3}): {:>7.2} MB without reuse -> {:>7.2} MB planned ({:.0}% saved), peak {:.2} MB",
+            benchmark.name,
+            mb(plan.bytes_without_reuse),
+            mb(plan.bytes_allocated),
+            plan.savings() * 100.0,
+            mb(plan.peak_bytes),
+        );
+    }
+
+    println!();
+    println!("Online plan: m learners sharing one pool (ResNet-32 family)");
+    println!();
+    let net = Benchmark::resnet32().network();
+    let graph = OpGraph::from_network(&net, 16);
+    let single = offline_plan(&graph);
+    for m in [1usize, 2, 4] {
+        // The task scheduler staggers learners; half a task apart is
+        // typical steady state.
+        let stagger = graph.ops.len() / 2;
+        let shared = shared_plan(&graph, m, stagger);
+        let private = m * single.peak_bytes;
+        println!(
+            "m = {m}: shared peak {:>7.2} MB vs {:>7.2} MB with private pools ({:.0}% saved)",
+            mb(shared.peak_bytes),
+            mb(private),
+            (1.0 - shared.peak_bytes as f64 / private as f64) * 100.0,
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: train a model with CROSSBOW and read the report.
+//!
+//! ```sh
+//! cargo run --release -p crossbow --example quickstart
+//! ```
+//!
+//! A [`Session`] bundles the paper's whole methodology: it auto-tunes the
+//! number of learners per GPU on the simulated server, measures hardware
+//! efficiency (throughput, epoch time) there, really trains the reduced
+//! model on the synthetic dataset for statistical efficiency, and combines
+//! both into time-to-accuracy.
+
+use crossbow::engine::{Session, SessionConfig};
+
+fn main() {
+    // The LeNet benchmark on an MNIST-like task: small enough to train in
+    // seconds on a laptop core.
+    let config = SessionConfig::lenet_quick().with_gpus(2).with_seed(7);
+    let session = Session::new(config);
+    let report = session.run();
+
+    println!("CROSSBOW quickstart");
+    println!("-------------------");
+    println!("benchmark          : {}", report.benchmark);
+    println!("algorithm          : {:?}", report.algorithm);
+    println!("GPUs               : {}", report.gpus);
+    println!("learners per GPU   : {}", report.learners_per_gpu);
+    println!("batch per learner  : {}", report.batch_per_learner);
+    println!(
+        "sim throughput     : {:.0} images/s ({:.0}% SM utilisation)",
+        report.sim.throughput,
+        report.sim.utilisation * 100.0
+    );
+    println!("full-scale epoch   : {}", report.epoch_time);
+    println!("accuracy per epoch : {:?}",
+        report
+            .curve
+            .epoch_accuracy
+            .iter()
+            .map(|a| format!("{:.2}", a))
+            .collect::<Vec<_>>()
+    );
+    match (report.curve.epochs_to_target, report.tta) {
+        (Some(eta), Some(tta)) => {
+            println!("epochs to target   : {eta}");
+            println!("time-to-accuracy   : {tta}");
+        }
+        _ => println!("target not reached within the epoch budget"),
+    }
+    println!();
+    println!("{}", report.summary());
+}

@@ -1,0 +1,81 @@
+//! A tour of the GPU-server simulator: streams, events, SM sharing,
+//! copy/compute overlap and the ring all-reduce.
+//!
+//! ```sh
+//! cargo run --release -p crossbow --example simulator_tour
+//! ```
+//!
+//! This is the substrate the CROSSBOW task engine runs on. Everything here
+//! mirrors the CUDA concepts of paper §2.2: in-order streams, cross-stream
+//! events, concurrent kernels on one device, copy engines, and a
+//! NCCL-style collective.
+
+use crossbow::gpu_sim::{CopyKind, KernelDesc, Machine, MachineConfig};
+
+fn main() {
+    let mut machine = Machine::new(MachineConfig::titan_x_server(4));
+    println!(
+        "machine: {} GPUs, {} SMs each",
+        machine.device_count(),
+        24
+    );
+
+    // 1. Two streams on GPU 0 share the SM pool: narrow kernels overlap.
+    let s0 = machine.create_stream(machine.device(0));
+    let s1 = machine.create_stream(machine.device(0));
+    machine.submit_kernel(s0, KernelDesc::compute("conv-a", 2_000_000_000, 8));
+    machine.submit_kernel(s1, KernelDesc::compute("conv-b", 2_000_000_000, 8));
+
+    // 2. An event orders work across streams: "b2" cannot start before
+    //    "conv-a" has finished.
+    let ev = machine.create_event();
+    machine.record_event(s0, ev);
+    machine.wait_event(s1, ev);
+    machine.submit_kernel(s1, KernelDesc::compute("b2-after-a", 500_000_000, 8));
+
+    // 3. An input copy overlaps compute via the copy engine.
+    let s2 = machine.create_stream(machine.device(0));
+    machine.submit_copy(s2, CopyKind::HostToDevice, 64_000_000, "input-batch");
+
+    // 4. A ring all-reduce across all four GPUs (100 MB model).
+    let sync_streams: Vec<_> = (0..4)
+        .map(|g| machine.create_stream(machine.device(g)))
+        .collect();
+    machine.all_reduce(&sync_streams, 100_000_000, "allreduce");
+    machine.callback(sync_streams[0], 1);
+
+    machine.run();
+
+    println!("\ntimeline:");
+    for record in machine.trace().records() {
+        println!(
+            "  [gpu{} stream{:>2}] {:<14} {:>12} .. {:>12}  ({}{})",
+            record.device.index(),
+            record.stream.index(),
+            record.label,
+            record.start.to_string(),
+            record.end.to_string(),
+            record.duration(),
+            if record.sms > 0 {
+                format!(", {} SMs", record.sms)
+            } else {
+                String::new()
+            }
+        );
+    }
+
+    let t = machine.trace();
+    println!();
+    println!(
+        "conv-a overlaps conv-b:      {}",
+        t.labels_overlap("conv-a", "conv-b")
+    );
+    println!(
+        "input copy overlaps compute: {}",
+        t.labels_overlap("input-batch", "conv-a")
+    );
+    println!(
+        "GPU 0 utilisation:           {:.0}%",
+        machine.utilisation(machine.device(0)) * 100.0
+    );
+}

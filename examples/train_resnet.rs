@@ -1,0 +1,61 @@
+//! The paper's headline scenario: ResNet-32 with small batches on a
+//! multi-GPU server, CROSSBOW (SMA) against the TensorFlow-style S-SGD
+//! baseline.
+//!
+//! ```sh
+//! cargo run --release -p crossbow --example train_resnet
+//! ```
+//!
+//! Mirrors §5.2 / Figure 10a: the baseline couples the batch size to the
+//! GPU count, while CROSSBOW keeps the user's small batch and adds model
+//! replicas instead.
+
+use crossbow::benchmark::Benchmark;
+use crossbow::engine::{AlgorithmKind, Session, SessionConfig};
+
+fn main() {
+    let gpus = 8;
+    let benchmark = Benchmark::resnet32();
+    println!(
+        "ResNet-32 on {gpus} simulated GPUs (dataset: {} @ {} samples)",
+        benchmark.profile.dataset, benchmark.profile.train_samples
+    );
+    println!();
+
+    // CROSSBOW: small batch per learner, SMA synchronisation, auto-tuned m.
+    let crossbow_cfg = SessionConfig::new(benchmark)
+        .with_gpus(gpus)
+        .with_batch(64)
+        .with_algorithm(AlgorithmKind::Sma { tau: 1 })
+        .with_seed(11);
+    let crossbow_report = Session::new(crossbow_cfg).run();
+    println!("CROSSBOW  : {}", crossbow_report.summary());
+
+    // Baseline: parallel S-SGD, one replica per GPU, global barrier.
+    let baseline_cfg = SessionConfig::new(benchmark)
+        .with_gpus(gpus)
+        .with_batch(64)
+        .with_algorithm(AlgorithmKind::SSgd)
+        .with_seed(11);
+    let baseline_report = Session::new(baseline_cfg).run();
+    println!("baseline  : {}", baseline_report.summary());
+
+    println!();
+    match (crossbow_report.tta, baseline_report.tta) {
+        (Some(cb), Some(tf)) => {
+            let speedup = tf.as_secs_f64() / cb.as_secs_f64();
+            println!(
+                "CROSSBOW reaches {:.0}% accuracy {speedup:.2}x {} than the baseline",
+                benchmark.scaled_target * 100.0,
+                if speedup >= 1.0 { "faster" } else { "slower" },
+            );
+        }
+        (Some(_), None) => {
+            println!("only CROSSBOW reached the target within the epoch budget")
+        }
+        (None, Some(_)) => {
+            println!("only the baseline reached the target within the epoch budget")
+        }
+        (None, None) => println!("neither run reached the target; raise the epoch budget"),
+    }
+}

@@ -1,0 +1,81 @@
+//! Reproducibility: every layer of the stack is a deterministic function
+//! of its seed — datasets, initialisation, batch order, the simulator and
+//! whole sessions.
+
+use crossbow::benchmark::Benchmark;
+use crossbow::engine::{AlgorithmKind, Session, SessionConfig};
+use crossbow::exec_sim::{simulate, SimConfig};
+use crossbow::nn::ModelProfile;
+
+fn quick_session(seed: u64) -> SessionConfig {
+    SessionConfig::new(Benchmark::lenet())
+        .with_gpus(1)
+        .with_learners_per_gpu(2)
+        .with_epochs(3)
+        .with_seed(seed)
+}
+
+#[test]
+fn sessions_replay_bit_identically() {
+    let a = Session::new(quick_session(5)).run();
+    let b = Session::new(quick_session(5)).run();
+    assert_eq!(a.curve.epoch_accuracy, b.curve.epoch_accuracy);
+    assert_eq!(a.curve.iterations, b.curve.iterations);
+    assert_eq!(a.sim.throughput, b.sim.throughput);
+    assert_eq!(a.learners_per_gpu, b.learners_per_gpu);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = Session::new(quick_session(5)).run();
+    let b = Session::new(quick_session(6)).run();
+    assert_ne!(
+        a.curve.epoch_accuracy, b.curve.epoch_accuracy,
+        "different seeds must explore differently"
+    );
+}
+
+#[test]
+fn simulator_runs_replay_bit_identically() {
+    for kind in ["crossbow", "baseline"] {
+        let cfg = match kind {
+            "crossbow" => SimConfig::crossbow(ModelProfile::vgg16(), 4, 2, 256),
+            _ => SimConfig::baseline(ModelProfile::vgg16(), 4, 256),
+        };
+        let a = simulate(&cfg);
+        let b = simulate(&cfg);
+        assert_eq!(a.throughput, b.throughput, "{kind}");
+        assert_eq!(a.total_time, b.total_time, "{kind}");
+        assert_eq!(a.iteration_time, b.iteration_time, "{kind}");
+    }
+}
+
+#[test]
+fn datasets_are_pure_functions_of_seed() {
+    for bench in Benchmark::all() {
+        let (tr1, te1) = bench.dataset(9);
+        let (tr2, te2) = bench.dataset(9);
+        assert_eq!(tr1.labels(), tr2.labels(), "{}", bench.name);
+        assert_eq!(tr1.image(7), tr2.image(7), "{}", bench.name);
+        assert_eq!(te1.labels(), te2.labels(), "{}", bench.name);
+        assert_eq!(te2.image(0), te1.image(0), "{}", bench.name);
+    }
+}
+
+#[test]
+fn algorithms_share_identical_initial_models() {
+    // §5.1: both systems are configured with the same model variable
+    // initialisation. The session derives it from the seed, so two
+    // algorithms at one seed must start identically — checked indirectly:
+    // their first-epoch accuracy from the same init is equal when the
+    // algorithm degenerates to the same update (single learner, tau 1).
+    let sma = Session::new(
+        quick_session(8).with_algorithm(AlgorithmKind::Sma { tau: 1 }),
+    )
+    .train_statistics(1);
+    let sma2 = Session::new(
+        quick_session(8).with_algorithm(AlgorithmKind::Sma { tau: 1 }),
+    )
+    .train_statistics(1);
+    assert_eq!(sma.epoch_accuracy, sma2.epoch_accuracy);
+}

@@ -1,0 +1,134 @@
+//! End-to-end integration tests: every training algorithm really learns
+//! the synthetic benchmarks through the public `Session` API, and the
+//! combined TTA pipeline behaves like the paper's methodology.
+
+use crossbow::benchmark::Benchmark;
+use crossbow::engine::{AlgorithmKind, Session, SessionConfig};
+
+/// A LeNet session small enough for debug-mode CI.
+fn quick(algorithm: AlgorithmKind) -> SessionConfig {
+    SessionConfig::new(Benchmark::lenet())
+        .with_gpus(2)
+        .with_learners_per_gpu(match algorithm {
+            AlgorithmKind::SSgd => 1,
+            _ => 2,
+        })
+        .with_algorithm(algorithm)
+        .with_epochs(6)
+        .with_target(0.55)
+        .with_seed(3)
+}
+
+#[test]
+fn sma_session_learns_end_to_end() {
+    let report = Session::new(quick(AlgorithmKind::Sma { tau: 1 })).run();
+    assert!(
+        report.curve.final_accuracy > 0.5,
+        "accuracy {}",
+        report.curve.final_accuracy
+    );
+    assert!(report.sim.throughput > 0.0);
+    assert!(report.curve.epochs_to_target.is_some());
+    assert!(report.tta.is_some());
+}
+
+#[test]
+fn hierarchical_sma_session_learns_end_to_end() {
+    let report = Session::new(quick(AlgorithmKind::HierarchicalSma)).run();
+    assert!(
+        report.curve.final_accuracy > 0.5,
+        "accuracy {}",
+        report.curve.final_accuracy
+    );
+}
+
+#[test]
+fn ssgd_session_learns_end_to_end() {
+    let report = Session::new(quick(AlgorithmKind::SSgd)).run();
+    assert!(
+        report.curve.final_accuracy > 0.5,
+        "accuracy {}",
+        report.curve.final_accuracy
+    );
+    assert_eq!(report.learners_per_gpu, 1);
+}
+
+#[test]
+fn easgd_session_learns_end_to_end() {
+    let report = Session::new(quick(AlgorithmKind::EaSgd { tau: 2 })).run();
+    assert!(
+        report.curve.final_accuracy > 0.5,
+        "accuracy {}",
+        report.curve.final_accuracy
+    );
+}
+
+#[test]
+fn flat_and_hierarchical_sma_converge_similarly() {
+    // §3.3's two-level scheme is an implementation of the same algorithm;
+    // its accuracy trajectory must track flat SMA closely.
+    let flat = Session::new(quick(AlgorithmKind::Sma { tau: 1 })).run();
+    let hier = Session::new(quick(AlgorithmKind::HierarchicalSma)).run();
+    let diff = (flat.curve.final_accuracy - hier.curve.final_accuracy).abs();
+    assert!(
+        diff < 0.2,
+        "flat {} vs hierarchical {}",
+        flat.curve.final_accuracy,
+        hier.curve.final_accuracy
+    );
+}
+
+#[test]
+fn more_gpus_shorten_the_simulated_epoch() {
+    let epoch_time = |gpus: usize| {
+        let cfg = SessionConfig::new(Benchmark::resnet32())
+            .with_gpus(gpus)
+            .with_learners_per_gpu(1)
+            .with_batch(64);
+        let session = Session::new(cfg);
+        let (_, sim) = session.plan_hardware();
+        sim.epoch_time(Benchmark::resnet32().profile.train_samples)
+            .as_secs_f64()
+    };
+    let t1 = epoch_time(1);
+    let t8 = epoch_time(8);
+    assert!(
+        t8 < t1 / 4.0,
+        "8 GPUs should cut the epoch well below 1 GPU: {t1} vs {t8}"
+    );
+}
+
+#[test]
+fn crossbow_engine_beats_baseline_on_lenet_hardware() {
+    // Figure 10d: sub-millisecond learning tasks expose the baseline's
+    // scheduling overhead even with one learner.
+    let cb = Session::new(
+        SessionConfig::new(Benchmark::lenet()).with_learners_per_gpu(1),
+    );
+    let tf = Session::new(
+        SessionConfig::new(Benchmark::lenet()).with_algorithm(AlgorithmKind::SSgd),
+    );
+    let (_, cb_sim) = cb.plan_hardware();
+    let (_, tf_sim) = tf.plan_hardware();
+    assert!(
+        cb_sim.throughput > tf_sim.throughput,
+        "crossbow {} vs baseline {}",
+        cb_sim.throughput,
+        tf_sim.throughput
+    );
+}
+
+#[test]
+fn batch_size_is_decoupled_from_gpu_count() {
+    // The paper's core premise: CROSSBOW keeps the per-learner batch
+    // constant while scaling GPUs; aggregate batch grows only through
+    // learner count.
+    let cfg = SessionConfig::new(Benchmark::resnet32())
+        .with_gpus(4)
+        .with_learners_per_gpu(2)
+        .with_batch(16);
+    let session = Session::new(cfg);
+    let (m, sim) = session.plan_hardware();
+    assert_eq!(m, 2);
+    assert_eq!(sim.aggregate_batch, 4 * 2 * 16);
+}

@@ -1,0 +1,119 @@
+//! Failure injection: stragglers, stalled pipelines and degenerate
+//! configurations must degrade gracefully, not deadlock or corrupt state.
+
+use crossbow::autotuner::tune_to_convergence;
+use crossbow::data::prefetch::{PrefetchConfig, Prefetcher};
+use crossbow::data::synth::gaussian_mixture;
+use crossbow::data::augment::Augment;
+use crossbow::gpu_sim::{KernelDesc, Machine, MachineConfig, SimDuration};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn straggler_gpu_delays_but_does_not_deadlock_the_collective() {
+    // One GPU is busy with a long kernel before joining the all-reduce;
+    // the rendezvous must simply wait for it (paper §2.3 motivates
+    // synchronous training's straggler sensitivity).
+    let mut machine = Machine::new(MachineConfig::titan_x_server(4));
+    let streams: Vec<_> = (0..4)
+        .map(|g| machine.create_stream(machine.device(g)))
+        .collect();
+    let cfg = crossbow::gpu_sim::DeviceConfig::titan_x_pascal();
+    let slow_flops = (cfg.effective_flops(cfg.sm_total) * 0.5) as u64; // 500 ms
+    machine.submit_kernel(streams[2], KernelDesc::compute("straggler", slow_flops, 24));
+    machine.all_reduce(&streams, 1_000_000, "ar");
+    for (i, &s) in streams.iter().enumerate() {
+        machine.callback(s, i as u64);
+    }
+    let done = machine.run();
+    assert_eq!(done.len(), 4, "everyone completes");
+    assert!(
+        done[0].time > crossbow::gpu_sim::SimTime::from_nanos(400_000_000),
+        "the collective waited for the straggler"
+    );
+}
+
+#[test]
+fn slow_preprocessors_stall_but_recover() {
+    // §4.5: "when the pre-processors stall the pipeline because it takes
+    // more time to prepare the data on the CPU than to process it on a
+    // GPU" — consumers must block-and-recover, not fail.
+    let dataset = Arc::new(gaussian_mixture(4, 8, 64, 0.3, 1));
+    let prefetcher = Prefetcher::spawn(
+        dataset,
+        PrefetchConfig {
+            batch_size: 8,
+            threads: 1,
+            capacity: 2,
+            augment: Augment::none(),
+            slowdown: Duration::from_millis(100),
+        },
+        9,
+    );
+    // Demand batches faster than they are produced.
+    let mut got = 0;
+    for _ in 0..5 {
+        if prefetcher
+            .next_timeout(Duration::from_secs(10))
+            .is_some()
+        {
+            got += 1;
+        }
+    }
+    assert_eq!(got, 5, "every request eventually served");
+}
+
+#[test]
+fn prefetcher_shutdown_under_backpressure_is_clean() {
+    // Producers blocked on a full buffer must notice shutdown.
+    let dataset = Arc::new(gaussian_mixture(4, 8, 64, 0.3, 1));
+    let prefetcher = Prefetcher::spawn(
+        dataset,
+        PrefetchConfig {
+            batch_size: 8,
+            threads: 3,
+            capacity: 1,
+            augment: Augment::standard(),
+            slowdown: Duration::ZERO,
+        },
+        9,
+    );
+    std::thread::sleep(Duration::from_millis(50)); // let the buffer fill
+    drop(prefetcher); // must not hang
+}
+
+#[test]
+fn autotuner_survives_a_pathological_throughput_oracle() {
+    // A noisy, non-monotonic oracle: the tuner must terminate at a valid
+    // learner count without oscillating forever.
+    let chaotic = |m: usize| match m % 3 {
+        0 => 900.0,
+        1 => 1000.0,
+        _ => 800.0,
+    };
+    let (m, obs) = tune_to_convergence(10.0, 8, chaotic);
+    assert!((1..=8).contains(&m), "chose {m}, observations {obs:?}");
+    assert!(obs.len() <= 10, "terminates promptly");
+}
+
+#[test]
+fn zero_work_machine_stays_quiescent_under_polling() {
+    let mut machine = Machine::new(MachineConfig::titan_x_server(1));
+    assert!(machine.run_until_callback().is_none());
+    assert!(machine.poll_completion().is_none());
+    assert!(machine.is_quiescent());
+}
+
+#[test]
+fn delay_only_streams_complete() {
+    // Host stalls with no device work behind them still retire.
+    let mut machine = Machine::new(MachineConfig::titan_x_server(1));
+    let s = machine.create_stream(machine.device(0));
+    for _ in 0..100 {
+        machine.delay(s, SimDuration::from_micros(10), "stall");
+    }
+    machine.callback(s, 7);
+    let done = machine.run();
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].time.as_nanos(), 100 * 10_000);
+}

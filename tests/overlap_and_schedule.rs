@@ -1,0 +1,150 @@
+//! Trace-level integration tests of the task engine's scheduling
+//! semantics (paper §4.2–4.3, Figure 8).
+
+use crossbow::exec_sim::{simulate_with_machine, SimConfig};
+use crossbow::gpu_sim::TraceKind;
+use crossbow::nn::ModelProfile;
+
+fn crossbow_trace(gpus: usize, m: usize, tau: Option<usize>) -> crossbow::gpu_sim::Machine {
+    let mut cfg = SimConfig::crossbow(ModelProfile::resnet32(), gpus, m, 64).with_trace();
+    cfg.tau = tau;
+    cfg.iterations = 10;
+    cfg.warmup = 2;
+    simulate_with_machine(&cfg).1
+}
+
+#[test]
+fn figure8_sync_overlaps_next_iterations_learning() {
+    let machine = crossbow_trace(2, 2, Some(1));
+    let trace = machine.trace();
+    assert!(
+        trace.labels_overlap("allreduce", "learn"),
+        "global sync must overlap learning tasks (Figure 8, point f)"
+    );
+    assert!(
+        trace.labels_overlap("apply-average", "learn"),
+        "average-model update overlaps learning too"
+    );
+}
+
+#[test]
+fn local_sync_waits_for_previous_global_sync() {
+    // Figure 8, point d: a local sync of iteration N needs the average
+    // model updated by iteration N-1's global sync on the same GPU.
+    let machine = crossbow_trace(2, 1, Some(1));
+    let trace = machine.trace();
+    let applies: Vec<_> = trace.with_label(|l| l == "apply-average").collect();
+    let locals: Vec<_> = trace.with_label(|l| l == "local-sync").collect();
+    assert!(!applies.is_empty() && locals.len() >= 2);
+    // For each device, the i-th apply must finish before the (i+1)-th
+    // local sync starts.
+    for device in 0..2 {
+        let mut dev_applies: Vec<_> = applies
+            .iter()
+            .filter(|r| r.device.index() == device)
+            .collect();
+        let mut dev_locals: Vec<_> = locals
+            .iter()
+            .filter(|r| r.device.index() == device)
+            .collect();
+        dev_applies.sort_by_key(|r| r.start);
+        dev_locals.sort_by_key(|r| r.start);
+        for (apply, next_local) in dev_applies.iter().zip(dev_locals.iter().skip(1)) {
+            assert!(
+                next_local.start >= apply.end,
+                "local sync at {} started before average update finished at {}",
+                next_local.start,
+                apply.end
+            );
+        }
+    }
+}
+
+#[test]
+fn tau_controls_collective_count() {
+    let count_allreduce = |tau: Option<usize>| {
+        let machine = crossbow_trace(2, 1, tau);
+        machine
+            .trace()
+            .records()
+            .iter()
+            .filter(|r| r.kind == TraceKind::Collective)
+            .count()
+    };
+    let every = count_allreduce(Some(1));
+    let half = count_allreduce(Some(2));
+    let never = count_allreduce(None);
+    // 10 iterations, 2 participating streams per collective.
+    assert_eq!(every, 10 * 2);
+    assert_eq!(half, 5 * 2);
+    assert_eq!(never, 0);
+}
+
+#[test]
+fn learner_streams_on_one_gpu_overlap() {
+    let machine = crossbow_trace(1, 2, Some(1));
+    let trace = machine.trace();
+    // Find two learn kernels on different streams of device 0 overlapping.
+    let learns: Vec<_> = trace.with_label(|l| l == "learn").collect();
+    let overlapping = learns.iter().any(|a| {
+        learns
+            .iter()
+            .any(|b| a.stream != b.stream && a.overlaps(b))
+    });
+    assert!(overlapping, "co-located learners must share the GPU in time");
+}
+
+#[test]
+fn baseline_serialises_iterations() {
+    let mut cfg = SimConfig::baseline(ModelProfile::resnet32(), 2, 64).with_trace();
+    cfg.iterations = 6;
+    cfg.warmup = 1;
+    let (_, machine) = simulate_with_machine(&cfg);
+    let trace = machine.trace();
+    assert!(
+        !trace.labels_overlap("grad-allreduce", "learn"),
+        "the baseline's barrier forbids sync/learn overlap"
+    );
+    // Collectives themselves never overlap one another.
+    let collectives: Vec<_> = trace
+        .records()
+        .iter()
+        .filter(|r| r.kind == TraceKind::Collective)
+        .collect();
+    for (i, a) in collectives.iter().enumerate() {
+        for b in &collectives[i + 1..] {
+            if a.stream == b.stream {
+                assert!(!a.overlaps(b), "iterations must serialise");
+            }
+        }
+    }
+}
+
+#[test]
+fn input_copies_overlap_compute() {
+    // §2.2/§4.5: DMA copies run on the copy engine concurrently with
+    // kernels.
+    let machine = crossbow_trace(1, 2, Some(1));
+    assert!(
+        machine.trace().labels_overlap("input", "learn"),
+        "H2D input copies must hide behind compute"
+    );
+}
+
+#[test]
+fn more_gpus_lengthen_the_collective() {
+    let collective_time = |gpus: usize| {
+        let machine = crossbow_trace(gpus, 1, Some(1));
+        let trace = machine.trace();
+        let r = trace
+            .records()
+            .iter()
+            .find(|r| r.kind == TraceKind::Collective)
+            .expect("has collectives");
+        r.duration()
+    };
+    assert!(
+        collective_time(8) > collective_time(2),
+        "ring all-reduce grows with participants"
+    );
+}
