@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local CI: the checks a change must pass before merging.
+#
+#   ./ci.sh
+#
+# Runs entirely offline — the root workspace has no registry
+# dependencies (crates/bench, which needs criterion, is a standalone
+# workspace and is not built here).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== ci: all green =="

@@ -53,6 +53,8 @@ fn main() {
             eval_batch: 256,
             seed: 42,
             threads: 1,
+            guard: None,
+            inject_nan_at: None,
         };
         let t0 = std::time::Instant::now();
         let mut algo = SSgd::new(init.clone(), 1, SgdConfig::paper_default());

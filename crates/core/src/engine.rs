@@ -17,14 +17,16 @@
 
 use crate::autotuner::tune_to_convergence;
 use crate::benchmark::Benchmark;
-use crate::exec_sim::{simulate, EngineKind, SimConfig, SimReport};
-use crossbow_gpu_sim::SimDuration;
+use crate::exec_sim::{
+    simulate, simulate_robust, EngineKind, RobustSimConfig, SimConfig, SimReport,
+};
+use crossbow_gpu_sim::{FaultPlan, SimDuration};
 use crossbow_sync::algorithm::SyncAlgorithm;
 use crossbow_sync::sma::{easgd, Sma, SmaConfig};
 use crossbow_sync::hierarchical::HierarchicalSma;
 use crossbow_sync::optimizer::SgdConfig;
 use crossbow_sync::ssgd::SSgd;
-use crossbow_sync::{train, TrainerConfig, TrainingCurve};
+use crossbow_sync::{train, GuardConfig, TrainerConfig, TrainingCurve};
 use crossbow_tensor::Rng;
 
 /// Which training algorithm a session uses.
@@ -45,6 +47,34 @@ pub enum AlgorithmKind {
         /// Synchronisation period.
         tau: usize,
     },
+}
+
+/// Fault-tolerance policy of a session: what faults to simulate on the
+/// hardware half and how aggressively to self-heal on both halves.
+#[derive(Clone, Debug)]
+pub struct RobustnessConfig {
+    /// Fault plan for the simulated hardware run. `None` derives a small
+    /// seeded plan from the session seed ([`FaultPlan::from_seed`]) over
+    /// the horizon of a fault-free probe run.
+    pub fault_plan: Option<FaultPlan>,
+    /// Divergence guard for the statistical (real training) run.
+    pub guard: GuardConfig,
+    /// Retry cap for failed tasks and global synchronisations.
+    pub max_retries: u32,
+    /// Test hook: treat the n-th training iteration's losses as NaN, so
+    /// the rollback path can be exercised end to end.
+    pub inject_nan_at: Option<u64>,
+}
+
+impl Default for RobustnessConfig {
+    fn default() -> Self {
+        RobustnessConfig {
+            fault_plan: None,
+            guard: GuardConfig::default(),
+            max_retries: 4,
+            inject_nan_at: None,
+        }
+    }
 }
 
 /// Configuration of one training session.
@@ -71,6 +101,8 @@ pub struct SessionConfig {
     pub tuner_tolerance: f64,
     /// Cap on learners per GPU the tuner may reach.
     pub max_learners_per_gpu: usize,
+    /// Fault injection + self-healing policy; `None` runs fault-free.
+    pub robustness: Option<RobustnessConfig>,
 }
 
 impl SessionConfig {
@@ -88,6 +120,7 @@ impl SessionConfig {
             seed: 42,
             tuner_tolerance: 0.05,
             max_learners_per_gpu: 8,
+            robustness: None,
         }
     }
 
@@ -139,6 +172,12 @@ impl SessionConfig {
     /// Sets the seed (builder style).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enables fault injection + self-healing (builder style).
+    pub fn with_robustness(mut self, robustness: RobustnessConfig) -> Self {
+        self.robustness = Some(robustness);
         self
     }
 }
@@ -242,6 +281,12 @@ impl Session {
 
     /// Auto-tunes (or reads) the learners-per-GPU count, then measures
     /// hardware efficiency on the simulator.
+    ///
+    /// When the session has a [`RobustnessConfig`] and runs the CROSSBOW
+    /// engine, the measurement run goes through the fault-tolerant driver
+    /// ([`simulate_robust`]) with the configured (or seed-derived) fault
+    /// plan; the auto-tuner's probe runs stay fault-free so tuning remains
+    /// a property of the hardware, not of the injected faults.
     pub fn plan_hardware(&self) -> (usize, SimReport) {
         let c = &self.config;
         if c.algorithm == AlgorithmKind::SSgd {
@@ -257,7 +302,22 @@ impl Session {
                 m
             }
         };
-        (m, simulate(&self.sim_config(m)))
+        let sim = self.sim_config(m);
+        if let Some(r) = &c.robustness {
+            let plan = r.fault_plan.clone().unwrap_or_else(|| {
+                // Derive a small seeded plan over the fault-free horizon.
+                let horizon = simulate(&sim).total_time;
+                FaultPlan::from_seed(
+                    c.seed,
+                    c.gpus,
+                    SimDuration::from_secs_f64(horizon.as_secs_f64()),
+                )
+            });
+            let mut robust = RobustSimConfig::new(sim, plan);
+            robust.max_retries = r.max_retries;
+            return (m, simulate_robust(&robust));
+        }
+        (m, simulate(&sim))
     }
 
     /// Runs the statistical-efficiency half: real training of the reduced
@@ -301,6 +361,8 @@ impl Session {
             eval_batch: 256,
             seed: c.seed,
             threads: 0,
+            guard: c.robustness.as_ref().map(|r| r.guard),
+            inject_nan_at: c.robustness.as_ref().and_then(|r| r.inject_nan_at),
         };
         train(&net, &train_set, &test_set, algo.as_mut(), &trainer_config)
     }

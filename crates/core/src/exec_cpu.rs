@@ -30,8 +30,7 @@ use crossbow_data::{BatchSampler, Dataset};
 use crossbow_nn::Network;
 use crossbow_tensor::ops;
 use crossbow_tensor::stats::WindowedMedian;
-use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Configuration of the concurrent runtime.
 #[derive(Clone, Debug)]
@@ -107,22 +106,22 @@ impl CentralModel {
 
     /// Blocks until version >= `version`, returning that snapshot.
     fn wait_for(&self, version: u64) -> Arc<Vec<f32>> {
-        let mut guard = self.state.lock();
+        let mut guard = self.state.lock().expect("central-model lock poisoned");
         while guard.0 < version {
-            self.ready.wait(&mut guard);
+            guard = self.ready.wait(guard).expect("central-model lock poisoned");
         }
         Arc::clone(&guard.1)
     }
 
     fn publish(&self, version: u64, z: Vec<f32>) {
-        let mut guard = self.state.lock();
+        let mut guard = self.state.lock().expect("central-model lock poisoned");
         debug_assert_eq!(guard.0 + 1, version, "versions advance one at a time");
         *guard = (version, Arc::new(z));
         self.ready.notify_all();
     }
 
     fn snapshot(&self) -> Arc<Vec<f32>> {
-        Arc::clone(&self.state.lock().1)
+        Arc::clone(&self.state.lock().expect("central-model lock poisoned").1)
     }
 }
 
@@ -155,7 +154,7 @@ pub fn train_concurrent(
     let init = net.init_params(&mut rng);
 
     let central = Arc::new(CentralModel::new(init.clone()));
-    let (tx, rx) = crossbeam::channel::unbounded::<Contribution>();
+    let (tx, rx) = std::sync::mpsc::channel::<Contribution>();
     let start = std::time::Instant::now();
     let batches_per_epoch_per_learner = {
         // Each learner owns a sampler over the whole set; an "epoch" of
@@ -169,12 +168,12 @@ pub fn train_concurrent(
     let iterations_total = (config.max_epochs * batches_per_epoch_per_learner) as u64;
 
     // Spawn learners.
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for j in 0..k {
             let central = Arc::clone(&central);
             let tx = tx.clone();
             let config = config.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut sampler = BatchSampler::new(
                     train_set.len(),
                     config.batch_per_learner,
@@ -285,7 +284,6 @@ pub fn train_concurrent(
         report.throughput = samples as f64 / start.elapsed().as_secs_f64().max(1e-9);
         report
     })
-    .expect("engine threads must not panic")
 }
 
 #[cfg(test)]
@@ -387,6 +385,8 @@ mod tests {
             eval_batch: 256,
             seed: cfg.seed,
             threads: 1,
+            guard: None,
+            inject_nan_at: None,
         };
         let synchronous =
             crossbow_sync::train(&net, &train_set, &test_set, &mut algo, &trainer_cfg);

@@ -28,7 +28,8 @@
 //! larger per-iteration host overhead of a session-style executor.
 
 use crossbow_gpu_sim::{
-    CopyKind, EventId, KernelDesc, Machine, MachineConfig, SimDuration, SimTime, StreamId,
+    Completion, CopyKind, EventId, FaultPlan, FaultStats, KernelDesc, Machine, MachineConfig,
+    SimDuration, SimTime, StreamId,
 };
 use crossbow_nn::ModelProfile;
 
@@ -131,6 +132,25 @@ impl SimConfig {
     }
 }
 
+/// Fault and recovery counters of one simulated run. All zero for the
+/// fault-free drivers; populated by [`simulate_robust`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Failed learning / local-sync tasks resubmitted on the same stream.
+    pub task_retries: u64,
+    /// Failed global synchronisations resubmitted (with backoff).
+    pub sync_retries: u64,
+    /// Global synchronisations abandoned after the retry cap.
+    pub dropped_syncs: u64,
+    /// Times a GPU's learners were removed from the all-reduce group for
+    /// persistent slowness.
+    pub quarantines: u64,
+    /// Times a quarantined GPU was readmitted after sustained health.
+    pub rejoins: u64,
+    /// What the machine actually injected (ground truth).
+    pub injected: FaultStats,
+}
+
 /// Hardware-efficiency measurements of one simulated run.
 #[derive(Clone, Debug)]
 pub struct SimReport {
@@ -144,6 +164,8 @@ pub struct SimReport {
     pub total_time: SimTime,
     /// Aggregate batch (images consumed per iteration across learners).
     pub aggregate_batch: usize,
+    /// Fault / recovery counters (all zero for fault-free runs).
+    pub faults: FaultCounters,
 }
 
 impl SimReport {
@@ -219,6 +241,7 @@ pub fn simulate_with_machine(config: &SimConfig) -> (SimReport, Machine) {
         utilisation,
         total_time: machine.now(),
         aggregate_batch: config.aggregate_batch(),
+        faults: FaultCounters::default(),
     };
     (report, machine)
 }
@@ -351,6 +374,357 @@ fn build_baseline(machine: &mut Machine, config: &SimConfig) {
             machine.callback(stream, tag(iter, g));
         }
     }
+}
+
+/// Configuration of a fault-tolerant (robust) simulated run.
+///
+/// The robust driver submits work one iteration at a time and *reacts* to
+/// completions instead of pre-building the whole dataflow: failed tasks
+/// are retried with capped exponential backoff, a persistently slow GPU
+/// has its learners quarantined out of the all-reduce group (the SMA
+/// group `k` shrinks), and a quarantined GPU rejoins once its measured
+/// iteration span is healthy again. The price of reactivity is that the
+/// global synchronisation no longer overlaps the next iteration's
+/// learning tasks — the host must observe each sync outcome before it can
+/// decide what the next iteration looks like.
+#[derive(Clone, Debug)]
+pub struct RobustSimConfig {
+    /// The underlying run (must use [`EngineKind::Crossbow`]).
+    pub sim: SimConfig,
+    /// Faults to inject.
+    pub faults: FaultPlan,
+    /// Retry cap per task and per global synchronisation.
+    pub max_retries: u32,
+    /// First backoff delay; doubles per retry.
+    pub backoff_base: SimDuration,
+    /// Upper bound on a single backoff delay.
+    pub backoff_cap: SimDuration,
+    /// A GPU is "slow" when its iteration span exceeds the median span
+    /// across GPUs by this factor.
+    pub slow_factor: f64,
+    /// Consecutive slow iterations before quarantine.
+    pub quarantine_after: u32,
+    /// Consecutive healthy iterations before a quarantined GPU rejoins.
+    pub rejoin_after: u32,
+}
+
+impl RobustSimConfig {
+    /// Robust run with default recovery policy.
+    pub fn new(sim: SimConfig, faults: FaultPlan) -> Self {
+        RobustSimConfig {
+            sim,
+            faults,
+            max_retries: 4,
+            backoff_base: SimDuration::from_micros(50),
+            backoff_cap: SimDuration::from_millis(5),
+            slow_factor: 1.5,
+            quarantine_after: 2,
+            rejoin_after: 2,
+        }
+    }
+}
+
+/// Backoff before retry `attempt` (1-based): `base * 2^(attempt-1)`,
+/// capped.
+fn backoff_for(config: &RobustSimConfig, attempt: u32) -> SimDuration {
+    let exp = attempt.saturating_sub(1).min(20);
+    let nanos = config
+        .backoff_base
+        .as_nanos()
+        .saturating_mul(1u64 << exp)
+        .min(config.backoff_cap.as_nanos());
+    SimDuration::from_nanos(nanos)
+}
+
+/// High bit distinguishing global-sync callbacks from learner callbacks.
+const SYNC_TAG: u64 = 1 << 63;
+
+/// One learning task + local sync, submitted (or resubmitted) on a
+/// learner stream. Returns the event recording the local sync, if any.
+#[allow(clippy::too_many_arguments)]
+fn submit_learn_task(
+    machine: &mut Machine,
+    stream: StreamId,
+    kernels: &[KernelDesc],
+    input_bytes: u64,
+    sync: bool,
+    wait_on: Option<EventId>,
+    local_sync_kernel: KernelDesc,
+    update_kernel: KernelDesc,
+    callback_tag: u64,
+) -> Option<EventId> {
+    machine.delay(stream, CROSSBOW_TASK_OVERHEAD, "sched");
+    machine.submit_copy(stream, CopyKind::HostToDevice, input_bytes, "input");
+    for &kernel in kernels {
+        machine.submit_kernel(stream, kernel);
+    }
+    let ev = if sync {
+        if let Some(avg) = wait_on {
+            machine.wait_event(stream, avg);
+        }
+        machine.submit_kernel(stream, local_sync_kernel);
+        let ev = machine.create_event();
+        machine.record_event(stream, ev);
+        Some(ev)
+    } else {
+        machine.submit_kernel(stream, update_kernel);
+        None
+    };
+    machine.callback(stream, callback_tag);
+    ev
+}
+
+/// Runs the fault-tolerant simulation and returns the report.
+pub fn simulate_robust(config: &RobustSimConfig) -> SimReport {
+    simulate_robust_with_machine(config).0
+}
+
+/// Runs the fault-tolerant simulation, also returning the machine.
+///
+/// # Panics
+/// Panics on invalid configurations (see [`simulate_with_machine`]) or a
+/// non-CROSSBOW engine, and if the machine deadlocks (a callback that
+/// never arrives).
+pub fn simulate_robust_with_machine(config: &RobustSimConfig) -> (SimReport, Machine) {
+    let sim = &config.sim;
+    assert_eq!(
+        sim.kind,
+        EngineKind::Crossbow,
+        "the robust driver simulates the CROSSBOW engine"
+    );
+    assert!(sim.gpus >= 1, "need at least one GPU");
+    assert!(sim.learners_per_gpu >= 1, "need at least one learner");
+    assert!(sim.batch_per_learner >= 1, "need a batch");
+    assert!(
+        sim.iterations > sim.warmup,
+        "need measured iterations after warmup"
+    );
+    assert!(config.slow_factor > 1.0, "slow factor must exceed 1");
+
+    let mut machine_config =
+        MachineConfig::titan_x_server(sim.gpus).with_faults(config.faults.clone());
+    machine_config.record_trace = sim.record_trace;
+    let mut machine = Machine::new(machine_config);
+
+    let p = &sim.profile;
+    let m = sim.learners_per_gpu;
+    let gpus = sim.gpus;
+    let kernels = learn_kernels(sim);
+    let input_bytes = (sim.batch_per_learner as u64) * p.bytes_per_sample;
+    let model_bytes = p.model_bytes();
+
+    let mut learner_streams: Vec<Vec<StreamId>> = Vec::with_capacity(gpus);
+    let mut sync_streams: Vec<StreamId> = Vec::with_capacity(gpus);
+    for g in 0..gpus {
+        let dev = machine.device(g);
+        learner_streams.push((0..m).map(|_| machine.create_stream(dev)).collect());
+        sync_streams.push(machine.create_stream(dev));
+    }
+
+    let local_sync_kernel = KernelDesc::memory("local-sync", 3 * model_bytes, 2);
+    let update_kernel = KernelDesc::memory("update", 2 * model_bytes, 2);
+    let reduce_kernel = KernelDesc::memory("reduce-local", (m as u64) * model_bytes, 2);
+    let apply_kernel = KernelDesc::memory("apply-average", 2 * model_bytes, 2);
+
+    let mut counters = FaultCounters::default();
+    let mut active = vec![true; gpus];
+    let mut slow_streak = vec![0u32; gpus];
+    let mut healthy_streak = vec![0u32; gpus];
+    let mut last_avg: Vec<Option<EventId>> = vec![None; gpus];
+    let mut learn_done: Vec<Completion> = Vec::new();
+
+    for iter in 0..sim.iterations {
+        let sync = sim.tau.is_some_and(|t| iter % t == 0);
+        let iter_start = machine.now();
+
+        // Phase 1: learning tasks on EVERY GPU — quarantined GPUs keep
+        // training against their (stale) local average model, which is
+        // both SMA-legal and what lets us observe their recovery.
+        let mut learn_ev: Vec<Option<EventId>> = vec![None; gpus * m];
+        for g in 0..gpus {
+            for (l, &stream) in learner_streams[g].iter().enumerate() {
+                let learner = g * m + l;
+                learn_ev[learner] = submit_learn_task(
+                    &mut machine,
+                    stream,
+                    &kernels,
+                    input_bytes,
+                    sync,
+                    last_avg[g],
+                    local_sync_kernel,
+                    update_kernel,
+                    tag(iter, learner),
+                );
+            }
+        }
+
+        // Await every learner callback; retry failed tasks on the same
+        // stream (the sticky error is cleared once observed).
+        let mut outstanding = gpus * m;
+        let mut retries_left = vec![config.max_retries; gpus * m];
+        let mut gpu_done = vec![iter_start; gpus];
+        while outstanding > 0 {
+            let c = machine
+                .run_until_callback()
+                .expect("deadlock: learner callbacks missing");
+            debug_assert_eq!(c.tag & SYNC_TAG, 0, "unexpected sync callback");
+            let learner = (c.tag & 0xFFFF_FFFF) as usize;
+            let g = learner / m;
+            if c.outcome.is_success() || retries_left[learner] == 0 {
+                // Done (or given up: the replica skips this iteration).
+                outstanding -= 1;
+                if c.time > gpu_done[g] {
+                    gpu_done[g] = c.time;
+                }
+                if c.outcome.is_success() {
+                    learn_done.push(c);
+                }
+            } else {
+                retries_left[learner] -= 1;
+                counters.task_retries += 1;
+                let attempt = config.max_retries - retries_left[learner];
+                let stream = learner_streams[g][learner % m];
+                machine.delay(stream, backoff_for(config, attempt), "retry-backoff");
+                learn_ev[learner] = submit_learn_task(
+                    &mut machine,
+                    stream,
+                    &kernels,
+                    input_bytes,
+                    sync,
+                    last_avg[g],
+                    local_sync_kernel,
+                    update_kernel,
+                    c.tag,
+                );
+            }
+        }
+
+        // Phase 2: straggler bookkeeping from the observed per-GPU spans.
+        let spans: Vec<f64> = (0..gpus)
+            .map(|g| (gpu_done[g] - iter_start).as_secs_f64())
+            .collect();
+        let mut sorted = spans.clone();
+        sorted.sort_by(f64::total_cmp);
+        // Lower median: with an even GPU count the baseline must come
+        // from the healthy half, or a straggler inflates its own yardstick.
+        let median = sorted[(gpus - 1) / 2];
+        for g in 0..gpus {
+            let slow = median > 0.0 && spans[g] > config.slow_factor * median;
+            if slow {
+                slow_streak[g] += 1;
+                healthy_streak[g] = 0;
+            } else {
+                healthy_streak[g] += 1;
+                slow_streak[g] = 0;
+            }
+            let active_count = active.iter().filter(|&&a| a).count();
+            if active[g] && slow_streak[g] >= config.quarantine_after && active_count > 1 {
+                active[g] = false;
+                counters.quarantines += 1;
+            } else if !active[g] && healthy_streak[g] >= config.rejoin_after {
+                active[g] = true;
+                counters.rejoins += 1;
+            }
+        }
+
+        // Phase 3: global synchronisation across the *active* group only,
+        // retried wholesale with backoff when the collective fails.
+        if sync {
+            let group: Vec<usize> = (0..gpus).filter(|&g| active[g]).collect();
+            for &g in &group {
+                let ss = sync_streams[g];
+                for &ev in learn_ev[g * m..(g + 1) * m].iter().flatten() {
+                    machine.wait_event(ss, ev);
+                }
+                machine.submit_kernel(ss, reduce_kernel);
+            }
+            let group_streams: Vec<StreamId> =
+                group.iter().map(|&g| sync_streams[g]).collect();
+            let mut attempt = 0u32;
+            loop {
+                machine.all_reduce(&group_streams, model_bytes, "allreduce");
+                let mut avg_ev: Vec<(usize, EventId)> = Vec::with_capacity(group.len());
+                for &g in &group {
+                    let ss = sync_streams[g];
+                    machine.submit_kernel(ss, apply_kernel);
+                    let ev = machine.create_event();
+                    machine.record_event(ss, ev);
+                    avg_ev.push((g, ev));
+                    machine.callback(ss, SYNC_TAG | tag(iter, g));
+                }
+                let mut failed = false;
+                for _ in 0..group.len() {
+                    let c = machine
+                        .run_until_callback()
+                        .expect("deadlock: global sync callbacks missing");
+                    debug_assert_ne!(c.tag & SYNC_TAG, 0, "unexpected learner callback");
+                    if !c.outcome.is_success() {
+                        failed = true;
+                    }
+                }
+                if !failed {
+                    for (g, ev) in avg_ev {
+                        last_avg[g] = Some(ev);
+                    }
+                    break;
+                }
+                if attempt >= config.max_retries {
+                    // Give up: replicas continue against the previous
+                    // average model (SMA tolerates a skipped sync).
+                    counters.dropped_syncs += 1;
+                    break;
+                }
+                attempt += 1;
+                counters.sync_retries += 1;
+                for &s in &group_streams {
+                    machine.delay(s, backoff_for(config, attempt), "sync-backoff");
+                }
+            }
+        }
+    }
+
+    while machine.step() {}
+    assert!(machine.is_quiescent(), "work left behind");
+    counters.injected = machine.fault_stats();
+
+    // Throughput from the *successful* learning-task completions.
+    let iter_of = |tag: u64| (tag >> 32) as usize;
+    let warm_end = if sim.warmup == 0 {
+        SimTime::ZERO
+    } else {
+        learn_done
+            .iter()
+            .filter(|c| iter_of(c.tag) == sim.warmup - 1)
+            .map(|c| c.time)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    };
+    let end = learn_done
+        .iter()
+        .map(|c| c.time)
+        .max()
+        .expect("at least one successful learning task");
+    let measured = learn_done
+        .iter()
+        .filter(|c| iter_of(c.tag) >= sim.warmup)
+        .count();
+    let images = (measured * sim.batch_per_learner) as f64;
+    let span = (end - warm_end).as_secs_f64();
+    assert!(span > 0.0, "zero measurement span");
+    let measured_iters = sim.iterations - sim.warmup;
+    let utilisation = (0..gpus)
+        .map(|g| machine.utilisation(machine.device(g)))
+        .sum::<f64>()
+        / gpus as f64;
+    let report = SimReport {
+        throughput: images / span,
+        iteration_time: SimDuration::from_secs_f64(span / measured_iters as f64),
+        utilisation,
+        total_time: machine.now(),
+        aggregate_batch: sim.aggregate_batch(),
+        faults: counters,
+    };
+    (report, machine)
 }
 
 #[cfg(test)]
@@ -497,5 +871,87 @@ mod tests {
     fn utilisation_increases_with_learners() {
         let u = |m| simulate(&SimConfig::crossbow(resnet32(), 1, m, 16)).utilisation;
         assert!(u(4) > u(1), "more learners, busier SMs");
+    }
+
+    #[test]
+    fn robust_driver_without_faults_reports_zero_counters() {
+        let cfg = RobustSimConfig::new(
+            SimConfig::crossbow(resnet32(), 2, 2, 64),
+            FaultPlan::none(),
+        );
+        let report = simulate_robust(&cfg);
+        assert_eq!(report.faults, FaultCounters::default());
+        assert!(report.throughput > 0.0);
+    }
+
+    #[test]
+    fn robust_throughput_is_close_to_the_plain_driver() {
+        // Same dataflow, reactive submission: the robust driver trades the
+        // sync/learn overlap for reactivity but must stay in the same
+        // ballpark on a fault-free run.
+        let sim = SimConfig::crossbow(resnet32(), 2, 2, 64);
+        let plain = simulate(&sim).throughput;
+        let robust =
+            simulate_robust(&RobustSimConfig::new(sim, FaultPlan::none())).throughput;
+        let ratio = robust / plain;
+        assert!(
+            (0.5..1.2).contains(&ratio),
+            "robust {robust} vs plain {plain} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn failed_collective_is_retried_to_success() {
+        let cfg = RobustSimConfig::new(
+            SimConfig::crossbow(resnet32(), 2, 1, 64),
+            FaultPlan::none().transient_collective(0, 1),
+        );
+        let report = simulate_robust(&cfg);
+        assert!(report.faults.sync_retries >= 1, "{:?}", report.faults);
+        assert_eq!(report.faults.dropped_syncs, 0);
+        assert_eq!(report.faults.injected.collective_faults, 1);
+    }
+
+    #[test]
+    fn failed_kernel_task_is_retried_on_the_same_stream() {
+        let cfg = RobustSimConfig::new(
+            SimConfig::crossbow(resnet32(), 1, 2, 64),
+            FaultPlan::none().transient_kernel(0, 40, 1),
+        );
+        let report = simulate_robust(&cfg);
+        assert!(report.faults.task_retries >= 1, "{:?}", report.faults);
+        assert_eq!(report.faults.injected.kernel_faults, 1);
+    }
+
+    #[test]
+    fn straggler_is_quarantined_and_rejoins() {
+        // GPU 1 runs 4x slow for a mid-run window: the driver must shrink
+        // the all-reduce group while it lags and restore it after.
+        let mut sim = SimConfig::crossbow(resnet32(), 2, 1, 64);
+        sim.iterations = 30;
+        let probe = simulate(&sim).total_time;
+        let mid = SimTime::ZERO + SimDuration::from_nanos(probe.as_nanos() / 4);
+        let until = SimTime::ZERO + SimDuration::from_nanos(probe.as_nanos() / 2);
+        let cfg = RobustSimConfig::new(
+            sim,
+            FaultPlan::none().straggler(1, mid, until, 4.0),
+        );
+        let report = simulate_robust(&cfg);
+        assert!(report.faults.quarantines >= 1, "{:?}", report.faults);
+        assert!(report.faults.rejoins >= 1, "{:?}", report.faults);
+        assert!(report.faults.injected.straggler_kernels > 0);
+    }
+
+    #[test]
+    fn robust_reports_are_deterministic() {
+        let sim = SimConfig::crossbow(resnet32(), 4, 2, 64);
+        let horizon = SimDuration::from_secs_f64(simulate(&sim).total_time.as_secs_f64());
+        let plan = FaultPlan::from_seed(7, 4, horizon);
+        let cfg = RobustSimConfig::new(sim, plan);
+        let a = simulate_robust(&cfg);
+        let b = simulate_robust(&cfg);
+        assert_eq!(a.throughput, b.throughput);
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.faults, b.faults);
     }
 }

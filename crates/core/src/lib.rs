@@ -58,9 +58,11 @@ pub mod memory;
 
 pub use autotuner::AutoTuner;
 pub use benchmark::Benchmark;
-pub use engine::{Session, SessionConfig, TrainingReport};
+pub use engine::{RobustnessConfig, Session, SessionConfig, TrainingReport};
 pub use exec_cpu::{train_concurrent, CpuEngineConfig, CpuEngineReport};
-pub use exec_sim::{simulate, EngineKind, SimConfig, SimReport};
+pub use exec_sim::{
+    simulate, simulate_robust, EngineKind, FaultCounters, RobustSimConfig, SimConfig, SimReport,
+};
 pub use memory::{offline_plan, shared_plan, MemoryPlan};
 
 // Re-export the substrate crates so downstream users need only one

@@ -1,0 +1,274 @@
+//! A small bounded MPMC channel built on `std::sync` primitives.
+//!
+//! The pre-processor pipeline needs a bounded channel with blocking,
+//! timed and non-blocking operations on both ends, plus disconnection
+//! detection — the circular-buffer semantics of paper §4.5. The tier-1
+//! build runs without registry access, so this replaces the former
+//! `crossbeam::channel` dependency with ~150 lines of std.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a send did not complete.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SendTimeoutError<T> {
+    /// The buffer stayed full for the whole timeout; the value is returned.
+    Timeout(T),
+    /// Every receiver is gone; the value is returned.
+    Disconnected(T),
+}
+
+/// Why a receive did not complete.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No value arrived within the timeout; senders may still be alive.
+    Timeout,
+    /// The buffer is empty and every sender is gone.
+    Disconnected,
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// The sending half; clone one per producer thread.
+pub struct Sender<T>(Arc<Shared<T>>);
+
+/// The receiving half.
+pub struct Receiver<T>(Arc<Shared<T>>);
+
+/// Creates a bounded channel with room for `capacity` values.
+///
+/// # Panics
+/// Panics on zero capacity.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "need a buffer");
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender(Arc::clone(&shared)), Receiver(shared))
+}
+
+impl<T> Sender<T> {
+    /// Sends `value`, blocking while the buffer is full, for at most
+    /// `timeout`.
+    pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.0.inner.lock().expect("channel lock poisoned");
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendTimeoutError::Disconnected(value));
+            }
+            if inner.queue.len() < inner.capacity {
+                inner.queue.push_back(value);
+                self.0.not_empty.notify_one();
+                return Ok(());
+            }
+            let Some(wait) = deadline.checked_duration_since(Instant::now()) else {
+                return Err(SendTimeoutError::Timeout(value));
+            };
+            let (guard, res) = self
+                .0
+                .not_full
+                .wait_timeout(inner, wait)
+                .expect("channel lock poisoned");
+            inner = guard;
+            if res.timed_out() && inner.queue.len() >= inner.capacity {
+                return Err(SendTimeoutError::Timeout(value));
+            }
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.inner.lock().expect("channel lock poisoned").senders += 1;
+        Sender(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.0.inner.lock().expect("channel lock poisoned");
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            // Wake receivers so they observe the disconnection.
+            self.0.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives a value, blocking until one arrives or all senders are
+    /// gone.
+    pub fn recv(&self) -> Result<T, RecvTimeoutError> {
+        let mut inner = self.0.inner.lock().expect("channel lock poisoned");
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            inner = self
+                .0
+                .not_empty
+                .wait(inner)
+                .expect("channel lock poisoned");
+        }
+    }
+
+    /// Receives a value, waiting at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.0.inner.lock().expect("channel lock poisoned");
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let Some(wait) = deadline.checked_duration_since(Instant::now()) else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (guard, res) = self
+                .0
+                .not_empty
+                .wait_timeout(inner, wait)
+                .expect("channel lock poisoned");
+            inner = guard;
+            if res.timed_out() && inner.queue.is_empty() {
+                return if inner.senders == 0 {
+                    Err(RecvTimeoutError::Disconnected)
+                } else {
+                    Err(RecvTimeoutError::Timeout)
+                };
+            }
+        }
+    }
+
+    /// Takes a value only if one is buffered right now.
+    pub fn try_recv(&self) -> Option<T> {
+        let mut inner = self.0.inner.lock().expect("channel lock poisoned");
+        let v = inner.queue.pop_front();
+        if v.is_some() {
+            self.0.not_full.notify_one();
+        }
+        v
+    }
+
+    /// Number of values currently buffered.
+    pub fn len(&self) -> usize {
+        self.0.inner.lock().expect("channel lock poisoned").queue.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.0.inner.lock().expect("channel lock poisoned");
+        inner.receivers -= 1;
+        if inner.receivers == 0 {
+            // Wake senders blocked on a full buffer.
+            self.0.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_round_trip_in_order() {
+        let (tx, rx) = bounded::<u32>(4);
+        for v in 0..4 {
+            tx.send_timeout(v, Duration::from_secs(1)).unwrap();
+        }
+        assert_eq!(rx.len(), 4);
+        for v in 0..4 {
+            assert_eq!(rx.recv().unwrap(), v);
+        }
+        assert!(rx.try_recv().is_none());
+    }
+
+    #[test]
+    fn full_buffer_times_out() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send_timeout(1, Duration::from_millis(10)).unwrap();
+        match tx.send_timeout(2, Duration::from_millis(10)) {
+            Err(SendTimeoutError::Timeout(2)) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        let _ = rx.recv();
+    }
+
+    #[test]
+    fn dropping_all_senders_disconnects_receiver() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send_timeout(7, Duration::from_millis(10)).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7), "buffered values drain first");
+        assert_eq!(rx.recv(), Err(RecvTimeoutError::Disconnected));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn dropping_receiver_disconnects_blocked_sender() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send_timeout(1, Duration::from_millis(10)).unwrap();
+        let handle = std::thread::spawn(move || tx.send_timeout(2, Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(30));
+        drop(rx);
+        match handle.join().unwrap() {
+            Err(SendTimeoutError::Disconnected(2)) => {}
+            other => panic!("expected disconnect, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blocked_receiver_wakes_on_send() {
+        let (tx, rx) = bounded::<u32>(1);
+        let handle = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(Duration::from_millis(20));
+        tx.send_timeout(9, Duration::from_secs(1)).unwrap();
+        assert_eq!(handle.join().unwrap(), Ok(9));
+    }
+
+    #[test]
+    fn timed_recv_returns_timeout_while_senders_live() {
+        let (tx, rx) = bounded::<u32>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+    }
+}

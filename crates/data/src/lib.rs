@@ -22,10 +22,11 @@
 
 pub mod augment;
 pub mod batch;
+pub mod chan;
 pub mod dataset;
 pub mod prefetch;
 pub mod synth;
 
 pub use batch::BatchSampler;
 pub use dataset::Dataset;
-pub use prefetch::{Batch, Prefetcher};
+pub use prefetch::{Batch, PrefetchError, Prefetcher};

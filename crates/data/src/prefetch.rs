@@ -13,15 +13,22 @@
 //! producers the channel runs empty — the pipeline stall the paper
 //! mitigates by moving transformations onto the GPU; tests exercise that
 //! path with an artificially slow transform.
+//!
+//! # Fault model
+//!
+//! A producer thread that panics (a corrupt sample, a bug in an augment)
+//! must not strand the consumer: the panic is caught, its message is
+//! recorded, and once every producer is gone the consumer-facing calls
+//! return [`PrefetchError::Terminated`] instead of timing out forever.
 
 use crate::augment::Augment;
 use crate::batch::BatchSampler;
+use crate::chan::{bounded, Receiver, RecvTimeoutError, SendTimeoutError};
 use crate::dataset::Dataset;
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError};
 use crossbow_tensor::{Rng, Tensor};
-use parking_lot::Mutex;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -51,6 +58,10 @@ pub struct PrefetchConfig {
     /// Artificial per-batch preparation delay; used by tests and the
     /// failure-injection suite to emulate a pre-processing bottleneck.
     pub slowdown: Duration,
+    /// Fault injection: each producer thread panics after preparing this
+    /// many batches. Used by the failure-injection suite to emulate a
+    /// crashing pre-processor; `None` (the default) never fires.
+    pub panic_after: Option<usize>,
 }
 
 impl PrefetchConfig {
@@ -62,14 +73,47 @@ impl PrefetchConfig {
             capacity: (2 * learners).max(2),
             augment: Augment::none(),
             slowdown: Duration::ZERO,
+            panic_after: None,
         }
     }
 }
+
+/// A terminal or transient failure to produce a batch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PrefetchError {
+    /// No batch arrived within the timeout; producers are still alive and
+    /// the call may be retried.
+    Timeout,
+    /// Every producer thread has exited and the buffer is drained: no
+    /// batch will ever arrive. Carries the first producer panic message,
+    /// if the shutdown was caused by one.
+    Terminated {
+        /// Message of the first producer panic, when one occurred.
+        panic: Option<String>,
+    },
+}
+
+impl std::fmt::Display for PrefetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrefetchError::Timeout => write!(f, "no batch ready within the timeout"),
+            PrefetchError::Terminated { panic: Some(msg) } => {
+                write!(f, "pre-processors terminated: a producer panicked: {msg}")
+            }
+            PrefetchError::Terminated { panic: None } => {
+                write!(f, "pre-processors terminated")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PrefetchError {}
 
 /// A running pre-processor pipeline.
 pub struct Prefetcher {
     rx: Receiver<Batch>,
     stop: Arc<AtomicBool>,
+    panic_msg: Arc<Mutex<Option<String>>>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -89,60 +133,120 @@ impl Prefetcher {
         )));
         let (tx, rx) = bounded::<Batch>(config.capacity);
         let stop = Arc::new(AtomicBool::new(false));
+        let panic_msg = Arc::new(Mutex::new(None::<String>));
         let mut handles = Vec::with_capacity(config.threads);
         for t in 0..config.threads {
             let dataset = Arc::clone(&dataset);
             let sampler = Arc::clone(&sampler);
             let tx = tx.clone();
             let stop = Arc::clone(&stop);
+            let panic_msg = Arc::clone(&panic_msg);
             let mut rng = Rng::new(seed ^ 0x9E37_79B9).fork(t as u64);
             handles.push(std::thread::spawn(move || {
-                while !stop.load(Ordering::Relaxed) {
-                    let (indices, epoch) = sampler.lock().next_batch();
-                    let (mut images, labels) = dataset.gather(&indices);
-                    if !config.augment.is_noop() {
-                        config.augment.apply(&mut images, &mut rng);
-                    }
-                    if !config.slowdown.is_zero() {
-                        std::thread::sleep(config.slowdown);
-                    }
-                    let batch = Batch {
-                        images,
-                        labels,
-                        epoch,
-                    };
-                    // A bounded send blocks when the buffer is full
-                    // (back-pressure); bail out promptly on shutdown.
-                    loop {
-                        match tx.send_timeout(batch.clone(), Duration::from_millis(50)) {
-                            Ok(()) => break,
-                            Err(_) if stop.load(Ordering::Relaxed) => return,
-                            Err(crossbeam::channel::SendTimeoutError::Disconnected(_)) => return,
-                            Err(_) => continue,
+                let mut produced = 0usize;
+                // Catch panics so the consumer sees a terminal error (the
+                // channel disconnects once every producer is gone) instead
+                // of hanging on `next_timeout` forever.
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    while !stop.load(Ordering::Relaxed) {
+                        if config.panic_after.is_some_and(|n| produced >= n) {
+                            panic!("injected pre-processor fault after {produced} batches");
+                        }
+                        let (indices, epoch) =
+                            sampler.lock().expect("sampler lock poisoned").next_batch();
+                        let (mut images, labels) = dataset.gather(&indices);
+                        if !config.augment.is_noop() {
+                            config.augment.apply(&mut images, &mut rng);
+                        }
+                        if !config.slowdown.is_zero() {
+                            std::thread::sleep(config.slowdown);
+                        }
+                        produced += 1;
+                        let batch = Batch {
+                            images,
+                            labels,
+                            epoch,
+                        };
+                        // A bounded send blocks when the buffer is full
+                        // (back-pressure); bail out promptly on shutdown.
+                        let mut pending = batch;
+                        loop {
+                            match tx.send_timeout(pending, Duration::from_millis(50)) {
+                                Ok(()) => break,
+                                Err(SendTimeoutError::Disconnected(_)) => return,
+                                Err(SendTimeoutError::Timeout(b)) => {
+                                    if stop.load(Ordering::Relaxed) {
+                                        return;
+                                    }
+                                    pending = b;
+                                }
+                            }
                         }
                     }
+                }));
+                if let Err(payload) = result {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "unknown panic".to_string());
+                    panic_msg
+                        .lock()
+                        .expect("panic-message lock poisoned")
+                        .get_or_insert(msg);
                 }
             }));
         }
-        Prefetcher { rx, stop, handles }
+        Prefetcher {
+            rx,
+            stop,
+            panic_msg,
+            handles,
+        }
+    }
+
+    /// The first producer panic message, when one has occurred.
+    pub fn failure(&self) -> Option<String> {
+        self.panic_msg
+            .lock()
+            .expect("panic-message lock poisoned")
+            .clone()
+    }
+
+    fn terminated(&self) -> PrefetchError {
+        PrefetchError::Terminated {
+            panic: self.failure(),
+        }
     }
 
     /// Takes the next batch, blocking until one is ready.
+    ///
+    /// # Panics
+    /// Panics when every producer has exited (including via a producer
+    /// panic, whose message is propagated).
     pub fn next(&self) -> Batch {
-        self.rx.recv().expect("pre-processors alive while held")
+        match self.rx.recv() {
+            Ok(b) => b,
+            Err(_) => panic!("{}", self.terminated()),
+        }
     }
 
     /// Takes a batch if one is ready right now.
     pub fn try_next(&self) -> Option<Batch> {
-        self.rx.try_recv().ok()
+        self.rx.try_recv()
     }
 
     /// Takes a batch, waiting at most `timeout`.
-    pub fn next_timeout(&self, timeout: Duration) -> Option<Batch> {
+    ///
+    /// Returns [`PrefetchError::Timeout`] when the pipeline is merely
+    /// slow, and [`PrefetchError::Terminated`] when every producer thread
+    /// has exited — e.g. after a producer panic — so a consumer loop can
+    /// distinguish "retry later" from "give up now".
+    pub fn next_timeout(&self, timeout: Duration) -> Result<Batch, PrefetchError> {
         match self.rx.recv_timeout(timeout) {
-            Ok(b) => Some(b),
-            Err(RecvTimeoutError::Timeout) => None,
-            Err(RecvTimeoutError::Disconnected) => None,
+            Ok(b) => Ok(b),
+            Err(RecvTimeoutError::Timeout) => Err(PrefetchError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(self.terminated()),
         }
     }
 
@@ -156,7 +260,7 @@ impl Drop for Prefetcher {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         // Drain so producers blocked on a full channel can observe stop.
-        while self.rx.try_recv().is_ok() {}
+        while self.rx.try_recv().is_some() {}
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -222,7 +326,7 @@ mod tests {
         );
         // An eager consumer sees an empty buffer at first.
         assert!(p.try_next().is_none(), "slow producer cannot keep up");
-        assert!(p.next_timeout(Duration::from_secs(5)).is_some());
+        assert!(p.next_timeout(Duration::from_secs(5)).is_ok());
     }
 
     #[test]
@@ -230,6 +334,60 @@ mod tests {
         let p = Prefetcher::spawn(dataset(), PrefetchConfig::for_learners(8, 4), 42);
         let _ = p.next();
         drop(p); // must not hang
+    }
+
+    #[test]
+    fn producer_panic_surfaces_as_terminal_error() {
+        let p = Prefetcher::spawn(
+            dataset(),
+            PrefetchConfig {
+                threads: 1,
+                capacity: 8,
+                panic_after: Some(2),
+                ..PrefetchConfig::for_learners(8, 1)
+            },
+            42,
+        );
+        // The two pre-panic batches drain normally.
+        assert!(p.next_timeout(Duration::from_secs(5)).is_ok());
+        assert!(p.next_timeout(Duration::from_secs(5)).is_ok());
+        // Then the consumer gets a terminal error, not an endless timeout.
+        match p.next_timeout(Duration::from_secs(5)) {
+            Err(PrefetchError::Terminated { panic: Some(msg) }) => {
+                assert!(msg.contains("injected pre-processor fault"), "{msg}");
+            }
+            other => panic!("expected Terminated with a panic message, got {other:?}"),
+        }
+        assert!(p.failure().is_some());
+    }
+
+    #[test]
+    fn partial_producer_failure_keeps_the_pipeline_alive() {
+        // One of two producers dies; the survivor keeps serving batches
+        // and the consumer never sees a terminal error.
+        let p = Prefetcher::spawn(
+            dataset(),
+            PrefetchConfig {
+                threads: 2,
+                capacity: 2,
+                panic_after: Some(1),
+                slowdown: Duration::from_millis(1),
+                ..PrefetchConfig::for_learners(8, 1)
+            },
+            42,
+        );
+        // Both threads panic eventually (each after one batch), so after
+        // the buffered batches drain the error is terminal; before that,
+        // every buffered batch is still served.
+        let mut served = 0;
+        loop {
+            match p.next_timeout(Duration::from_secs(5)) {
+                Ok(_) => served += 1,
+                Err(PrefetchError::Terminated { .. }) => break,
+                Err(PrefetchError::Timeout) => panic!("must terminate, not time out"),
+            }
+        }
+        assert!(served >= 2, "each producer delivered its batch");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Machine configuration and presets.
 
+use crate::fault::FaultPlan;
 use crate::time::SimDuration;
 use crate::topology::{Topology, PCIE3_X16};
 
@@ -61,6 +62,8 @@ pub struct MachineConfig {
     /// Whether to record a full execution trace (cheap, but grows with the
     /// number of items; benches on long runs can disable it).
     pub record_trace: bool,
+    /// Deterministic fault schedule ([`FaultPlan::none`] = healthy run).
+    pub fault_plan: FaultPlan,
 }
 
 impl MachineConfig {
@@ -73,12 +76,19 @@ impl MachineConfig {
             topology: Topology::binary_tree(n_gpus, PCIE3_X16),
             collective_step_latency: SimDuration::from_micros(20),
             record_trace: true,
+            fault_plan: FaultPlan::none(),
         }
     }
 
     /// Disables trace recording (builder style).
     pub fn without_trace(mut self) -> Self {
         self.record_trace = false;
+        self
+    }
+
+    /// Installs a fault schedule (builder style).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
         self
     }
 }

@@ -1,0 +1,382 @@
+//! Deterministic fault injection for the simulated machine.
+//!
+//! The paper's motivation (§2.3) is that synchronous training is hostage
+//! to its slowest participant; evaluating the reproduction's recovery
+//! machinery therefore needs *repeatable* misbehaviour. A [`FaultPlan`] is
+//! an immutable schedule of faults, fixed before the simulation starts and
+//! queried by the [`Machine`](crate::Machine) as it dispatches work, so
+//! faults interleave with real work exactly like device errors interleave
+//! with CUDA streams:
+//!
+//! * **stragglers** stretch the duration of every kernel launched on a
+//!   device inside a time window — a thermally throttled or contended GPU;
+//! * **transient kernel/collective faults** let the doomed item consume
+//!   its full duration and then poison its stream(s) with a *sticky
+//!   error*, which the next host callback on the stream observes as a
+//!   [`WorkOutcome::Failed`] (mirroring CUDA's sticky per-context errors
+//!   being reported by the next synchronising call). Observation clears
+//!   the error, so the host can retry on the same stream;
+//! * **offline windows** take a device out of service: its streams stop
+//!   dispatching new work until the device comes back, at which point the
+//!   machine wakes them — in-flight work is not interrupted.
+//!
+//! All scheduling is in simulated time and all matching is by
+//! deterministic indices (the n-th kernel launch on a device, the n-th
+//! collective started machine-wide), so a plan plus a workload replays
+//! identically. [`FaultPlan::from_seed`] derives a small random plan from
+//! a seed with an inline SplitMix64, giving `SessionConfig::seed`-level
+//! reproducibility without any dependency.
+
+use crate::time::{SimDuration, SimTime};
+
+/// What kind of injected fault poisoned a stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A kernel failed after launch.
+    Kernel,
+    /// A collective failed; every participant observes it.
+    Collective,
+}
+
+/// Outcome of the work preceding a host callback.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkOutcome {
+    /// Everything before the callback completed normally.
+    Success,
+    /// An injected fault poisoned the stream since the last observation.
+    /// Observing the outcome clears the sticky error, permitting retries.
+    Failed(FaultKind),
+}
+
+impl WorkOutcome {
+    /// True for [`WorkOutcome::Success`].
+    pub fn is_success(self) -> bool {
+        self == WorkOutcome::Success
+    }
+}
+
+/// One scheduled fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultSpec {
+    /// Kernels launched on `device` within `[from, until)` run
+    /// `factor` times slower.
+    Straggler {
+        /// Afflicted device index.
+        device: usize,
+        /// Window start (inclusive, launch time).
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+        /// Duration multiplier (> 1 slows the device down).
+        factor: f64,
+    },
+    /// The `after`-th (0-based) kernel launch on `device`, and the
+    /// `count - 1` launches after it, fail after consuming their duration.
+    TransientKernel {
+        /// Afflicted device index.
+        device: usize,
+        /// Index of the first failing launch on that device.
+        after: u64,
+        /// Number of consecutive failing launches.
+        count: u32,
+    },
+    /// The `after`-th (0-based) collective started machine-wide, and the
+    /// `count - 1` collectives after it, fail on every participant.
+    TransientCollective {
+        /// Index of the first failing collective.
+        after: u64,
+        /// Number of consecutive failing collectives.
+        count: u32,
+    },
+    /// `device` dispatches no new work during `[from, until)`; its streams
+    /// park and are woken at `until`.
+    Offline {
+        /// Afflicted device index.
+        device: usize,
+        /// Window start (inclusive).
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+    },
+}
+
+/// An immutable, deterministic schedule of faults.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The scheduled faults.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// Adds a straggler window (builder style).
+    ///
+    /// # Panics
+    /// Panics on an empty window or a factor below 1.
+    pub fn straggler(
+        mut self,
+        device: usize,
+        from: SimTime,
+        until: SimTime,
+        factor: f64,
+    ) -> Self {
+        assert!(from < until, "straggler window must be non-empty");
+        assert!(factor >= 1.0, "straggler factor must be >= 1");
+        self.specs.push(FaultSpec::Straggler {
+            device,
+            from,
+            until,
+            factor,
+        });
+        self
+    }
+
+    /// Adds a transient kernel fault (builder style).
+    ///
+    /// # Panics
+    /// Panics on a zero count.
+    pub fn transient_kernel(mut self, device: usize, after: u64, count: u32) -> Self {
+        assert!(count > 0, "need at least one failing launch");
+        self.specs.push(FaultSpec::TransientKernel {
+            device,
+            after,
+            count,
+        });
+        self
+    }
+
+    /// Adds a transient collective fault (builder style).
+    ///
+    /// # Panics
+    /// Panics on a zero count.
+    pub fn transient_collective(mut self, after: u64, count: u32) -> Self {
+        assert!(count > 0, "need at least one failing collective");
+        self.specs.push(FaultSpec::TransientCollective { after, count });
+        self
+    }
+
+    /// Adds an offline window (builder style).
+    ///
+    /// # Panics
+    /// Panics on an empty window.
+    pub fn offline(mut self, device: usize, from: SimTime, until: SimTime) -> Self {
+        assert!(from < until, "offline window must be non-empty");
+        self.specs.push(FaultSpec::Offline {
+            device,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Derives a small plan deterministically from a seed: one straggler
+    /// window (2–4x on a random device) and one transient collective
+    /// fault, both placed inside the first `horizon` of simulated time.
+    /// The same `(seed, n_gpus, horizon)` always yields the same plan.
+    ///
+    /// # Panics
+    /// Panics on zero GPUs or a zero horizon.
+    pub fn from_seed(seed: u64, n_gpus: usize, horizon: SimDuration) -> Self {
+        assert!(n_gpus > 0, "need at least one GPU");
+        assert!(horizon > SimDuration::ZERO, "need a non-empty horizon");
+        let mut state = seed;
+        let mut next = move || -> u64 {
+            // SplitMix64: the statelessness of the plan (relative to the
+            // simulation) is what makes runs replayable.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let horizon_ns = horizon.as_nanos();
+        let device = (next() % n_gpus as u64) as usize;
+        // Straggler: starts in the first half, lasts a quarter of the
+        // horizon, slows the device 2-4x.
+        let from = SimTime::from_nanos(next() % (horizon_ns / 2).max(1));
+        let until = from + SimDuration::from_nanos((horizon_ns / 4).max(1));
+        let factor = 2.0 + (next() % 3) as f64;
+        // Transient collective: one of the first 16 collectives fails once.
+        let after = next() % 16;
+        FaultPlan::none()
+            .straggler(device, from, until, factor)
+            .transient_collective(after, 1)
+    }
+
+    /// Combined duration multiplier for a kernel launched on `device` at
+    /// `now` (overlapping windows compound).
+    pub fn stretch(&self, device: usize, now: SimTime) -> f64 {
+        self.specs
+            .iter()
+            .filter_map(|s| match *s {
+                FaultSpec::Straggler {
+                    device: d,
+                    from,
+                    until,
+                    factor,
+                } if d == device && from <= now && now < until => Some(factor),
+                _ => None,
+            })
+            .product()
+    }
+
+    /// True when the `launch_index`-th kernel launch on `device` must fail.
+    pub fn kernel_fails(&self, device: usize, launch_index: u64) -> bool {
+        self.specs.iter().any(|s| match *s {
+            FaultSpec::TransientKernel {
+                device: d,
+                after,
+                count,
+            } => d == device && launch_index >= after && launch_index < after + u64::from(count),
+            _ => false,
+        })
+    }
+
+    /// True when the `start_index`-th collective started machine-wide must
+    /// fail.
+    pub fn collective_fails(&self, start_index: u64) -> bool {
+        self.specs.iter().any(|s| match *s {
+            FaultSpec::TransientCollective { after, count } => {
+                start_index >= after && start_index < after + u64::from(count)
+            }
+            _ => false,
+        })
+    }
+
+    /// When `device` is offline at `now`, the time it comes back; `None`
+    /// when the device is in service.
+    pub fn offline_until(&self, device: usize, now: SimTime) -> Option<SimTime> {
+        self.specs
+            .iter()
+            .filter_map(|s| match *s {
+                FaultSpec::Offline {
+                    device: d,
+                    from,
+                    until,
+                } if d == device && from <= now && now < until => Some(until),
+                _ => None,
+            })
+            .max()
+    }
+}
+
+/// Counters of injected faults, kept by the machine as the plan fires.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Kernels that failed after launch.
+    pub kernel_faults: u64,
+    /// Collectives that failed (counted once per collective, not per
+    /// participant).
+    pub collective_faults: u64,
+    /// Kernel launches stretched by a straggler window.
+    pub straggler_kernels: u64,
+    /// Times a stream parked because its device was offline.
+    pub offline_stalls: u64,
+}
+
+impl FaultStats {
+    /// Total injected faults of all kinds.
+    pub fn total(&self) -> u64 {
+        self.kernel_faults + self.collective_faults + self.straggler_kernels + self.offline_stalls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert_eq!(p.stretch(0, SimTime::from_nanos(5)), 1.0);
+        assert!(!p.kernel_fails(0, 0));
+        assert!(!p.collective_fails(0));
+        assert!(p.offline_until(0, SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn straggler_window_is_half_open_and_per_device() {
+        let p = FaultPlan::none().straggler(
+            1,
+            SimTime::from_nanos(10 * MS),
+            SimTime::from_nanos(20 * MS),
+            3.0,
+        );
+        assert_eq!(p.stretch(1, SimTime::from_nanos(10 * MS)), 3.0);
+        assert_eq!(p.stretch(1, SimTime::from_nanos(20 * MS)), 1.0);
+        assert_eq!(p.stretch(0, SimTime::from_nanos(15 * MS)), 1.0);
+    }
+
+    #[test]
+    fn overlapping_stragglers_compound() {
+        let p = FaultPlan::none()
+            .straggler(0, SimTime::ZERO, SimTime::from_nanos(MS), 2.0)
+            .straggler(0, SimTime::ZERO, SimTime::from_nanos(MS), 3.0);
+        assert_eq!(p.stretch(0, SimTime::ZERO), 6.0);
+    }
+
+    #[test]
+    fn transient_faults_match_index_ranges() {
+        let p = FaultPlan::none()
+            .transient_kernel(2, 5, 2)
+            .transient_collective(1, 1);
+        assert!(!p.kernel_fails(2, 4));
+        assert!(p.kernel_fails(2, 5));
+        assert!(p.kernel_fails(2, 6));
+        assert!(!p.kernel_fails(2, 7));
+        assert!(!p.kernel_fails(0, 5), "other devices unaffected");
+        assert!(!p.collective_fails(0));
+        assert!(p.collective_fails(1));
+        assert!(!p.collective_fails(2));
+    }
+
+    #[test]
+    fn offline_reports_latest_return_time() {
+        let p = FaultPlan::none()
+            .offline(0, SimTime::ZERO, SimTime::from_nanos(10))
+            .offline(0, SimTime::from_nanos(5), SimTime::from_nanos(30));
+        assert_eq!(
+            p.offline_until(0, SimTime::from_nanos(7)),
+            Some(SimTime::from_nanos(30))
+        );
+        assert_eq!(
+            p.offline_until(0, SimTime::from_nanos(2)),
+            Some(SimTime::from_nanos(10)),
+            "only the first window covers t=2"
+        );
+        assert!(p.offline_until(0, SimTime::from_nanos(30)).is_none());
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_seed_sensitive() {
+        let h = SimDuration::from_millis(500);
+        let a = FaultPlan::from_seed(7, 8, h);
+        let b = FaultPlan::from_seed(7, 8, h);
+        let c = FaultPlan::from_seed(8, 8, h);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds give different plans");
+        assert_eq!(a.specs().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn speedup_factor_rejected() {
+        let _ = FaultPlan::none().straggler(0, SimTime::ZERO, SimTime::from_nanos(1), 0.5);
+    }
+}

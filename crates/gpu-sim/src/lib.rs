@@ -47,6 +47,7 @@
 pub mod collective;
 pub mod config;
 pub mod device;
+pub mod fault;
 pub mod kernel;
 pub mod machine;
 pub mod stream;
@@ -56,6 +57,7 @@ pub mod trace;
 pub mod work;
 
 pub use config::{DeviceConfig, MachineConfig};
+pub use fault::{FaultKind, FaultPlan, FaultSpec, FaultStats, WorkOutcome};
 pub use kernel::KernelDesc;
 pub use machine::{Completion, Machine};
 pub use stream::{DeviceId, EventId, StreamId};

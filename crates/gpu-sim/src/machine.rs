@@ -23,6 +23,7 @@
 use crate::collective::{ring_all_reduce_duration, Collective};
 use crate::config::MachineConfig;
 use crate::device::Device;
+use crate::fault::{FaultKind, FaultStats, WorkOutcome};
 use crate::kernel::KernelDesc;
 use crate::stream::{CollectiveId, DeviceId, EventId, Stream, StreamId, StreamState};
 use crate::time::{SimDuration, SimTime};
@@ -38,6 +39,11 @@ pub struct Completion {
     pub time: SimTime,
     /// The tag given at submission.
     pub tag: u64,
+    /// Whether the work preceding the callback succeeded. Injected faults
+    /// poison the stream with a sticky error; the callback that observes
+    /// it reports [`WorkOutcome::Failed`] and clears it, so the host can
+    /// resubmit on the same stream.
+    pub outcome: WorkOutcome,
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -60,11 +66,13 @@ impl PartialOrd for Scheduled {
 }
 
 #[derive(Debug, PartialEq, Eq)]
-#[allow(clippy::enum_variant_names)] // actions are all completions
 enum Action {
     KernelDone { stream: StreamId, sms: u32 },
     CopyDone { stream: StreamId },
     CollectiveDone { stream: StreamId },
+    /// Re-idles a stream parked by an offline window when its device
+    /// returns to service.
+    StreamWake { stream: StreamId },
 }
 
 #[derive(Debug, Default)]
@@ -86,6 +94,11 @@ pub struct Machine {
     collectives: Vec<Collective>,
     completions: VecDeque<Completion>,
     trace: Trace,
+    /// Kernel launches so far, per device — the index faults match on.
+    kernel_launches: Vec<u64>,
+    /// Collectives started machine-wide — the index faults match on.
+    collectives_started: u64,
+    fault_stats: FaultStats,
 }
 
 impl Machine {
@@ -95,6 +108,7 @@ impl Machine {
             .map(|_| Device::new(config.device))
             .collect();
         let trace = Trace::new(config.record_trace);
+        let kernel_launches = vec![0; config.n_gpus];
         Machine {
             config,
             now: SimTime::ZERO,
@@ -106,7 +120,15 @@ impl Machine {
             collectives: Vec::new(),
             completions: VecDeque::new(),
             trace,
+            kernel_launches,
+            collectives_started: 0,
+            fault_stats: FaultStats::default(),
         }
+    }
+
+    /// Counters of injected faults fired so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
     }
 
     /// Number of GPUs.
@@ -279,6 +301,11 @@ impl Machine {
             Action::CopyDone { stream } | Action::CollectiveDone { stream } => {
                 self.finish_item(stream, &mut worklist);
             }
+            Action::StreamWake { stream } => {
+                debug_assert_eq!(self.streams[stream.index()].state, StreamState::Offline);
+                self.streams[stream.index()].state = StreamState::Idle;
+                worklist.push(stream);
+            }
         }
         self.pump(worklist);
         true
@@ -318,9 +345,28 @@ impl Machine {
             let Some(&item) = self.streams[sid.index()].queue.front() else {
                 return;
             };
+            // An offline device dispatches nothing; park the stream and
+            // schedule its wake for when the device returns. In-flight
+            // work (already Running) is not interrupted.
+            {
+                let dev_id = self.streams[sid.index()].device;
+                if let Some(until) = self.config.fault_plan.offline_until(dev_id.index(), self.now)
+                {
+                    self.streams[sid.index()].state = StreamState::Offline;
+                    self.fault_stats.offline_stalls += 1;
+                    self.schedule(until, Action::StreamWake { stream: sid });
+                    return;
+                }
+            }
             match item {
                 WorkItem::Kernel(k) => {
                     let dev_id = self.streams[sid.index()].device;
+                    let stretch = self.config.fault_plan.stretch(dev_id.index(), self.now);
+                    let launch_index = self.kernel_launches[dev_id.index()];
+                    let fails = self
+                        .config
+                        .fault_plan
+                        .kernel_fails(dev_id.index(), launch_index);
                     let dev = &mut self.devices[dev_id.index()];
                     let Some(granted) = dev.grant(k.sm_demand) else {
                         dev.sm_waiters.push_back(sid);
@@ -328,8 +374,22 @@ impl Machine {
                         return;
                     };
                     dev.acquire(granted);
-                    let dur = dev.kernel_duration(&k, granted);
+                    let mut dur = dev.kernel_duration(&k, granted);
+                    if stretch > 1.0 {
+                        // Straggler window: the device runs slow.
+                        dur = SimDuration::from_secs_f64(dur.as_secs_f64() * stretch);
+                    }
                     dev.sm_busy_ns += u128::from(granted) * u128::from(dur.as_nanos());
+                    self.kernel_launches[dev_id.index()] = launch_index + 1;
+                    if stretch > 1.0 {
+                        self.fault_stats.straggler_kernels += 1;
+                    }
+                    if fails {
+                        // The kernel consumes its duration, then the sticky
+                        // error surfaces at the next callback.
+                        self.streams[sid.index()].error = Some(FaultKind::Kernel);
+                        self.fault_stats.kernel_faults += 1;
+                    }
                     let end = self.now + dur;
                     self.trace.push(TraceRecord {
                         stream: sid,
@@ -398,9 +458,14 @@ impl Machine {
                 WorkItem::Callback { tag } => {
                     self.streams[sid.index()].queue.pop_front();
                     self.streams[sid.index()].retired += 1;
+                    let outcome = match self.streams[sid.index()].error.take() {
+                        Some(kind) => WorkOutcome::Failed(kind),
+                        None => WorkOutcome::Success,
+                    };
                     self.completions.push_back(Completion {
                         time: self.now,
                         tag,
+                        outcome,
                     });
                 }
                 WorkItem::Delay { duration, label } => {
@@ -447,8 +512,19 @@ impl Machine {
             bottleneck,
             self.config.collective_step_latency,
         );
+        let start_index = self.collectives_started;
+        self.collectives_started += 1;
+        let fails = self.config.fault_plan.collective_fails(start_index);
+        if fails {
+            // The rendezvous still costs its full duration, then every
+            // participant's stream carries the sticky error.
+            self.fault_stats.collective_faults += 1;
+        }
         let end = self.now + dur;
         for &p in &participants {
+            if fails {
+                self.streams[p.index()].error = Some(FaultKind::Collective);
+            }
             let dev = self.streams[p.index()].device;
             self.trace.push(TraceRecord {
                 stream: p,
@@ -784,6 +860,105 @@ mod tests {
         assert!(delay.overlaps(during), "delay holds no SMs");
         assert!(after.start >= delay.end, "delay stalls its own stream");
         assert_eq!(during.sms, 24, "all SMs were free during the delay");
+    }
+
+    #[test]
+    fn transient_kernel_fault_surfaces_and_clears() {
+        let plan = crate::fault::FaultPlan::none().transient_kernel(0, 1, 1);
+        let mut m = Machine::new(MachineConfig::titan_x_server(1).with_faults(plan));
+        let s = m.create_stream(m.device(0));
+        m.submit_kernel(s, timed_kernel("ok", 1, 8));
+        m.callback(s, 0);
+        m.submit_kernel(s, timed_kernel("doomed", 1, 8));
+        m.callback(s, 1);
+        m.submit_kernel(s, timed_kernel("retry", 1, 8));
+        m.callback(s, 2);
+        let done = m.run();
+        assert_eq!(done[0].outcome, WorkOutcome::Success);
+        assert_eq!(done[1].outcome, WorkOutcome::Failed(FaultKind::Kernel));
+        assert_eq!(
+            done[2].outcome,
+            WorkOutcome::Success,
+            "observation cleared the sticky error"
+        );
+        assert_eq!(m.fault_stats().kernel_faults, 1);
+    }
+
+    #[test]
+    fn straggler_window_stretches_kernels() {
+        let healthy = {
+            let mut m = machine(1);
+            let s = m.create_stream(m.device(0));
+            m.submit_kernel(s, timed_kernel("k", 10, 24));
+            m.callback(s, 0);
+            m.run()[0].time
+        };
+        let plan = crate::fault::FaultPlan::none().straggler(
+            0,
+            SimTime::ZERO,
+            SimTime::from_nanos(1_000_000_000),
+            3.0,
+        );
+        let mut m = Machine::new(MachineConfig::titan_x_server(1).with_faults(plan));
+        let s = m.create_stream(m.device(0));
+        m.submit_kernel(s, timed_kernel("k", 10, 24));
+        m.callback(s, 0);
+        let done = m.run();
+        assert_eq!(done[0].outcome, WorkOutcome::Success, "slow, not broken");
+        let ratio = done[0].time.as_nanos() as f64 / healthy.as_nanos() as f64;
+        assert!((ratio - 3.0).abs() < 0.05, "3x straggler, got {ratio}x");
+        assert_eq!(m.fault_stats().straggler_kernels, 1);
+    }
+
+    #[test]
+    fn offline_device_parks_then_resumes() {
+        let plan = crate::fault::FaultPlan::none().offline(
+            0,
+            SimTime::ZERO,
+            SimTime::from_nanos(50_000_000),
+        );
+        let mut m = Machine::new(MachineConfig::titan_x_server(2).with_faults(plan));
+        let s0 = m.create_stream(m.device(0));
+        let s1 = m.create_stream(m.device(1));
+        m.submit_kernel(s0, timed_kernel("on-offline", 1, 8));
+        m.callback(s0, 0);
+        m.submit_kernel(s1, timed_kernel("on-healthy", 1, 8));
+        m.callback(s1, 1);
+        let done = m.run();
+        assert_eq!(done.len(), 2, "no deadlock");
+        let offline = done.iter().find(|c| c.tag == 0).unwrap();
+        let healthy = done.iter().find(|c| c.tag == 1).unwrap();
+        assert!(
+            offline.time.as_nanos() >= 50_000_000,
+            "work deferred past the outage, got {}",
+            offline.time
+        );
+        assert!(healthy.time.as_nanos() < 50_000_000, "other device unaffected");
+        assert!(m.fault_stats().offline_stalls >= 1);
+    }
+
+    #[test]
+    fn failed_collective_poisons_every_participant() {
+        let plan = crate::fault::FaultPlan::none().transient_collective(0, 1);
+        let mut m = Machine::new(MachineConfig::titan_x_server(4).with_faults(plan));
+        let streams: Vec<StreamId> = (0..4).map(|g| m.create_stream(m.device(g))).collect();
+        m.all_reduce(&streams, 1_000_000, "ar");
+        for (i, &s) in streams.iter().enumerate() {
+            m.callback(s, i as u64);
+        }
+        let done = m.run();
+        assert_eq!(done.len(), 4);
+        assert!(done
+            .iter()
+            .all(|c| c.outcome == WorkOutcome::Failed(FaultKind::Collective)));
+        assert_eq!(m.fault_stats().collective_faults, 1, "counted once");
+        // A retry of the same collective succeeds.
+        m.all_reduce(&streams, 1_000_000, "ar-retry");
+        for (i, &s) in streams.iter().enumerate() {
+            m.callback(s, 10 + i as u64);
+        }
+        let retry = m.run();
+        assert!(retry.iter().all(|c| c.outcome == WorkOutcome::Success));
     }
 
     #[test]

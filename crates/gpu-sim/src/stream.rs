@@ -5,6 +5,7 @@
 //! may execute concurrently subject to SM and copy-engine availability, and
 //! can be ordered across streams with events.
 
+use crate::fault::FaultKind;
 use crate::work::WorkItem;
 use std::collections::VecDeque;
 
@@ -65,6 +66,9 @@ pub(crate) enum StreamState {
     WaitingForSms,
     /// Arrived at a collective; waiting for the other participants.
     InCollective(CollectiveId),
+    /// Parked because the stream's device is offline; a scheduled wake
+    /// re-idles the stream when the device returns.
+    Offline,
 }
 
 /// Internal stream bookkeeping.
@@ -77,6 +81,9 @@ pub(crate) struct Stream {
     pub(crate) submitted: u64,
     /// Total items fully retired.
     pub(crate) retired: u64,
+    /// Sticky injected-fault error, observed (and cleared) by the next
+    /// host callback on this stream — CUDA-style sticky error semantics.
+    pub(crate) error: Option<FaultKind>,
 }
 
 impl Stream {
@@ -87,6 +94,7 @@ impl Stream {
             state: StreamState::Idle,
             submitted: 0,
             retired: 0,
+            error: None,
         }
     }
 

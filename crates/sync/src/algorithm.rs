@@ -53,6 +53,36 @@ pub trait SyncAlgorithm: Send {
     fn remove_replica(&mut self) -> bool {
         false
     }
+
+    /// Captures the algorithm's complete training state for the
+    /// divergence guard's in-memory checkpoint. Default: unsupported.
+    fn snapshot(&self) -> Option<AlgoSnapshot> {
+        None
+    }
+
+    /// Restores a snapshot previously taken from this algorithm. Returns
+    /// `false` when unsupported; after a successful restore the state —
+    /// including `k` — matches the snapshot exactly.
+    fn restore(&mut self, snapshot: &AlgoSnapshot) -> bool {
+        let _ = snapshot;
+        false
+    }
+}
+
+/// A point-in-time copy of an algorithm's full training state —
+/// `(z, z_prev, replicas, iteration)`. This is the unit of rollback for
+/// the divergence guard: restoring one and restarting averaging (§3.2)
+/// resumes training from a known-good model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlgoSnapshot {
+    /// The consensus / central average model `z`.
+    pub center: Vec<f32>,
+    /// `z_prev`, carrying the Polyak momentum history.
+    pub center_prev: Vec<f32>,
+    /// All replicas.
+    pub replicas: Vec<Vec<f32>>,
+    /// The iteration counter (the τ phase).
+    pub iter: u64,
 }
 
 /// Test helper: mean pairwise squared distance between replicas — a

@@ -35,9 +35,9 @@ pub mod sma;
 pub mod ssgd;
 pub mod trainer;
 
-pub use algorithm::SyncAlgorithm;
+pub use algorithm::{AlgoSnapshot, SyncAlgorithm};
 pub use optimizer::{Sgd, SgdConfig};
 pub use schedule::LrSchedule;
 pub use sma::{easgd, Sma, SmaConfig};
 pub use ssgd::SSgd;
-pub use trainer::{train, TrainerConfig, TrainingCurve};
+pub use trainer::{train, GuardConfig, TrainerConfig, TrainingCurve};

@@ -11,7 +11,7 @@
 //! hardware-efficiency half (time per epoch) comes from the GPU simulator
 //! in the `crossbow` crate; time-to-accuracy is their product.
 
-use crate::algorithm::SyncAlgorithm;
+use crate::algorithm::{AlgoSnapshot, SyncAlgorithm};
 use crate::schedule::LrSchedule;
 use crossbow_data::{BatchSampler, Dataset};
 use crossbow_nn::Network;
@@ -39,6 +39,42 @@ pub struct TrainerConfig {
     /// Gradient-computation threads (0 = one per learner, capped at the
     /// machine's parallelism).
     pub threads: usize,
+    /// Divergence guard: periodic in-memory checkpoints plus rollback on
+    /// non-finite loss or accuracy collapse (`None` = off).
+    pub guard: Option<GuardConfig>,
+    /// Test hook: treat the losses of this (0-based) iteration as
+    /// non-finite, simulating numerical divergence deterministically.
+    pub inject_nan_at: Option<u64>,
+}
+
+/// Settings of the divergence guard.
+///
+/// The guard keeps a periodic in-memory checkpoint of the algorithm's
+/// full state (`z`, replicas, momentum — an [`AlgoSnapshot`]). When an
+/// iteration produces a non-finite loss, or the test accuracy collapses
+/// below the best seen, it restores the checkpoint and restarts the
+/// averaging process through the §3.2 restart path
+/// ([`SyncAlgorithm::on_lr_change`]).
+#[derive(Clone, Copy, Debug)]
+pub struct GuardConfig {
+    /// Refresh the checkpoint every this many iterations.
+    pub checkpoint_every: u64,
+    /// Roll back when epoch-end test accuracy drops more than this many
+    /// points below the best epoch so far.
+    pub collapse_drop: f64,
+    /// Stop rolling back (and train on unguarded) after this many
+    /// rollbacks, so a fundamentally broken run still terminates.
+    pub max_rollbacks: u32,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            checkpoint_every: 50,
+            collapse_drop: 0.25,
+            max_rollbacks: 4,
+        }
+    }
 }
 
 impl TrainerConfig {
@@ -53,6 +89,8 @@ impl TrainerConfig {
             eval_batch: 256,
             seed: 42,
             threads: 0,
+            guard: None,
+            inject_nan_at: None,
         }
     }
 
@@ -71,6 +109,12 @@ impl TrainerConfig {
     /// Sets the seed (builder style).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enables the divergence guard (builder style).
+    pub fn with_guard(mut self, guard: GuardConfig) -> Self {
+        self.guard = Some(guard);
         self
     }
 }
@@ -93,6 +137,8 @@ pub struct TrainingCurve {
     pub samples_processed: u64,
     /// Accuracy after the final epoch.
     pub final_accuracy: f64,
+    /// Divergence-guard rollbacks performed during the run.
+    pub rollbacks: u32,
 }
 
 impl TrainingCurve {
@@ -149,11 +195,20 @@ pub fn train(
         iterations: 0,
         samples_processed: 0,
         final_accuracy: 0.0,
+        rollbacks: 0,
     };
     let mut median5 = WindowedMedian::new(5);
     let mut epoch_loss_sum = 0.0f64;
     let mut epoch_loss_count = 0u64;
     let mut current_epoch = 0usize;
+    // Divergence guard: the initial model is the first checkpoint, so a
+    // run that diverges immediately can still roll back somewhere.
+    let mut checkpoint: Option<AlgoSnapshot> =
+        config.guard.and_then(|_| algo.snapshot());
+    let mut best_accuracy = 0.0f64;
+    // Counts every loop pass (unlike `curve.iterations`, which counts
+    // applied steps), so the NaN-injection hook fires exactly once.
+    let mut attempt = 0u64;
 
     loop {
         let k = algo.k();
@@ -166,6 +221,31 @@ pub fn train(
         let lr = config.schedule.lr_at(current_epoch);
         let losses = compute_gradients_parallel(net, algo, &batches, config);
         let (grads, batch_losses) = losses;
+        let diverged = config.inject_nan_at == Some(attempt)
+            || batch_losses.iter().any(|l| !l.is_finite());
+        attempt += 1;
+        if diverged {
+            if let Some(g) = config.guard {
+                if curve.rollbacks < g.max_rollbacks {
+                    // Roll back to the checkpoint and restart averaging
+                    // from its `z` via the §3.2 restart path. The poisoned
+                    // gradients are discarded, not applied.
+                    if let Some(snap) = &checkpoint {
+                        if algo.restore(snap) {
+                            algo.on_lr_change();
+                        }
+                    }
+                    curve.rollbacks += 1;
+                    // The restored model scores lower than the pre-fault
+                    // best; rebuild the collapse baseline from here so the
+                    // rollback itself is not mistaken for a collapse.
+                    best_accuracy = 0.0;
+                    continue;
+                }
+            }
+            // Unguarded (or out of rollbacks): fall through, preserving
+            // the historic fail-loudly behaviour.
+        }
         for l in batch_losses {
             epoch_loss_sum += f64::from(l);
             epoch_loss_count += 1;
@@ -173,6 +253,13 @@ pub fn train(
         algo.step(&grads, lr);
         curve.iterations += 1;
         curve.samples_processed += (k * config.batch_per_learner) as u64;
+        if let Some(g) = config.guard {
+            if curve.iterations.is_multiple_of(g.checkpoint_every) {
+                if let Some(snap) = algo.snapshot() {
+                    checkpoint = Some(snap);
+                }
+            }
+        }
 
         if sampler.epoch() > current_epoch {
             // Epoch boundary: evaluate, record, handle schedule changes.
@@ -190,6 +277,20 @@ pub fn train(
             });
             epoch_loss_sum = 0.0;
             epoch_loss_count = 0;
+            if let Some(g) = config.guard {
+                // Accuracy collapse (e.g. silent numeric corruption):
+                // restore the checkpoint and restart averaging.
+                if acc + g.collapse_drop < best_accuracy && curve.rollbacks < g.max_rollbacks {
+                    if let Some(snap) = &checkpoint {
+                        if algo.restore(snap) {
+                            algo.on_lr_change();
+                        }
+                    }
+                    curve.rollbacks += 1;
+                    best_accuracy = 0.0;
+                }
+            }
+            best_accuracy = best_accuracy.max(acc);
             median5.push(acc);
             let finished_epoch = curve.epoch_accuracy.len();
             if let Some(target) = config.target_accuracy {
@@ -254,7 +355,7 @@ fn compute_gradients_parallel(
             .enumerate()
             .map(|(j, (g, l))| (j, g, l))
             .collect();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut per_thread: Vec<Vec<(usize, &mut Vec<f32>, &mut f32)>> =
                 (0..threads).map(|_| Vec::new()).collect();
             for slot in grad_slots.drain(..) {
@@ -262,7 +363,7 @@ fn compute_gradients_parallel(
             }
             for thread_slots in per_thread {
                 let replicas = &replicas;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut scratch = net.scratch();
                     for (j, grad, loss) in thread_slots {
                         let (images, labels) = &batches[j];
@@ -280,8 +381,7 @@ fn compute_gradients_parallel(
                     }
                 });
             }
-        })
-        .expect("gradient threads must not panic");
+        });
     }
     (grads, losses)
 }
@@ -409,6 +509,61 @@ mod tests {
             &TrainerConfig::new(8, 2),
         );
         assert_eq!(curve.samples_processed, curve.iterations * 4 * 8);
+    }
+
+    #[test]
+    fn injected_nan_rolls_back_and_still_converges() {
+        let (net, train_set, test_set) = setup();
+        let init = net.init_params(&mut Rng::new(1));
+        let mut algo = Sma::new(init, 4, SmaConfig::default());
+        let cfg = TrainerConfig::new(8, 12).with_guard(GuardConfig::default());
+        let cfg = TrainerConfig {
+            inject_nan_at: Some(30),
+            ..cfg
+        };
+        let curve = train(&net, &train_set, &test_set, &mut algo, &cfg);
+        assert_eq!(curve.rollbacks, 1, "one rollback for one injection");
+        assert!(
+            curve.final_accuracy > 0.9,
+            "recovered run reaches accuracy, got {}",
+            curve.final_accuracy
+        );
+    }
+
+    #[test]
+    fn unguarded_nan_passes_through() {
+        // Without the guard the historic behaviour is preserved: the
+        // poisoned loss is recorded, nothing rolls back.
+        let (net, train_set, test_set) = setup();
+        let init = net.init_params(&mut Rng::new(1));
+        let mut algo = Sma::new(init, 2, SmaConfig::default());
+        let cfg = TrainerConfig {
+            inject_nan_at: Some(3),
+            ..TrainerConfig::new(8, 2)
+        };
+        let curve = train(&net, &train_set, &test_set, &mut algo, &cfg);
+        assert_eq!(curve.rollbacks, 0);
+    }
+
+    #[test]
+    fn rollbacks_are_capped() {
+        let (net, train_set, test_set) = setup();
+        let init = net.init_params(&mut Rng::new(1));
+        let mut algo = Sma::new(init, 2, SmaConfig::default());
+        // Every iteration "diverges": losses can never be non-finite here,
+        // so force it by injecting at attempt 0 and relying on the rolled
+        // back state replaying attempt numbers... instead, cap at 0 and
+        // check the guard stands down immediately.
+        let guard = GuardConfig {
+            max_rollbacks: 0,
+            ..GuardConfig::default()
+        };
+        let cfg = TrainerConfig {
+            inject_nan_at: Some(1),
+            ..TrainerConfig::new(8, 2).with_guard(guard)
+        };
+        let curve = train(&net, &train_set, &test_set, &mut algo, &cfg);
+        assert_eq!(curve.rollbacks, 0, "cap honoured");
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! of the versions of external crates. We therefore implement a small RNG
 //! in-tree instead of depending on `rand` in library code: a SplitMix64
 //! seeder feeding a PCG32 stream, plus the Box–Muller transform for normal
-//! samples. `rand` and `proptest` remain dev-dependencies for tests.
+//! samples. Tests draw their random cases from this RNG too, so the whole
+//! workspace builds without any registry dependency.
 
 /// A deterministic PCG32 random number generator.
 ///

@@ -3,8 +3,9 @@
 //! whole sessions.
 
 use crossbow::benchmark::Benchmark;
-use crossbow::engine::{AlgorithmKind, Session, SessionConfig};
-use crossbow::exec_sim::{simulate, SimConfig};
+use crossbow::engine::{AlgorithmKind, RobustnessConfig, Session, SessionConfig};
+use crossbow::exec_sim::{simulate, simulate_robust, RobustSimConfig, SimConfig};
+use crossbow::gpu_sim::{FaultPlan, SimDuration};
 use crossbow::nn::ModelProfile;
 
 fn quick_session(seed: u64) -> SessionConfig {
@@ -48,6 +49,52 @@ fn simulator_runs_replay_bit_identically() {
         assert_eq!(a.total_time, b.total_time, "{kind}");
         assert_eq!(a.iteration_time, b.iteration_time, "{kind}");
     }
+}
+
+#[test]
+fn fault_plans_are_pure_functions_of_seed() {
+    let horizon = SimDuration::from_millis(500);
+    let a = FaultPlan::from_seed(13, 8, horizon);
+    let b = FaultPlan::from_seed(13, 8, horizon);
+    assert_eq!(a, b, "same seed, same plan");
+    assert!(!a.is_empty());
+    let c = FaultPlan::from_seed(14, 8, horizon);
+    assert_ne!(a, c, "different seeds must schedule different faults");
+}
+
+#[test]
+fn robust_runs_replay_bit_identically_under_faults() {
+    // Injected faults, retries, quarantines and rejoins are all part of
+    // the deterministic event order: two runs of the same seeded plan
+    // must agree on every counter and every measurement.
+    let sim = SimConfig::crossbow(ModelProfile::resnet32(), 4, 2, 64);
+    let horizon = SimDuration::from_nanos(simulate(&sim).total_time.as_nanos());
+    let cfg = RobustSimConfig::new(sim, FaultPlan::from_seed(21, 4, horizon));
+    let a = simulate_robust(&cfg);
+    let b = simulate_robust(&cfg);
+    assert_eq!(a.throughput, b.throughput);
+    assert_eq!(a.total_time, b.total_time);
+    assert_eq!(a.iteration_time, b.iteration_time);
+    assert_eq!(a.faults, b.faults);
+}
+
+#[test]
+fn robust_sessions_replay_bit_identically() {
+    // The whole self-healing session — seed-derived fault plan, divergence
+    // guard, rollback — is still a pure function of the seed.
+    let config = || {
+        let robustness = RobustnessConfig {
+            inject_nan_at: Some(20),
+            ..RobustnessConfig::default()
+        };
+        quick_session(31).with_robustness(robustness)
+    };
+    let a = Session::new(config()).run();
+    let b = Session::new(config()).run();
+    assert_eq!(a.curve.epoch_accuracy, b.curve.epoch_accuracy);
+    assert_eq!(a.curve.rollbacks, b.curve.rollbacks);
+    assert_eq!(a.sim.faults, b.sim.faults);
+    assert_eq!(a.sim.throughput, b.sim.throughput);
 }
 
 #[test]
