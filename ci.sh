@@ -9,8 +9,14 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "== format =="
+cargo fmt --check
+
 echo "== build (release) =="
 cargo build --release
+
+echo "== build (release, examples) =="
+cargo build --release --examples
 
 echo "== tests =="
 cargo test -q

@@ -55,6 +55,8 @@ fn main() {
             threads: 1,
             guard: None,
             inject_nan_at: None,
+            checkpoint: None,
+            crash_after: None,
         };
         let t0 = std::time::Instant::now();
         let mut algo = SSgd::new(init.clone(), 1, SgdConfig::paper_default());

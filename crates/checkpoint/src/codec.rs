@@ -1,0 +1,318 @@
+//! A minimal little-endian byte codec and the FNV-1a/64 checksum.
+//!
+//! The format must be stable across compilers and platforms, so every
+//! multi-byte value is written explicitly little-endian; floats travel as
+//! their IEEE-754 bit patterns, which is what makes restored state
+//! bit-exact rather than merely close.
+
+/// FNV-1a, 64-bit: small, dependency-free, and plenty to detect the
+/// truncations and bit flips checkpointing cares about (this is integrity
+/// checking, not cryptography).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Appends little-endian primitives to a byte buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f32` as its bit pattern.
+    pub fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+
+    /// Writes an `f64` as its bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes an optional `u64` (presence byte + value).
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.u64(x);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    /// Writes an optional `f32` (presence byte + bit pattern).
+    pub fn opt_f32(&mut self, v: Option<f32>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.f32(x);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    /// Writes a length-prefixed `f32` slice.
+    pub fn f32_slice(&mut self, v: &[f32]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.f32(x);
+        }
+    }
+
+    /// Writes a length-prefixed list of `f32` vectors.
+    pub fn f32_slices(&mut self, v: &[Vec<f32>]) {
+        self.u64(v.len() as u64);
+        for x in v {
+            self.f32_slice(x);
+        }
+    }
+
+    /// Writes a length-prefixed `f64` slice.
+    pub fn f64_slice(&mut self, v: &[f64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.f64(x);
+        }
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+}
+
+/// A decode failure: the payload ended early or held an invalid value.
+/// Decoding never panics — corrupt bytes must surface as an error the
+/// loader can fall back from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodeError(pub &'static str);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed checkpoint payload: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Reads little-endian primitives back out of a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(DecodeError("unexpected end of payload"))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Reads an `f32` from its bit pattern.
+    pub fn f32(&mut self) -> Result<f32, DecodeError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length bounded by the bytes that could plausibly remain, so
+    /// a corrupt length cannot drive an enormous allocation.
+    fn len(&mut self, elem_bytes: usize) -> Result<usize, DecodeError> {
+        let n = self.u64()?;
+        let remaining = (self.bytes.len() - self.pos) / elem_bytes.max(1);
+        if n as usize > remaining {
+            return Err(DecodeError("length prefix exceeds payload"));
+        }
+        Ok(n as usize)
+    }
+
+    /// Reads an optional `u64`.
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, DecodeError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            _ => Err(DecodeError("invalid option tag")),
+        }
+    }
+
+    /// Reads an optional `f32`.
+    pub fn opt_f32(&mut self) -> Result<Option<f32>, DecodeError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f32()?)),
+            _ => Err(DecodeError("invalid option tag")),
+        }
+    }
+
+    /// Reads a length-prefixed `f32` vector.
+    pub fn f32_vec(&mut self) -> Result<Vec<f32>, DecodeError> {
+        let n = self.len(4)?;
+        (0..n).map(|_| self.f32()).collect()
+    }
+
+    /// Reads a length-prefixed list of `f32` vectors.
+    pub fn f32_vecs(&mut self) -> Result<Vec<Vec<f32>>, DecodeError> {
+        let n = self.len(8)?;
+        (0..n).map(|_| self.f32_vec()).collect()
+    }
+
+    /// Reads a length-prefixed `f64` vector.
+    pub fn f64_vec(&mut self) -> Result<Vec<f64>, DecodeError> {
+        let n = self.len(8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let n = self.len(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError("invalid UTF-8"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.f32(-0.0);
+        w.f64(f64::NAN);
+        w.opt_u64(Some(42));
+        w.opt_u64(None);
+        w.opt_f32(Some(1.5));
+        w.str("resumé");
+        w.f32_slice(&[1.0, f32::INFINITY, -3.25]);
+        w.f64_slice(&[0.125]);
+        w.f32_slices(&[vec![1.0], vec![], vec![2.0, 3.0]]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert!(r.f64().unwrap().is_nan());
+        assert_eq!(r.opt_u64().unwrap(), Some(42));
+        assert_eq!(r.opt_u64().unwrap(), None);
+        assert_eq!(r.opt_f32().unwrap(), Some(1.5));
+        assert_eq!(r.str().unwrap(), "resumé");
+        assert_eq!(r.f32_vec().unwrap(), vec![1.0, f32::INFINITY, -3.25]);
+        assert_eq!(r.f64_vec().unwrap(), vec![0.125]);
+        assert_eq!(
+            r.f32_vecs().unwrap(),
+            vec![vec![1.0], vec![], vec![2.0, 3.0]]
+        );
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_payload_errors_instead_of_panicking() {
+        let mut w = Writer::new();
+        w.f32_slice(&[1.0, 2.0, 3.0]);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(r.f32_vec().is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut w = Writer::new();
+        w.u64(u64::MAX); // absurd element count
+        let bytes = w.into_bytes();
+        assert!(Reader::new(&bytes).f32_vec().is_err());
+        assert!(Reader::new(&bytes).f32_vecs().is_err());
+        assert!(Reader::new(&bytes).str().is_err());
+    }
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        // Published FNV-1a/64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_F739_67E8);
+    }
+
+    #[test]
+    fn fnv_detects_single_bit_flips() {
+        let mut w = Writer::new();
+        w.f32_slice(&[0.5; 64]);
+        let bytes = w.into_bytes();
+        let base = fnv1a64(&bytes);
+        for i in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 1;
+            assert_ne!(fnv1a64(&flipped), base, "flip at byte {i} undetected");
+        }
+    }
+}

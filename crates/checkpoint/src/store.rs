@@ -1,0 +1,534 @@
+//! The on-disk checkpoint format and directory store.
+//!
+//! ## File layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  "CBWCKPT\x01"
+//! 8       4     format version (little-endian u32)
+//! 12      4     flags  (bit 0 = epoch-boundary checkpoint)
+//! 16      8     payload length in bytes
+//! 24      8     FNV-1a/64 checksum of the payload
+//! 32      n     payload ([`TrainingState::encode`])
+//! ```
+//!
+//! ## Atomicity
+//!
+//! A checkpoint is written to `<name>.tmp` in the same directory, the file
+//! is fsynced, renamed over the final name, and the directory is fsynced.
+//! A crash at any point leaves either the previous state (no final file,
+//! or the old one) or the complete new file — never a torn live
+//! checkpoint. A stray `.tmp` from a crash mid-write is ignored by the
+//! loader and overwritten by the next save.
+//!
+//! ## Corruption handling
+//!
+//! [`CheckpointStore::load_latest`] walks checkpoints newest-first and
+//! returns the first one that passes *all* validation (magic, version,
+//! length, checksum, payload decode), recording the paths it had to skip.
+//! A truncated or bit-flipped newest checkpoint therefore costs the
+//! iterations since the previous one, not the run.
+
+use crate::codec::fnv1a64;
+use crate::state::TrainingState;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every checkpoint file.
+pub const MAGIC: [u8; 8] = *b"CBWCKPT\x01";
+
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 32;
+const FLAG_EPOCH_BOUNDARY: u32 = 1;
+const FILE_EXT: &str = "cbck";
+
+/// Why a checkpoint could not be written or read.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The file exists but is not a valid checkpoint (truncated, bit
+    /// flipped, wrong magic or version, undecodable payload).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Corrupt(why) => write!(f, "corrupt checkpoint: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+fn corrupt(why: impl Into<String>) -> CheckpointError {
+    CheckpointError::Corrupt(why.into())
+}
+
+/// Writes `state` to `path` atomically (temp file → fsync → rename →
+/// directory fsync).
+///
+/// # Errors
+/// Returns [`CheckpointError::Io`] when any filesystem step fails.
+pub fn write_checkpoint(
+    path: &Path,
+    state: &TrainingState,
+    epoch_boundary: bool,
+) -> Result<(), CheckpointError> {
+    let payload = state.encode();
+    let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    let flags = if epoch_boundary {
+        FLAG_EPOCH_BOUNDARY
+    } else {
+        0
+    };
+    bytes.extend_from_slice(&flags.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // Persist the rename itself: fsync the containing directory (no-op on
+    // platforms where directories cannot be opened, e.g. Windows).
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Reads and fully validates a checkpoint file, returning the state and
+/// whether it was an epoch-boundary checkpoint.
+///
+/// # Errors
+/// [`CheckpointError::Io`] when the file cannot be read;
+/// [`CheckpointError::Corrupt`] when any validation step fails.
+pub fn read_checkpoint(path: &Path) -> Result<(TrainingState, bool), CheckpointError> {
+    let bytes = fs::read(path)?;
+    if bytes.len() < HEADER_LEN {
+        return Err(corrupt(format!(
+            "{} bytes is shorter than the header",
+            bytes.len()
+        )));
+    }
+    if bytes[0..8] != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4"));
+    if version != FORMAT_VERSION {
+        return Err(corrupt(format!("unsupported format version {version}")));
+    }
+    let flags = u32::from_le_bytes(bytes[12..16].try_into().expect("4"));
+    let payload_len = u64::from_le_bytes(bytes[16..24].try_into().expect("8")) as usize;
+    let checksum = u64::from_le_bytes(bytes[24..32].try_into().expect("8"));
+    if bytes.len() != HEADER_LEN + payload_len {
+        return Err(corrupt(format!(
+            "file is {} bytes, header promises {}",
+            bytes.len(),
+            HEADER_LEN + payload_len
+        )));
+    }
+    let payload = &bytes[HEADER_LEN..];
+    if fnv1a64(payload) != checksum {
+        return Err(corrupt("checksum mismatch"));
+    }
+    let state = TrainingState::decode(payload).map_err(|e| corrupt(e.to_string()))?;
+    Ok((state, flags & FLAG_EPOCH_BOUNDARY != 0))
+}
+
+/// Which checkpoints survive a retention sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct RetentionPolicy {
+    /// Keep the newest (highest-iteration) this many checkpoints.
+    pub keep_last: usize,
+    /// Additionally keep every epoch-boundary checkpoint.
+    pub keep_epoch_boundaries: bool,
+}
+
+impl Default for RetentionPolicy {
+    fn default() -> Self {
+        RetentionPolicy {
+            keep_last: 3,
+            keep_epoch_boundaries: true,
+        }
+    }
+}
+
+/// A successfully loaded checkpoint.
+#[derive(Clone, Debug)]
+pub struct Loaded {
+    /// The restored state.
+    pub state: TrainingState,
+    /// The file it came from.
+    pub path: PathBuf,
+    /// Whether the file was an epoch-boundary checkpoint.
+    pub epoch_boundary: bool,
+    /// Newer files that were skipped because they failed validation.
+    pub skipped: Vec<PathBuf>,
+}
+
+/// One directory entry: a parsed checkpoint filename.
+#[derive(Clone, Debug)]
+struct Entry {
+    path: PathBuf,
+    iterations: u64,
+    epoch_boundary: bool,
+}
+
+/// A directory of checkpoints with a retention policy.
+#[derive(Clone, Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    retention: RetentionPolicy,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) the checkpoint directory.
+    ///
+    /// # Errors
+    /// Returns [`CheckpointError::Io`] when the directory cannot be
+    /// created.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        retention: RetentionPolicy,
+    ) -> Result<Self, CheckpointError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore { dir, retention })
+    }
+
+    /// The directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The filename of the checkpoint at `iterations`. Epoch-boundary
+    /// checkpoints get a distinct name so a periodic checkpoint at the
+    /// same iteration cannot clobber one the retention policy must keep.
+    fn file_name(iterations: u64, epoch_boundary: bool) -> String {
+        if epoch_boundary {
+            format!("ckpt-{iterations:012}-epoch.{FILE_EXT}")
+        } else {
+            format!("ckpt-{iterations:012}.{FILE_EXT}")
+        }
+    }
+
+    fn parse_name(name: &str) -> Option<(u64, bool)> {
+        let stem = name
+            .strip_prefix("ckpt-")?
+            .strip_suffix(&format!(".{FILE_EXT}"))?;
+        match stem.strip_suffix("-epoch") {
+            Some(digits) => Some((digits.parse().ok()?, true)),
+            None => Some((stem.parse().ok()?, false)),
+        }
+    }
+
+    /// Every checkpoint file in the directory, oldest first (by iteration;
+    /// an epoch-boundary file sorts after a periodic one of the same
+    /// iteration, matching the order the trainer writes them in).
+    fn entries(&self) -> Result<Vec<Entry>, CheckpointError> {
+        let mut entries = Vec::new();
+        for item in fs::read_dir(&self.dir)? {
+            let item = item?;
+            let name = item.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some((iterations, epoch_boundary)) = Self::parse_name(name) {
+                entries.push(Entry {
+                    path: item.path(),
+                    iterations,
+                    epoch_boundary,
+                });
+            }
+        }
+        entries.sort_by_key(|e| (e.iterations, e.epoch_boundary));
+        Ok(entries)
+    }
+
+    /// Every checkpoint path, oldest first.
+    ///
+    /// # Errors
+    /// Returns [`CheckpointError::Io`] when the directory cannot be read.
+    pub fn list(&self) -> Result<Vec<PathBuf>, CheckpointError> {
+        Ok(self.entries()?.into_iter().map(|e| e.path).collect())
+    }
+
+    /// Writes a checkpoint of `state` atomically, then applies the
+    /// retention policy. Returns the path written.
+    ///
+    /// # Errors
+    /// Returns [`CheckpointError::Io`] when writing fails; a failed
+    /// retention delete is ignored (stale files cost disk, not
+    /// correctness).
+    pub fn save(
+        &self,
+        state: &TrainingState,
+        epoch_boundary: bool,
+    ) -> Result<PathBuf, CheckpointError> {
+        let path = self
+            .dir
+            .join(Self::file_name(state.iterations, epoch_boundary));
+        write_checkpoint(&path, state, epoch_boundary)?;
+        self.sweep()?;
+        Ok(path)
+    }
+
+    /// Deletes checkpoints the retention policy no longer keeps.
+    fn sweep(&self) -> Result<(), CheckpointError> {
+        let entries = self.entries()?;
+        let keep_from = entries
+            .len()
+            .saturating_sub(self.retention.keep_last.max(1));
+        for (i, entry) in entries.iter().enumerate() {
+            let newest = i >= keep_from;
+            let boundary_kept = self.retention.keep_epoch_boundaries && entry.epoch_boundary;
+            if !newest && !boundary_kept {
+                let _ = fs::remove_file(&entry.path);
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads the newest valid checkpoint, skipping corrupt files.
+    ///
+    /// Returns `Ok(None)` when the directory holds no checkpoints at all;
+    /// returns the corruption error only when *every* present checkpoint
+    /// fails validation (the caller then knows durable state existed but
+    /// none of it is usable).
+    ///
+    /// # Errors
+    /// [`CheckpointError::Io`] when the directory cannot be read, or the
+    /// last file's error when no checkpoint validates.
+    pub fn load_latest(&self) -> Result<Option<Loaded>, CheckpointError> {
+        let entries = self.entries()?;
+        if entries.is_empty() {
+            return Ok(None);
+        }
+        let mut skipped = Vec::new();
+        let mut last_err: Option<CheckpointError> = None;
+        for entry in entries.iter().rev() {
+            match read_checkpoint(&entry.path) {
+                Ok((state, epoch_boundary)) => {
+                    return Ok(Some(Loaded {
+                        state,
+                        path: entry.path.clone(),
+                        epoch_boundary,
+                        skipped,
+                    }));
+                }
+                Err(e) => {
+                    skipped.push(entry.path.clone());
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.expect("non-empty entries with no success has an error"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{AlgoState, DataCursor};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A unique scratch directory per test (no tempfile dependency).
+    fn scratch(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("crossbow-ckpt-{}-{tag}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn state_at(iterations: u64) -> TrainingState {
+        TrainingState {
+            seed: 7,
+            algorithm: "sma".to_string(),
+            iterations,
+            samples_processed: iterations * 8,
+            cursor: DataCursor {
+                epoch: iterations / 10,
+                batch: iterations % 10,
+            },
+            algo: AlgoState {
+                center: vec![iterations as f32],
+                center_prev: vec![0.0],
+                replicas: vec![vec![1.0]],
+                aux: vec![],
+                iter: iterations,
+            },
+            ..TrainingState::default()
+        }
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let store =
+            CheckpointStore::open(scratch("roundtrip"), RetentionPolicy::default()).expect("open");
+        store.save(&state_at(10), false).expect("save");
+        let loaded = store.load_latest().expect("load").expect("present");
+        assert_eq!(loaded.state, state_at(10));
+        assert!(!loaded.epoch_boundary);
+        assert!(loaded.skipped.is_empty());
+    }
+
+    #[test]
+    fn empty_store_loads_none() {
+        let store =
+            CheckpointStore::open(scratch("empty"), RetentionPolicy::default()).expect("open");
+        assert!(store.load_latest().expect("ok").is_none());
+    }
+
+    #[test]
+    fn latest_wins_and_no_temp_files_remain() {
+        let store =
+            CheckpointStore::open(scratch("latest"), RetentionPolicy::default()).expect("open");
+        for i in [5u64, 15, 10] {
+            store.save(&state_at(i), false).expect("save");
+        }
+        let loaded = store.load_latest().expect("load").expect("present");
+        assert_eq!(loaded.state.iterations, 15);
+        let stray_tmp = fs::read_dir(store.dir())
+            .expect("readdir")
+            .filter_map(|e| e.ok())
+            .any(|e| e.path().extension().is_some_and(|x| x == "tmp"));
+        assert!(!stray_tmp, "atomic write must clean up its temp file");
+    }
+
+    #[test]
+    fn truncated_checkpoint_falls_back_to_previous() {
+        let store =
+            CheckpointStore::open(scratch("trunc"), RetentionPolicy::default()).expect("open");
+        store.save(&state_at(10), false).expect("save");
+        let newest = store.save(&state_at(20), false).expect("save");
+        let full = fs::read(&newest).expect("read");
+        fs::write(&newest, &full[..full.len() / 2]).expect("truncate");
+        let loaded = store.load_latest().expect("load").expect("present");
+        assert_eq!(loaded.state.iterations, 10, "fell back past the torn file");
+        assert_eq!(loaded.skipped, vec![newest]);
+    }
+
+    #[test]
+    fn bit_flip_falls_back_to_previous() {
+        let store =
+            CheckpointStore::open(scratch("flip"), RetentionPolicy::default()).expect("open");
+        store.save(&state_at(10), false).expect("save");
+        let newest = store.save(&state_at(20), false).expect("save");
+        let mut bytes = fs::read(&newest).expect("read");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&newest, &bytes).expect("rewrite");
+        let loaded = store.load_latest().expect("load").expect("present");
+        assert_eq!(loaded.state.iterations, 10);
+        assert_eq!(loaded.skipped.len(), 1);
+    }
+
+    #[test]
+    fn all_corrupt_is_an_error_not_a_fresh_start() {
+        let store =
+            CheckpointStore::open(scratch("allbad"), RetentionPolicy::default()).expect("open");
+        let path = store.save(&state_at(10), false).expect("save");
+        fs::write(&path, b"junk").expect("clobber");
+        match store.load_latest() {
+            Err(CheckpointError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retention_keeps_newest_and_epoch_boundaries() {
+        let store = CheckpointStore::open(
+            scratch("retain"),
+            RetentionPolicy {
+                keep_last: 2,
+                keep_epoch_boundaries: true,
+            },
+        )
+        .expect("open");
+        store.save(&state_at(10), true).expect("save"); // epoch boundary
+        for i in [20u64, 30, 40, 50] {
+            store.save(&state_at(i), false).expect("save");
+        }
+        let names: Vec<String> = store
+            .list()
+            .expect("list")
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "ckpt-000000000010-epoch.cbck",
+                "ckpt-000000000040.cbck",
+                "ckpt-000000000050.cbck",
+            ]
+        );
+    }
+
+    #[test]
+    fn retention_without_boundary_keeping_prunes_them_too() {
+        let store = CheckpointStore::open(
+            scratch("noboundary"),
+            RetentionPolicy {
+                keep_last: 1,
+                keep_epoch_boundaries: false,
+            },
+        )
+        .expect("open");
+        store.save(&state_at(10), true).expect("save");
+        store.save(&state_at(20), false).expect("save");
+        let list = store.list().expect("list");
+        assert_eq!(list.len(), 1);
+        assert_eq!(
+            list[0].file_name().unwrap().to_string_lossy(),
+            "ckpt-000000000020.cbck"
+        );
+    }
+
+    #[test]
+    fn version_mismatch_is_corrupt() {
+        let store =
+            CheckpointStore::open(scratch("version"), RetentionPolicy::default()).expect("open");
+        let path = store.save(&state_at(10), false).expect("save");
+        let mut bytes = fs::read(&path).expect("read");
+        bytes[8] = 0xFF; // version field
+        fs::write(&path, &bytes).expect("rewrite");
+        match read_checkpoint(&path) {
+            Err(CheckpointError::Corrupt(why)) => {
+                assert!(why.contains("version"), "{why}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn foreign_files_are_ignored() {
+        let store =
+            CheckpointStore::open(scratch("foreign"), RetentionPolicy::default()).expect("open");
+        fs::write(store.dir().join("README.txt"), b"not a checkpoint").expect("write");
+        store.save(&state_at(10), false).expect("save");
+        assert_eq!(store.list().expect("list").len(), 1);
+        assert!(store.load_latest().expect("load").is_some());
+    }
+}

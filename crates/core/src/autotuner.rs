@@ -157,7 +157,7 @@ mod tests {
     fn plateau_backs_off_the_useless_learner() {
         let mut t = AutoTuner::new(10.0);
         t.observe(100.0); // -> 2
-        // The second learner gained only 5 images/s: not worth it.
+                          // The second learner gained only 5 images/s: not worth it.
         assert_eq!(t.observe(105.0), Action::RemoveLearner);
         assert_eq!(t.learners(), 1);
         assert!(t.is_settled());

@@ -71,9 +71,7 @@ impl<'a> Flags<'a> {
             let key = key
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got `{key}`"))?;
-            let value = it
-                .next()
-                .ok_or_else(|| format!("--{key} needs a value"))?;
+            let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
             pairs.push((key, value.as_str()));
         }
         Ok(Flags { pairs })
@@ -145,7 +143,8 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         None | Some("auto") => {}
         Some(m) => {
             config = config.with_learners_per_gpu(
-                m.parse().map_err(|_| "--learners expects a number or `auto`")?,
+                m.parse()
+                    .map_err(|_| "--learners expects a number or `auto`")?,
             )
         }
     }
@@ -199,9 +198,8 @@ fn cmd_autotune(args: &[String]) -> Result<(), String> {
     let benchmark = flags.benchmark()?;
     let gpus = flags.parse_num("gpus", 1usize)?;
     let batch = flags.parse_num("batch", benchmark.profile.default_batch)?;
-    let probe = |m: usize| {
-        simulate(&SimConfig::crossbow(benchmark.profile, gpus, m, batch)).throughput
-    };
+    let probe =
+        |m: usize| simulate(&SimConfig::crossbow(benchmark.profile, gpus, m, batch)).throughput;
     let base = probe(1);
     let (chosen, observations) = tune_to_convergence(base * 0.05, 8, probe);
     println!("{} on {gpus} GPU(s), b={batch}:", benchmark.profile.name);

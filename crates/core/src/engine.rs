@@ -20,13 +20,14 @@ use crate::benchmark::Benchmark;
 use crate::exec_sim::{
     simulate, simulate_robust, EngineKind, RobustSimConfig, SimConfig, SimReport,
 };
+use crossbow_checkpoint::{CheckpointStore, RetentionPolicy};
 use crossbow_gpu_sim::{FaultPlan, SimDuration};
 use crossbow_sync::algorithm::SyncAlgorithm;
-use crossbow_sync::sma::{easgd, Sma, SmaConfig};
 use crossbow_sync::hierarchical::HierarchicalSma;
 use crossbow_sync::optimizer::SgdConfig;
+use crossbow_sync::sma::{easgd, Sma, SmaConfig};
 use crossbow_sync::ssgd::SSgd;
-use crossbow_sync::{train, GuardConfig, TrainerConfig, TrainingCurve};
+use crossbow_sync::{resume, train, CheckpointConfig, GuardConfig, TrainerConfig, TrainingCurve};
 use crossbow_tensor::Rng;
 
 /// Which training algorithm a session uses.
@@ -64,6 +65,11 @@ pub struct RobustnessConfig {
     /// Test hook: treat the n-th training iteration's losses as NaN, so
     /// the rollback path can be exercised end to end.
     pub inject_nan_at: Option<u64>,
+    /// Fault injection: simulate a host crash by abandoning the
+    /// statistical run after this many applied iterations. Durable
+    /// checkpoints (see [`SessionConfig::checkpoint`]) survive for a
+    /// resumed session.
+    pub crash_after: Option<u64>,
 }
 
 impl Default for RobustnessConfig {
@@ -73,6 +79,7 @@ impl Default for RobustnessConfig {
             guard: GuardConfig::default(),
             max_retries: 4,
             inject_nan_at: None,
+            crash_after: None,
         }
     }
 }
@@ -103,6 +110,11 @@ pub struct SessionConfig {
     pub max_learners_per_gpu: usize,
     /// Fault injection + self-healing policy; `None` runs fault-free.
     pub robustness: Option<RobustnessConfig>,
+    /// Durable checkpointing of the statistical run; a session restarted
+    /// with the same configuration resumes from the newest valid
+    /// checkpoint (and reuses the recorded learner count instead of
+    /// re-running the auto-tuner). `None` = off.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl SessionConfig {
@@ -121,6 +133,7 @@ impl SessionConfig {
             tuner_tolerance: 0.05,
             max_learners_per_gpu: 8,
             robustness: None,
+            checkpoint: None,
         }
     }
 
@@ -178,6 +191,12 @@ impl SessionConfig {
     /// Enables fault injection + self-healing (builder style).
     pub fn with_robustness(mut self, robustness: RobustnessConfig) -> Self {
         self.robustness = Some(robustness);
+        self
+    }
+
+    /// Enables durable checkpointing (builder style).
+    pub fn with_checkpointing(mut self, checkpoint: CheckpointConfig) -> Self {
+        self.checkpoint = Some(checkpoint);
         self
     }
 }
@@ -290,7 +309,7 @@ impl Session {
     pub fn plan_hardware(&self) -> (usize, SimReport) {
         let c = &self.config;
         if c.algorithm == AlgorithmKind::SSgd {
-            return (1, simulate(&self.sim_config(1)));
+            return (1, self.measure_hardware(1));
         }
         let m = match c.learners_per_gpu {
             Some(m) => m,
@@ -302,22 +321,42 @@ impl Session {
                 m
             }
         };
+        (m, self.measure_hardware(m))
+    }
+
+    /// Measures hardware efficiency at a fixed learner count.
+    fn measure_hardware(&self, m: usize) -> SimReport {
+        let c = &self.config;
         let sim = self.sim_config(m);
-        if let Some(r) = &c.robustness {
-            let plan = r.fault_plan.clone().unwrap_or_else(|| {
-                // Derive a small seeded plan over the fault-free horizon.
-                let horizon = simulate(&sim).total_time;
-                FaultPlan::from_seed(
-                    c.seed,
-                    c.gpus,
-                    SimDuration::from_secs_f64(horizon.as_secs_f64()),
-                )
-            });
-            let mut robust = RobustSimConfig::new(sim, plan);
-            robust.max_retries = r.max_retries;
-            return (m, simulate_robust(&robust));
+        if c.algorithm != AlgorithmKind::SSgd {
+            if let Some(r) = &c.robustness {
+                let plan = r.fault_plan.clone().unwrap_or_else(|| {
+                    // Derive a small seeded plan over the fault-free horizon.
+                    let horizon = simulate(&sim).total_time;
+                    FaultPlan::from_seed(
+                        c.seed,
+                        c.gpus,
+                        SimDuration::from_secs_f64(horizon.as_secs_f64()),
+                    )
+                });
+                let mut robust = RobustSimConfig::new(sim, plan);
+                robust.max_retries = r.max_retries;
+                return simulate_robust(&robust);
+            }
         }
-        (m, simulate(&sim))
+        simulate(&sim)
+    }
+
+    /// The learners-per-GPU count recorded in the newest valid checkpoint
+    /// of this session's store, when one exists and matches the seed.
+    /// Resuming must reuse it: re-running the auto-tuner could pick a
+    /// different parallelism, whose `k` the checkpoint would not fit.
+    fn recorded_learners(&self) -> Option<usize> {
+        let ckpt = self.config.checkpoint.as_ref()?;
+        let store = CheckpointStore::open(&ckpt.dir, RetentionPolicy::default()).ok()?;
+        let loaded = store.load_latest().ok().flatten()?;
+        (loaded.state.seed == self.config.seed && loaded.state.learners_per_gpu > 0)
+            .then_some(loaded.state.learners_per_gpu as usize)
     }
 
     /// Runs the statistical-efficiency half: real training of the reduced
@@ -338,12 +377,9 @@ impl Session {
                     ..SmaConfig::default()
                 },
             )),
-            AlgorithmKind::HierarchicalSma => Box::new(HierarchicalSma::new(
-                init,
-                c.gpus,
-                m,
-                SmaConfig::default(),
-            )),
+            AlgorithmKind::HierarchicalSma => {
+                Box::new(HierarchicalSma::new(init, c.gpus, m, SmaConfig::default()))
+            }
             AlgorithmKind::SSgd => Box::new(SSgd::new(init, k, SgdConfig::paper_default())),
             AlgorithmKind::EaSgd { tau } => Box::new(easgd(init, k, None, tau)),
         };
@@ -353,9 +389,7 @@ impl Session {
         let trainer_config = TrainerConfig {
             batch_per_learner: stat_batch.min(train_set.len() / k.max(1)).max(1),
             max_epochs: c.max_epochs.unwrap_or(c.benchmark.default_epochs),
-            target_accuracy: Some(
-                c.target_accuracy.unwrap_or(c.benchmark.scaled_target),
-            ),
+            target_accuracy: Some(c.target_accuracy.unwrap_or(c.benchmark.scaled_target)),
             schedule: c.benchmark.schedule(),
             weight_decay: 1e-4,
             eval_batch: 256,
@@ -363,18 +397,35 @@ impl Session {
             threads: 0,
             guard: c.robustness.as_ref().map(|r| r.guard),
             inject_nan_at: c.robustness.as_ref().and_then(|r| r.inject_nan_at),
+            checkpoint: c.checkpoint.clone().map(|mut ck| {
+                // Stamp the parallelism so a resumed session can reuse it.
+                ck.learners_per_gpu = m as u32;
+                ck
+            }),
+            crash_after: c.robustness.as_ref().and_then(|r| r.crash_after),
         };
-        train(&net, &train_set, &test_set, algo.as_mut(), &trainer_config)
+        if trainer_config.checkpoint.is_some() {
+            resume(&net, &train_set, &test_set, algo.as_mut(), &trainer_config)
+        } else {
+            train(&net, &train_set, &test_set, algo.as_mut(), &trainer_config)
+        }
     }
 
     /// Runs the full session: auto-tune, simulate, train, combine.
+    ///
+    /// With [`SessionConfig::checkpoint`] set, a session whose store holds
+    /// a checkpoint from the same seed skips the auto-tuner and reuses the
+    /// recorded learner count, then resumes training from that checkpoint.
     pub fn run(&self) -> TrainingReport {
-        let (m, sim) = self.plan_hardware();
+        let (m, sim) = match self.recorded_learners() {
+            Some(m) => (m, self.measure_hardware(m)),
+            None => self.plan_hardware(),
+        };
         let curve = self.train_statistics(m);
         let epoch_time = sim.epoch_time(self.config.benchmark.profile.train_samples);
-        let tta = curve.epochs_to_target.map(|e| {
-            SimDuration::from_secs_f64(e as f64 * epoch_time.as_secs_f64())
-        });
+        let tta = curve
+            .epochs_to_target
+            .map(|e| SimDuration::from_secs_f64(e as f64 * epoch_time.as_secs_f64()));
         TrainingReport {
             benchmark: self.config.benchmark.name,
             algorithm: self.config.algorithm,
@@ -460,5 +511,46 @@ mod tests {
         let report = Session::new(SessionConfig::lenet_quick()).run();
         let s = report.summary();
         assert!(s.contains("lenet"), "{s}");
+    }
+
+    #[test]
+    fn session_crash_and_resume_reproduces_the_uninterrupted_curve() {
+        let dir =
+            std::env::temp_dir().join(format!("crossbow-session-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let robustness = |crash_after| RobustnessConfig {
+            crash_after,
+            ..RobustnessConfig::default()
+        };
+        let baseline = Session::new(
+            SessionConfig::lenet_quick()
+                .with_seed(7)
+                .with_robustness(robustness(None)),
+        )
+        .run();
+
+        // Crash mid-run; durable checkpoints survive in `dir`.
+        let crashed = Session::new(
+            SessionConfig::lenet_quick()
+                .with_seed(7)
+                .with_robustness(robustness(Some(40)))
+                .with_checkpointing(CheckpointConfig::new(&dir).every(10)),
+        )
+        .run();
+        assert_eq!(crashed.curve.iterations, 40);
+        assert!(crashed.curve.epoch_accuracy.len() < baseline.curve.epoch_accuracy.len());
+
+        // A restarted session reads the learner count from the checkpoint
+        // (no re-tuning, even though `learners_per_gpu` is unpinned) and
+        // finishes with a curve bit-identical to the uninterrupted run.
+        let mut resume_cfg = SessionConfig::lenet_quick()
+            .with_seed(7)
+            .with_robustness(robustness(None))
+            .with_checkpointing(CheckpointConfig::new(&dir).every(10));
+        resume_cfg.learners_per_gpu = None;
+        let resumed = Session::new(resume_cfg).run();
+        assert_eq!(resumed.learners_per_gpu, 2);
+        assert_eq!(resumed.curve, baseline.curve);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -26,11 +26,19 @@
 //! *numerics* are deterministic regardless of thread interleaving — a
 //! property the tests rely on.
 
+use crossbow_checkpoint::{
+    AlgoState, CheckpointError, CheckpointStore, DataCursor, RetentionPolicy, TrainingState,
+};
 use crossbow_data::{BatchSampler, Dataset};
 use crossbow_nn::Network;
+use crossbow_sync::CheckpointConfig;
 use crossbow_tensor::ops;
 use crossbow_tensor::stats::WindowedMedian;
 use std::sync::{Arc, Condvar, Mutex};
+
+/// Algorithm tag written into the runtime's checkpoints; a store holding
+/// a different algorithm's state is ignored rather than restored.
+const ALGO_NAME: &str = "concurrent-sma";
 
 /// Configuration of the concurrent runtime.
 #[derive(Clone, Debug)]
@@ -54,6 +62,14 @@ pub struct CpuEngineConfig {
     pub target_accuracy: Option<f64>,
     /// Master seed.
     pub seed: u64,
+    /// Durable checkpointing of the central average model. Unlike the
+    /// synchronous trainer's bit-exact resume, the concurrent runtime
+    /// restarts *approximately*: replicas are re-seeded from the restored
+    /// average model — the same warm-restart rule the paper applies on
+    /// learning-rate changes (§3.2) — and the per-learner samplers restart
+    /// from their seeds, so a resumed run continues the optimisation
+    /// trajectory without reproducing the exact batch order.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl CpuEngineConfig {
@@ -69,6 +85,7 @@ impl CpuEngineConfig {
             max_epochs: 10,
             target_accuracy: None,
             seed: 42,
+            checkpoint: None,
         }
     }
 }
@@ -87,6 +104,9 @@ pub struct CpuEngineReport {
     pub throughput: f64,
     /// Final accuracy.
     pub final_accuracy: f64,
+    /// Global iterations recorded in the checkpoint this run warm-started
+    /// from (`None` when it started fresh).
+    pub resumed_from: Option<u64>,
 }
 
 /// Shared state: the published central average model.
@@ -151,7 +171,39 @@ pub fn train_concurrent(
     let alpha = config.alpha.unwrap_or(1.0 / k as f32);
     let plen = net.param_len();
     let mut rng = crossbow_tensor::Rng::new(config.seed ^ 0xC0FFEE);
-    let init = net.init_params(&mut rng);
+    let mut init = net.init_params(&mut rng);
+    let mut init_prev = init.clone();
+
+    // Warm-start from the newest valid checkpoint, when one fits.
+    let store = config.checkpoint.as_ref().map(|ck| {
+        let retention = RetentionPolicy {
+            keep_last: ck.keep_last,
+            keep_epoch_boundaries: true,
+        };
+        CheckpointStore::open(&ck.dir, retention).expect("cannot open the checkpoint directory")
+    });
+    let mut resumed_from = None;
+    let mut prior_accuracy = Vec::new();
+    let mut prior_samples = 0u64;
+    if let Some(store) = &store {
+        match store.load_latest() {
+            Ok(Some(loaded))
+                if loaded.state.seed == config.seed
+                    && loaded.state.algorithm == ALGO_NAME
+                    && loaded.state.algo.center.len() == plen
+                    && loaded.state.algo.center_prev.len() == plen =>
+            {
+                init = loaded.state.algo.center.clone();
+                init_prev = loaded.state.algo.center_prev.clone();
+                resumed_from = Some(loaded.state.iterations);
+                prior_accuracy = loaded.state.epoch_accuracy.clone();
+                prior_samples = loaded.state.samples_processed;
+            }
+            // No checkpoint, a foreign one, or all copies corrupt: fresh.
+            Ok(_) | Err(CheckpointError::Corrupt(_)) => {}
+            Err(e) => panic!("checkpoint store unreadable: {e}"),
+        }
+    }
 
     let central = Arc::new(CentralModel::new(init.clone()));
     let (tx, rx) = std::sync::mpsc::channel::<Contribution>();
@@ -197,8 +249,7 @@ pub fn train_concurrent(
                     // of the previous iteration (Figure 8, point d).
                     let z = central.wait_for(iteration);
                     ops::scaled_diff(alpha, &replica, &z, &mut correction);
-                    for ((w, &g), &c) in
-                        replica.iter_mut().zip(grad.iter()).zip(correction.iter())
+                    for ((w, &g), &c) in replica.iter_mut().zip(grad.iter()).zip(correction.iter())
                     {
                         *w -= config.lr * g + c;
                     }
@@ -225,9 +276,10 @@ pub fn train_concurrent(
             iterations: 0,
             throughput: 0.0,
             final_accuracy: 0.0,
+            resumed_from,
         };
-        let mut z = init.clone();
-        let mut z_prev = init;
+        let mut z = init;
+        let mut z_prev = init_prev;
         let mut median5 = WindowedMedian::new(5);
         let mut pending: std::collections::BTreeMap<u64, (usize, Vec<f32>, usize)> =
             std::collections::BTreeMap::new();
@@ -258,16 +310,13 @@ pub fn train_concurrent(
                 report.iterations += 1;
                 samples += (k * config.batch_per_learner) as u64;
                 next_iteration += 1;
-                if epoch > current_epoch
-                    || next_iteration == iterations_total
-                {
-                    let acc =
-                        net.evaluate(&z, &test_images, &test_labels, 256);
+                let boundary = epoch > current_epoch || next_iteration == iterations_total;
+                if boundary {
+                    let acc = net.evaluate(&z, &test_images, &test_labels, 256);
                     report.epoch_accuracy.push(acc);
                     median5.push(acc);
                     let finished = report.epoch_accuracy.len();
-                    if let (Some(target), None) =
-                        (config.target_accuracy, report.epochs_to_target)
+                    if let (Some(target), None) = (config.target_accuracy, report.epochs_to_target)
                     {
                         if median5.median().is_some_and(|m| m >= target) {
                             report.epochs_to_target = Some(finished);
@@ -278,6 +327,38 @@ pub fn train_concurrent(
                     }
                     current_epoch = epoch;
                     report.final_accuracy = acc;
+                }
+                if let (Some(store), Some(ck)) = (store.as_ref(), config.checkpoint.as_ref()) {
+                    let save_boundary = boundary && ck.at_epoch_boundaries;
+                    let periodic = ck.every > 0 && report.iterations.is_multiple_of(ck.every);
+                    if save_boundary || periodic {
+                        let mut epoch_accuracy = prior_accuracy.clone();
+                        epoch_accuracy.extend_from_slice(&report.epoch_accuracy);
+                        let state = TrainingState {
+                            seed: config.seed,
+                            algorithm: ALGO_NAME.to_string(),
+                            iterations: resumed_from.unwrap_or(0) + report.iterations,
+                            samples_processed: prior_samples + samples,
+                            current_epoch: current_epoch as u64,
+                            best_accuracy: report.final_accuracy,
+                            epoch_accuracy,
+                            cursor: DataCursor {
+                                epoch: current_epoch as u64,
+                                batch: 0,
+                            },
+                            algo: AlgoState {
+                                center: z.clone(),
+                                center_prev: z_prev.clone(),
+                                replicas: Vec::new(),
+                                aux: Vec::new(),
+                                iter: next_iteration,
+                            },
+                            ..TrainingState::default()
+                        };
+                        store
+                            .save(&state, save_boundary)
+                            .expect("checkpoint write failed");
+                    }
                 }
             }
         }
@@ -360,6 +441,33 @@ mod tests {
     }
 
     #[test]
+    fn warm_start_resumes_from_the_checkpointed_average_model() {
+        let (net, train_set, test_set) = setup();
+        let dir =
+            std::env::temp_dir().join(format!("crossbow-cpu-engine-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = CpuEngineConfig::new(3, 8);
+        cfg.max_epochs = 5;
+        cfg.checkpoint = Some(CheckpointConfig::new(&dir).every(0));
+        let first = train_concurrent(&net, &train_set, &test_set, &cfg);
+        assert_eq!(first.resumed_from, None);
+        assert!(first.final_accuracy > 0.8, "{}", first.final_accuracy);
+
+        // The second run warm-starts from the final epoch-boundary
+        // checkpoint and keeps learning rather than restarting from
+        // random initialisation.
+        let second = train_concurrent(&net, &train_set, &test_set, &cfg);
+        assert_eq!(second.resumed_from, Some(first.iterations));
+        assert!(second.final_accuracy > 0.8, "{}", second.final_accuracy);
+        assert!(
+            second.epoch_accuracy[0] > 0.7,
+            "first epoch after warm start should not regress to random: {}",
+            second.epoch_accuracy[0]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn matches_synchronous_sma_closely() {
         // The runtime computes the same algorithm as `sync::Sma` driven by
         // the synchronous trainer (modulo batch-order differences);
@@ -387,6 +495,8 @@ mod tests {
             threads: 1,
             guard: None,
             inject_nan_at: None,
+            checkpoint: None,
+            crash_after: None,
         };
         let synchronous =
             crossbow_sync::train(&net, &train_set, &test_set, &mut algo, &trainer_cfg);

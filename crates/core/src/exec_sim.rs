@@ -147,6 +147,9 @@ pub struct FaultCounters {
     pub quarantines: u64,
     /// Times a quarantined GPU was readmitted after sustained health.
     pub rejoins: u64,
+    /// Host crashes observed: the driver abandoned the run mid-flight,
+    /// leaving recovery to a resumed run (`RobustSimConfig::start_iter`).
+    pub host_crashes: u64,
     /// What the machine actually injected (ground truth).
     pub injected: FaultStats,
 }
@@ -220,7 +223,13 @@ pub fn simulate_with_machine(config: &SimConfig) -> (SimReport, Machine) {
         .filter(|c| config.warmup == 0 || iter_of(c.tag) == config.warmup - 1)
         .map(|c| c.time)
         .max()
-        .map_or(SimTime::ZERO, |t| if config.warmup == 0 { SimTime::ZERO } else { t });
+        .map_or(SimTime::ZERO, |t| {
+            if config.warmup == 0 {
+                SimTime::ZERO
+            } else {
+                t
+            }
+        });
     let end = completions
         .iter()
         .map(|c| c.time)
@@ -406,6 +415,10 @@ pub struct RobustSimConfig {
     pub quarantine_after: u32,
     /// Consecutive healthy iterations before a quarantined GPU rejoins.
     pub rejoin_after: u32,
+    /// First iteration to execute (0 for a fresh run). A run resumed from
+    /// a checkpoint sets this to the checkpoint's iteration so the
+    /// simulation replays only the remaining work.
+    pub start_iter: usize,
 }
 
 impl RobustSimConfig {
@@ -420,7 +433,14 @@ impl RobustSimConfig {
             slow_factor: 1.5,
             quarantine_after: 2,
             rejoin_after: 2,
+            start_iter: 0,
         }
+    }
+
+    /// Resumes the simulated run at `iter` (builder style).
+    pub fn with_start_iter(mut self, iter: usize) -> Self {
+        self.start_iter = iter;
+        self
     }
 }
 
@@ -533,7 +553,17 @@ pub fn simulate_robust_with_machine(config: &RobustSimConfig) -> (SimReport, Mac
     let mut last_avg: Vec<Option<EventId>> = vec![None; gpus];
     let mut learn_done: Vec<Completion> = Vec::new();
 
-    for iter in 0..sim.iterations {
+    for iter in config.start_iter..sim.iterations {
+        // A scheduled host crash kills the whole training process: no
+        // orderly teardown, no further iterations. Only the durable
+        // checkpoint store survives; a fresh run with `start_iter` set to
+        // the last checkpoint replays the remaining work.
+        if let Some(t) = config.faults.host_crash_at() {
+            if machine.now() >= t {
+                counters.host_crashes += 1;
+                break;
+            }
+        }
         let sync = sim.tau.is_some_and(|t| iter % t == 0);
         let iter_start = machine.now();
 
@@ -638,8 +668,7 @@ pub fn simulate_robust_with_machine(config: &RobustSimConfig) -> (SimReport, Mac
                 }
                 machine.submit_kernel(ss, reduce_kernel);
             }
-            let group_streams: Vec<StreamId> =
-                group.iter().map(|&g| sync_streams[g]).collect();
+            let group_streams: Vec<StreamId> = group.iter().map(|&g| sync_streams[g]).collect();
             let mut attempt = 0u32;
             loop {
                 machine.all_reduce(&group_streams, model_bytes, "allreduce");
@@ -687,7 +716,10 @@ pub fn simulate_robust_with_machine(config: &RobustSimConfig) -> (SimReport, Mac
     assert!(machine.is_quiescent(), "work left behind");
     counters.injected = machine.fault_stats();
 
-    // Throughput from the *successful* learning-task completions.
+    // Throughput from the *successful* learning-task completions. A run
+    // cut short by a host crash may have few (or zero) of them; it still
+    // deserves a report — with zero throughput — rather than a panic, so
+    // a resuming driver can inspect the counters.
     let iter_of = |tag: u64| (tag >> 32) as usize;
     let warm_end = if sim.warmup == 0 {
         SimTime::ZERO
@@ -699,26 +731,34 @@ pub fn simulate_robust_with_machine(config: &RobustSimConfig) -> (SimReport, Mac
             .max()
             .unwrap_or(SimTime::ZERO)
     };
-    let end = learn_done
-        .iter()
-        .map(|c| c.time)
-        .max()
-        .expect("at least one successful learning task");
+    let end = learn_done.iter().map(|c| c.time).max();
     let measured = learn_done
         .iter()
         .filter(|c| iter_of(c.tag) >= sim.warmup)
         .count();
-    let images = (measured * sim.batch_per_learner) as f64;
-    let span = (end - warm_end).as_secs_f64();
-    assert!(span > 0.0, "zero measurement span");
-    let measured_iters = sim.iterations - sim.warmup;
+    let completed_iters = learn_done
+        .iter()
+        .map(|c| iter_of(c.tag) + 1)
+        .max()
+        .unwrap_or(0);
+    let measured_iters = completed_iters.saturating_sub(sim.warmup);
+    let span = end.map_or(0.0, |e| (e - warm_end).as_secs_f64());
+    let (throughput, iteration_time) = if span > 0.0 && measured_iters > 0 {
+        let images = (measured * sim.batch_per_learner) as f64;
+        (
+            images / span,
+            SimDuration::from_secs_f64(span / measured_iters as f64),
+        )
+    } else {
+        (0.0, SimDuration::ZERO)
+    };
     let utilisation = (0..gpus)
         .map(|g| machine.utilisation(machine.device(g)))
         .sum::<f64>()
         / gpus as f64;
     let report = SimReport {
-        throughput: images / span,
-        iteration_time: SimDuration::from_secs_f64(span / measured_iters as f64),
+        throughput,
+        iteration_time,
         utilisation,
         total_time: machine.now(),
         aggregate_batch: sim.aggregate_batch(),
@@ -875,10 +915,8 @@ mod tests {
 
     #[test]
     fn robust_driver_without_faults_reports_zero_counters() {
-        let cfg = RobustSimConfig::new(
-            SimConfig::crossbow(resnet32(), 2, 2, 64),
-            FaultPlan::none(),
-        );
+        let cfg =
+            RobustSimConfig::new(SimConfig::crossbow(resnet32(), 2, 2, 64), FaultPlan::none());
         let report = simulate_robust(&cfg);
         assert_eq!(report.faults, FaultCounters::default());
         assert!(report.throughput > 0.0);
@@ -891,8 +929,7 @@ mod tests {
         // ballpark on a fault-free run.
         let sim = SimConfig::crossbow(resnet32(), 2, 2, 64);
         let plain = simulate(&sim).throughput;
-        let robust =
-            simulate_robust(&RobustSimConfig::new(sim, FaultPlan::none())).throughput;
+        let robust = simulate_robust(&RobustSimConfig::new(sim, FaultPlan::none())).throughput;
         let ratio = robust / plain;
         assert!(
             (0.5..1.2).contains(&ratio),
@@ -932,14 +969,39 @@ mod tests {
         let probe = simulate(&sim).total_time;
         let mid = SimTime::ZERO + SimDuration::from_nanos(probe.as_nanos() / 4);
         let until = SimTime::ZERO + SimDuration::from_nanos(probe.as_nanos() / 2);
-        let cfg = RobustSimConfig::new(
-            sim,
-            FaultPlan::none().straggler(1, mid, until, 4.0),
-        );
+        let cfg = RobustSimConfig::new(sim, FaultPlan::none().straggler(1, mid, until, 4.0));
         let report = simulate_robust(&cfg);
         assert!(report.faults.quarantines >= 1, "{:?}", report.faults);
         assert!(report.faults.rejoins >= 1, "{:?}", report.faults);
         assert!(report.faults.injected.straggler_kernels > 0);
+    }
+
+    #[test]
+    fn host_crash_aborts_the_run_and_resume_finishes_it() {
+        let sim = SimConfig::crossbow(resnet32(), 2, 1, 64);
+        let probe = simulate(&sim).total_time;
+        let mid = SimTime::ZERO + SimDuration::from_nanos(probe.as_nanos() / 2);
+        let crashed = simulate_robust(&RobustSimConfig::new(
+            sim.clone(),
+            FaultPlan::none().host_crash(mid),
+        ));
+        assert_eq!(crashed.faults.host_crashes, 1);
+        // A fresh process resumes the remaining iterations.
+        let resumed =
+            simulate_robust(&RobustSimConfig::new(sim, FaultPlan::none()).with_start_iter(12));
+        assert!(resumed.throughput > 0.0);
+        assert_eq!(resumed.faults.host_crashes, 0);
+    }
+
+    #[test]
+    fn immediate_host_crash_yields_a_zero_throughput_report() {
+        let cfg = RobustSimConfig::new(
+            SimConfig::crossbow(resnet32(), 1, 1, 64),
+            FaultPlan::none().host_crash(SimTime::ZERO),
+        );
+        let report = simulate_robust(&cfg);
+        assert_eq!(report.faults.host_crashes, 1);
+        assert_eq!(report.throughput, 0.0, "no work, no throughput — no panic");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! [`BatchSampler`] provides exactly that: a shuffled permutation of the
 //! dataset handed out in batch-sized index blocks, reshuffled every epoch.
 
-use crossbow_tensor::Rng;
+use crossbow_tensor::{Rng, RngState};
 
 /// Hands out shuffled index batches, tracking epoch boundaries.
 #[derive(Clone, Debug)]
@@ -67,6 +67,31 @@ impl BatchSampler {
         } else {
             self.n.div_ceil(self.batch)
         }
+    }
+
+    /// The resume cursor: `(epoch, batches_drawn_in_epoch)`. Feeding it to
+    /// [`BatchSampler::seek`] on a fresh sampler with the same seed
+    /// reproduces the exact sample stream from this point onward.
+    pub fn cursor(&self) -> (usize, usize) {
+        (self.epoch, self.pos.div_ceil(self.batch))
+    }
+
+    /// Fast-forwards a *fresh* sampler (same `n`, `batch`, seed) to the
+    /// position a cursor was taken at. Exact because the RNG is consumed
+    /// only at reshuffles — one in `new` plus one per completed epoch — so
+    /// replaying `epoch` shuffles and setting the intra-epoch offset lands
+    /// on the identical permutation and stream position.
+    pub fn seek(&mut self, epoch: usize, batches_drawn: usize) {
+        for _ in 0..epoch {
+            self.rng.shuffle(&mut self.order);
+        }
+        self.epoch = epoch;
+        self.pos = (batches_drawn * self.batch).min(self.n);
+    }
+
+    /// Raw RNG state, exported for checkpoint integrity checks.
+    pub fn rng_state(&self) -> RngState {
+        self.rng.export_state()
     }
 
     /// Returns the next batch of sample indices, reshuffling at epoch
@@ -140,6 +165,49 @@ mod tests {
         let mut a = BatchSampler::new(20, 4, true, 9);
         let mut b = BatchSampler::new(20, 4, true, 9);
         for _ in 0..12 {
+            assert_eq!(a.next_batch(), b.next_batch());
+        }
+    }
+
+    #[test]
+    fn seek_reproduces_the_stream_mid_epoch() {
+        let mut a = BatchSampler::new(20, 4, true, 7);
+        // Draw into the middle of epoch 2.
+        for _ in 0..12 {
+            a.next_batch();
+        }
+        let (epoch, batches) = a.cursor();
+        assert_eq!((epoch, batches), (2, 2));
+        let mut b = BatchSampler::new(20, 4, true, 7);
+        b.seek(epoch, batches);
+        assert_eq!(a.rng_state(), b.rng_state(), "RNG streams aligned");
+        for _ in 0..15 {
+            assert_eq!(a.next_batch(), b.next_batch());
+        }
+    }
+
+    #[test]
+    fn seek_to_end_of_epoch_matches_exhausted_sampler() {
+        let mut a = BatchSampler::new(12, 4, true, 3);
+        for _ in 0..3 {
+            a.next_batch();
+        }
+        // pos == n: the boundary fires on the *next* draw in both.
+        let (epoch, batches) = a.cursor();
+        assert_eq!((epoch, batches), (0, 3));
+        let mut b = BatchSampler::new(12, 4, true, 3);
+        b.seek(epoch, batches);
+        for _ in 0..8 {
+            assert_eq!(a.next_batch(), b.next_batch());
+        }
+    }
+
+    #[test]
+    fn seek_to_zero_is_a_fresh_sampler() {
+        let mut a = BatchSampler::new(10, 5, true, 11);
+        let mut b = BatchSampler::new(10, 5, true, 11);
+        b.seek(0, 0);
+        for _ in 0..6 {
             assert_eq!(a.next_batch(), b.next_batch());
         }
     }

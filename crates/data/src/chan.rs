@@ -128,11 +128,7 @@ impl<T> Receiver<T> {
             if inner.senders == 0 {
                 return Err(RecvTimeoutError::Disconnected);
             }
-            inner = self
-                .0
-                .not_empty
-                .wait(inner)
-                .expect("channel lock poisoned");
+            inner = self.0.not_empty.wait(inner).expect("channel lock poisoned");
         }
     }
 
@@ -179,7 +175,12 @@ impl<T> Receiver<T> {
 
     /// Number of values currently buffered.
     pub fn len(&self) -> usize {
-        self.0.inner.lock().expect("channel lock poisoned").queue.len()
+        self.0
+            .inner
+            .lock()
+            .expect("channel lock poisoned")
+            .queue
+            .len()
     }
 
     /// True when nothing is buffered.

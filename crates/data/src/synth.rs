@@ -124,8 +124,7 @@ pub fn image_classification(spec: &ImageSpec, seed: u64) -> Dataset {
     let mut labels = Vec::with_capacity(spec.samples);
     for i in 0..spec.samples {
         let class = i % spec.classes;
-        let proto_idx =
-            class * spec.prototypes_per_class + rng.below(spec.prototypes_per_class);
+        let proto_idx = class * spec.prototypes_per_class + rng.below(spec.prototypes_per_class);
         let mut img = prototypes[proto_idx].clone();
         if spec.max_shift > 0 {
             let dx = rng.below(2 * spec.max_shift + 1) as isize - spec.max_shift as isize;
@@ -182,8 +181,7 @@ fn smooth_pattern(channels: usize, hw: usize, rng: &mut Rng) -> Vec<f32> {
         img = box_blur(&img, channels, hw);
     }
     let mean = img.iter().sum::<f32>() / img.len() as f32;
-    let var =
-        img.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / img.len() as f32;
+    let var = img.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / img.len() as f32;
     let inv_std = 1.0 / (var.sqrt() + 1e-6);
     for v in img.iter_mut() {
         *v = (*v - mean) * inv_std;
@@ -284,9 +282,8 @@ mod tests {
             .with_samples(200),
             3,
         );
-        let dist = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-        };
+        let dist =
+            |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
         let mut intra = 0.0f32;
         let mut inter = 0.0f32;
         let mut n_intra = 0;

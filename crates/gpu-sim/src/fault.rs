@@ -98,6 +98,15 @@ pub enum FaultSpec {
         /// Window end (exclusive).
         until: SimTime,
     },
+    /// The whole host dies at `at`: the training process is gone and only
+    /// durable state (on-disk checkpoints) survives. Unlike device faults
+    /// the machine cannot recover in-run; drivers observe the crash point
+    /// and abandon the simulation, then a fresh process resumes from the
+    /// checkpoint store.
+    HostCrash {
+        /// Simulated time of the crash.
+        at: SimTime,
+    },
 }
 
 /// An immutable, deterministic schedule of faults.
@@ -126,13 +135,7 @@ impl FaultPlan {
     ///
     /// # Panics
     /// Panics on an empty window or a factor below 1.
-    pub fn straggler(
-        mut self,
-        device: usize,
-        from: SimTime,
-        until: SimTime,
-        factor: f64,
-    ) -> Self {
+    pub fn straggler(mut self, device: usize, from: SimTime, until: SimTime, factor: f64) -> Self {
         assert!(from < until, "straggler window must be non-empty");
         assert!(factor >= 1.0, "straggler factor must be >= 1");
         self.specs.push(FaultSpec::Straggler {
@@ -164,7 +167,8 @@ impl FaultPlan {
     /// Panics on a zero count.
     pub fn transient_collective(mut self, after: u64, count: u32) -> Self {
         assert!(count > 0, "need at least one failing collective");
-        self.specs.push(FaultSpec::TransientCollective { after, count });
+        self.specs
+            .push(FaultSpec::TransientCollective { after, count });
         self
     }
 
@@ -214,6 +218,23 @@ impl FaultPlan {
         FaultPlan::none()
             .straggler(device, from, until, factor)
             .transient_collective(after, 1)
+    }
+
+    /// Schedules a host crash (builder style).
+    pub fn host_crash(mut self, at: SimTime) -> Self {
+        self.specs.push(FaultSpec::HostCrash { at });
+        self
+    }
+
+    /// The earliest scheduled host crash, when the plan has one.
+    pub fn host_crash_at(&self) -> Option<SimTime> {
+        self.specs
+            .iter()
+            .filter_map(|s| match *s {
+                FaultSpec::HostCrash { at } => Some(at),
+                _ => None,
+            })
+            .min()
     }
 
     /// Combined duration multiplier for a kernel launched on `device` at
@@ -372,6 +393,16 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c, "different seeds give different plans");
         assert_eq!(a.specs().len(), 2);
+    }
+
+    #[test]
+    fn host_crash_reports_earliest_time() {
+        let p = FaultPlan::none();
+        assert!(p.host_crash_at().is_none());
+        let p = p
+            .host_crash(SimTime::from_nanos(40 * MS))
+            .host_crash(SimTime::from_nanos(10 * MS));
+        assert_eq!(p.host_crash_at(), Some(SimTime::from_nanos(10 * MS)));
     }
 
     #[test]

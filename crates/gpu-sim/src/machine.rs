@@ -67,12 +67,21 @@ impl PartialOrd for Scheduled {
 
 #[derive(Debug, PartialEq, Eq)]
 enum Action {
-    KernelDone { stream: StreamId, sms: u32 },
-    CopyDone { stream: StreamId },
-    CollectiveDone { stream: StreamId },
+    KernelDone {
+        stream: StreamId,
+        sms: u32,
+    },
+    CopyDone {
+        stream: StreamId,
+    },
+    CollectiveDone {
+        stream: StreamId,
+    },
     /// Re-idles a stream parked by an offline window when its device
     /// returns to service.
-    StreamWake { stream: StreamId },
+    StreamWake {
+        stream: StreamId,
+    },
 }
 
 #[derive(Debug, Default)]
@@ -205,7 +214,13 @@ impl Machine {
     }
 
     /// Submits a copy.
-    pub fn submit_copy(&mut self, stream: StreamId, kind: CopyKind, bytes: u64, label: &'static str) {
+    pub fn submit_copy(
+        &mut self,
+        stream: StreamId,
+        kind: CopyKind,
+        bytes: u64,
+        label: &'static str,
+    ) {
         self.submit(stream, WorkItem::Copy { kind, bytes, label });
     }
 
@@ -350,7 +365,10 @@ impl Machine {
             // work (already Running) is not interrupted.
             {
                 let dev_id = self.streams[sid.index()].device;
-                if let Some(until) = self.config.fault_plan.offline_until(dev_id.index(), self.now)
+                if let Some(until) = self
+                    .config
+                    .fault_plan
+                    .offline_until(dev_id.index(), self.now)
                 {
                     self.streams[sid.index()].state = StreamState::Offline;
                     self.fault_stats.offline_stalls += 1;
@@ -506,12 +524,8 @@ impl Machine {
         };
         let k = participants.len();
         let bottleneck = self.collective_bottleneck(&participants);
-        let dur = ring_all_reduce_duration(
-            bytes,
-            k,
-            bottleneck,
-            self.config.collective_step_latency,
-        );
+        let dur =
+            ring_all_reduce_duration(bytes, k, bottleneck, self.config.collective_step_latency);
         let start_index = self.collectives_started;
         self.collectives_started += 1;
         let fails = self.config.fault_plan.collective_fails(start_index);
@@ -658,7 +672,10 @@ mod tests {
         assert_eq!(recs[1].sms, 4);
         let slowdown =
             recs[1].duration().as_nanos() as f64 / SimDuration::from_millis(10).as_nanos() as f64;
-        assert!(slowdown > 5.0, "granted 4/24 SMs -> ~6x slower, got {slowdown}");
+        assert!(
+            slowdown > 5.0,
+            "granted 4/24 SMs -> ~6x slower, got {slowdown}"
+        );
     }
 
     #[test]
@@ -933,7 +950,10 @@ mod tests {
             "work deferred past the outage, got {}",
             offline.time
         );
-        assert!(healthy.time.as_nanos() < 50_000_000, "other device unaffected");
+        assert!(
+            healthy.time.as_nanos() < 50_000_000,
+            "other device unaffected"
+        );
         assert!(m.fault_stats().offline_stalls >= 1);
     }
 

@@ -196,10 +196,7 @@ impl Topology {
     }
 
     fn link_bw(&self, child: usize) -> f64 {
-        self.nodes[child]
-            .uplink
-            .expect("link_bw of root")
-            .1
+        self.nodes[child].uplink.expect("link_bw of root").1
     }
 
     /// The slowest GPU-to-neighbour bandwidth around the natural ring

@@ -89,10 +89,7 @@ impl OpGraph {
 
     /// How many ops read op `i`'s output.
     pub fn consumer_count(&self, i: usize) -> usize {
-        self.ops
-            .iter()
-            .filter(|o| o.inputs.contains(&i))
-            .count()
+        self.ops.iter().filter(|o| o.inputs.contains(&i)).count()
     }
 }
 

@@ -22,7 +22,10 @@ impl Conv2d {
     /// Creates a convolution: `c_in -> c_out` channels with a square
     /// `kernel x kernel` filter.
     pub fn new(c_in: usize, c_out: usize, kernel: usize, stride: usize, pad: usize) -> Self {
-        assert!(c_in > 0 && c_out > 0 && kernel > 0 && stride > 0, "bad conv");
+        assert!(
+            c_in > 0 && c_out > 0 && kernel > 0 && stride > 0,
+            "bad conv"
+        );
         Conv2d {
             c_in,
             c_out,

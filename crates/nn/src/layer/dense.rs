@@ -18,7 +18,10 @@ pub struct Dense {
 impl Dense {
     /// Creates a dense layer with He initialisation (for ReLU stacks).
     pub fn new(in_features: usize, out_features: usize) -> Self {
-        assert!(in_features > 0 && out_features > 0, "zero-sized dense layer");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "zero-sized dense layer"
+        );
         Dense {
             in_features,
             out_features,

@@ -186,8 +186,7 @@ mod tests {
                 vals.extend_from_slice(&y.data()[base..base + 9]);
             }
             let mean = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-                / vals.len() as f32;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "channel {ch} mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "channel {ch} var {var}");
         }

@@ -86,8 +86,11 @@ impl Layer for MaxPool2d {
         if train {
             slot.tensors.clear();
             slot.tensors.push(argmax);
-            slot.tensors
-                .push(Tensor::from_slice(&[batch as f32, c as f32, in_plane as f32]));
+            slot.tensors.push(Tensor::from_slice(&[
+                batch as f32,
+                c as f32,
+                in_plane as f32,
+            ]));
         }
         out
     }
@@ -226,7 +229,12 @@ mod tests {
         let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 9.0, 2.0, 3.0]);
         let mut slot = Slot::default();
         let _ = p.forward(&[], &x, &mut slot, true);
-        let g = p.backward(&[], &mut [], &Tensor::from_vec([1, 1, 1, 1], vec![5.0]), &slot);
+        let g = p.backward(
+            &[],
+            &mut [],
+            &Tensor::from_vec([1, 1, 1, 1], vec![5.0]),
+            &slot,
+        );
         assert_eq!(g.data(), &[0.0, 5.0, 0.0, 0.0]);
     }
 

@@ -301,12 +301,7 @@ mod tests {
 
     #[test]
     fn gradcheck_bottleneck() {
-        check_layer(
-            &Residual::bottleneck_block(4, 2, 4, 1),
-            &[4, 4, 4],
-            2,
-            63,
-        );
+        check_layer(&Residual::bottleneck_block(4, 2, 4, 1), &[4, 4, 4], 2, 63);
     }
 
     #[test]

@@ -180,7 +180,12 @@ impl Network {
         );
         let mut x = batch.clone();
         for (i, layer) in self.layers.iter().enumerate() {
-            x = layer.forward(&params[self.offsets[i].clone()], &x, &mut scratch.slots[i], train);
+            x = layer.forward(
+                &params[self.offsets[i].clone()],
+                &x,
+                &mut scratch.slots[i],
+                train,
+            );
         }
         let b = x.len() / self.output_classes;
         x.reshape([b, self.output_classes])
@@ -346,7 +351,10 @@ mod tests {
         let labels: Vec<usize> = (0..10).map(|i| i % 3).collect();
         let full = net.evaluate(&params, &images, &labels, 10);
         let chunked = net.evaluate(&params, &images, &labels, 3);
-        assert!((full - chunked).abs() < 1e-12, "chunking must not change accuracy");
+        assert!(
+            (full - chunked).abs() < 1e-12,
+            "chunking must not change accuracy"
+        );
     }
 
     #[test]

@@ -30,10 +30,7 @@ mod tests {
     fn shapes_and_params() {
         let net = mlp(10, &[16, 8], 3);
         assert_eq!(net.output_classes(), 3);
-        assert_eq!(
-            net.param_len(),
-            10 * 16 + 16 + 16 * 8 + 8 + 8 * 3 + 3
-        );
+        assert_eq!(net.param_len(), 10 * 16 + 16 + 16 * 8 + 8 + 8 * 3 + 3);
     }
 
     #[test]

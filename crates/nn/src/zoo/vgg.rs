@@ -11,13 +11,7 @@ use crate::network::Network;
 /// # Panics
 /// Panics if the input resolution cannot survive one halving per stage, or
 /// any size is zero.
-pub fn vgg(
-    stage_widths: &[usize],
-    head: usize,
-    in_c: usize,
-    hw: usize,
-    classes: usize,
-) -> Network {
+pub fn vgg(stage_widths: &[usize], head: usize, in_c: usize, hw: usize, classes: usize) -> Network {
     assert!(!stage_widths.is_empty(), "vgg needs at least one stage");
     assert!(head > 0 && classes > 0, "zero-sized vgg head");
     assert!(

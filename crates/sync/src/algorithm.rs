@@ -81,6 +81,10 @@ pub struct AlgoSnapshot {
     pub center_prev: Vec<f32>,
     /// All replicas.
     pub replicas: Vec<Vec<f32>>,
+    /// Algorithm-specific auxiliary buffers beyond centre and replicas:
+    /// S-SGD stores its optimiser velocity here, hierarchical SMA its
+    /// per-group reference models. Empty for flat SMA.
+    pub aux: Vec<Vec<f32>>,
     /// The iteration counter (the τ phase).
     pub iter: u64,
 }

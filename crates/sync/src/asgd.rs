@@ -110,7 +110,7 @@ mod tests {
         a.step(&[vec![1.0]], 0.1); // model: -0.1
         a.step(&[vec![1.0]], 0.1); // model: -0.2
         a.step(&[vec![1.0]], 0.1); // model: -0.3
-        // Worker reads the snapshot from 2 steps ago (-0.1).
+                                   // Worker reads the snapshot from 2 steps ago (-0.1).
         assert!((a.replica(0)[0] + 0.1).abs() < 1e-6);
         assert!((a.consensus()[0] + 0.3).abs() < 1e-6);
     }

@@ -17,7 +17,7 @@
 //! Integration tests verify it tracks flat SMA's convergence, which is why
 //! the engine may use either interchangeably.
 
-use crate::algorithm::SyncAlgorithm;
+use crate::algorithm::{AlgoSnapshot, SyncAlgorithm};
 use crate::sma::SmaConfig;
 use crossbow_tensor::ops;
 
@@ -208,6 +208,66 @@ impl SyncAlgorithm for HierarchicalSma {
         self.groups[g].replicas.pop();
         true
     }
+
+    /// Replicas are flattened in [`Self::locate`] order; the per-group
+    /// reference models travel in `aux` (one entry per group), which also
+    /// records the group layout for restore.
+    fn snapshot(&self) -> Option<AlgoSnapshot> {
+        let mut replicas = Vec::with_capacity(self.k());
+        let mut aux = Vec::with_capacity(self.groups.len() + 1);
+        // aux[0] records the per-group replica counts so restore can
+        // verify the layout; the remaining entries are the references.
+        aux.push(
+            self.groups
+                .iter()
+                .map(|g| g.replicas.len() as f32)
+                .collect(),
+        );
+        for group in &self.groups {
+            replicas.extend(group.replicas.iter().cloned());
+            aux.push(group.reference.clone());
+        }
+        Some(AlgoSnapshot {
+            center: self.center.clone(),
+            center_prev: self.center_prev.clone(),
+            replicas,
+            aux,
+            iter: self.iter,
+        })
+    }
+
+    fn restore(&mut self, snapshot: &AlgoSnapshot) -> bool {
+        let len = self.center.len();
+        let Some(layout) = snapshot.aux.first() else {
+            return false;
+        };
+        let fits = snapshot.center.len() == len
+            && snapshot.center_prev.len() == len
+            && layout.len() == self.groups.len()
+            && snapshot.aux.len() == self.groups.len() + 1
+            && snapshot.aux[1..].iter().all(|r| r.len() == len)
+            && layout
+                .iter()
+                .zip(self.groups.iter())
+                .all(|(&n, g)| n as usize == g.replicas.len())
+            && snapshot.replicas.len() == self.k()
+            && snapshot.replicas.iter().all(|r| r.len() == len);
+        if !fits {
+            return false;
+        }
+        self.center.copy_from_slice(&snapshot.center);
+        self.center_prev.copy_from_slice(&snapshot.center_prev);
+        let mut next = 0usize;
+        for (group, reference) in self.groups.iter_mut().zip(&snapshot.aux[1..]) {
+            group.reference.copy_from_slice(reference);
+            for w in &mut group.replicas {
+                w.copy_from_slice(&snapshot.replicas[next]);
+                next += 1;
+            }
+        }
+        self.iter = snapshot.iter;
+        true
+    }
 }
 
 #[cfg(test)]
@@ -245,8 +305,7 @@ mod tests {
         let run_hier = || {
             let mut h = HierarchicalSma::new(vec![0.0], 2, 2, SmaConfig::default());
             for _ in 0..300 {
-                let grads: Vec<Vec<f32>> =
-                    (0..4).map(|j| vec![h.replica(j)[0] - target]).collect();
+                let grads: Vec<Vec<f32>> = (0..4).map(|j| vec![h.replica(j)[0] - target]).collect();
                 h.step(&grads, 0.05);
             }
             h.consensus()[0]
@@ -254,18 +313,14 @@ mod tests {
         let run_flat = || {
             let mut s = Sma::new(vec![0.0], 4, SmaConfig::default());
             for _ in 0..300 {
-                let grads: Vec<Vec<f32>> =
-                    (0..4).map(|j| vec![s.replica(j)[0] - target]).collect();
+                let grads: Vec<Vec<f32>> = (0..4).map(|j| vec![s.replica(j)[0] - target]).collect();
                 s.step(&grads, 0.05);
             }
             s.consensus()[0]
         };
         let (zh, zf) = (run_hier(), run_flat());
         assert!((zh - target).abs() < 0.1, "hierarchical z = {zh}");
-        assert!(
-            (zh - zf).abs() < 0.1,
-            "hierarchical {zh} tracks flat {zf}"
-        );
+        assert!((zh - zf).abs() < 0.1, "hierarchical {zh} tracks flat {zf}");
     }
 
     #[test]
@@ -290,6 +345,47 @@ mod tests {
         assert_eq!(h.groups[1].replicas.len(), 2);
         assert!(h.remove_replica());
         assert_eq!(h.k(), 3);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_exactly() {
+        let mut h = HierarchicalSma::new(vec![0.0, 0.0], 2, 2, SmaConfig::default());
+        for i in 0..7 {
+            let grads: Vec<Vec<f32>> = (0..4)
+                .map(|j| vec![0.1 * (i + j) as f32, -0.05 * j as f32])
+                .collect();
+            h.step(&grads, 0.05);
+        }
+        let snap = h.snapshot().expect("hierarchical SMA snapshots");
+        let mut fresh = HierarchicalSma::new(vec![0.0, 0.0], 2, 2, SmaConfig::default());
+        assert!(fresh.restore(&snap));
+        // Both must evolve identically from here.
+        let grads = vec![vec![0.3, -0.2]; 4];
+        h.step(&grads, 0.05);
+        fresh.step(&grads, 0.05);
+        assert_eq!(h.consensus(), fresh.consensus());
+        for j in 0..4 {
+            assert_eq!(h.replica(j), fresh.replica(j));
+        }
+        assert_eq!(h.reference(0), fresh.reference(0));
+        assert_eq!(h.reference(1), fresh.reference(1));
+    }
+
+    #[test]
+    fn restore_refuses_layout_mismatch() {
+        let h = HierarchicalSma::new(vec![0.0], 2, 2, SmaConfig::default());
+        let snap = h.snapshot().unwrap();
+        // Different group count.
+        let mut other = HierarchicalSma::new(vec![0.0], 4, 1, SmaConfig::default());
+        assert!(!other.restore(&snap));
+        // Different parameter length.
+        let mut wider = HierarchicalSma::new(vec![0.0, 0.0], 2, 2, SmaConfig::default());
+        assert!(!wider.restore(&snap));
+        // Missing layout record.
+        let mut torn = snap.clone();
+        torn.aux.clear();
+        let mut same = HierarchicalSma::new(vec![0.0], 2, 2, SmaConfig::default());
+        assert!(!same.restore(&torn));
     }
 
     #[test]

@@ -40,4 +40,4 @@ pub use optimizer::{Sgd, SgdConfig};
 pub use schedule::LrSchedule;
 pub use sma::{easgd, Sma, SmaConfig};
 pub use ssgd::SSgd;
-pub use trainer::{train, GuardConfig, TrainerConfig, TrainingCurve};
+pub use trainer::{resume, train, CheckpointConfig, GuardConfig, TrainerConfig, TrainingCurve};

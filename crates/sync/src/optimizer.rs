@@ -77,6 +77,22 @@ impl Sgd {
     pub fn reset(&mut self) {
         self.velocity.iter_mut().for_each(|v| *v = 0.0);
     }
+
+    /// The accumulated momentum buffer (checkpointed so a resumed run
+    /// continues with the exact velocity, not a cold restart).
+    pub fn velocity(&self) -> &[f32] {
+        &self.velocity
+    }
+
+    /// Replaces the momentum buffer; refuses (returning `false`) a buffer
+    /// of the wrong length.
+    pub fn set_velocity(&mut self, velocity: &[f32]) -> bool {
+        if velocity.len() != self.velocity.len() {
+            return false;
+        }
+        self.velocity.copy_from_slice(velocity);
+        true
+    }
 }
 
 #[cfg(test)]
@@ -93,10 +109,13 @@ mod tests {
 
     #[test]
     fn momentum_accumulates_velocity() {
-        let mut opt = Sgd::new(1, SgdConfig {
-            momentum: 0.9,
-            weight_decay: 0.0,
-        });
+        let mut opt = Sgd::new(
+            1,
+            SgdConfig {
+                momentum: 0.9,
+                weight_decay: 0.0,
+            },
+        );
         let mut w = vec![0.0f32];
         opt.step(&mut w, &[1.0], 0.1);
         assert!((w[0] + 0.1).abs() < 1e-6);
@@ -107,10 +126,13 @@ mod tests {
 
     #[test]
     fn weight_decay_shrinks_params() {
-        let mut opt = Sgd::new(1, SgdConfig {
-            momentum: 0.0,
-            weight_decay: 0.1,
-        });
+        let mut opt = Sgd::new(
+            1,
+            SgdConfig {
+                momentum: 0.0,
+                weight_decay: 0.1,
+            },
+        );
         let mut w = vec![1.0f32];
         opt.step(&mut w, &[0.0], 0.5);
         assert!((w[0] - 0.95).abs() < 1e-6);
@@ -126,6 +148,21 @@ mod tests {
         opt.step(&mut w, &[0.0], 0.1);
         // With zero gradient and reset velocity only decay acts (w ~ 0).
         assert!((w[0] - before).abs() < 1e-5);
+    }
+
+    #[test]
+    fn velocity_round_trips_and_rejects_wrong_length() {
+        let mut opt = Sgd::new(2, SgdConfig::paper_default());
+        let mut w = vec![0.0f32, 0.0];
+        opt.step(&mut w, &[1.0, -1.0], 0.1);
+        let saved = opt.velocity().to_vec();
+        let mut resumed = Sgd::new(2, SgdConfig::paper_default());
+        assert!(resumed.set_velocity(&saved));
+        assert!(!resumed.set_velocity(&[0.0; 3]));
+        let mut w2 = w.clone();
+        opt.step(&mut w, &[0.5, 0.5], 0.1);
+        resumed.step(&mut w2, &[0.5, 0.5], 0.1);
+        assert_eq!(w, w2, "restored velocity continues identically");
     }
 
     #[test]

@@ -109,4 +109,55 @@ mod tests {
         assert!(s.changes_at(20));
         assert!(!s.changes_at(21));
     }
+
+    /// `changes_at` must be true exactly where `lr_at` actually moves:
+    /// every restart (§3.2) and every checkpoint-resume decision keys off
+    /// this agreement, so sweep every epoch rather than spot-check.
+    fn changes_match_lr_everywhere(s: &LrSchedule, horizon: usize) {
+        for epoch in 0..=horizon {
+            let moved = epoch > 0 && s.lr_at(epoch) != s.lr_at(epoch - 1);
+            assert_eq!(
+                s.changes_at(epoch),
+                moved,
+                "changes_at({epoch}) disagrees with lr_at ({} vs {})",
+                s.lr_at(epoch.saturating_sub(1)),
+                s.lr_at(epoch),
+            );
+        }
+    }
+
+    #[test]
+    fn resnet_changes_agree_with_lr_at_every_boundary() {
+        let s = LrSchedule::resnet32();
+        changes_match_lr_everywhere(&s, 200);
+        // The paper's boundaries, exactly — and nowhere else.
+        let boundaries: Vec<usize> = (0..=200).filter(|&e| s.changes_at(e)).collect();
+        assert_eq!(boundaries, vec![80, 120]);
+    }
+
+    #[test]
+    fn vgg_changes_agree_with_lr_at_every_boundary() {
+        let s = LrSchedule::vgg();
+        changes_match_lr_everywhere(&s, 200);
+        let boundaries: Vec<usize> = (0..=200).filter(|&e| s.changes_at(e)).collect();
+        let expected: Vec<usize> = (1..=10).map(|i| i * 20).collect();
+        assert_eq!(boundaries, expected);
+    }
+
+    #[test]
+    fn step_decay_handles_duplicate_and_zero_boundaries() {
+        // A boundary at epoch 0 scales the base immediately and is never
+        // reported as a change; duplicate boundaries apply the factor
+        // twice at the same epoch.
+        let s = LrSchedule::StepDecay {
+            base: 0.1,
+            boundaries: vec![0, 5, 5],
+            factor: 0.5,
+        };
+        changes_match_lr_everywhere(&s, 20);
+        assert!((s.lr_at(0) - 0.05).abs() < 1e-9);
+        assert!((s.lr_at(5) - 0.0125).abs() < 1e-9);
+        assert!(!s.changes_at(0));
+        assert!(s.changes_at(5));
+    }
 }

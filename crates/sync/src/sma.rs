@@ -207,16 +207,23 @@ impl SyncAlgorithm for Sma {
             center: self.center.clone(),
             center_prev: self.center_prev.clone(),
             replicas: self.replicas.clone(),
+            aux: Vec::new(),
             iter: self.iter,
         })
     }
 
+    /// Per the trait contract, a snapshot that cannot fit this algorithm
+    /// (taken from a different model) is refused with `false`, leaving the
+    /// current state untouched — it does not panic.
     fn restore(&mut self, snapshot: &AlgoSnapshot) -> bool {
-        assert_eq!(
-            snapshot.center.len(),
-            self.center.len(),
-            "snapshot from a different model"
-        );
+        let len = self.center.len();
+        let fits = snapshot.center.len() == len
+            && snapshot.center_prev.len() == len
+            && !snapshot.replicas.is_empty()
+            && snapshot.replicas.iter().all(|r| r.len() == len);
+        if !fits {
+            return false;
+        }
         self.center.copy_from_slice(&snapshot.center);
         self.center_prev.copy_from_slice(&snapshot.center_prev);
         self.replicas = snapshot.replicas.clone();
@@ -296,7 +303,10 @@ mod tests {
         let z1 = e.consensus()[0];
         e.replicas[0] = vec![z1];
         e.step(&zeros(1, 1), 0.0);
-        assert!((e.consensus()[0] - z1).abs() < 1e-6, "no drift without momentum");
+        assert!(
+            (e.consensus()[0] - z1).abs() < 1e-6,
+            "no drift without momentum"
+        );
         assert_eq!(e.name(), "ea-sgd");
     }
 
@@ -366,8 +376,7 @@ mod tests {
         // are exact; z must approach 3.
         let mut sma = Sma::new(vec![0.0], 4, SmaConfig::default());
         for _ in 0..300 {
-            let grads: Vec<Vec<f32>> =
-                (0..4).map(|j| vec![sma.replica(j)[0] - 3.0]).collect();
+            let grads: Vec<Vec<f32>> = (0..4).map(|j| vec![sma.replica(j)[0] - 3.0]).collect();
             sma.step(&grads, 0.05);
         }
         let z = sma.consensus()[0];
@@ -378,9 +387,7 @@ mod tests {
     fn snapshot_restore_round_trips() {
         let mut sma = Sma::new(vec![0.0, 0.0], 3, SmaConfig::default());
         for i in 0..5 {
-            let grads: Vec<Vec<f32>> = (0..3)
-                .map(|j| vec![0.1 * (i + j) as f32, -0.2])
-                .collect();
+            let grads: Vec<Vec<f32>> = (0..3).map(|j| vec![0.1 * (i + j) as f32, -0.2]).collect();
             sma.step(&grads, 0.1);
         }
         let snap = sma.snapshot().expect("sma supports snapshots");
@@ -402,13 +409,39 @@ mod tests {
     }
 
     #[test]
+    fn mismatched_snapshot_is_refused_not_panicking() {
+        // Regression: `restore` used to assert on a shape mismatch; the
+        // trait contract says it must return `false` and leave the state
+        // untouched.
+        let mut sma = Sma::new(vec![1.0, 2.0], 2, SmaConfig::default());
+        let before = sma.snapshot().expect("sma supports snapshots");
+        let foreign = Sma::new(vec![0.0; 3], 2, SmaConfig::default())
+            .snapshot()
+            .expect("snapshot");
+        assert!(!sma.restore(&foreign), "wrong model size must be refused");
+        // A torn snapshot (replica length disagrees with the centre) is
+        // refused too.
+        let mut torn = before.clone();
+        torn.replicas[1] = vec![0.0; 5];
+        assert!(!sma.restore(&torn));
+        let mut empty = before.clone();
+        empty.replicas.clear();
+        assert!(!sma.restore(&empty), "a snapshot without replicas is torn");
+        assert_eq!(sma.snapshot().unwrap(), before, "state left untouched");
+    }
+
+    #[test]
     fn alpha_defaults_to_one_over_k() {
         let sma = Sma::new(vec![0.0], 8, SmaConfig::default());
         assert!((sma.alpha() - 0.125).abs() < 1e-9);
-        let sma = Sma::new(vec![0.0], 8, SmaConfig {
-            alpha: Some(0.3),
-            ..SmaConfig::default()
-        });
+        let sma = Sma::new(
+            vec![0.0],
+            8,
+            SmaConfig {
+                alpha: Some(0.3),
+                ..SmaConfig::default()
+            },
+        );
         assert!((sma.alpha() - 0.3).abs() < 1e-9);
     }
 }

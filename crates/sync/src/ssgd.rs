@@ -7,7 +7,7 @@
 //! replicas are identical by construction — the tight coupling that forces
 //! the aggregate batch size to grow with the number of GPUs.
 
-use crate::algorithm::SyncAlgorithm;
+use crate::algorithm::{AlgoSnapshot, SyncAlgorithm};
 use crate::optimizer::{Sgd, SgdConfig};
 
 /// Parallel S-SGD over `k` batch partitions.
@@ -68,6 +68,32 @@ impl SyncAlgorithm for SSgd {
     fn consensus(&self) -> &[f32] {
         &self.model
     }
+
+    /// S-SGD's full state is the model plus the optimiser's momentum
+    /// buffer; the latter travels in `aux[0]`. There are no independent
+    /// replicas, so `replicas` stays empty and `center_prev` mirrors the
+    /// model.
+    fn snapshot(&self) -> Option<AlgoSnapshot> {
+        Some(AlgoSnapshot {
+            center: self.model.clone(),
+            center_prev: self.model.clone(),
+            replicas: Vec::new(),
+            aux: vec![self.opt.velocity().to_vec()],
+            iter: 0,
+        })
+    }
+
+    fn restore(&mut self, snapshot: &AlgoSnapshot) -> bool {
+        let len = self.model.len();
+        let Some(velocity) = snapshot.aux.first() else {
+            return false;
+        };
+        if snapshot.center.len() != len || velocity.len() != len {
+            return false;
+        }
+        self.model.copy_from_slice(&snapshot.center);
+        self.opt.set_velocity(velocity)
+    }
 }
 
 #[cfg(test)]
@@ -79,7 +105,12 @@ mod tests {
     fn replicas_are_always_identical() {
         let mut s = SSgd::new(vec![1.0, 2.0], 4, SgdConfig::plain());
         s.step(
-            &[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0], vec![0.0, 0.0]],
+            &[
+                vec![1.0, 0.0],
+                vec![0.0, 1.0],
+                vec![1.0, 1.0],
+                vec![0.0, 0.0],
+            ],
             0.1,
         );
         assert_eq!(replica_spread(&s), 0.0);
@@ -101,9 +132,7 @@ mod tests {
         // S-SGD over k partitions must match single-learner SGD whose
         // gradient is the mean of the partition gradients.
         let grads = [vec![0.2f32, -0.4], vec![0.6, 0.0]];
-        let mean: Vec<f32> = (0..2)
-            .map(|i| (grads[0][i] + grads[1][i]) / 2.0)
-            .collect();
+        let mean: Vec<f32> = (0..2).map(|i| (grads[0][i] + grads[1][i]) / 2.0).collect();
         let mut parallel = SSgd::new(vec![1.0, 1.0], 2, SgdConfig::paper_default());
         parallel.step(grads.as_ref(), 0.1);
         let mut sequential = SSgd::new(vec![1.0, 1.0], 1, SgdConfig::paper_default());
@@ -118,6 +147,34 @@ mod tests {
     fn wrong_gradient_count_panics() {
         let mut s = SSgd::new(vec![0.0], 2, SgdConfig::plain());
         s.step(&[vec![1.0]], 0.1);
+    }
+
+    #[test]
+    fn snapshot_carries_momentum() {
+        let mut s = SSgd::new(vec![0.0, 0.0], 2, SgdConfig::paper_default());
+        s.step(&[vec![1.0, -1.0], vec![0.5, 0.5]], 0.1);
+        let snap = s.snapshot().expect("s-sgd snapshots");
+        assert_eq!(snap.aux.len(), 1, "velocity rides in aux[0]");
+        let mut fresh = SSgd::new(vec![0.0, 0.0], 2, SgdConfig::paper_default());
+        assert!(fresh.restore(&snap));
+        s.step(&[vec![0.2, 0.2], vec![0.2, 0.2]], 0.1);
+        fresh.step(&[vec![0.2, 0.2], vec![0.2, 0.2]], 0.1);
+        assert_eq!(s.consensus(), fresh.consensus());
+    }
+
+    #[test]
+    fn restore_refuses_mismatched_snapshot() {
+        let s = SSgd::new(vec![0.0, 0.0], 2, SgdConfig::plain());
+        let snap = s.snapshot().unwrap();
+        let mut wider = SSgd::new(vec![0.0; 3], 2, SgdConfig::plain());
+        assert!(!wider.restore(&snap));
+        let mut torn = snap.clone();
+        torn.aux.clear();
+        let mut same = SSgd::new(vec![0.0, 0.0], 2, SgdConfig::plain());
+        assert!(!same.restore(&torn));
+        let mut bad_vel = snap;
+        bad_vel.aux[0].push(0.0);
+        assert!(!same.restore(&bad_vel));
     }
 
     #[test]

@@ -13,10 +13,14 @@
 
 use crate::algorithm::{AlgoSnapshot, SyncAlgorithm};
 use crate::schedule::LrSchedule;
+use crossbow_checkpoint::{
+    AlgoState, CheckpointError, CheckpointStore, DataCursor, RetentionPolicy, TrainingState,
+};
 use crossbow_data::{BatchSampler, Dataset};
 use crossbow_nn::Network;
 use crossbow_tensor::stats::WindowedMedian;
 use crossbow_tensor::Tensor;
+use std::path::PathBuf;
 
 /// Configuration of a training run.
 #[derive(Clone, Debug)]
@@ -45,6 +49,77 @@ pub struct TrainerConfig {
     /// Test hook: treat the losses of this (0-based) iteration as
     /// non-finite, simulating numerical divergence deterministically.
     pub inject_nan_at: Option<u64>,
+    /// Durable checkpointing to disk (`None` = off). Unlike the in-memory
+    /// divergence guard, these checkpoints survive a host crash; resume
+    /// with [`resume`] to continue bit-exactly.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Fault injection: simulate a host crash by abandoning the run after
+    /// this many *applied* iterations. The partial curve is returned;
+    /// durable checkpoints written so far stay on disk for [`resume`].
+    pub crash_after: Option<u64>,
+}
+
+/// Settings of durable (on-disk) checkpointing.
+///
+/// The trainer captures its *complete* state — central and replica
+/// models, optimiser momentum, divergence-guard snapshot, the data
+/// cursor, every RNG stream, and the curve so far — so a resumed run
+/// replays the identical sample/update sequence and produces a
+/// bit-identical [`TrainingCurve`].
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Directory the checkpoints live in (created on first save).
+    pub dir: PathBuf,
+    /// Write a periodic checkpoint every this many iterations (0 turns
+    /// periodic checkpoints off).
+    pub every: u64,
+    /// Also checkpoint at every epoch boundary (after evaluation and any
+    /// learning-rate restart), flagged so the retention policy can pin
+    /// them.
+    pub at_epoch_boundaries: bool,
+    /// Retention: keep the newest this many checkpoints (epoch-boundary
+    /// checkpoints are always kept).
+    pub keep_last: usize,
+    /// Recorded into every checkpoint so a resuming session can skip the
+    /// auto-tuner and recreate the same parallelism (0 = not recorded).
+    pub learners_per_gpu: u32,
+}
+
+impl CheckpointConfig {
+    /// Checkpoints into `dir` every 50 iterations plus at epoch
+    /// boundaries, keeping the last 3.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CheckpointConfig {
+            dir: dir.into(),
+            every: 50,
+            at_epoch_boundaries: true,
+            keep_last: 3,
+            learners_per_gpu: 0,
+        }
+    }
+
+    /// Sets the periodic interval (builder style).
+    pub fn every(mut self, every: u64) -> Self {
+        self.every = every;
+        self
+    }
+
+    /// Sets how many checkpoints to keep (builder style).
+    pub fn keep_last(mut self, keep_last: usize) -> Self {
+        self.keep_last = keep_last;
+        self
+    }
+
+    fn store(&self) -> CheckpointStore {
+        CheckpointStore::open(
+            &self.dir,
+            RetentionPolicy {
+                keep_last: self.keep_last,
+                keep_epoch_boundaries: true,
+            },
+        )
+        .expect("cannot open the checkpoint directory")
+    }
 }
 
 /// Settings of the divergence guard.
@@ -91,6 +166,8 @@ impl TrainerConfig {
             threads: 0,
             guard: None,
             inject_nan_at: None,
+            checkpoint: None,
+            crash_after: None,
         }
     }
 
@@ -117,10 +194,22 @@ impl TrainerConfig {
         self.guard = Some(guard);
         self
     }
+
+    /// Enables durable checkpointing (builder style).
+    pub fn with_checkpointing(mut self, checkpoint: CheckpointConfig) -> Self {
+        self.checkpoint = Some(checkpoint);
+        self
+    }
+
+    /// Injects a simulated host crash (builder style).
+    pub fn with_crash_after(mut self, iterations: u64) -> Self {
+        self.crash_after = Some(iterations);
+        self
+    }
 }
 
 /// The result of a training run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TrainingCurve {
     /// Algorithm name.
     pub algorithm: &'static str,
@@ -149,10 +238,7 @@ impl TrainingCurve {
 
     /// Best accuracy along the curve.
     pub fn best_accuracy(&self) -> f64 {
-        self.epoch_accuracy
-            .iter()
-            .copied()
-            .fold(0.0f64, f64::max)
+        self.epoch_accuracy.iter().copied().fold(0.0f64, f64::max)
     }
 }
 
@@ -167,6 +253,145 @@ pub fn train(
     algo: &mut dyn SyncAlgorithm,
     config: &TrainerConfig,
 ) -> TrainingCurve {
+    run(net, train_set, test_set, algo, config, None)
+}
+
+/// Resumes training from the newest valid checkpoint in
+/// `config.checkpoint.dir`, or trains from scratch when none is usable.
+///
+/// A checkpoint is used only when it matches the run: same seed, same
+/// algorithm, same parameter count. The resumed run replays the exact
+/// sample and update stream the interrupted run would have produced, so
+/// its [`TrainingCurve`] is bit-identical to an uninterrupted run of the
+/// same configuration. When *every* checkpoint on disk is corrupt the run
+/// starts fresh (the durable state is unusable, not merely absent).
+///
+/// # Panics
+/// Panics on configuration/dataset/network mismatches or when the
+/// checkpoint directory itself cannot be read.
+pub fn resume(
+    net: &Network,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    algo: &mut dyn SyncAlgorithm,
+    config: &TrainerConfig,
+) -> TrainingCurve {
+    let restored = config.checkpoint.as_ref().and_then(|ckpt| {
+        match ckpt.store().load_latest() {
+            Ok(Some(loaded)) => {
+                let st = loaded.state;
+                let fits = st.seed == config.seed
+                    && st.algorithm == algo.name()
+                    && st.algo.center.len() == algo.param_len()
+                    && !st.rngs.is_empty();
+                fits.then_some(st)
+            }
+            Ok(None) => None,
+            // Every file failed validation: durable state exists but none
+            // of it is trustworthy — start over rather than guess.
+            Err(CheckpointError::Corrupt(_)) => None,
+            Err(e @ CheckpointError::Io(_)) => {
+                panic!("cannot read the checkpoint directory: {e}")
+            }
+        }
+    });
+    run(net, train_set, test_set, algo, config, restored)
+}
+
+/// Mutable loop state beyond the curve itself — bundled so the
+/// checkpoint capture sees one coherent picture of the run.
+struct Progress {
+    /// Counts every loop pass (unlike `curve.iterations`, which counts
+    /// applied steps), so the NaN-injection hook fires exactly once.
+    attempt: u64,
+    current_epoch: usize,
+    epoch_loss_sum: f64,
+    epoch_loss_count: u64,
+    best_accuracy: f64,
+    /// The divergence guard's in-memory rollback snapshot.
+    guard: Option<AlgoSnapshot>,
+}
+
+fn snapshot_to_state(snap: &AlgoSnapshot) -> AlgoState {
+    AlgoState {
+        center: snap.center.clone(),
+        center_prev: snap.center_prev.clone(),
+        replicas: snap.replicas.clone(),
+        aux: snap.aux.clone(),
+        iter: snap.iter,
+    }
+}
+
+fn state_to_snapshot(state: &AlgoState) -> AlgoSnapshot {
+    AlgoSnapshot {
+        center: state.center.clone(),
+        center_prev: state.center_prev.clone(),
+        replicas: state.replicas.clone(),
+        aux: state.aux.clone(),
+        iter: state.iter,
+    }
+}
+
+/// Captures the run's complete durable state. Returns `None` when the
+/// algorithm does not support snapshots (nothing useful to persist).
+fn capture_state(
+    algo: &dyn SyncAlgorithm,
+    sampler: &BatchSampler,
+    curve: &TrainingCurve,
+    config: &TrainerConfig,
+    progress: &Progress,
+) -> Option<TrainingState> {
+    let snap = algo.snapshot()?;
+    let (epoch, batch) = sampler.cursor();
+    Some(TrainingState {
+        seed: config.seed,
+        algorithm: algo.name().to_string(),
+        iterations: curve.iterations,
+        samples_processed: curve.samples_processed,
+        attempt: progress.attempt,
+        current_epoch: progress.current_epoch as u64,
+        epoch_loss_sum: progress.epoch_loss_sum,
+        epoch_loss_count: progress.epoch_loss_count,
+        best_accuracy: progress.best_accuracy,
+        rollbacks: curve.rollbacks,
+        epochs_to_target: curve.epochs_to_target.map(|e| e as u64),
+        epoch_accuracy: curve.epoch_accuracy.clone(),
+        epoch_loss: curve.epoch_loss.clone(),
+        cursor: DataCursor {
+            epoch: epoch as u64,
+            batch: batch as u64,
+        },
+        algo: snapshot_to_state(&snap),
+        guard: progress.guard.as_ref().map(snapshot_to_state),
+        rngs: vec![sampler.rng_state()],
+        learners_per_gpu: config.checkpoint.as_ref().map_or(0, |c| c.learners_per_gpu),
+    })
+}
+
+fn save_checkpoint(
+    store: &CheckpointStore,
+    algo: &dyn SyncAlgorithm,
+    sampler: &BatchSampler,
+    curve: &TrainingCurve,
+    config: &TrainerConfig,
+    progress: &Progress,
+    epoch_boundary: bool,
+) {
+    if let Some(state) = capture_state(algo, sampler, curve, config, progress) {
+        store
+            .save(&state, epoch_boundary)
+            .expect("checkpoint write failed");
+    }
+}
+
+fn run(
+    net: &Network,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    algo: &mut dyn SyncAlgorithm,
+    config: &TrainerConfig,
+    restored: Option<TrainingState>,
+) -> TrainingCurve {
     assert_eq!(
         algo.param_len(),
         net.param_len(),
@@ -178,12 +403,8 @@ pub fn train(
         "dataset does not match the network input"
     );
     assert!(config.max_epochs > 0, "need at least one epoch");
-    let mut sampler = BatchSampler::new(
-        train_set.len(),
-        config.batch_per_learner,
-        true,
-        config.seed,
-    );
+    let mut sampler =
+        BatchSampler::new(train_set.len(), config.batch_per_learner, true, config.seed);
     let test_images = test_set.images_tensor();
     let test_labels = test_set.labels().to_vec();
 
@@ -198,17 +419,57 @@ pub fn train(
         rollbacks: 0,
     };
     let mut median5 = WindowedMedian::new(5);
-    let mut epoch_loss_sum = 0.0f64;
-    let mut epoch_loss_count = 0u64;
-    let mut current_epoch = 0usize;
-    // Divergence guard: the initial model is the first checkpoint, so a
-    // run that diverges immediately can still roll back somewhere.
-    let mut checkpoint: Option<AlgoSnapshot> =
-        config.guard.and_then(|_| algo.snapshot());
-    let mut best_accuracy = 0.0f64;
-    // Counts every loop pass (unlike `curve.iterations`, which counts
-    // applied steps), so the NaN-injection hook fires exactly once.
-    let mut attempt = 0u64;
+    let mut progress = Progress {
+        attempt: 0,
+        current_epoch: 0,
+        epoch_loss_sum: 0.0,
+        epoch_loss_count: 0,
+        best_accuracy: 0.0,
+        // Divergence guard: the initial model is the first checkpoint, so
+        // a run that diverges immediately can still roll back somewhere.
+        guard: config.guard.and_then(|_| algo.snapshot()),
+    };
+    let store = config.checkpoint.as_ref().map(CheckpointConfig::store);
+
+    if let Some(st) = restored {
+        assert!(
+            algo.restore(&state_to_snapshot(&st.algo)),
+            "checkpoint does not fit this algorithm"
+        );
+        sampler.seek(st.cursor.epoch as usize, st.cursor.batch as usize);
+        // The sampler replays its RNG from the seed; the replayed stream
+        // must land exactly where the interrupted run left it.
+        assert_eq!(
+            sampler.rng_state(),
+            st.rngs[0],
+            "checkpoint data cursor is inconsistent with the sampler stream"
+        );
+        curve.iterations = st.iterations;
+        curve.samples_processed = st.samples_processed;
+        curve.epoch_accuracy.clone_from(&st.epoch_accuracy);
+        curve.epoch_loss.clone_from(&st.epoch_loss);
+        curve.epochs_to_target = st.epochs_to_target.map(|e| e as usize);
+        curve.rollbacks = st.rollbacks;
+        let window = curve.epoch_accuracy.len().saturating_sub(5);
+        for &acc in &curve.epoch_accuracy[window..] {
+            median5.push(acc);
+        }
+        progress.attempt = st.attempt;
+        progress.current_epoch = st.current_epoch as usize;
+        progress.epoch_loss_sum = st.epoch_loss_sum;
+        progress.epoch_loss_count = st.epoch_loss_count;
+        progress.best_accuracy = st.best_accuracy;
+        progress.guard = match &st.guard {
+            Some(g) => Some(state_to_snapshot(g)),
+            None => config.guard.and_then(|_| algo.snapshot()),
+        };
+        // A checkpoint written at completion resumes to a finished run.
+        let done_target = config.target_accuracy.is_some() && curve.epochs_to_target.is_some();
+        if curve.epoch_accuracy.len() >= config.max_epochs || done_target {
+            curve.final_accuracy = curve.epoch_accuracy.last().copied().unwrap_or(0.0);
+            return curve;
+        }
+    }
 
     loop {
         let k = algo.k();
@@ -218,19 +479,19 @@ pub fn train(
             let (idx, _) = sampler.next_batch();
             batches.push(train_set.gather(&idx));
         }
-        let lr = config.schedule.lr_at(current_epoch);
+        let lr = config.schedule.lr_at(progress.current_epoch);
         let losses = compute_gradients_parallel(net, algo, &batches, config);
         let (grads, batch_losses) = losses;
-        let diverged = config.inject_nan_at == Some(attempt)
+        let diverged = config.inject_nan_at == Some(progress.attempt)
             || batch_losses.iter().any(|l| !l.is_finite());
-        attempt += 1;
+        progress.attempt += 1;
         if diverged {
             if let Some(g) = config.guard {
                 if curve.rollbacks < g.max_rollbacks {
                     // Roll back to the checkpoint and restart averaging
                     // from its `z` via the §3.2 restart path. The poisoned
                     // gradients are discarded, not applied.
-                    if let Some(snap) = &checkpoint {
+                    if let Some(snap) = &progress.guard {
                         if algo.restore(snap) {
                             algo.on_lr_change();
                         }
@@ -239,7 +500,7 @@ pub fn train(
                     // The restored model scores lower than the pre-fault
                     // best; rebuild the collapse baseline from here so the
                     // rollback itself is not mistaken for a collapse.
-                    best_accuracy = 0.0;
+                    progress.best_accuracy = 0.0;
                     continue;
                 }
             }
@@ -247,8 +508,8 @@ pub fn train(
             // the historic fail-loudly behaviour.
         }
         for l in batch_losses {
-            epoch_loss_sum += f64::from(l);
-            epoch_loss_count += 1;
+            progress.epoch_loss_sum += f64::from(l);
+            progress.epoch_loss_count += 1;
         }
         algo.step(&grads, lr);
         curve.iterations += 1;
@@ -256,12 +517,13 @@ pub fn train(
         if let Some(g) = config.guard {
             if curve.iterations.is_multiple_of(g.checkpoint_every) {
                 if let Some(snap) = algo.snapshot() {
-                    checkpoint = Some(snap);
+                    progress.guard = Some(snap);
                 }
             }
         }
 
-        if sampler.epoch() > current_epoch {
+        let mut saved_this_iter = false;
+        if sampler.epoch() > progress.current_epoch {
             // Epoch boundary: evaluate, record, handle schedule changes.
             let acc = net.evaluate(
                 algo.consensus(),
@@ -270,27 +532,29 @@ pub fn train(
                 config.eval_batch,
             );
             curve.epoch_accuracy.push(acc);
-            curve.epoch_loss.push(if epoch_loss_count > 0 {
-                (epoch_loss_sum / epoch_loss_count as f64) as f32
+            curve.epoch_loss.push(if progress.epoch_loss_count > 0 {
+                (progress.epoch_loss_sum / progress.epoch_loss_count as f64) as f32
             } else {
                 0.0
             });
-            epoch_loss_sum = 0.0;
-            epoch_loss_count = 0;
+            progress.epoch_loss_sum = 0.0;
+            progress.epoch_loss_count = 0;
             if let Some(g) = config.guard {
                 // Accuracy collapse (e.g. silent numeric corruption):
                 // restore the checkpoint and restart averaging.
-                if acc + g.collapse_drop < best_accuracy && curve.rollbacks < g.max_rollbacks {
-                    if let Some(snap) = &checkpoint {
+                if acc + g.collapse_drop < progress.best_accuracy
+                    && curve.rollbacks < g.max_rollbacks
+                {
+                    if let Some(snap) = &progress.guard {
                         if algo.restore(snap) {
                             algo.on_lr_change();
                         }
                     }
                     curve.rollbacks += 1;
-                    best_accuracy = 0.0;
+                    progress.best_accuracy = 0.0;
                 }
             }
-            best_accuracy = best_accuracy.max(acc);
+            progress.best_accuracy = progress.best_accuracy.max(acc);
             median5.push(acc);
             let finished_epoch = curve.epoch_accuracy.len();
             if let Some(target) = config.target_accuracy {
@@ -302,16 +566,41 @@ pub fn train(
                     }
                 }
             }
-            let done_target =
-                config.target_accuracy.is_some() && curve.epochs_to_target.is_some();
+            let done_target = config.target_accuracy.is_some() && curve.epochs_to_target.is_some();
             if finished_epoch >= config.max_epochs || done_target {
                 curve.final_accuracy = acc;
+                // A final checkpoint: resuming a finished run is a no-op
+                // instead of silently training past its stopping point.
+                if let Some(store) = &store {
+                    save_checkpoint(store, algo, &sampler, &curve, config, &progress, true);
+                }
                 return curve;
             }
-            current_epoch = sampler.epoch();
-            if config.schedule.changes_at(current_epoch) {
+            progress.current_epoch = sampler.epoch();
+            if config.schedule.changes_at(progress.current_epoch) {
                 algo.on_lr_change();
             }
+            // Saved *after* the learning-rate restart so the restored
+            // state reflects the post-restart algorithm, not a hybrid.
+            if let (Some(store), Some(ckpt)) = (&store, &config.checkpoint) {
+                if ckpt.at_epoch_boundaries {
+                    save_checkpoint(store, algo, &sampler, &curve, config, &progress, true);
+                    saved_this_iter = true;
+                }
+            }
+        }
+        if !saved_this_iter {
+            if let (Some(store), Some(ckpt)) = (&store, &config.checkpoint) {
+                if ckpt.every > 0 && curve.iterations.is_multiple_of(ckpt.every) {
+                    save_checkpoint(store, algo, &sampler, &curve, config, &progress, false);
+                }
+            }
+        }
+        if config.crash_after == Some(curve.iterations) {
+            // Simulated host crash: abandon the run mid-flight. Durable
+            // checkpoints survive on disk; the returned curve is partial.
+            curve.final_accuracy = curve.epoch_accuracy.last().copied().unwrap_or(0.0);
+            return curve;
         }
     }
 }
@@ -367,13 +656,8 @@ fn compute_gradients_parallel(
                     let mut scratch = net.scratch();
                     for (j, grad, loss) in thread_slots {
                         let (images, labels) = &batches[j];
-                        let (l, _) = net.loss_and_grad(
-                            replicas[j],
-                            images,
-                            labels,
-                            grad,
-                            &mut scratch,
-                        );
+                        let (l, _) =
+                            net.loss_and_grad(replicas[j], images, labels, grad, &mut scratch);
                         *loss = l;
                         if wd != 0.0 {
                             crossbow_tensor::ops::axpy(wd, replicas[j], grad);
@@ -564,6 +848,48 @@ mod tests {
         };
         let curve = train(&net, &train_set, &test_set, &mut algo, &cfg);
         assert_eq!(curve.rollbacks, 0, "cap honoured");
+    }
+
+    #[test]
+    fn crash_and_resume_reproduces_the_curve_bit_exactly() {
+        let (net, train_set, test_set) = setup();
+        let dir =
+            std::env::temp_dir().join(format!("crossbow-trainer-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let checkpointed = || {
+            TrainerConfig::new(8, 6)
+                .with_seed(11)
+                .with_checkpointing(CheckpointConfig::new(&dir).every(10))
+        };
+        let fresh_algo = || {
+            let init = net.init_params(&mut Rng::new(3));
+            Sma::new(init, 2, SmaConfig::default())
+        };
+        let mut algo = fresh_algo();
+        let uninterrupted = train(
+            &net,
+            &train_set,
+            &test_set,
+            &mut algo,
+            &TrainerConfig::new(8, 6).with_seed(11),
+        );
+        let mut algo = fresh_algo();
+        let crashed = train(
+            &net,
+            &train_set,
+            &test_set,
+            &mut algo,
+            &checkpointed().with_crash_after(107),
+        );
+        assert!(crashed.epochs() < 6, "the crash cut the run short");
+        let mut algo = fresh_algo();
+        let resumed = resume(&net, &train_set, &test_set, &mut algo, &checkpointed());
+        assert_eq!(resumed, uninterrupted, "resume must be bit-exact");
+        // Resuming the finished run changes nothing.
+        let mut algo = fresh_algo();
+        let again = resume(&net, &train_set, &test_set, &mut algo, &checkpointed());
+        assert_eq!(again, uninterrupted);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -203,7 +203,13 @@ mod tests {
     #[test]
     fn blocked_matches_naive_over_sizes() {
         let mut rng = Rng::new(1);
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (17, 9, 33), (64, 64, 64), (65, 70, 130)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (17, 9, 33),
+            (64, 64, 64),
+            (65, 70, 130),
+        ] {
             let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
             let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
             let mut c1: Vec<f32> = (0..m * n).map(|_| rng.normal()).collect();

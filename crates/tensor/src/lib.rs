@@ -28,6 +28,6 @@ pub mod shape;
 pub mod stats;
 pub mod tensor;
 
-pub use rng::Rng;
+pub use rng::{Rng, RngState};
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -114,7 +114,11 @@ pub fn zero(x: &mut [f32]) {
 /// Polyak momentum update used by Eq. (3) and SMA's central-model step:
 /// `velocity = momentum * velocity + update; target += velocity`.
 pub fn momentum_step(target: &mut [f32], velocity: &mut [f32], update: &[f32], momentum: f32) {
-    assert_eq!(target.len(), velocity.len(), "momentum_step length mismatch");
+    assert_eq!(
+        target.len(),
+        velocity.len(),
+        "momentum_step length mismatch"
+    );
     assert_eq!(target.len(), update.len(), "momentum_step length mismatch");
     for ((t, v), &u) in target.iter_mut().zip(velocity.iter_mut()).zip(update) {
         *v = momentum * *v + u;

@@ -18,9 +18,8 @@ fn main() {
     println!();
     for benchmark in Benchmark::all() {
         let batch = benchmark.profile.default_batch;
-        let probe = |m: usize| {
-            simulate(&SimConfig::crossbow(benchmark.profile, 1, m, batch)).throughput
-        };
+        let probe =
+            |m: usize| simulate(&SimConfig::crossbow(benchmark.profile, 1, m, batch)).throughput;
         let base = probe(1);
         let (m, observations) = tune_to_convergence(base * 0.05, 8, probe);
         println!("{:>10} (b = {batch}):", benchmark.name);

@@ -26,7 +26,11 @@ fn main() {
         "   injected {} fault(s), {} sync retr{}, {} dropped syncs",
         report.faults.injected.collective_faults,
         report.faults.sync_retries,
-        if report.faults.sync_retries == 1 { "y" } else { "ies" },
+        if report.faults.sync_retries == 1 {
+            "y"
+        } else {
+            "ies"
+        },
         report.faults.dropped_syncs,
     );
     println!("   throughput {:.0} images/s\n", report.throughput);
@@ -45,9 +49,7 @@ fn main() {
     println!("-- straggler window on GPU 1 --");
     println!(
         "   {} stretched kernel(s), {} quarantine(s), {} rejoin(s)",
-        report.faults.injected.straggler_kernels,
-        report.faults.quarantines,
-        report.faults.rejoins,
+        report.faults.injected.straggler_kernels, report.faults.quarantines, report.faults.rejoins,
     );
     println!("   throughput {:.0} images/s\n", report.throughput);
 
@@ -63,10 +65,7 @@ fn main() {
         .with_robustness(robustness);
     let report = Session::new(config).run();
     println!("-- self-healing session (seed-derived fault plan) --");
-    println!(
-        "   sim faults: {:?}",
-        report.sim.faults,
-    );
+    println!("   sim faults: {:?}", report.sim.faults,);
     println!(
         "   {} rollback(s), final accuracy {:.3}",
         report.curve.rollbacks, report.curve.final_accuracy,

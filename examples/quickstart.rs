@@ -32,7 +32,8 @@ fn main() {
         report.sim.utilisation * 100.0
     );
     println!("full-scale epoch   : {}", report.epoch_time);
-    println!("accuracy per epoch : {:?}",
+    println!(
+        "accuracy per epoch : {:?}",
         report
             .curve
             .epoch_accuracy

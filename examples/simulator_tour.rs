@@ -14,11 +14,7 @@ use crossbow::gpu_sim::{CopyKind, KernelDesc, Machine, MachineConfig};
 
 fn main() {
     let mut machine = Machine::new(MachineConfig::titan_x_server(4));
-    println!(
-        "machine: {} GPUs, {} SMs each",
-        machine.device_count(),
-        24
-    );
+    println!("machine: {} GPUs, {} SMs each", machine.device_count(), 24);
 
     // 1. Two streams on GPU 0 share the SM pool: narrow kernels overlap.
     let s0 = machine.create_stream(machine.device(0));

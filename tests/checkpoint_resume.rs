@@ -1,0 +1,299 @@
+//! Kill-and-resume: a run interrupted by a (simulated) host crash must
+//! continue from its durable checkpoints and produce a `TrainingCurve`
+//! bit-identical to an uninterrupted run under the same seed — including
+//! crashes inside a τ-gated synchronisation phase, inside an epoch whose
+//! learning rate just changed, and after a divergence rollback. Corrupt
+//! checkpoints must be detected and skipped in favour of older valid ones.
+
+use crossbow::checkpoint::{CheckpointStore, RetentionPolicy};
+use crossbow::data::synth::gaussian_mixture;
+use crossbow::data::Dataset;
+use crossbow::nn::zoo::mlp;
+use crossbow::nn::Network;
+use crossbow::sync::{
+    resume, train, CheckpointConfig, GuardConfig, LrSchedule, SSgd, SgdConfig, Sma, SmaConfig,
+    TrainerConfig,
+};
+use crossbow::tensor::Rng;
+use std::path::PathBuf;
+
+fn setup() -> (Network, Dataset, Dataset) {
+    let net = mlp(6, &[16], 4);
+    let data = gaussian_mixture(4, 6, 480, 0.35, 7);
+    let (train_set, test_set) = data.split_at(400);
+    (net, train_set, test_set)
+}
+
+/// A per-test scratch directory (removed on entry, best-effort on exit).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("crossbow-ckpt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+// With 400 training samples, batch 8 and k = 2 learners, one epoch is
+// 400 / (8 * 2) = 25 synchronisation iterations. The crash points below
+// are chosen relative to that.
+
+#[test]
+fn crash_inside_a_tau_sync_phase_resumes_bit_exactly() {
+    let (net, train_set, test_set) = setup();
+    let dir = scratch("tau");
+    // τ = 4: corrections apply every 4th iteration, so the phase counter
+    // is live state a checkpoint must carry.
+    let fresh_algo = || {
+        Sma::new(
+            net.init_params(&mut Rng::new(3)),
+            2,
+            SmaConfig {
+                tau: 4,
+                ..SmaConfig::default()
+            },
+        )
+    };
+    let base = TrainerConfig::new(8, 4).with_seed(11);
+    let mut algo = fresh_algo();
+    let uninterrupted = train(&net, &train_set, &test_set, &mut algo, &base);
+
+    // Checkpoints at 6, 12, 18, 24, 25 (epoch), 30; the crash at 31
+    // leaves iteration 30 — mid-phase, 30 % 4 != 0 — as the newest.
+    let checkpointed = || {
+        base.clone()
+            .with_checkpointing(CheckpointConfig::new(&dir).every(6))
+    };
+    let mut algo = fresh_algo();
+    let crashed = train(
+        &net,
+        &train_set,
+        &test_set,
+        &mut algo,
+        &checkpointed().with_crash_after(31),
+    );
+    assert_eq!(crashed.iterations, 31, "the crash cut the run short");
+
+    let mut algo = fresh_algo();
+    let resumed = resume(&net, &train_set, &test_set, &mut algo, &checkpointed());
+    assert_eq!(
+        resumed, uninterrupted,
+        "resume across a τ phase must be bit-exact"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_around_an_lr_change_resumes_bit_exactly() {
+    let (net, train_set, test_set) = setup();
+    // The LR halves after epochs 2 and 4, triggering the §3.2 restart
+    // (replicas re-seeded from the average model). Crash once *before*
+    // the epoch-2 boundary (iteration 45: the resumed run must perform
+    // the restart itself) and once *after* it (iteration 55: the restart
+    // is part of the restored state).
+    let schedule = || LrSchedule::StepDecay {
+        base: 0.1,
+        boundaries: vec![2, 4],
+        factor: 0.5,
+    };
+    let base = TrainerConfig::new(8, 6)
+        .with_seed(5)
+        .with_schedule(schedule());
+    let fresh_algo = || Sma::new(net.init_params(&mut Rng::new(3)), 2, SmaConfig::default());
+    let mut algo = fresh_algo();
+    let uninterrupted = train(&net, &train_set, &test_set, &mut algo, &base);
+
+    for crash_at in [45u64, 55] {
+        let dir = scratch(&format!("lr-{crash_at}"));
+        let checkpointed = || {
+            base.clone()
+                .with_checkpointing(CheckpointConfig::new(&dir).every(10))
+        };
+        let mut algo = fresh_algo();
+        let crashed = train(
+            &net,
+            &train_set,
+            &test_set,
+            &mut algo,
+            &checkpointed().with_crash_after(crash_at),
+        );
+        assert_eq!(crashed.iterations, crash_at);
+
+        let mut algo = fresh_algo();
+        let resumed = resume(&net, &train_set, &test_set, &mut algo, &checkpointed());
+        assert_eq!(
+            resumed, uninterrupted,
+            "resume around the LR change (crash at {crash_at}) must be bit-exact"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn ssgd_momentum_survives_resume() {
+    let (net, train_set, test_set) = setup();
+    let dir = scratch("ssgd");
+    // S-SGD's live state is the single model plus the optimiser's
+    // velocity buffer; losing the latter would silently change the
+    // trajectory without failing any shape check.
+    let fresh_algo = || {
+        SSgd::new(
+            net.init_params(&mut Rng::new(3)),
+            2,
+            SgdConfig::paper_default(),
+        )
+    };
+    let base = TrainerConfig::new(8, 4).with_seed(21);
+    let mut algo = fresh_algo();
+    let uninterrupted = train(&net, &train_set, &test_set, &mut algo, &base);
+
+    let checkpointed = || {
+        base.clone()
+            .with_checkpointing(CheckpointConfig::new(&dir).every(10))
+    };
+    let mut algo = fresh_algo();
+    let crashed = train(
+        &net,
+        &train_set,
+        &test_set,
+        &mut algo,
+        &checkpointed().with_crash_after(35),
+    );
+    assert!(crashed.epochs() < 4);
+
+    let mut algo = fresh_algo();
+    let resumed = resume(&net, &train_set, &test_set, &mut algo, &checkpointed());
+    assert_eq!(resumed, uninterrupted, "S-SGD resume must restore momentum");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn divergence_guard_and_nan_injection_survive_resume() {
+    let (net, train_set, test_set) = setup();
+    let dir = scratch("guard");
+    // A NaN is injected at attempt 20 and rolled back by the guard; the
+    // crash lands after the rollback. The checkpoint carries both the
+    // guard's snapshot and the attempt counter, so the resumed run (same
+    // config, same hook) neither re-injects nor desynchronises.
+    let base = TrainerConfig::new(8, 5)
+        .with_seed(11)
+        .with_guard(GuardConfig::default());
+    let with_nan = |mut cfg: TrainerConfig| {
+        cfg.inject_nan_at = Some(20);
+        cfg
+    };
+    let fresh_algo = || Sma::new(net.init_params(&mut Rng::new(3)), 2, SmaConfig::default());
+    let mut algo = fresh_algo();
+    let uninterrupted = train(
+        &net,
+        &train_set,
+        &test_set,
+        &mut algo,
+        &with_nan(base.clone()),
+    );
+    assert_eq!(uninterrupted.rollbacks, 1, "the injected NaN rolled back");
+
+    let checkpointed =
+        || with_nan(base.clone()).with_checkpointing(CheckpointConfig::new(&dir).every(10));
+    let mut algo = fresh_algo();
+    let crashed = train(
+        &net,
+        &train_set,
+        &test_set,
+        &mut algo,
+        &checkpointed().with_crash_after(40),
+    );
+    assert_eq!(crashed.rollbacks, 1);
+
+    let mut algo = fresh_algo();
+    let resumed = resume(&net, &train_set, &test_set, &mut algo, &checkpointed());
+    assert_eq!(resumed, uninterrupted, "guard state must survive resume");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_checkpoints_fall_back_to_the_newest_valid_one() {
+    let (net, train_set, test_set) = setup();
+    let dir = scratch("corrupt");
+    let fresh_algo = || Sma::new(net.init_params(&mut Rng::new(3)), 2, SmaConfig::default());
+    let base = TrainerConfig::new(8, 4).with_seed(11);
+    let mut algo = fresh_algo();
+    let uninterrupted = train(&net, &train_set, &test_set, &mut algo, &base);
+
+    let checkpointed = || {
+        base.clone()
+            .with_checkpointing(CheckpointConfig::new(&dir).every(10))
+    };
+    let mut algo = fresh_algo();
+    let _ = train(
+        &net,
+        &train_set,
+        &test_set,
+        &mut algo,
+        &checkpointed().with_crash_after(40),
+    );
+
+    let store = CheckpointStore::open(&dir, RetentionPolicy::default()).unwrap();
+    let files = store.list().unwrap();
+    assert!(
+        files.len() >= 3,
+        "expected several checkpoints, got {files:?}"
+    );
+
+    // Bit-flip the middle of the newest checkpoint: the checksum catches
+    // it and `load_latest` falls back to the previous file.
+    let newest = files.last().unwrap().clone();
+    let mut bytes = std::fs::read(&newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&newest, &bytes).unwrap();
+    let loaded = store.load_latest().unwrap().expect("older copies remain");
+    assert_eq!(loaded.skipped, vec![newest.clone()]);
+    assert!(loaded.state.iterations < 40);
+
+    // Truncate the fallback too; detection must walk further back.
+    let second = loaded.path.clone();
+    let len = std::fs::metadata(&second).unwrap().len();
+    let bytes = std::fs::read(&second).unwrap();
+    std::fs::write(&second, &bytes[..len as usize / 3]).unwrap();
+    let loaded = store.load_latest().unwrap().expect("older copies remain");
+    assert_eq!(loaded.skipped, vec![newest, second]);
+
+    // Resume replays from the older valid checkpoint and still lands on
+    // the bit-identical curve.
+    let mut algo = fresh_algo();
+    let resumed = resume(&net, &train_set, &test_set, &mut algo, &checkpointed());
+    assert_eq!(resumed, uninterrupted, "fallback resume must be bit-exact");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_fully_corrupt_store_starts_fresh_and_still_matches() {
+    let (net, train_set, test_set) = setup();
+    let dir = scratch("all-corrupt");
+    let fresh_algo = || Sma::new(net.init_params(&mut Rng::new(3)), 2, SmaConfig::default());
+    let base = TrainerConfig::new(8, 3).with_seed(11);
+    let mut algo = fresh_algo();
+    let uninterrupted = train(&net, &train_set, &test_set, &mut algo, &base);
+
+    let checkpointed = || {
+        base.clone()
+            .with_checkpointing(CheckpointConfig::new(&dir).every(10))
+    };
+    let mut algo = fresh_algo();
+    let _ = train(
+        &net,
+        &train_set,
+        &test_set,
+        &mut algo,
+        &checkpointed().with_crash_after(30),
+    );
+
+    // Destroy every copy: resume must degrade to a fresh deterministic
+    // run rather than crash or restore garbage.
+    let store = CheckpointStore::open(&dir, RetentionPolicy::default()).unwrap();
+    for path in store.list().unwrap() {
+        std::fs::write(&path, b"not a checkpoint").unwrap();
+    }
+    let mut algo = fresh_algo();
+    let resumed = resume(&net, &train_set, &test_set, &mut algo, &checkpointed());
+    assert_eq!(resumed, uninterrupted);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -116,13 +116,9 @@ fn algorithms_share_identical_initial_models() {
     // algorithms at one seed must start identically — checked indirectly:
     // their first-epoch accuracy from the same init is equal when the
     // algorithm degenerates to the same update (single learner, tau 1).
-    let sma = Session::new(
-        quick_session(8).with_algorithm(AlgorithmKind::Sma { tau: 1 }),
-    )
-    .train_statistics(1);
-    let sma2 = Session::new(
-        quick_session(8).with_algorithm(AlgorithmKind::Sma { tau: 1 }),
-    )
-    .train_statistics(1);
+    let sma = Session::new(quick_session(8).with_algorithm(AlgorithmKind::Sma { tau: 1 }))
+        .train_statistics(1);
+    let sma2 = Session::new(quick_session(8).with_algorithm(AlgorithmKind::Sma { tau: 1 }))
+        .train_statistics(1);
     assert_eq!(sma.epoch_accuracy, sma2.epoch_accuracy);
 }

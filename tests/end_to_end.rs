@@ -102,12 +102,9 @@ fn more_gpus_shorten_the_simulated_epoch() {
 fn crossbow_engine_beats_baseline_on_lenet_hardware() {
     // Figure 10d: sub-millisecond learning tasks expose the baseline's
     // scheduling overhead even with one learner.
-    let cb = Session::new(
-        SessionConfig::new(Benchmark::lenet()).with_learners_per_gpu(1),
-    );
-    let tf = Session::new(
-        SessionConfig::new(Benchmark::lenet()).with_algorithm(AlgorithmKind::SSgd),
-    );
+    let cb = Session::new(SessionConfig::new(Benchmark::lenet()).with_learners_per_gpu(1));
+    let tf =
+        Session::new(SessionConfig::new(Benchmark::lenet()).with_algorithm(AlgorithmKind::SSgd));
     let (_, cb_sim) = cb.plan_hardware();
     let (_, tf_sim) = tf.plan_hardware();
     assert!(

@@ -2,9 +2,9 @@
 //! configurations must degrade gracefully, not deadlock or corrupt state.
 
 use crossbow::autotuner::tune_to_convergence;
+use crossbow::data::augment::Augment;
 use crossbow::data::prefetch::{PrefetchConfig, Prefetcher};
 use crossbow::data::synth::gaussian_mixture;
-use crossbow::data::augment::Augment;
 use crossbow::engine::{RobustnessConfig, Session, SessionConfig};
 use crossbow::exec_sim::{simulate, simulate_robust, RobustSimConfig, SimConfig};
 use crossbow::gpu_sim::{FaultPlan, KernelDesc, Machine, MachineConfig, SimDuration, SimTime};
@@ -52,16 +52,14 @@ fn slow_preprocessors_stall_but_recover() {
             augment: Augment::none(),
             slowdown: Duration::from_millis(100),
             panic_after: None,
+            start: None,
         },
         9,
     );
     // Demand batches faster than they are produced.
     let mut got = 0;
     for _ in 0..5 {
-        if prefetcher
-            .next_timeout(Duration::from_secs(10))
-            .is_ok()
-        {
+        if prefetcher.next_timeout(Duration::from_secs(10)).is_ok() {
             got += 1;
         }
     }
@@ -81,6 +79,7 @@ fn prefetcher_shutdown_under_backpressure_is_clean() {
             augment: Augment::standard(),
             slowdown: Duration::ZERO,
             panic_after: None,
+            start: None,
         },
         9,
     );
@@ -209,7 +208,10 @@ fn eight_gpu_resnet32_session_survives_collective_failure_and_straggler() {
 
     let faults = robust.sim.faults;
     assert!(faults.sync_retries >= 1, "at least one retry: {faults:?}");
-    assert!(faults.quarantines >= 1, "at least one quarantine: {faults:?}");
+    assert!(
+        faults.quarantines >= 1,
+        "at least one quarantine: {faults:?}"
+    );
     assert_eq!(faults.injected.collective_faults, 1);
     assert!(faults.injected.straggler_kernels > 0);
     assert!(robust.sim.throughput > 0.0, "no deadlock, forward progress");

@@ -86,12 +86,13 @@ fn learner_streams_on_one_gpu_overlap() {
     let trace = machine.trace();
     // Find two learn kernels on different streams of device 0 overlapping.
     let learns: Vec<_> = trace.with_label(|l| l == "learn").collect();
-    let overlapping = learns.iter().any(|a| {
-        learns
-            .iter()
-            .any(|b| a.stream != b.stream && a.overlaps(b))
-    });
-    assert!(overlapping, "co-located learners must share the GPU in time");
+    let overlapping = learns
+        .iter()
+        .any(|a| learns.iter().any(|b| a.stream != b.stream && a.overlaps(b)));
+    assert!(
+        overlapping,
+        "co-located learners must share the GPU in time"
+    );
 }
 
 #[test]

@@ -204,6 +204,10 @@ fn sampler_partitions_epochs() {
             "case {case}: duplicates within an epoch (n={n} batch={batch})"
         );
         let covered = seen.iter().filter(|&&c| c == 1).count();
-        assert_eq!(covered, per_epoch * batch, "case {case}: n={n} batch={batch}");
+        assert_eq!(
+            covered,
+            per_epoch * batch,
+            "case {case}: n={n} batch={batch}"
+        );
     }
 }
