@@ -57,6 +57,7 @@ fn main() {
             inject_nan_at: None,
             checkpoint: None,
             crash_after: None,
+            publish: None,
         };
         let t0 = std::time::Instant::now();
         let mut algo = SSgd::new(init.clone(), 1, SgdConfig::paper_default());

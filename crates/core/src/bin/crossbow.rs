@@ -9,14 +9,24 @@
 //!
 //! `train` runs the full session (simulated hardware + real training on
 //! the synthetic benchmark); `simulate` only measures hardware
-//! efficiency; `autotune` shows Algorithm 2's decisions; `models` lists
-//! the benchmarks.
+//! efficiency; `autotune` shows Algorithm 2's decisions; `serve` trains
+//! a small model while serving it under load with micro-batching and
+//! hot-swapped snapshots; `models` lists the benchmarks.
 
 use crossbow::autotuner::tune_to_convergence;
 use crossbow::benchmark::Benchmark;
 use crossbow::engine::{AlgorithmKind, Session, SessionConfig};
 use crossbow::exec_sim::{simulate, SimConfig};
+use crossbow::serve::{
+    train_and_serve, BatchConfig, LoadConfig, LoadMode, ServeConfig, TrainAndServeConfig,
+};
+use crossbow::sync::sma::{Sma, SmaConfig};
+use crossbow::sync::TrainerConfig;
+use crossbow_nn::zoo::mlp;
+use crossbow_tensor::Rng;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,6 +38,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(rest),
         "simulate" => cmd_simulate(rest),
         "autotune" => cmd_autotune(rest),
+        "serve" => cmd_serve(rest),
         "models" => cmd_models(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -54,6 +65,10 @@ USAGE:
     crossbow simulate [--model NAME] [--gpus N] [--learners M] [--batch B]
                       [--tau T|inf]
     crossbow autotune [--model NAME] [--gpus N] [--batch B]
+    crossbow serve    [--workers N] [--max-batch B] [--max-delay-us U]
+                      [--mode closed|open] [--clients C] [--requests R]
+                      [--rate RPS] [--epochs E] [--publish-every I]
+                      [--seed S]
     crossbow models
 
 MODELS: lenet, resnet-32, vgg-16, resnet-50 (default: resnet-32)";
@@ -154,7 +169,9 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     if let Some(t) = flags.get("target") {
         config = config.with_target(t.parse().map_err(|_| "--target expects a number")?);
     }
-    let report = Session::new(config).run();
+    let report = Session::new(config)
+        .run()
+        .map_err(|e| format!("checkpoint store: {e}"))?;
     println!("{}", report.summary());
     println!();
     println!("accuracy per epoch:");
@@ -209,6 +226,80 @@ fn cmd_autotune(args: &[String]) -> Result<(), String> {
             if *m == chosen { "   <- chosen" } else { "" }
         );
     }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.reject_unknown(&[
+        "workers",
+        "max-batch",
+        "max-delay-us",
+        "mode",
+        "clients",
+        "requests",
+        "rate",
+        "epochs",
+        "publish-every",
+        "seed",
+    ])?;
+    let seed = flags.parse_num("seed", 42u64)?;
+    let mode = match flags.get("mode").unwrap_or("closed") {
+        "closed" => LoadMode::Closed {
+            clients: flags.parse_num("clients", 4usize)?,
+            requests_per_client: flags.parse_num("requests", 200usize)?,
+        },
+        "open" => LoadMode::Open {
+            rps: flags.parse_num("rate", 2000.0f64)?,
+            requests: flags.parse_num("requests", 500usize)?,
+        },
+        other => return Err(format!("unknown mode `{other}` (closed|open)")),
+    };
+    let mut serve_config = ServeConfig::new(flags.parse_num("workers", 2usize)?);
+    serve_config.batch = BatchConfig {
+        max_batch: flags.parse_num("max-batch", 16usize)?,
+        max_delay: Duration::from_micros(flags.parse_num("max-delay-us", 2000u64)?),
+        ..BatchConfig::default()
+    };
+
+    // A Gaussian-mixture task small enough that training and serving both
+    // run in seconds on one core.
+    let net = Arc::new(mlp(6, &[16], 4));
+    let (train_set, test_set) =
+        crossbow::data::synth::gaussian_mixture(4, 6, 2560, 0.25, seed).split_at(2048);
+    let mut rng = Rng::new(seed);
+    let initial = net.init_params(&mut rng);
+    let mut algo = Sma::new(initial, 4, SmaConfig::default());
+
+    let config = TrainAndServeConfig {
+        trainer: TrainerConfig::new(16, flags.parse_num("epochs", 4usize)?).with_seed(seed),
+        publish_every: flags.parse_num("publish-every", 20u64)?,
+        serve: serve_config,
+        load: LoadConfig { mode, seed },
+    };
+    let report = train_and_serve(&net, &train_set, &test_set, &mut algo, &config);
+
+    println!("train-and-serve (mlp on a 4-class Gaussian mixture)");
+    println!("---------------------------------------------------");
+    println!(
+        "trained            : {} iterations, final accuracy {:.3}",
+        report.curve.iterations, report.curve.final_accuracy
+    );
+    println!(
+        "load               : {} submitted, {} ok, {} rejected, {} failed",
+        report.load.submitted, report.load.ok, report.load.rejected, report.load.failed
+    );
+    println!(
+        "snapshot versions  : {}..{} (monotonic per client: {})",
+        report.load.min_version, report.load.max_version, report.load.versions_monotonic
+    );
+    println!("server             : {}", report.serve.summary());
+    println!(
+        "latency            : p50 {:?}  p95 {:?}  p99 {:?}",
+        report.serve.request_latency.p50,
+        report.serve.request_latency.p95,
+        report.serve.request_latency.p99
+    );
     Ok(())
 }
 

@@ -20,7 +20,7 @@ use crate::benchmark::Benchmark;
 use crate::exec_sim::{
     simulate, simulate_robust, EngineKind, RobustSimConfig, SimConfig, SimReport,
 };
-use crossbow_checkpoint::{CheckpointStore, RetentionPolicy};
+use crossbow_checkpoint::{CheckpointError, CheckpointStore, RetentionPolicy};
 use crossbow_gpu_sim::{FaultPlan, SimDuration};
 use crossbow_sync::algorithm::SyncAlgorithm;
 use crossbow_sync::hierarchical::HierarchicalSma;
@@ -43,7 +43,7 @@ pub enum AlgorithmKind {
     HierarchicalSma,
     /// Parallel S-SGD — the TensorFlow-style baseline.
     SSgd,
-    /// Elastic averaging SGD [69] — the §5.5 comparator.
+    /// Elastic averaging SGD \[69\] — the §5.5 comparator.
     EaSgd {
         /// Synchronisation period.
         tau: usize,
@@ -361,7 +361,11 @@ impl Session {
 
     /// Runs the statistical-efficiency half: real training of the reduced
     /// model with `k = m * gpus` learners.
-    pub fn train_statistics(&self, m: usize) -> TrainingCurve {
+    ///
+    /// # Errors
+    /// [`CheckpointError::Io`] when the configured checkpoint directory
+    /// cannot be created or read.
+    pub fn train_statistics(&self, m: usize) -> Result<TrainingCurve, CheckpointError> {
         let c = &self.config;
         let net = c.benchmark.network();
         let (train_set, test_set) = c.benchmark.dataset(c.seed);
@@ -403,11 +407,18 @@ impl Session {
                 ck
             }),
             crash_after: c.robustness.as_ref().and_then(|r| r.crash_after),
+            publish: None,
         };
         if trainer_config.checkpoint.is_some() {
             resume(&net, &train_set, &test_set, algo.as_mut(), &trainer_config)
         } else {
-            train(&net, &train_set, &test_set, algo.as_mut(), &trainer_config)
+            Ok(train(
+                &net,
+                &train_set,
+                &test_set,
+                algo.as_mut(),
+                &trainer_config,
+            ))
         }
     }
 
@@ -416,17 +427,21 @@ impl Session {
     /// With [`SessionConfig::checkpoint`] set, a session whose store holds
     /// a checkpoint from the same seed skips the auto-tuner and reuses the
     /// recorded learner count, then resumes training from that checkpoint.
-    pub fn run(&self) -> TrainingReport {
+    ///
+    /// # Errors
+    /// [`CheckpointError::Io`] when the configured checkpoint directory
+    /// cannot be created or read.
+    pub fn run(&self) -> Result<TrainingReport, CheckpointError> {
         let (m, sim) = match self.recorded_learners() {
             Some(m) => (m, self.measure_hardware(m)),
             None => self.plan_hardware(),
         };
-        let curve = self.train_statistics(m);
+        let curve = self.train_statistics(m)?;
         let epoch_time = sim.epoch_time(self.config.benchmark.profile.train_samples);
         let tta = curve
             .epochs_to_target
             .map(|e| SimDuration::from_secs_f64(e as f64 * epoch_time.as_secs_f64()));
-        TrainingReport {
+        Ok(TrainingReport {
             benchmark: self.config.benchmark.name,
             algorithm: self.config.algorithm,
             gpus: self.config.gpus,
@@ -436,7 +451,7 @@ impl Session {
             sim,
             epoch_time,
             tta,
-        }
+        })
     }
 }
 
@@ -446,7 +461,9 @@ mod tests {
 
     #[test]
     fn lenet_quick_session_learns() {
-        let report = Session::new(SessionConfig::lenet_quick()).run();
+        let report = Session::new(SessionConfig::lenet_quick())
+            .run()
+            .expect("run");
         assert!(report.curve.final_accuracy > 0.5, "{}", report.summary());
         assert!(report.sim.throughput > 0.0);
         assert_eq!(report.learners_per_gpu, 2);
@@ -488,7 +505,7 @@ mod tests {
         let mut cfg = SessionConfig::lenet_quick();
         cfg.max_epochs = Some(12);
         cfg.target_accuracy = Some(0.6); // easily reached
-        let report = Session::new(cfg).run();
+        let report = Session::new(cfg).run().expect("run");
         let eta = report.curve.epochs_to_target.expect("easy target");
         let tta = report.tta.expect("tta present");
         let expect = eta as f64 * report.epoch_time.as_secs_f64();
@@ -500,6 +517,7 @@ mod tests {
         let run = || {
             Session::new(SessionConfig::lenet_quick().with_seed(7))
                 .run()
+                .expect("run")
                 .curve
                 .epoch_accuracy
         };
@@ -508,7 +526,9 @@ mod tests {
 
     #[test]
     fn summary_mentions_the_benchmark() {
-        let report = Session::new(SessionConfig::lenet_quick()).run();
+        let report = Session::new(SessionConfig::lenet_quick())
+            .run()
+            .expect("run");
         let s = report.summary();
         assert!(s.contains("lenet"), "{s}");
     }
@@ -527,7 +547,8 @@ mod tests {
                 .with_seed(7)
                 .with_robustness(robustness(None)),
         )
-        .run();
+        .run()
+        .expect("run");
 
         // Crash mid-run; durable checkpoints survive in `dir`.
         let crashed = Session::new(
@@ -536,7 +557,8 @@ mod tests {
                 .with_robustness(robustness(Some(40)))
                 .with_checkpointing(CheckpointConfig::new(&dir).every(10)),
         )
-        .run();
+        .run()
+        .expect("run");
         assert_eq!(crashed.curve.iterations, 40);
         assert!(crashed.curve.epoch_accuracy.len() < baseline.curve.epoch_accuracy.len());
 
@@ -548,7 +570,7 @@ mod tests {
             .with_robustness(robustness(None))
             .with_checkpointing(CheckpointConfig::new(&dir).every(10));
         resume_cfg.learners_per_gpu = None;
-        let resumed = Session::new(resume_cfg).run();
+        let resumed = Session::new(resume_cfg).run().expect("run");
         assert_eq!(resumed.learners_per_gpu, 2);
         assert_eq!(resumed.curve, baseline.curve);
         let _ = std::fs::remove_dir_all(&dir);

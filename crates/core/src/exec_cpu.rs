@@ -156,6 +156,10 @@ struct Contribution {
 
 /// Runs SMA training with the concurrent runtime.
 ///
+/// # Errors
+/// [`CheckpointError::Io`] when the checkpoint directory cannot be
+/// created or read.
+///
 /// # Panics
 /// Panics on configuration mismatches (empty model, zero learners, batch
 /// larger than the training set).
@@ -164,7 +168,7 @@ pub fn train_concurrent(
     train_set: &Dataset,
     test_set: &Dataset,
     config: &CpuEngineConfig,
-) -> CpuEngineReport {
+) -> Result<CpuEngineReport, CheckpointError> {
     assert!(config.learners > 0, "need at least one learner");
     assert!(config.max_epochs > 0, "need at least one epoch");
     let k = config.learners;
@@ -175,13 +179,16 @@ pub fn train_concurrent(
     let mut init_prev = init.clone();
 
     // Warm-start from the newest valid checkpoint, when one fits.
-    let store = config.checkpoint.as_ref().map(|ck| {
-        let retention = RetentionPolicy {
-            keep_last: ck.keep_last,
-            keep_epoch_boundaries: true,
-        };
-        CheckpointStore::open(&ck.dir, retention).expect("cannot open the checkpoint directory")
-    });
+    let store = match config.checkpoint.as_ref() {
+        Some(ck) => {
+            let retention = RetentionPolicy {
+                keep_last: ck.keep_last,
+                keep_epoch_boundaries: true,
+            };
+            Some(CheckpointStore::open(&ck.dir, retention)?)
+        }
+        None => None,
+    };
     let mut resumed_from = None;
     let mut prior_accuracy = Vec::new();
     let mut prior_samples = 0u64;
@@ -201,7 +208,7 @@ pub fn train_concurrent(
             }
             // No checkpoint, a foreign one, or all copies corrupt: fresh.
             Ok(_) | Err(CheckpointError::Corrupt(_)) => {}
-            Err(e) => panic!("checkpoint store unreadable: {e}"),
+            Err(e @ CheckpointError::Io(_)) => return Err(e),
         }
     }
 
@@ -220,7 +227,7 @@ pub fn train_concurrent(
     let iterations_total = (config.max_epochs * batches_per_epoch_per_learner) as u64;
 
     // Spawn learners.
-    std::thread::scope(|scope| {
+    let report = std::thread::scope(|scope| {
         for j in 0..k {
             let central = Arc::clone(&central);
             let tx = tx.clone();
@@ -364,7 +371,8 @@ pub fn train_concurrent(
         }
         report.throughput = samples as f64 / start.elapsed().as_secs_f64().max(1e-9);
         report
-    })
+    });
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -385,7 +393,7 @@ mod tests {
         let (net, train_set, test_set) = setup();
         let mut cfg = CpuEngineConfig::new(4, 8);
         cfg.max_epochs = 8;
-        let report = train_concurrent(&net, &train_set, &test_set, &cfg);
+        let report = train_concurrent(&net, &train_set, &test_set, &cfg).expect("run");
         assert!(
             report.final_accuracy > 0.85,
             "accuracy {}",
@@ -404,7 +412,9 @@ mod tests {
         let run = || {
             let mut cfg = CpuEngineConfig::new(3, 8);
             cfg.max_epochs = 4;
-            train_concurrent(&net, &train_set, &test_set, &cfg).epoch_accuracy
+            train_concurrent(&net, &train_set, &test_set, &cfg)
+                .expect("run")
+                .epoch_accuracy
         };
         assert_eq!(run(), run());
     }
@@ -414,7 +424,7 @@ mod tests {
         let (net, train_set, test_set) = setup();
         let mut cfg = CpuEngineConfig::new(2, 10);
         cfg.max_epochs = 3;
-        let report = train_concurrent(&net, &train_set, &test_set, &cfg);
+        let report = train_concurrent(&net, &train_set, &test_set, &cfg).expect("run");
         // 400 samples / batch 10 = 40 batches/epoch, / 2 learners = 20
         // iterations per epoch, x3 epochs.
         assert_eq!(report.iterations, 60);
@@ -425,7 +435,7 @@ mod tests {
         let (net, train_set, test_set) = setup();
         let mut cfg = CpuEngineConfig::new(1, 16);
         cfg.max_epochs = 6;
-        let report = train_concurrent(&net, &train_set, &test_set, &cfg);
+        let report = train_concurrent(&net, &train_set, &test_set, &cfg).expect("run");
         assert!(report.final_accuracy > 0.8, "{}", report.final_accuracy);
     }
 
@@ -435,7 +445,7 @@ mod tests {
         let mut cfg = CpuEngineConfig::new(2, 8);
         cfg.max_epochs = 12;
         cfg.target_accuracy = Some(0.8);
-        let report = train_concurrent(&net, &train_set, &test_set, &cfg);
+        let report = train_concurrent(&net, &train_set, &test_set, &cfg).expect("run");
         let eta = report.epochs_to_target.expect("easy target");
         assert!(eta <= 12);
     }
@@ -449,14 +459,14 @@ mod tests {
         let mut cfg = CpuEngineConfig::new(3, 8);
         cfg.max_epochs = 5;
         cfg.checkpoint = Some(CheckpointConfig::new(&dir).every(0));
-        let first = train_concurrent(&net, &train_set, &test_set, &cfg);
+        let first = train_concurrent(&net, &train_set, &test_set, &cfg).expect("run");
         assert_eq!(first.resumed_from, None);
         assert!(first.final_accuracy > 0.8, "{}", first.final_accuracy);
 
         // The second run warm-starts from the final epoch-boundary
         // checkpoint and keeps learning rather than restarting from
         // random initialisation.
-        let second = train_concurrent(&net, &train_set, &test_set, &cfg);
+        let second = train_concurrent(&net, &train_set, &test_set, &cfg).expect("run");
         assert_eq!(second.resumed_from, Some(first.iterations));
         assert!(second.final_accuracy > 0.8, "{}", second.final_accuracy);
         assert!(
@@ -475,7 +485,7 @@ mod tests {
         let (net, train_set, test_set) = setup();
         let mut cfg = CpuEngineConfig::new(4, 8);
         cfg.max_epochs = 8;
-        let concurrent = train_concurrent(&net, &train_set, &test_set, &cfg);
+        let concurrent = train_concurrent(&net, &train_set, &test_set, &cfg).expect("run");
         let mut algo = crossbow_sync::Sma::new(
             {
                 let mut rng = crossbow_tensor::Rng::new(cfg.seed ^ 0xC0FFEE);
@@ -497,6 +507,7 @@ mod tests {
             inject_nan_at: None,
             checkpoint: None,
             crash_after: None,
+            publish: None,
         };
         let synchronous =
             crossbow_sync::train(&net, &train_set, &test_set, &mut algo, &trainer_cfg);

@@ -41,7 +41,7 @@
 //! let config = SessionConfig::lenet_quick() // a small, fast benchmark
 //!     .with_gpus(2)
 //!     .with_learners_per_gpu(2);
-//! let report = Session::new(config).run();
+//! let report = Session::new(config).run().expect("no checkpointing configured");
 //! assert!(report.curve.final_accuracy > 0.5);
 //! println!("{}", report.summary());
 //! ```
@@ -73,5 +73,6 @@ pub use crossbow_checkpoint as checkpoint;
 pub use crossbow_data as data;
 pub use crossbow_gpu_sim as gpu_sim;
 pub use crossbow_nn as nn;
+pub use crossbow_serve as serve;
 pub use crossbow_sync as sync;
 pub use crossbow_tensor as tensor;

@@ -172,4 +172,57 @@ mod tests {
         };
         assert_eq!(run(5), run(5));
     }
+
+    #[test]
+    fn different_seeds_produce_different_augmentations() {
+        let run = |seed| {
+            let mut fill = Rng::new(0);
+            let mut t = Tensor::randn(Shape::new(&[4, 1, 6, 6]), 1.0, &mut fill);
+            let mut rng = Rng::new(seed);
+            Augment::standard().apply(&mut t, &mut rng);
+            t.into_vec()
+        };
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn disabled_augmentation_consumes_no_randomness() {
+        // A no-op apply must leave the RNG stream untouched, or disabling
+        // augmentation would silently change every downstream draw.
+        let mut rng = Rng::new(7);
+        let mut t = Tensor::zeros([1, 1, 4, 4]);
+        Augment::none().apply(&mut t, &mut rng);
+        let mut fresh = Rng::new(7);
+        assert_eq!(rng.normal().to_bits(), fresh.normal().to_bits());
+    }
+
+    #[test]
+    fn shift_never_moves_further_than_max_shift() {
+        // A single bright pixel at the centre may travel at most
+        // `max_shift` in each axis (or vanish off the edge entirely).
+        let aug = Augment {
+            max_shift: 2,
+            flip_prob: 0.0,
+            noise: 0.0,
+        };
+        let mut rng = Rng::new(11);
+        let hw = 9;
+        let centre = hw / 2;
+        for _ in 0..50 {
+            let mut t = Tensor::zeros([1, 1, hw, hw]);
+            t.data_mut()[centre * hw + centre] = 1.0;
+            aug.apply(&mut t, &mut rng);
+            let hot: Vec<usize> = t
+                .data()
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| **v != 0.0)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(hot.len(), 1, "translation keeps exactly one hot pixel");
+            let (y, x) = (hot[0] / hw, hot[0] % hw);
+            assert!(y.abs_diff(centre) <= 2, "dy bounded: moved to row {y}");
+            assert!(x.abs_diff(centre) <= 2, "dx bounded: moved to col {x}");
+        }
+    }
 }

@@ -1,7 +1,7 @@
 //! Collective operations (ring all-reduce).
 //!
 //! CROSSBOW's global synchronisation tasks aggregate the per-GPU reference
-//! models with a collective all-reduce (paper §4.2, citing Horovod [56]).
+//! models with a collective all-reduce (paper §4.2, citing Horovod \[56\]).
 //! A ring all-reduce over `k` participants splits the buffer into `k`
 //! chunks and performs `2(k-1)` steps (a reduce-scatter phase followed by
 //! an all-gather phase); each step moves one chunk between every pair of

@@ -1,4 +1,4 @@
-//! Residual blocks (He et al. [17]) as a composite layer.
+//! Residual blocks (He et al. \[17\]) as a composite layer.
 //!
 //! A block runs a body of inner layers, adds a skip connection (identity,
 //! or a strided 1x1 projection when the shape changes) and applies a final

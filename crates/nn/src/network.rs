@@ -10,7 +10,7 @@
 //! * a [`Scratch`] workspace holding per-layer forward state.
 //!
 //! This mirrors CROSSBOW's memory layout: "model weights and their
-//! gradients are kept in contiguous memory, [so] a single allocation call
+//! gradients are kept in contiguous memory, \[so\] a single allocation call
 //! suffices" when the auto-tuner adds a learner (§4.4).
 
 use crate::layer::{Layer, Slot};
@@ -191,6 +191,36 @@ impl Network {
         x.reshape([b, self.output_classes])
     }
 
+    /// Runs an inference-mode forward pass over a batch, returning
+    /// `[batch, classes]` logits.
+    ///
+    /// This is the serving entry point: the scratch workspace is left
+    /// empty (no backward state is retained) and no layer statistics are
+    /// mutated, so repeated calls with the same inputs are bit-identical
+    /// and a single scratch can be reused across requests indefinitely.
+    ///
+    /// # Panics
+    /// Panics if `params` or the batch shape do not match the network.
+    pub fn forward_eval(&self, params: &[f32], batch: &Tensor, scratch: &mut Scratch) -> Tensor {
+        self.forward(params, batch, scratch, false)
+    }
+
+    /// Inference-mode forward returning the argmax class per sample.
+    pub fn predict(&self, params: &[f32], batch: &Tensor, scratch: &mut Scratch) -> Vec<usize> {
+        let logits = self.forward_eval(params, batch, scratch);
+        let classes = self.output_classes;
+        logits
+            .data()
+            .chunks_exact(classes)
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map_or(0, |(c, _)| c)
+            })
+            .collect()
+    }
+
     /// Forward + softmax cross-entropy + backward. Writes the gradient
     /// (overwriting) into `grad` and returns `(mean loss, batch accuracy)`.
     pub fn loss_and_grad(
@@ -355,6 +385,64 @@ mod tests {
             (full - chunked).abs() < 1e-12,
             "chunking must not change accuracy"
         );
+    }
+
+    #[test]
+    fn repeated_eval_forwards_are_bit_identical() {
+        // Serving depends on this: an eval forward mutates nothing, so the
+        // same snapshot + input gives the same bits forever. Exercised on
+        // a normalisation-bearing network, the layer type most likely to
+        // accumulate hidden state in other frameworks.
+        let net = crate::zoo::resnet_small(1, 8, 4);
+        let mut rng = Rng::new(5);
+        let params = net.init_params(&mut rng);
+        let batch = Tensor::randn([3, 1, 8, 8], 1.0, &mut rng);
+        let mut scratch = net.scratch();
+        let first = net.forward_eval(&params, &batch, &mut scratch);
+        for _ in 0..3 {
+            let again = net.forward_eval(&params, &batch, &mut scratch);
+            assert_eq!(first.data(), again.data(), "eval must be stateless");
+        }
+        // A fresh scratch gives the same bits too, and interleaving an
+        // unrelated batch does not perturb the next result.
+        let other = Tensor::randn([2, 1, 8, 8], 1.0, &mut rng);
+        let _ = net.forward_eval(&params, &other, &mut scratch);
+        let again = net.forward_eval(&params, &batch, &mut net.scratch());
+        assert_eq!(first.data(), again.data());
+    }
+
+    #[test]
+    fn eval_forward_leaves_the_scratch_empty() {
+        let net = tiny_net();
+        let mut rng = Rng::new(6);
+        let params = net.init_params(&mut rng);
+        let batch = Tensor::randn([4, 4], 1.0, &mut rng);
+        let mut scratch = net.scratch();
+        let _ = net.forward_eval(&params, &batch, &mut scratch);
+        assert!(
+            scratch.slots.iter().all(|s| s.tensors.is_empty()),
+            "eval retains no backward state"
+        );
+        let _ = net.forward(&params, &batch, &mut scratch, true);
+        assert!(
+            scratch.slots.iter().any(|s| !s.tensors.is_empty()),
+            "training forward does retain state"
+        );
+    }
+
+    #[test]
+    fn predict_returns_the_argmax_class() {
+        let net = tiny_net();
+        let mut rng = Rng::new(7);
+        let params = net.init_params(&mut rng);
+        let batch = Tensor::randn([6, 4], 1.0, &mut rng);
+        let mut scratch = net.scratch();
+        let logits = net.forward_eval(&params, &batch, &mut scratch);
+        let classes = net.predict(&params, &batch, &mut scratch);
+        assert_eq!(classes.len(), 6);
+        for (row, &c) in logits.data().chunks_exact(3).zip(&classes) {
+            assert!(row.iter().all(|&v| v <= row[c]), "class {c} not argmax");
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! LeNet (LeCun et al. [33]) — the paper's small MNIST benchmark.
+//! LeNet (LeCun et al. \[33\]) — the paper's small MNIST benchmark.
 
 use crate::layer::{Conv2d, Dense, Flatten, MaxPool2d, Relu};
 use crate::network::Network;

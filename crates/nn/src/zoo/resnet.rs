@@ -1,4 +1,4 @@
-//! CIFAR-style ResNets (He et al. [17]) — the paper's ResNet-32 and the
+//! CIFAR-style ResNets (He et al. \[17\]) — the paper's ResNet-32 and the
 //! family ResNet-50 belongs to.
 //!
 //! The CIFAR ResNet recipe has `6n + 2` layers: a stem convolution, three

@@ -1,5 +1,5 @@
 //! VGG (Simonyan & Zisserman) — the paper's shallow, high-dimension
-//! benchmark (VGG-16 on CIFAR-100, following [61]).
+//! benchmark (VGG-16 on CIFAR-100, following \[61\]).
 
 use crate::layer::{ChannelNorm, Conv2d, Dense, Flatten, MaxPool2d, Relu};
 use crate::network::Network;

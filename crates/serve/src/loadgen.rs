@@ -1,0 +1,310 @@
+//! Closed- and open-loop load generators.
+//!
+//! Closed loop: `clients` threads each issue a request, wait for the
+//! answer, and immediately issue the next — the classic
+//! think-time-zero client model, which also gives a per-client
+//! happens-before chain: request `i+1` is submitted only after `i`
+//! completed, so the served snapshot versions each client observes must
+//! be non-decreasing. Open loop: requests are paced at a fixed arrival
+//! rate regardless of completions, the model that actually exposes
+//! queueing collapse under overload.
+
+use crate::server::{Client, ServeError, Ticket};
+use crossbow_tensor::Rng;
+use std::time::{Duration, Instant};
+
+/// The arrival model of a load run.
+#[derive(Clone, Copy, Debug)]
+pub enum LoadMode {
+    /// `clients` concurrent callers, each issuing `requests_per_client`
+    /// back-to-back requests.
+    Closed {
+        /// Concurrent closed-loop callers.
+        clients: usize,
+        /// Requests each caller issues.
+        requests_per_client: usize,
+    },
+    /// A single submitter pacing `requests` arrivals at `rps` per second,
+    /// collecting answers asynchronously.
+    Open {
+        /// Target arrival rate, requests per second.
+        rps: f64,
+        /// Total requests to submit.
+        requests: usize,
+    },
+}
+
+/// A load-generation run.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadConfig {
+    /// Arrival model.
+    pub mode: LoadMode,
+    /// Seed for input selection.
+    pub seed: u64,
+}
+
+/// What a load run observed.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadResult {
+    /// Requests submitted (admitted or not).
+    pub submitted: u64,
+    /// Requests answered with a prediction.
+    pub ok: u64,
+    /// Requests refused at admission (`Overloaded`).
+    pub rejected: u64,
+    /// Requests that errored any other way (`NoModel`, `Dropped`, …).
+    pub failed: u64,
+    /// Whether every closed-loop client observed non-decreasing snapshot
+    /// versions (vacuously true in open mode, where completions are
+    /// unordered).
+    pub versions_monotonic: bool,
+    /// Lowest snapshot version observed (`u64::MAX` when none).
+    pub min_version: u64,
+    /// Highest snapshot version observed (0 when none).
+    pub max_version: u64,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Completed requests per second.
+    pub throughput: f64,
+}
+
+impl LoadResult {
+    fn empty() -> Self {
+        LoadResult {
+            submitted: 0,
+            ok: 0,
+            rejected: 0,
+            failed: 0,
+            versions_monotonic: true,
+            min_version: u64::MAX,
+            max_version: 0,
+            wall: Duration::ZERO,
+            throughput: 0.0,
+        }
+    }
+
+    fn absorb(&mut self, other: &LoadResult) {
+        self.submitted += other.submitted;
+        self.ok += other.ok;
+        self.rejected += other.rejected;
+        self.failed += other.failed;
+        self.versions_monotonic &= other.versions_monotonic;
+        self.min_version = self.min_version.min(other.min_version);
+        self.max_version = self.max_version.max(other.max_version);
+    }
+
+    fn finish(mut self, wall: Duration) -> Self {
+        self.wall = wall;
+        self.throughput = if wall.as_secs_f64() > 0.0 {
+            self.ok as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        self
+    }
+
+    /// Combines this run with a *later* run against the same server.
+    ///
+    /// Because registry versions only grow, a later round must not
+    /// observe a version below an earlier round's maximum; the merged
+    /// `versions_monotonic` enforces that across the boundary too.
+    pub fn merged_with(&self, later: &LoadResult) -> LoadResult {
+        let mut merged = *self;
+        merged.absorb(later);
+        merged.versions_monotonic = self.versions_monotonic
+            && later.versions_monotonic
+            && (self.max_version == 0
+                || later.min_version == u64::MAX
+                || later.min_version >= self.max_version);
+        merged.finish(self.wall + later.wall)
+    }
+}
+
+/// Per-thread observation fold.
+struct ClientLog {
+    result: LoadResult,
+    last_version: u64,
+}
+
+impl ClientLog {
+    fn new() -> Self {
+        ClientLog {
+            result: LoadResult::empty(),
+            last_version: 0,
+        }
+    }
+
+    fn observe(&mut self, outcome: Result<crate::server::Prediction, ServeError>, ordered: bool) {
+        self.result.submitted += 1;
+        match outcome {
+            Ok(prediction) => {
+                self.result.ok += 1;
+                self.result.min_version = self.result.min_version.min(prediction.version);
+                self.result.max_version = self.result.max_version.max(prediction.version);
+                if ordered && prediction.version < self.last_version {
+                    self.result.versions_monotonic = false;
+                }
+                self.last_version = self.last_version.max(prediction.version);
+            }
+            Err(ServeError::Overloaded) => self.result.rejected += 1,
+            Err(_) => self.result.failed += 1,
+        }
+    }
+}
+
+/// Runs one load generation pass, drawing request payloads from `inputs`
+/// uniformly at random (seeded, so the request mix is reproducible).
+///
+/// # Panics
+/// Panics when `inputs` is empty or the mode requests zero work.
+pub fn run_load(client: &Client, inputs: &[Vec<f32>], config: &LoadConfig) -> LoadResult {
+    assert!(!inputs.is_empty(), "need at least one request payload");
+    let started = Instant::now();
+    let merged = match config.mode {
+        LoadMode::Closed {
+            clients,
+            requests_per_client,
+        } => {
+            assert!(clients > 0 && requests_per_client > 0, "empty closed load");
+            let logs: Vec<ClientLog> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|c| {
+                        let client = client.clone();
+                        scope.spawn(move || {
+                            let mut rng = Rng::new(config.seed ^ (c as u64).wrapping_mul(0x9e37));
+                            let mut log = ClientLog::new();
+                            for _ in 0..requests_per_client {
+                                let input = inputs[rng.below(inputs.len())].clone();
+                                log.observe(client.call(input), true);
+                            }
+                            log
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("load client panicked"))
+                    .collect()
+            });
+            let mut merged = LoadResult::empty();
+            for log in &logs {
+                merged.absorb(&log.result);
+            }
+            merged
+        }
+        LoadMode::Open { rps, requests } => {
+            assert!(rps > 0.0 && requests > 0, "empty open load");
+            let interval = Duration::from_secs_f64(1.0 / rps);
+            let mut rng = Rng::new(config.seed);
+            let mut log = ClientLog::new();
+            let mut tickets: Vec<Ticket> = Vec::with_capacity(requests);
+            let base = Instant::now();
+            for i in 0..requests {
+                // Pace against the schedule, not the previous send, so a
+                // slow submit does not silently lower the offered rate.
+                let target = base + interval.mul_f64(i as f64);
+                if let Some(wait) = target.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+                let input = inputs[rng.below(inputs.len())].clone();
+                match client.submit(input) {
+                    Ok(ticket) => tickets.push(ticket),
+                    Err(e) => log.observe(Err(e), false),
+                }
+            }
+            for ticket in tickets {
+                log.observe(ticket.wait(), false);
+            }
+            log.result
+        }
+    };
+    merged.finish(started.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{ModelSpec, SnapshotRegistry};
+    use crate::server::{ServeConfig, Server};
+    use crossbow_nn::zoo::mlp;
+    use std::sync::Arc;
+
+    fn serving() -> (Server, Vec<Vec<f32>>) {
+        let net = Arc::new(mlp(4, &[8], 3));
+        let registry = Arc::new(SnapshotRegistry::new(ModelSpec::of(&net)));
+        let params = net.init_params(&mut Rng::new(1));
+        registry.publish(params, 1).unwrap();
+        let server = Server::start(net, registry, ServeConfig::new(2));
+        let inputs: Vec<Vec<f32>> = (0..8).map(|i| vec![i as f32 * 0.1; 4]).collect();
+        (server, inputs)
+    }
+
+    #[test]
+    fn closed_loop_completes_every_request() {
+        let (server, inputs) = serving();
+        let result = run_load(
+            &server.client(),
+            &inputs,
+            &LoadConfig {
+                mode: LoadMode::Closed {
+                    clients: 4,
+                    requests_per_client: 25,
+                },
+                seed: 9,
+            },
+        );
+        assert_eq!(result.submitted, 100);
+        assert_eq!(result.ok, 100);
+        assert_eq!(result.rejected + result.failed, 0);
+        assert!(result.versions_monotonic);
+        assert_eq!((result.min_version, result.max_version), (1, 1));
+        assert!(result.throughput > 0.0);
+        assert_eq!(server.shutdown().completed, 100);
+    }
+
+    #[test]
+    fn open_loop_completes_every_request_at_a_feasible_rate() {
+        let (server, inputs) = serving();
+        let result = run_load(
+            &server.client(),
+            &inputs,
+            &LoadConfig {
+                mode: LoadMode::Open {
+                    rps: 2000.0,
+                    requests: 60,
+                },
+                seed: 9,
+            },
+        );
+        assert_eq!(result.submitted, 60);
+        assert_eq!(result.ok, 60);
+        // Pacing 60 arrivals at 2000/s takes at least ~30ms.
+        assert!(result.wall >= Duration::from_millis(25));
+        server.shutdown();
+    }
+
+    #[test]
+    fn merged_rounds_check_monotonicity_across_the_boundary() {
+        let mut early = LoadResult::empty();
+        early.ok = 10;
+        early.submitted = 10;
+        early.min_version = 1;
+        early.max_version = 3;
+        let early = early.finish(Duration::from_millis(10));
+        let mut late = LoadResult::empty();
+        late.ok = 10;
+        late.submitted = 10;
+        late.min_version = 3;
+        late.max_version = 5;
+        let late = late.finish(Duration::from_millis(10));
+        let merged = early.merged_with(&late);
+        assert!(merged.versions_monotonic);
+        assert_eq!((merged.min_version, merged.max_version), (1, 5));
+        assert_eq!(merged.ok, 20);
+        // A later round that saw an *older* version than the earlier
+        // round's max breaks monotonicity.
+        let mut stale = late;
+        stale.min_version = 2;
+        assert!(!early.merged_with(&stale).versions_monotonic);
+    }
+}

@@ -1,0 +1,505 @@
+//! The inference server: admission control, a worker pool, and graceful
+//! shutdown.
+//!
+//! A [`Server`] owns a bounded request queue and N worker threads. A
+//! [`Client`] submits requests; admission is non-blocking — a full queue
+//! answers [`ServeError::Overloaded`] immediately instead of stalling the
+//! caller (backpressure surfaces at the edge, where the caller can shed
+//! or retry). Workers coalesce requests into micro-batches (see
+//! [`crate::batcher`]), run an eval-mode forward pass against the current
+//! registry snapshot, and answer each request with the predicted class
+//! and the snapshot version that produced it.
+
+use crate::batcher::{collect_batch, BatchConfig};
+use crate::metrics::{ServeReport, WorkerStats};
+use crate::registry::SnapshotRegistry;
+use crossbow_data::chan::{self, RecvTimeoutError, SendTimeoutError};
+use crossbow_nn::Network;
+use crossbow_tensor::{Shape, Tensor};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often a parked worker re-checks the stopping flag.
+const POLL: Duration = Duration::from_millis(10);
+
+/// Why a request was not answered with a prediction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request queue is full; shed load or retry later.
+    Overloaded,
+    /// The server is draining; no new requests are admitted.
+    ShuttingDown,
+    /// No model has been published to the registry yet.
+    NoModel,
+    /// The input does not match the model's sample shape.
+    BadRequest {
+        /// Flat input length the model expects.
+        expected: usize,
+        /// Flat input length that was submitted.
+        got: usize,
+    },
+    /// The worker died before answering (a bug, surfaced rather than
+    /// hung on).
+    Dropped,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "request queue full"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::NoModel => write!(f, "no model published yet"),
+            ServeError::BadRequest { expected, got } => {
+                write!(f, "input has {got} values, model expects {expected}")
+            }
+            ServeError::Dropped => write!(f, "request dropped without an answer"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A served inference result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Prediction {
+    /// Predicted class (argmax of the logits).
+    pub class: usize,
+    /// Version of the snapshot that answered.
+    pub version: u64,
+    /// Queue time + inference latency of this request.
+    pub latency: Duration,
+}
+
+/// A request's answer, as delivered to its [`Ticket`].
+pub(crate) type Reply = Result<Prediction, ServeError>;
+
+/// One queued request.
+#[derive(Debug)]
+pub(crate) struct Job {
+    pub input: Vec<f32>,
+    pub enqueued: Instant,
+    pub resp: mpsc::Sender<Reply>,
+}
+
+/// A pending request; redeem with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket(mpsc::Receiver<Reply>);
+
+impl Ticket {
+    /// Blocks until the request is answered.
+    pub fn wait(self) -> Result<Prediction, ServeError> {
+        self.0.recv().unwrap_or(Err(ServeError::Dropped))
+    }
+}
+
+/// Cross-thread server state.
+struct Shared {
+    stopping: AtomicBool,
+    rejected: AtomicU64,
+    max_depth: AtomicUsize,
+}
+
+/// Server parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Inference worker threads.
+    pub workers: usize,
+    /// Micro-batching parameters.
+    pub batch: BatchConfig,
+    /// Load-testing knob: sleep this long inside every forward pass, so
+    /// overload and drain behaviour can be exercised deterministically
+    /// with tiny models (`None` = off).
+    pub synthetic_delay: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            batch: BatchConfig::default(),
+            synthetic_delay: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A config with `workers` threads and default batching.
+    pub fn new(workers: usize) -> Self {
+        ServeConfig {
+            workers: workers.max(1),
+            ..ServeConfig::default()
+        }
+    }
+}
+
+/// A submission handle; clone one per caller thread.
+#[derive(Clone)]
+pub struct Client {
+    tx: chan::Sender<Job>,
+    rx: Arc<chan::Receiver<Job>>,
+    shared: Arc<Shared>,
+    sample_len: usize,
+}
+
+impl Client {
+    /// Submits one request without blocking; the returned [`Ticket`]
+    /// resolves when a worker answers.
+    ///
+    /// # Errors
+    /// [`ServeError::ShuttingDown`] during drain,
+    /// [`ServeError::BadRequest`] on a shape mismatch and
+    /// [`ServeError::Overloaded`] when the bounded queue is full.
+    pub fn submit(&self, input: Vec<f32>) -> Result<Ticket, ServeError> {
+        if self.shared.stopping.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        if input.len() != self.sample_len {
+            return Err(ServeError::BadRequest {
+                expected: self.sample_len,
+                got: input.len(),
+            });
+        }
+        let (resp, ticket) = mpsc::channel();
+        let job = Job {
+            input,
+            enqueued: Instant::now(),
+            resp,
+        };
+        match self.tx.send_timeout(job, Duration::ZERO) {
+            Ok(()) => {
+                self.shared
+                    .max_depth
+                    .fetch_max(self.rx.len(), Ordering::Relaxed);
+                Ok(Ticket(ticket))
+            }
+            Err(SendTimeoutError::Timeout(_)) => {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Overloaded)
+            }
+            Err(SendTimeoutError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Submits and blocks for the answer.
+    ///
+    /// # Errors
+    /// Everything [`Client::submit`] returns, plus whatever the worker
+    /// answers (e.g. [`ServeError::NoModel`]).
+    pub fn call(&self, input: Vec<f32>) -> Result<Prediction, ServeError> {
+        self.submit(input)?.wait()
+    }
+
+    /// Requests currently queued (a point-in-time gauge).
+    pub fn queue_depth(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+/// A running inference server.
+pub struct Server {
+    client: Client,
+    workers: Vec<JoinHandle<WorkerStats>>,
+    shared: Arc<Shared>,
+    started: Instant,
+}
+
+impl Server {
+    /// Starts the worker pool serving `registry` snapshots through `net`.
+    pub fn start(net: Arc<Network>, registry: Arc<SnapshotRegistry>, config: ServeConfig) -> Self {
+        let (tx, rx) = chan::bounded::<Job>(config.batch.queue_depth.max(1));
+        let rx = Arc::new(rx);
+        let shared = Arc::new(Shared {
+            stopping: AtomicBool::new(false),
+            rejected: AtomicU64::new(0),
+            max_depth: AtomicUsize::new(0),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let net = Arc::clone(&net);
+                let registry = Arc::clone(&registry);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&net, &registry, &rx, &shared, &config))
+                    .expect("spawn inference worker")
+            })
+            .collect();
+        let sample_len = registry.spec().sample_len();
+        Server {
+            client: Client {
+                tx,
+                rx,
+                shared: Arc::clone(&shared),
+                sample_len,
+            },
+            workers,
+            shared,
+            started: Instant::now(),
+        }
+    }
+
+    /// A submission handle; clone freely across threads.
+    pub fn client(&self) -> Client {
+        self.client.clone()
+    }
+
+    /// Drains and stops the server: new submissions are refused, every
+    /// already-admitted request is answered, workers exit, and their
+    /// metrics are merged into the final [`ServeReport`].
+    pub fn shutdown(self) -> ServeReport {
+        self.shared.stopping.store(true, Ordering::Release);
+        drop(self.client);
+        let mut merged = WorkerStats::new();
+        for worker in self.workers {
+            merged.merge(&worker.join().expect("inference worker panicked"));
+        }
+        let wall = self.started.elapsed();
+        let answered = merged.requests + merged.no_model;
+        ServeReport {
+            completed: merged.requests,
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            no_model: merged.no_model,
+            batches: merged.batches,
+            mean_batch: if merged.batches > 0 {
+                answered as f64 / merged.batches as f64
+            } else {
+                0.0
+            },
+            request_latency: merged.request_hist.summary(),
+            batch_latency: merged.batch_hist.summary(),
+            throughput: if wall.as_secs_f64() > 0.0 {
+                merged.requests as f64 / wall.as_secs_f64()
+            } else {
+                0.0
+            },
+            max_queue_depth: self.shared.max_depth.load(Ordering::Relaxed),
+            min_version: if merged.min_version == u64::MAX {
+                0
+            } else {
+                merged.min_version
+            },
+            max_version: merged.max_version,
+            wall,
+        }
+    }
+}
+
+fn worker_loop(
+    net: &Network,
+    registry: &SnapshotRegistry,
+    rx: &chan::Receiver<Job>,
+    shared: &Shared,
+    config: &ServeConfig,
+) -> WorkerStats {
+    let mut stats = WorkerStats::new();
+    let mut scratch = net.scratch();
+    loop {
+        // Take a first job; during drain, exit once the queue is empty.
+        let first = match rx.try_recv() {
+            Some(job) => job,
+            None => {
+                if shared.stopping.load(Ordering::Acquire) {
+                    break;
+                }
+                match rx.recv_timeout(POLL) {
+                    Ok(job) => job,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        };
+        let batch = collect_batch(rx, first, &config.batch, &shared.stopping);
+        stats.batches += 1;
+        serve_batch(net, registry, batch, config, &mut scratch, &mut stats);
+    }
+    stats
+}
+
+fn serve_batch(
+    net: &Network,
+    registry: &SnapshotRegistry,
+    batch: Vec<Job>,
+    config: &ServeConfig,
+    scratch: &mut crossbow_nn::Scratch,
+    stats: &mut WorkerStats,
+) {
+    let Some(snapshot) = registry.current() else {
+        // Answer rather than hold: a server with no model is explicit
+        // about it, and the request does not burn its caller's timeout.
+        stats.no_model += batch.len() as u64;
+        for job in batch {
+            let _ = job.resp.send(Err(ServeError::NoModel));
+        }
+        return;
+    };
+    let n = batch.len();
+    let sample_len = snapshot.spec.sample_len();
+    let mut data = Vec::with_capacity(n * sample_len);
+    for job in &batch {
+        data.extend_from_slice(&job.input);
+    }
+    let mut dims = vec![n];
+    dims.extend_from_slice(&snapshot.spec.input_shape);
+    let input = Tensor::from_vec(Shape::new(&dims), data);
+    if let Some(delay) = config.synthetic_delay {
+        std::thread::sleep(delay);
+    }
+    let forward_started = Instant::now();
+    let classes = net.predict(&snapshot.params, &input, scratch);
+    stats.batch_hist.record(forward_started.elapsed());
+    let answered = Instant::now();
+    for (job, class) in batch.into_iter().zip(classes) {
+        stats.requests += 1;
+        stats.observe_version(snapshot.version);
+        let latency = answered.saturating_duration_since(job.enqueued);
+        stats.request_hist.record(latency);
+        // A caller that gave up on its ticket is its own business; the
+        // server keeps serving.
+        let _ = job.resp.send(Ok(Prediction {
+            class,
+            version: snapshot.version,
+            latency,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelSpec;
+    use crossbow_nn::zoo::mlp;
+    use crossbow_tensor::Rng;
+
+    fn setup() -> (Arc<Network>, Arc<SnapshotRegistry>, Vec<f32>) {
+        let net = Arc::new(mlp(4, &[8], 3));
+        let registry = Arc::new(SnapshotRegistry::new(ModelSpec::of(&net)));
+        let params = net.init_params(&mut Rng::new(1));
+        (net, registry, params)
+    }
+
+    #[test]
+    fn predictions_match_a_direct_eval_forward() {
+        let (net, registry, params) = setup();
+        registry.publish(params.clone(), 7).unwrap();
+        let server = Server::start(Arc::clone(&net), Arc::clone(&registry), ServeConfig::new(1));
+        let client = server.client();
+        let mut rng = Rng::new(2);
+        for _ in 0..20 {
+            let input: Vec<f32> = (0..4).map(|_| rng.normal()).collect();
+            let served = client.call(input.clone()).expect("served");
+            let direct = net.predict(
+                &params,
+                &Tensor::from_vec(Shape::new(&[1, 4]), input),
+                &mut net.scratch(),
+            );
+            assert_eq!(served.class, direct[0], "server matches direct eval");
+            assert_eq!(served.version, 1);
+        }
+        let report = server.shutdown();
+        assert_eq!(report.completed, 20);
+        assert_eq!(report.rejected, 0);
+        assert_eq!((report.min_version, report.max_version), (1, 1));
+        assert!(report.batches >= 1 && report.batches <= 20);
+        assert!(report.request_latency.p99 > Duration::ZERO);
+    }
+
+    #[test]
+    fn requests_before_the_first_publication_answer_no_model() {
+        let (net, registry, _) = setup();
+        let server = Server::start(net, registry, ServeConfig::new(1));
+        let client = server.client();
+        assert_eq!(client.call(vec![0.0; 4]), Err(ServeError::NoModel));
+        let report = server.shutdown();
+        assert_eq!(report.no_model, 1);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.min_version, 0, "no version ever served");
+    }
+
+    #[test]
+    fn mis_shaped_inputs_are_refused_at_admission() {
+        let (net, registry, params) = setup();
+        registry.publish(params, 1).unwrap();
+        let server = Server::start(net, registry, ServeConfig::new(1));
+        let client = server.client();
+        assert_eq!(
+            client.submit(vec![0.0; 7]).err(),
+            Some(ServeError::BadRequest {
+                expected: 4,
+                got: 7
+            })
+        );
+        assert_eq!(server.shutdown().completed, 0);
+    }
+
+    #[test]
+    fn a_full_queue_rejects_with_overloaded() {
+        let (net, registry, params) = setup();
+        registry.publish(params, 1).unwrap();
+        let config = ServeConfig {
+            workers: 1,
+            batch: BatchConfig {
+                max_batch: 1,
+                max_delay: Duration::ZERO,
+                queue_depth: 2,
+            },
+            // Slow the worker down so the burst genuinely overflows the
+            // bounded queue.
+            synthetic_delay: Some(Duration::from_millis(50)),
+        };
+        let server = Server::start(net, registry, config);
+        let client = server.client();
+        let mut tickets = Vec::new();
+        let mut rejected = 0u64;
+        for _ in 0..10 {
+            match client.submit(vec![0.1; 4]) {
+                Ok(t) => tickets.push(t),
+                Err(ServeError::Overloaded) => rejected += 1,
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(rejected > 0, "the burst must overflow a depth-2 queue");
+        let admitted = tickets.len() as u64;
+        for ticket in tickets {
+            ticket.wait().expect("admitted requests complete");
+        }
+        let report = server.shutdown();
+        assert_eq!(report.completed, admitted);
+        assert_eq!(report.rejected, rejected);
+        assert!(report.max_queue_depth >= 1);
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_requests_before_stopping() {
+        let (net, registry, params) = setup();
+        registry.publish(params, 1).unwrap();
+        let config = ServeConfig {
+            workers: 1,
+            batch: BatchConfig {
+                max_batch: 4,
+                max_delay: Duration::from_millis(1),
+                queue_depth: 64,
+            },
+            synthetic_delay: Some(Duration::from_millis(5)),
+        };
+        let server = Server::start(net, registry, config);
+        let client = server.client();
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|_| client.submit(vec![0.2; 4]).expect("admitted"))
+            .collect();
+        // Shut down immediately: every admitted request must still be
+        // answered with a prediction, not dropped.
+        let report = server.shutdown();
+        for ticket in tickets {
+            ticket.wait().expect("drained, not dropped");
+        }
+        assert_eq!(report.completed, 8);
+        // Surviving clients are refused after the drain.
+        assert_eq!(
+            client.submit(vec![0.2; 4]).err(),
+            Some(ServeError::ShuttingDown)
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Train-and-serve: a live trainer feeding a live server.
+//!
+//! The paper's average model `z` is the deployable artifact; here it is
+//! deployed *while still improving*. A background trainer runs the usual
+//! synchronous loop with a [`PublishHook`](crossbow_sync::PublishHook)
+//! that hands `z` to the snapshot registry every few iterations, and the
+//! bundled load generator hammers the server throughout. Hot swaps are
+//! invisible to clients except as rising snapshot versions: zero requests
+//! drop, and closed-loop clients observe versions that only grow.
+
+use crate::loadgen::{run_load, LoadConfig, LoadResult};
+use crate::metrics::ServeReport;
+use crate::registry::{ModelSpec, SnapshotRegistry};
+use crate::server::{ServeConfig, Server};
+use crossbow_data::Dataset;
+use crossbow_nn::Network;
+use crossbow_sync::algorithm::SyncAlgorithm;
+use crossbow_sync::{train, TrainerConfig, TrainingCurve};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A combined training-and-serving run.
+#[derive(Clone, Debug)]
+pub struct TrainAndServeConfig {
+    /// The background training run.
+    pub trainer: TrainerConfig,
+    /// Publish the consensus model every this many applied iterations.
+    pub publish_every: u64,
+    /// The server.
+    pub serve: ServeConfig,
+    /// The foreground load.
+    pub load: LoadConfig,
+}
+
+/// What a train-and-serve run produced.
+#[derive(Clone, Debug)]
+pub struct TrainAndServeReport {
+    /// The background trainer's curve.
+    pub curve: TrainingCurve,
+    /// The merged observation of every load round.
+    pub load: LoadResult,
+    /// The server's own metrics.
+    pub serve: ServeReport,
+}
+
+/// Trains `algo` in a background thread while serving it under load.
+///
+/// The initial model is published before the server starts (version 1),
+/// so no request ever sees `NoModel`; the trainer then re-publishes `z`
+/// every `publish_every` iterations. Load runs in rounds until the
+/// trainer finishes, with one final round guaranteed to run entirely
+/// after the last publication. Request payloads are drawn from
+/// `test_set`.
+pub fn train_and_serve<A: SyncAlgorithm + Send>(
+    net: &Arc<Network>,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    algo: &mut A,
+    config: &TrainAndServeConfig,
+) -> TrainAndServeReport {
+    let registry = Arc::new(SnapshotRegistry::new(ModelSpec::of(net)));
+    registry
+        .publish(algo.consensus().to_vec(), 0)
+        .expect("initial model fits its own network");
+    let trainer_config = config
+        .trainer
+        .clone()
+        .with_publish(registry.hook(config.publish_every));
+
+    let sample_len = test_set.sample_len();
+    let images = test_set.images_tensor();
+    let inputs: Vec<Vec<f32>> = images
+        .data()
+        .chunks_exact(sample_len)
+        .take(64)
+        .map(<[f32]>::to_vec)
+        .collect();
+
+    let server = Server::start(Arc::clone(net), registry, config.serve);
+    let client = server.client();
+    let done = AtomicBool::new(false);
+    let (curve, load) = std::thread::scope(|scope| {
+        let trainer = scope.spawn(|| {
+            let curve = train(net, train_set, test_set, algo, &trainer_config);
+            done.store(true, Ordering::Release);
+            curve
+        });
+        let mut merged: Option<LoadResult> = None;
+        loop {
+            // Sampled before the round: when true, this round runs wholly
+            // after training, so the loop always ends with a post-training
+            // round against the final model.
+            let finished = done.load(Ordering::Acquire);
+            let round = run_load(&client, &inputs, &config.load);
+            merged = Some(match merged {
+                None => round,
+                Some(earlier) => earlier.merged_with(&round),
+            });
+            if finished {
+                break;
+            }
+        }
+        let curve = trainer.join().expect("trainer thread panicked");
+        (curve, merged.expect("at least one load round"))
+    });
+    let serve = server.shutdown();
+    TrainAndServeReport { curve, load, serve }
+}

@@ -209,7 +209,7 @@ impl SyncAlgorithm for HierarchicalSma {
         true
     }
 
-    /// Replicas are flattened in [`Self::locate`] order; the per-group
+    /// Replicas are flattened in `Self::locate` order; the per-group
     /// reference models travel in `aux` (one entry per group), which also
     /// records the group layout for restore.
     fn snapshot(&self) -> Option<AlgoSnapshot> {

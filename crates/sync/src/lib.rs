@@ -40,4 +40,6 @@ pub use optimizer::{Sgd, SgdConfig};
 pub use schedule::LrSchedule;
 pub use sma::{easgd, Sma, SmaConfig};
 pub use ssgd::SSgd;
-pub use trainer::{resume, train, CheckpointConfig, GuardConfig, TrainerConfig, TrainingCurve};
+pub use trainer::{
+    resume, train, CheckpointConfig, GuardConfig, PublishHook, TrainerConfig, TrainingCurve,
+};

@@ -18,7 +18,7 @@
 //!   Algorithm 1 restarts with the current `z` as the new initial model —
 //!   replicas are re-seeded from `z` and the momentum history is cleared.
 //!
-//! [`easgd`] configures the same machinery as elastic averaging SGD [69]:
+//! [`easgd`] configures the same machinery as elastic averaging SGD \[69\]:
 //! no centre momentum (µ = 0). This is the comparator of Figure 15.
 
 use crate::algorithm::{AlgoSnapshot, SyncAlgorithm};
@@ -100,7 +100,7 @@ impl Sma {
     }
 }
 
-/// Elastic averaging SGD [69]: SMA without centre momentum, optionally
+/// Elastic averaging SGD \[69\]: SMA without centre momentum, optionally
 /// synchronising only every `tau` iterations to cut communication.
 pub fn easgd(initial: Vec<f32>, k: usize, alpha: Option<f32>, tau: usize) -> Sma {
     let mut algo = Sma::new(

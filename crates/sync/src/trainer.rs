@@ -21,6 +21,53 @@ use crossbow_nn::Network;
 use crossbow_tensor::stats::WindowedMedian;
 use crossbow_tensor::Tensor;
 use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A consumer of freshly synchronised consensus models.
+///
+/// Installed via [`TrainerConfig::with_publish`], the hook is called with
+/// `(applied iterations, consensus model z)` after every `every`-th
+/// synchronisation step — the moment the paper's average model is
+/// coherent and deployable. The callback runs on the training thread, so
+/// it should hand the model off quickly (e.g. swap it into a snapshot
+/// registry) rather than do heavy work inline.
+#[derive(Clone)]
+pub struct PublishHook {
+    every: u64,
+    hook: PublishFn,
+}
+
+/// The callback type a [`PublishHook`] wraps: `(iterations, z)`.
+type PublishFn = Arc<dyn Fn(u64, &[f32]) + Send + Sync>;
+
+impl PublishHook {
+    /// A hook firing after every `every`-th applied iteration (`every`
+    /// is clamped to at least 1).
+    pub fn new(every: u64, hook: impl Fn(u64, &[f32]) + Send + Sync + 'static) -> Self {
+        PublishHook {
+            every: every.max(1),
+            hook: Arc::new(hook),
+        }
+    }
+
+    /// The publication interval in applied iterations.
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// Invokes the hook unconditionally.
+    pub fn publish(&self, iteration: u64, z: &[f32]) {
+        (self.hook)(iteration, z);
+    }
+}
+
+impl std::fmt::Debug for PublishHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PublishHook")
+            .field("every", &self.every)
+            .finish_non_exhaustive()
+    }
+}
 
 /// Configuration of a training run.
 #[derive(Clone, Debug)]
@@ -57,6 +104,10 @@ pub struct TrainerConfig {
     /// this many *applied* iterations. The partial curve is returned;
     /// durable checkpoints written so far stay on disk for [`resume`].
     pub crash_after: Option<u64>,
+    /// Publication hook: periodically hands the consensus model `z` to a
+    /// consumer (e.g. a serving snapshot registry) right after a
+    /// synchronisation step (`None` = off).
+    pub publish: Option<PublishHook>,
 }
 
 /// Settings of durable (on-disk) checkpointing.
@@ -110,7 +161,13 @@ impl CheckpointConfig {
         self
     }
 
-    fn store(&self) -> CheckpointStore {
+    /// Opens (creating if necessary) the checkpoint store this
+    /// configuration points at.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Io`] when the directory cannot be created or
+    /// read.
+    pub fn store(&self) -> Result<CheckpointStore, CheckpointError> {
         CheckpointStore::open(
             &self.dir,
             RetentionPolicy {
@@ -118,7 +175,6 @@ impl CheckpointConfig {
                 keep_epoch_boundaries: true,
             },
         )
-        .expect("cannot open the checkpoint directory")
     }
 }
 
@@ -168,6 +224,7 @@ impl TrainerConfig {
             inject_nan_at: None,
             checkpoint: None,
             crash_after: None,
+            publish: None,
         }
     }
 
@@ -204,6 +261,12 @@ impl TrainerConfig {
     /// Injects a simulated host crash (builder style).
     pub fn with_crash_after(mut self, iterations: u64) -> Self {
         self.crash_after = Some(iterations);
+        self
+    }
+
+    /// Installs a consensus-model publication hook (builder style).
+    pub fn with_publish(mut self, publish: PublishHook) -> Self {
+        self.publish = Some(publish);
         self
     }
 }
@@ -253,7 +316,11 @@ pub fn train(
     algo: &mut dyn SyncAlgorithm,
     config: &TrainerConfig,
 ) -> TrainingCurve {
-    run(net, train_set, test_set, algo, config, None)
+    let store = config
+        .checkpoint
+        .as_ref()
+        .map(|ckpt| ckpt.store().expect("cannot open the checkpoint directory"));
+    run(net, train_set, test_set, algo, config, None, store)
 }
 
 /// Resumes training from the newest valid checkpoint in
@@ -266,18 +333,24 @@ pub fn train(
 /// same configuration. When *every* checkpoint on disk is corrupt the run
 /// starts fresh (the durable state is unusable, not merely absent).
 ///
+/// # Errors
+/// [`CheckpointError::Io`] when the checkpoint directory cannot be
+/// created or read.
+///
 /// # Panics
-/// Panics on configuration/dataset/network mismatches or when the
-/// checkpoint directory itself cannot be read.
+/// Panics on configuration/dataset/network mismatches.
 pub fn resume(
     net: &Network,
     train_set: &Dataset,
     test_set: &Dataset,
     algo: &mut dyn SyncAlgorithm,
     config: &TrainerConfig,
-) -> TrainingCurve {
-    let restored = config.checkpoint.as_ref().and_then(|ckpt| {
-        match ckpt.store().load_latest() {
+) -> Result<TrainingCurve, CheckpointError> {
+    let mut store = None;
+    let mut restored = None;
+    if let Some(ckpt) = &config.checkpoint {
+        let opened = ckpt.store()?;
+        restored = match opened.load_latest() {
             Ok(Some(loaded)) => {
                 let st = loaded.state;
                 let fits = st.seed == config.seed
@@ -290,12 +363,11 @@ pub fn resume(
             // Every file failed validation: durable state exists but none
             // of it is trustworthy — start over rather than guess.
             Err(CheckpointError::Corrupt(_)) => None,
-            Err(e @ CheckpointError::Io(_)) => {
-                panic!("cannot read the checkpoint directory: {e}")
-            }
-        }
-    });
-    run(net, train_set, test_set, algo, config, restored)
+            Err(e @ CheckpointError::Io(_)) => return Err(e),
+        };
+        store = Some(opened);
+    }
+    Ok(run(net, train_set, test_set, algo, config, restored, store))
 }
 
 /// Mutable loop state beyond the curve itself — bundled so the
@@ -391,6 +463,7 @@ fn run(
     algo: &mut dyn SyncAlgorithm,
     config: &TrainerConfig,
     restored: Option<TrainingState>,
+    store: Option<CheckpointStore>,
 ) -> TrainingCurve {
     assert_eq!(
         algo.param_len(),
@@ -429,7 +502,6 @@ fn run(
         // a run that diverges immediately can still roll back somewhere.
         guard: config.guard.and_then(|_| algo.snapshot()),
     };
-    let store = config.checkpoint.as_ref().map(CheckpointConfig::store);
 
     if let Some(st) = restored {
         assert!(
@@ -514,6 +586,13 @@ fn run(
         algo.step(&grads, lr);
         curve.iterations += 1;
         curve.samples_processed += (k * config.batch_per_learner) as u64;
+        if let Some(hook) = &config.publish {
+            // Right after the synchronisation step the consensus model is
+            // coherent — this is the paper's deployable average model `z`.
+            if curve.iterations.is_multiple_of(hook.every()) {
+                hook.publish(curve.iterations, algo.consensus());
+            }
+        }
         if let Some(g) = config.guard {
             if curve.iterations.is_multiple_of(g.checkpoint_every) {
                 if let Some(snap) = algo.snapshot() {
@@ -883,13 +962,59 @@ mod tests {
         );
         assert!(crashed.epochs() < 6, "the crash cut the run short");
         let mut algo = fresh_algo();
-        let resumed = resume(&net, &train_set, &test_set, &mut algo, &checkpointed());
+        let resumed = resume(&net, &train_set, &test_set, &mut algo, &checkpointed())
+            .expect("checkpoint directory readable");
         assert_eq!(resumed, uninterrupted, "resume must be bit-exact");
         // Resuming the finished run changes nothing.
         let mut algo = fresh_algo();
-        let again = resume(&net, &train_set, &test_set, &mut algo, &checkpointed());
+        let again = resume(&net, &train_set, &test_set, &mut algo, &checkpointed())
+            .expect("checkpoint directory readable");
         assert_eq!(again, uninterrupted);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_surfaces_an_unreadable_checkpoint_directory() {
+        // A plain file where the directory should be: store creation is
+        // an io error, and resume must return it instead of panicking.
+        let (net, train_set, test_set) = setup();
+        let path =
+            std::env::temp_dir().join(format!("crossbow-trainer-notadir-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::write(&path, b"occupied").expect("tmp write");
+        let init = net.init_params(&mut Rng::new(1));
+        let mut algo = Sma::new(init, 2, SmaConfig::default());
+        let cfg = TrainerConfig::new(8, 1).with_checkpointing(CheckpointConfig::new(&path));
+        let err = resume(&net, &train_set, &test_set, &mut algo, &cfg)
+            .expect_err("a file is not a checkpoint directory");
+        assert!(matches!(err, CheckpointError::Io(_)), "got {err:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn publish_hook_sees_fresh_consensus_models() {
+        use std::sync::Mutex;
+        let (net, train_set, test_set) = setup();
+        let init = net.init_params(&mut Rng::new(1));
+        let mut algo = Sma::new(init, 2, SmaConfig::default());
+        let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let log = Arc::clone(&seen);
+        let plen = net.param_len();
+        let hook = PublishHook::new(10, move |iteration, z| {
+            assert_eq!(z.len(), plen, "hook receives the full model");
+            assert!(z.iter().all(|w| w.is_finite()));
+            log.lock().unwrap().push(iteration);
+        });
+        let cfg = TrainerConfig::new(8, 2).with_publish(hook);
+        let curve = train(&net, &train_set, &test_set, &mut algo, &cfg);
+        let seen = seen.lock().unwrap();
+        assert_eq!(
+            seen.len() as u64,
+            curve.iterations / 10,
+            "fires every 10th applied iteration"
+        );
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "iterations increase");
+        assert!(seen.iter().all(|i| i.is_multiple_of(10)));
     }
 
     #[test]

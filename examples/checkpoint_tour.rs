@@ -22,7 +22,9 @@ fn main() {
 
     // 1. The reference: an uninterrupted session.
     let config = SessionConfig::lenet_quick().with_seed(7);
-    let uninterrupted = Session::new(config.clone()).run();
+    let uninterrupted = Session::new(config.clone())
+        .run()
+        .expect("checkpoint store");
     println!("-- uninterrupted run --");
     println!(
         "   {} iterations, final accuracy {:.3}\n",
@@ -42,7 +44,8 @@ fn main() {
             .with_robustness(robustness)
             .with_checkpointing(checkpointing.clone()),
     )
-    .run();
+    .run()
+    .expect("checkpoint store");
     println!("-- crashed run (host crash at iteration 40) --");
     println!(
         "   stopped after {} iterations, {} epoch(s) finished",
@@ -61,7 +64,9 @@ fn main() {
     // 3. A restarted session finds the store, skips the auto-tuner in
     //    favour of the recorded learner count, resumes from the newest
     //    valid checkpoint, and finishes the run.
-    let resumed = Session::new(config.with_checkpointing(checkpointing)).run();
+    let resumed = Session::new(config.with_checkpointing(checkpointing))
+        .run()
+        .expect("checkpoint store");
     println!("-- resumed run --");
     println!(
         "   {} iterations, final accuracy {:.3}",

@@ -63,7 +63,9 @@ fn main() {
     let config = SessionConfig::lenet_quick()
         .with_epochs(10)
         .with_robustness(robustness);
-    let report = Session::new(config).run();
+    let report = Session::new(config)
+        .run()
+        .expect("checkpointing disabled; cannot fail");
     println!("-- self-healing session (seed-derived fault plan) --");
     println!("   sim faults: {:?}", report.sim.faults,);
     println!(

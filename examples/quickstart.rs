@@ -17,7 +17,7 @@ fn main() {
     // seconds on a laptop core.
     let config = SessionConfig::lenet_quick().with_gpus(2).with_seed(7);
     let session = Session::new(config);
-    let report = session.run();
+    let report = session.run().expect("checkpointing disabled; cannot fail");
 
     println!("CROSSBOW quickstart");
     println!("-------------------");

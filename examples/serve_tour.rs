@@ -1,0 +1,132 @@
+//! Tour of the serving subsystem: snapshot hot-swap, micro-batching,
+//! checkpoint round-trips, and the combined train-and-serve run.
+//!
+//! ```sh
+//! cargo run --release -p crossbow --example serve_tour
+//! ```
+//!
+//! Training's product is the central average model `z`; this example
+//! deploys it. A [`SnapshotRegistry`] holds immutable versioned models
+//! that can be swapped under load, a [`Server`] coalesces concurrent
+//! requests into micro-batches, and [`train_and_serve`] runs both halves
+//! at once — the trainer keeps publishing fresher `z` snapshots while
+//! clients hammer the server.
+
+use crossbow::data::synth::gaussian_mixture;
+use crossbow::nn::zoo::mlp;
+use crossbow::serve::{
+    export_snapshot, load_into, run_load, train_and_serve, BatchConfig, LoadConfig, LoadMode,
+    ModelSpec, ServeConfig, Server, SnapshotRegistry, TrainAndServeConfig,
+};
+use crossbow::sync::sma::{Sma, SmaConfig};
+use crossbow::sync::TrainerConfig;
+use crossbow::tensor::Rng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    println!("CROSSBOW serve tour");
+    println!("===================");
+
+    // -- 1. A registry of versioned snapshots ----------------------------
+    let net = Arc::new(mlp(6, &[16], 4));
+    let registry = Arc::new(SnapshotRegistry::new(ModelSpec::of(&net)));
+    let mut rng = Rng::new(7);
+    let v1 = registry
+        .publish(net.init_params(&mut rng), 0)
+        .expect("initial model fits");
+    println!("published version {v1} ({} parameters)", net.param_len());
+
+    // -- 2. A server with micro-batching ---------------------------------
+    let mut config = ServeConfig::new(2);
+    config.batch = BatchConfig {
+        max_batch: 8,
+        max_delay: Duration::from_millis(1),
+        ..BatchConfig::default()
+    };
+    let server = Server::start(Arc::clone(&net), Arc::clone(&registry), config);
+    let client = server.client();
+
+    let (train_set, test_set) = gaussian_mixture(4, 6, 2304, 0.25, 8).split_at(2048);
+    let sample_len = test_set.sample_len();
+    let inputs: Vec<Vec<f32>> = test_set
+        .images_tensor()
+        .data()
+        .chunks_exact(sample_len)
+        .take(32)
+        .map(<[f32]>::to_vec)
+        .collect();
+
+    let one = client.call(inputs[0].clone()).expect("server up");
+    println!(
+        "one request     : class {} from snapshot v{} in {:?}",
+        one.class, one.version, one.latency
+    );
+
+    // -- 3. Hot swap under load ------------------------------------------
+    let v2 = registry
+        .publish(net.init_params(&mut rng), 50)
+        .expect("same shape republished");
+    let load = LoadConfig {
+        mode: LoadMode::Closed {
+            clients: 4,
+            requests_per_client: 50,
+        },
+        seed: 3,
+    };
+    let result = run_load(&client, &inputs, &load);
+    println!(
+        "after swap to v{v2}: {} ok, {} rejected, {} failed, versions {}..{} (monotonic: {})",
+        result.ok,
+        result.rejected,
+        result.failed,
+        result.min_version,
+        result.max_version,
+        result.versions_monotonic
+    );
+    let report = server.shutdown();
+    println!("server report   : {}", report.summary());
+
+    // -- 4. Snapshots round-trip through the checkpoint store ------------
+    let dir = std::env::temp_dir().join(format!("crossbow-serve-tour-{}", std::process::id()));
+    let snapshot = registry.current().expect("something published");
+    export_snapshot(&dir, &snapshot).expect("export");
+    let restored = Arc::new(SnapshotRegistry::new(ModelSpec::of(&net)));
+    let version = load_into(&restored, &dir).expect("import").expect("found");
+    println!(
+        "checkpoint trip : exported v{} -> fresh registry serves v{version}",
+        snapshot.version
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // -- 5. Train and serve at once --------------------------------------
+    let mut algo = Sma::new(net.init_params(&mut rng), 4, SmaConfig::default());
+    let ts_config = TrainAndServeConfig {
+        trainer: TrainerConfig::new(16, 4).with_seed(7),
+        publish_every: 10,
+        serve: ServeConfig::new(2),
+        load: LoadConfig {
+            mode: LoadMode::Closed {
+                clients: 2,
+                requests_per_client: 50,
+            },
+            seed: 13,
+        },
+    };
+    let combined = train_and_serve(&net, &train_set, &test_set, &mut algo, &ts_config);
+    println!();
+    println!("train-and-serve:");
+    println!(
+        "  trained       : {} iterations, final accuracy {:.3}",
+        combined.curve.iterations, combined.curve.final_accuracy
+    );
+    println!(
+        "  load          : {} ok / {} submitted, versions {}..{} (monotonic: {})",
+        combined.load.ok,
+        combined.load.submitted,
+        combined.load.min_version,
+        combined.load.max_version,
+        combined.load.versions_monotonic
+    );
+    println!("  server        : {}", combined.serve.summary());
+}

@@ -28,7 +28,9 @@ fn main() {
         .with_batch(64)
         .with_algorithm(AlgorithmKind::Sma { tau: 1 })
         .with_seed(11);
-    let crossbow_report = Session::new(crossbow_cfg).run();
+    let crossbow_report = Session::new(crossbow_cfg)
+        .run()
+        .expect("checkpointing disabled; cannot fail");
     println!("CROSSBOW  : {}", crossbow_report.summary());
 
     // Baseline: parallel S-SGD, one replica per GPU, global barrier.
@@ -37,7 +39,9 @@ fn main() {
         .with_batch(64)
         .with_algorithm(AlgorithmKind::SSgd)
         .with_seed(11);
-    let baseline_report = Session::new(baseline_cfg).run();
+    let baseline_report = Session::new(baseline_cfg)
+        .run()
+        .expect("checkpointing disabled; cannot fail");
     println!("baseline  : {}", baseline_report.summary());
 
     println!();

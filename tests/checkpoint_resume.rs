@@ -72,7 +72,8 @@ fn crash_inside_a_tau_sync_phase_resumes_bit_exactly() {
     assert_eq!(crashed.iterations, 31, "the crash cut the run short");
 
     let mut algo = fresh_algo();
-    let resumed = resume(&net, &train_set, &test_set, &mut algo, &checkpointed());
+    let resumed = resume(&net, &train_set, &test_set, &mut algo, &checkpointed())
+        .expect("checkpoint directory readable");
     assert_eq!(
         resumed, uninterrupted,
         "resume across a τ phase must be bit-exact"
@@ -117,7 +118,8 @@ fn crash_around_an_lr_change_resumes_bit_exactly() {
         assert_eq!(crashed.iterations, crash_at);
 
         let mut algo = fresh_algo();
-        let resumed = resume(&net, &train_set, &test_set, &mut algo, &checkpointed());
+        let resumed = resume(&net, &train_set, &test_set, &mut algo, &checkpointed())
+            .expect("checkpoint directory readable");
         assert_eq!(
             resumed, uninterrupted,
             "resume around the LR change (crash at {crash_at}) must be bit-exact"
@@ -159,7 +161,8 @@ fn ssgd_momentum_survives_resume() {
     assert!(crashed.epochs() < 4);
 
     let mut algo = fresh_algo();
-    let resumed = resume(&net, &train_set, &test_set, &mut algo, &checkpointed());
+    let resumed = resume(&net, &train_set, &test_set, &mut algo, &checkpointed())
+        .expect("checkpoint directory readable");
     assert_eq!(resumed, uninterrupted, "S-SGD resume must restore momentum");
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -203,7 +206,8 @@ fn divergence_guard_and_nan_injection_survive_resume() {
     assert_eq!(crashed.rollbacks, 1);
 
     let mut algo = fresh_algo();
-    let resumed = resume(&net, &train_set, &test_set, &mut algo, &checkpointed());
+    let resumed = resume(&net, &train_set, &test_set, &mut algo, &checkpointed())
+        .expect("checkpoint directory readable");
     assert_eq!(resumed, uninterrupted, "guard state must survive resume");
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -259,7 +263,8 @@ fn corrupt_checkpoints_fall_back_to_the_newest_valid_one() {
     // Resume replays from the older valid checkpoint and still lands on
     // the bit-identical curve.
     let mut algo = fresh_algo();
-    let resumed = resume(&net, &train_set, &test_set, &mut algo, &checkpointed());
+    let resumed = resume(&net, &train_set, &test_set, &mut algo, &checkpointed())
+        .expect("checkpoint directory readable");
     assert_eq!(resumed, uninterrupted, "fallback resume must be bit-exact");
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -293,7 +298,8 @@ fn a_fully_corrupt_store_starts_fresh_and_still_matches() {
         std::fs::write(&path, b"not a checkpoint").unwrap();
     }
     let mut algo = fresh_algo();
-    let resumed = resume(&net, &train_set, &test_set, &mut algo, &checkpointed());
+    let resumed = resume(&net, &train_set, &test_set, &mut algo, &checkpointed())
+        .expect("checkpoint directory readable");
     assert_eq!(resumed, uninterrupted);
     let _ = std::fs::remove_dir_all(&dir);
 }

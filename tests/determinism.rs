@@ -18,8 +18,8 @@ fn quick_session(seed: u64) -> SessionConfig {
 
 #[test]
 fn sessions_replay_bit_identically() {
-    let a = Session::new(quick_session(5)).run();
-    let b = Session::new(quick_session(5)).run();
+    let a = Session::new(quick_session(5)).run().expect("run");
+    let b = Session::new(quick_session(5)).run().expect("run");
     assert_eq!(a.curve.epoch_accuracy, b.curve.epoch_accuracy);
     assert_eq!(a.curve.iterations, b.curve.iterations);
     assert_eq!(a.sim.throughput, b.sim.throughput);
@@ -28,8 +28,8 @@ fn sessions_replay_bit_identically() {
 
 #[test]
 fn different_seeds_differ() {
-    let a = Session::new(quick_session(5)).run();
-    let b = Session::new(quick_session(6)).run();
+    let a = Session::new(quick_session(5)).run().expect("run");
+    let b = Session::new(quick_session(6)).run().expect("run");
     assert_ne!(
         a.curve.epoch_accuracy, b.curve.epoch_accuracy,
         "different seeds must explore differently"
@@ -89,8 +89,8 @@ fn robust_sessions_replay_bit_identically() {
         };
         quick_session(31).with_robustness(robustness)
     };
-    let a = Session::new(config()).run();
-    let b = Session::new(config()).run();
+    let a = Session::new(config()).run().expect("run");
+    let b = Session::new(config()).run().expect("run");
     assert_eq!(a.curve.epoch_accuracy, b.curve.epoch_accuracy);
     assert_eq!(a.curve.rollbacks, b.curve.rollbacks);
     assert_eq!(a.sim.faults, b.sim.faults);
@@ -117,8 +117,10 @@ fn algorithms_share_identical_initial_models() {
     // their first-epoch accuracy from the same init is equal when the
     // algorithm degenerates to the same update (single learner, tau 1).
     let sma = Session::new(quick_session(8).with_algorithm(AlgorithmKind::Sma { tau: 1 }))
-        .train_statistics(1);
+        .train_statistics(1)
+        .expect("run");
     let sma2 = Session::new(quick_session(8).with_algorithm(AlgorithmKind::Sma { tau: 1 }))
-        .train_statistics(1);
+        .train_statistics(1)
+        .expect("run");
     assert_eq!(sma.epoch_accuracy, sma2.epoch_accuracy);
 }

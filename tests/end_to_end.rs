@@ -21,7 +21,9 @@ fn quick(algorithm: AlgorithmKind) -> SessionConfig {
 
 #[test]
 fn sma_session_learns_end_to_end() {
-    let report = Session::new(quick(AlgorithmKind::Sma { tau: 1 })).run();
+    let report = Session::new(quick(AlgorithmKind::Sma { tau: 1 }))
+        .run()
+        .expect("run");
     assert!(
         report.curve.final_accuracy > 0.5,
         "accuracy {}",
@@ -34,7 +36,9 @@ fn sma_session_learns_end_to_end() {
 
 #[test]
 fn hierarchical_sma_session_learns_end_to_end() {
-    let report = Session::new(quick(AlgorithmKind::HierarchicalSma)).run();
+    let report = Session::new(quick(AlgorithmKind::HierarchicalSma))
+        .run()
+        .expect("run");
     assert!(
         report.curve.final_accuracy > 0.5,
         "accuracy {}",
@@ -44,7 +48,7 @@ fn hierarchical_sma_session_learns_end_to_end() {
 
 #[test]
 fn ssgd_session_learns_end_to_end() {
-    let report = Session::new(quick(AlgorithmKind::SSgd)).run();
+    let report = Session::new(quick(AlgorithmKind::SSgd)).run().expect("run");
     assert!(
         report.curve.final_accuracy > 0.5,
         "accuracy {}",
@@ -55,7 +59,9 @@ fn ssgd_session_learns_end_to_end() {
 
 #[test]
 fn easgd_session_learns_end_to_end() {
-    let report = Session::new(quick(AlgorithmKind::EaSgd { tau: 2 })).run();
+    let report = Session::new(quick(AlgorithmKind::EaSgd { tau: 2 }))
+        .run()
+        .expect("run");
     assert!(
         report.curve.final_accuracy > 0.5,
         "accuracy {}",
@@ -67,8 +73,12 @@ fn easgd_session_learns_end_to_end() {
 fn flat_and_hierarchical_sma_converge_similarly() {
     // §3.3's two-level scheme is an implementation of the same algorithm;
     // its accuracy trajectory must track flat SMA closely.
-    let flat = Session::new(quick(AlgorithmKind::Sma { tau: 1 })).run();
-    let hier = Session::new(quick(AlgorithmKind::HierarchicalSma)).run();
+    let flat = Session::new(quick(AlgorithmKind::Sma { tau: 1 }))
+        .run()
+        .expect("run");
+    let hier = Session::new(quick(AlgorithmKind::HierarchicalSma))
+        .run()
+        .expect("run");
     let diff = (flat.curve.final_accuracy - hier.curve.final_accuracy).abs();
     assert!(
         diff < 0.2,

@@ -166,7 +166,7 @@ fn nan_loss_rolls_back_and_still_reaches_target() {
         .with_epochs(12)
         .with_target(0.9)
         .with_robustness(robustness);
-    let report = Session::new(config).run();
+    let report = Session::new(config).run().expect("run");
     assert!(report.curve.rollbacks >= 1, "rollback must have happened");
     assert!(
         report.curve.epochs_to_target.is_some(),
@@ -189,7 +189,7 @@ fn eight_gpu_resnet32_session_survives_collective_failure_and_straggler() {
         .with_epochs(4)
         .with_seed(11);
 
-    let fault_free = Session::new(base.clone()).run();
+    let fault_free = Session::new(base.clone()).run().expect("run");
 
     // The plan needs sim-time coordinates; probe the fault-free horizon
     // the same way the engine builds its simulator configuration.
@@ -204,7 +204,9 @@ fn eight_gpu_resnet32_session_survives_collective_failure_and_straggler() {
         ),
         ..RobustnessConfig::default()
     };
-    let robust = Session::new(base.with_robustness(robustness)).run();
+    let robust = Session::new(base.with_robustness(robustness))
+        .run()
+        .expect("run");
 
     let faults = robust.sim.faults;
     assert!(faults.sync_retries >= 1, "at least one retry: {faults:?}");
