@@ -21,6 +21,16 @@ cargo build --release --examples
 echo "== tests =="
 cargo test -q
 
+echo "== trace validity =="
+# A short traced run must emit parseable Chrome Trace JSON holding the
+# learning, local-sync and global-sync spans (the --check mode of the
+# trace_tour example parses it back with the in-repo JSON parser).
+TRACE_DIR=$(mktemp -d)
+./target/release/crossbow train --model lenet --gpus 2 --learners 2 \
+    --epochs 1 --trace "$TRACE_DIR/train.json" > /dev/null
+cargo run --release -q -p crossbow --example trace_tour -- --check "$TRACE_DIR/train.json"
+rm -rf "$TRACE_DIR"
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -58,6 +58,7 @@ fn main() {
             checkpoint: None,
             crash_after: None,
             publish: None,
+            telemetry: None,
         };
         let t0 = std::time::Instant::now();
         let mut algo = SSgd::new(init.clone(), 1, SgdConfig::paper_default());

@@ -31,9 +31,12 @@
 
 use crate::codec::fnv1a64;
 use crate::state::TrainingState;
+use crossbow_telemetry::MetricsRegistry;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Magic bytes opening every checkpoint file.
 pub const MAGIC: [u8; 8] = *b"CBWCKPT\x01";
@@ -77,7 +80,8 @@ fn corrupt(why: impl Into<String>) -> CheckpointError {
 }
 
 /// Writes `state` to `path` atomically (temp file → fsync → rename →
-/// directory fsync).
+/// directory fsync). Returns the number of bytes written (header +
+/// payload).
 ///
 /// # Errors
 /// Returns [`CheckpointError::Io`] when any filesystem step fails.
@@ -85,7 +89,7 @@ pub fn write_checkpoint(
     path: &Path,
     state: &TrainingState,
     epoch_boundary: bool,
-) -> Result<(), CheckpointError> {
+) -> Result<usize, CheckpointError> {
     let payload = state.encode();
     let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
     bytes.extend_from_slice(&MAGIC);
@@ -114,7 +118,7 @@ pub fn write_checkpoint(
             let _ = d.sync_all();
         }
     }
-    Ok(())
+    Ok(bytes.len())
 }
 
 /// Reads and fully validates a checkpoint file, returning the state and
@@ -200,6 +204,8 @@ struct Entry {
 pub struct CheckpointStore {
     dir: PathBuf,
     retention: RetentionPolicy,
+    /// When set, every save reports its size and latency here.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl CheckpointStore {
@@ -214,7 +220,20 @@ impl CheckpointStore {
     ) -> Result<Self, CheckpointError> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(CheckpointStore { dir, retention })
+        Ok(CheckpointStore {
+            dir,
+            retention,
+            metrics: None,
+        })
+    }
+
+    /// Attaches a metrics registry (builder style). Every subsequent
+    /// [`CheckpointStore::save`] updates `checkpoint.writes` /
+    /// `checkpoint.bytes` counters, a `checkpoint.last_bytes` gauge and
+    /// a `checkpoint.write_latency_us` histogram in it.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The directory.
@@ -287,7 +306,16 @@ impl CheckpointStore {
         let path = self
             .dir
             .join(Self::file_name(state.iterations, epoch_boundary));
-        write_checkpoint(&path, state, epoch_boundary)?;
+        let started = Instant::now();
+        let bytes = write_checkpoint(&path, state, epoch_boundary)?;
+        if let Some(metrics) = &self.metrics {
+            metrics.counter("checkpoint.writes").inc();
+            metrics.counter("checkpoint.bytes").add(bytes as u64);
+            metrics.gauge("checkpoint.last_bytes").set(bytes as u64);
+            metrics
+                .histogram("checkpoint.write_latency_us")
+                .record(started.elapsed());
+        }
         self.sweep()?;
         Ok(path)
     }
@@ -520,6 +548,27 @@ mod tests {
             }
             other => panic!("expected Corrupt, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn save_reports_bytes_and_latency_metrics() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let store = CheckpointStore::open(scratch("metrics"), RetentionPolicy::default())
+            .expect("open")
+            .with_metrics(Arc::clone(&metrics));
+        store.save(&state_at(10), false).expect("save");
+        let path = store.save(&state_at(20), false).expect("save");
+        let on_disk = fs::metadata(&path).expect("stat").len();
+        assert_eq!(metrics.counter("checkpoint.writes").get(), 2);
+        assert!(metrics.counter("checkpoint.bytes").get() >= on_disk);
+        assert_eq!(metrics.gauge("checkpoint.last_bytes").get(), on_disk);
+        assert_eq!(
+            metrics
+                .histogram("checkpoint.write_latency_us")
+                .snapshot()
+                .total(),
+            2
+        );
     }
 
     #[test]

@@ -16,12 +16,13 @@
 use crossbow::autotuner::tune_to_convergence;
 use crossbow::benchmark::Benchmark;
 use crossbow::engine::{AlgorithmKind, Session, SessionConfig};
-use crossbow::exec_sim::{simulate, SimConfig};
+use crossbow::exec_sim::{simulate, simulate_with_machine, SimConfig};
 use crossbow::serve::{
     train_and_serve, BatchConfig, LoadConfig, LoadMode, ServeConfig, TrainAndServeConfig,
 };
 use crossbow::sync::sma::{Sma, SmaConfig};
 use crossbow::sync::TrainerConfig;
+use crossbow::telemetry::{chrome, Telemetry, Timeline, HOST_DEVICE};
 use crossbow_nn::zoo::mlp;
 use crossbow_tensor::Rng;
 use std::process::ExitCode;
@@ -62,16 +63,27 @@ USAGE:
     crossbow train    [--model NAME] [--gpus N] [--learners M|auto]
                       [--batch B] [--algorithm sma|ssgd|easgd|hier]
                       [--tau T] [--epochs E] [--target ACC] [--seed S]
+                      [--trace FILE]
     crossbow simulate [--model NAME] [--gpus N] [--learners M] [--batch B]
-                      [--tau T|inf]
+                      [--tau T|inf] [--trace FILE]
     crossbow autotune [--model NAME] [--gpus N] [--batch B]
     crossbow serve    [--workers N] [--max-batch B] [--max-delay-us U]
                       [--mode closed|open] [--clients C] [--requests R]
                       [--rate RPS] [--epochs E] [--publish-every I]
-                      [--seed S]
+                      [--seed S] [--trace FILE]
     crossbow models
 
-MODELS: lenet, resnet-32, vgg-16, resnet-50 (default: resnet-32)";
+MODELS: lenet, resnet-32, vgg-16, resnet-50 (default: resnet-32)
+
+--trace writes a Chrome Trace Event JSON file; open it in
+chrome://tracing or https://ui.perfetto.dev to inspect the timeline.";
+
+/// Writes Chrome Trace Event JSON to `path` and reports where it went.
+fn write_trace(path: &str, json: &str, spans: usize) -> Result<(), String> {
+    std::fs::write(path, json).map_err(|e| format!("cannot write trace `{path}`: {e}"))?;
+    println!("trace: {spans} spans -> {path} (open in chrome://tracing)");
+    Ok(())
+}
 
 /// Minimal `--key value` parser.
 struct Flags<'a> {
@@ -137,6 +149,7 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         "epochs",
         "target",
         "seed",
+        "trace",
     ])?;
     let benchmark = flags.benchmark()?;
     let gpus = flags.parse_num("gpus", 1usize)?;
@@ -169,6 +182,10 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     if let Some(t) = flags.get("target") {
         config = config.with_target(t.parse().map_err(|_| "--target expects a number")?);
     }
+    let telemetry = flags.get("trace").map(|_| Telemetry::wall());
+    if let Some(t) = &telemetry {
+        config = config.with_telemetry(t.clone());
+    }
     let report = Session::new(config)
         .run()
         .map_err(|e| format!("checkpoint store: {e}"))?;
@@ -178,12 +195,30 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     for (e, acc) in report.curve.epoch_accuracy.iter().enumerate() {
         println!("  epoch {:>3}: {:.4}", e + 1, acc);
     }
+    if let (Some(path), Some(t)) = (flags.get("trace"), &telemetry) {
+        let timeline = t.recorder.timeline();
+        // Simulated-GPU spans sit on device pids 0..g; host-side spans
+        // (training epochs, evaluation, checkpoints) on the HOST pid.
+        let mut names: Vec<(u32, String)> =
+            (0..gpus as u32).map(|d| (d, format!("gpu {d}"))).collect();
+        names.push((HOST_DEVICE, "host".to_string()));
+        let names: Vec<(u32, &str)> = names.iter().map(|(d, n)| (*d, n.as_str())).collect();
+        println!();
+        if let Some(overlap) = report.sim.overlap {
+            println!("sync-compute overlap: {overlap}");
+        }
+        write_trace(
+            path,
+            &chrome::to_chrome_json(timeline.spans(), &names),
+            timeline.len(),
+        )?;
+    }
     Ok(())
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
-    flags.reject_unknown(&["model", "gpus", "learners", "batch", "tau"])?;
+    flags.reject_unknown(&["model", "gpus", "learners", "batch", "tau", "trace"])?;
     let benchmark = flags.benchmark()?;
     let gpus = flags.parse_num("gpus", 1usize)?;
     let m = flags.parse_num("learners", 1usize)?;
@@ -194,7 +229,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         Some("inf") => None,
         Some(v) => Some(v.parse().map_err(|_| "--tau expects a number or `inf`")?),
     };
-    let report = simulate(&config);
+    let trace_path = flags.get("trace");
+    config.record_trace = trace_path.is_some();
+    let (report, machine) = simulate_with_machine(&config);
     println!(
         "{} on {gpus} GPU(s), m={m}, b={batch}:",
         benchmark.profile.name
@@ -206,6 +243,11 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         "  epoch time      : {}",
         report.epoch_time(benchmark.profile.train_samples)
     );
+    if let Some(path) = trace_path {
+        let timeline = Timeline::from_spans(machine.trace().to_spans());
+        println!("  sync overlap    : {}", timeline.overlap());
+        write_trace(path, &machine.trace().to_chrome_json(), timeline.len())?;
+    }
     Ok(())
 }
 
@@ -242,6 +284,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         "epochs",
         "publish-every",
         "seed",
+        "trace",
     ])?;
     let seed = flags.parse_num("seed", 42u64)?;
     let mode = match flags.get("mode").unwrap_or("closed") {
@@ -255,12 +298,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         },
         other => return Err(format!("unknown mode `{other}` (closed|open)")),
     };
+    let telemetry = flags.get("trace").map(|_| Telemetry::wall());
     let mut serve_config = ServeConfig::new(flags.parse_num("workers", 2usize)?);
     serve_config.batch = BatchConfig {
         max_batch: flags.parse_num("max-batch", 16usize)?,
         max_delay: Duration::from_micros(flags.parse_num("max-delay-us", 2000u64)?),
         ..BatchConfig::default()
     };
+    serve_config.telemetry = telemetry.clone();
 
     // A Gaussian-mixture task small enough that training and serving both
     // run in seconds on one core.
@@ -271,8 +316,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let initial = net.init_params(&mut rng);
     let mut algo = Sma::new(initial, 4, SmaConfig::default());
 
+    let mut trainer = TrainerConfig::new(16, flags.parse_num("epochs", 4usize)?).with_seed(seed);
+    if let Some(t) = &telemetry {
+        trainer = trainer.with_telemetry(t.clone());
+    }
     let config = TrainAndServeConfig {
-        trainer: TrainerConfig::new(16, flags.parse_num("epochs", 4usize)?).with_seed(seed),
+        trainer,
         publish_every: flags.parse_num("publish-every", 20u64)?,
         serve: serve_config,
         load: LoadConfig { mode, seed },
@@ -300,6 +349,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         report.serve.request_latency.p95,
         report.serve.request_latency.p99
     );
+    if let (Some(path), Some(t)) = (flags.get("trace"), &telemetry) {
+        let timeline = t.recorder.timeline();
+        let json = chrome::to_chrome_json(timeline.spans(), &[(HOST_DEVICE, "host")]);
+        write_trace(path, &json, timeline.len())?;
+    }
     Ok(())
 }
 

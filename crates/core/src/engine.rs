@@ -18,16 +18,18 @@
 use crate::autotuner::tune_to_convergence;
 use crate::benchmark::Benchmark;
 use crate::exec_sim::{
-    simulate, simulate_robust, EngineKind, RobustSimConfig, SimConfig, SimReport,
+    simulate, simulate_robust_with_machine, simulate_with_machine, EngineKind, RobustSimConfig,
+    SimConfig, SimReport,
 };
 use crossbow_checkpoint::{CheckpointError, CheckpointStore, RetentionPolicy};
-use crossbow_gpu_sim::{FaultPlan, SimDuration};
+use crossbow_gpu_sim::{FaultPlan, Machine, SimDuration};
 use crossbow_sync::algorithm::SyncAlgorithm;
 use crossbow_sync::hierarchical::HierarchicalSma;
 use crossbow_sync::optimizer::SgdConfig;
 use crossbow_sync::sma::{easgd, Sma, SmaConfig};
 use crossbow_sync::ssgd::SSgd;
 use crossbow_sync::{resume, train, CheckpointConfig, GuardConfig, TrainerConfig, TrainingCurve};
+use crossbow_telemetry::Telemetry;
 use crossbow_tensor::Rng;
 
 /// Which training algorithm a session uses.
@@ -115,6 +117,13 @@ pub struct SessionConfig {
     /// checkpoint (and reuses the recorded learner count instead of
     /// re-running the auto-tuner). `None` = off.
     pub checkpoint: Option<CheckpointConfig>,
+    /// Tracing + metrics sink. When set, the hardware-efficiency run
+    /// records its simulator trace (flushed into the recorder as typed
+    /// spans, devices `0..g`) and the statistical run records wall-clock
+    /// host spans and checkpoint metrics (device
+    /// [`crossbow_telemetry::HOST_DEVICE`]). `None` = telemetry off; the
+    /// training result is identical either way.
+    pub telemetry: Option<Telemetry>,
 }
 
 impl SessionConfig {
@@ -134,6 +143,7 @@ impl SessionConfig {
             max_learners_per_gpu: 8,
             robustness: None,
             checkpoint: None,
+            telemetry: None,
         }
     }
 
@@ -199,6 +209,12 @@ impl SessionConfig {
         self.checkpoint = Some(checkpoint);
         self
     }
+
+    /// Attaches a telemetry sink (builder style).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
 }
 
 /// The combined result of a session.
@@ -232,8 +248,13 @@ impl TrainingReport {
             Some(t) => format!("TTA {t}"),
             None => "target not reached".to_string(),
         };
+        let overlap = self
+            .sim
+            .overlap
+            .map(|o| format!(", sync overlap {:.0}%", o.ratio * 100.0))
+            .unwrap_or_default();
         format!(
-            "{} [{:?}] g={} m={} b={}: {:.1} images/s, epoch {}, ETA {:?} epochs, acc {:.3}, {}",
+            "{} [{:?}] g={} m={} b={}: {:.1} images/s, epoch {}, ETA {:?} epochs, acc {:.3}, {}{}",
             self.benchmark,
             self.algorithm,
             self.gpus,
@@ -243,7 +264,8 @@ impl TrainingReport {
             self.epoch_time,
             self.curve.epochs_to_target,
             self.curve.final_accuracy,
-            tta
+            tta,
+            overlap
         )
     }
 }
@@ -303,7 +325,8 @@ impl Session {
     ///
     /// When the session has a [`RobustnessConfig`] and runs the CROSSBOW
     /// engine, the measurement run goes through the fault-tolerant driver
-    /// ([`simulate_robust`]) with the configured (or seed-derived) fault
+    /// ([`simulate_robust`](crate::exec_sim::simulate_robust)) with the
+    /// configured (or seed-derived) fault
     /// plan; the auto-tuner's probe runs stay fault-free so tuning remains
     /// a property of the hardware, not of the injected faults.
     pub fn plan_hardware(&self) -> (usize, SimReport) {
@@ -325,11 +348,21 @@ impl Session {
     }
 
     /// Measures hardware efficiency at a fixed learner count.
+    ///
+    /// With telemetry attached the run records its trace: the report
+    /// carries the sync–compute overlap and the simulator spans are
+    /// flushed into the session's recorder (devices `0..g`).
     fn measure_hardware(&self, m: usize) -> SimReport {
         let c = &self.config;
-        let sim = self.sim_config(m);
-        if c.algorithm != AlgorithmKind::SSgd {
-            if let Some(r) = &c.robustness {
+        let mut sim = self.sim_config(m);
+        if c.telemetry.is_some() {
+            sim.record_trace = true;
+        }
+        let robustness = (c.algorithm != AlgorithmKind::SSgd)
+            .then_some(c.robustness.as_ref())
+            .flatten();
+        let (report, machine) = match robustness {
+            Some(r) => {
                 let plan = r.fault_plan.clone().unwrap_or_else(|| {
                     // Derive a small seeded plan over the fault-free horizon.
                     let horizon = simulate(&sim).total_time;
@@ -341,10 +374,24 @@ impl Session {
                 });
                 let mut robust = RobustSimConfig::new(sim, plan);
                 robust.max_retries = r.max_retries;
-                return simulate_robust(&robust);
+                simulate_robust_with_machine(&robust)
+            }
+            None => simulate_with_machine(&sim),
+        };
+        self.flush_sim_spans(&machine);
+        report
+    }
+
+    /// Flushes the simulator trace into the telemetry recorder as typed
+    /// spans, so an exported Chrome trace shows the hardware half of the
+    /// session next to the wall-clock host spans of the statistical half.
+    fn flush_sim_spans(&self, machine: &Machine) {
+        if let Some(t) = &self.config.telemetry {
+            let mut shard = t.recorder.shard();
+            for span in machine.trace().to_spans() {
+                shard.record(span);
             }
         }
-        simulate(&sim)
     }
 
     /// The learners-per-GPU count recorded in the newest valid checkpoint
@@ -408,6 +455,7 @@ impl Session {
             }),
             crash_after: c.robustness.as_ref().and_then(|r| r.crash_after),
             publish: None,
+            telemetry: c.telemetry.clone(),
         };
         if trainer_config.checkpoint.is_some() {
             resume(&net, &train_set, &test_set, algo.as_mut(), &trainer_config)
@@ -531,6 +579,40 @@ mod tests {
             .expect("run");
         let s = report.summary();
         assert!(s.contains("lenet"), "{s}");
+    }
+
+    #[test]
+    fn telemetry_session_records_spans_and_overlap() {
+        use crossbow_telemetry::SpanKind;
+        let telemetry = Telemetry::wall();
+        let report = Session::new(SessionConfig::lenet_quick().with_telemetry(telemetry.clone()))
+            .run()
+            .expect("run");
+        // The traced hardware run reports Figure 8's sync–compute overlap.
+        let overlap = report.sim.overlap.expect("telemetry implies a trace");
+        assert!(overlap.ratio > 0.0, "{overlap}");
+        assert!(
+            report.summary().contains("sync overlap"),
+            "{}",
+            report.summary()
+        );
+        // The recorder holds the simulator spans (learn / local-sync /
+        // global-sync) and the wall-clock host spans of the trainer.
+        let timeline = telemetry.recorder.timeline();
+        assert!(timeline.count(SpanKind::Learn) > 0);
+        assert!(timeline.count(SpanKind::LocalSync) > 0);
+        assert!(timeline.count(SpanKind::GlobalSync) > 0);
+        assert!(timeline.count(SpanKind::Eval) > 0);
+    }
+
+    #[test]
+    fn telemetry_does_not_change_the_curve() {
+        let run = |telemetry: Option<Telemetry>| {
+            let mut cfg = SessionConfig::lenet_quick().with_seed(9);
+            cfg.telemetry = telemetry;
+            Session::new(cfg).run().expect("run").curve
+        };
+        assert_eq!(run(None), run(Some(Telemetry::wall())));
     }
 
     #[test]

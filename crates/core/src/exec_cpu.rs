@@ -32,6 +32,7 @@ use crossbow_checkpoint::{
 use crossbow_data::{BatchSampler, Dataset};
 use crossbow_nn::Network;
 use crossbow_sync::CheckpointConfig;
+use crossbow_telemetry::{SpanKind, Telemetry, HOST_DEVICE};
 use crossbow_tensor::ops;
 use crossbow_tensor::stats::WindowedMedian;
 use std::sync::{Arc, Condvar, Mutex};
@@ -70,6 +71,11 @@ pub struct CpuEngineConfig {
     /// from their seeds, so a resumed run continues the optimisation
     /// trajectory without reproducing the exact batch order.
     pub checkpoint: Option<CheckpointConfig>,
+    /// Span/metrics sink. Learners record batch-fetch, learning-task and
+    /// local-sync spans; the task manager records global-sync, eval and
+    /// checkpoint-write spans. `None` disables recording; elapsed-time
+    /// measurement (throughput) always runs off the telemetry clock.
+    pub telemetry: Option<Telemetry>,
 }
 
 impl CpuEngineConfig {
@@ -86,6 +92,7 @@ impl CpuEngineConfig {
             target_accuracy: None,
             seed: 42,
             checkpoint: None,
+            telemetry: None,
         }
     }
 }
@@ -214,7 +221,12 @@ pub fn train_concurrent(
 
     let central = Arc::new(CentralModel::new(init.clone()));
     let (tx, rx) = std::sync::mpsc::channel::<Contribution>();
-    let start = std::time::Instant::now();
+    // All timing — spans *and* the report's throughput — runs off the
+    // telemetry clock, so a trace and the report can never disagree about
+    // elapsed time.
+    let telemetry = config.telemetry.clone().unwrap_or_else(Telemetry::disabled);
+    let recorder = Arc::clone(&telemetry.recorder);
+    let start_ns = recorder.now_ns();
     let batches_per_epoch_per_learner = {
         // Each learner owns a sampler over the whole set; an "epoch" of
         // the engine is one pass of every learner over its sampler, i.e.
@@ -232,7 +244,10 @@ pub fn train_concurrent(
             let central = Arc::clone(&central);
             let tx = tx.clone();
             let config = config.clone();
+            let recorder = Arc::clone(&recorder);
             scope.spawn(move || {
+                let mut shard = recorder.shard();
+                let lane = j as u32;
                 let mut sampler = BatchSampler::new(
                     train_set.len(),
                     config.batch_per_learner,
@@ -245,21 +260,48 @@ pub fn train_concurrent(
                 let mut correction = vec![0.0f32; plen];
                 for iteration in 0..iterations_total {
                     // Learning task: batch + gradient on the replica.
+                    let t_fetch = shard.now_ns();
                     let (indices, _) = sampler.next_batch();
                     let (images, labels) = train_set.gather(&indices);
+                    shard.close(
+                        SpanKind::BatchFetch,
+                        "batch-fetch",
+                        t_fetch,
+                        HOST_DEVICE,
+                        lane,
+                        Some(iteration),
+                    );
                     let epoch = (iteration / batches_per_epoch_per_learner as u64) as usize;
+                    let t_learn = shard.now_ns();
                     net.loss_and_grad(&replica, &images, &labels, &mut grad, &mut scratch);
                     if config.weight_decay != 0.0 {
                         ops::axpy(config.weight_decay, &replica, &mut grad);
                     }
+                    shard.close(
+                        SpanKind::Learn,
+                        "learn",
+                        t_learn,
+                        HOST_DEVICE,
+                        lane,
+                        Some(iteration),
+                    );
                     // Local synchronisation task: needs the average model
                     // of the previous iteration (Figure 8, point d).
+                    let t_local = shard.now_ns();
                     let z = central.wait_for(iteration);
                     ops::scaled_diff(alpha, &replica, &z, &mut correction);
                     for ((w, &g), &c) in replica.iter_mut().zip(grad.iter()).zip(correction.iter())
                     {
                         *w -= config.lr * g + c;
                     }
+                    shard.close(
+                        SpanKind::LocalSync,
+                        "local-sync",
+                        t_local,
+                        HOST_DEVICE,
+                        lane,
+                        Some(iteration),
+                    );
                     // Hand the correction to the task manager; the next
                     // learning task starts immediately (point g).
                     tx.send(Contribution {
@@ -285,6 +327,9 @@ pub fn train_concurrent(
             final_accuracy: 0.0,
             resumed_from,
         };
+        // The manager records on its own lane, after the learner lanes.
+        let mut shard = recorder.shard();
+        let manager_lane = k as u32;
         let mut z = init;
         let mut z_prev = init_prev;
         let mut median5 = WindowedMedian::new(5);
@@ -308,18 +353,36 @@ pub fn train_concurrent(
             {
                 let (_, sum_c, epoch) = pending.remove(&next_iteration).expect("checked");
                 // Global synchronisation: z += Σc + µ(z − z_prev).
+                let t_sync = shard.now_ns();
                 for ((zi, zpi), &ci) in z.iter_mut().zip(z_prev.iter_mut()).zip(&sum_c) {
                     let old = *zi;
                     *zi = old + ci + config.momentum * (old - *zpi);
                     *zpi = old;
                 }
                 central.publish(next_iteration + 1, z.clone());
+                shard.close(
+                    SpanKind::GlobalSync,
+                    "global-sync",
+                    t_sync,
+                    HOST_DEVICE,
+                    manager_lane,
+                    Some(next_iteration),
+                );
                 report.iterations += 1;
                 samples += (k * config.batch_per_learner) as u64;
                 next_iteration += 1;
                 let boundary = epoch > current_epoch || next_iteration == iterations_total;
                 if boundary {
+                    let t_eval = shard.now_ns();
                     let acc = net.evaluate(&z, &test_images, &test_labels, 256);
+                    shard.close(
+                        SpanKind::Eval,
+                        "eval",
+                        t_eval,
+                        HOST_DEVICE,
+                        manager_lane,
+                        Some(next_iteration - 1),
+                    );
                     report.epoch_accuracy.push(acc);
                     median5.push(acc);
                     let finished = report.epoch_accuracy.len();
@@ -362,14 +425,24 @@ pub fn train_concurrent(
                             },
                             ..TrainingState::default()
                         };
+                        let t_ck = shard.now_ns();
                         store
                             .save(&state, save_boundary)
                             .expect("checkpoint write failed");
+                        shard.close(
+                            SpanKind::CheckpointWrite,
+                            "checkpoint-write",
+                            t_ck,
+                            HOST_DEVICE,
+                            manager_lane,
+                            Some(next_iteration - 1),
+                        );
                     }
                 }
             }
         }
-        report.throughput = samples as f64 / start.elapsed().as_secs_f64().max(1e-9);
+        let elapsed_secs = (recorder.now_ns().saturating_sub(start_ns)) as f64 / 1e9;
+        report.throughput = samples as f64 / elapsed_secs.max(1e-9);
         report
     });
     Ok(report)
@@ -508,6 +581,7 @@ mod tests {
             checkpoint: None,
             crash_after: None,
             publish: None,
+            telemetry: None,
         };
         let synchronous =
             crossbow_sync::train(&net, &train_set, &test_set, &mut algo, &trainer_cfg);

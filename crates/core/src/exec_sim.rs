@@ -32,6 +32,7 @@ use crossbow_gpu_sim::{
     SimDuration, SimTime, StreamId,
 };
 use crossbow_nn::ModelProfile;
+use crossbow_telemetry::{OverlapStats, Timeline};
 
 /// Which execution engine to simulate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -169,6 +170,10 @@ pub struct SimReport {
     pub aggregate_batch: usize,
     /// Fault / recovery counters (all zero for fault-free runs).
     pub faults: FaultCounters,
+    /// Sync–compute overlap of the run (Figure 8): the fraction of
+    /// global-synchronisation time hidden under learning tasks. Only
+    /// computed when the trace is recorded ([`SimConfig::record_trace`]).
+    pub overlap: Option<OverlapStats>,
 }
 
 impl SimReport {
@@ -244,6 +249,7 @@ pub fn simulate_with_machine(config: &SimConfig) -> (SimReport, Machine) {
         .map(|g| machine.utilisation(machine.device(g)))
         .sum::<f64>()
         / config.gpus as f64;
+    let overlap = trace_overlap(&machine, config.record_trace);
     let report = SimReport {
         throughput,
         iteration_time: SimDuration::from_secs_f64(span / measured_iters as f64),
@@ -251,8 +257,14 @@ pub fn simulate_with_machine(config: &SimConfig) -> (SimReport, Machine) {
         total_time: machine.now(),
         aggregate_batch: config.aggregate_batch(),
         faults: FaultCounters::default(),
+        overlap,
     };
     (report, machine)
+}
+
+/// Overlap statistics from the machine's recorded trace, when it has one.
+fn trace_overlap(machine: &Machine, recorded: bool) -> Option<OverlapStats> {
+    recorded.then(|| Timeline::from_spans(machine.trace().to_spans()).overlap())
 }
 
 /// Builds the per-operator kernel sequence of one learning task.
@@ -756,6 +768,7 @@ pub fn simulate_robust_with_machine(config: &RobustSimConfig) -> (SimReport, Mac
         .map(|g| machine.utilisation(machine.device(g)))
         .sum::<f64>()
         / gpus as f64;
+    let overlap = trace_overlap(&machine, sim.record_trace);
     let report = SimReport {
         throughput,
         iteration_time,
@@ -763,6 +776,7 @@ pub fn simulate_robust_with_machine(config: &RobustSimConfig) -> (SimReport, Mac
         total_time: machine.now(),
         aggregate_batch: sim.aggregate_batch(),
         faults: counters,
+        overlap,
     };
     (report, machine)
 }
@@ -847,6 +861,21 @@ mod tests {
             machine.trace().labels_overlap("allreduce", "learn"),
             "global sync must overlap learning"
         );
+    }
+
+    #[test]
+    fn traced_crossbow_run_reports_positive_overlap() {
+        // The concurrent engine hides global synchronisation under the
+        // next iteration's learning tasks, so a traced run must report a
+        // strictly positive sync–compute overlap ratio.
+        let cfg = SimConfig::crossbow(resnet32(), 2, 2, 64).with_trace();
+        let report = simulate(&cfg);
+        let overlap = report.overlap.expect("traced run reports overlap");
+        assert!(overlap.ratio > 0.0, "{overlap}");
+        assert!(overlap.sync_ns > 0);
+        // Untraced runs skip the analysis entirely.
+        let untraced = simulate(&SimConfig::crossbow(resnet32(), 2, 2, 64));
+        assert!(untraced.overlap.is_none());
     }
 
     #[test]

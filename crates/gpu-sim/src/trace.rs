@@ -8,6 +8,7 @@
 
 use crate::stream::{DeviceId, StreamId};
 use crate::time::{SimDuration, SimTime};
+use crossbow_telemetry::{chrome, Span, SpanKind};
 
 /// What kind of work a trace record covers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -109,6 +110,51 @@ impl Trace {
     pub fn clear(&mut self) {
         self.records.clear();
     }
+
+    /// Converts the trace into telemetry spans so simulated timelines go
+    /// through the same analyzer/exporter as real ones.
+    ///
+    /// Kind mapping follows the paper's task model: collectives and the
+    /// average/apply kernels are *global* synchronisation, `local-sync`
+    /// kernels are *local* synchronisation, and every other kernel
+    /// (gradient compute, replica update) is learning-task work.
+    pub fn to_spans(&self) -> Vec<Span> {
+        self.records.iter().map(record_to_span).collect()
+    }
+
+    /// Chrome Trace Event Format JSON for this trace, with devices named
+    /// `gpu N`. Load the output in `chrome://tracing` or Perfetto.
+    pub fn to_chrome_json(&self) -> String {
+        let spans = self.to_spans();
+        let mut devices: Vec<u32> = spans.iter().map(|s| s.device).collect();
+        devices.sort_unstable();
+        devices.dedup();
+        let names: Vec<(u32, String)> = devices.iter().map(|&d| (d, format!("gpu {d}"))).collect();
+        let name_refs: Vec<(u32, &str)> = names.iter().map(|(d, n)| (*d, n.as_str())).collect();
+        chrome::to_chrome_json(&spans, &name_refs)
+    }
+}
+
+fn record_to_span(r: &TraceRecord) -> Span {
+    let kind = match r.kind {
+        TraceKind::Collective => SpanKind::GlobalSync,
+        TraceKind::Copy => SpanKind::Copy,
+        TraceKind::Host => SpanKind::Host,
+        TraceKind::Kernel => match r.label {
+            "local-sync" => SpanKind::LocalSync,
+            "reduce-local" | "apply-average" => SpanKind::GlobalSync,
+            _ => SpanKind::Learn,
+        },
+    };
+    Span {
+        kind,
+        label: r.label,
+        start_ns: r.start.as_nanos(),
+        end_ns: r.end.as_nanos(),
+        device: r.device.index() as u32,
+        lane: r.stream.index() as u32,
+        iteration: None,
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +199,76 @@ mod tests {
         assert!(t.labels_overlap("learn", "sync"));
         assert!(!t.labels_overlap("sync", "missing"));
         assert_eq!(t.with_label(|l| l == "learn").count(), 2);
+    }
+
+    #[test]
+    fn spans_map_kinds_by_task_model() {
+        let mut t = Trace::new(true);
+        t.push(rec("learn", 0, 10));
+        t.push(rec("local-sync", 10, 12));
+        t.push(rec("reduce-local", 12, 14));
+        t.push(TraceRecord {
+            kind: TraceKind::Collective,
+            ..rec("allreduce", 14, 20)
+        });
+        t.push(TraceRecord {
+            kind: TraceKind::Copy,
+            ..rec("input", 0, 3)
+        });
+        let spans = t.to_spans();
+        let kinds: Vec<SpanKind> = spans.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SpanKind::Learn,
+                SpanKind::LocalSync,
+                SpanKind::GlobalSync,
+                SpanKind::GlobalSync,
+                SpanKind::Copy,
+            ]
+        );
+        assert_eq!(spans[0].start_ns, 0);
+        assert_eq!(spans[3].end_ns, 20);
+    }
+
+    #[test]
+    fn chrome_json_round_trips_record_counts() {
+        use crossbow_telemetry::json::Json;
+
+        let mut t = Trace::new(true);
+        t.push(rec("learn", 0, 10));
+        t.push(rec("local-sync", 10, 12));
+        t.push(TraceRecord {
+            device: DeviceId(1),
+            kind: TraceKind::Collective,
+            ..rec("allreduce", 12, 20)
+        });
+        let text = t.to_chrome_json();
+        let doc = Json::parse(&text).expect("emitted trace must be valid JSON");
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        // One "X" event per record, one "M" process-name event per device.
+        let complete: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        let metadata = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .count();
+        assert_eq!(complete.len(), t.records().len());
+        assert_eq!(metadata, 2, "two devices appear in the trace");
+        // Names and categories survive the round trip.
+        assert_eq!(
+            complete[2].get("name").and_then(Json::as_str),
+            Some("allreduce")
+        );
+        assert_eq!(
+            complete[2].get("cat").and_then(Json::as_str),
+            Some("global-sync")
+        );
+        assert_eq!(complete[2].get("pid").and_then(Json::as_f64), Some(1.0));
+        // 8ns duration = 0.008µs in trace units.
+        assert_eq!(complete[2].get("dur").and_then(Json::as_f64), Some(0.008));
     }
 
     #[test]

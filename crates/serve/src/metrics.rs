@@ -1,112 +1,16 @@
-//! Latency histograms and the aggregated serving report.
+//! The aggregated serving report.
 //!
-//! Workers record per-request and per-batch latencies into fixed-size
-//! log2-bucketed histograms — no allocation on the hot path, cheap to
-//! merge at shutdown — from which the report derives p50/p95/p99.
+//! Workers record per-request and per-batch latencies into the shared
+//! log2-bucketed [`Histogram`] from `crossbow-telemetry` — no allocation
+//! on the hot path, cheap to merge at shutdown — from which the report
+//! derives p50/p95/p99. The histogram implementation used to live here;
+//! it moved to the telemetry crate so every runtime shares one, and is
+//! re-exported under its historical path.
 
+pub use crossbow_telemetry::{Histogram, LatencySummary};
+
+use crossbow_telemetry::PhaseBreakdown;
 use std::time::Duration;
-
-const BUCKETS: usize = 64;
-
-/// A log2-bucketed latency histogram over microseconds.
-///
-/// Bucket `i` counts samples whose microsecond value has its highest set
-/// bit at position `i` (bucket 0 additionally holds 0µs), giving ~2×
-/// resolution over the full `u64` range in a fixed 64-slot array.
-/// Percentiles are reported as the *upper bound* of the bucket the
-/// percentile falls in, so they never understate latency.
-#[derive(Clone, Debug)]
-pub struct Histogram {
-    counts: [u64; BUCKETS],
-    total: u64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram {
-            counts: [0; BUCKETS],
-            total: 0,
-        }
-    }
-}
-
-impl Histogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Histogram::default()
-    }
-
-    fn bucket(micros: u64) -> usize {
-        if micros == 0 {
-            0
-        } else {
-            (63 - micros.leading_zeros()) as usize
-        }
-    }
-
-    /// Records one latency sample.
-    pub fn record(&mut self, latency: Duration) {
-        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        self.counts[Self::bucket(micros)] += 1;
-        self.total += 1;
-    }
-
-    /// Number of recorded samples.
-    pub fn total(&self) -> u64 {
-        self.total
-    }
-
-    /// The latency at quantile `q` (0.0–1.0), as the upper bound of its
-    /// bucket; `None` when the histogram is empty.
-    pub fn quantile(&self, q: f64) -> Option<Duration> {
-        if self.total == 0 {
-            return None;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &count) in self.counts.iter().enumerate() {
-            seen += count;
-            if seen >= rank {
-                // Upper bound of bucket i: 2^(i+1) - 1 microseconds.
-                let upper = if i >= 63 {
-                    u64::MAX
-                } else {
-                    (1u64 << (i + 1)) - 1
-                };
-                return Some(Duration::from_micros(upper));
-            }
-        }
-        None
-    }
-
-    /// Folds another histogram into this one.
-    pub fn merge(&mut self, other: &Histogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.total += other.total;
-    }
-
-    /// The standard serving percentiles, or zeros when empty.
-    pub fn summary(&self) -> LatencySummary {
-        LatencySummary {
-            p50: self.quantile(0.50).unwrap_or(Duration::ZERO),
-            p95: self.quantile(0.95).unwrap_or(Duration::ZERO),
-            p99: self.quantile(0.99).unwrap_or(Duration::ZERO),
-        }
-    }
-}
-
-/// p50/p95/p99 of a latency distribution.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct LatencySummary {
-    /// Median latency (bucket upper bound).
-    pub p50: Duration,
-    /// 95th-percentile latency.
-    pub p95: Duration,
-    /// 99th-percentile latency.
-    pub p99: Duration,
-}
 
 /// Per-worker counters, merged into a [`ServeReport`] at shutdown.
 #[derive(Clone, Debug, Default)]
@@ -172,6 +76,12 @@ pub struct ServeReport {
     pub max_version: u64,
     /// Server lifetime, start to drained shutdown.
     pub wall: Duration,
+    /// Per-phase time breakdown of the spans recorded through the
+    /// server's telemetry sink (batch-fetch vs infer); empty when the
+    /// server ran without one ([`ServeConfig::telemetry`] unset).
+    ///
+    /// [`ServeConfig::telemetry`]: crate::ServeConfig::telemetry
+    pub phases: PhaseBreakdown,
 }
 
 impl ServeReport {
@@ -197,47 +107,8 @@ impl ServeReport {
 mod tests {
     use super::*;
 
-    #[test]
-    fn empty_histogram_has_no_quantiles() {
-        let h = Histogram::new();
-        assert_eq!(h.quantile(0.5), None);
-        assert_eq!(h.summary().p99, Duration::ZERO);
-    }
-
-    #[test]
-    fn quantiles_bound_the_recorded_values() {
-        let mut h = Histogram::new();
-        for micros in [10u64, 20, 30, 40, 1000] {
-            h.record(Duration::from_micros(micros));
-        }
-        assert_eq!(h.total(), 5);
-        // p50 falls among the 10–40µs samples; its bucket upper bound is
-        // below the 1000µs outlier.
-        let p50 = h.quantile(0.5).unwrap();
-        assert!(p50 >= Duration::from_micros(20) && p50 < Duration::from_micros(1000));
-        // p99 lands in the outlier's bucket: upper bound >= 1000µs.
-        let p99 = h.quantile(0.99).unwrap();
-        assert!(p99 >= Duration::from_micros(1000));
-    }
-
-    #[test]
-    fn merge_is_the_sum_of_both() {
-        let mut a = Histogram::new();
-        let mut b = Histogram::new();
-        a.record(Duration::from_micros(5));
-        b.record(Duration::from_micros(500));
-        b.record(Duration::from_micros(600));
-        a.merge(&b);
-        assert_eq!(a.total(), 3);
-        assert!(a.quantile(1.0).unwrap() >= Duration::from_micros(500));
-    }
-
-    #[test]
-    fn zero_latency_lands_in_the_first_bucket() {
-        let mut h = Histogram::new();
-        h.record(Duration::ZERO);
-        assert_eq!(h.quantile(1.0), Some(Duration::from_micros(1)));
-    }
+    // The histogram/quantile behaviour itself is covered where the
+    // implementation lives, in `crossbow-telemetry`.
 
     #[test]
     fn worker_stats_merge_tracks_version_extremes() {
@@ -252,5 +123,13 @@ mod tests {
         assert_eq!(a.min_version, 2);
         assert_eq!(a.max_version, 7);
         assert_eq!(a.requests, 3);
+    }
+
+    #[test]
+    fn re_exported_histogram_keeps_the_old_api() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_micros(10));
+        assert_eq!(h.total(), 1);
+        assert!(h.summary().p99 >= Duration::from_micros(10));
     }
 }

@@ -15,8 +15,9 @@ use crate::metrics::{ServeReport, WorkerStats};
 use crate::registry::SnapshotRegistry;
 use crossbow_data::chan::{self, RecvTimeoutError, SendTimeoutError};
 use crossbow_nn::Network;
+use crossbow_telemetry::{Counter, Gauge, Recorder, SpanKind, Telemetry, HOST_DEVICE};
 use crossbow_tensor::{Shape, Tensor};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -94,15 +95,17 @@ impl Ticket {
     }
 }
 
-/// Cross-thread server state.
+/// Cross-thread server state. Admission counters live in the telemetry
+/// registry (shared instruments, atomic updates) so an external observer
+/// sees the same numbers the final report does.
 struct Shared {
     stopping: AtomicBool,
-    rejected: AtomicU64,
-    max_depth: AtomicUsize,
+    rejected: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
 }
 
 /// Server parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Inference worker threads.
     pub workers: usize,
@@ -112,6 +115,12 @@ pub struct ServeConfig {
     /// overload and drain behaviour can be exercised deterministically
     /// with tiny models (`None` = off).
     pub synthetic_delay: Option<Duration>,
+    /// Tracing + metrics sink. Workers record batch-fetch and inference
+    /// spans into its recorder, and admission control publishes the
+    /// `serve.rejected` counter and `serve.queue_depth` gauge to its
+    /// registry. `None` keeps the metrics (on a private registry) but
+    /// drops the spans.
+    pub telemetry: Option<Telemetry>,
 }
 
 impl Default for ServeConfig {
@@ -120,6 +129,7 @@ impl Default for ServeConfig {
             workers: 2,
             batch: BatchConfig::default(),
             synthetic_delay: None,
+            telemetry: None,
         }
     }
 }
@@ -169,13 +179,11 @@ impl Client {
         };
         match self.tx.send_timeout(job, Duration::ZERO) {
             Ok(()) => {
-                self.shared
-                    .max_depth
-                    .fetch_max(self.rx.len(), Ordering::Relaxed);
+                self.shared.queue_depth.set(self.rx.len() as u64);
                 Ok(Ticket(ticket))
             }
             Err(SendTimeoutError::Timeout(_)) => {
-                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                self.shared.rejected.inc();
                 Err(ServeError::Overloaded)
             }
             Err(SendTimeoutError::Disconnected(_)) => Err(ServeError::ShuttingDown),
@@ -202,18 +210,20 @@ pub struct Server {
     client: Client,
     workers: Vec<JoinHandle<WorkerStats>>,
     shared: Arc<Shared>,
+    telemetry: Telemetry,
     started: Instant,
 }
 
 impl Server {
     /// Starts the worker pool serving `registry` snapshots through `net`.
     pub fn start(net: Arc<Network>, registry: Arc<SnapshotRegistry>, config: ServeConfig) -> Self {
+        let telemetry = config.telemetry.clone().unwrap_or_else(Telemetry::disabled);
         let (tx, rx) = chan::bounded::<Job>(config.batch.queue_depth.max(1));
         let rx = Arc::new(rx);
         let shared = Arc::new(Shared {
             stopping: AtomicBool::new(false),
-            rejected: AtomicU64::new(0),
-            max_depth: AtomicUsize::new(0),
+            rejected: telemetry.metrics.counter("serve.rejected"),
+            queue_depth: telemetry.metrics.gauge("serve.queue_depth"),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -221,9 +231,13 @@ impl Server {
                 let net = Arc::clone(&net);
                 let registry = Arc::clone(&registry);
                 let shared = Arc::clone(&shared);
+                let config = config.clone();
+                let recorder = Arc::clone(&telemetry.recorder);
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&net, &registry, &rx, &shared, &config))
+                    .spawn(move || {
+                        worker_loop(&net, &registry, &rx, &shared, &config, &recorder, i as u32)
+                    })
                     .expect("spawn inference worker")
             })
             .collect();
@@ -237,6 +251,7 @@ impl Server {
             },
             workers,
             shared,
+            telemetry,
             started: Instant::now(),
         }
     }
@@ -260,7 +275,7 @@ impl Server {
         let answered = merged.requests + merged.no_model;
         ServeReport {
             completed: merged.requests,
-            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.get(),
             no_model: merged.no_model,
             batches: merged.batches,
             mean_batch: if merged.batches > 0 {
@@ -275,7 +290,7 @@ impl Server {
             } else {
                 0.0
             },
-            max_queue_depth: self.shared.max_depth.load(Ordering::Relaxed),
+            max_queue_depth: self.shared.queue_depth.max() as usize,
             min_version: if merged.min_version == u64::MAX {
                 0
             } else {
@@ -283,6 +298,7 @@ impl Server {
             },
             max_version: merged.max_version,
             wall,
+            phases: self.telemetry.recorder.timeline().phase_breakdown(),
         }
     }
 }
@@ -293,11 +309,17 @@ fn worker_loop(
     rx: &chan::Receiver<Job>,
     shared: &Shared,
     config: &ServeConfig,
+    recorder: &Arc<Recorder>,
+    lane: u32,
 ) -> WorkerStats {
     let mut stats = WorkerStats::new();
     let mut scratch = net.scratch();
+    let mut shard = recorder.shard();
     loop {
         // Take a first job; during drain, exit once the queue is empty.
+        // The batch-fetch span covers waiting for the first job plus the
+        // micro-batching delay — the serving analogue of prefetch wait.
+        let fetch_start = shard.now_ns();
         let first = match rx.try_recv() {
             Some(job) => job,
             None => {
@@ -312,8 +334,25 @@ fn worker_loop(
             }
         };
         let batch = collect_batch(rx, first, &config.batch, &shared.stopping);
+        shard.close(
+            SpanKind::BatchFetch,
+            "collect-batch",
+            fetch_start,
+            HOST_DEVICE,
+            lane,
+            None,
+        );
         stats.batches += 1;
+        let infer_start = shard.now_ns();
         serve_batch(net, registry, batch, config, &mut scratch, &mut stats);
+        shard.close(
+            SpanKind::Infer,
+            "serve-batch",
+            infer_start,
+            HOST_DEVICE,
+            lane,
+            None,
+        );
     }
     stats
 }
@@ -448,6 +487,7 @@ mod tests {
             // Slow the worker down so the burst genuinely overflows the
             // bounded queue.
             synthetic_delay: Some(Duration::from_millis(50)),
+            telemetry: None,
         };
         let server = Server::start(net, registry, config);
         let client = server.client();
@@ -472,6 +512,36 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_sink_collects_spans_and_admission_metrics() {
+        let (net, registry, params) = setup();
+        registry.publish(params, 1).unwrap();
+        let telemetry = Telemetry::wall();
+        let config = ServeConfig {
+            telemetry: Some(telemetry.clone()),
+            ..ServeConfig::new(1)
+        };
+        let server = Server::start(net, registry, config);
+        let client = server.client();
+        for _ in 0..6 {
+            client.call(vec![0.3; 4]).expect("served");
+        }
+        let report = server.shutdown();
+        // Worker spans: every executed batch has a fetch and an infer span.
+        let timeline = telemetry.recorder.timeline();
+        assert_eq!(timeline.count(SpanKind::Infer) as u64, report.batches);
+        assert_eq!(timeline.count(SpanKind::BatchFetch) as u64, report.batches);
+        // The report's phase breakdown reflects the same spans.
+        assert!(report.phases.total_ns(SpanKind::Infer) > 0);
+        // Admission metrics live in the shared registry.
+        let snap = telemetry.metrics.snapshot();
+        assert_eq!(snap.counters["serve.rejected"], 0);
+        // Depth at admission races with the worker draining the queue, so
+        // only the instrument's existence is deterministic here; the
+        // overload test asserts a positive high-water mark.
+        assert!(snap.gauges.contains_key("serve.queue_depth"));
+    }
+
+    #[test]
     fn shutdown_drains_admitted_requests_before_stopping() {
         let (net, registry, params) = setup();
         registry.publish(params, 1).unwrap();
@@ -483,6 +553,7 @@ mod tests {
                 queue_depth: 64,
             },
             synthetic_delay: Some(Duration::from_millis(5)),
+            telemetry: None,
         };
         let server = Server::start(net, registry, config);
         let client = server.client();

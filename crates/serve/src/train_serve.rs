@@ -76,7 +76,7 @@ pub fn train_and_serve<A: SyncAlgorithm + Send>(
         .map(<[f32]>::to_vec)
         .collect();
 
-    let server = Server::start(Arc::clone(net), registry, config.serve);
+    let server = Server::start(Arc::clone(net), registry, config.serve.clone());
     let client = server.client();
     let done = AtomicBool::new(false);
     let (curve, load) = std::thread::scope(|scope| {

@@ -18,6 +18,7 @@ use crossbow_checkpoint::{
 };
 use crossbow_data::{BatchSampler, Dataset};
 use crossbow_nn::Network;
+use crossbow_telemetry::{Shard, SpanKind, Telemetry, HOST_DEVICE};
 use crossbow_tensor::stats::WindowedMedian;
 use crossbow_tensor::Tensor;
 use std::path::PathBuf;
@@ -108,6 +109,12 @@ pub struct TrainerConfig {
     /// consumer (e.g. a serving snapshot registry) right after a
     /// synchronisation step (`None` = off).
     pub publish: Option<PublishHook>,
+    /// Span/metrics sink: records learning, global-sync, eval,
+    /// snapshot-publish and checkpoint-write spans per iteration, and
+    /// wires checkpoint size/latency metrics into the store (`None` =
+    /// off). Never affects the [`TrainingCurve`]: timing is observed,
+    /// not fed back.
+    pub telemetry: Option<Telemetry>,
 }
 
 /// Settings of durable (on-disk) checkpointing.
@@ -225,6 +232,7 @@ impl TrainerConfig {
             checkpoint: None,
             crash_after: None,
             publish: None,
+            telemetry: None,
         }
     }
 
@@ -267,6 +275,12 @@ impl TrainerConfig {
     /// Installs a consensus-model publication hook (builder style).
     pub fn with_publish(mut self, publish: PublishHook) -> Self {
         self.publish = Some(publish);
+        self
+    }
+
+    /// Attaches a telemetry sink (builder style).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 }
@@ -319,8 +333,18 @@ pub fn train(
     let store = config
         .checkpoint
         .as_ref()
-        .map(|ckpt| ckpt.store().expect("cannot open the checkpoint directory"));
+        .map(|ckpt| ckpt.store().expect("cannot open the checkpoint directory"))
+        .map(|s| attach_metrics(s, config));
     run(net, train_set, test_set, algo, config, None, store)
+}
+
+/// Wires the telemetry metrics registry into a checkpoint store so saves
+/// report bytes/latency.
+fn attach_metrics(store: CheckpointStore, config: &TrainerConfig) -> CheckpointStore {
+    match &config.telemetry {
+        Some(t) => store.with_metrics(Arc::clone(&t.metrics)),
+        None => store,
+    }
 }
 
 /// Resumes training from the newest valid checkpoint in
@@ -365,7 +389,7 @@ pub fn resume(
             Err(CheckpointError::Corrupt(_)) => None,
             Err(e @ CheckpointError::Io(_)) => return Err(e),
         };
-        store = Some(opened);
+        store = Some(attach_metrics(opened, config));
     }
     Ok(run(net, train_set, test_set, algo, config, restored, store))
 }
@@ -440,6 +464,7 @@ fn capture_state(
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn save_checkpoint(
     store: &CheckpointStore,
     algo: &dyn SyncAlgorithm,
@@ -448,11 +473,21 @@ fn save_checkpoint(
     config: &TrainerConfig,
     progress: &Progress,
     epoch_boundary: bool,
+    shard: &mut Shard,
 ) {
     if let Some(state) = capture_state(algo, sampler, curve, config, progress) {
+        let t = shard.now_ns();
         store
             .save(&state, epoch_boundary)
             .expect("checkpoint write failed");
+        shard.close(
+            SpanKind::CheckpointWrite,
+            "checkpoint-write",
+            t,
+            HOST_DEVICE,
+            0,
+            Some(curve.iterations),
+        );
     }
 }
 
@@ -480,6 +515,13 @@ fn run(
         BatchSampler::new(train_set.len(), config.batch_per_learner, true, config.seed);
     let test_images = test_set.images_tensor();
     let test_labels = test_set.labels().to_vec();
+    let recorder = config
+        .telemetry
+        .as_ref()
+        .map_or_else(crossbow_telemetry::Recorder::disabled, |t| {
+            Arc::clone(&t.recorder)
+        });
+    let mut shard = recorder.shard();
 
     let mut curve = TrainingCurve {
         algorithm: algo.name(),
@@ -552,7 +594,16 @@ fn run(
             batches.push(train_set.gather(&idx));
         }
         let lr = config.schedule.lr_at(progress.current_epoch);
+        let t_learn = shard.now_ns();
         let losses = compute_gradients_parallel(net, algo, &batches, config);
+        shard.close(
+            SpanKind::Learn,
+            "learn",
+            t_learn,
+            HOST_DEVICE,
+            0,
+            Some(curve.iterations),
+        );
         let (grads, batch_losses) = losses;
         let diverged = config.inject_nan_at == Some(progress.attempt)
             || batch_losses.iter().any(|l| !l.is_finite());
@@ -583,14 +634,32 @@ fn run(
             progress.epoch_loss_sum += f64::from(l);
             progress.epoch_loss_count += 1;
         }
+        let t_sync = shard.now_ns();
         algo.step(&grads, lr);
+        shard.close(
+            SpanKind::GlobalSync,
+            "global-sync",
+            t_sync,
+            HOST_DEVICE,
+            0,
+            Some(curve.iterations),
+        );
         curve.iterations += 1;
         curve.samples_processed += (k * config.batch_per_learner) as u64;
         if let Some(hook) = &config.publish {
             // Right after the synchronisation step the consensus model is
             // coherent — this is the paper's deployable average model `z`.
             if curve.iterations.is_multiple_of(hook.every()) {
+                let t_pub = shard.now_ns();
                 hook.publish(curve.iterations, algo.consensus());
+                shard.close(
+                    SpanKind::SnapshotPublish,
+                    "snapshot-publish",
+                    t_pub,
+                    HOST_DEVICE,
+                    0,
+                    Some(curve.iterations),
+                );
             }
         }
         if let Some(g) = config.guard {
@@ -604,11 +673,20 @@ fn run(
         let mut saved_this_iter = false;
         if sampler.epoch() > progress.current_epoch {
             // Epoch boundary: evaluate, record, handle schedule changes.
+            let t_eval = shard.now_ns();
             let acc = net.evaluate(
                 algo.consensus(),
                 &test_images,
                 &test_labels,
                 config.eval_batch,
+            );
+            shard.close(
+                SpanKind::Eval,
+                "eval",
+                t_eval,
+                HOST_DEVICE,
+                0,
+                Some(curve.iterations),
             );
             curve.epoch_accuracy.push(acc);
             curve.epoch_loss.push(if progress.epoch_loss_count > 0 {
@@ -651,7 +729,9 @@ fn run(
                 // A final checkpoint: resuming a finished run is a no-op
                 // instead of silently training past its stopping point.
                 if let Some(store) = &store {
-                    save_checkpoint(store, algo, &sampler, &curve, config, &progress, true);
+                    save_checkpoint(
+                        store, algo, &sampler, &curve, config, &progress, true, &mut shard,
+                    );
                 }
                 return curve;
             }
@@ -663,7 +743,9 @@ fn run(
             // state reflects the post-restart algorithm, not a hybrid.
             if let (Some(store), Some(ckpt)) = (&store, &config.checkpoint) {
                 if ckpt.at_epoch_boundaries {
-                    save_checkpoint(store, algo, &sampler, &curve, config, &progress, true);
+                    save_checkpoint(
+                        store, algo, &sampler, &curve, config, &progress, true, &mut shard,
+                    );
                     saved_this_iter = true;
                 }
             }
@@ -671,7 +753,9 @@ fn run(
         if !saved_this_iter {
             if let (Some(store), Some(ckpt)) = (&store, &config.checkpoint) {
                 if ckpt.every > 0 && curve.iterations.is_multiple_of(ckpt.every) {
-                    save_checkpoint(store, algo, &sampler, &curve, config, &progress, false);
+                    save_checkpoint(
+                        store, algo, &sampler, &curve, config, &progress, false, &mut shard,
+                    );
                 }
             }
         }

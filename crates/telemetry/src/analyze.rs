@@ -1,0 +1,289 @@
+//! Timeline analysis: sync–compute overlap and per-phase breakdown.
+//!
+//! The overlap ratio is the paper's hardware-efficiency lens (§4.2–4.3):
+//! of all time spent in global synchronisation, what fraction ran
+//! concurrently with learning tasks? A serial engine scores ~0; the
+//! Crossbow engine hides sync behind the next iteration's compute.
+
+use crate::span::{Span, SpanKind};
+use std::fmt;
+
+/// Total time and span count for one phase kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhaseTotal {
+    /// The phase.
+    pub kind: SpanKind,
+    /// Sum of span durations (may exceed wall time when lanes overlap).
+    pub total_ns: u64,
+    /// Number of spans.
+    pub count: u64,
+}
+
+/// Per-phase time totals, in [`SpanKind::ALL`] order, empty phases
+/// omitted.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Non-empty phases.
+    pub phases: Vec<PhaseTotal>,
+}
+
+impl PhaseBreakdown {
+    /// Total time of one kind (0 when absent).
+    pub fn total_ns(&self, kind: SpanKind) -> u64 {
+        self.phases
+            .iter()
+            .find(|p| p.kind == kind)
+            .map_or(0, |p| p.total_ns)
+    }
+}
+
+impl fmt::Display for PhaseBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let grand: u64 = self.phases.iter().map(|p| p.total_ns).sum();
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let pct = if grand == 0 {
+                0.0
+            } else {
+                100.0 * p.total_ns as f64 / grand as f64
+            };
+            write!(
+                f,
+                "{} {:.1}ms ({:.0}%, {} spans)",
+                p.kind,
+                p.total_ns as f64 / 1e6,
+                pct,
+                p.count
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// How much global-sync time overlapped learning-task time.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OverlapStats {
+    /// Total time inside [`SpanKind::GlobalSync`] spans (union over
+    /// lanes is *not* taken: each span contributes its full duration).
+    pub sync_ns: u64,
+    /// Portion of `sync_ns` during which at least one
+    /// [`SpanKind::Learn`] span was running.
+    pub overlapped_ns: u64,
+    /// `overlapped_ns / sync_ns` (0 when no sync time was recorded).
+    pub ratio: f64,
+}
+
+impl fmt::Display for OverlapStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sync {:.2}ms, overlapped {:.2}ms ({:.0}%)",
+            self.sync_ns as f64 / 1e6,
+            self.overlapped_ns as f64 / 1e6,
+            self.ratio * 100.0
+        )
+    }
+}
+
+/// Merges intervals into a sorted, disjoint union.
+fn interval_union(mut intervals: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    intervals.retain(|&(s, e)| e > s);
+    intervals.sort_unstable();
+    let mut merged: Vec<(u64, u64)> = Vec::with_capacity(intervals.len());
+    for (s, e) in intervals {
+        match merged.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    merged
+}
+
+/// Length of `[s, e)` ∩ the union (which must be sorted and disjoint).
+fn intersect_len(s: u64, e: u64, union: &[(u64, u64)]) -> u64 {
+    // First interval that could overlap: the one before the partition
+    // point as well, since it may extend past `s`.
+    let mut idx = union.partition_point(|&(us, _)| us < s);
+    idx = idx.saturating_sub(1);
+    let mut covered = 0;
+    for &(us, ue) in &union[idx..] {
+        if us >= e {
+            break;
+        }
+        let lo = us.max(s);
+        let hi = ue.min(e);
+        if hi > lo {
+            covered += hi - lo;
+        }
+    }
+    covered
+}
+
+/// Sync–compute overlap over a span set: for every global-sync span, the
+/// time it shares with the union of learning spans.
+pub fn overlap(spans: &[Span]) -> OverlapStats {
+    let learn_union = interval_union(
+        spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Learn)
+            .map(|s| (s.start_ns, s.end_ns))
+            .collect(),
+    );
+    let mut sync_ns = 0u64;
+    let mut overlapped_ns = 0u64;
+    for s in spans.iter().filter(|s| s.kind == SpanKind::GlobalSync) {
+        sync_ns += s.duration_ns();
+        overlapped_ns += intersect_len(s.start_ns, s.end_ns, &learn_union);
+    }
+    OverlapStats {
+        sync_ns,
+        overlapped_ns,
+        ratio: if sync_ns == 0 {
+            0.0
+        } else {
+            overlapped_ns as f64 / sync_ns as f64
+        },
+    }
+}
+
+/// Per-kind totals over a span set.
+pub fn phase_breakdown(spans: &[Span]) -> PhaseBreakdown {
+    let mut phases = Vec::new();
+    for kind in SpanKind::ALL {
+        let mut total_ns = 0u64;
+        let mut count = 0u64;
+        for s in spans.iter().filter(|s| s.kind == kind) {
+            total_ns += s.duration_ns();
+            count += 1;
+        }
+        if count > 0 {
+            phases.push(PhaseTotal {
+                kind,
+                total_ns,
+                count,
+            });
+        }
+    }
+    PhaseBreakdown { phases }
+}
+
+/// Figure 8 pipelining: counts `(sync, learn)` span pairs where the
+/// learning span belongs to a *later* iteration yet overlaps the sync
+/// span in time. Requires iteration attribution on both kinds.
+pub fn pipeline_overlaps(spans: &[Span]) -> usize {
+    let syncs: Vec<&Span> = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::GlobalSync && s.iteration.is_some())
+        .collect();
+    let learns: Vec<&Span> = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Learn && s.iteration.is_some())
+        .collect();
+    let mut pairs = 0;
+    for sync in &syncs {
+        for learn in &learns {
+            if learn.iteration > sync.iteration && sync.overlaps(learn) {
+                pairs += 1;
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(kind: SpanKind, start: u64, end: u64, iteration: Option<u64>) -> Span {
+        Span {
+            kind,
+            label: kind.name(),
+            start_ns: start,
+            end_ns: end,
+            device: 0,
+            lane: 0,
+            iteration,
+        }
+    }
+
+    #[test]
+    fn serial_schedule_has_zero_overlap() {
+        let spans = vec![
+            span(SpanKind::Learn, 0, 100, Some(0)),
+            span(SpanKind::GlobalSync, 100, 150, Some(0)),
+            span(SpanKind::Learn, 150, 250, Some(1)),
+        ];
+        let o = overlap(&spans);
+        assert_eq!(o.sync_ns, 50);
+        assert_eq!(o.overlapped_ns, 0);
+        assert_eq!(o.ratio, 0.0);
+        assert_eq!(pipeline_overlaps(&spans), 0);
+    }
+
+    #[test]
+    fn pipelined_schedule_overlaps_fully() {
+        // sync(0) runs 100..150 while learn(1) runs 120..260.
+        let spans = vec![
+            span(SpanKind::Learn, 0, 100, Some(0)),
+            span(SpanKind::GlobalSync, 100, 150, Some(0)),
+            span(SpanKind::Learn, 120, 260, Some(1)),
+        ];
+        let o = overlap(&spans);
+        assert_eq!(o.sync_ns, 50);
+        assert_eq!(o.overlapped_ns, 30);
+        assert!((o.ratio - 0.6).abs() < 1e-12);
+        assert_eq!(pipeline_overlaps(&spans), 1);
+    }
+
+    #[test]
+    fn learn_union_merges_overlapping_lanes() {
+        // Two learners covering 0..100 and 50..200: union is 0..200, so
+        // a sync at 80..180 is fully hidden.
+        let spans = vec![
+            span(SpanKind::Learn, 0, 100, Some(1)),
+            span(SpanKind::Learn, 50, 200, Some(2)),
+            span(SpanKind::GlobalSync, 80, 180, Some(0)),
+        ];
+        let o = overlap(&spans);
+        assert_eq!(o.overlapped_ns, 100);
+        assert_eq!(o.ratio, 1.0);
+    }
+
+    #[test]
+    fn pipeline_requires_later_iteration() {
+        // learn(0) overlapping sync(0) is a straggler, not pipelining.
+        let spans = vec![
+            span(SpanKind::Learn, 90, 140, Some(0)),
+            span(SpanKind::GlobalSync, 100, 150, Some(0)),
+        ];
+        assert!(overlap(&spans).overlapped_ns > 0);
+        assert_eq!(pipeline_overlaps(&spans), 0);
+    }
+
+    #[test]
+    fn breakdown_totals_and_display() {
+        let spans = vec![
+            span(SpanKind::Learn, 0, 100, None),
+            span(SpanKind::Learn, 100, 200, None),
+            span(SpanKind::GlobalSync, 200, 250, None),
+        ];
+        let b = phase_breakdown(&spans);
+        assert_eq!(b.total_ns(SpanKind::Learn), 200);
+        assert_eq!(b.total_ns(SpanKind::GlobalSync), 50);
+        assert_eq!(b.total_ns(SpanKind::Eval), 0);
+        assert_eq!(b.phases.len(), 2);
+        let text = b.to_string();
+        assert!(text.contains("learn"), "{text}");
+        assert!(text.contains("global-sync"), "{text}");
+    }
+
+    #[test]
+    fn intersect_len_handles_partial_cover() {
+        let union = vec![(0, 10), (20, 30), (40, 50)];
+        assert_eq!(intersect_len(5, 45, &union), 5 + 10 + 5);
+        assert_eq!(intersect_len(10, 20, &union), 0);
+        assert_eq!(intersect_len(25, 26, &union), 1);
+    }
+}

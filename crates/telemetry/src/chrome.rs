@@ -1,0 +1,136 @@
+//! Chrome Trace Event Format export.
+//!
+//! Emits the JSON object form (`{"traceEvents": [...]}`) with complete
+//! events (`"ph":"X"`), which both `chrome://tracing` and Perfetto load
+//! directly. Timestamps and durations are microseconds (fractional, so
+//! nanosecond spans survive); `pid` is the device, `tid` the lane.
+//! The emitter is hand-rolled because the workspace builds offline with
+//! no serde.
+
+use crate::span::Span;
+use std::fmt::Write as _;
+
+/// Escapes a string for a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn micros(ns: u64) -> String {
+    // Fixed 3 decimal places keeps output deterministic and exact for
+    // nanosecond inputs.
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// Renders spans as Chrome Trace Event JSON. `process_names` maps a
+/// device id (the trace `pid`) to a display name via `"M"` metadata
+/// events; devices without an entry keep their numeric pid.
+pub fn to_chrome_json(spans: &[Span], process_names: &[(u32, &str)]) -> String {
+    let mut out = String::with_capacity(128 + spans.len() * 160);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for &(pid, name) in process_names {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(name)
+        );
+    }
+    for s in spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":{},\"tid\":{}",
+            escape(s.label),
+            s.kind.name(),
+            micros(s.start_ns),
+            micros(s.duration_ns()),
+            s.device,
+            s.lane
+        );
+        if let Some(iter) = s.iteration {
+            let _ = write!(out, ",\"args\":{{\"iteration\":{iter}}}");
+        }
+        out.push('}');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::span::SpanKind;
+
+    fn span(label: &'static str, start: u64, end: u64) -> Span {
+        Span {
+            kind: SpanKind::Learn,
+            label,
+            start_ns: start,
+            end_ns: end,
+            device: 1,
+            lane: 2,
+            iteration: Some(9),
+        }
+    }
+
+    #[test]
+    fn emits_parseable_complete_events() {
+        let text = to_chrome_json(&[span("batch", 1_500, 4_000)], &[(1, "gpu 1")]);
+        let doc = Json::parse(&text).expect("valid JSON");
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        assert_eq!(events.len(), 2); // metadata + span
+        let meta = &events[0];
+        assert_eq!(meta.get("ph").and_then(Json::as_str), Some("M"));
+        let ev = &events[1];
+        assert_eq!(ev.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(ev.get("name").and_then(Json::as_str), Some("batch"));
+        assert_eq!(ev.get("cat").and_then(Json::as_str), Some("learn"));
+        assert_eq!(ev.get("ts").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(ev.get("dur").and_then(Json::as_f64), Some(2.5));
+        assert_eq!(ev.get("pid").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(ev.get("tid").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(
+            ev.get("args")
+                .and_then(|a| a.get("iteration"))
+                .and_then(Json::as_f64),
+            Some(9.0)
+        );
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_control_chars() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn empty_span_set_is_still_valid_json() {
+        let doc = Json::parse(&to_chrome_json(&[], &[])).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        assert!(events.is_empty());
+    }
+}

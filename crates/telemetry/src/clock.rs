@@ -1,0 +1,90 @@
+//! Time sources for span recording.
+//!
+//! The recorder never calls `Instant::now` directly: it reads a [`Clock`],
+//! so the same span/exporter/analyzer machinery serves both real runs
+//! (wall clock, nanoseconds since recorder creation) and the simulator
+//! (a [`ManualClock`] advanced to the simulated `SimTime`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond time source.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since this clock's origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// Wall-clock time, anchored at construction so traces start near zero.
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose origin is now.
+    pub fn new() -> Self {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+}
+
+/// An externally driven clock: the simulator sets it to the current
+/// simulated time before recording spans.
+#[derive(Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at zero.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Moves the clock to `ns`. Time never goes backwards: an earlier
+    /// value is ignored so concurrent advancers stay monotonic.
+    pub fn advance_to(&self, ns: u64) {
+        self.now.fetch_max(ns, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_never_rewinds() {
+        let c = ManualClock::new();
+        c.advance_to(50);
+        c.advance_to(10);
+        assert_eq!(c.now_ns(), 50);
+        c.advance_to(90);
+        assert_eq!(c.now_ns(), 90);
+    }
+}

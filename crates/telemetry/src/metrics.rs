@@ -1,0 +1,389 @@
+//! Counters, gauges and log2 histograms behind a named registry.
+//!
+//! Instruments are `Arc`-shared cells: a runtime looks its instrument up
+//! once (get-or-create by name) and then updates it with atomic
+//! operations, so the hot path never touches the registry lock.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const BUCKETS: usize = 64;
+
+/// A log2-bucketed latency histogram over microseconds.
+///
+/// Bucket `i` counts samples whose microsecond value has its highest set
+/// bit at position `i` (bucket 0 additionally holds 0µs), giving ~2×
+/// resolution over the full `u64` range in a fixed 64-slot array.
+/// Percentiles are reported as the *upper bound* of the bucket the
+/// percentile falls in, so they never understate latency.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    fn bucket(micros: u64) -> usize {
+        if micros == 0 {
+            0
+        } else {
+            (63 - micros.leading_zeros()) as usize
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.counts[Self::bucket(micros)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The latency at quantile `q` (0.0–1.0), as the upper bound of its
+    /// bucket; `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                // Upper bound of bucket i: 2^(i+1) - 1 microseconds.
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return Some(Duration::from_micros(upper));
+            }
+        }
+        None
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// The standard serving percentiles, or zeros when empty.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            p50: self.quantile(0.50).unwrap_or(Duration::ZERO),
+            p95: self.quantile(0.95).unwrap_or(Duration::ZERO),
+            p99: self.quantile(0.99).unwrap_or(Duration::ZERO),
+        }
+    }
+}
+
+/// p50/p95/p99 of a latency distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Median latency (bucket upper bound).
+    pub p50: Duration,
+    /// 95th-percentile latency.
+    pub p95: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value gauge that also tracks its high-water mark.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the current value (and folds it into the maximum).
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Last value set.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Largest value ever set.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+/// A registry-held histogram, safe to record into from many threads.
+#[derive(Debug, Default)]
+pub struct HistogramCell {
+    inner: Mutex<Histogram>,
+}
+
+impl HistogramCell {
+    /// Records one sample.
+    pub fn record(&self, latency: Duration) {
+        self.inner.lock().unwrap().record(latency);
+    }
+
+    /// A copy of the current histogram.
+    pub fn snapshot(&self) -> Histogram {
+        self.inner.lock().unwrap().clone()
+    }
+}
+
+/// Named counters, gauges and histograms, created on first use.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<HistogramCell>>>,
+}
+
+impl fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MetricsRegistry").finish_non_exhaustive()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created if absent.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        Arc::clone(self.counters.lock().unwrap().entry(name).or_default())
+    }
+
+    /// The gauge named `name`, created if absent.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        Arc::clone(self.gauges.lock().unwrap().entry(name).or_default())
+    }
+
+    /// The histogram named `name`, created if absent.
+    pub fn histogram(&self, name: &'static str) -> Arc<HistogramCell> {
+        Arc::clone(self.histograms.lock().unwrap().entry(name).or_default())
+    }
+
+    /// A point-in-time copy of every instrument.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&k, v)| (k, v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&k, v)| {
+                    (
+                        k,
+                        GaugeValue {
+                            value: v.get(),
+                            max: v.max(),
+                        },
+                    )
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&k, v)| (k, v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A gauge's last value and high-water mark at snapshot time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeValue {
+    /// Last value set.
+    pub value: u64,
+    /// Largest value ever set.
+    pub max: u64,
+}
+
+/// Frozen registry contents, ordered by name for deterministic display.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<&'static str, GaugeValue>,
+    /// Histogram copies by name.
+    pub histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, v) in &self.counters {
+            writeln!(f, "{name} = {v}")?;
+        }
+        for (name, g) in &self.gauges {
+            writeln!(f, "{name} = {} (max {})", g.value, g.max)?;
+        }
+        for (name, h) in &self.histograms {
+            let s = h.summary();
+            writeln!(
+                f,
+                "{name}: {} samples, p50 {:?} p95 {:?} p99 {:?}",
+                h.total(),
+                s.p50,
+                s.p95,
+                s.p99
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.summary().p99, Duration::ZERO);
+    }
+
+    #[test]
+    fn quantiles_bound_the_recorded_values() {
+        let mut h = Histogram::new();
+        for micros in [10u64, 20, 30, 40, 1000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.total(), 5);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(p50 >= Duration::from_micros(20) && p50 < Duration::from_micros(1000));
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= Duration::from_micros(1000));
+    }
+
+    #[test]
+    fn merge_is_the_sum_of_both() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(Duration::from_micros(5));
+        b.record(Duration::from_micros(500));
+        b.record(Duration::from_micros(600));
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert!(a.quantile(1.0).unwrap() >= Duration::from_micros(500));
+    }
+
+    #[test]
+    fn zero_latency_lands_in_the_first_bucket() {
+        let mut h = Histogram::new();
+        h.record(Duration::ZERO);
+        assert_eq!(h.quantile(1.0), Some(Duration::from_micros(1)));
+    }
+
+    #[test]
+    fn registry_returns_the_same_instrument_by_name() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x").add(2);
+        reg.counter("x").inc();
+        assert_eq!(reg.counter("x").get(), 3);
+        reg.gauge("depth").set(5);
+        reg.gauge("depth").set(2);
+        assert_eq!(reg.gauge("depth").get(), 2);
+        assert_eq!(reg.gauge("depth").max(), 5);
+        reg.histogram("lat").record(Duration::from_micros(10));
+        assert_eq!(reg.histogram("lat").snapshot().total(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_ordered_and_displayable() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b.count").inc();
+        reg.counter("a.count").add(4);
+        reg.gauge("q.depth").set(7);
+        reg.histogram("h.lat").record(Duration::from_micros(100));
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counters.keys().copied().collect::<Vec<_>>(),
+            vec!["a.count", "b.count"]
+        );
+        assert_eq!(snap.gauges["q.depth"].max, 7);
+        let text = snap.to_string();
+        assert!(text.contains("a.count = 4"), "{text}");
+        assert!(text.contains("h.lat: 1 samples"), "{text}");
+    }
+
+    #[test]
+    fn gauge_updates_race_safely() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let g = reg.gauge("depth");
+        let handles: Vec<_> = (0..4u64)
+            .map(|i| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for v in 0..1000 {
+                        g.set(i * 1000 + v);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(g.max(), 3999);
+    }
+}

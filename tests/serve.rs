@@ -48,6 +48,7 @@ fn micro_batching_beats_per_request_dispatch() {
             workers: 1,
             batch,
             synthetic_delay: Some(Duration::from_millis(2)),
+            telemetry: None,
         };
         let server = Server::start(net, registry, config);
         let result = run_load(&server.client(), &inputs, &load);
@@ -94,6 +95,7 @@ fn hot_swap_mid_load_loses_nothing() {
         workers: 2,
         batch: BatchConfig::default(),
         synthetic_delay: Some(Duration::from_micros(500)),
+        telemetry: None,
     };
     let server = Server::start(Arc::clone(&net), Arc::clone(&registry), config);
     let client = server.client();

@@ -1,0 +1,142 @@
+//! Integration tests for the telemetry subsystem against the real
+//! runtimes: the concurrent CPU engine really pipelines sync(N) under
+//! learning(N+1), its span counts are deterministic, the throughput it
+//! reports agrees with its own spans, and an exported trace round-trips
+//! through the Chrome Trace Event parser.
+
+use crossbow::data::synth::gaussian_mixture;
+use crossbow::data::Dataset;
+use crossbow::nn::zoo::mlp;
+use crossbow::nn::Network;
+use crossbow::telemetry::{chrome, json::Json, SpanKind, Telemetry, HOST_DEVICE};
+use crossbow::{train_concurrent, CpuEngineConfig};
+
+fn setup() -> (Network, Dataset, Dataset) {
+    let net = mlp(6, &[32, 16], 4);
+    let data = gaussian_mixture(4, 6, 480, 0.35, 7);
+    let (train_set, test_set) = data.split_at(400);
+    (net, train_set, test_set)
+}
+
+fn traced_run(epochs: usize) -> (Telemetry, crossbow::CpuEngineReport) {
+    let (net, train_set, test_set) = setup();
+    let telemetry = Telemetry::wall();
+    let mut cfg = CpuEngineConfig::new(4, 8);
+    cfg.max_epochs = epochs;
+    cfg.telemetry = Some(telemetry.clone());
+    let report = train_concurrent(&net, &train_set, &test_set, &cfg).expect("run");
+    (telemetry, report)
+}
+
+/// Figure 8's pipelining, observed on the real concurrent runtime: the
+/// manager's global synchronisation of iteration N runs while some
+/// learner is already inside a learning task of a later iteration.
+///
+/// The learning tasks here are deliberately heavy (wide MLP, large
+/// batch), so after the last learner hands in its correction for N and
+/// moves on to learn(N+1), the manager has a milliseconds-wide window
+/// to land sync(N) inside it even when the host is busy; retries absorb
+/// pathological scheduling (a fully loaded box can delay the manager
+/// past the window every single iteration).
+#[test]
+fn concurrent_runtime_overlaps_sync_with_next_learning() {
+    let run = || {
+        let net = mlp(6, &[256, 128], 4);
+        let data = gaussian_mixture(4, 6, 480, 0.35, 7);
+        let (train_set, test_set) = data.split_at(400);
+        let telemetry = Telemetry::wall();
+        let mut cfg = CpuEngineConfig::new(2, 64);
+        cfg.max_epochs = 12;
+        cfg.telemetry = Some(telemetry.clone());
+        let report = train_concurrent(&net, &train_set, &test_set, &cfg).expect("run");
+        let timeline = telemetry.recorder.timeline();
+        assert!(report.iterations > 0);
+        assert!(timeline.count(SpanKind::GlobalSync) > 0);
+        assert!(timeline.count(SpanKind::Learn) > 0);
+        timeline.pipeline_overlaps()
+    };
+    let mut pairs = 0;
+    for _ in 0..3 {
+        pairs = run();
+        if pairs >= 1 {
+            break;
+        }
+    }
+    assert!(pairs >= 1, "no sync(N)/learn(N+1) pair ever overlapped");
+}
+
+/// Span *counts* are a pure function of the configuration — the thread
+/// schedule moves spans around in time but cannot create or lose one.
+#[test]
+fn span_counts_are_deterministic_under_a_fixed_seed() {
+    let (a, _) = traced_run(3);
+    let (b, _) = traced_run(3);
+    let (a, b) = (a.recorder.timeline(), b.recorder.timeline());
+    assert!(!a.is_empty());
+    for kind in SpanKind::ALL {
+        assert_eq!(
+            a.count(kind),
+            b.count(kind),
+            "span count for {} differs between identical runs",
+            kind.name()
+        );
+    }
+}
+
+/// The report's throughput and the recorded spans come from the same
+/// clock, so throughput re-derived from the timeline extent must agree
+/// with the reported value. The extent excludes thread spawn/join, so
+/// the derived figure is an upper bound.
+#[test]
+fn span_derived_throughput_matches_the_report() {
+    let (telemetry, report) = traced_run(6);
+    let timeline = telemetry.recorder.timeline();
+    let (start, end) = timeline.extent_ns().expect("spans were recorded");
+    let samples = report.iterations * 4 * 8; // k learners x batch, per sync
+    let derived = samples as f64 / ((end - start) as f64 / 1e9);
+    assert!(
+        derived >= report.throughput * 0.999,
+        "span extent cannot exceed the engine's own elapsed time: \
+         derived {derived:.0}, reported {:.0}",
+        report.throughput
+    );
+    assert!(
+        derived <= report.throughput * 1.25,
+        "derived throughput strayed too far from the report: \
+         derived {derived:.0}, reported {:.0}",
+        report.throughput
+    );
+}
+
+/// An exported trace is valid Chrome Trace Event JSON: it parses with
+/// the crate's own parser, every event carries the required fields, and
+/// the learner/manager lanes show up as distinct tids.
+#[test]
+fn exported_trace_round_trips_through_the_parser() {
+    let (telemetry, _) = traced_run(2);
+    let timeline = telemetry.recorder.timeline();
+    let json = chrome::to_chrome_json(timeline.spans(), &[(HOST_DEVICE, "host")]);
+    let parsed = Json::parse(&json).expect("exporter emits valid JSON");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("top-level traceEvents array");
+    let complete: Vec<&Json> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .collect();
+    assert_eq!(complete.len(), timeline.len());
+    let mut tids = std::collections::BTreeSet::new();
+    for e in &complete {
+        assert!(e.get("name").and_then(Json::as_str).is_some());
+        assert!(e.get("ts").and_then(Json::as_f64).is_some());
+        assert!(e.get("dur").and_then(Json::as_f64).is_some());
+        assert_eq!(
+            e.get("pid").and_then(Json::as_f64),
+            Some(f64::from(HOST_DEVICE))
+        );
+        tids.insert(e.get("tid").and_then(Json::as_f64).unwrap() as u32);
+    }
+    // 4 learner lanes plus the manager's.
+    assert_eq!(tids.len(), 5, "lanes seen: {tids:?}");
+}
