@@ -31,6 +31,15 @@ TRACE_DIR=$(mktemp -d)
 cargo run --release -q -p crossbow --example trace_tour -- --check "$TRACE_DIR/train.json"
 rm -rf "$TRACE_DIR"
 
+echo "== memory-plan bench smoke =="
+# Smoke-sized run of the §4.5 micro-benchmarks. membench exits non-zero
+# if the arena allocation counter is not flat across iteration counts —
+# the CI assertion that the training hot path performs no steady-state
+# allocations.
+BENCH_DIR=$(mktemp -d)
+./target/release/membench --smoke --out-dir "$BENCH_DIR" > /dev/null
+rm -rf "$BENCH_DIR"
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -1,0 +1,222 @@
+//! Micro-benchmarks for the §4.5 executable memory plans.
+//!
+//! Measures the packed GEMM against the naive kernel (serial and
+//! multi-threaded) and the end-to-end CPU train-step throughput of the
+//! concurrent runtime on the ResNet-style zoo model, and writes the
+//! results as JSON:
+//!
+//! * `BENCH_gemm.json` — ns/iter and GFLOP/s per kernel and size;
+//! * `BENCH_train_step.json` — samples/s, ns per global step and the
+//!   arena counters, including an allocation-flatness verdict.
+//!
+//! ```text
+//! membench [--smoke] [--out-dir DIR]
+//! ```
+//!
+//! `--smoke` shrinks sizes and epochs so the run finishes in seconds; the
+//! process exits non-zero if the arena allocation counter is not flat
+//! across iterations, making the binary usable as a CI assertion
+//! (`ci.sh` runs `membench --smoke`).
+
+use crossbow::benchmark::Benchmark;
+use crossbow::exec_cpu::{train_concurrent, CpuEngineConfig};
+use crossbow_telemetry::Telemetry;
+use crossbow_tensor::gemm::{gemm_naive, gemm_parallel, gemm_ws};
+use crossbow_tensor::{Rng, Workspace};
+use std::time::Instant;
+
+struct Measurement {
+    ns_per_iter: f64,
+    gflops: f64,
+}
+
+/// Times `f` adaptively: repeats until ~200 ms (or 25 ms in smoke mode)
+/// of total work, then reports the mean per-iteration time.
+fn time_it(smoke: bool, flops: f64, mut f: impl FnMut()) -> Measurement {
+    // Warm-up.
+    f();
+    let budget_ns = if smoke { 25_000_000.0 } else { 200_000_000.0 };
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed().as_nanos() as f64;
+        if elapsed >= budget_ns || iters >= 1 << 20 {
+            let ns = elapsed / iters as f64;
+            return Measurement {
+                ns_per_iter: ns,
+                gflops: flops / ns,
+            };
+        }
+        iters = iters.saturating_mul(2);
+    }
+}
+
+fn bench_gemm(smoke: bool, out_dir: &str) -> std::io::Result<()> {
+    let sizes: &[usize] = if smoke { &[48, 96] } else { &[64, 128, 256] };
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut rows = Vec::new();
+    let mut ws = Workspace::new();
+    for &n in sizes {
+        let mut rng = Rng::new(7);
+        let a: Vec<f32> = (0..n * n).map(|_| rng.normal()).collect();
+        let b: Vec<f32> = (0..n * n).map(|_| rng.normal()).collect();
+        let mut c = vec![0.0f32; n * n];
+        let flops = 2.0 * (n as f64).powi(3);
+        let naive = time_it(smoke, flops, || {
+            gemm_naive(n, n, n, 1.0, &a, &b, 0.0, &mut c);
+            std::hint::black_box(&c);
+        });
+        let packed = time_it(smoke, flops, || {
+            gemm_ws(n, n, n, 1.0, &a, &b, 0.0, &mut c, &mut ws);
+            std::hint::black_box(&c);
+        });
+        let parallel = time_it(smoke, flops, || {
+            gemm_parallel(n, n, n, 1.0, &a, &b, 0.0, &mut c, threads, &mut ws);
+            std::hint::black_box(&c);
+        });
+        println!(
+            "gemm {n}x{n}x{n}: naive {:.0} ns, packed {:.0} ns ({:.2}x), parallel({threads}) {:.0} ns ({:.2}x)",
+            naive.ns_per_iter,
+            packed.ns_per_iter,
+            naive.ns_per_iter / packed.ns_per_iter,
+            parallel.ns_per_iter,
+            naive.ns_per_iter / parallel.ns_per_iter,
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"m\": {n}, \"k\": {n}, \"n\": {n},\n",
+                "     \"naive\": {{\"ns_per_iter\": {:.1}, \"gflops\": {:.3}}},\n",
+                "     \"packed\": {{\"ns_per_iter\": {:.1}, \"gflops\": {:.3}}},\n",
+                "     \"parallel\": {{\"threads\": {threads}, \"ns_per_iter\": {:.1}, \"gflops\": {:.3}}},\n",
+                "     \"packed_vs_naive_speedup\": {:.3}}}"
+            ),
+            naive.ns_per_iter,
+            naive.gflops,
+            packed.ns_per_iter,
+            packed.gflops,
+            parallel.ns_per_iter,
+            parallel.gflops,
+            naive.ns_per_iter / packed.ns_per_iter,
+            n = n,
+            threads = threads,
+        ));
+    }
+    let stats = ws.stats();
+    let json = format!(
+        concat!(
+            "{{\n  \"benchmark\": \"gemm\",\n  \"smoke\": {},\n",
+            "  \"sizes\": [\n{}\n  ],\n",
+            "  \"arena\": {{\"fresh_allocs\": {}, \"reuse_hits\": {}, \"high_water_bytes\": {}}}\n}}\n"
+        ),
+        smoke,
+        rows.join(",\n"),
+        stats.fresh_allocs,
+        stats.reuse_hits,
+        stats.high_water,
+    );
+    let path = format!("{out_dir}/BENCH_gemm.json");
+    std::fs::write(&path, json)?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+/// Runs the concurrent CPU engine on the ResNet-style zoo model and
+/// returns `(samples/s, ns per global step, arena allocation count,
+/// arena high-water bytes, arena reuse hits)`.
+fn train_step_run(epochs: usize, learners: usize, batch: usize) -> (f64, f64, u64, u64, u64) {
+    let bench = Benchmark::resnet32();
+    let net = bench.network();
+    let (train_set, test_set) = bench.dataset(9);
+    let telemetry = Telemetry::disabled();
+    let mut cfg = CpuEngineConfig::new(learners, batch);
+    cfg.max_epochs = epochs;
+    cfg.telemetry = Some(telemetry.clone());
+    let start = Instant::now();
+    let report = train_concurrent(&net, &train_set, &test_set, &cfg).expect("train");
+    let elapsed = start.elapsed().as_nanos() as f64;
+    (
+        report.throughput,
+        elapsed / report.iterations.max(1) as f64,
+        telemetry.metrics.counter("memory.arena_alloc").get(),
+        telemetry.metrics.gauge("memory.arena_bytes").max(),
+        telemetry.metrics.gauge("memory.arena_reuse").max(),
+    )
+}
+
+fn bench_train_step(smoke: bool, out_dir: &str) -> std::io::Result<bool> {
+    let (epochs, learners, batch) = if smoke { (1, 2, 16) } else { (4, 2, 16) };
+    let (throughput, ns_per_step, allocs, arena_bytes, reuse) =
+        train_step_run(epochs, learners, batch);
+    // Flatness: doubling the epoch count must not change the allocation
+    // counter (§4.5: all steady-state buffers come from the arena).
+    let (_, _, allocs_double, _, _) = train_step_run(2 * epochs, learners, batch);
+    let flat = allocs > 0 && allocs == allocs_double;
+    println!(
+        "train-step (resnet-32 zoo, k={learners}, b={batch}): {throughput:.1} samples/s, \
+         {ns_per_step:.0} ns/step, arena allocs {allocs} ({}flat)",
+        if flat { "" } else { "NOT " },
+    );
+    let json = format!(
+        concat!(
+            "{{\n  \"benchmark\": \"train_step\",\n",
+            "  \"model\": \"resnet-32 (reduced zoo)\",\n",
+            "  \"smoke\": {smoke},\n",
+            "  \"learners\": {learners},\n",
+            "  \"batch_per_learner\": {batch},\n",
+            "  \"epochs\": {epochs},\n",
+            "  \"throughput_samples_per_s\": {throughput:.2},\n",
+            "  \"ns_per_step\": {ns_per_step:.1},\n",
+            "  \"arena\": {{\"alloc_events\": {allocs}, \"high_water_bytes\": {arena_bytes}, ",
+            "\"reuse_hits\": {reuse}}},\n",
+            "  \"allocation_flat\": {flat}\n}}\n"
+        ),
+        smoke = smoke,
+        learners = learners,
+        batch = batch,
+        epochs = epochs,
+        throughput = throughput,
+        ns_per_step = ns_per_step,
+        allocs = allocs,
+        arena_bytes = arena_bytes,
+        reuse = reuse,
+        flat = flat,
+    );
+    let path = format!("{out_dir}/BENCH_train_step.json");
+    std::fs::write(&path, json)?;
+    println!("wrote {path}");
+    Ok(flat)
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_dir = ".".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out-dir" => {
+                out_dir = args.next().unwrap_or_else(|| {
+                    eprintln!("--out-dir needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("membench [--smoke] [--out-dir DIR]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    bench_gemm(smoke, &out_dir).expect("write BENCH_gemm.json");
+    let flat = bench_train_step(smoke, &out_dir).expect("write BENCH_train_step.json");
+    if !flat {
+        eprintln!("FAIL: arena allocation counter grew with iteration count");
+        std::process::exit(1);
+    }
+}

@@ -26,11 +26,12 @@
 //! *numerics* are deterministic regardless of thread interleaving — a
 //! property the tests rely on.
 
+use crate::memory::ExecMemoryPlan;
 use crossbow_checkpoint::{
     AlgoState, CheckpointError, CheckpointStore, DataCursor, RetentionPolicy, TrainingState,
 };
 use crossbow_data::{BatchSampler, Dataset};
-use crossbow_nn::Network;
+use crossbow_nn::{Network, Scratch};
 use crossbow_sync::CheckpointConfig;
 use crossbow_telemetry::{SpanKind, Telemetry, HOST_DEVICE};
 use crossbow_tensor::ops;
@@ -140,11 +141,14 @@ impl CentralModel {
         Arc::clone(&guard.1)
     }
 
-    fn publish(&self, version: u64, z: Vec<f32>) {
+    /// Publishes a new version, returning the displaced snapshot so the
+    /// caller can recycle its storage once no learner holds it.
+    fn publish(&self, version: u64, z: Vec<f32>) -> Arc<Vec<f32>> {
         let mut guard = self.state.lock().expect("central-model lock poisoned");
         debug_assert_eq!(guard.0 + 1, version, "versions advance one at a time");
-        *guard = (version, Arc::new(z));
+        let old = std::mem::replace(&mut *guard, (version, Arc::new(z)));
         self.ready.notify_all();
+        old.1
     }
 
     fn snapshot(&self) -> Arc<Vec<f32>> {
@@ -155,6 +159,8 @@ impl CentralModel {
 /// A correction message from a learner to the task manager.
 struct Contribution {
     iteration: u64,
+    /// Learner lane the message came from (for buffer return).
+    lane: usize,
     /// Sum contribution `c_j = α (w_j − z)` (computed pre-update).
     correction: Vec<f32>,
     /// Epoch of the batch that produced it (for the epoch clock).
@@ -238,13 +244,38 @@ pub fn train_concurrent(
     };
     let iterations_total = (config.max_epochs * batches_per_epoch_per_learner) as u64;
 
+    // Executable §4.5 plan: one pre-warmed arena per learner lane, built
+    // before any thread starts so the hot path performs no fresh
+    // allocations after warm-up. When lanes outnumber cores the GEMMs stay
+    // serial; with idle cores each lane fans its large GEMMs out
+    // (bit-identical to serial by the packed kernel's contract).
+    let plan = ExecMemoryPlan::new(net, config.batch_per_learner, k);
+    let threads_per_lane = std::thread::available_parallelism().map_or(1, |n| (n.get() / k).max(1));
+    let mut lane_scratches: Vec<Scratch> = plan.build_scratches(net);
+    for s in &mut lane_scratches {
+        s.set_parallelism(threads_per_lane);
+    }
+    let arena_bytes_gauge = telemetry.metrics.gauge("memory.arena_bytes");
+    let arena_reuse_gauge = telemetry.metrics.gauge("memory.arena_reuse");
+    let arena_alloc_counter = telemetry.metrics.counter("memory.arena_alloc");
+    // Per-lane return channels: the manager hands drained correction
+    // buffers back so the learner/manager loop is allocation-free in the
+    // steady state.
+    let (return_txs, mut return_rxs): (Vec<_>, Vec<_>) = (0..k)
+        .map(|_| std::sync::mpsc::channel::<Vec<f32>>())
+        .unzip();
+
     // Spawn learners.
     let report = std::thread::scope(|scope| {
-        for j in 0..k {
+        for (j, mut scratch) in lane_scratches.into_iter().enumerate() {
             let central = Arc::clone(&central);
             let tx = tx.clone();
             let config = config.clone();
             let recorder = Arc::clone(&recorder);
+            let return_rx = return_rxs.remove(0);
+            let arena_bytes_gauge = Arc::clone(&arena_bytes_gauge);
+            let arena_reuse_gauge = Arc::clone(&arena_reuse_gauge);
+            let arena_alloc_counter = Arc::clone(&arena_alloc_counter);
             scope.spawn(move || {
                 let mut shard = recorder.shard();
                 let lane = j as u32;
@@ -254,7 +285,6 @@ pub fn train_concurrent(
                     true,
                     config.seed.wrapping_add(j as u64 * 7919),
                 );
-                let mut scratch = net.scratch();
                 let mut replica = central.snapshot().as_ref().clone();
                 let mut grad = vec![0.0f32; plen];
                 let mut correction = vec![0.0f32; plen];
@@ -303,14 +333,23 @@ pub fn train_concurrent(
                         Some(iteration),
                     );
                     // Hand the correction to the task manager; the next
-                    // learning task starts immediately (point g).
+                    // learning task starts immediately (point g). The
+                    // buffer travels by move; a drained one comes back on
+                    // the return channel, so the steady state allocates
+                    // nothing.
                     tx.send(Contribution {
                         iteration,
-                        correction: correction.clone(),
+                        lane: j,
+                        correction: std::mem::take(&mut correction),
                         epoch,
                     })
                     .expect("manager alive");
+                    correction = return_rx.try_recv().unwrap_or_else(|_| vec![0.0f32; plen]);
                 }
+                let stats = scratch.workspace_stats();
+                arena_bytes_gauge.set(stats.high_water as u64);
+                arena_reuse_gauge.set(stats.reuse_hits);
+                arena_alloc_counter.add(stats.fresh_allocs);
             });
         }
         drop(tx);
@@ -339,12 +378,21 @@ pub fn train_concurrent(
         let mut current_epoch = 0usize;
         let mut samples = 0u64;
         let mut stop_at_epoch: Option<usize> = None;
+        // Recycled storage for published snapshots: once every learner has
+        // dropped an old version, its Vec comes back here.
+        let mut snapshot_pool: Vec<Vec<f32>> = Vec::new();
         while let Ok(msg) = rx.recv() {
             let entry = pending
                 .entry(msg.iteration)
-                .or_insert_with(|| (0, vec![0.0f32; plen], 0));
+                .or_insert_with(|| (0, Vec::new(), 0));
             entry.0 += 1;
-            ops::add_assign(&mut entry.1, &msg.correction);
+            if entry.1.is_empty() {
+                // First arrival: its buffer becomes the accumulator.
+                entry.1 = msg.correction;
+            } else {
+                ops::add_assign(&mut entry.1, &msg.correction);
+                let _ = return_txs[msg.lane].send(msg.correction);
+            }
             entry.2 = entry.2.max(msg.epoch);
             // Apply ready iterations in order.
             while pending
@@ -359,7 +407,16 @@ pub fn train_concurrent(
                     *zi = old + ci + config.momentum * (old - *zpi);
                     *zpi = old;
                 }
-                central.publish(next_iteration + 1, z.clone());
+                // Return the drained accumulator to a lane (round-robin).
+                let _ = return_txs[(next_iteration as usize) % k].send(sum_c);
+                // Publish from recycled snapshot storage when available.
+                let mut published = snapshot_pool.pop().unwrap_or_default();
+                published.clear();
+                published.extend_from_slice(&z);
+                let old_snapshot = central.publish(next_iteration + 1, published);
+                if let Ok(v) = Arc::try_unwrap(old_snapshot) {
+                    snapshot_pool.push(v);
+                }
                 shard.close(
                     SpanKind::GlobalSync,
                     "global-sync",
@@ -548,6 +605,41 @@ mod tests {
             second.epoch_accuracy[0]
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn arena_allocations_are_flat_across_iterations() {
+        // The §4.5 executable plan promises O(1) fresh arena allocations
+        // per learner regardless of how long training runs: doubling the
+        // epoch count must not change the allocation counter.
+        let (net, train_set, test_set) = setup();
+        let allocs_for = |epochs: usize| {
+            let telemetry = Telemetry::disabled();
+            let mut cfg = CpuEngineConfig::new(2, 8);
+            cfg.max_epochs = epochs;
+            cfg.telemetry = Some(telemetry.clone());
+            train_concurrent(&net, &train_set, &test_set, &cfg).expect("run");
+            telemetry.metrics.counter("memory.arena_alloc").get()
+        };
+        let short = allocs_for(2);
+        let long = allocs_for(4);
+        assert!(short > 0, "arena was used");
+        assert_eq!(
+            short, long,
+            "fresh arena allocations must not scale with iteration count"
+        );
+    }
+
+    #[test]
+    fn arena_telemetry_gauges_are_recorded() {
+        let (net, train_set, test_set) = setup();
+        let telemetry = Telemetry::disabled();
+        let mut cfg = CpuEngineConfig::new(2, 8);
+        cfg.max_epochs = 2;
+        cfg.telemetry = Some(telemetry.clone());
+        train_concurrent(&net, &train_set, &test_set, &cfg).expect("run");
+        assert!(telemetry.metrics.gauge("memory.arena_bytes").max() > 0);
+        assert!(telemetry.metrics.gauge("memory.arena_reuse").max() > 0);
     }
 
     #[test]

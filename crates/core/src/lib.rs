@@ -63,7 +63,7 @@ pub use exec_cpu::{train_concurrent, CpuEngineConfig, CpuEngineReport};
 pub use exec_sim::{
     simulate, simulate_robust, EngineKind, FaultCounters, RobustSimConfig, SimConfig, SimReport,
 };
-pub use memory::{offline_plan, shared_plan, MemoryPlan};
+pub use memory::{offline_plan, shared_plan, ExecMemoryPlan, MemoryPlan};
 
 pub use crossbow_sync::CheckpointConfig;
 

@@ -1,7 +1,7 @@
 //! Element-wise activation layers.
 
-use super::{Layer, Slot};
-use crossbow_tensor::{Rng, Shape, Tensor};
+use super::{stash_copy, Layer, Slot};
+use crossbow_tensor::{Rng, Shape, Tensor, Workspace};
 
 /// Rectified linear unit: `y = max(x, 0)`.
 #[derive(Clone, Copy, Debug, Default)]
@@ -22,20 +22,25 @@ impl Layer for Relu {
 
     fn init(&self, _params: &mut [f32], _rng: &mut Rng) {}
 
-    fn forward(&self, _params: &[f32], input: &Tensor, slot: &mut Slot, train: bool) -> Tensor {
-        let mut out = input.clone();
-        out.data_mut().iter_mut().for_each(|v| *v = v.max(0.0));
+    fn forward(
+        &self,
+        _params: &[f32],
+        input: &Tensor,
+        slot: &mut Slot,
+        ws: &mut Workspace,
+        train: bool,
+    ) -> Tensor {
+        let mut out = ws.take_tensor(input.shape().clone());
+        for (o, &v) in out.data_mut().iter_mut().zip(input.data()) {
+            *o = v.max(0.0);
+        }
         if train {
-            slot.tensors.clear();
+            slot.recycle_tensors_into(ws);
             // Save the mask (1 where the input was positive).
-            let mask = Tensor::from_vec(
-                input.shape().clone(),
-                input
-                    .data()
-                    .iter()
-                    .map(|&x| if x > 0.0 { 1.0 } else { 0.0 })
-                    .collect(),
-            );
+            let mut mask = ws.take_tensor(input.shape().clone());
+            for (m, &v) in mask.data_mut().iter_mut().zip(input.data()) {
+                *m = if v > 0.0 { 1.0 } else { 0.0 };
+            }
             slot.tensors.push(mask);
         }
         out
@@ -47,17 +52,28 @@ impl Layer for Relu {
         _grad_params: &mut [f32],
         grad_output: &Tensor,
         slot: &Slot,
+        ws: &mut Workspace,
     ) -> Tensor {
         let mask = &slot.tensors[0];
-        let mut grad_in = grad_output.clone();
-        for (g, &m) in grad_in.data_mut().iter_mut().zip(mask.data()) {
-            *g *= m;
+        let mut grad_in = ws.take_tensor(grad_output.shape().clone());
+        for ((o, &g), &m) in grad_in
+            .data_mut()
+            .iter_mut()
+            .zip(grad_output.data())
+            .zip(mask.data())
+        {
+            *o = g * m;
         }
         grad_in
     }
 
     fn flops_per_sample(&self, input: &Shape) -> u64 {
         input.len() as u64
+    }
+
+    fn scratch_len(&self, input: &Shape, batch: usize) -> usize {
+        // The stashed mask.
+        batch * input.len()
     }
 }
 
@@ -80,12 +96,21 @@ impl Layer for Tanh {
 
     fn init(&self, _params: &mut [f32], _rng: &mut Rng) {}
 
-    fn forward(&self, _params: &[f32], input: &Tensor, slot: &mut Slot, train: bool) -> Tensor {
-        let mut out = input.clone();
-        out.data_mut().iter_mut().for_each(|v| *v = v.tanh());
+    fn forward(
+        &self,
+        _params: &[f32],
+        input: &Tensor,
+        slot: &mut Slot,
+        ws: &mut Workspace,
+        train: bool,
+    ) -> Tensor {
+        let mut out = ws.take_tensor(input.shape().clone());
+        for (o, &v) in out.data_mut().iter_mut().zip(input.data()) {
+            *o = v.tanh();
+        }
         if train {
-            slot.tensors.clear();
-            slot.tensors.push(out.clone()); // y, since dy/dx = 1 - y^2
+            slot.recycle_tensors_into(ws);
+            stash_copy(slot, ws, &out); // y, since dy/dx = 1 - y^2
         }
         out
     }
@@ -96,11 +121,17 @@ impl Layer for Tanh {
         _grad_params: &mut [f32],
         grad_output: &Tensor,
         slot: &Slot,
+        ws: &mut Workspace,
     ) -> Tensor {
         let y = &slot.tensors[0];
-        let mut grad_in = grad_output.clone();
-        for (g, &yv) in grad_in.data_mut().iter_mut().zip(y.data()) {
-            *g *= 1.0 - yv * yv;
+        let mut grad_in = ws.take_tensor(grad_output.shape().clone());
+        for ((o, &g), &yv) in grad_in
+            .data_mut()
+            .iter_mut()
+            .zip(grad_output.data())
+            .zip(y.data())
+        {
+            *o = g * (1.0 - yv * yv);
         }
         grad_in
     }
@@ -108,6 +139,11 @@ impl Layer for Tanh {
     fn flops_per_sample(&self, input: &Shape) -> u64 {
         // tanh is ~10 flops in most implementations.
         10 * input.len() as u64
+    }
+
+    fn scratch_len(&self, input: &Shape, batch: usize) -> usize {
+        // The stashed output copy.
+        batch * input.len()
     }
 }
 
@@ -119,17 +155,25 @@ mod tests {
     #[test]
     fn relu_forward_clamps() {
         let mut slot = Slot::default();
+        let mut ws = Workspace::new();
         let x = Tensor::from_slice(&[-1.0, 0.0, 2.0]);
-        let y = Relu.forward(&[], &x, &mut slot, true);
+        let y = Relu.forward(&[], &x, &mut slot, &mut ws, true);
         assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
     }
 
     #[test]
     fn relu_backward_masks() {
         let mut slot = Slot::default();
+        let mut ws = Workspace::new();
         let x = Tensor::from_slice(&[-1.0, 3.0]);
-        let _ = Relu.forward(&[], &x, &mut slot, true);
-        let g = Relu.backward(&[], &mut [], &Tensor::from_slice(&[5.0, 5.0]), &slot);
+        let _ = Relu.forward(&[], &x, &mut slot, &mut ws, true);
+        let g = Relu.backward(
+            &[],
+            &mut [],
+            &Tensor::from_slice(&[5.0, 5.0]),
+            &slot,
+            &mut ws,
+        );
         assert_eq!(g.data(), &[0.0, 5.0]);
     }
 
@@ -146,8 +190,9 @@ mod tests {
     #[test]
     fn tanh_forward_is_odd() {
         let mut slot = Slot::default();
+        let mut ws = Workspace::new();
         let x = Tensor::from_slice(&[-1.0, 0.0, 1.0]);
-        let y = Tanh.forward(&[], &x, &mut slot, false);
+        let y = Tanh.forward(&[], &x, &mut slot, &mut ws, false);
         assert!((y.data()[0] + y.data()[2]).abs() < 1e-6);
         assert_eq!(y.data()[1], 0.0);
     }

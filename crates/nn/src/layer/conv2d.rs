@@ -2,11 +2,11 @@
 //! algorithm uses, so the operator counts in the cost profiles map onto
 //! real kernels.
 
-use super::{Layer, Slot};
+use super::{stash_copy, Layer, Slot};
 use crate::init::Init;
 use crossbow_tensor::conv::{col2im, im2col, ConvGeom};
-use crossbow_tensor::gemm::{gemm, gemm_at, gemm_bt};
-use crossbow_tensor::{Rng, Shape, Tensor};
+use crossbow_tensor::gemm::{gemm_at_ws, gemm_bt_ws, gemm_ws};
+use crossbow_tensor::{Rng, Shape, Tensor, Workspace};
 
 /// A 2-D convolution over NCHW input with square stride/padding.
 #[derive(Clone, Copy, Debug)]
@@ -100,7 +100,14 @@ impl Layer for Conv2d {
         Init::Zeros.fill(b, 0, 0, rng);
     }
 
-    fn forward(&self, params: &[f32], input: &Tensor, slot: &mut Slot, train: bool) -> Tensor {
+    fn forward(
+        &self,
+        params: &[f32],
+        input: &Tensor,
+        slot: &mut Slot,
+        ws: &mut Workspace,
+        train: bool,
+    ) -> Tensor {
         assert_eq!(input.shape().rank(), 4, "conv2d expects NCHW batches");
         let batch = input.shape().dim(0);
         let per_sample = Shape::new(&input.shape().dims()[1..]);
@@ -109,8 +116,8 @@ impl Layer for Conv2d {
         let (w, bias) = params.split_at(self.weight_len());
         let rows = g.col_rows();
         let cols = g.col_cols();
-        let mut col = vec![0.0f32; g.col_len()];
-        let mut out = Tensor::zeros([batch, self.c_out, out_h, out_w]);
+        let mut col = ws.take(g.col_len());
+        let mut out = ws.take_tensor([batch, self.c_out, out_h, out_w]);
         let in_len = g.image_len();
         let out_len = self.c_out * out_h * out_w;
         for n in 0..batch {
@@ -118,15 +125,16 @@ impl Layer for Conv2d {
             im2col(&g, image, &mut col);
             let out_image = &mut out.data_mut()[n * out_len..(n + 1) * out_len];
             // out = W (c_out x rows) @ col (rows x cols)
-            gemm(self.c_out, rows, cols, 1.0, w, &col, 0.0, out_image);
+            gemm_ws(self.c_out, rows, cols, 1.0, w, &col, 0.0, out_image, ws);
             for (c, plane) in out_image.chunks_exact_mut(cols).enumerate() {
                 let bv = bias[c];
                 plane.iter_mut().for_each(|o| *o += bv);
             }
         }
+        ws.give(col);
         if train {
-            slot.tensors.clear();
-            slot.tensors.push(input.clone());
+            slot.recycle_tensors_into(ws);
+            stash_copy(slot, ws, input);
         }
         out
     }
@@ -137,6 +145,7 @@ impl Layer for Conv2d {
         grad_params: &mut [f32],
         grad_output: &Tensor,
         slot: &Slot,
+        ws: &mut Workspace,
     ) -> Tensor {
         let input = &slot.tensors[0];
         let batch = input.shape().dim(0);
@@ -148,24 +157,26 @@ impl Layer for Conv2d {
         let out_len = self.c_out * cols;
         let (w, _) = params.split_at(self.weight_len());
         let (gw, gb) = grad_params.split_at_mut(self.weight_len());
-        let mut col = vec![0.0f32; g.col_len()];
-        let mut dcol = vec![0.0f32; g.col_len()];
-        let mut grad_in = Tensor::zeros(input.shape().clone());
+        let mut col = ws.take(g.col_len());
+        let mut dcol = ws.take(g.col_len());
+        let mut grad_in = ws.take_tensor(input.shape().clone());
         for n in 0..batch {
             let image = &input.data()[n * in_len..(n + 1) * in_len];
             let dout = &grad_output.data()[n * out_len..(n + 1) * out_len];
             // dW += dOut (c_out x cols) @ col^T
             im2col(&g, image, &mut col);
-            gemm_bt(self.c_out, cols, rows, 1.0, dout, &col, 1.0, gw);
+            gemm_bt_ws(self.c_out, cols, rows, 1.0, dout, &col, 1.0, gw, ws);
             // db += row sums of dOut per channel
             for (c, plane) in dout.chunks_exact(cols).enumerate() {
                 gb[c] += plane.iter().sum::<f32>();
             }
             // dCol = W^T @ dOut, then scatter to dInput
-            gemm_at(rows, self.c_out, cols, 1.0, w, dout, 0.0, &mut dcol);
+            gemm_at_ws(rows, self.c_out, cols, 1.0, w, dout, 0.0, &mut dcol, ws);
             let dimage = &mut grad_in.data_mut()[n * in_len..(n + 1) * in_len];
             col2im(&g, &dcol, dimage);
         }
+        ws.give(col);
+        ws.give(dcol);
         grad_in
     }
 
@@ -173,6 +184,12 @@ impl Layer for Conv2d {
         let g = self.geom(input);
         // One GEMM: 2 * c_out * (c_in*k*k) * (out_h*out_w)
         2 * (self.c_out * g.col_rows() * g.col_cols()) as u64
+    }
+
+    fn scratch_len(&self, input: &Shape, batch: usize) -> usize {
+        let g = self.geom(input);
+        // col + dcol during backward, plus the stashed input copy.
+        2 * g.col_len() + batch * g.image_len()
     }
 
     fn op_count(&self) -> usize {
@@ -193,7 +210,8 @@ mod tests {
         let params = vec![1.0, 0.0];
         let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
         let mut slot = Slot::default();
-        let y = layer.forward(&params, &x, &mut slot, false);
+        let mut ws = Workspace::new();
+        let y = layer.forward(&params, &x, &mut slot, &mut ws, false);
         assert_eq!(y.data(), x.data());
     }
 
@@ -205,7 +223,8 @@ mod tests {
         params[9] = 0.0; // bias
         let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
         let mut slot = Slot::default();
-        let y = layer.forward(&params, &x, &mut slot, false);
+        let mut ws = Workspace::new();
+        let y = layer.forward(&params, &x, &mut slot, &mut ws, false);
         // Every output is the sum of all in-bounds neighbours.
         assert_eq!(y.data(), &[10.0, 10.0, 10.0, 10.0]);
     }

@@ -1,9 +1,9 @@
 //! Fully-connected layers and the flatten adapter.
 
-use super::{batch_of, Layer, Slot};
+use super::{batch_of, stash_copy, Layer, Slot};
 use crate::init::Init;
-use crossbow_tensor::gemm::{gemm, gemm_at, gemm_bt};
-use crossbow_tensor::{Rng, Shape, Tensor};
+use crossbow_tensor::gemm::{gemm_at_ws, gemm_bt_ws, gemm_ws};
+use crossbow_tensor::{Rng, Shape, Tensor, Workspace};
 
 /// A fully-connected layer: `y = x @ W^T + b` with `W: out x in` and
 /// `b: out`. Accepts any input whose per-sample element count equals
@@ -75,12 +75,19 @@ impl Layer for Dense {
         Init::Zeros.fill(b, 0, 0, rng);
     }
 
-    fn forward(&self, params: &[f32], input: &Tensor, slot: &mut Slot, train: bool) -> Tensor {
+    fn forward(
+        &self,
+        params: &[f32],
+        input: &Tensor,
+        slot: &mut Slot,
+        ws: &mut Workspace,
+        train: bool,
+    ) -> Tensor {
         let b = batch_of(input, self.in_features);
         let (w, bias) = params.split_at(self.weight_len());
-        let mut out = Tensor::zeros([b, self.out_features]);
+        let mut out = ws.take_tensor([b, self.out_features]);
         // out = input @ W^T
-        gemm_bt(
+        gemm_bt_ws(
             b,
             self.in_features,
             self.out_features,
@@ -89,6 +96,7 @@ impl Layer for Dense {
             w,
             0.0,
             out.data_mut(),
+            ws,
         );
         for row in out.data_mut().chunks_exact_mut(self.out_features) {
             for (o, &bv) in row.iter_mut().zip(bias) {
@@ -96,8 +104,8 @@ impl Layer for Dense {
             }
         }
         if train {
-            slot.tensors.clear();
-            slot.tensors.push(input.clone());
+            slot.recycle_tensors_into(ws);
+            stash_copy(slot, ws, input);
         }
         out
     }
@@ -108,13 +116,14 @@ impl Layer for Dense {
         grad_params: &mut [f32],
         grad_output: &Tensor,
         slot: &Slot,
+        ws: &mut Workspace,
     ) -> Tensor {
         let input = &slot.tensors[0];
         let b = batch_of(input, self.in_features);
         let (w, _) = params.split_at(self.weight_len());
         let (gw, gb) = grad_params.split_at_mut(self.weight_len());
         // dW += dY^T @ X   (dY is b x out stored row-major = k x m for gemm_at)
-        gemm_at(
+        gemm_at_ws(
             self.out_features,
             b,
             self.in_features,
@@ -123,6 +132,7 @@ impl Layer for Dense {
             input.data(),
             1.0,
             gw,
+            ws,
         );
         // db += column sums of dY
         for row in grad_output.data().chunks_exact(self.out_features) {
@@ -131,8 +141,8 @@ impl Layer for Dense {
             }
         }
         // dX = dY @ W
-        let mut grad_in = Tensor::zeros(input.shape().clone());
-        gemm(
+        let mut grad_in = ws.take_tensor(input.shape().clone());
+        gemm_ws(
             b,
             self.out_features,
             self.in_features,
@@ -141,12 +151,18 @@ impl Layer for Dense {
             w,
             0.0,
             grad_in.data_mut(),
+            ws,
         );
         grad_in
     }
 
     fn flops_per_sample(&self, _input: &Shape) -> u64 {
         2 * (self.in_features * self.out_features) as u64
+    }
+
+    fn scratch_len(&self, _input: &Shape, batch: usize) -> usize {
+        // The stashed input copy.
+        batch * self.in_features
     }
 }
 
@@ -170,8 +186,17 @@ impl Layer for Flatten {
 
     fn init(&self, _params: &mut [f32], _rng: &mut Rng) {}
 
-    fn forward(&self, _params: &[f32], input: &Tensor, _slot: &mut Slot, _train: bool) -> Tensor {
-        input.clone()
+    fn forward(
+        &self,
+        _params: &[f32],
+        input: &Tensor,
+        _slot: &mut Slot,
+        ws: &mut Workspace,
+        _train: bool,
+    ) -> Tensor {
+        let mut out = ws.take_tensor(input.shape().clone());
+        out.copy_from(input);
+        out
     }
 
     fn backward(
@@ -180,8 +205,11 @@ impl Layer for Flatten {
         _grad_params: &mut [f32],
         grad_output: &Tensor,
         _slot: &Slot,
+        ws: &mut Workspace,
     ) -> Tensor {
-        grad_output.clone()
+        let mut out = ws.take_tensor(grad_output.shape().clone());
+        out.copy_from(grad_output);
+        out
     }
 
     fn flops_per_sample(&self, _input: &Shape) -> u64 {
@@ -205,7 +233,8 @@ mod tests {
         let params = vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0];
         let x = Tensor::from_vec([1, 2], vec![5.0, 6.0]);
         let mut slot = Slot::default();
-        let y = layer.forward(&params, &x, &mut slot, false);
+        let mut ws = Workspace::new();
+        let y = layer.forward(&params, &x, &mut slot, &mut ws, false);
         // y = [5*1+6*2+10, 5*3+6*4+20] = [27, 59]
         assert_eq!(y.data(), &[27.0, 59.0]);
     }
@@ -250,10 +279,11 @@ mod tests {
     #[test]
     fn flatten_passes_through() {
         let mut slot = Slot::default();
+        let mut ws = Workspace::new();
         let x = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0]);
-        let y = Flatten.forward(&[], &x, &mut slot, true);
+        let y = Flatten.forward(&[], &x, &mut slot, &mut ws, true);
         assert_eq!(y.data(), x.data());
-        let g = Flatten.backward(&[], &mut [], &y, &slot);
+        let g = Flatten.backward(&[], &mut [], &y, &slot, &mut ws);
         assert_eq!(g.data(), x.data());
         assert_eq!(Flatten.output_shape(&Shape::new(&[2, 3])), Shape::vector(6));
     }

@@ -30,7 +30,7 @@ pub use norm::ChannelNorm;
 pub use pool::{GlobalAvgPool, MaxPool2d};
 pub use residual::Residual;
 
-use crossbow_tensor::{Rng, Shape, Tensor};
+use crossbow_tensor::{Rng, Shape, Tensor, Workspace};
 
 /// Per-layer, per-learner storage for values carried from forward to
 /// backward. Composite layers (e.g. [`Residual`]) use `children` to give
@@ -51,6 +51,23 @@ impl Slot {
             c.clear();
         }
     }
+
+    /// Drains this slot's saved tensors back into the arena (children are
+    /// left alone: composite layers recycle them through their inner
+    /// layers' own forward passes). Layers call this at the top of a
+    /// training forward so last iteration's stash backs this iteration's.
+    pub fn recycle_tensors_into(&mut self, ws: &mut Workspace) {
+        for t in self.tensors.drain(..) {
+            ws.recycle(t);
+        }
+    }
+}
+
+/// Stashes an arena-backed copy of `t` into the slot.
+pub(crate) fn stash_copy(slot: &mut Slot, ws: &mut Workspace, t: &Tensor) {
+    let mut saved = ws.take_tensor(t.shape().clone());
+    saved.copy_from(t);
+    slot.tensors.push(saved);
 }
 
 /// A differentiable operator with externally stored parameters.
@@ -71,21 +88,40 @@ pub trait Layer: Send + Sync {
     fn init(&self, params: &mut [f32], rng: &mut Rng);
 
     /// Computes the layer output for a batch, saving whatever backward
-    /// needs into `slot` when `train` is true.
-    fn forward(&self, params: &[f32], input: &Tensor, slot: &mut Slot, train: bool) -> Tensor;
+    /// needs into `slot` when `train` is true. Scratch buffers (im2col
+    /// columns, masks, statistics) and the output itself are checked out
+    /// of `ws`, the learner's §4.5 arena, instead of freshly allocated.
+    fn forward(
+        &self,
+        params: &[f32],
+        input: &Tensor,
+        slot: &mut Slot,
+        ws: &mut Workspace,
+        train: bool,
+    ) -> Tensor;
 
     /// Accumulates parameter gradients into `grad_params` and returns the
-    /// gradient with respect to the layer input.
+    /// gradient with respect to the layer input (checked out of `ws`).
     fn backward(
         &self,
         params: &[f32],
         grad_params: &mut [f32],
         grad_output: &Tensor,
         slot: &Slot,
+        ws: &mut Workspace,
     ) -> Tensor;
 
     /// Rough FLOPs per sample of one forward pass (for cost profiles).
     fn flops_per_sample(&self, input: &Shape) -> u64;
+
+    /// Upper bound on the arena elements this layer checks out during one
+    /// training forward + backward for the given per-sample input shape
+    /// and batch size — stashes, masks and kernel scratch, *excluding* the
+    /// output activation and upstream gradient (the network accounts for
+    /// those). Feeds [`crate::network::Network::plan`].
+    fn scratch_len(&self, _input: &Shape, _batch: usize) -> usize {
+        0
+    }
 
     /// Number of primitive device operators this layer lowers to (for the
     /// operator-graph export; default 1 forward + 1 backward).
@@ -174,7 +210,8 @@ pub(crate) mod gradcheck {
 
         let loss = |params: &[f32], input: &Tensor| -> f64 {
             let mut slot = Slot::default();
-            let out = layer.forward(params, input, &mut slot, true);
+            let mut ws = Workspace::new();
+            let out = layer.forward(params, input, &mut slot, &mut ws, true);
             out.data()
                 .iter()
                 .zip(probe.data())
@@ -184,9 +221,10 @@ pub(crate) mod gradcheck {
 
         // Analytic gradients.
         let mut slot = Slot::default();
-        let _ = layer.forward(&params, &input, &mut slot, true);
+        let mut ws = Workspace::new();
+        let _ = layer.forward(&params, &input, &mut slot, &mut ws, true);
         let mut grad_params = vec![0.0f32; params.len()];
-        let grad_input = layer.backward(&params, &mut grad_params, &probe, &slot);
+        let grad_input = layer.backward(&params, &mut grad_params, &probe, &slot, &mut ws);
 
         let eps = 3e-3f32;
         // Parameter gradients: probe a subset for speed.

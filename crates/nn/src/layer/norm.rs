@@ -10,11 +10,32 @@
 //! batches, where batch statistics are a faithful stand-in. This is
 //! documented in DESIGN.md.
 
-use super::{Layer, Slot};
+use super::{stash_copy, Layer, Slot};
 use crate::init::Init;
-use crossbow_tensor::{Rng, Shape, Tensor};
+use crossbow_tensor::{Rng, Shape, Tensor, Workspace};
 
 const EPS: f32 = 1e-5;
+
+/// Sums a slice with four independent accumulators combined in a fixed
+/// order — the loop-carried dependency of a single accumulator is what
+/// keeps scalar reductions from pipelining, and the order is static so
+/// results stay deterministic run to run.
+#[inline]
+fn sum4(xs: &[f32], mut f: impl FnMut(f32) -> f32) -> f32 {
+    let mut acc = [0.0f32; 4];
+    let chunks = xs.chunks_exact(4);
+    let rest = chunks.remainder();
+    for c in chunks {
+        acc[0] += f(c[0]);
+        acc[1] += f(c[1]);
+        acc[2] += f(c[2]);
+        acc[3] += f(c[3]);
+    }
+    for (i, &v) in rest.iter().enumerate() {
+        acc[i] += f(v);
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
 
 /// Per-channel normalisation with learnable scale and shift.
 #[derive(Clone, Copy, Debug)]
@@ -55,7 +76,14 @@ impl Layer for ChannelNorm {
         Init::Zeros.fill(beta, 0, 0, rng);
     }
 
-    fn forward(&self, params: &[f32], input: &Tensor, slot: &mut Slot, train: bool) -> Tensor {
+    fn forward(
+        &self,
+        params: &[f32],
+        input: &Tensor,
+        slot: &mut Slot,
+        ws: &mut Workspace,
+        train: bool,
+    ) -> Tensor {
         let dims = input.shape().dims();
         let batch = dims[0];
         let c = self.channels;
@@ -63,9 +91,9 @@ impl Layer for ChannelNorm {
         let plane: usize = dims[2..].iter().product::<usize>().max(1);
         let n_per_c = (batch * plane) as f32;
         let (gamma, beta) = params.split_at(c);
-        let mut out = Tensor::zeros(input.shape().clone());
-        let mut means = vec![0.0f32; c];
-        let mut inv_stds = vec![0.0f32; c];
+        let mut out = ws.take_tensor(input.shape().clone());
+        let mut means = ws.take(c);
+        let mut inv_stds = ws.take(c);
         for ch in 0..c {
             // Two-pass mean/variance: the one-pass E[x^2] - E[x]^2 form
             // cancels catastrophically in f32 once activations drift away
@@ -74,18 +102,16 @@ impl Layer for ChannelNorm {
             let mut sum = 0.0f32;
             for n in 0..batch {
                 let p = &input.data()[(n * c + ch) * plane..(n * c + ch + 1) * plane];
-                for &v in p {
-                    sum += v;
-                }
+                sum += sum4(p, |v| v);
             }
             let mean = sum / n_per_c;
             let mut sq = 0.0f32;
             for n in 0..batch {
                 let p = &input.data()[(n * c + ch) * plane..(n * c + ch + 1) * plane];
-                for &v in p {
+                sq += sum4(p, |v| {
                     let d = v - mean;
-                    sq += d * d;
-                }
+                    d * d
+                });
             }
             let var = (sq / n_per_c).max(0.0);
             let inv_std = 1.0 / (var + EPS).sqrt();
@@ -101,10 +127,15 @@ impl Layer for ChannelNorm {
             }
         }
         if train {
-            slot.tensors.clear();
-            slot.tensors.push(input.clone());
-            slot.tensors.push(Tensor::from_slice(&means));
-            slot.tensors.push(Tensor::from_slice(&inv_stds));
+            slot.recycle_tensors_into(ws);
+            stash_copy(slot, ws, input);
+            // Move the statistics buffers into the slot (no copy).
+            slot.tensors.push(Tensor::from_vec(Shape::vector(c), means));
+            slot.tensors
+                .push(Tensor::from_vec(Shape::vector(c), inv_stds));
+        } else {
+            ws.give(means);
+            ws.give(inv_stds);
         }
         out
     }
@@ -115,6 +146,7 @@ impl Layer for ChannelNorm {
         grad_params: &mut [f32],
         grad_output: &Tensor,
         slot: &Slot,
+        ws: &mut Workspace,
     ) -> Tensor {
         let input = &slot.tensors[0];
         let means = slot.tensors[1].data();
@@ -126,7 +158,7 @@ impl Layer for ChannelNorm {
         let n_per_c = (batch * plane) as f32;
         let (gamma, _) = params.split_at(c);
         let (g_gamma, g_beta) = grad_params.split_at_mut(c);
-        let mut grad_in = Tensor::zeros(input.shape().clone());
+        let mut grad_in = ws.take_tensor(input.shape().clone());
         for ch in 0..c {
             let mean = means[ch];
             let inv_std = inv_stds[ch];
@@ -136,10 +168,19 @@ impl Layer for ChannelNorm {
             for n in 0..batch {
                 let x = &input.data()[(n * c + ch) * plane..(n * c + ch + 1) * plane];
                 let dy = &grad_output.data()[(n * c + ch) * plane..(n * c + ch + 1) * plane];
-                for (&xv, &dv) in x.iter().zip(dy) {
-                    sum_dy += dv;
-                    sum_dy_xhat += dv * (xv - mean) * inv_std;
+                sum_dy += sum4(dy, |v| v);
+                let mut acc = [0.0f32; 4];
+                let xc = x.chunks_exact(4);
+                let dc = dy.chunks_exact(4);
+                for (xs, ds) in xc.clone().zip(dc.clone()) {
+                    for i in 0..4 {
+                        acc[i] += ds[i] * (xs[i] - mean) * inv_std;
+                    }
                 }
+                for (i, (&xv, &dv)) in xc.remainder().iter().zip(dc.remainder()).enumerate() {
+                    acc[i] += dv * (xv - mean) * inv_std;
+                }
+                sum_dy_xhat += (acc[0] + acc[1]) + (acc[2] + acc[3]);
             }
             g_gamma[ch] += sum_dy_xhat;
             g_beta[ch] += sum_dy;
@@ -162,6 +203,11 @@ impl Layer for ChannelNorm {
     fn flops_per_sample(&self, input: &Shape) -> u64 {
         8 * input.len() as u64
     }
+
+    fn scratch_len(&self, input: &Shape, batch: usize) -> usize {
+        // Stashed input copy plus the per-channel statistics vectors.
+        batch * input.len() + 2 * self.channels
+    }
 }
 
 #[cfg(test)]
@@ -177,7 +223,8 @@ mod tests {
         layer.init(&mut params, &mut rng);
         let x = Tensor::randn([4, 2, 3, 3], 5.0, &mut rng);
         let mut slot = Slot::default();
-        let y = layer.forward(&params, &x, &mut slot, true);
+        let mut ws = Workspace::new();
+        let y = layer.forward(&params, &x, &mut slot, &mut ws, true);
         // With gamma=1, beta=0 each channel has ~zero mean, unit variance.
         for ch in 0..2 {
             let mut vals = Vec::new();
@@ -199,7 +246,8 @@ mod tests {
         let mut rng = Rng::new(2);
         let x = Tensor::randn([8, 1, 2, 2], 1.0, &mut rng);
         let mut slot = Slot::default();
-        let y = layer.forward(&params, &x, &mut slot, true);
+        let mut ws = Workspace::new();
+        let y = layer.forward(&params, &x, &mut slot, &mut ws, true);
         let mean = y.mean();
         assert!((mean - 3.0).abs() < 1e-4, "shifted mean {mean}");
     }
@@ -222,7 +270,8 @@ mod tests {
         let params = vec![1.0, 0.0];
         let x = Tensor::full([4, 1, 2, 2], 7.0);
         let mut slot = Slot::default();
-        let y = layer.forward(&params, &x, &mut slot, true);
+        let mut ws = Workspace::new();
+        let y = layer.forward(&params, &x, &mut slot, &mut ws, true);
         assert!(y.is_finite());
         assert!(y.max_abs() < 1e-2, "zero-variance input normalises to ~0");
     }

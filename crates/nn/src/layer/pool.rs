@@ -2,7 +2,7 @@
 
 use super::{Layer, Slot};
 use crossbow_tensor::conv::conv_out;
-use crossbow_tensor::{Rng, Shape, Tensor};
+use crossbow_tensor::{Rng, Shape, Tensor, Workspace};
 
 /// Max pooling over square windows of NCHW input.
 #[derive(Clone, Copy, Debug)]
@@ -48,14 +48,21 @@ impl Layer for MaxPool2d {
 
     fn init(&self, _params: &mut [f32], _rng: &mut Rng) {}
 
-    fn forward(&self, _params: &[f32], input: &Tensor, slot: &mut Slot, train: bool) -> Tensor {
+    fn forward(
+        &self,
+        _params: &[f32],
+        input: &Tensor,
+        slot: &mut Slot,
+        ws: &mut Workspace,
+        train: bool,
+    ) -> Tensor {
         let batch = input.shape().dim(0);
         let per_sample = Shape::new(&input.shape().dims()[1..]);
         let (c, h, w, oh, ow) = self.dims(&per_sample);
-        let mut out = Tensor::zeros([batch, c, oh, ow]);
+        let mut out = ws.take_tensor([batch, c, oh, ow]);
         // Flat input index of each output's argmax, stored as f32 (values
         // stay far below the 2^24 exact-integer limit for our models).
-        let mut argmax = Tensor::zeros([batch, c, oh, ow]);
+        let mut argmax = ws.take_tensor([batch, c, oh, ow]);
         let in_plane = h * w;
         let out_plane = oh * ow;
         for n in 0..batch {
@@ -84,13 +91,14 @@ impl Layer for MaxPool2d {
             }
         }
         if train {
-            slot.tensors.clear();
+            slot.recycle_tensors_into(ws);
             slot.tensors.push(argmax);
-            slot.tensors.push(Tensor::from_slice(&[
-                batch as f32,
-                c as f32,
-                in_plane as f32,
-            ]));
+            let mut meta = ws.take_tensor([3]);
+            meta.data_mut()
+                .copy_from_slice(&[batch as f32, c as f32, in_plane as f32]);
+            slot.tensors.push(meta);
+        } else {
+            ws.recycle(argmax);
         }
         out
     }
@@ -101,12 +109,13 @@ impl Layer for MaxPool2d {
         _grad_params: &mut [f32],
         grad_output: &Tensor,
         slot: &Slot,
+        ws: &mut Workspace,
     ) -> Tensor {
         let argmax = &slot.tensors[0];
         let meta = slot.tensors[1].data();
         let (batch, c, in_plane) = (meta[0] as usize, meta[1] as usize, meta[2] as usize);
         let out_plane = grad_output.len() / (batch * c);
-        let mut grad_in = Tensor::zeros([batch, c, in_plane].as_slice());
+        let mut grad_in = ws.take_tensor([batch, c, in_plane].as_slice());
         for n in 0..batch {
             for ch in 0..c {
                 let base_out = (n * c + ch) * out_plane;
@@ -122,6 +131,12 @@ impl Layer for MaxPool2d {
 
     fn flops_per_sample(&self, input: &Shape) -> u64 {
         input.len() as u64
+    }
+
+    fn scratch_len(&self, input: &Shape, batch: usize) -> usize {
+        let (c, _, _, oh, ow) = self.dims(input);
+        // The stashed argmax plane plus the 3-element meta record.
+        batch * c * oh * ow + 3
     }
 }
 
@@ -146,11 +161,18 @@ impl Layer for GlobalAvgPool {
 
     fn init(&self, _params: &mut [f32], _rng: &mut Rng) {}
 
-    fn forward(&self, _params: &[f32], input: &Tensor, slot: &mut Slot, train: bool) -> Tensor {
+    fn forward(
+        &self,
+        _params: &[f32],
+        input: &Tensor,
+        slot: &mut Slot,
+        ws: &mut Workspace,
+        train: bool,
+    ) -> Tensor {
         let dims = input.shape().dims();
         let (batch, c) = (dims[0], dims[1]);
         let plane = dims[2] * dims[3];
-        let mut out = Tensor::zeros([batch, c]);
+        let mut out = ws.take_tensor([batch, c]);
         for n in 0..batch {
             for ch in 0..c {
                 let p = &input.data()[(n * c + ch) * plane..(n * c + ch + 1) * plane];
@@ -158,13 +180,15 @@ impl Layer for GlobalAvgPool {
             }
         }
         if train {
-            slot.tensors.clear();
-            slot.tensors.push(Tensor::from_slice(&[
+            slot.recycle_tensors_into(ws);
+            let mut meta = ws.take_tensor([4]);
+            meta.data_mut().copy_from_slice(&[
                 batch as f32,
                 c as f32,
                 dims[2] as f32,
                 dims[3] as f32,
-            ]));
+            ]);
+            slot.tensors.push(meta);
         }
         out
     }
@@ -175,6 +199,7 @@ impl Layer for GlobalAvgPool {
         _grad_params: &mut [f32],
         grad_output: &Tensor,
         slot: &Slot,
+        ws: &mut Workspace,
     ) -> Tensor {
         let meta = slot.tensors[0].data();
         let (batch, c, h, w) = (
@@ -185,7 +210,7 @@ impl Layer for GlobalAvgPool {
         );
         let plane = h * w;
         let scale = 1.0 / plane as f32;
-        let mut grad_in = Tensor::zeros([batch, c, h, w]);
+        let mut grad_in = ws.take_tensor([batch, c, h, w]);
         for n in 0..batch {
             for ch in 0..c {
                 let g = grad_output.data()[n * c + ch] * scale;
@@ -198,6 +223,10 @@ impl Layer for GlobalAvgPool {
 
     fn flops_per_sample(&self, input: &Shape) -> u64 {
         input.len() as u64
+    }
+
+    fn scratch_len(&self, _input: &Shape, _batch: usize) -> usize {
+        4 // the meta record
     }
 }
 
@@ -219,7 +248,8 @@ mod tests {
             ],
         );
         let mut slot = Slot::default();
-        let y = p.forward(&[], &x, &mut slot, true);
+        let mut ws = Workspace::new();
+        let y = p.forward(&[], &x, &mut slot, &mut ws, true);
         assert_eq!(y.data(), &[4.0, 8.0, 12.0, 16.0]);
     }
 
@@ -228,12 +258,14 @@ mod tests {
         let p = MaxPool2d::halving();
         let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 9.0, 2.0, 3.0]);
         let mut slot = Slot::default();
-        let _ = p.forward(&[], &x, &mut slot, true);
+        let mut ws = Workspace::new();
+        let _ = p.forward(&[], &x, &mut slot, &mut ws, true);
         let g = p.backward(
             &[],
             &mut [],
             &Tensor::from_vec([1, 1, 1, 1], vec![5.0]),
             &slot,
+            &mut ws,
         );
         assert_eq!(g.data(), &[0.0, 5.0, 0.0, 0.0]);
     }
@@ -249,7 +281,8 @@ mod tests {
     fn gap_forward_averages() {
         let x = Tensor::from_vec([1, 2, 1, 2], vec![1.0, 3.0, 10.0, 20.0]);
         let mut slot = Slot::default();
-        let y = GlobalAvgPool.forward(&[], &x, &mut slot, true);
+        let mut ws = Workspace::new();
+        let y = GlobalAvgPool.forward(&[], &x, &mut slot, &mut ws, true);
         assert_eq!(y.data(), &[2.0, 15.0]);
     }
 

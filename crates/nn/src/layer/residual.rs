@@ -7,7 +7,7 @@
 use super::{Conv2d, Layer, Relu, Slot};
 use crate::layer::norm::ChannelNorm;
 use crossbow_tensor::ops::add_assign;
-use crossbow_tensor::{Rng, Shape, Tensor};
+use crossbow_tensor::{Rng, Shape, Tensor, Workspace};
 
 /// A residual block: `out = relu(body(x) + skip(x))`.
 pub struct Residual {
@@ -135,35 +135,66 @@ impl Layer for Residual {
         }
     }
 
-    fn forward(&self, params: &[f32], input: &Tensor, slot: &mut Slot, train: bool) -> Tensor {
+    fn forward(
+        &self,
+        params: &[f32],
+        input: &Tensor,
+        slot: &mut Slot,
+        ws: &mut Workspace,
+        train: bool,
+    ) -> Tensor {
         self.ensure_children(slot);
         let ranges = self.param_ranges();
-        let mut x = input.clone();
-        for (i, l) in self.body.iter().enumerate() {
-            x = l.forward(&params[ranges[i].clone()], &x, &mut slot.children[i], train);
-        }
-        let skip = match &self.projection {
-            Some(p) => p.forward(
-                &params[ranges[self.body.len()].clone()],
-                input,
-                &mut slot.children[self.body.len()],
+        // The first body layer reads `input` directly; intermediates are
+        // recycled into the arena as soon as the next layer consumes them.
+        let mut x = self.body[0].forward(
+            &params[ranges[0].clone()],
+            input,
+            &mut slot.children[0],
+            ws,
+            train,
+        );
+        for (i, l) in self.body.iter().enumerate().skip(1) {
+            let y = l.forward(
+                &params[ranges[i].clone()],
+                &x,
+                &mut slot.children[i],
+                ws,
                 train,
-            ),
-            None => input.clone(),
-        };
-        add_assign(x.data_mut(), skip.data());
-        // Final ReLU, recording the mask for backward.
-        let mut mask = Tensor::zeros(x.shape().clone());
-        for (m, v) in mask.data_mut().iter_mut().zip(x.data_mut().iter_mut()) {
-            if *v > 0.0 {
-                *m = 1.0;
-            } else {
-                *v = 0.0;
-            }
+            );
+            ws.recycle(std::mem::replace(&mut x, y));
         }
+        match &self.projection {
+            Some(p) => {
+                let skip = p.forward(
+                    &params[ranges[self.body.len()].clone()],
+                    input,
+                    &mut slot.children[self.body.len()],
+                    ws,
+                    train,
+                );
+                add_assign(x.data_mut(), skip.data());
+                ws.recycle(skip);
+            }
+            // Identity skip: add straight from the caller's input, no copy.
+            None => add_assign(x.data_mut(), input.data()),
+        }
+        // Final ReLU, recording the mask for backward (train only).
         if train {
-            slot.tensors.clear();
+            slot.recycle_tensors_into(ws);
+            let mut mask = ws.take_tensor(x.shape().clone());
+            for (m, v) in mask.data_mut().iter_mut().zip(x.data_mut().iter_mut()) {
+                if *v > 0.0 {
+                    *m = 1.0;
+                } else {
+                    *v = 0.0;
+                }
+            }
             slot.tensors.push(mask);
+        } else {
+            for v in x.data_mut() {
+                *v = v.max(0.0);
+            }
         }
         x
     }
@@ -174,38 +205,51 @@ impl Layer for Residual {
         grad_params: &mut [f32],
         grad_output: &Tensor,
         slot: &Slot,
+        ws: &mut Workspace,
     ) -> Tensor {
         let ranges = self.param_ranges();
         // Through the final ReLU.
         let mask = &slot.tensors[0];
-        let mut dy = grad_output.clone();
-        for (g, &m) in dy.data_mut().iter_mut().zip(mask.data()) {
-            *g *= m;
+        let mut dy = ws.take_tensor(grad_output.shape().clone());
+        for ((o, &g), &m) in dy
+            .data_mut()
+            .iter_mut()
+            .zip(grad_output.data())
+            .zip(mask.data())
+        {
+            *o = g * m;
         }
-        // Body path, in reverse.
-        let mut d_body = dy.clone();
+        // Body path, in reverse; intermediates recycled as consumed.
+        let mut d_body = ws.take_tensor(dy.shape().clone());
+        d_body.copy_from(&dy);
         for (i, l) in self.body.iter().enumerate().rev() {
-            d_body = l.backward(
+            let d_next = l.backward(
                 &params[ranges[i].clone()],
                 &mut grad_params[ranges[i].clone()],
                 &d_body,
                 &slot.children[i],
+                ws,
             );
+            ws.recycle(std::mem::replace(&mut d_body, d_next));
         }
         // Skip path.
         let d_skip = match &self.projection {
             Some(p) => {
                 let r = ranges[self.body.len()].clone();
-                p.backward(
+                let d = p.backward(
                     &params[r.clone()],
                     &mut grad_params[r],
                     &dy,
                     &slot.children[self.body.len()],
-                )
+                    ws,
+                );
+                ws.recycle(dy);
+                d
             }
             None => dy,
         };
         add_assign(d_body.data_mut(), d_skip.data());
+        ws.recycle(d_skip);
         d_body
     }
 
@@ -220,6 +264,20 @@ impl Layer for Residual {
             flops += p.flops_per_sample(input);
         }
         flops + shape.len() as u64 // the add
+    }
+
+    fn scratch_len(&self, input: &Shape, batch: usize) -> usize {
+        let mut total = 0usize;
+        let mut shape = input.clone();
+        for l in &self.body {
+            total += l.scratch_len(&shape, batch);
+            shape = l.output_shape(&shape);
+        }
+        if let Some(p) = &self.projection {
+            total += p.scratch_len(input, batch);
+        }
+        // The stashed ReLU mask (and the skip copy it displaces).
+        total + 2 * batch * shape.len()
     }
 
     fn op_count(&self) -> usize {
@@ -265,7 +323,8 @@ mod tests {
         let params = vec![0.0; block.param_len()];
         let x = Tensor::from_vec([1, 1, 2, 2], vec![-1.0, 2.0, -3.0, 4.0]);
         let mut slot = Slot::default();
-        let y = block.forward(&params, &x, &mut slot, true);
+        let mut ws = Workspace::new();
+        let y = block.forward(&params, &x, &mut slot, &mut ws, true);
         assert_eq!(y.data(), &[0.0, 2.0, 0.0, 4.0]);
     }
 

@@ -36,5 +36,5 @@ pub mod profile;
 pub mod zoo;
 
 pub use layer::{Layer, Slot};
-pub use network::{Network, Scratch};
+pub use network::{NetPlan, Network, Scratch};
 pub use profile::ModelProfile;

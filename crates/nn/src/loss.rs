@@ -1,6 +1,6 @@
 //! Softmax cross-entropy loss and accuracy metrics.
 
-use crossbow_tensor::Tensor;
+use crossbow_tensor::{Tensor, Workspace};
 
 /// Softmax cross-entropy over a batch of logits.
 ///
@@ -11,12 +11,30 @@ use crossbow_tensor::Tensor;
 /// # Panics
 /// Panics on shape/label mismatches.
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let mut grad = Tensor::zeros(logits.shape().clone());
+    let loss = softmax_cross_entropy_into(logits, labels, &mut grad);
+    (loss, grad)
+}
+
+/// [`softmax_cross_entropy`] with the gradient checked out of `ws` — the
+/// hot-path form: the training loop recycles the returned tensor so the
+/// loss contributes no per-iteration allocations.
+pub fn softmax_cross_entropy_ws(
+    logits: &Tensor,
+    labels: &[usize],
+    ws: &mut Workspace,
+) -> (f32, Tensor) {
+    let mut grad = ws.take_tensor(logits.shape().clone());
+    let loss = softmax_cross_entropy_into(logits, labels, &mut grad);
+    (loss, grad)
+}
+
+fn softmax_cross_entropy_into(logits: &Tensor, labels: &[usize], grad: &mut Tensor) -> f32 {
     let dims = logits.shape().dims();
     assert_eq!(dims.len(), 2, "logits must be [batch, classes]");
     let (batch, classes) = (dims[0], dims[1]);
     assert_eq!(labels.len(), batch, "one label per sample");
     assert!(batch > 0, "empty batch");
-    let mut grad = Tensor::zeros(logits.shape().clone());
     let mut loss = 0.0f64;
     let inv_b = 1.0 / batch as f32;
     for (i, &label) in labels.iter().enumerate() {
@@ -36,7 +54,7 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
             *g = (p - if j == label { 1.0 } else { 0.0 }) * inv_b;
         }
     }
-    ((loss / batch as f64) as f32, grad)
+    (loss / batch as f64) as f32
 }
 
 /// Fraction of samples whose argmax logit matches the label.
@@ -116,6 +134,18 @@ mod tests {
         assert!(loss.is_finite());
         assert!(grad.is_finite());
         assert!(loss > 100.0, "confidently wrong is expensive");
+    }
+
+    #[test]
+    fn ws_variant_matches_legacy_bit_for_bit() {
+        let logits = Tensor::from_vec([2, 3], vec![0.3, -0.2, 0.9, 1.5, 0.1, -0.7]);
+        let labels = [2usize, 0];
+        let (loss_a, grad_a) = softmax_cross_entropy(&logits, &labels);
+        let mut ws = Workspace::new();
+        let (loss_b, grad_b) = softmax_cross_entropy_ws(&logits, &labels, &mut ws);
+        assert_eq!(loss_a, loss_b);
+        assert_eq!(grad_a.data(), grad_b.data());
+        ws.recycle(grad_b);
     }
 
     #[test]

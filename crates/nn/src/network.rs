@@ -14,8 +14,8 @@
 //! suffices" when the auto-tuner adds a learner (§4.4).
 
 use crate::layer::{Layer, Slot};
-use crate::loss::{accuracy, softmax_cross_entropy};
-use crossbow_tensor::{Rng, Shape, Tensor};
+use crate::loss::{accuracy, softmax_cross_entropy_ws};
+use crossbow_tensor::{Rng, Shape, Tensor, Workspace, WorkspaceStats};
 use std::ops::Range;
 
 /// A sequential neural network with externally stored parameters.
@@ -60,10 +60,81 @@ impl NetworkBuilder {
     }
 }
 
-/// Per-learner workspace: one [`Slot`] per layer.
+/// Per-learner workspace: one [`Slot`] per layer plus the §4.5 arena that
+/// backs every activation, stash and kernel scratch buffer.
 #[derive(Clone, Debug, Default)]
 pub struct Scratch {
     slots: Vec<Slot>,
+    ws: Workspace,
+}
+
+impl Scratch {
+    /// Usage counters of the backing arena.
+    pub fn workspace_stats(&self) -> WorkspaceStats {
+        self.ws.stats()
+    }
+
+    /// Fresh allocations the arena has performed so far. After the warm-up
+    /// iteration this should stay flat across training steps.
+    pub fn fresh_allocs(&self) -> u64 {
+        self.ws.fresh_allocs()
+    }
+
+    /// Sets how many threads GEMMs through this scratch may fan out over
+    /// (1 = serial; parallel results are bit-identical to serial).
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.ws.set_parallelism(threads);
+    }
+
+    /// Direct access to the backing arena (for pre-warming and for
+    /// recycling caller-owned buffers into the pool).
+    pub fn workspace_mut(&mut self) -> &mut Workspace {
+        &mut self.ws
+    }
+}
+
+/// An executable per-learner memory plan: the element counts a training
+/// step checks out of the arena, derived from the same per-layer walk the
+/// §4.5 offline planner uses. Feeds `Workspace::reserve` so the very first
+/// iteration is already mostly allocation-free, and gives the engine the
+/// per-learner arena size for its shared-pool layout.
+#[derive(Clone, Debug)]
+pub struct NetPlan {
+    /// Batch size the plan was computed for.
+    pub batch: usize,
+    /// Elements of the batch input copy.
+    pub input_len: usize,
+    /// Per-layer output activation element counts (batch included).
+    pub activations: Vec<usize>,
+    /// Per-layer scratch element counts (stashes, masks, kernel buffers).
+    pub scratch: Vec<usize>,
+}
+
+impl NetPlan {
+    /// Estimated peak arena bytes for one training step: every stash plus
+    /// the two live activations (input and output of the current layer).
+    pub fn arena_bytes(&self) -> usize {
+        let stashes: usize = self.scratch.iter().sum();
+        let peak_act = self.activations.iter().copied().max().unwrap_or(0);
+        4 * (stashes + self.input_len + 2 * peak_act)
+    }
+
+    /// Builds a pre-warmed workspace sized for this plan.
+    pub fn build_workspace(&self) -> Workspace {
+        let mut ws = Workspace::new();
+        self.prewarm(&mut ws);
+        ws
+    }
+
+    /// Reserves this plan's buffers inside an existing workspace.
+    pub fn prewarm(&self, ws: &mut Workspace) {
+        ws.reserve(self.input_len, 1);
+        for &len in &self.activations {
+            ws.reserve(len, 1);
+        }
+        let peak_scratch = self.scratch.iter().copied().max().unwrap_or(0);
+        ws.reserve(peak_scratch, 2);
+    }
 }
 
 impl Network {
@@ -151,6 +222,38 @@ impl Network {
     pub fn scratch(&self) -> Scratch {
         Scratch {
             slots: vec![Slot::default(); self.layers.len()],
+            ws: Workspace::new(),
+        }
+    }
+
+    /// Allocates a scratch whose arena is pre-warmed from `plan` (so even
+    /// the first iteration is mostly served from the pool).
+    pub fn scratch_with_plan(&self, plan: &NetPlan) -> Scratch {
+        Scratch {
+            slots: vec![Slot::default(); self.layers.len()],
+            ws: plan.build_workspace(),
+        }
+    }
+
+    /// Computes the executable §4.5 memory plan for one training step at
+    /// the given batch size: per-layer activation and scratch element
+    /// counts, via the same layer walk the offline planner uses.
+    pub fn plan(&self, batch: usize) -> NetPlan {
+        assert!(batch > 0, "plan needs a positive batch size");
+        let activations = (0..self.layers.len())
+            .map(|i| batch * self.shapes[i + 1].len())
+            .collect();
+        let scratch = self
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| l.scratch_len(&self.shapes[i], batch))
+            .collect();
+        NetPlan {
+            batch,
+            input_len: batch * self.input_shape.len(),
+            activations,
+            scratch,
         }
     }
 
@@ -178,14 +281,19 @@ impl Network {
             0,
             "batch not divisible into samples"
         );
-        let mut x = batch.clone();
+        // Copy the batch into the arena so every intermediate (including
+        // this one) can be recycled the moment the next layer consumes it.
+        let mut x = scratch.ws.take_tensor(batch.shape().clone());
+        x.copy_from(batch);
         for (i, layer) in self.layers.iter().enumerate() {
-            x = layer.forward(
+            let y = layer.forward(
                 &params[self.offsets[i].clone()],
                 &x,
                 &mut scratch.slots[i],
+                &mut scratch.ws,
                 train,
             );
+            scratch.ws.recycle(std::mem::replace(&mut x, y));
         }
         let b = x.len() / self.output_classes;
         x.reshape([b, self.output_classes])
@@ -209,7 +317,7 @@ impl Network {
     pub fn predict(&self, params: &[f32], batch: &Tensor, scratch: &mut Scratch) -> Vec<usize> {
         let logits = self.forward_eval(params, batch, scratch);
         let classes = self.output_classes;
-        logits
+        let out = logits
             .data()
             .chunks_exact(classes)
             .map(|row| {
@@ -218,7 +326,9 @@ impl Network {
                     .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
                     .map_or(0, |(c, _)| c)
             })
-            .collect()
+            .collect();
+        scratch.ws.recycle(logits);
+        out
     }
 
     /// Forward + softmax cross-entropy + backward. Writes the gradient
@@ -233,17 +343,21 @@ impl Network {
     ) -> (f32, f64) {
         assert_eq!(grad.len(), self.param_len, "gradient vector mismatch");
         let logits = self.forward(params, batch, scratch, true);
-        let (loss, mut upstream) = softmax_cross_entropy(&logits, labels);
+        let (loss, mut upstream) = softmax_cross_entropy_ws(&logits, labels, &mut scratch.ws);
         let acc = accuracy(&logits, labels);
+        scratch.ws.recycle(logits);
         grad.iter_mut().for_each(|g| *g = 0.0);
         for (i, layer) in self.layers.iter().enumerate().rev() {
-            upstream = layer.backward(
+            let next = layer.backward(
                 &params[self.offsets[i].clone()],
                 &mut grad[self.offsets[i].clone()],
                 &upstream,
                 &scratch.slots[i],
+                &mut scratch.ws,
             );
+            scratch.ws.recycle(std::mem::replace(&mut upstream, next));
         }
+        scratch.ws.recycle(upstream);
         (loss, acc)
     }
 
@@ -275,6 +389,7 @@ impl Network {
             );
             let logits = self.forward(params, &chunk, &mut scratch, false);
             correct += accuracy(&logits, &labels[start..end]) * (end - start) as f64;
+            scratch.ws.recycle(logits);
             start = end;
         }
         correct / n as f64
@@ -299,6 +414,7 @@ impl Network {
 mod tests {
     use super::*;
     use crate::layer::{Dense, Relu};
+    use crate::loss::softmax_cross_entropy;
 
     fn tiny_net() -> Network {
         Network::builder([4])
@@ -443,6 +559,51 @@ mod tests {
         for (row, &c) in logits.data().chunks_exact(3).zip(&classes) {
             assert!(row.iter().all(|&v| v <= row[c]), "class {c} not argmax");
         }
+    }
+
+    #[test]
+    fn training_steps_are_allocation_flat_after_warmup() {
+        let net = crate::zoo::resnet_small(1, 8, 4);
+        let mut rng = Rng::new(12);
+        let params = net.init_params(&mut rng);
+        let batch = Tensor::randn([2, 1, 8, 8], 1.0, &mut rng);
+        let labels = [0usize, 3];
+        let mut grad = vec![0.0f32; net.param_len()];
+        let mut scratch = net.scratch();
+        // Two warm-up iterations populate every bucket the step needs.
+        for _ in 0..2 {
+            net.loss_and_grad(&params, &batch, &labels, &mut grad, &mut scratch);
+        }
+        let after_warmup = scratch.fresh_allocs();
+        for _ in 0..5 {
+            net.loss_and_grad(&params, &batch, &labels, &mut grad, &mut scratch);
+        }
+        assert_eq!(
+            scratch.fresh_allocs(),
+            after_warmup,
+            "hot path must perform zero fresh arena allocations after warm-up"
+        );
+    }
+
+    #[test]
+    fn plan_prewarmed_scratch_trains_without_changing_results() {
+        let net = crate::zoo::resnet_small(1, 8, 4);
+        let mut rng = Rng::new(13);
+        let params = net.init_params(&mut rng);
+        let batch = Tensor::randn([2, 1, 8, 8], 1.0, &mut rng);
+        let labels = [1usize, 2];
+        let plan = net.plan(2);
+        assert!(plan.arena_bytes() > 0);
+        assert_eq!(plan.activations.len(), net.layers().len());
+        let mut cold = net.scratch();
+        let mut warm = net.scratch_with_plan(&plan);
+        assert!(warm.workspace_stats().bytes_free > 0, "plan pre-warms");
+        let mut g1 = vec![0.0f32; net.param_len()];
+        let mut g2 = vec![0.0f32; net.param_len()];
+        let (l1, _) = net.loss_and_grad(&params, &batch, &labels, &mut g1, &mut cold);
+        let (l2, _) = net.loss_and_grad(&params, &batch, &labels, &mut g2, &mut warm);
+        assert_eq!(l1, l2, "pre-warming must not change results");
+        assert_eq!(g1, g2);
     }
 
     #[test]

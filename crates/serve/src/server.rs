@@ -313,7 +313,9 @@ fn worker_loop(
     lane: u32,
 ) -> WorkerStats {
     let mut stats = WorkerStats::new();
-    let mut scratch = net.scratch();
+    // Pre-warm the arena for the largest micro-batch this worker can see,
+    // so even the first inference allocates nothing (§4.5).
+    let mut scratch = net.scratch_with_plan(&net.plan(config.batch.max_batch.max(1)));
     let mut shard = recorder.shard();
     loop {
         // Take a first job; during drain, exit once the queue is empty.

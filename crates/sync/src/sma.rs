@@ -296,6 +296,50 @@ mod tests {
     }
 
     #[test]
+    fn step_pins_algorithm_1_arithmetic_bit_for_bit() {
+        // Pin the exact §3.1/Algorithm 1 update, including evaluation
+        // order, so in-place rewrites of the hot loop cannot silently
+        // change it:
+        //   c_j = alpha * (w_j - z)
+        //   w_j <- w_j - lr*g_j - c_j
+        //   z   <- z + sum_j(c_j) + mu * (z - z_prev); z_prev <- old z
+        let (alpha, mu, lr) = (0.25f32, 0.9f32, 0.1f32);
+        let mut sma = Sma::new(
+            vec![1.0, -2.0],
+            2,
+            SmaConfig {
+                momentum: mu,
+                alpha: Some(alpha),
+                tau: 1,
+            },
+        );
+        sma.replicas[0] = vec![1.5, -1.0];
+        sma.replicas[1] = vec![0.5, -3.0];
+        let grads = vec![vec![0.3, -0.7], vec![-0.2, 0.4]];
+        let (mut z, mut z_prev) = (vec![1.0f32, -2.0], vec![1.0f32, -2.0]);
+        let mut w: Vec<Vec<f32>> = sma.replicas.clone();
+        for _ in 0..3 {
+            let mut sum_c = [0.0f32; 2];
+            for (wj, gj) in w.iter_mut().zip(&grads) {
+                for i in 0..2 {
+                    let c = alpha * (wj[i] - z[i]);
+                    wj[i] -= lr * gj[i] + c;
+                    sum_c[i] += c;
+                }
+            }
+            for i in 0..2 {
+                let old = z[i];
+                z[i] = old + sum_c[i] + mu * (old - z_prev[i]);
+                z_prev[i] = old;
+            }
+            sma.step(&grads, lr);
+        }
+        assert_eq!(sma.consensus(), z.as_slice());
+        assert_eq!(sma.replica(0), w[0].as_slice());
+        assert_eq!(sma.replica(1), w[1].as_slice());
+    }
+
+    #[test]
     fn easgd_has_no_momentum() {
         let mut e = easgd(vec![0.0], 1, Some(0.5), 1);
         e.replicas[0] = vec![2.0];

@@ -17,7 +17,7 @@ use crossbow_checkpoint::{
     AlgoState, CheckpointError, CheckpointStore, DataCursor, RetentionPolicy, TrainingState,
 };
 use crossbow_data::{BatchSampler, Dataset};
-use crossbow_nn::Network;
+use crossbow_nn::{Network, Scratch};
 use crossbow_telemetry::{Shard, SpanKind, Telemetry, HOST_DEVICE};
 use crossbow_tensor::stats::WindowedMedian;
 use crossbow_tensor::Tensor;
@@ -585,6 +585,10 @@ fn run(
         }
     }
 
+    // Pre-build the per-learner gradient vectors and per-thread scratches
+    // once; the loop below then runs allocation-flat (§4.5).
+    let mut lanes = LearnerLanes::new(net, algo.k(), algo.param_len(), config);
+
     loop {
         let k = algo.k();
         // Draw one batch per learner.
@@ -595,7 +599,7 @@ fn run(
         }
         let lr = config.schedule.lr_at(progress.current_epoch);
         let t_learn = shard.now_ns();
-        let losses = compute_gradients_parallel(net, algo, &batches, config);
+        compute_gradients_into(net, algo, &batches, config, &mut lanes);
         shard.close(
             SpanKind::Learn,
             "learn",
@@ -604,9 +608,8 @@ fn run(
             0,
             Some(curve.iterations),
         );
-        let (grads, batch_losses) = losses;
         let diverged = config.inject_nan_at == Some(progress.attempt)
-            || batch_losses.iter().any(|l| !l.is_finite());
+            || lanes.losses.iter().any(|l| !l.is_finite());
         progress.attempt += 1;
         if diverged {
             if let Some(g) = config.guard {
@@ -630,12 +633,12 @@ fn run(
             // Unguarded (or out of rollbacks): fall through, preserving
             // the historic fail-loudly behaviour.
         }
-        for l in batch_losses {
+        for &l in &lanes.losses {
             progress.epoch_loss_sum += f64::from(l);
             progress.epoch_loss_count += 1;
         }
         let t_sync = shard.now_ns();
-        algo.step(&grads, lr);
+        algo.step(&lanes.grads, lr);
         shard.close(
             SpanKind::GlobalSync,
             "global-sync",
@@ -768,42 +771,78 @@ fn run(
     }
 }
 
-/// Computes one gradient per learner, distributing learners across
-/// threads. Returns `(gradients, per-batch training losses)`.
-fn compute_gradients_parallel(
+/// Per-run gradient-computation state: one gradient vector and one loss
+/// slot per learner, plus one plan-pre-warmed [`Scratch`] per gradient
+/// thread. Built once before the training loop so steady-state iterations
+/// reuse every buffer instead of reallocating them (§4.5 executable
+/// memory plan).
+struct LearnerLanes {
+    grads: Vec<Vec<f32>>,
+    losses: Vec<f32>,
+    scratches: Vec<Scratch>,
+}
+
+impl LearnerLanes {
+    fn new(net: &Network, k: usize, plen: usize, config: &TrainerConfig) -> Self {
+        let hw = std::thread::available_parallelism().map_or(4, |p| p.get());
+        let threads = if config.threads == 0 {
+            k.min(hw)
+        } else {
+            config.threads.min(k)
+        }
+        .max(1);
+        let plan = net.plan(config.batch_per_learner.max(1));
+        // Cores left idle by the learner threads serve packed parallel
+        // GEMMs; `gemm_parallel` is bit-identical to the serial kernel,
+        // so this does not perturb training curves.
+        let gemm_threads = (hw / threads).max(1);
+        let scratches = (0..threads)
+            .map(|_| {
+                let mut s = net.scratch_with_plan(&plan);
+                s.set_parallelism(gemm_threads);
+                s
+            })
+            .collect();
+        LearnerLanes {
+            grads: vec![vec![0.0; plen]; k],
+            losses: vec![0.0; k],
+            scratches,
+        }
+    }
+}
+
+/// Computes one gradient per learner into `lanes`, distributing learners
+/// across the lanes' threads. Gradients land in `lanes.grads` (fully
+/// overwritten), per-batch training losses in `lanes.losses`.
+fn compute_gradients_into(
     net: &Network,
     algo: &dyn SyncAlgorithm,
     batches: &[(Tensor, Vec<usize>)],
     config: &TrainerConfig,
-) -> (Vec<Vec<f32>>, Vec<f32>) {
+    lanes: &mut LearnerLanes,
+) {
     let k = batches.len();
-    let plen = algo.param_len();
+    debug_assert_eq!(k, lanes.grads.len(), "one gradient lane per learner");
     let replicas: Vec<&[f32]> = (0..k).map(|j| algo.replica(j)).collect();
-    let hw = std::thread::available_parallelism().map_or(4, |p| p.get());
-    let threads = if config.threads == 0 {
-        k.min(hw)
-    } else {
-        config.threads.min(k)
-    };
+    let threads = lanes.scratches.len();
     let wd = config.weight_decay;
-    let mut grads: Vec<Vec<f32>> = vec![vec![0.0; plen]; k];
-    let mut losses: Vec<f32> = vec![0.0; k];
     if threads <= 1 {
-        let mut scratch = net.scratch();
+        let scratch = &mut lanes.scratches[0];
         for j in 0..k {
             let (images, labels) = &batches[j];
             let (loss, _) =
-                net.loss_and_grad(replicas[j], images, labels, &mut grads[j], &mut scratch);
-            losses[j] = loss;
+                net.loss_and_grad(replicas[j], images, labels, &mut lanes.grads[j], scratch);
+            lanes.losses[j] = loss;
             if wd != 0.0 {
-                crossbow_tensor::ops::axpy(wd, replicas[j], &mut grads[j]);
+                crossbow_tensor::ops::axpy(wd, replicas[j], &mut lanes.grads[j]);
             }
         }
     } else {
         // Hand each thread an interleaved subset of learners.
-        let mut grad_slots: Vec<(usize, &mut Vec<f32>, &mut f32)> = grads
+        let mut grad_slots: Vec<(usize, &mut Vec<f32>, &mut f32)> = lanes
+            .grads
             .iter_mut()
-            .zip(losses.iter_mut())
+            .zip(lanes.losses.iter_mut())
             .enumerate()
             .map(|(j, (g, l))| (j, g, l))
             .collect();
@@ -813,14 +852,12 @@ fn compute_gradients_parallel(
             for slot in grad_slots.drain(..) {
                 per_thread[slot.0 % threads].push(slot);
             }
-            for thread_slots in per_thread {
+            for (thread_slots, scratch) in per_thread.into_iter().zip(lanes.scratches.iter_mut()) {
                 let replicas = &replicas;
                 scope.spawn(move || {
-                    let mut scratch = net.scratch();
                     for (j, grad, loss) in thread_slots {
                         let (images, labels) = &batches[j];
-                        let (l, _) =
-                            net.loss_and_grad(replicas[j], images, labels, grad, &mut scratch);
+                        let (l, _) = net.loss_and_grad(replicas[j], images, labels, grad, scratch);
                         *loss = l;
                         if wd != 0.0 {
                             crossbow_tensor::ops::axpy(wd, replicas[j], grad);
@@ -830,7 +867,6 @@ fn compute_gradients_parallel(
             }
         });
     }
-    (grads, losses)
 }
 
 #[cfg(test)]

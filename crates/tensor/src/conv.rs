@@ -85,27 +85,58 @@ pub fn im2col(geom: &ConvGeom, image: &[f32], col: &mut [f32]) {
         for ky in 0..geom.kh {
             for kx in 0..geom.kw {
                 let out_row = &mut col[row * cols..(row + 1) * cols];
-                let mut idx = 0usize;
-                for oy in 0..out_h {
-                    let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
-                    for ox in 0..out_w {
-                        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
-                        out_row[idx] = if iy >= 0
-                            && (iy as usize) < geom.h
-                            && ix >= 0
-                            && (ix as usize) < geom.w
-                        {
-                            plane[iy as usize * geom.w + ix as usize]
-                        } else {
-                            0.0
-                        };
-                        idx += 1;
+                if geom.stride == 1 {
+                    // Stride-1 fast path: each output row is a contiguous
+                    // window of an input row (with zero fringes where the
+                    // window pads past the image edge), so the inner loop
+                    // becomes slice copies instead of per-tap bounds
+                    // checks.
+                    let (lo, hi) = valid_range(out_w, geom.w, kx, geom.pad);
+                    for oy in 0..out_h {
+                        let dst = &mut out_row[oy * out_w..(oy + 1) * out_w];
+                        let iy = (oy + ky) as isize - geom.pad as isize;
+                        if iy < 0 || iy as usize >= geom.h || lo >= hi {
+                            dst.iter_mut().for_each(|v| *v = 0.0);
+                            continue;
+                        }
+                        let src0 = iy as usize * geom.w + (lo + kx - geom.pad);
+                        dst[..lo].iter_mut().for_each(|v| *v = 0.0);
+                        dst[lo..hi].copy_from_slice(&plane[src0..src0 + (hi - lo)]);
+                        dst[hi..].iter_mut().for_each(|v| *v = 0.0);
+                    }
+                } else {
+                    let mut idx = 0usize;
+                    for oy in 0..out_h {
+                        let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                        for ox in 0..out_w {
+                            let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                            out_row[idx] = if iy >= 0
+                                && (iy as usize) < geom.h
+                                && ix >= 0
+                                && (ix as usize) < geom.w
+                            {
+                                plane[iy as usize * geom.w + ix as usize]
+                            } else {
+                                0.0
+                            };
+                            idx += 1;
+                        }
                     }
                 }
                 row += 1;
             }
         }
     }
+}
+
+/// For a stride-1 kernel tap at horizontal offset `kx`, the output columns
+/// `lo..hi` (within `0..out_w`) whose input column `ox + kx - pad` falls
+/// inside `0..w`; everything outside the range reads padding zeros.
+#[inline]
+fn valid_range(out_w: usize, w: usize, kx: usize, pad: usize) -> (usize, usize) {
+    let lo = pad.saturating_sub(kx).min(out_w);
+    let hi = (w + pad).saturating_sub(kx).min(out_w);
+    (lo, hi.max(lo))
 }
 
 /// Folds a column buffer back into a CHW image, *accumulating* overlapping
@@ -124,15 +155,39 @@ pub fn col2im(geom: &ConvGeom, col: &[f32], image: &mut [f32]) {
         for ky in 0..geom.kh {
             for kx in 0..geom.kw {
                 let col_row = &col[row * cols..(row + 1) * cols];
-                let mut idx = 0usize;
-                for oy in 0..out_h {
-                    let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
-                    for ox in 0..out_w {
-                        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
-                        if iy >= 0 && (iy as usize) < geom.h && ix >= 0 && (ix as usize) < geom.w {
-                            plane[iy as usize * geom.w + ix as usize] += col_row[idx];
+                if geom.stride == 1 {
+                    // Mirror of the im2col fast path: accumulate each
+                    // output row's valid window into the input row with a
+                    // vectorisable slice add; padding taps fall outside
+                    // `lo..hi` and are skipped.
+                    let (lo, hi) = valid_range(out_w, geom.w, kx, geom.pad);
+                    for oy in 0..out_h {
+                        let iy = (oy + ky) as isize - geom.pad as isize;
+                        if iy < 0 || iy as usize >= geom.h || lo >= hi {
+                            continue;
                         }
-                        idx += 1;
+                        let src = &col_row[oy * out_w + lo..oy * out_w + hi];
+                        let dst0 = iy as usize * geom.w + (lo + kx - geom.pad);
+                        let dst = &mut plane[dst0..dst0 + (hi - lo)];
+                        for (d, &s) in dst.iter_mut().zip(src) {
+                            *d += s;
+                        }
+                    }
+                } else {
+                    let mut idx = 0usize;
+                    for oy in 0..out_h {
+                        let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                        for ox in 0..out_w {
+                            let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                            if iy >= 0
+                                && (iy as usize) < geom.h
+                                && ix >= 0
+                                && (ix as usize) < geom.w
+                            {
+                                plane[iy as usize * geom.w + ix as usize] += col_row[idx];
+                            }
+                            idx += 1;
+                        }
                     }
                 }
                 row += 1;
@@ -229,6 +284,49 @@ mod tests {
         let lhs: f32 = fx.iter().zip(&y).map(|(a, b)| a * b).sum();
         let rhs: f32 = x.iter().zip(&aty).map(|(a, b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_im2col_round_trip_with_stride_and_pad() {
+        // col2im(im2col(x)) multiplies each input pixel by the number of
+        // sliding windows that read it; that multiplicity is exactly
+        // col2im(im2col(ones)). Checked with stride > 1 and pad > 0 so
+        // both uneven overlap and padding-dropped taps are exercised.
+        let mut rng = crate::rng::Rng::new(17);
+        for &(h, w, kh, kw, stride, pad) in
+            &[(5, 7, 3, 3, 2, 1), (6, 6, 3, 2, 2, 2), (4, 5, 2, 2, 3, 1)]
+        {
+            let g = ConvGeom {
+                c_in: 2,
+                h,
+                w,
+                kh,
+                kw,
+                stride,
+                pad,
+            };
+            let x: Vec<f32> = (0..g.image_len()).map(|_| rng.normal()).collect();
+            let mut col = vec![0.0; g.col_len()];
+            im2col(&g, &x, &mut col);
+            let mut back = vec![0.0; g.image_len()];
+            col2im(&g, &col, &mut back);
+
+            let ones = vec![1.0; g.image_len()];
+            let mut ones_col = vec![0.0; g.col_len()];
+            im2col(&g, &ones, &mut ones_col);
+            let mut multiplicity = vec![0.0; g.image_len()];
+            col2im(&g, &ones_col, &mut multiplicity);
+
+            for i in 0..g.image_len() {
+                let want = x[i] * multiplicity[i];
+                assert!(
+                    (back[i] - want).abs() <= 1e-4 * want.abs().max(1.0),
+                    "geom {g:?} elem {i}: {} vs {want} (multiplicity {})",
+                    back[i],
+                    multiplicity[i]
+                );
+            }
+        }
     }
 
     #[test]

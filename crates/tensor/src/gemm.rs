@@ -1,20 +1,95 @@
 //! Matrix multiplication kernels.
 //!
-//! Dense layers and im2col-lowered convolutions reduce to `sgemm`. Two
-//! implementations are provided:
+//! Dense layers and im2col-lowered convolutions reduce to `sgemm`. The
+//! implementations, from slowest to fastest:
 //!
 //! * [`gemm_naive`] — the obvious triple loop, used as the correctness
 //!   reference in tests;
-//! * [`gemm`] — a cache-blocked kernel with a transposed-B micro-kernel,
-//!   used everywhere else. On the model sizes in this workspace it is
-//!   typically 3–6× faster than the naive loop.
+//! * [`gemm`] / [`gemm_at`] / [`gemm_bt`] — packed, register-blocked
+//!   kernels (see below) running on a thread-local scratch
+//!   [`Workspace`]; drop-in BLAS-style entry points;
+//! * [`gemm_ws`] / [`gemm_at_ws`] / [`gemm_bt_ws`] — the same kernels with
+//!   an explicit workspace, used by the layer hot path so packing buffers
+//!   come from the learner's arena instead of thread-local state;
+//! * [`gemm_parallel`] — opt-in multi-threaded row-panel variant,
+//!   bit-identical to the serial kernel (see *Determinism* below).
 //!
 //! All matrices are row-major. `gemm` computes `C = alpha * A @ B + beta * C`
 //! with `A: m x k`, `B: k x n`, `C: m x n`.
+//!
+//! # Packed kernel
+//!
+//! The kernel follows the classic BLIS/Goto decomposition: `k` is split
+//! into `KC`-sized blocks and `m` into `MC`-sized blocks; for each
+//! block pair the relevant panels of `A` and `B` are *packed* into
+//! contiguous tiles (`MR`-row tiles of `A`, `NR`-column tiles of `B`)
+//! held in workspace buffers, and an unrolled `MR x NR` register-blocked
+//! micro-kernel accumulates the product. Packing pays for itself because
+//! each packed `A` tile is reused across all `NR`-column strips and each
+//! packed `B` strip across all `MR`-row strips, with unit-stride loads.
+//!
+//! The same micro-kernel serves the transposed variants: packing reads
+//! through a generic `(row stride, col stride)` view, so `A^T` and `B^T`
+//! never materialise.
+//!
+//! # Determinism
+//!
+//! The serial reduction order is fixed: for every output element
+//! `C[i][j]`, the `k` dimension is consumed in ascending `KC`-sized
+//! blocks; within a block, products accumulate into a register in
+//! ascending `p`; each block's partial sum is scaled by `alpha` and added
+//! to `C[i][j]` in ascending block order. This order depends only on
+//! `(i, j, k)` — not on which `MC`/`NR` block the element lands in.
+//!
+//! [`gemm_parallel`] partitions `C`'s rows into contiguous chunks and runs
+//! the *identical* serial kernel per chunk, so every element sees the same
+//! floating-point operation sequence and the result is bit-identical to
+//! the serial kernel for any thread count. Tests pin this with exact
+//! equality.
 
-/// Block size (in elements) for the cache-blocked kernel. 64 keeps an A and
-/// a B panel of f32 within L1 on common x86 parts.
-const BLOCK: usize = 64;
+use crate::workspace::{with_thread_workspace, Workspace};
+
+/// Micro-kernel rows: each inner step updates an `MR x NR` block of C.
+const MR: usize = 4;
+/// Micro-kernel columns.
+const NR: usize = 8;
+/// k-dimension cache block: an `MR x KC` A-tile plus an `KC x NR` B-tile
+/// stay resident in L1.
+const KC: usize = 256;
+/// m-dimension cache block (multiple of `MR`): the packed A block
+/// (`MC x KC` floats) stays resident in L2.
+const MC: usize = 64;
+
+/// Minimum FLOP count (2·m·k·n) before [`gemm_ws`] fans out to
+/// [`gemm_parallel`]; below this, thread-spawn overhead dominates.
+const PARALLEL_MIN_FLOPS: usize = 4 << 20;
+
+/// Maximum FLOP count (2·m·k·n) served by the un-packed direct kernel
+/// (see `use_direct`). Kept well below [`PARALLEL_MIN_FLOPS`] so the
+/// direct path never overlaps the parallel one.
+const DIRECT_MAX_FLOPS: usize = 1 << 20;
+
+/// Minimum output width for the direct kernel: its row-axpy inner loop
+/// only beats the packed micro-kernel when `C` rows are wide enough to
+/// amortise the per-`(i, p)` scalar work.
+const DIRECT_MIN_N: usize = 128;
+
+/// A logical row-major `rows x cols` matrix viewed through strides, so the
+/// packing routines can read `A`, `A^T` and `B^T` without materialising
+/// the transpose. Element `(r, c)` lives at `data[r * rs + c * cs]`.
+#[derive(Clone, Copy)]
+struct View<'a> {
+    data: &'a [f32],
+    rs: usize,
+    cs: usize,
+}
+
+impl<'a> View<'a> {
+    #[inline(always)]
+    fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.rs + c * self.cs]
+    }
+}
 
 /// Reference GEMM: `C = alpha * A @ B + beta * C`, row-major.
 ///
@@ -43,7 +118,317 @@ pub fn gemm_naive(
     }
 }
 
-/// Cache-blocked GEMM: `C = alpha * A @ B + beta * C`, row-major.
+/// Packs an `mr x kc` sub-panel of `a` (rows `i0..i0+mr`, k `p0..p0+kc`)
+/// into `MR`-row tiles: tile-major, then `p`-major, then row within tile.
+/// Rows past `mr` are zero-filled so the micro-kernel never branches.
+fn pack_a(a: View<'_>, i0: usize, mr: usize, p0: usize, kc: usize, out: &mut [f32]) {
+    let tiles = mr.div_ceil(MR);
+    for t in 0..tiles {
+        let base = t * kc * MR;
+        let row0 = i0 + t * MR;
+        let rows = MR.min(i0 + mr - row0);
+        for p in 0..kc {
+            let dst = &mut out[base + p * MR..base + p * MR + MR];
+            for (r, d) in dst.iter_mut().enumerate() {
+                *d = if r < rows {
+                    a.at(row0 + r, p0 + p)
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Packs a `kc x nc` sub-panel of `b` (k `p0..p0+kc`, cols `j0..j0+nc`)
+/// into `NR`-column tiles: tile-major, then `p`-major, then column within
+/// tile. Columns past `nc` are zero-filled.
+fn pack_b(b: View<'_>, p0: usize, kc: usize, j0: usize, nc: usize, out: &mut [f32]) {
+    let tiles = nc.div_ceil(NR);
+    for t in 0..tiles {
+        let base = t * kc * NR;
+        let col0 = j0 + t * NR;
+        let cols = NR.min(j0 + nc - col0);
+        for p in 0..kc {
+            let dst = &mut out[base + p * NR..base + p * NR + NR];
+            for (cidx, d) in dst.iter_mut().enumerate() {
+                *d = if cidx < cols {
+                    b.at(p0 + p, col0 + cidx)
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// The `MR x NR` register-blocked micro-kernel: accumulates
+/// `sum_p a_tile[p] (x) b_tile[p]` over `kc` steps into registers, then
+/// adds `alpha *` the result to the valid `rows x cols` corner of C.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel(
+    kc: usize,
+    alpha: f32,
+    a_tile: &[f32], // kc * MR, p-major
+    b_tile: &[f32], // kc * NR, p-major
+    c: &mut [f32],  // full C chunk
+    c_row0: usize,
+    c_col0: usize,
+    n: usize,
+    rows: usize,
+    cols: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kc {
+        let av = &a_tile[p * MR..p * MR + MR];
+        let bv = &b_tile[p * NR..p * NR + NR];
+        for r in 0..MR {
+            let ar = av[r];
+            for (col, &bvc) in bv.iter().enumerate() {
+                acc[r][col] += ar * bvc;
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate().take(rows) {
+        let crow = &mut c[(c_row0 + r) * n + c_col0..(c_row0 + r) * n + c_col0 + cols];
+        for (cv, &av) in crow.iter_mut().zip(acc_row.iter()) {
+            *cv += alpha * av;
+        }
+    }
+}
+
+/// Serial packed GEMM over logical views: `C = alpha * A @ B + beta * C`
+/// where `a` is a logical `m x k` view and `b` a logical `k x n` view and
+/// `c` is dense row-major `m x n`. Packing buffers come from `ws`.
+#[allow(clippy::too_many_arguments)]
+fn packed_serial(
+    m: usize,
+    k: usize,
+    n: usize,
+    alpha: f32,
+    a: View<'_>,
+    b: View<'_>,
+    beta: f32,
+    c: &mut [f32],
+    ws: &mut Workspace,
+) {
+    apply_beta(beta, c);
+    if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
+        return;
+    }
+    let kc_max = k.min(KC);
+    let mut a_pack = ws.take_pack(MC.min(m.div_ceil(MR) * MR) * kc_max);
+    let mut b_pack = ws.take_pack(kc_max * n.div_ceil(NR) * NR);
+    packed_serial_into(m, k, n, alpha, a, b, c, &mut a_pack, &mut b_pack);
+    ws.give(a_pack);
+    ws.give(b_pack);
+}
+
+/// The packed loop nest proper, with caller-provided packing buffers
+/// (`a_pack`: at least `MC*KC`; `b_pack`: at least `KC * ceil(n/NR)*NR`).
+#[allow(clippy::too_many_arguments)]
+fn packed_serial_into(
+    m: usize,
+    k: usize,
+    n: usize,
+    alpha: f32,
+    a: View<'_>,
+    b: View<'_>,
+    c: &mut [f32],
+    a_pack: &mut [f32],
+    b_pack: &mut [f32],
+) {
+    for p0 in (0..k).step_by(KC) {
+        let kc = KC.min(k - p0);
+        pack_b(b, p0, kc, 0, n, b_pack);
+        for i0 in (0..m).step_by(MC) {
+            let mc = MC.min(m - i0);
+            pack_a(a, i0, mc, p0, kc, a_pack);
+            for jt in 0..n.div_ceil(NR) {
+                let j0 = jt * NR;
+                let cols = NR.min(n - j0);
+                let b_tile = &b_pack[jt * kc * NR..(jt + 1) * kc * NR];
+                for it in 0..mc.div_ceil(MR) {
+                    let rows = MR.min(mc - it * MR);
+                    let a_tile = &a_pack[it * kc * MR..(it + 1) * kc * MR];
+                    micro_kernel(
+                        kc,
+                        alpha,
+                        a_tile,
+                        b_tile,
+                        c,
+                        i0 + it * MR,
+                        j0,
+                        n,
+                        rows,
+                        cols,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Applies the `beta` scaling up-front so the packed loops can accumulate.
+/// `beta == 0` *stores* zero (it must overwrite NaN/garbage, not scale it).
+fn apply_beta(beta: f32, c: &mut [f32]) {
+    if beta == 0.0 {
+        c.iter_mut().for_each(|x| *x = 0.0);
+    } else if beta != 1.0 {
+        c.iter_mut().for_each(|x| *x *= beta);
+    }
+}
+
+/// Whether the un-packed direct kernel should serve this multiply. The
+/// direct kernel needs dense `B` rows (`cs == 1`) and wins only on
+/// small, wide-output problems: its per-`(i, p)` scalar load amortises
+/// over a full `C` row, while packing cost amortises over `C`'s rows
+/// (`B` panels are reused `m/MR` times) and so dominates at small
+/// `m·k·n`. Measured on the conv-lowered shapes in this workspace the
+/// crossover sits near `n = 128` / 1 MFLOP. The predicate is a pure
+/// function of the problem shape and layout — never of thread counts —
+/// so serial and parallel entry points always agree on the path taken
+/// and results stay bit-identical.
+fn use_direct(m: usize, k: usize, n: usize, b: View<'_>) -> bool {
+    b.cs == 1 && n >= DIRECT_MIN_N && 2 * m * k * n < DIRECT_MAX_FLOPS
+}
+
+/// Un-packed kernel for small wide-output problems, where packing
+/// overhead dominates: row-axpy accumulation over contiguous `C` and `B`
+/// rows (`use_direct` guarantees `b.cs == 1`). Deterministic: for each
+/// `C` element the `k` dimension is consumed in one ascending pass.
+#[allow(clippy::too_many_arguments)]
+fn direct_serial(
+    m: usize,
+    k: usize,
+    n: usize,
+    alpha: f32,
+    a: View<'_>,
+    b: View<'_>,
+    beta: f32,
+    c: &mut [f32],
+) {
+    debug_assert_eq!(b.cs, 1);
+    apply_beta(beta, c);
+    if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
+        return;
+    }
+    for i in 0..m {
+        let crow = &mut c[i * n..(i + 1) * n];
+        for p in 0..k {
+            let av = alpha * a.at(i, p);
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b.data[p * b.rs..p * b.rs + n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Dispatches a logical-view GEMM: the direct kernel for small problems,
+/// otherwise the packed kernel — serially or, when the workspace's
+/// parallelism hint and the problem size warrant it, across row panels.
+/// The parallel and serial packed paths produce bit-identical output.
+#[allow(clippy::too_many_arguments)]
+fn packed_dispatch(
+    m: usize,
+    k: usize,
+    n: usize,
+    alpha: f32,
+    a: View<'_>,
+    b: View<'_>,
+    beta: f32,
+    c: &mut [f32],
+    ws: &mut Workspace,
+) {
+    if use_direct(m, k, n, b) {
+        direct_serial(m, k, n, alpha, a, b, beta, c);
+        return;
+    }
+    let threads = ws.parallelism();
+    if threads > 1 && 2 * m * k * n >= PARALLEL_MIN_FLOPS && m >= 2 * MR {
+        packed_parallel(m, k, n, alpha, a, b, beta, c, threads, ws);
+    } else {
+        packed_serial(m, k, n, alpha, a, b, beta, c, ws);
+    }
+}
+
+/// Multi-threaded packed GEMM over row panels. Each thread runs the
+/// identical serial kernel on a contiguous chunk of C's rows (and the
+/// matching rows of A), so output is bit-identical to the serial kernel.
+#[allow(clippy::too_many_arguments)]
+fn packed_parallel(
+    m: usize,
+    k: usize,
+    n: usize,
+    alpha: f32,
+    a: View<'_>,
+    b: View<'_>,
+    beta: f32,
+    c: &mut [f32],
+    threads: usize,
+    ws: &mut Workspace,
+) {
+    apply_beta(beta, c);
+    if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
+        return;
+    }
+    // Contiguous row chunks, rounded up to whole micro-tiles.
+    let chunk = m.div_ceil(threads).div_ceil(MR) * MR;
+    let kc_max = k.min(KC);
+    let a_pack_len = MC.min(chunk) * kc_max;
+    let b_pack_len = kc_max * n.div_ceil(NR) * NR;
+    // Check the per-thread packing buffers out of the caller's arena
+    // up-front; they travel into the scoped threads and come back after
+    // the join, so the parallel path stays allocation-flat too.
+    let n_chunks = m.div_ceil(chunk);
+    let mut buffers: Vec<(Vec<f32>, Vec<f32>)> = (0..n_chunks)
+        .map(|_| (ws.take_pack(a_pack_len), ws.take_pack(b_pack_len)))
+        .collect();
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(n_chunks);
+        for (chunk_index, c_chunk) in c.chunks_mut(chunk * n).enumerate() {
+            let (mut a_pack, mut b_pack) = buffers.pop().expect("one buffer pair per chunk");
+            let i0 = chunk_index * chunk;
+            let rows = c_chunk.len() / n;
+            // Shift the A view down to this chunk's first row.
+            let a_chunk = View {
+                data: &a.data[i0 * a.rs..],
+                rs: a.rs,
+                cs: a.cs,
+            };
+            handles.push(s.spawn(move || {
+                packed_serial_into(
+                    rows,
+                    k,
+                    n,
+                    alpha,
+                    a_chunk,
+                    b,
+                    c_chunk,
+                    &mut a_pack,
+                    &mut b_pack,
+                );
+                (a_pack, b_pack)
+            }));
+        }
+        for h in handles {
+            let (a_pack, b_pack) = h.join().expect("gemm worker panicked");
+            ws.give(a_pack);
+            ws.give(b_pack);
+        }
+    });
+}
+
+/// Packed GEMM: `C = alpha * A @ B + beta * C`, row-major, with packing
+/// buffers drawn from this thread's fallback [`Workspace`].
+///
+/// # Panics
+/// Panics if slice lengths do not match `m*k`, `k*n`, `m*n`.
 #[allow(clippy::too_many_arguments)] // BLAS-style signature
 pub fn gemm(
     m: usize,
@@ -55,43 +440,79 @@ pub fn gemm(
     beta: f32,
     c: &mut [f32],
 ) {
+    with_thread_workspace(|ws| gemm_ws(m, k, n, alpha, a, b, beta, c, ws));
+}
+
+/// Packed GEMM with an explicit workspace: `C = alpha * A @ B + beta * C`.
+///
+/// When the workspace's parallelism hint is above 1 and the problem is
+/// large enough, this transparently uses [`gemm_parallel`]; the result is
+/// bit-identical either way.
+#[allow(clippy::too_many_arguments)] // BLAS-style signature
+pub fn gemm_ws(
+    m: usize,
+    k: usize,
+    n: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    ws: &mut Workspace,
+) {
     check_dims(m, k, n, a, b, c);
-    // Apply beta up-front so the blocked loops can accumulate.
-    if beta == 0.0 {
-        c.iter_mut().for_each(|x| *x = 0.0);
-    } else if beta != 1.0 {
-        c.iter_mut().for_each(|x| *x *= beta);
-    }
-    if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
-        return;
-    }
-    for i0 in (0..m).step_by(BLOCK) {
-        let i_end = (i0 + BLOCK).min(m);
-        for p0 in (0..k).step_by(BLOCK) {
-            let p_end = (p0 + BLOCK).min(k);
-            for j0 in (0..n).step_by(BLOCK) {
-                let j_end = (j0 + BLOCK).min(n);
-                for i in i0..i_end {
-                    let a_row = &a[i * k..(i + 1) * k];
-                    let c_row = &mut c[i * n + j0..i * n + j_end];
-                    for p in p0..p_end {
-                        let av = alpha * a_row[p];
-                        if av == 0.0 {
-                            continue;
-                        }
-                        let b_row = &b[p * n + j0..p * n + j_end];
-                        for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                            *cv += av * bv;
-                        }
-                    }
-                }
-            }
-        }
+    let av = View {
+        data: a,
+        rs: k,
+        cs: 1,
+    };
+    let bv = View {
+        data: b,
+        rs: n,
+        cs: 1,
+    };
+    packed_dispatch(m, k, n, alpha, av, bv, beta, c, ws);
+}
+
+/// Explicitly multi-threaded packed GEMM: `C = alpha * A @ B + beta * C`
+/// split over `threads` row panels. Bit-identical to [`gemm_ws`] with
+/// parallelism 1 — see the module-level *Determinism* notes.
+#[allow(clippy::too_many_arguments)] // BLAS-style signature
+pub fn gemm_parallel(
+    m: usize,
+    k: usize,
+    n: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    threads: usize,
+    ws: &mut Workspace,
+) {
+    check_dims(m, k, n, a, b, c);
+    let av = View {
+        data: a,
+        rs: k,
+        cs: 1,
+    };
+    let bv = View {
+        data: b,
+        rs: n,
+        cs: 1,
+    };
+    if use_direct(m, k, n, bv) {
+        direct_serial(m, k, n, alpha, av, bv, beta, c);
+    } else if threads <= 1 || m < 2 * MR {
+        packed_serial(m, k, n, alpha, av, bv, beta, c, ws);
+    } else {
+        packed_parallel(m, k, n, alpha, av, bv, beta, c, threads, ws);
     }
 }
 
 /// GEMM with `A` transposed: `C = alpha * A^T @ B + beta * C` where `A` is
-/// stored `k x m` row-major. Used by dense-layer backward passes.
+/// stored `k x m` row-major. Used by dense-layer backward passes. Packing
+/// buffers come from this thread's fallback workspace.
 #[allow(clippy::too_many_arguments)] // BLAS-style signature
 pub fn gemm_at(
     m: usize,
@@ -103,32 +524,42 @@ pub fn gemm_at(
     beta: f32,
     c: &mut [f32], // m x n
 ) {
+    with_thread_workspace(|ws| gemm_at_ws(m, k, n, alpha, a, b, beta, c, ws));
+}
+
+/// [`gemm_at`] with an explicit workspace.
+#[allow(clippy::too_many_arguments)] // BLAS-style signature
+pub fn gemm_at_ws(
+    m: usize,
+    k: usize,
+    n: usize,
+    alpha: f32,
+    a: &[f32], // k x m
+    b: &[f32], // k x n
+    beta: f32,
+    c: &mut [f32], // m x n
+    ws: &mut Workspace,
+) {
     assert_eq!(a.len(), k * m, "A(T) dims mismatch");
     assert_eq!(b.len(), k * n, "B dims mismatch");
     assert_eq!(c.len(), m * n, "C dims mismatch");
-    if beta == 0.0 {
-        c.iter_mut().for_each(|x| *x = 0.0);
-    } else if beta != 1.0 {
-        c.iter_mut().for_each(|x| *x *= beta);
-    }
-    for p in 0..k {
-        let a_row = &a[p * m..(p + 1) * m];
-        let b_row = &b[p * n..(p + 1) * n];
-        for i in 0..m {
-            let av = alpha * a_row[i];
-            if av == 0.0 {
-                continue;
-            }
-            let c_row = &mut c[i * n..(i + 1) * n];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                *cv += av * bv;
-            }
-        }
-    }
+    // Logical A is m x k; element (i, p) of A^T lives at a[p * m + i].
+    let av = View {
+        data: a,
+        rs: 1,
+        cs: m,
+    };
+    let bv = View {
+        data: b,
+        rs: n,
+        cs: 1,
+    };
+    packed_dispatch(m, k, n, alpha, av, bv, beta, c, ws);
 }
 
 /// GEMM with `B` transposed: `C = alpha * A @ B^T + beta * C` where `B` is
-/// stored `n x k` row-major. Used by dense-layer input gradients.
+/// stored `n x k` row-major. Used by dense-layer input gradients. Packing
+/// buffers come from this thread's fallback workspace.
 #[allow(clippy::too_many_arguments)] // BLAS-style signature
 pub fn gemm_bt(
     m: usize,
@@ -140,21 +571,37 @@ pub fn gemm_bt(
     beta: f32,
     c: &mut [f32], // m x n
 ) {
+    with_thread_workspace(|ws| gemm_bt_ws(m, k, n, alpha, a, b, beta, c, ws));
+}
+
+/// [`gemm_bt`] with an explicit workspace.
+#[allow(clippy::too_many_arguments)] // BLAS-style signature
+pub fn gemm_bt_ws(
+    m: usize,
+    k: usize,
+    n: usize,
+    alpha: f32,
+    a: &[f32], // m x k
+    b: &[f32], // n x k
+    beta: f32,
+    c: &mut [f32], // m x n
+    ws: &mut Workspace,
+) {
     assert_eq!(a.len(), m * k, "A dims mismatch");
     assert_eq!(b.len(), n * k, "B(T) dims mismatch");
     assert_eq!(c.len(), m * n, "C dims mismatch");
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in a_row.iter().zip(b_row) {
-                acc += av * bv;
-            }
-            let cv = &mut c[i * n + j];
-            *cv = alpha * acc + beta * *cv;
-        }
-    }
+    let av = View {
+        data: a,
+        rs: k,
+        cs: 1,
+    };
+    // Logical B is k x n; element (p, j) of B^T lives at b[j * k + p].
+    let bv = View {
+        data: b,
+        rs: 1,
+        cs: k,
+    };
+    packed_dispatch(m, k, n, alpha, av, bv, beta, c, ws);
 }
 
 /// Matrix-vector product `y = alpha * A @ x + beta * y`, `A: m x n` row-major.
@@ -201,7 +648,7 @@ mod tests {
     }
 
     #[test]
-    fn blocked_matches_naive_over_sizes() {
+    fn packed_matches_naive_over_sizes() {
         let mut rng = Rng::new(1);
         for &(m, k, n) in &[
             (1, 1, 1),
@@ -218,6 +665,118 @@ mod tests {
             gemm(m, k, n, 0.7, &a, &b, 0.3, &mut c2);
             assert_close(&c1, &c2, 1e-3);
         }
+    }
+
+    /// Satellite property test: every packed variant vs the naive
+    /// reference over randomized odd shapes and alpha/beta corners.
+    #[test]
+    fn packed_variants_match_naive_over_odd_shapes_and_scalars() {
+        let sizes = [1usize, 3, 17, 64, 65, 130];
+        let scalars = [0.0f32, 0.5, 1.0];
+        let mut rng = Rng::new(99);
+        // Randomized sweep over the cross product, bounded for test time.
+        for trial in 0..60 {
+            let m = sizes[rng.below(sizes.len())];
+            let k = sizes[rng.below(sizes.len())];
+            let n = sizes[rng.below(sizes.len())];
+            let alpha = scalars[(trial / 3) % 3];
+            let beta = scalars[trial % 3];
+            let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+            let c0: Vec<f32> = (0..m * n).map(|_| rng.normal()).collect();
+            // Tolerance scales with the reduction length.
+            let tol = 1e-4 * (k as f32).max(1.0);
+
+            let mut want = c0.clone();
+            gemm_naive(m, k, n, alpha, &a, &b, beta, &mut want);
+            let mut got = c0.clone();
+            gemm(m, k, n, alpha, &a, &b, beta, &mut got);
+            assert_close(&want, &got, tol);
+
+            // A^T variant: store A as k x m.
+            let mut at = vec![0.0; k * m];
+            for i in 0..m {
+                for p in 0..k {
+                    at[p * m + i] = a[i * k + p];
+                }
+            }
+            let mut got_at = c0.clone();
+            gemm_at(m, k, n, alpha, &at, &b, beta, &mut got_at);
+            assert_close(&want, &got_at, tol);
+
+            // B^T variant: store B as n x k.
+            let mut bt = vec![0.0; n * k];
+            for p in 0..k {
+                for j in 0..n {
+                    bt[j * k + p] = b[p * n + j];
+                }
+            }
+            let mut got_bt = c0.clone();
+            gemm_bt(m, k, n, alpha, &a, &bt, beta, &mut got_bt);
+            assert_close(&want, &got_bt, tol);
+        }
+    }
+
+    /// Satellite property test: the parallel kernel is *bit-identical* to
+    /// the serial one for any thread count (exact equality, no tolerance).
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        let mut rng = Rng::new(7);
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (17, 9, 33),
+            (65, 70, 130),
+            (128, 300, 64),
+        ] {
+            let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+            let c0: Vec<f32> = (0..m * n).map(|_| rng.normal()).collect();
+            let mut ws = Workspace::new();
+            let mut serial = c0.clone();
+            gemm_ws(m, k, n, 0.7, &a, &b, 0.3, &mut serial, &mut ws);
+            for threads in [2, 3, 4, 7] {
+                let mut par = c0.clone();
+                gemm_parallel(m, k, n, 0.7, &a, &b, 0.3, &mut par, threads, &mut ws);
+                assert_eq!(serial, par, "threads={threads} m={m} k={k} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_through_parallelism_hint_is_bit_identical() {
+        let mut rng = Rng::new(11);
+        // Big enough to clear PARALLEL_MIN_FLOPS so the hint actually
+        // fans out.
+        let (m, k, n) = (160, 130, 120);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+        let mut serial = vec![0.0; m * n];
+        let mut ws1 = Workspace::new();
+        gemm_ws(m, k, n, 1.0, &a, &b, 0.0, &mut serial, &mut ws1);
+        let mut hinted = vec![0.0; m * n];
+        let mut ws4 = Workspace::with_parallelism(4);
+        gemm_ws(m, k, n, 1.0, &a, &b, 0.0, &mut hinted, &mut ws4);
+        assert_eq!(serial, hinted);
+    }
+
+    #[test]
+    fn workspace_packing_buffers_are_reused_across_calls() {
+        let mut ws = Workspace::new();
+        let (m, k, n) = (32, 32, 32);
+        let a = vec![1.0; m * k];
+        let b = vec![1.0; k * n];
+        let mut c = vec![0.0; m * n];
+        gemm_ws(m, k, n, 1.0, &a, &b, 0.0, &mut c, &mut ws);
+        let after_first = ws.stats().fresh_allocs;
+        for _ in 0..10 {
+            gemm_ws(m, k, n, 1.0, &a, &b, 0.0, &mut c, &mut ws);
+        }
+        assert_eq!(
+            ws.stats().fresh_allocs,
+            after_first,
+            "packing buffers must be checked out and returned, not reallocated"
+        );
     }
 
     #[test]

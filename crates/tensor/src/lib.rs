@@ -27,7 +27,9 @@ pub mod rng;
 pub mod shape;
 pub mod stats;
 pub mod tensor;
+pub mod workspace;
 
 pub use rng::{Rng, RngState};
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use workspace::{Workspace, WorkspaceStats};

@@ -1,0 +1,357 @@
+//! A size-bucketed scratch-buffer arena for the training hot path.
+//!
+//! The paper's §4.5 memory planner observes that a learner's intermediate
+//! buffers can be aggressively reused because their lifetimes are short and
+//! known. [`Workspace`] is the executable form of that observation on the
+//! CPU path: layers and kernels *check out* `Vec<f32>` scratch buffers and
+//! *return* them when done, so after a warm-up iteration the training loop
+//! performs O(1) fresh allocations per step instead of O(layers).
+//!
+//! Buffers are bucketed by capacity rounded to the next power of two, so a
+//! checkout of any length between two powers of two is served by the same
+//! bucket and fragmentation stays bounded. Checked-out buffers are always
+//! zero-filled: callers never observe stale data, which keeps results
+//! independent of the (otherwise arbitrary) reuse pattern — a requirement
+//! for the repo-wide bit-exact determinism contract. (The crate-internal
+//! GEMM packing path skips the zero-fill as it overwrites every element it
+//! later reads.)
+//!
+//! The workspace also carries the *parallelism hint* consumed by
+//! [`crate::gemm::gemm_ws`]: when a learner lane knows sibling lanes are
+//! idle it raises the hint and large GEMMs transparently use
+//! [`crate::gemm::gemm_parallel`] (which is bit-identical to the serial
+//! kernel by construction; see `gemm.rs`).
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// Counters describing how a [`Workspace`] has been used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkspaceStats {
+    /// Total number of buffer checkouts served.
+    pub checkouts: u64,
+    /// Checkouts served from a pooled buffer (no allocation).
+    pub reuse_hits: u64,
+    /// Checkouts that had to allocate a fresh buffer.
+    pub fresh_allocs: u64,
+    /// Bytes currently held in free buckets.
+    pub bytes_free: usize,
+    /// Bytes currently checked out by callers.
+    pub bytes_out: usize,
+    /// High-water mark of `bytes_free + bytes_out` over the lifetime.
+    pub high_water: usize,
+}
+
+impl WorkspaceStats {
+    /// Total bytes the arena is responsible for right now.
+    pub fn bytes_held(&self) -> usize {
+        self.bytes_free + self.bytes_out
+    }
+}
+
+/// A size-bucketed checkout/return arena for `f32` scratch buffers.
+#[derive(Clone, Debug, Default)]
+pub struct Workspace {
+    /// Free buffers, keyed by power-of-two capacity class.
+    free: BTreeMap<usize, Vec<Vec<f32>>>,
+    /// Threads the owner may fan a GEMM out over (1 = serial).
+    parallelism: usize,
+    stats: WorkspaceStats,
+}
+
+/// Rounds a requested length up to its power-of-two capacity class.
+fn class_for(len: usize) -> usize {
+    len.next_power_of_two().max(8)
+}
+
+impl Workspace {
+    /// An empty workspace with no pooled buffers and serial GEMMs.
+    pub fn new() -> Self {
+        Workspace {
+            free: BTreeMap::new(),
+            parallelism: 1,
+            stats: WorkspaceStats::default(),
+        }
+    }
+
+    /// An empty workspace whose GEMM dispatch may use up to `threads`
+    /// threads (clamped to at least 1).
+    pub fn with_parallelism(threads: usize) -> Self {
+        let mut ws = Workspace::new();
+        ws.set_parallelism(threads);
+        ws
+    }
+
+    /// Sets the GEMM parallelism hint (clamped to at least 1).
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.parallelism = threads.max(1);
+    }
+
+    /// The current GEMM parallelism hint.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Checks out a zero-filled buffer of exactly `len` elements.
+    ///
+    /// Served from the smallest free bucket whose class covers `len`, or
+    /// freshly allocated (at the class capacity) when none is available.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        self.stats.checkouts += 1;
+        let class = class_for(len);
+        // Find the smallest bucket that can serve this class.
+        let found = self
+            .free
+            .range_mut(class..)
+            .find(|(_, bufs)| !bufs.is_empty())
+            .map(|(&c, bufs)| (c, bufs.pop().expect("non-empty bucket")));
+        let mut buf = match found {
+            Some((c, buf)) => {
+                self.stats.reuse_hits += 1;
+                self.stats.bytes_free -= c * 4;
+                buf
+            }
+            None => {
+                self.stats.fresh_allocs += 1;
+                Vec::with_capacity(class)
+            }
+        };
+        buf.clear();
+        buf.resize(len, 0.0);
+        self.stats.bytes_out += buf.capacity() * 4;
+        let held = self.stats.bytes_free + self.stats.bytes_out;
+        self.stats.high_water = self.stats.high_water.max(held);
+        buf
+    }
+
+    /// Checks out a buffer of `len` elements with *unspecified* contents.
+    ///
+    /// Internal fast path for the GEMM packing buffers, which are fully
+    /// written before every read — skipping the zero-fill keeps small
+    /// multiplies from being dominated by memset. Determinism is
+    /// preserved because no unwritten element is ever observed; callers
+    /// outside this crate go through [`Workspace::take`].
+    pub(crate) fn take_pack(&mut self, len: usize) -> Vec<f32> {
+        self.stats.checkouts += 1;
+        let class = class_for(len);
+        let found = self
+            .free
+            .range_mut(class..)
+            .find(|(_, bufs)| !bufs.is_empty())
+            .map(|(&c, bufs)| (c, bufs.pop().expect("non-empty bucket")));
+        let mut buf = match found {
+            Some((c, buf)) => {
+                self.stats.reuse_hits += 1;
+                self.stats.bytes_free -= c * 4;
+                buf
+            }
+            None => {
+                self.stats.fresh_allocs += 1;
+                Vec::with_capacity(class)
+            }
+        };
+        // resize only writes the grown tail; reused capacity keeps its
+        // stale (never-read) contents.
+        buf.resize(len, 0.0);
+        self.stats.bytes_out += buf.capacity() * 4;
+        let held = self.stats.bytes_free + self.stats.bytes_out;
+        self.stats.high_water = self.stats.high_water.max(held);
+        buf
+    }
+
+    /// Returns a buffer to the pool for later reuse.
+    ///
+    /// The buffer's *capacity* decides its bucket (rounded down to a power
+    /// of two), so a returned buffer can always serve a checkout of its
+    /// bucket class.
+    pub fn give(&mut self, buf: Vec<f32>) {
+        let cap = buf.capacity();
+        if cap == 0 {
+            return;
+        }
+        // bytes_out was accounted at checkout by capacity; buffers created
+        // outside the workspace are simply adopted.
+        self.stats.bytes_out = self.stats.bytes_out.saturating_sub(cap * 4);
+        // Round the capacity *down* so the bucket never over-promises.
+        let class = if cap.is_power_of_two() {
+            cap
+        } else {
+            cap.next_power_of_two() / 2
+        };
+        self.stats.bytes_free += cap * 4;
+        self.free.entry(class).or_default().push(buf);
+        let held = self.stats.bytes_free + self.stats.bytes_out;
+        self.stats.high_water = self.stats.high_water.max(held);
+    }
+
+    /// Checks out a zero tensor of the given shape, backed by the arena.
+    pub fn take_tensor<S: Into<Shape>>(&mut self, shape: S) -> Tensor {
+        let shape = shape.into();
+        let data = self.take(shape.len());
+        Tensor::from_vec(shape, data)
+    }
+
+    /// Recycles a tensor's backing storage into the arena.
+    pub fn recycle(&mut self, tensor: Tensor) {
+        self.give(tensor.into_vec());
+    }
+
+    /// Pre-populates the pool with `count` buffers able to hold `len`
+    /// elements each, so the first hot-path iteration already reuses.
+    pub fn reserve(&mut self, len: usize, count: usize) {
+        if len == 0 {
+            return;
+        }
+        for _ in 0..count {
+            let buf: Vec<f32> = Vec::with_capacity(class_for(len));
+            self.stats.bytes_out += buf.capacity() * 4; // balanced by give()
+            self.give(buf);
+        }
+    }
+
+    /// Current usage counters.
+    pub fn stats(&self) -> WorkspaceStats {
+        self.stats
+    }
+
+    /// Total fresh allocations performed so far (the hot-path flatness
+    /// metric: this should stop growing after the warm-up iteration).
+    pub fn fresh_allocs(&self) -> u64 {
+        self.stats.fresh_allocs
+    }
+
+    /// High-water mark of bytes managed by the arena.
+    pub fn high_water_mark(&self) -> usize {
+        self.stats.high_water
+    }
+
+    /// Bytes currently managed (free + checked out).
+    pub fn bytes_held(&self) -> usize {
+        self.stats.bytes_free + self.stats.bytes_out
+    }
+}
+
+thread_local! {
+    static THREAD_WORKSPACE: RefCell<Workspace> = RefCell::new(Workspace::new());
+}
+
+/// Runs `f` with this thread's shared fallback workspace.
+///
+/// Legacy call sites that predate explicit workspace threading (and the
+/// compatibility wrappers in `gemm.rs`) use this so they still reuse
+/// packing buffers across calls instead of allocating per call. The
+/// thread-local workspace always has parallelism 1, so code that never
+/// opted in to `gemm_parallel` stays serial.
+pub fn with_thread_workspace<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
+    THREAD_WORKSPACE.with(|ws| f(&mut ws.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_returns_zeroed_exact_length() {
+        let mut ws = Workspace::new();
+        let mut buf = ws.take(10);
+        assert_eq!(buf.len(), 10);
+        assert!(buf.iter().all(|&v| v == 0.0));
+        buf.iter_mut().for_each(|v| *v = 7.0);
+        ws.give(buf);
+        // Reused buffer must come back zeroed despite the writes.
+        let again = ws.take(10);
+        assert_eq!(again.len(), 10);
+        assert!(again.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn reuse_is_counted_and_allocations_stay_flat() {
+        let mut ws = Workspace::new();
+        for _ in 0..100 {
+            let a = ws.take(100);
+            let b = ws.take(33);
+            ws.give(a);
+            ws.give(b);
+        }
+        let stats = ws.stats();
+        assert_eq!(stats.checkouts, 200);
+        // First iteration allocates (two different classes), the other 99
+        // reuse: allocations are O(1), not O(iterations).
+        assert_eq!(stats.fresh_allocs, 2);
+        assert_eq!(stats.reuse_hits, 198);
+    }
+
+    #[test]
+    fn buckets_serve_any_length_in_class() {
+        let mut ws = Workspace::new();
+        let a = ws.take(100); // class 128
+        ws.give(a);
+        let b = ws.take(120); // same class: must reuse
+        assert_eq!(ws.stats().fresh_allocs, 1);
+        ws.give(b);
+        let c = ws.take(129); // class 256: fresh
+        assert_eq!(ws.stats().fresh_allocs, 2);
+        ws.give(c);
+    }
+
+    #[test]
+    fn larger_buckets_can_serve_smaller_requests() {
+        let mut ws = Workspace::new();
+        let big = ws.take(1000);
+        ws.give(big);
+        let small = ws.take(4);
+        assert_eq!(small.len(), 4);
+        assert_eq!(
+            ws.stats().fresh_allocs,
+            1,
+            "the 1024-class buffer serves the small request"
+        );
+        ws.give(small);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_not_current() {
+        let mut ws = Workspace::new();
+        let a = ws.take(256);
+        let b = ws.take(256);
+        let peak = ws.bytes_held();
+        ws.give(a);
+        ws.give(b);
+        let small = ws.take(8);
+        ws.give(small);
+        assert!(ws.high_water_mark() >= peak);
+        assert!(ws.bytes_held() <= ws.high_water_mark());
+    }
+
+    #[test]
+    fn reserve_prewarms_the_pool() {
+        let mut ws = Workspace::new();
+        ws.reserve(500, 2);
+        let a = ws.take(500);
+        let b = ws.take(400);
+        assert_eq!(ws.stats().fresh_allocs, 0, "reserved buffers serve both");
+        ws.give(a);
+        ws.give(b);
+    }
+
+    #[test]
+    fn tensor_round_trip_recycles_storage() {
+        let mut ws = Workspace::new();
+        let t = ws.take_tensor([4, 8]);
+        assert_eq!(t.len(), 32);
+        ws.recycle(t);
+        let t2 = ws.take_tensor([2, 16]);
+        assert_eq!(ws.stats().fresh_allocs, 1);
+        ws.recycle(t2);
+    }
+
+    #[test]
+    fn parallelism_hint_round_trips_and_clamps() {
+        let mut ws = Workspace::with_parallelism(4);
+        assert_eq!(ws.parallelism(), 4);
+        ws.set_parallelism(0);
+        assert_eq!(ws.parallelism(), 1);
+    }
+}

@@ -3,10 +3,14 @@
 //! whole sessions.
 
 use crossbow::benchmark::Benchmark;
+use crossbow::data::synth::gaussian_mixture;
 use crossbow::engine::{AlgorithmKind, RobustnessConfig, Session, SessionConfig};
 use crossbow::exec_sim::{simulate, simulate_robust, RobustSimConfig, SimConfig};
 use crossbow::gpu_sim::{FaultPlan, SimDuration};
+use crossbow::nn::zoo::{mlp, resnet_small};
 use crossbow::nn::ModelProfile;
+use crossbow::sync::{train, Sma, SmaConfig, SyncAlgorithm, TrainerConfig};
+use crossbow::tensor::{Rng, Shape, Tensor};
 
 fn quick_session(seed: u64) -> SessionConfig {
     SessionConfig::new(Benchmark::lenet())
@@ -95,6 +99,68 @@ fn robust_sessions_replay_bit_identically() {
     assert_eq!(a.curve.rollbacks, b.curve.rollbacks);
     assert_eq!(a.sim.faults, b.sim.faults);
     assert_eq!(a.sim.throughput, b.sim.throughput);
+}
+
+#[test]
+fn training_curves_survive_gradient_thread_count_changes() {
+    // The learner pool distributes gradient work across threads and hands
+    // the idle cores to `gemm_parallel`. Both are bit-deterministic, so a
+    // curve must not depend on how many gradient threads computed it:
+    // `threads = 1` leaves every core to the parallel GEMM while
+    // `threads = k` splits them — the numbers have to match exactly.
+    let net = mlp(6, &[16], 4);
+    let data = gaussian_mixture(4, 6, 480, 0.35, 7);
+    let (train_set, test_set) = data.split_at(400);
+    let run = |threads: usize| {
+        let mut algo = Sma::new(net.init_params(&mut Rng::new(3)), 2, SmaConfig::default());
+        let mut cfg = TrainerConfig::new(8, 3).with_seed(11);
+        cfg.threads = threads;
+        let curve = train(&net, &train_set, &test_set, &mut algo, &cfg);
+        (curve, algo.consensus().to_vec())
+    };
+    let (curve1, z1) = run(1);
+    let (curve2, z2) = run(2);
+    assert_eq!(curve1.epoch_accuracy, curve2.epoch_accuracy);
+    assert_eq!(curve1.epoch_loss, curve2.epoch_loss);
+    assert_eq!(z1, z2, "consensus models must agree bit-for-bit");
+}
+
+#[test]
+fn workspace_and_parallel_gemm_leave_gradients_bit_identical() {
+    // Full matrix: {cold workspace, plan-pre-warmed workspace} x
+    // {serial GEMM, parallel GEMM} — four training steps on a conv/residual
+    // net must produce the same losses and gradients to the last bit.
+    let net = resnet_small(1, 8, 4);
+    let batch = 4;
+    let mut rng = Rng::new(17);
+    let params = net.init_params(&mut rng);
+    let mut dims = vec![batch];
+    dims.extend_from_slice(net.input_shape().dims());
+    let images = Tensor::randn(Shape::new(&dims), 1.0, &mut rng);
+    let labels: Vec<usize> = (0..batch).map(|i| i % 4).collect();
+    let run = |prewarmed: bool, gemm_threads: usize| {
+        let mut scratch = if prewarmed {
+            net.scratch_with_plan(&net.plan(batch))
+        } else {
+            net.scratch()
+        };
+        scratch.set_parallelism(gemm_threads);
+        let mut grad = vec![0.0f32; net.param_len()];
+        let mut losses = Vec::new();
+        for _ in 0..2 {
+            let (loss, _) = net.loss_and_grad(&params, &images, &labels, &mut grad, &mut scratch);
+            losses.push(loss);
+        }
+        (losses, grad)
+    };
+    let baseline = run(false, 1);
+    for (prewarmed, threads) in [(false, 4), (true, 1), (true, 4)] {
+        let other = run(prewarmed, threads);
+        assert_eq!(
+            baseline, other,
+            "prewarmed={prewarmed} gemm_threads={threads} diverged"
+        );
+    }
 }
 
 #[test]
