@@ -21,6 +21,13 @@ cargo build --release --examples
 echo "== tests =="
 cargo test -q
 
+echo "== distributed socket tests (wall-clock bounded) =="
+# The multi-process crash-recovery suite talks over real TCP sockets and
+# SIGKILLs worker processes; a wedged accept or a leaked child must be
+# killed by a wall-clock bound, never allowed to hang CI. Every listener
+# binds port 0 (OS-assigned), so parallel CI runs cannot collide.
+timeout 300 cargo test -q -p crossbow --test dist_train
+
 echo "== trace validity =="
 # A short traced run must emit parseable Chrome Trace JSON holding the
 # learning, local-sync and global-sync spans (the --check mode of the

@@ -110,6 +110,14 @@ impl Writer {
         self.u64(v.len() as u64);
         self.buf.extend_from_slice(v.as_bytes());
     }
+
+    /// Writes a length-prefixed opaque byte slice. Used by the distributed
+    /// runtime to nest an already-encoded payload (e.g. a full checkpoint)
+    /// inside a wire message.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
 }
 
 /// A decode failure: the payload ended early or held an invalid value.
@@ -232,6 +240,12 @@ impl<'a> Reader<'a> {
         let n = self.len(1)?;
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError("invalid UTF-8"))
+    }
+
+    /// Reads a length-prefixed opaque byte vector.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let n = self.len(1)?;
+        Ok(self.take(n)?.to_vec())
     }
 }
 

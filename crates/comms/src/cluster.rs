@@ -1,0 +1,193 @@
+//! In-process clusters: threads as processes.
+//!
+//! [`run_local_cluster`] stands a coordinator and `n` workers up inside
+//! one process, each worker on its own thread with its own TCP
+//! connections through the loopback interface. Every wire byte, retry,
+//! heartbeat, and eviction behaves exactly as it does across real
+//! processes — only `SIGKILL` needs the multi-process harness — which
+//! makes the full fault matrix testable from a plain `#[test]`.
+
+use crate::coordinator::{Coordinator, DistConfig, DistReport, EventHook};
+use crate::wire::WireError;
+use crate::worker::{run_worker, WorkerConfig, WorkerOutcome};
+use crossbow_checkpoint::codec::fnv1a64;
+use crossbow_data::synth::gaussian_mixture;
+use crossbow_data::Dataset;
+use crossbow_nn::zoo::mlp;
+use crossbow_nn::Network;
+use crossbow_sync::{SSgd, SgdConfig, Sma, SmaConfig, SyncAlgorithm, TrainerConfig};
+use crossbow_telemetry::Telemetry;
+use crossbow_tensor::Rng;
+use std::time::Duration;
+
+/// FNV-1a/64 over the little-endian bits of `params` — the model
+/// fingerprint printed in run reports and compared across processes.
+pub fn checksum_params(params: &[f32]) -> u64 {
+    let mut bytes = Vec::with_capacity(params.len() * 4);
+    for p in params {
+        bytes.extend_from_slice(&p.to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+/// The standard small demo task: a 6→16→4 MLP on a 4-class Gaussian
+/// mixture, split 400 train / 80 test. Coordinator and workers build the
+/// same task independently from the same constants.
+pub fn demo_task() -> (Network, Dataset, Dataset) {
+    let net = mlp(6, &[16], 4);
+    let (train_set, test_set) = gaussian_mixture(4, 6, 480, 0.35, 7).split_at(400);
+    (net, train_set, test_set)
+}
+
+/// Builds a `k`-learner algorithm by name ("sma" or "ssgd"), initialised
+/// from `init_seed`.
+///
+/// # Panics
+/// Panics on an unknown name.
+pub fn demo_algo(net: &Network, k: usize, name: &str, init_seed: u64) -> Box<dyn SyncAlgorithm> {
+    let init = net.init_params(&mut Rng::new(init_seed));
+    match name {
+        "sma" => Box::new(Sma::new(init, k, SmaConfig::default())),
+        "ssgd" | "s-sgd" => Box::new(SSgd::new(init, k, SgdConfig::paper_default())),
+        other => panic!("unknown algorithm {other:?} (expected sma or ssgd)"),
+    }
+}
+
+/// Options for an in-process cluster on the demo task.
+pub struct LocalClusterOptions {
+    /// Cluster size at formation.
+    pub workers: usize,
+    /// Algorithm name ("sma" or "ssgd").
+    pub algo: String,
+    /// Model initialisation seed.
+    pub init_seed: u64,
+    /// Trainer configuration (epochs, batch, seed, checkpointing…).
+    pub trainer: TrainerConfig,
+    /// Cluster configuration (topology, timeouts, fault plan…).
+    pub dist: DistConfig,
+    /// Extra workers spawned after these delays, joining mid-run with
+    /// `rejoin = true` (crash-recovery drills).
+    pub late_workers: Vec<Duration>,
+    /// Coordinator-side event hook.
+    pub events: Option<EventHook>,
+}
+
+/// What [`run_local_cluster`] produced.
+pub struct LocalClusterReport {
+    /// The coordinator's end-of-run report.
+    pub report: DistReport,
+    /// Per-worker outcomes, initial workers first, then late joiners in
+    /// spawn order. Evicted workers surface their terminal [`WireError`].
+    pub workers: Vec<Result<WorkerOutcome, WireError>>,
+}
+
+/// Runs a full cluster on loopback: the coordinator on this thread, each
+/// worker on its own.
+///
+/// # Panics
+/// Panics when the cluster cannot form or a worker thread panics.
+pub fn run_local_cluster(opts: LocalClusterOptions) -> LocalClusterReport {
+    let telemetry = Telemetry::disabled();
+    let mut coordinator = Coordinator::bind("127.0.0.1:0", opts.dist.clone(), telemetry.clone())
+        .expect("bind loopback coordinator");
+    if let Some(events) = opts.events.clone() {
+        coordinator = coordinator.with_events(events);
+    }
+    let addr = coordinator
+        .local_addr()
+        .expect("coordinator address")
+        .to_string();
+
+    let mut handles = Vec::new();
+    for _ in 0..opts.workers {
+        handles.push(spawn_worker(addr.clone(), Duration::ZERO, false));
+    }
+    for delay in &opts.late_workers {
+        handles.push(spawn_worker(addr.clone(), *delay, true));
+    }
+
+    let (net, train_set, test_set) = demo_task();
+    let mut algo = demo_algo(&net, opts.workers, &opts.algo, opts.init_seed);
+    let report = coordinator.run(&net, &train_set, &test_set, algo.as_mut(), &opts.trainer);
+
+    let workers = handles
+        .into_iter()
+        .map(|h| h.join().expect("worker thread panicked"))
+        .collect();
+    LocalClusterReport { report, workers }
+}
+
+fn spawn_worker(
+    addr: String,
+    delay: Duration,
+    rejoin: bool,
+) -> std::thread::JoinHandle<Result<WorkerOutcome, WireError>> {
+    std::thread::spawn(move || {
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        // Each worker rebuilds the demo network itself, exactly as a
+        // separate process would.
+        let (net, _, _) = demo_task();
+        let mut cfg = WorkerConfig::new(addr);
+        cfg.rejoin = rejoin;
+        let telemetry = Telemetry::disabled();
+        run_worker(&net, &cfg, &telemetry, &|_| {})
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coordinator::Topology;
+    use crossbow_sync::train;
+
+    #[test]
+    fn loopback_ps_matches_local_training_bit_for_bit() {
+        let trainer = TrainerConfig::new(8, 2).with_seed(11);
+        let out = run_local_cluster(LocalClusterOptions {
+            workers: 2,
+            algo: "sma".into(),
+            init_seed: 3,
+            trainer: trainer.clone(),
+            dist: DistConfig::new(Topology::Ps, 2),
+            late_workers: Vec::new(),
+            events: None,
+        });
+        let (net, train_set, test_set) = demo_task();
+        let mut algo = demo_algo(&net, 2, "sma", 3);
+        let local = train(&net, &train_set, &test_set, algo.as_mut(), &trainer);
+        assert_eq!(
+            out.report.curve, local,
+            "distributed curve must be bit-identical"
+        );
+        assert_eq!(
+            out.report.counters,
+            crate::coordinator::DistCounters::default()
+        );
+        assert!(out.workers.iter().all(|w| w.is_ok()));
+        assert!(out.report.bytes_sent > 0 && out.report.bytes_recv > 0);
+    }
+
+    #[test]
+    fn loopback_ring_matches_local_training_bit_for_bit() {
+        let trainer = TrainerConfig::new(8, 2).with_seed(11);
+        let out = run_local_cluster(LocalClusterOptions {
+            workers: 3,
+            algo: "sma".into(),
+            init_seed: 3,
+            trainer: trainer.clone(),
+            dist: DistConfig::new(Topology::Ring, 3),
+            late_workers: Vec::new(),
+            events: None,
+        });
+        let (net, train_set, test_set) = demo_task();
+        let mut algo = demo_algo(&net, 3, "sma", 3);
+        let local = train(&net, &train_set, &test_set, algo.as_mut(), &trainer);
+        assert_eq!(
+            out.report.curve, local,
+            "ring all-gather must not change the arithmetic"
+        );
+        assert!(out.workers.iter().all(|w| w.is_ok()));
+    }
+}

@@ -1,0 +1,771 @@
+//! The coordinator: control plane and state authority of a cluster.
+//!
+//! The coordinator runs the *unmodified* training loop
+//! ([`crossbow_sync::train_with_source`]) — sampling, synchronisation,
+//! evaluation, divergence guard, durable checkpointing — and plugs a
+//! `RemoteCluster` in as the gradient source. Workers are stateless
+//! gradient servers, so a healthy distributed run produces a
+//! [`TrainingCurve`] bit-identical to the single-process trainer at the
+//! same configuration, and every robustness feature the trainer already
+//! has (guard rollback, checkpoint resume) works distributed for free.
+//!
+//! Failure handling is the Rudra-style degraded mode: a worker that
+//! misses its heartbeat window, disconnects, or exhausts its work
+//! retries is *evicted* — its learner slot is removed by snapshot-edit
+//! and SMA renormalizes the central average over the survivors (`alpha =
+//! 1/k` tracks the new `k`). A restarted worker rejoins between rounds:
+//! the coordinator re-adds a replica initialised from the latest average
+//! model and hands the newcomer the most recent durable checkpoint (or a
+//! live snapshot encoded the same way) as its admission state.
+
+use crate::cluster::checksum_params;
+use crate::fault::{FaultInjector, NetFaultPlan};
+use crate::proto::Msg;
+use crate::transport::{Conn, RetryPolicy};
+use crate::wire::WireError;
+use crossbow_checkpoint::{AlgoState, CheckpointStore, TrainingState};
+use crossbow_data::Dataset;
+use crossbow_nn::Network;
+use crossbow_sync::{
+    resume_with_source, train_with_source, GradientSource, RoundStatus, SyncAlgorithm,
+    TrainerConfig, TrainingCurve,
+};
+use crossbow_telemetry::Telemetry;
+use crossbow_tensor::Tensor;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How gradients travel between processes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// Parameter server: every worker exchanges (params, gradient) with
+    /// the coordinator directly.
+    Ps,
+    /// Decentralized ring: workers all-gather gradient blocks over
+    /// worker-to-worker TCP links; slot 0 uploads the gathered round.
+    Ring,
+}
+
+impl Topology {
+    /// Wire encoding.
+    pub(crate) fn as_u8(self) -> u8 {
+        match self {
+            Topology::Ps => 0,
+            Topology::Ring => 1,
+        }
+    }
+}
+
+/// Coordinator-side cluster configuration.
+#[derive(Clone, Debug)]
+pub struct DistConfig {
+    /// Gradient exchange topology.
+    pub topology: Topology,
+    /// Cluster size at formation; also the algorithm's initial `k`.
+    pub workers: usize,
+    /// Evict a worker silent for longer than this.
+    pub heartbeat_timeout: Duration,
+    /// Re-issue a round's work after this long without a reply.
+    pub work_resend: Duration,
+    /// Per-member receive poll interval while collecting a round.
+    pub poll: Duration,
+    /// How long to wait for cluster formation, and for a replacement
+    /// worker when every member is gone.
+    pub join_timeout: Duration,
+    /// Backoff discipline for work re-issues.
+    pub retry: RetryPolicy,
+    /// Transport fault injection applied to coordinator-side sends.
+    pub fault: Option<NetFaultPlan>,
+}
+
+impl DistConfig {
+    /// Defaults for `workers` members in `topology`.
+    pub fn new(topology: Topology, workers: usize) -> Self {
+        DistConfig {
+            topology,
+            workers,
+            heartbeat_timeout: Duration::from_secs(3),
+            work_resend: Duration::from_secs(1),
+            poll: Duration::from_millis(10),
+            join_timeout: Duration::from_secs(30),
+            retry: RetryPolicy::default(),
+            fault: None,
+        }
+    }
+
+    /// Installs a fault plan (builder style).
+    pub fn with_fault(mut self, plan: NetFaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+}
+
+/// Fault-handling counters of one distributed run — the run report's
+/// `faults` block.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DistCounters {
+    /// Workers evicted (heartbeat timeout, disconnect, retry exhaustion).
+    pub evictions: u64,
+    /// Workers admitted after training started.
+    pub rejoins: u64,
+    /// Work re-issues after a lost or unanswered round.
+    pub retries: u64,
+}
+
+/// A cluster membership event, surfaced to the embedding process (the
+/// CLI prints these as progress markers).
+#[derive(Clone, Debug)]
+pub enum ClusterEvent {
+    /// A worker joined; `rejoin` is true once training has started.
+    Joined {
+        /// The slot it owns.
+        slot: usize,
+        /// Whether this is a mid-run (re)join.
+        rejoin: bool,
+    },
+    /// A worker was evicted.
+    Evicted {
+        /// The slot it owned.
+        slot: usize,
+        /// Why.
+        reason: &'static str,
+    },
+    /// A round's work was re-issued.
+    Resent {
+        /// The round id.
+        iter: u64,
+        /// The retry attempt (1-based).
+        attempt: u32,
+    },
+}
+
+/// Callback type for [`ClusterEvent`]s.
+pub type EventHook = Arc<dyn Fn(ClusterEvent) + Send + Sync>;
+
+/// The end-of-run report: the curve plus the robustness and network
+/// ledger.
+#[derive(Clone, Debug)]
+pub struct DistReport {
+    /// The training curve (bit-identical to a local run when no faults
+    /// changed membership).
+    pub curve: TrainingCurve,
+    /// Eviction/rejoin/retry counters.
+    pub counters: DistCounters,
+    /// Total framed bytes written (`net.bytes_sent`).
+    pub bytes_sent: u64,
+    /// Total framed bytes read (`net.bytes_recv`).
+    pub bytes_recv: u64,
+    /// Probabilistic faults the injector fired (`net.faults_injected`).
+    pub faults_injected: u64,
+    /// Live workers at the end of the run.
+    pub workers: usize,
+    /// FNV-1a/64 over the consensus model bits — a cheap cross-process
+    /// fingerprint for "same model" assertions.
+    pub model_checksum: u64,
+}
+
+/// A TCP-listening coordinator. Bind, then [`Coordinator::run`] or
+/// [`Coordinator::resume`].
+pub struct Coordinator {
+    listener: TcpListener,
+    cfg: DistConfig,
+    telemetry: Telemetry,
+    events: Option<EventHook>,
+}
+
+impl Coordinator {
+    /// Binds `addr` (use port 0 for an OS-assigned port, so parallel
+    /// runs never collide).
+    ///
+    /// # Errors
+    /// Any bind failure.
+    pub fn bind(addr: &str, cfg: DistConfig, telemetry: Telemetry) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Coordinator {
+            listener,
+            cfg,
+            telemetry,
+            events: None,
+        })
+    }
+
+    /// The bound address (report this to workers).
+    ///
+    /// # Errors
+    /// Any socket failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Installs an event callback (builder style).
+    pub fn with_events(mut self, events: EventHook) -> Self {
+        self.events = Some(events);
+        self
+    }
+
+    /// Forms the cluster, trains to completion, shuts the workers down.
+    ///
+    /// # Panics
+    /// Panics when the cluster cannot form (or re-form) within
+    /// `join_timeout`, and on trainer-level mismatches.
+    pub fn run(
+        &self,
+        net: &Network,
+        train_set: &Dataset,
+        test_set: &Dataset,
+        algo: &mut dyn SyncAlgorithm,
+        tcfg: &TrainerConfig,
+    ) -> DistReport {
+        let mut cluster = RemoteCluster::form(self, algo, tcfg);
+        let curve = train_with_source(net, train_set, test_set, algo, tcfg, &mut cluster);
+        self.finish(cluster, curve, algo)
+    }
+
+    /// As [`Coordinator::run`], but resumes from the newest durable
+    /// checkpoint when one fits (coordinator crash recovery).
+    ///
+    /// # Errors
+    /// [`crossbow_checkpoint::CheckpointError`] when the checkpoint
+    /// directory is unreadable.
+    ///
+    /// # Panics
+    /// As [`Coordinator::run`].
+    pub fn resume(
+        &self,
+        net: &Network,
+        train_set: &Dataset,
+        test_set: &Dataset,
+        algo: &mut dyn SyncAlgorithm,
+        tcfg: &TrainerConfig,
+    ) -> Result<DistReport, crossbow_checkpoint::CheckpointError> {
+        let mut cluster = RemoteCluster::form(self, algo, tcfg);
+        let curve = resume_with_source(net, train_set, test_set, algo, tcfg, &mut cluster)?;
+        Ok(self.finish(cluster, curve, algo))
+    }
+
+    fn finish(
+        &self,
+        mut cluster: RemoteCluster<'_>,
+        curve: TrainingCurve,
+        algo: &dyn SyncAlgorithm,
+    ) -> DistReport {
+        cluster.shutdown();
+        let metrics = &self.telemetry.metrics;
+        DistReport {
+            curve,
+            counters: cluster.counters,
+            bytes_sent: metrics.counter("net.bytes_sent").get(),
+            bytes_recv: metrics.counter("net.bytes_recv").get(),
+            faults_injected: metrics.counter("net.faults_injected").get(),
+            workers: cluster.members.len(),
+            model_checksum: checksum_params(algo.consensus()),
+        }
+    }
+}
+
+/// One admitted worker, indexed by its slot.
+struct Member {
+    conn: Conn,
+    last_seen: Instant,
+    ring_addr: String,
+}
+
+/// The remote [`GradientSource`]: owns the worker connections and the
+/// round protocol for both topologies.
+struct RemoteCluster<'a> {
+    listener: &'a TcpListener,
+    cfg: &'a DistConfig,
+    telemetry: Telemetry,
+    events: Option<EventHook>,
+    members: Vec<Member>,
+    store: Option<CheckpointStore>,
+    seed: u64,
+    weight_decay: f32,
+    round: u64,
+    generation: u64,
+    counters: DistCounters,
+    next_conn: u64,
+    started: bool,
+}
+
+impl<'a> RemoteCluster<'a> {
+    /// Blocks until `cfg.workers` workers have joined.
+    fn form(
+        coordinator: &'a Coordinator,
+        algo: &mut dyn SyncAlgorithm,
+        tcfg: &TrainerConfig,
+    ) -> Self {
+        assert_eq!(
+            algo.k(),
+            coordinator.cfg.workers,
+            "the algorithm's learner count must match the worker count"
+        );
+        let mut cluster = RemoteCluster {
+            listener: &coordinator.listener,
+            cfg: &coordinator.cfg,
+            telemetry: coordinator.telemetry.clone(),
+            events: coordinator.events.clone(),
+            members: Vec::new(),
+            store: tcfg.checkpoint.as_ref().and_then(|c| c.store().ok()),
+            seed: tcfg.seed,
+            weight_decay: tcfg.weight_decay,
+            round: 0,
+            generation: 0,
+            counters: DistCounters::default(),
+            next_conn: 0,
+            started: false,
+        };
+        let deadline = Instant::now() + cluster.cfg.join_timeout;
+        while cluster.members.len() < cluster.cfg.workers {
+            if !cluster.accept_one(algo) {
+                assert!(
+                    Instant::now() < deadline,
+                    "distributed run aborted: only {}/{} workers joined within {:?}",
+                    cluster.members.len(),
+                    cluster.cfg.workers,
+                    cluster.cfg.join_timeout
+                );
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        if cluster.cfg.topology == Topology::Ring {
+            cluster.push_ring_config();
+        }
+        cluster
+    }
+
+    fn emit(&self, event: ClusterEvent) {
+        if let Some(hook) = &self.events {
+            hook(event);
+        }
+    }
+
+    /// Accepts and admits at most one pending worker. Returns whether a
+    /// worker joined.
+    fn accept_one(&mut self, algo: &mut dyn SyncAlgorithm) -> bool {
+        let (stream, _) = match self.listener.accept() {
+            Ok(accepted) => accepted,
+            Err(_) => return false,
+        };
+        let _ = stream.set_nonblocking(false);
+        let id = self.next_conn;
+        self.next_conn += 1;
+        let mut conn = match Conn::new(stream, self.telemetry.clone()) {
+            Ok(conn) => conn,
+            Err(_) => return false,
+        };
+        if let Some(plan) = &self.cfg.fault {
+            conn = conn.with_injector(FaultInjector::new(plan, id));
+        }
+        // Wait briefly for the Hello; a connector that never introduces
+        // itself is dropped, not admitted.
+        let hello_deadline = Instant::now() + Duration::from_secs(5);
+        let (rejoin, ring_addr) = loop {
+            match conn.recv_timeout(Duration::from_millis(100)) {
+                Ok(Msg::Hello { rejoin, ring_addr }) => break (rejoin, ring_addr),
+                Ok(_) => continue,
+                Err(WireError::Timeout) if Instant::now() < hello_deadline => continue,
+                Err(_) => return false,
+            }
+        };
+        // Slot assignment: the next free index. Mid-run joins normally
+        // grow the learner group; after a last-man-standing eviction the
+        // algorithm still holds an orphan replica, which the newcomer
+        // adopts instead.
+        let slot = self.members.len();
+        if slot >= algo.k() && !algo.add_replica() {
+            // The algorithm cannot grow; turn the worker away.
+            let _ = conn.send(&Msg::Shutdown);
+            return false;
+        }
+        let welcome = Msg::Welcome {
+            slot: slot as u32,
+            k: algo.k() as u32,
+            topology: self.cfg.topology.as_u8(),
+            weight_decay: self.weight_decay,
+            state: self.admission_state(algo),
+        };
+        if conn.send(&welcome).is_err() {
+            return false;
+        }
+        self.members.push(Member {
+            conn,
+            last_seen: Instant::now(),
+            ring_addr,
+        });
+        if self.started {
+            self.counters.rejoins += 1;
+        }
+        self.emit(ClusterEvent::Joined {
+            slot,
+            rejoin: self.started || rejoin,
+        });
+        true
+    }
+
+    /// The state a joining worker recovers from: the latest durable
+    /// checkpoint when one exists, else a live snapshot encoded with the
+    /// same `TrainingState` serialization.
+    fn admission_state(&self, algo: &dyn SyncAlgorithm) -> Vec<u8> {
+        if let Some(store) = &self.store {
+            if let Ok(Some(loaded)) = store.load_latest() {
+                return loaded.state.encode();
+            }
+        }
+        let state = match algo.snapshot() {
+            Some(snap) => TrainingState {
+                seed: self.seed,
+                algorithm: algo.name().to_string(),
+                iterations: snap.iter,
+                algo: AlgoState {
+                    center: snap.center,
+                    center_prev: snap.center_prev,
+                    replicas: snap.replicas,
+                    aux: snap.aux,
+                    iter: snap.iter,
+                },
+                ..TrainingState::default()
+            },
+            None => TrainingState {
+                seed: self.seed,
+                algorithm: algo.name().to_string(),
+                ..TrainingState::default()
+            },
+        };
+        state.encode()
+    }
+
+    /// Admits every worker waiting on the listener. Returns whether
+    /// membership changed.
+    fn adopt_joiners(&mut self, algo: &mut dyn SyncAlgorithm) -> bool {
+        let mut changed = false;
+        while self.accept_one(algo) {
+            changed = true;
+        }
+        if changed && self.cfg.topology == Topology::Ring {
+            self.push_ring_config();
+        }
+        changed
+    }
+
+    /// Removes member `j` and renormalizes the algorithm over the
+    /// survivors by snapshot-edit (SMA's `alpha = 1/k` follows `k`).
+    ///
+    /// # Panics
+    /// Panics for algorithms without per-replica state (S-SGD): they
+    /// have no degraded mode to continue in.
+    fn evict(&mut self, algo: &mut dyn SyncAlgorithm, j: usize, reason: &'static str) {
+        let member = self.members.remove(j);
+        member.conn.shutdown();
+        self.counters.evictions += 1;
+        self.emit(ClusterEvent::Evicted { slot: j, reason });
+        let old_k = algo.k();
+        if old_k > 1 {
+            let mut snap = algo
+                .snapshot()
+                .expect("degraded-mode eviction needs a snapshot-capable algorithm");
+            assert_eq!(
+                snap.replicas.len(),
+                old_k,
+                "{} has no per-replica state and cannot renormalize over \
+                 survivors; degraded mode needs sma",
+                algo.name()
+            );
+            snap.replicas.remove(j);
+            assert!(algo.restore(&snap), "snapshot-edit eviction failed");
+        }
+        // old_k == 1: keep the orphan replica for a future rejoiner.
+        if self.cfg.topology == Topology::Ring {
+            self.push_ring_config();
+        }
+    }
+
+    /// Sends fresh ring links (slot, successor address) to every member
+    /// under a new generation. Send failures are left for the next
+    /// round's work dispatch to discover and evict.
+    fn push_ring_config(&mut self) {
+        self.generation += 1;
+        let k = self.members.len();
+        for j in 0..k {
+            let msg = Msg::Ring {
+                generation: self.generation,
+                slot: j as u32,
+                k: k as u32,
+                next: self.members[(j + 1) % k].ring_addr.clone(),
+            };
+            let _ = self.members[j].conn.send(&msg);
+        }
+    }
+
+    /// Re-sends the current ring generation without bumping it (heals
+    /// dropped config frames during a resend).
+    fn repeat_ring_config(&mut self) {
+        let k = self.members.len();
+        for j in 0..k {
+            let msg = Msg::Ring {
+                generation: self.generation,
+                slot: j as u32,
+                k: k as u32,
+                next: self.members[(j + 1) % k].ring_addr.clone(),
+            };
+            let _ = self.members[j].conn.send(&msg);
+        }
+    }
+
+    fn send_work(
+        &mut self,
+        j: usize,
+        round: u64,
+        params: &[f32],
+        batch: &(Tensor, Vec<usize>),
+    ) -> Result<(), WireError> {
+        let (images, labels) = batch;
+        let msg = Msg::Work {
+            iter: round,
+            slot: j as u32,
+            params: params.to_vec(),
+            dims: images.shape().dims().iter().map(|&d| d as u64).collect(),
+            images: images.data().to_vec(),
+            labels: labels.iter().map(|&l| l as u64).collect(),
+        };
+        self.members[j].conn.send(&msg)
+    }
+
+    /// One parameter-server round: dispatch work, collect gradients,
+    /// resend with backoff, evict the silent.
+    fn ps_round(
+        &mut self,
+        algo: &mut dyn SyncAlgorithm,
+        batches: &[(Tensor, Vec<usize>)],
+        grads: &mut [Vec<f32>],
+        losses: &mut [f32],
+    ) -> RoundStatus {
+        let k = self.members.len();
+        self.round += 1;
+        let round = self.round;
+        for (j, batch) in batches.iter().enumerate().take(k) {
+            let params = algo.replica(j).to_vec();
+            if self.send_work(j, round, &params, batch).is_err() {
+                self.evict(algo, j, "work dispatch failed");
+                return RoundStatus::Resized;
+            }
+        }
+        let mut pending = vec![true; k];
+        let mut sent_at = vec![Instant::now(); k];
+        let mut attempts = vec![1u32; k];
+        while pending.iter().any(|&p| p) {
+            for j in 0..k {
+                loop {
+                    match self.members[j].conn.recv_timeout(self.cfg.poll) {
+                        Ok(Msg::Grad {
+                            iter,
+                            slot,
+                            loss,
+                            grad,
+                        }) => {
+                            self.members[j].last_seen = Instant::now();
+                            if iter == round
+                                && slot as usize == j
+                                && grad.len() == grads[j].len()
+                                && pending[j]
+                            {
+                                grads[j].copy_from_slice(&grad);
+                                losses[j] = loss;
+                                pending[j] = false;
+                            }
+                            break;
+                        }
+                        Ok(Msg::Ping { .. }) => {
+                            self.members[j].last_seen = Instant::now();
+                            continue;
+                        }
+                        Ok(_) => continue,
+                        Err(WireError::Timeout) => break,
+                        Err(_) => {
+                            self.evict(algo, j, "connection lost");
+                            return RoundStatus::Resized;
+                        }
+                    }
+                }
+            }
+            let now = Instant::now();
+            for j in 0..k {
+                if !pending[j] {
+                    continue;
+                }
+                if now.duration_since(self.members[j].last_seen) > self.cfg.heartbeat_timeout {
+                    self.evict(algo, j, "heartbeat timeout");
+                    return RoundStatus::Resized;
+                }
+                if now.duration_since(sent_at[j]) > self.cfg.work_resend {
+                    if attempts[j] > self.cfg.retry.max_retries {
+                        self.evict(algo, j, "work retries exhausted");
+                        return RoundStatus::Resized;
+                    }
+                    std::thread::sleep(self.cfg.retry.backoff_for(attempts[j]));
+                    self.counters.retries += 1;
+                    self.telemetry.metrics.counter("net.retries").inc();
+                    self.emit(ClusterEvent::Resent {
+                        iter: round,
+                        attempt: attempts[j],
+                    });
+                    let params = algo.replica(j).to_vec();
+                    if self.send_work(j, round, &params, &batches[j]).is_err() {
+                        self.evict(algo, j, "work dispatch failed");
+                        return RoundStatus::Resized;
+                    }
+                    attempts[j] += 1;
+                    sent_at[j] = Instant::now();
+                }
+            }
+        }
+        RoundStatus::Done
+    }
+
+    /// One ring round: dispatch work to every member, wait for slot 0's
+    /// gathered upload, resend to all with backoff, evict the silent.
+    fn ring_round(
+        &mut self,
+        algo: &mut dyn SyncAlgorithm,
+        batches: &[(Tensor, Vec<usize>)],
+        grads: &mut [Vec<f32>],
+        losses: &mut [f32],
+    ) -> RoundStatus {
+        let k = self.members.len();
+        self.round += 1;
+        let round = self.round;
+        for (j, batch) in batches.iter().enumerate().take(k) {
+            let params = algo.replica(j).to_vec();
+            if self.send_work(j, round, &params, batch).is_err() {
+                self.evict(algo, j, "work dispatch failed");
+                return RoundStatus::Resized;
+            }
+        }
+        let mut sent_at = Instant::now();
+        let mut attempt = 1u32;
+        loop {
+            for j in 0..k {
+                loop {
+                    match self.members[j].conn.recv_timeout(self.cfg.poll) {
+                        Ok(Msg::GradSet {
+                            iter,
+                            losses: ls,
+                            grads: gs,
+                        }) => {
+                            self.members[j].last_seen = Instant::now();
+                            let fits = iter == round
+                                && j == 0
+                                && ls.len() == k
+                                && gs.len() == k
+                                && gs.iter().all(|g| g.len() == grads[0].len());
+                            if fits {
+                                for (dst, src) in grads.iter_mut().zip(&gs) {
+                                    dst.copy_from_slice(src);
+                                }
+                                losses.copy_from_slice(&ls);
+                                return RoundStatus::Done;
+                            }
+                            break;
+                        }
+                        Ok(Msg::Ping { .. }) => {
+                            self.members[j].last_seen = Instant::now();
+                            continue;
+                        }
+                        Ok(_) => continue,
+                        Err(WireError::Timeout) => break,
+                        Err(_) => {
+                            self.evict(algo, j, "connection lost");
+                            return RoundStatus::Resized;
+                        }
+                    }
+                }
+            }
+            let now = Instant::now();
+            for j in 0..k {
+                if now.duration_since(self.members[j].last_seen) > self.cfg.heartbeat_timeout {
+                    self.evict(algo, j, "heartbeat timeout");
+                    return RoundStatus::Resized;
+                }
+            }
+            if now.duration_since(sent_at) > self.cfg.work_resend {
+                assert!(
+                    attempt <= self.cfg.retry.max_retries,
+                    "ring round {round} stalled with every worker responsive"
+                );
+                std::thread::sleep(self.cfg.retry.backoff_for(attempt));
+                self.counters.retries += 1;
+                self.telemetry.metrics.counter("net.retries").inc();
+                self.emit(ClusterEvent::Resent {
+                    iter: round,
+                    attempt,
+                });
+                // Heal possibly-lost ring config, then replay the round.
+                self.repeat_ring_config();
+                for (j, batch) in batches.iter().enumerate().take(k) {
+                    let params = algo.replica(j).to_vec();
+                    if self.send_work(j, round, &params, batch).is_err() {
+                        self.evict(algo, j, "work dispatch failed");
+                        return RoundStatus::Resized;
+                    }
+                }
+                attempt += 1;
+                sent_at = Instant::now();
+            }
+        }
+    }
+
+    /// Blocks until at least one worker is connected (the last-survivor
+    /// path: every member died; a replacement must appear).
+    fn await_any_worker(&mut self, algo: &mut dyn SyncAlgorithm) {
+        let deadline = Instant::now() + self.cfg.join_timeout;
+        while self.members.is_empty() {
+            if !self.accept_one(algo) {
+                assert!(
+                    Instant::now() < deadline,
+                    "distributed run aborted: every worker died and none \
+                     rejoined within {:?}",
+                    self.cfg.join_timeout
+                );
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        if self.cfg.topology == Topology::Ring {
+            self.push_ring_config();
+        }
+    }
+
+    fn shutdown(&mut self) {
+        for member in &self.members {
+            let _ = member.conn.send(&Msg::Shutdown);
+        }
+        for member in &self.members {
+            member.conn.shutdown();
+        }
+    }
+}
+
+impl GradientSource for RemoteCluster<'_> {
+    fn round(
+        &mut self,
+        algo: &mut dyn SyncAlgorithm,
+        batches: &[(Tensor, Vec<usize>)],
+        grads: &mut [Vec<f32>],
+        losses: &mut [f32],
+    ) -> RoundStatus {
+        self.started = true;
+        if self.members.is_empty() {
+            self.await_any_worker(algo);
+            return RoundStatus::Resized;
+        }
+        if self.adopt_joiners(algo) {
+            return RoundStatus::Resized;
+        }
+        debug_assert_eq!(algo.k(), self.members.len(), "one member per slot");
+        match self.cfg.topology {
+            Topology::Ps => self.ps_round(algo, batches, grads, losses),
+            Topology::Ring => self.ring_round(algo, batches, grads, losses),
+        }
+    }
+}

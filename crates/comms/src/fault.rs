@@ -1,0 +1,282 @@
+//! Seeded transport-level fault injection.
+//!
+//! The socket analogue of the GPU simulator's `FaultPlan`: a
+//! [`NetFaultPlan`] describes *which* network pathologies to inject —
+//! message drops, delivery delays, abrupt disconnects, a partition window
+//! — and a per-connection [`FaultInjector`] decides deterministically,
+//! from the plan seed and the connection id, what happens to each
+//! outgoing frame. Two runs with the same plan and the same message
+//! sequence inject exactly the same faults, so recovery behaviour is
+//! testable bit-for-bit.
+//!
+//! Injection is applied on the coordinator's sends only: the
+//! coordinator's frame sequence per connection is deterministic (rounds
+//! are lockstep), while worker-side heartbeat threads interleave frames
+//! nondeterministically.
+
+use std::time::Duration;
+
+/// What the injector decided for one outgoing frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Write the frame normally.
+    Deliver,
+    /// Silently discard the frame (the peer never sees it).
+    Drop,
+    /// Sleep, then deliver — a slow link.
+    Delay(Duration),
+    /// Shut the socket down — an abrupt mid-run disconnect.
+    Disconnect,
+}
+
+/// A deterministic schedule of network faults.
+#[derive(Clone, Debug)]
+pub struct NetFaultPlan {
+    /// Seed of the per-connection decision stream.
+    pub seed: u64,
+    /// Probability an eligible frame is dropped.
+    pub drop_prob: f64,
+    /// Probability an eligible frame is delayed by [`NetFaultPlan::delay`].
+    pub delay_prob: f64,
+    /// Added latency of a delayed frame.
+    pub delay: Duration,
+    /// Shut the connection down at this frame index (per connection).
+    pub disconnect_after: Option<u64>,
+    /// Drop every frame whose index falls in `[start, end)` — a network
+    /// partition as seen from this side.
+    pub partition: Option<(u64, u64)>,
+    /// Leave the first frames of every connection untouched so the
+    /// join handshake always completes (default 1: the welcome frame).
+    pub skip_first: u64,
+    /// Stop injecting probabilistic faults after this many (the
+    /// partition window and `disconnect_after` are schedule-driven and
+    /// exempt).
+    pub max_faults: u64,
+    /// Restrict the plan to one connection id; every other connection is
+    /// fault-free. `None` applies it to all.
+    pub only_conn: Option<u64>,
+    /// Apply the plan only to connection ids strictly below this bound —
+    /// the original cluster's links are cursed, replacement links made
+    /// after a crash are healthy. `None` applies it to all.
+    pub only_conns_below: Option<u64>,
+}
+
+impl NetFaultPlan {
+    /// A fault-free plan under `seed`; chain builders to add faults.
+    pub fn seeded(seed: u64) -> Self {
+        NetFaultPlan {
+            seed,
+            drop_prob: 0.0,
+            delay_prob: 0.0,
+            delay: Duration::from_millis(1),
+            disconnect_after: None,
+            partition: None,
+            skip_first: 1,
+            max_faults: u64::MAX,
+            only_conn: None,
+            only_conns_below: None,
+        }
+    }
+
+    /// Sets the drop probability (builder style).
+    pub fn drop(mut self, prob: f64) -> Self {
+        self.drop_prob = prob;
+        self
+    }
+
+    /// Sets the delay probability and duration (builder style).
+    pub fn delay(mut self, prob: f64, delay: Duration) -> Self {
+        self.delay_prob = prob;
+        self.delay = delay;
+        self
+    }
+
+    /// Disconnects the link at this frame index (builder style).
+    pub fn disconnect_after(mut self, frames: u64) -> Self {
+        self.disconnect_after = Some(frames);
+        self
+    }
+
+    /// Drops every frame in `[start, end)` (builder style).
+    pub fn partition(mut self, start: u64, end: u64) -> Self {
+        self.partition = Some((start, end));
+        self
+    }
+
+    /// Caps the number of probabilistic faults (builder style).
+    pub fn max_faults(mut self, n: u64) -> Self {
+        self.max_faults = n;
+        self
+    }
+
+    /// Restricts the plan to one connection id (builder style).
+    pub fn only_conn(mut self, conn: u64) -> Self {
+        self.only_conn = Some(conn);
+        self
+    }
+
+    /// Restricts the plan to connection ids below `bound`, leaving
+    /// replacement links healthy (builder style).
+    pub fn conns_below(mut self, bound: u64) -> Self {
+        self.only_conns_below = Some(bound);
+        self
+    }
+}
+
+/// SplitMix64: tiny, seedable, and good enough for fault scheduling.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-connection fault decision stream.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: NetFaultPlan,
+    state: u64,
+    frame: u64,
+    faults: u64,
+    inert: bool,
+}
+
+impl FaultInjector {
+    /// An injector for connection `conn_id` under `plan`. Distinct
+    /// connections get decorrelated decision streams from the same seed.
+    pub fn new(plan: &NetFaultPlan, conn_id: u64) -> Self {
+        let inert = plan.only_conn.is_some_and(|only| only != conn_id)
+            || plan.only_conns_below.is_some_and(|bound| conn_id >= bound);
+        FaultInjector {
+            plan: plan.clone(),
+            state: plan.seed ^ conn_id.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            frame: 0,
+            faults: 0,
+            inert,
+        }
+    }
+
+    /// Probabilistic faults injected so far (drops and delays).
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+
+    /// Decides the fate of the next outgoing frame. Decisions are a pure
+    /// function of the frame index, so identical send sequences replay
+    /// identical faults.
+    pub fn on_send(&mut self) -> FaultAction {
+        let idx = self.frame;
+        self.frame += 1;
+        if self.inert || idx < self.plan.skip_first {
+            return FaultAction::Deliver;
+        }
+        if let Some(at) = self.plan.disconnect_after {
+            if idx >= at {
+                return FaultAction::Disconnect;
+            }
+        }
+        if let Some((start, end)) = self.plan.partition {
+            if idx >= start && idx < end {
+                self.faults += 1;
+                return FaultAction::Drop;
+            }
+        }
+        // Draw exactly one random number per eligible frame, whether or
+        // not it results in a fault, so the decision for frame `n` never
+        // depends on anything but `n`.
+        let r = (splitmix64(&mut self.state) >> 11) as f64 / (1u64 << 53) as f64;
+        if self.faults >= self.plan.max_faults {
+            return FaultAction::Deliver;
+        }
+        if r < self.plan.drop_prob {
+            self.faults += 1;
+            FaultAction::Drop
+        } else if r < self.plan.drop_prob + self.plan.delay_prob {
+            self.faults += 1;
+            FaultAction::Delay(self.plan.delay)
+        } else {
+            FaultAction::Deliver
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn actions(plan: &NetFaultPlan, conn: u64, n: usize) -> Vec<FaultAction> {
+        let mut inj = FaultInjector::new(plan, conn);
+        (0..n).map(|_| inj.on_send()).collect()
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let plan = NetFaultPlan::seeded(7)
+            .drop(0.3)
+            .delay(0.2, Duration::from_millis(2));
+        assert_eq!(actions(&plan, 1, 200), actions(&plan, 1, 200));
+    }
+
+    #[test]
+    fn connections_are_decorrelated() {
+        let plan = NetFaultPlan::seeded(7).drop(0.5);
+        assert_ne!(actions(&plan, 0, 64), actions(&plan, 1, 64));
+    }
+
+    #[test]
+    fn skip_first_protects_the_handshake() {
+        let plan = NetFaultPlan::seeded(3).drop(1.0);
+        let acts = actions(&plan, 0, 4);
+        assert_eq!(acts[0], FaultAction::Deliver);
+        assert!(acts[1..].iter().all(|a| *a == FaultAction::Drop));
+    }
+
+    #[test]
+    fn disconnect_fires_at_the_scheduled_frame() {
+        let plan = NetFaultPlan::seeded(3).disconnect_after(5);
+        let acts = actions(&plan, 0, 8);
+        assert!(acts[..5].iter().all(|a| *a == FaultAction::Deliver));
+        assert!(acts[5..].iter().all(|a| *a == FaultAction::Disconnect));
+    }
+
+    #[test]
+    fn partition_drops_the_window() {
+        let plan = NetFaultPlan::seeded(3).partition(2, 4);
+        let acts = actions(&plan, 0, 6);
+        assert_eq!(acts[2], FaultAction::Drop);
+        assert_eq!(acts[3], FaultAction::Drop);
+        assert_eq!(acts[1], FaultAction::Deliver);
+        assert_eq!(acts[4], FaultAction::Deliver);
+    }
+
+    #[test]
+    fn only_conn_leaves_other_links_clean() {
+        let plan = NetFaultPlan::seeded(3).drop(1.0).only_conn(2);
+        assert!(actions(&plan, 0, 16)
+            .iter()
+            .all(|a| *a == FaultAction::Deliver));
+        assert!(actions(&plan, 2, 16)[1..]
+            .iter()
+            .all(|a| *a == FaultAction::Drop));
+    }
+
+    #[test]
+    fn conns_below_spares_replacement_links() {
+        let plan = NetFaultPlan::seeded(3).drop(1.0).conns_below(2);
+        assert!(actions(&plan, 0, 8)[1..]
+            .iter()
+            .all(|a| *a == FaultAction::Drop));
+        assert!(actions(&plan, 2, 8)
+            .iter()
+            .all(|a| *a == FaultAction::Deliver));
+    }
+
+    #[test]
+    fn max_faults_bounds_the_damage() {
+        let plan = NetFaultPlan::seeded(3).drop(1.0).max_faults(2);
+        let acts = actions(&plan, 0, 10);
+        let drops = acts.iter().filter(|a| **a == FaultAction::Drop).count();
+        assert_eq!(drops, 2);
+    }
+}

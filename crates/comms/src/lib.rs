@@ -1,0 +1,53 @@
+//! Fault-tolerant multi-node training over real sockets.
+//!
+//! Crossbow's SMA trainer synchronises `k` learners every iteration;
+//! this crate stretches those learners across OS processes connected by
+//! TCP, without changing the arithmetic: a healthy distributed run
+//! produces a training curve *bit-identical* to the single-process
+//! trainer at the same configuration.
+//!
+//! The pieces, bottom up:
+//!
+//! - [`wire`]: length-prefixed frames with an FNV-1a checksum, parsed
+//!   incrementally so read timeouts never desynchronise a stream.
+//! - [`proto`]: the message set, serialized with the checkpoint crate's
+//!   codec — the admission message literally carries an encoded
+//!   checkpoint.
+//! - [`fault`]: seeded transport-level fault injection (drop / delay /
+//!   disconnect / partition), the socket analogue of the GPU simulator's
+//!   fault plan; same seed, same faults.
+//! - [`transport`]: framed connections with telemetry (`net.*` counters,
+//!   `net-send`/`net-recv` spans) and capped-exponential retry.
+//! - [`coordinator`]: the control plane. Runs the unmodified trainer
+//!   loop and drives workers in one of two topologies — parameter
+//!   server or a decentralized all-gather ring — with heartbeat failure
+//!   detection, work resend with backoff, worker eviction (SMA
+//!   renormalizes over survivors), and mid-run rejoin from the latest
+//!   checkpoint.
+//! - [`worker`]: the data plane — a stateless gradient server.
+//! - [`cluster`]: loopback clusters (threads as processes) so the fault
+//!   matrix is testable from plain unit tests.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster;
+pub mod coordinator;
+pub mod fault;
+pub mod proto;
+pub mod transport;
+pub mod wire;
+pub mod worker;
+
+pub use cluster::{
+    checksum_params, demo_algo, demo_task, run_local_cluster, LocalClusterOptions,
+    LocalClusterReport,
+};
+pub use coordinator::{
+    ClusterEvent, Coordinator, DistConfig, DistCounters, DistReport, EventHook, Topology,
+};
+pub use fault::{FaultAction, FaultInjector, NetFaultPlan};
+pub use proto::Msg;
+pub use transport::{connect_retry, Conn, MsgSender, RetryPolicy};
+pub use wire::WireError;
+pub use worker::{run_worker, WorkerConfig, WorkerEvent, WorkerOutcome};

@@ -1,0 +1,418 @@
+//! The distributed-training message set.
+//!
+//! Messages are encoded with the checkpoint crate's little-endian codec
+//! ([`crossbow_checkpoint::codec`]) — the same serialization that makes
+//! checkpoints durable makes them shippable, and the `Welcome` message
+//! carries a full encoded `TrainingState` so a rejoining worker recovers
+//! through exactly the checkpoint path a restarted coordinator would.
+
+use crossbow_checkpoint::codec::{DecodeError, Reader, Writer};
+
+/// One protocol message. Tags are stable; unknown tags decode to an
+/// error rather than a guess.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// Worker → coordinator: join (or rejoin) the cluster. `ring_addr` is
+    /// where this worker accepts ring-predecessor connections.
+    Hello {
+        /// True when this process replaces a previously evicted worker.
+        rejoin: bool,
+        /// The worker's ring listener address (unused in PS topology).
+        ring_addr: String,
+    },
+    /// Coordinator → worker: admission. `state` is an encoded
+    /// `TrainingState` — the latest durable checkpoint when one exists,
+    /// otherwise a synthesized snapshot of the live run — which the
+    /// worker validates before serving gradients.
+    Welcome {
+        /// The learner slot this worker now owns.
+        slot: u32,
+        /// Current cluster size.
+        k: u32,
+        /// 0 = parameter server, 1 = ring.
+        topology: u8,
+        /// Weight decay every gradient must include.
+        weight_decay: f32,
+        /// Encoded `crossbow_checkpoint::TrainingState`.
+        state: Vec<u8>,
+    },
+    /// Coordinator → worker: compute one gradient.
+    Work {
+        /// Round id; echoed back so stale replies are discardable.
+        iter: u64,
+        /// The slot this work is for.
+        slot: u32,
+        /// The slot's replica parameters.
+        params: Vec<f32>,
+        /// Batch tensor dimensions.
+        dims: Vec<u64>,
+        /// Batch tensor data.
+        images: Vec<f32>,
+        /// Batch labels.
+        labels: Vec<u64>,
+    },
+    /// Worker → coordinator (PS): one finished gradient.
+    Grad {
+        /// Echo of [`Msg::Work`]'s round id.
+        iter: u64,
+        /// Echo of the slot.
+        slot: u32,
+        /// Mean training loss over the batch.
+        loss: f32,
+        /// The gradient, weight decay included.
+        grad: Vec<f32>,
+    },
+    /// Worker → coordinator (ring): the full gathered round, uploaded by
+    /// slot 0 after the all-gather completes.
+    GradSet {
+        /// Echo of the round id.
+        iter: u64,
+        /// Per-slot losses, slot order.
+        losses: Vec<f32>,
+        /// Per-slot gradients, slot order.
+        grads: Vec<Vec<f32>>,
+    },
+    /// Worker → coordinator: heartbeat.
+    Ping {
+        /// The sender's slot.
+        slot: u32,
+    },
+    /// Coordinator → worker: (re)configure ring links after membership
+    /// changes. Stale generations are ignored.
+    Ring {
+        /// Monotonic ring-membership generation.
+        generation: u64,
+        /// The worker's (possibly reassigned) slot.
+        slot: u32,
+        /// New cluster size.
+        k: u32,
+        /// Address of the worker's ring successor.
+        next: String,
+    },
+    /// Worker → worker: ring-link handshake, validating the generation
+    /// so a stale predecessor cannot feed an old ring.
+    RingHello {
+        /// The sender's membership generation.
+        generation: u64,
+        /// The sender's slot.
+        origin: u32,
+    },
+    /// Worker → worker: one all-gather block travelling around the ring.
+    Block {
+        /// Round id; blocks from other rounds are discarded.
+        iter: u64,
+        /// The slot whose gradient this is.
+        origin: u32,
+        /// That slot's batch loss.
+        loss: f32,
+        /// That slot's gradient.
+        grad: Vec<f32>,
+    },
+    /// Coordinator → worker: the run is over; exit cleanly.
+    Shutdown,
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_WELCOME: u8 = 2;
+const TAG_WORK: u8 = 3;
+const TAG_GRAD: u8 = 4;
+const TAG_GRADSET: u8 = 5;
+const TAG_PING: u8 = 6;
+const TAG_RING: u8 = 7;
+const TAG_RINGHELLO: u8 = 8;
+const TAG_BLOCK: u8 = 9;
+const TAG_SHUTDOWN: u8 = 10;
+
+fn write_u64s(w: &mut Writer, v: &[u64]) {
+    w.u64(v.len() as u64);
+    for &x in v {
+        w.u64(x);
+    }
+}
+
+fn read_u64s(r: &mut Reader<'_>) -> Result<Vec<u64>, DecodeError> {
+    let n = r.u64()? as usize;
+    (0..n).map(|_| r.u64()).collect()
+}
+
+impl Msg {
+    /// A short name for logs and spans.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Msg::Hello { .. } => "hello",
+            Msg::Welcome { .. } => "welcome",
+            Msg::Work { .. } => "work",
+            Msg::Grad { .. } => "grad",
+            Msg::GradSet { .. } => "grad-set",
+            Msg::Ping { .. } => "ping",
+            Msg::Ring { .. } => "ring",
+            Msg::RingHello { .. } => "ring-hello",
+            Msg::Block { .. } => "block",
+            Msg::Shutdown => "shutdown",
+        }
+    }
+
+    /// Encodes the message as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Msg::Hello { rejoin, ring_addr } => {
+                w.u8(TAG_HELLO);
+                w.u8(u8::from(*rejoin));
+                w.str(ring_addr);
+            }
+            Msg::Welcome {
+                slot,
+                k,
+                topology,
+                weight_decay,
+                state,
+            } => {
+                w.u8(TAG_WELCOME);
+                w.u32(*slot);
+                w.u32(*k);
+                w.u8(*topology);
+                w.f32(*weight_decay);
+                w.bytes(state);
+            }
+            Msg::Work {
+                iter,
+                slot,
+                params,
+                dims,
+                images,
+                labels,
+            } => {
+                w.u8(TAG_WORK);
+                w.u64(*iter);
+                w.u32(*slot);
+                w.f32_slice(params);
+                write_u64s(&mut w, dims);
+                w.f32_slice(images);
+                write_u64s(&mut w, labels);
+            }
+            Msg::Grad {
+                iter,
+                slot,
+                loss,
+                grad,
+            } => {
+                w.u8(TAG_GRAD);
+                w.u64(*iter);
+                w.u32(*slot);
+                w.f32(*loss);
+                w.f32_slice(grad);
+            }
+            Msg::GradSet {
+                iter,
+                losses,
+                grads,
+            } => {
+                w.u8(TAG_GRADSET);
+                w.u64(*iter);
+                w.f32_slice(losses);
+                w.f32_slices(grads);
+            }
+            Msg::Ping { slot } => {
+                w.u8(TAG_PING);
+                w.u32(*slot);
+            }
+            Msg::Ring {
+                generation,
+                slot,
+                k,
+                next,
+            } => {
+                w.u8(TAG_RING);
+                w.u64(*generation);
+                w.u32(*slot);
+                w.u32(*k);
+                w.str(next);
+            }
+            Msg::RingHello { generation, origin } => {
+                w.u8(TAG_RINGHELLO);
+                w.u64(*generation);
+                w.u32(*origin);
+            }
+            Msg::Block {
+                iter,
+                origin,
+                loss,
+                grad,
+            } => {
+                w.u8(TAG_BLOCK);
+                w.u64(*iter);
+                w.u32(*origin);
+                w.f32(*loss);
+                w.f32_slice(grad);
+            }
+            Msg::Shutdown => {
+                w.u8(TAG_SHUTDOWN);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    /// [`DecodeError`] on an unknown tag, short payload, or trailing
+    /// bytes — a framed-but-wrong message is corruption, not a request.
+    pub fn decode(bytes: &[u8]) -> Result<Msg, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let msg = match r.u8()? {
+            TAG_HELLO => Msg::Hello {
+                rejoin: r.u8()? != 0,
+                ring_addr: r.str()?,
+            },
+            TAG_WELCOME => Msg::Welcome {
+                slot: r.u32()?,
+                k: r.u32()?,
+                topology: r.u8()?,
+                weight_decay: r.f32()?,
+                state: r.bytes()?,
+            },
+            TAG_WORK => Msg::Work {
+                iter: r.u64()?,
+                slot: r.u32()?,
+                params: r.f32_vec()?,
+                dims: read_u64s(&mut r)?,
+                images: r.f32_vec()?,
+                labels: read_u64s(&mut r)?,
+            },
+            TAG_GRAD => Msg::Grad {
+                iter: r.u64()?,
+                slot: r.u32()?,
+                loss: r.f32()?,
+                grad: r.f32_vec()?,
+            },
+            TAG_GRADSET => Msg::GradSet {
+                iter: r.u64()?,
+                losses: r.f32_vec()?,
+                grads: r.f32_vecs()?,
+            },
+            TAG_PING => Msg::Ping { slot: r.u32()? },
+            TAG_RING => Msg::Ring {
+                generation: r.u64()?,
+                slot: r.u32()?,
+                k: r.u32()?,
+                next: r.str()?,
+            },
+            TAG_RINGHELLO => Msg::RingHello {
+                generation: r.u64()?,
+                origin: r.u32()?,
+            },
+            TAG_BLOCK => Msg::Block {
+                iter: r.u64()?,
+                origin: r.u32()?,
+                loss: r.f32()?,
+                grad: r.f32_vec()?,
+            },
+            TAG_SHUTDOWN => Msg::Shutdown,
+            _ => return Err(DecodeError("unknown message tag")),
+        };
+        if !r.is_empty() {
+            return Err(DecodeError("trailing bytes in message"));
+        }
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: &Msg) {
+        let bytes = msg.encode();
+        let back = Msg::decode(&bytes).expect("decodes");
+        // Re-encode rather than compare values: bit-exact for any float
+        // payload, NaN included.
+        assert_eq!(back.encode(), bytes, "{} round-trips", msg.name());
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        round_trip(&Msg::Hello {
+            rejoin: true,
+            ring_addr: "127.0.0.1:4791".into(),
+        });
+        round_trip(&Msg::Welcome {
+            slot: 3,
+            k: 4,
+            topology: 1,
+            weight_decay: 1e-4,
+            state: vec![0xCB, 0x00, 0xBF],
+        });
+        round_trip(&Msg::Work {
+            iter: 42,
+            slot: 1,
+            params: vec![-0.5, f32::MIN_POSITIVE, 3.25],
+            dims: vec![2, 3, 1, 5],
+            images: vec![0.25; 30],
+            labels: vec![0, 3, 1],
+        });
+        round_trip(&Msg::Grad {
+            iter: 42,
+            slot: 1,
+            loss: 0.693,
+            grad: vec![f32::NAN, -0.0, 1.0],
+        });
+        round_trip(&Msg::GradSet {
+            iter: 7,
+            losses: vec![0.1, 0.2],
+            grads: vec![vec![1.0; 5], vec![-1.0; 5]],
+        });
+        round_trip(&Msg::Ping { slot: 9 });
+        round_trip(&Msg::Ring {
+            generation: 2,
+            slot: 0,
+            k: 3,
+            next: "127.0.0.1:9".into(),
+        });
+        round_trip(&Msg::RingHello {
+            generation: 2,
+            origin: 1,
+        });
+        round_trip(&Msg::Block {
+            iter: 7,
+            origin: 2,
+            loss: 1.5,
+            grad: vec![2.0; 4],
+        });
+        round_trip(&Msg::Shutdown);
+    }
+
+    #[test]
+    fn truncated_payloads_error_instead_of_panicking() {
+        let bytes = Msg::Work {
+            iter: 1,
+            slot: 0,
+            params: vec![1.0; 8],
+            dims: vec![2, 4],
+            images: vec![0.5; 8],
+            labels: vec![1, 0],
+        }
+        .encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                Msg::decode(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Msg::Ping { slot: 1 }.encode();
+        bytes.push(0);
+        assert_eq!(
+            Msg::decode(&bytes),
+            Err(DecodeError("trailing bytes in message"))
+        );
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        assert!(Msg::decode(&[0xEE]).is_err());
+    }
+}

@@ -1,0 +1,259 @@
+//! Length-prefixed binary framing over byte streams.
+//!
+//! Every message travels as one *frame*: a 16-byte header (magic, payload
+//! length, FNV-1a/64 checksum — the same hash the checkpoint store uses)
+//! followed by the payload. The checksum makes a torn or corrupted stream
+//! a detectable error instead of a garbage message, mirroring the
+//! checkpoint file format's corruption discipline.
+//!
+//! [`FrameReader`] is incremental: it buffers partial reads, so a read
+//! timeout in the middle of a frame never desynchronises the stream — the
+//! next call resumes exactly where the bytes stopped.
+
+use crossbow_checkpoint::codec::fnv1a64;
+use std::io::{self, Read};
+
+/// Frame magic: "CBWF" (CrossBow Wire Frame).
+pub const MAGIC: [u8; 4] = *b"CBWF";
+
+/// Header bytes preceding every payload: magic, `u32` length, `u64` hash.
+pub const HEADER_LEN: usize = 16;
+
+/// Upper bound on a payload; a corrupt length field beyond it is rejected
+/// before any allocation.
+pub const MAX_PAYLOAD: usize = 256 << 20;
+
+/// Why a wire operation failed.
+#[derive(Debug)]
+pub enum WireError {
+    /// An I/O error other than timeout or disconnection.
+    Io(io::Error),
+    /// The stream carried bytes that are not a valid frame; the connection
+    /// is unrecoverable (framing is lost).
+    Corrupt(&'static str),
+    /// The peer is gone: EOF, reset, or broken pipe.
+    Disconnected,
+    /// No complete frame arrived within the read timeout; retryable.
+    Timeout,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
+            WireError::Corrupt(what) => write!(f, "corrupt frame: {what}"),
+            WireError::Disconnected => write!(f, "peer disconnected"),
+            WireError::Timeout => write!(f, "wire read timed out"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Maps a socket read error onto the retryable/fatal split the runtime
+/// cares about. `SO_RCVTIMEO` expiry surfaces as `WouldBlock` or
+/// `TimedOut` depending on the platform; both mean "try again".
+pub(crate) fn map_read_err(e: io::Error) -> WireError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => WireError::Timeout,
+        io::ErrorKind::UnexpectedEof
+        | io::ErrorKind::ConnectionReset
+        | io::ErrorKind::ConnectionAborted
+        | io::ErrorKind::BrokenPipe => WireError::Disconnected,
+        _ => WireError::Io(e),
+    }
+}
+
+/// Maps a socket write error: a vanished peer is a disconnect, anything
+/// else an I/O error.
+pub(crate) fn map_write_err(e: io::Error) -> WireError {
+    match e.kind() {
+        io::ErrorKind::ConnectionReset
+        | io::ErrorKind::ConnectionAborted
+        | io::ErrorKind::BrokenPipe => WireError::Disconnected,
+        _ => WireError::Io(e),
+    }
+}
+
+/// Wraps `payload` in a frame: header plus bytes, ready for one write.
+///
+/// # Panics
+/// Panics when the payload exceeds [`MAX_PAYLOAD`].
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= MAX_PAYLOAD, "oversized frame");
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Incremental frame parser over any byte stream.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Extracts one complete frame from the buffer, if present.
+    fn parse(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        if self.buf[..4] != MAGIC {
+            return Err(WireError::Corrupt("bad frame magic"));
+        }
+        let len = u32::from_le_bytes(self.buf[4..8].try_into().expect("4")) as usize;
+        if len > MAX_PAYLOAD {
+            return Err(WireError::Corrupt("frame length exceeds limit"));
+        }
+        if self.buf.len() < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let want = u64::from_le_bytes(self.buf[8..16].try_into().expect("8"));
+        let payload = self.buf[HEADER_LEN..HEADER_LEN + len].to_vec();
+        if fnv1a64(&payload) != want {
+            return Err(WireError::Corrupt("frame checksum mismatch"));
+        }
+        self.buf.drain(..HEADER_LEN + len);
+        Ok(Some(payload))
+    }
+
+    /// Reads until one complete frame is available and returns its
+    /// payload. Partial bytes stay buffered across calls, so a
+    /// [`WireError::Timeout`] mid-frame is resumable.
+    pub fn read_frame(&mut self, src: &mut impl Read) -> Result<Vec<u8>, WireError> {
+        loop {
+            if let Some(payload) = self.parse()? {
+                return Ok(payload);
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            match src.read(&mut chunk) {
+                Ok(0) => return Err(WireError::Disconnected),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(map_read_err(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reader delivering its bytes `chunk` at a time, then EOF.
+    struct Dribble {
+        bytes: Vec<u8>,
+        pos: usize,
+        chunk: usize,
+    }
+
+    impl Read for Dribble {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            let n = self.chunk.min(self.bytes.len() - self.pos).min(out.len());
+            out[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_byte_by_byte() {
+        let payload = b"synchronous model averaging".to_vec();
+        let mut src = Dribble {
+            bytes: frame(&payload),
+            pos: 0,
+            chunk: 1,
+        };
+        let mut reader = FrameReader::new();
+        assert_eq!(reader.read_frame(&mut src).unwrap(), payload);
+    }
+
+    #[test]
+    fn back_to_back_frames_stay_separated() {
+        let mut bytes = frame(b"first");
+        bytes.extend_from_slice(&frame(b"second"));
+        bytes.extend_from_slice(&frame(b""));
+        let mut src = Dribble {
+            bytes,
+            pos: 0,
+            chunk: 7,
+        };
+        let mut reader = FrameReader::new();
+        assert_eq!(reader.read_frame(&mut src).unwrap(), b"first");
+        assert_eq!(reader.read_frame(&mut src).unwrap(), b"second");
+        assert_eq!(reader.read_frame(&mut src).unwrap(), b"");
+    }
+
+    #[test]
+    fn truncated_frame_reads_as_disconnect() {
+        let mut bytes = frame(b"cut short");
+        bytes.truncate(bytes.len() - 3);
+        let mut src = Dribble {
+            bytes,
+            pos: 0,
+            chunk: 64,
+        };
+        let mut reader = FrameReader::new();
+        match reader.read_frame(&mut src) {
+            Err(WireError::Disconnected) => {}
+            other => panic!("expected disconnect, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_checksum_is_rejected() {
+        let mut bytes = frame(b"trustworthy");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        let mut src = Dribble {
+            bytes,
+            pos: 0,
+            chunk: 64,
+        };
+        let mut reader = FrameReader::new();
+        match reader.read_frame(&mut src) {
+            Err(WireError::Corrupt(what)) => assert!(what.contains("checksum")),
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = frame(b"hello");
+        bytes[0] = b'X';
+        let mut src = Dribble {
+            bytes,
+            pos: 0,
+            chunk: 64,
+        };
+        let mut reader = FrameReader::new();
+        match reader.read_frame(&mut src) {
+            Err(WireError::Corrupt(what)) => assert!(what.contains("magic")),
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocating() {
+        let mut bytes = frame(b"ok");
+        bytes[4..8].copy_from_slice(&(u32::MAX).to_le_bytes());
+        let mut src = Dribble {
+            bytes,
+            pos: 0,
+            chunk: 64,
+        };
+        let mut reader = FrameReader::new();
+        match reader.read_frame(&mut src) {
+            Err(WireError::Corrupt(what)) => assert!(what.contains("length")),
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,490 @@
+//! The worker: a stateless gradient server.
+//!
+//! A worker connects to the coordinator (with capped-exponential retry),
+//! introduces itself, validates the admission state it is handed — the
+//! latest durable checkpoint, recovered through exactly the
+//! checkpoint-resume path — and then serves rounds: receive `Work`
+//! (replica parameters plus a batch), compute the gradient with the same
+//! arithmetic as the in-process trainer, and return it. A background
+//! thread heartbeats over the same socket so the coordinator can tell a
+//! slow worker from a dead one.
+//!
+//! In ring topology the gradient does not go straight back: workers
+//! all-gather their gradient blocks over worker-to-worker TCP links
+//! (each block travels `k - 1` hops), and slot 0 uploads the assembled
+//! round. Membership changes re-key the ring under a new generation.
+
+use crate::proto::Msg;
+use crate::transport::{connect_retry, Conn, MsgSender, RetryPolicy};
+use crate::wire::{self, FrameReader, WireError};
+use crossbow_checkpoint::TrainingState;
+use crossbow_nn::network::Scratch;
+use crossbow_nn::Network;
+use crossbow_telemetry::Telemetry;
+use crossbow_tensor::Tensor;
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Worker-side configuration.
+#[derive(Clone, Debug)]
+pub struct WorkerConfig {
+    /// Coordinator address.
+    pub connect: String,
+    /// Heartbeat send interval.
+    pub heartbeat_interval: Duration,
+    /// Backoff discipline for the initial connect and ring links.
+    pub retry: RetryPolicy,
+    /// Main-loop receive poll interval.
+    pub recv_timeout: Duration,
+    /// Abandon a wedged ring all-gather after this long (the
+    /// coordinator's resend restarts the round for everyone).
+    pub ring_timeout: Duration,
+    /// Announce this join as a crash-recovery rejoin.
+    pub rejoin: bool,
+}
+
+impl WorkerConfig {
+    /// Defaults for a worker dialing `connect`.
+    pub fn new(connect: impl Into<String>) -> Self {
+        WorkerConfig {
+            connect: connect.into(),
+            heartbeat_interval: Duration::from_millis(200),
+            retry: RetryPolicy::default(),
+            recv_timeout: Duration::from_millis(500),
+            ring_timeout: Duration::from_secs(2),
+            rejoin: false,
+        }
+    }
+}
+
+/// Worker lifecycle events, surfaced to the embedding process.
+#[derive(Clone, Debug)]
+pub enum WorkerEvent {
+    /// Admission completed.
+    Joined {
+        /// The slot this worker owns.
+        slot: usize,
+        /// The run iteration recorded in the admission state.
+        iterations: u64,
+        /// Whether this process announced itself as a rejoin.
+        rejoin: bool,
+    },
+}
+
+/// What a worker did before shutting down.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerOutcome {
+    /// The slot owned at admission.
+    pub slot: usize,
+    /// Gradient rounds served.
+    pub rounds: u64,
+    /// The run iteration recorded in the admission state (non-zero for
+    /// a rejoin against a mid-run checkpoint).
+    pub joined_at_iteration: u64,
+}
+
+/// Ring-link state: one inbound (predecessor) and one outbound
+/// (successor) TCP stream, keyed by a membership generation.
+struct RingLinks {
+    generation: u64,
+    slot: usize,
+    k: usize,
+    next_addr: String,
+    pred: Option<(TcpStream, FrameReader)>,
+    succ: Option<TcpStream>,
+}
+
+impl RingLinks {
+    fn new(generation: u64, slot: usize, k: usize, next_addr: String) -> Self {
+        RingLinks {
+            generation,
+            slot,
+            k,
+            next_addr,
+            pred: None,
+            succ: None,
+        }
+    }
+
+    /// Dials the successor lazily, introducing this link's generation
+    /// first so a stale peer can reject it.
+    fn ensure_succ(&mut self, retry: &RetryPolicy, telemetry: &Telemetry) -> Result<(), WireError> {
+        if self.succ.is_some() {
+            return Ok(());
+        }
+        let stream = connect_retry(&self.next_addr, retry, telemetry)?;
+        stream.set_nodelay(true).map_err(WireError::Io)?;
+        let hello = Msg::RingHello {
+            generation: self.generation,
+            origin: self.slot as u32,
+        };
+        let mut stream = stream;
+        stream
+            .write_all(&wire::frame(&hello.encode()))
+            .map_err(wire::map_write_err)?;
+        self.succ = Some(stream);
+        Ok(())
+    }
+
+    /// Writes one frame to the successor; a failed link is dropped so the
+    /// next attempt redials.
+    fn send_block(&mut self, msg: &Msg) -> Result<(), WireError> {
+        let Some(succ) = self.succ.as_mut() else {
+            return Err(WireError::Disconnected);
+        };
+        let res = succ
+            .write_all(&wire::frame(&msg.encode()))
+            .map_err(wire::map_write_err);
+        if res.is_err() {
+            self.succ = None;
+        }
+        res
+    }
+
+    /// Accepts a pending predecessor link, validating its generation.
+    fn try_accept_pred(&mut self, listener: &TcpListener) {
+        let Ok((stream, _)) = listener.accept() else {
+            return;
+        };
+        if stream.set_nonblocking(false).is_err() || stream.set_nodelay(true).is_err() {
+            return;
+        }
+        if stream
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .is_err()
+        {
+            return;
+        }
+        let mut frames = FrameReader::new();
+        let mut stream = stream;
+        if let Ok(payload) = frames.read_frame(&mut stream) {
+            if let Ok(Msg::RingHello { generation, .. }) = Msg::decode(&payload) {
+                if generation == self.generation {
+                    self.pred = Some((stream, frames));
+                }
+            }
+        }
+    }
+
+    /// Reads one message from the predecessor, accepting the link first
+    /// if necessary. Partial frames stay buffered across polls.
+    fn recv_block(&mut self, listener: &TcpListener, poll: Duration) -> Result<Msg, WireError> {
+        if self.pred.is_none() {
+            self.try_accept_pred(listener);
+        }
+        let Some((stream, frames)) = self.pred.as_mut() else {
+            std::thread::sleep(poll.min(Duration::from_millis(20)));
+            return Err(WireError::Timeout);
+        };
+        stream.set_read_timeout(Some(poll)).map_err(WireError::Io)?;
+        let payload = frames.read_frame(stream)?;
+        Msg::decode(&payload).map_err(|_| WireError::Corrupt("undecodable ring message"))
+    }
+}
+
+/// All-gathers this round's blocks around the ring. Returns the per-slot
+/// `(loss, gradient)` table, or `None` when the exchange wedged (a
+/// membership change or lost link) — the coordinator's resend restarts
+/// the round.
+#[allow(clippy::too_many_arguments)]
+fn ring_exchange(
+    ring: &mut RingLinks,
+    listener: &TcpListener,
+    iter: u64,
+    my_loss: f32,
+    my_grad: &[f32],
+    timeout: Duration,
+    retry: &RetryPolicy,
+    telemetry: &Telemetry,
+) -> Option<(Vec<f32>, Vec<Vec<f32>>)> {
+    let k = ring.k;
+    if k == 1 {
+        return Some((vec![my_loss], vec![my_grad.to_vec()]));
+    }
+    let mut blocks: Vec<Option<(f32, Vec<f32>)>> = vec![None; k];
+    blocks[ring.slot] = Some((my_loss, my_grad.to_vec()));
+    ring.ensure_succ(retry, telemetry).ok()?;
+    ring.send_block(&Msg::Block {
+        iter,
+        origin: ring.slot as u32,
+        loss: my_loss,
+        grad: my_grad.to_vec(),
+    })
+    .ok()?;
+    let succ_slot = (ring.slot + 1) % k;
+    let deadline = Instant::now() + timeout;
+    while blocks.iter().any(Option::is_none) {
+        if Instant::now() > deadline {
+            return None;
+        }
+        match ring.recv_block(listener, Duration::from_millis(20)) {
+            Ok(Msg::Block {
+                iter: i,
+                origin,
+                loss,
+                grad,
+            }) if i == iter => {
+                let o = origin as usize;
+                if o < k && blocks[o].is_none() {
+                    // Forward before keeping, unless the next hop is the
+                    // block's own origin (it already has it).
+                    if o != succ_slot {
+                        ring.send_block(&Msg::Block {
+                            iter: i,
+                            origin,
+                            loss,
+                            grad: grad.clone(),
+                        })
+                        .ok()?;
+                    }
+                    blocks[o] = Some((loss, grad));
+                }
+            }
+            Ok(_) => {}
+            Err(WireError::Timeout) => {}
+            Err(_) => {
+                // Predecessor gone; wait for it to redial or for the
+                // deadline to abandon the round.
+                ring.pred = None;
+            }
+        }
+    }
+    let mut losses = Vec::with_capacity(k);
+    let mut grads = Vec::with_capacity(k);
+    for block in blocks {
+        let (loss, grad) = block.expect("all blocks gathered");
+        losses.push(loss);
+        grads.push(grad);
+    }
+    Some((losses, grads))
+}
+
+/// Runs one worker to completion: connect, admit, serve gradients until
+/// the coordinator says `Shutdown`.
+///
+/// # Errors
+/// [`WireError`] when the coordinator link dies or admission fails.
+///
+/// # Panics
+/// Panics when the admission state disagrees with the local network
+/// architecture — serving gradients for a different model corrupts the
+/// run, so it must be loud.
+pub fn run_worker(
+    net: &Network,
+    cfg: &WorkerConfig,
+    telemetry: &Telemetry,
+    on_event: &dyn Fn(WorkerEvent),
+) -> Result<WorkerOutcome, WireError> {
+    let stream = connect_retry(&cfg.connect, &cfg.retry, telemetry)?;
+    // The ring listener binds on the interface that reaches the
+    // coordinator, so the advertised address works for peers too.
+    let local_ip = stream.local_addr().map_err(WireError::Io)?.ip();
+    let ring_listener = TcpListener::bind((local_ip, 0)).map_err(WireError::Io)?;
+    ring_listener.set_nonblocking(true).map_err(WireError::Io)?;
+    let ring_addr = ring_listener
+        .local_addr()
+        .map_err(WireError::Io)?
+        .to_string();
+
+    let mut conn = Conn::new(stream, telemetry.clone()).map_err(WireError::Io)?;
+    conn.send(&Msg::Hello {
+        rejoin: cfg.rejoin,
+        ring_addr,
+    })?;
+
+    // Admission: wait for the Welcome, tolerate quiet.
+    let admit_deadline = Instant::now() + Duration::from_secs(30);
+    let (slot, _k, topology, weight_decay, state) = loop {
+        match conn.recv_timeout(cfg.recv_timeout) {
+            Ok(Msg::Welcome {
+                slot,
+                k,
+                topology,
+                weight_decay,
+                state,
+            }) => break (slot as usize, k as usize, topology, weight_decay, state),
+            Ok(Msg::Shutdown) => return Err(WireError::Disconnected),
+            Ok(_) => continue,
+            Err(WireError::Timeout) if Instant::now() < admit_deadline => continue,
+            Err(WireError::Timeout) => return Err(WireError::Timeout),
+            Err(e) => return Err(e),
+        }
+    };
+    let state = TrainingState::decode(&state)
+        .map_err(|_| WireError::Corrupt("undecodable admission state"))?;
+    // Crash recovery hands the newcomer a checkpoint; it must describe
+    // the model this process was started with.
+    if !state.algo.center.is_empty() {
+        assert_eq!(
+            state.algo.center.len(),
+            net.param_len(),
+            "admission state is for a different model ({} params, local net has {})",
+            state.algo.center.len(),
+            net.param_len()
+        );
+    }
+    let joined_at_iteration = state.iterations;
+    on_event(WorkerEvent::Joined {
+        slot,
+        iterations: joined_at_iteration,
+        rejoin: cfg.rejoin,
+    });
+
+    // Heartbeats share the socket through the frame-atomic sender.
+    let stop = Arc::new(AtomicBool::new(false));
+    let slot_cell = Arc::new(AtomicU32::new(slot as u32));
+    let hb = spawn_heartbeat(
+        conn.sender(),
+        Arc::clone(&stop),
+        Arc::clone(&slot_cell),
+        cfg.heartbeat_interval,
+    );
+
+    let result = serve(
+        net,
+        cfg,
+        telemetry,
+        &mut conn,
+        &ring_listener,
+        topology,
+        weight_decay,
+        &slot_cell,
+    );
+    stop.store(true, Ordering::Relaxed);
+    let _ = hb.join();
+    result.map(|rounds| WorkerOutcome {
+        slot,
+        rounds,
+        joined_at_iteration,
+    })
+}
+
+fn spawn_heartbeat(
+    sender: MsgSender,
+    stop: Arc<AtomicBool>,
+    slot: Arc<AtomicU32>,
+    interval: Duration,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        while !stop.load(Ordering::Relaxed) {
+            std::thread::sleep(interval);
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let ping = Msg::Ping {
+                slot: slot.load(Ordering::Relaxed),
+            };
+            if sender.send(&ping).is_err() {
+                break;
+            }
+        }
+    })
+}
+
+/// The round-serving loop. Returns the number of rounds served.
+#[allow(clippy::too_many_arguments)]
+fn serve(
+    net: &Network,
+    cfg: &WorkerConfig,
+    telemetry: &Telemetry,
+    conn: &mut Conn,
+    ring_listener: &TcpListener,
+    topology: u8,
+    weight_decay: f32,
+    slot_cell: &AtomicU32,
+) -> Result<u64, WireError> {
+    let plen = net.param_len();
+    let mut grad = vec![0.0f32; plen];
+    let mut cached: Option<(usize, Scratch)> = None;
+    let mut ring: Option<RingLinks> = None;
+    let mut rounds = 0u64;
+    loop {
+        match conn.recv_timeout(cfg.recv_timeout) {
+            Ok(Msg::Work {
+                iter,
+                slot,
+                params,
+                dims,
+                images,
+                labels,
+            }) => {
+                if params.len() != plen || dims.is_empty() {
+                    return Err(WireError::Corrupt("work does not fit the local model"));
+                }
+                slot_cell.store(slot, Ordering::Relaxed);
+                let batch = dims[0] as usize;
+                let dims: Vec<usize> = dims.iter().map(|&d| d as usize).collect();
+                let labels: Vec<usize> = labels.iter().map(|&l| l as usize).collect();
+                let images = Tensor::from_vec(dims.as_slice(), images);
+                // Scratch follows the §4.5 memory plan for this batch
+                // size and is reused across rounds.
+                let scratch = match &mut cached {
+                    Some((b, scratch)) if *b == batch => scratch,
+                    _ => {
+                        let plan = net.plan(batch);
+                        cached = Some((batch, net.scratch_with_plan(&plan)));
+                        &mut cached.as_mut().expect("just set").1
+                    }
+                };
+                // Exactly the in-process trainer's arithmetic, so the
+                // distributed curve is bit-identical to the local one.
+                let (loss, _) = net.loss_and_grad(&params, &images, &labels, &mut grad, scratch);
+                if weight_decay != 0.0 {
+                    crossbow_tensor::ops::axpy(weight_decay, &params, &mut grad);
+                }
+                rounds += 1;
+                if topology == 0 {
+                    conn.send(&Msg::Grad {
+                        iter,
+                        slot,
+                        loss,
+                        grad: grad.clone(),
+                    })?;
+                } else if let Some(links) = &mut ring {
+                    let gathered = ring_exchange(
+                        links,
+                        ring_listener,
+                        iter,
+                        loss,
+                        &grad,
+                        cfg.ring_timeout,
+                        &cfg.retry,
+                        telemetry,
+                    );
+                    if let Some((losses, grads)) = gathered {
+                        if links.slot == 0 {
+                            conn.send(&Msg::GradSet {
+                                iter,
+                                losses,
+                                grads,
+                            })?;
+                        }
+                    }
+                    // A wedged exchange falls through: the coordinator's
+                    // resend (or a new Ring config) arrives here.
+                }
+            }
+            Ok(Msg::Ring {
+                generation,
+                slot,
+                k,
+                next,
+            }) => {
+                let stale = ring
+                    .as_ref()
+                    .is_some_and(|links| generation <= links.generation);
+                if !stale {
+                    slot_cell.store(slot, Ordering::Relaxed);
+                    ring = Some(RingLinks::new(generation, slot as usize, k as usize, next));
+                }
+            }
+            Ok(Msg::Shutdown) => return Ok(rounds),
+            Ok(_) => continue,
+            Err(WireError::Timeout) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}

@@ -15,14 +15,20 @@
 
 use crossbow::autotuner::tune_to_convergence;
 use crossbow::benchmark::Benchmark;
+use crossbow::comms::{
+    demo_algo, demo_task, run_worker, ClusterEvent, Coordinator, DistConfig, NetFaultPlan,
+    Topology, WorkerConfig, WorkerEvent,
+};
 use crossbow::engine::{AlgorithmKind, Session, SessionConfig};
 use crossbow::exec_sim::{simulate, simulate_with_machine, SimConfig};
 use crossbow::serve::{
     train_and_serve, BatchConfig, LoadConfig, LoadMode, ServeConfig, TrainAndServeConfig,
 };
 use crossbow::sync::sma::{Sma, SmaConfig};
+use crossbow::sync::trainer::PublishHook;
 use crossbow::sync::TrainerConfig;
 use crossbow::telemetry::{chrome, Telemetry, Timeline, HOST_DEVICE};
+use crossbow::CheckpointConfig;
 use crossbow_nn::zoo::mlp;
 use crossbow_tensor::Rng;
 use std::process::ExitCode;
@@ -37,6 +43,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "train" => cmd_train(rest),
+        "dist-train" => cmd_dist_train(rest),
         "simulate" => cmd_simulate(rest),
         "autotune" => cmd_autotune(rest),
         "serve" => cmd_serve(rest),
@@ -64,6 +71,13 @@ USAGE:
                       [--batch B] [--algorithm sma|ssgd|easgd|hier]
                       [--tau T] [--epochs E] [--target ACC] [--seed S]
                       [--trace FILE]
+    crossbow dist-train --role coordinator [--workers N] [--topology ps|ring]
+                      [--algo sma|ssgd] [--epochs E] [--batch B] [--seed S]
+                      [--init-seed S] [--bind ADDR] [--checkpoint-dir DIR]
+                      [--progress-every I] [--fault-seed S] [--drop P]
+                      [--delay-prob P] [--delay-us U] [--disconnect-after N]
+                      [--only-conn ID]
+    crossbow dist-train --role worker --connect ADDR [--rejoin 0|1]
     crossbow simulate [--model NAME] [--gpus N] [--learners M] [--batch B]
                       [--tau T|inf] [--trace FILE]
     crossbow autotune [--model NAME] [--gpus N] [--batch B]
@@ -213,6 +227,154 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
             timeline.len(),
         )?;
     }
+    Ok(())
+}
+
+/// `dist-train`: fault-tolerant multi-process training on the comms demo
+/// task. One process runs `--role coordinator`; the others `--role
+/// worker --connect ADDR`. Machine-readable markers go to stdout
+/// (`LISTENING`, `JOINED`, `EVICTED`, `RESENT`, `PROGRESS`, `REPORT`) so
+/// harnesses — and the crash-recovery integration test — can script it.
+fn cmd_dist_train(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    match flags.get("role").unwrap_or("coordinator") {
+        "coordinator" => dist_coordinator(&flags),
+        "worker" => dist_worker(&flags),
+        other => Err(format!("unknown role `{other}` (coordinator|worker)")),
+    }
+}
+
+fn dist_coordinator(flags: &Flags<'_>) -> Result<(), String> {
+    flags.reject_unknown(&[
+        "role",
+        "workers",
+        "topology",
+        "algo",
+        "epochs",
+        "batch",
+        "seed",
+        "init-seed",
+        "bind",
+        "checkpoint-dir",
+        "progress-every",
+        "fault-seed",
+        "drop",
+        "delay-prob",
+        "delay-us",
+        "disconnect-after",
+        "only-conn",
+    ])?;
+    let workers = flags.parse_num("workers", 2usize)?;
+    let topology = match flags.get("topology").unwrap_or("ps") {
+        "ps" => Topology::Ps,
+        "ring" => Topology::Ring,
+        other => return Err(format!("unknown topology `{other}` (ps|ring)")),
+    };
+    let mut dist = DistConfig::new(topology, workers);
+    if let Some(seed) = flags.get("fault-seed") {
+        let seed: u64 = seed.parse().map_err(|_| "--fault-seed expects a number")?;
+        let mut plan = NetFaultPlan::seeded(seed)
+            .drop(flags.parse_num("drop", 0.0f64)?)
+            .delay(
+                flags.parse_num("delay-prob", 0.0f64)?,
+                Duration::from_micros(flags.parse_num("delay-us", 1000u64)?),
+            );
+        if let Some(n) = flags.get("disconnect-after") {
+            plan = plan.disconnect_after(
+                n.parse()
+                    .map_err(|_| "--disconnect-after expects a number")?,
+            );
+        }
+        if let Some(id) = flags.get("only-conn") {
+            plan = plan.only_conn(id.parse().map_err(|_| "--only-conn expects a number")?);
+        }
+        dist = dist.with_fault(plan);
+    }
+    let telemetry = Telemetry::disabled();
+    let coordinator =
+        Coordinator::bind(flags.get("bind").unwrap_or("127.0.0.1:0"), dist, telemetry)
+            .map_err(|e| format!("bind failed: {e}"))?
+            .with_events(Arc::new(|event| match event {
+                ClusterEvent::Joined { slot, rejoin } => {
+                    println!("JOINED slot={slot} rejoin={rejoin}")
+                }
+                ClusterEvent::Evicted { slot, reason } => {
+                    println!("EVICTED slot={slot} reason={reason}")
+                }
+                ClusterEvent::Resent { iter, attempt } => {
+                    println!("RESENT iter={iter} attempt={attempt}")
+                }
+            }));
+    println!(
+        "LISTENING {}",
+        coordinator.local_addr().map_err(|e| e.to_string())?
+    );
+
+    let (net, train_set, test_set) = demo_task();
+    let mut algo = demo_algo(
+        &net,
+        workers,
+        flags.get("algo").unwrap_or("sma"),
+        flags.parse_num("init-seed", 3u64)?,
+    );
+    let mut trainer = TrainerConfig::new(
+        flags.parse_num("batch", 8usize)?,
+        flags.parse_num("epochs", 4usize)?,
+    )
+    .with_seed(flags.parse_num("seed", 11u64)?)
+    .with_publish(PublishHook::new(
+        flags.parse_num("progress-every", 5u64)?,
+        |iter, _| println!("PROGRESS iter={iter}"),
+    ));
+    let checkpoint_dir = flags.get("checkpoint-dir");
+    if let Some(dir) = checkpoint_dir {
+        trainer = trainer.with_checkpointing(CheckpointConfig::new(dir));
+    }
+    let report = if checkpoint_dir.is_some() {
+        coordinator
+            .resume(&net, &train_set, &test_set, algo.as_mut(), &trainer)
+            .map_err(|e| format!("checkpoint store: {e}"))?
+    } else {
+        coordinator.run(&net, &train_set, &test_set, algo.as_mut(), &trainer)
+    };
+    println!(
+        "REPORT evictions={} rejoins={} retries={} faults_injected={} bytes_sent={} \
+         bytes_recv={} workers={} checksum={:016x} final_acc={:.4} epochs={} iterations={}",
+        report.counters.evictions,
+        report.counters.rejoins,
+        report.counters.retries,
+        report.faults_injected,
+        report.bytes_sent,
+        report.bytes_recv,
+        report.workers,
+        report.model_checksum,
+        report.curve.final_accuracy,
+        report.curve.epoch_accuracy.len(),
+        report.curve.iterations,
+    );
+    Ok(())
+}
+
+fn dist_worker(flags: &Flags<'_>) -> Result<(), String> {
+    flags.reject_unknown(&["role", "connect", "rejoin"])?;
+    let connect = flags
+        .get("connect")
+        .ok_or("--role worker needs --connect ADDR")?;
+    let mut cfg = WorkerConfig::new(connect);
+    cfg.rejoin = matches!(flags.get("rejoin"), Some("1") | Some("true"));
+    let (net, _, _) = demo_task();
+    let outcome = run_worker(&net, &cfg, &Telemetry::disabled(), &|event| match event {
+        WorkerEvent::Joined {
+            slot,
+            iterations,
+            rejoin,
+        } => println!("WORKER JOINED slot={slot} iter={iterations} rejoin={rejoin}"),
+    })
+    .map_err(|e| format!("worker failed: {e}"))?;
+    println!(
+        "WORKER DONE slot={} rounds={} joined_at={}",
+        outcome.slot, outcome.rounds, outcome.joined_at_iteration
+    );
     Ok(())
 }
 

@@ -70,6 +70,7 @@ pub use crossbow_sync::CheckpointConfig;
 // Re-export the substrate crates so downstream users need only one
 // dependency.
 pub use crossbow_checkpoint as checkpoint;
+pub use crossbow_comms as comms;
 pub use crossbow_data as data;
 pub use crossbow_gpu_sim as gpu_sim;
 pub use crossbow_nn as nn;

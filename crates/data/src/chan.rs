@@ -7,8 +7,16 @@
 //! `crossbeam::channel` dependency with ~150 lines of std.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
+
+// A poisoned mutex means some thread panicked while holding the channel
+// lock. For everyone else sharing the channel that peer has effectively
+// vanished, so the public operations report *disconnection* instead of
+// cascading the panic across every producer and consumer. `Clone`/`Drop`
+// recover the guard (`PoisonError::into_inner`) to keep the endpoint
+// counts accurate: push/pop happen entirely under the lock, so the inner
+// state is never torn.
 
 /// Why a send did not complete.
 #[derive(Debug, PartialEq, Eq)]
@@ -71,7 +79,9 @@ impl<T> Sender<T> {
     /// `timeout`.
     pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
         let deadline = Instant::now() + timeout;
-        let mut inner = self.0.inner.lock().expect("channel lock poisoned");
+        let Ok(mut inner) = self.0.inner.lock() else {
+            return Err(SendTimeoutError::Disconnected(value));
+        };
         loop {
             if inner.receivers == 0 {
                 return Err(SendTimeoutError::Disconnected(value));
@@ -84,11 +94,9 @@ impl<T> Sender<T> {
             let Some(wait) = deadline.checked_duration_since(Instant::now()) else {
                 return Err(SendTimeoutError::Timeout(value));
             };
-            let (guard, res) = self
-                .0
-                .not_full
-                .wait_timeout(inner, wait)
-                .expect("channel lock poisoned");
+            let Ok((guard, res)) = self.0.not_full.wait_timeout(inner, wait) else {
+                return Err(SendTimeoutError::Disconnected(value));
+            };
             inner = guard;
             if res.timed_out() && inner.queue.len() >= inner.capacity {
                 return Err(SendTimeoutError::Timeout(value));
@@ -99,14 +107,18 @@ impl<T> Sender<T> {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        self.0.inner.lock().expect("channel lock poisoned").senders += 1;
+        self.0
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .senders += 1;
         Sender(Arc::clone(&self.0))
     }
 }
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut inner = self.0.inner.lock().expect("channel lock poisoned");
+        let mut inner = self.0.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.senders -= 1;
         if inner.senders == 0 {
             // Wake receivers so they observe the disconnection.
@@ -119,7 +131,9 @@ impl<T> Receiver<T> {
     /// Receives a value, blocking until one arrives or all senders are
     /// gone.
     pub fn recv(&self) -> Result<T, RecvTimeoutError> {
-        let mut inner = self.0.inner.lock().expect("channel lock poisoned");
+        let Ok(mut inner) = self.0.inner.lock() else {
+            return Err(RecvTimeoutError::Disconnected);
+        };
         loop {
             if let Some(v) = inner.queue.pop_front() {
                 self.0.not_full.notify_one();
@@ -128,14 +142,19 @@ impl<T> Receiver<T> {
             if inner.senders == 0 {
                 return Err(RecvTimeoutError::Disconnected);
             }
-            inner = self.0.not_empty.wait(inner).expect("channel lock poisoned");
+            let Ok(guard) = self.0.not_empty.wait(inner) else {
+                return Err(RecvTimeoutError::Disconnected);
+            };
+            inner = guard;
         }
     }
 
     /// Receives a value, waiting at most `timeout`.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
         let deadline = Instant::now() + timeout;
-        let mut inner = self.0.inner.lock().expect("channel lock poisoned");
+        let Ok(mut inner) = self.0.inner.lock() else {
+            return Err(RecvTimeoutError::Disconnected);
+        };
         loop {
             if let Some(v) = inner.queue.pop_front() {
                 self.0.not_full.notify_one();
@@ -147,11 +166,9 @@ impl<T> Receiver<T> {
             let Some(wait) = deadline.checked_duration_since(Instant::now()) else {
                 return Err(RecvTimeoutError::Timeout);
             };
-            let (guard, res) = self
-                .0
-                .not_empty
-                .wait_timeout(inner, wait)
-                .expect("channel lock poisoned");
+            let Ok((guard, res)) = self.0.not_empty.wait_timeout(inner, wait) else {
+                return Err(RecvTimeoutError::Disconnected);
+            };
             inner = guard;
             if res.timed_out() && inner.queue.is_empty() {
                 return if inner.senders == 0 {
@@ -165,7 +182,9 @@ impl<T> Receiver<T> {
 
     /// Takes a value only if one is buffered right now.
     pub fn try_recv(&self) -> Option<T> {
-        let mut inner = self.0.inner.lock().expect("channel lock poisoned");
+        let Ok(mut inner) = self.0.inner.lock() else {
+            return None;
+        };
         let v = inner.queue.pop_front();
         if v.is_some() {
             self.0.not_full.notify_one();
@@ -175,12 +194,7 @@ impl<T> Receiver<T> {
 
     /// Number of values currently buffered.
     pub fn len(&self) -> usize {
-        self.0
-            .inner
-            .lock()
-            .expect("channel lock poisoned")
-            .queue
-            .len()
+        self.0.inner.lock().map_or(0, |inner| inner.queue.len())
     }
 
     /// True when nothing is buffered.
@@ -191,7 +205,7 @@ impl<T> Receiver<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        let mut inner = self.0.inner.lock().expect("channel lock poisoned");
+        let mut inner = self.0.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.receivers -= 1;
         if inner.receivers == 0 {
             // Wake senders blocked on a full buffer.
@@ -261,6 +275,36 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         tx.send_timeout(9, Duration::from_secs(1)).unwrap();
         assert_eq!(handle.join().unwrap(), Ok(9));
+    }
+
+    #[test]
+    fn poisoned_lock_reads_as_disconnect_not_panic() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send_timeout(1, Duration::from_millis(10)).unwrap();
+        // Poison the channel mutex by panicking while holding it.
+        let shared = Arc::clone(&tx.0);
+        let poisoner = std::thread::spawn(move || {
+            let _guard = shared.inner.lock().unwrap();
+            panic!("poison the channel lock");
+        });
+        assert!(poisoner.join().is_err());
+
+        match tx.send_timeout(2, Duration::from_millis(10)) {
+            Err(SendTimeoutError::Disconnected(2)) => {}
+            other => panic!("expected disconnect, got {other:?}"),
+        }
+        assert_eq!(rx.recv(), Err(RecvTimeoutError::Disconnected));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+        assert!(rx.try_recv().is_none());
+        assert_eq!(rx.len(), 0);
+        // Clone/Drop recover the guard instead of panicking.
+        let tx2 = tx.clone();
+        drop(tx2);
+        drop(tx);
+        drop(rx);
     }
 
     #[test]

@@ -41,5 +41,6 @@ pub use schedule::LrSchedule;
 pub use sma::{easgd, Sma, SmaConfig};
 pub use ssgd::SSgd;
 pub use trainer::{
-    resume, train, CheckpointConfig, GuardConfig, PublishHook, TrainerConfig, TrainingCurve,
+    resume, resume_with_source, train, train_with_source, CheckpointConfig, GradientSource,
+    GuardConfig, LocalGradients, PublishHook, RoundStatus, TrainerConfig, TrainingCurve,
 };

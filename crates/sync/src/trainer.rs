@@ -319,6 +319,42 @@ impl TrainingCurve {
     }
 }
 
+/// How a [`GradientSource`] round ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoundStatus {
+    /// Every learner's gradient and loss were produced.
+    Done,
+    /// Cluster membership changed mid-round (a remote learner was evicted
+    /// or rejoined): `algo` already reflects the new learner count, the
+    /// drawn batches were discarded, and the caller must re-draw and
+    /// retry the iteration. Local sources never return this.
+    Resized,
+}
+
+/// Where the per-learner gradients of one iteration come from.
+///
+/// Every iteration the training loop draws one batch per learner and asks
+/// its source to fill one gradient and one loss per learner, each
+/// evaluated against the matching replica of `algo` (`grads[j]` against
+/// `algo.replica(j)` on `batches[j]`). [`LocalGradients`] computes them in
+/// in-process threads — the classic single-node driver; `crossbow-comms`
+/// provides a remote source whose learners are worker processes reached
+/// over TCP. Because everything else (sampling, synchronisation,
+/// evaluation, checkpointing) stays in this loop, a remote run with a
+/// healthy cluster produces a bit-identical [`TrainingCurve`].
+pub trait GradientSource {
+    /// Fills `grads[j]`/`losses[j]` for every learner `j` in
+    /// `0..algo.k()`. May instead resize the algorithm's learner group
+    /// and return [`RoundStatus::Resized`]; gradients are then discarded.
+    fn round(
+        &mut self,
+        algo: &mut dyn SyncAlgorithm,
+        batches: &[(Tensor, Vec<usize>)],
+        grads: &mut [Vec<f32>],
+        losses: &mut [f32],
+    ) -> RoundStatus;
+}
+
 /// Trains `algo` on `train_set`, evaluating on `test_set` at epoch ends.
 ///
 /// # Panics
@@ -330,12 +366,28 @@ pub fn train(
     algo: &mut dyn SyncAlgorithm,
     config: &TrainerConfig,
 ) -> TrainingCurve {
+    let mut source = LocalGradients::new(net, algo.k(), config);
+    train_with_source(net, train_set, test_set, algo, config, &mut source)
+}
+
+/// [`train`] with an explicit gradient source (e.g. a remote cluster).
+///
+/// # Panics
+/// Panics on configuration/dataset/network mismatches.
+pub fn train_with_source(
+    net: &Network,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    algo: &mut dyn SyncAlgorithm,
+    config: &TrainerConfig,
+    source: &mut dyn GradientSource,
+) -> TrainingCurve {
     let store = config
         .checkpoint
         .as_ref()
         .map(|ckpt| ckpt.store().expect("cannot open the checkpoint directory"))
         .map(|s| attach_metrics(s, config));
-    run(net, train_set, test_set, algo, config, None, store)
+    run(net, train_set, test_set, algo, config, None, store, source)
 }
 
 /// Wires the telemetry metrics registry into a checkpoint store so saves
@@ -370,6 +422,26 @@ pub fn resume(
     algo: &mut dyn SyncAlgorithm,
     config: &TrainerConfig,
 ) -> Result<TrainingCurve, CheckpointError> {
+    let mut source = LocalGradients::new(net, algo.k(), config);
+    resume_with_source(net, train_set, test_set, algo, config, &mut source)
+}
+
+/// [`resume`] with an explicit gradient source (e.g. a remote cluster).
+///
+/// # Errors
+/// [`CheckpointError::Io`] when the checkpoint directory cannot be
+/// created or read.
+///
+/// # Panics
+/// Panics on configuration/dataset/network mismatches.
+pub fn resume_with_source(
+    net: &Network,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    algo: &mut dyn SyncAlgorithm,
+    config: &TrainerConfig,
+    source: &mut dyn GradientSource,
+) -> Result<TrainingCurve, CheckpointError> {
     let mut store = None;
     let mut restored = None;
     if let Some(ckpt) = &config.checkpoint {
@@ -391,7 +463,9 @@ pub fn resume(
         };
         store = Some(attach_metrics(opened, config));
     }
-    Ok(run(net, train_set, test_set, algo, config, restored, store))
+    Ok(run(
+        net, train_set, test_set, algo, config, restored, store, source,
+    ))
 }
 
 /// Mutable loop state beyond the curve itself — bundled so the
@@ -491,6 +565,7 @@ fn save_checkpoint(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run(
     net: &Network,
     train_set: &Dataset,
@@ -499,6 +574,7 @@ fn run(
     config: &TrainerConfig,
     restored: Option<TrainingState>,
     store: Option<CheckpointStore>,
+    source: &mut dyn GradientSource,
 ) -> TrainingCurve {
     assert_eq!(
         algo.param_len(),
@@ -585,12 +661,19 @@ fn run(
         }
     }
 
-    // Pre-build the per-learner gradient vectors and per-thread scratches
-    // once; the loop below then runs allocation-flat (§4.5).
-    let mut lanes = LearnerLanes::new(net, algo.k(), algo.param_len(), config);
+    // Pre-build the per-learner gradient vectors once; the loop below then
+    // runs allocation-flat (§4.5) as long as the learner count is stable
+    // (it only changes when a remote source resizes the cluster).
+    let plen = algo.param_len();
+    let mut grads: Vec<Vec<f32>> = Vec::new();
+    let mut losses: Vec<f32> = Vec::new();
 
     loop {
         let k = algo.k();
+        if grads.len() != k {
+            grads.resize_with(k, || vec![0.0; plen]);
+            losses.resize(k, 0.0);
+        }
         // Draw one batch per learner.
         let mut batches: Vec<(Tensor, Vec<usize>)> = Vec::with_capacity(k);
         for _ in 0..k {
@@ -599,7 +682,7 @@ fn run(
         }
         let lr = config.schedule.lr_at(progress.current_epoch);
         let t_learn = shard.now_ns();
-        compute_gradients_into(net, algo, &batches, config, &mut lanes);
+        let status = source.round(algo, &batches, &mut grads, &mut losses);
         shard.close(
             SpanKind::Learn,
             "learn",
@@ -608,8 +691,13 @@ fn run(
             0,
             Some(curve.iterations),
         );
-        let diverged = config.inject_nan_at == Some(progress.attempt)
-            || lanes.losses.iter().any(|l| !l.is_finite());
+        if status == RoundStatus::Resized {
+            // Membership changed under us: the algorithm already holds the
+            // new learner group; redo the iteration at the new size.
+            continue;
+        }
+        let diverged =
+            config.inject_nan_at == Some(progress.attempt) || losses.iter().any(|l| !l.is_finite());
         progress.attempt += 1;
         if diverged {
             if let Some(g) = config.guard {
@@ -633,12 +721,12 @@ fn run(
             // Unguarded (or out of rollbacks): fall through, preserving
             // the historic fail-loudly behaviour.
         }
-        for &l in &lanes.losses {
+        for &l in &losses {
             progress.epoch_loss_sum += f64::from(l);
             progress.epoch_loss_count += 1;
         }
         let t_sync = shard.now_ns();
-        algo.step(&lanes.grads, lr);
+        algo.step(&grads, lr);
         shard.close(
             SpanKind::GlobalSync,
             "global-sync",
@@ -771,19 +859,20 @@ fn run(
     }
 }
 
-/// Per-run gradient-computation state: one gradient vector and one loss
-/// slot per learner, plus one plan-pre-warmed [`Scratch`] per gradient
-/// thread. Built once before the training loop so steady-state iterations
-/// reuse every buffer instead of reallocating them (§4.5 executable
-/// memory plan).
-struct LearnerLanes {
-    grads: Vec<Vec<f32>>,
-    losses: Vec<f32>,
+/// The in-process [`GradientSource`]: one plan-pre-warmed [`Scratch`] per
+/// gradient thread, built once before the training loop so steady-state
+/// iterations reuse every buffer instead of reallocating them (§4.5
+/// executable memory plan).
+pub struct LocalGradients<'a> {
+    net: &'a Network,
+    weight_decay: f32,
     scratches: Vec<Scratch>,
 }
 
-impl LearnerLanes {
-    fn new(net: &Network, k: usize, plen: usize, config: &TrainerConfig) -> Self {
+impl<'a> LocalGradients<'a> {
+    /// A local source computing `k` learners' gradients on `net` with the
+    /// thread/batch settings of `config`.
+    pub fn new(net: &'a Network, k: usize, config: &TrainerConfig) -> Self {
         let hw = std::thread::available_parallelism().map_or(4, |p| p.get());
         let threads = if config.threads == 0 {
             k.min(hw)
@@ -803,69 +892,74 @@ impl LearnerLanes {
                 s
             })
             .collect();
-        LearnerLanes {
-            grads: vec![vec![0.0; plen]; k],
-            losses: vec![0.0; k],
+        LocalGradients {
+            net,
+            weight_decay: config.weight_decay,
             scratches,
         }
     }
 }
 
-/// Computes one gradient per learner into `lanes`, distributing learners
-/// across the lanes' threads. Gradients land in `lanes.grads` (fully
-/// overwritten), per-batch training losses in `lanes.losses`.
-fn compute_gradients_into(
-    net: &Network,
-    algo: &dyn SyncAlgorithm,
-    batches: &[(Tensor, Vec<usize>)],
-    config: &TrainerConfig,
-    lanes: &mut LearnerLanes,
-) {
-    let k = batches.len();
-    debug_assert_eq!(k, lanes.grads.len(), "one gradient lane per learner");
-    let replicas: Vec<&[f32]> = (0..k).map(|j| algo.replica(j)).collect();
-    let threads = lanes.scratches.len();
-    let wd = config.weight_decay;
-    if threads <= 1 {
-        let scratch = &mut lanes.scratches[0];
-        for j in 0..k {
-            let (images, labels) = &batches[j];
-            let (loss, _) =
-                net.loss_and_grad(replicas[j], images, labels, &mut lanes.grads[j], scratch);
-            lanes.losses[j] = loss;
-            if wd != 0.0 {
-                crossbow_tensor::ops::axpy(wd, replicas[j], &mut lanes.grads[j]);
+impl GradientSource for LocalGradients<'_> {
+    /// Computes one gradient per learner, distributing learners across the
+    /// source's threads. Gradients land in `grads` (fully overwritten),
+    /// per-batch training losses in `losses`.
+    fn round(
+        &mut self,
+        algo: &mut dyn SyncAlgorithm,
+        batches: &[(Tensor, Vec<usize>)],
+        grads: &mut [Vec<f32>],
+        losses: &mut [f32],
+    ) -> RoundStatus {
+        let k = batches.len();
+        debug_assert_eq!(k, grads.len(), "one gradient lane per learner");
+        let net = self.net;
+        let replicas: Vec<&[f32]> = (0..k).map(|j| algo.replica(j)).collect();
+        let threads = self.scratches.len();
+        let wd = self.weight_decay;
+        if threads <= 1 {
+            let scratch = &mut self.scratches[0];
+            for j in 0..k {
+                let (images, labels) = &batches[j];
+                let (loss, _) =
+                    net.loss_and_grad(replicas[j], images, labels, &mut grads[j], scratch);
+                losses[j] = loss;
+                if wd != 0.0 {
+                    crossbow_tensor::ops::axpy(wd, replicas[j], &mut grads[j]);
+                }
             }
-        }
-    } else {
-        // Hand each thread an interleaved subset of learners.
-        let mut grad_slots: Vec<(usize, &mut Vec<f32>, &mut f32)> = lanes
-            .grads
-            .iter_mut()
-            .zip(lanes.losses.iter_mut())
-            .enumerate()
-            .map(|(j, (g, l))| (j, g, l))
-            .collect();
-        std::thread::scope(|scope| {
-            let mut per_thread: Vec<Vec<(usize, &mut Vec<f32>, &mut f32)>> =
-                (0..threads).map(|_| Vec::new()).collect();
-            for slot in grad_slots.drain(..) {
-                per_thread[slot.0 % threads].push(slot);
-            }
-            for (thread_slots, scratch) in per_thread.into_iter().zip(lanes.scratches.iter_mut()) {
-                let replicas = &replicas;
-                scope.spawn(move || {
-                    for (j, grad, loss) in thread_slots {
-                        let (images, labels) = &batches[j];
-                        let (l, _) = net.loss_and_grad(replicas[j], images, labels, grad, scratch);
-                        *loss = l;
-                        if wd != 0.0 {
-                            crossbow_tensor::ops::axpy(wd, replicas[j], grad);
+        } else {
+            // Hand each thread an interleaved subset of learners.
+            let mut grad_slots: Vec<(usize, &mut Vec<f32>, &mut f32)> = grads
+                .iter_mut()
+                .zip(losses.iter_mut())
+                .enumerate()
+                .map(|(j, (g, l))| (j, g, l))
+                .collect();
+            std::thread::scope(|scope| {
+                let mut per_thread: Vec<Vec<(usize, &mut Vec<f32>, &mut f32)>> =
+                    (0..threads).map(|_| Vec::new()).collect();
+                for slot in grad_slots.drain(..) {
+                    per_thread[slot.0 % threads].push(slot);
+                }
+                for (thread_slots, scratch) in per_thread.into_iter().zip(self.scratches.iter_mut())
+                {
+                    let replicas = &replicas;
+                    scope.spawn(move || {
+                        for (j, grad, loss) in thread_slots {
+                            let (images, labels) = &batches[j];
+                            let (l, _) =
+                                net.loss_and_grad(replicas[j], images, labels, grad, scratch);
+                            *loss = l;
+                            if wd != 0.0 {
+                                crossbow_tensor::ops::axpy(wd, replicas[j], grad);
+                            }
                         }
-                    }
-                });
-            }
-        });
+                    });
+                }
+            });
+        }
+        RoundStatus::Done
     }
 }
 

@@ -40,6 +40,10 @@ pub enum SpanKind {
     Copy,
     /// Host-side bookkeeping (simulator scheduler, misc).
     Host,
+    /// A framed message written to a socket (distributed runtime).
+    NetSend,
+    /// A framed message read from a socket (distributed runtime).
+    NetRecv,
 }
 
 impl SpanKind {
@@ -57,11 +61,13 @@ impl SpanKind {
             SpanKind::Infer => "infer",
             SpanKind::Copy => "copy",
             SpanKind::Host => "host",
+            SpanKind::NetSend => "net-send",
+            SpanKind::NetRecv => "net-recv",
         }
     }
 
     /// All kinds, in display order for breakdowns.
-    pub const ALL: [SpanKind; 11] = [
+    pub const ALL: [SpanKind; 13] = [
         SpanKind::Learn,
         SpanKind::LocalSync,
         SpanKind::GlobalSync,
@@ -73,6 +79,8 @@ impl SpanKind {
         SpanKind::Infer,
         SpanKind::Copy,
         SpanKind::Host,
+        SpanKind::NetSend,
+        SpanKind::NetRecv,
     ];
 }
 

@@ -1,0 +1,408 @@
+//! Fault-tolerant distributed training, end to end.
+//!
+//! Three layers of proof:
+//!
+//! 1. **Wire discipline** — odd-shaped payloads round-trip exactly;
+//!    truncation and corruption are detected errors, never garbage.
+//! 2. **Bit-identity** — with fault injection off, a distributed run
+//!    (threads as processes over loopback TCP) produces a
+//!    `TrainingCurve` *equal* to the single-process trainer; with
+//!    seeded fault injection on, two runs are identical to each other
+//!    AND to the clean curve — recovery changes timing, not arithmetic.
+//! 3. **Crash recovery** — injected disconnects evict workers and a
+//!    late joiner rebuilds the cluster in-process; a real `SIGKILL`
+//!    against a worker *process* is detected by heartbeat, the run
+//!    degrades to the survivors, and a restarted worker rejoins from
+//!    the latest checkpoint (multi-process, real sockets, real signal).
+
+use crossbow::comms::wire::{frame, FrameReader, WireError};
+use crossbow::comms::{
+    demo_algo, demo_task, run_local_cluster, DistConfig, LocalClusterOptions, Msg, NetFaultPlan,
+    RetryPolicy, Topology,
+};
+use crossbow::sync::{train, TrainerConfig};
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::sync::mpsc::{self, Receiver};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Wire discipline
+// ---------------------------------------------------------------------
+
+/// One frame through the incremental parser.
+fn through_the_wire(msg: &Msg) -> Msg {
+    let bytes = frame(&msg.encode());
+    let mut reader = FrameReader::new();
+    let payload = reader.read_frame(&mut &bytes[..]).expect("parses");
+    Msg::decode(&payload).expect("decodes")
+}
+
+#[test]
+fn odd_tensor_shapes_round_trip_exactly() {
+    // Shapes chosen to stress every length-prefix path: empty, scalarish,
+    // non-square, deep, and one per-dimension mismatch with the data len
+    // (the codec ships bytes; shape validation is the receiver's job).
+    let cases: Vec<(Vec<u64>, usize, usize)> = vec![
+        (vec![1, 1], 1, 1),
+        (vec![3, 7], 21, 3),
+        (vec![2, 3, 5], 30, 2),
+        (vec![1, 6], 6, 1),
+        (vec![5, 1, 1, 1], 5, 5),
+    ];
+    for (dims, data_len, labels) in cases {
+        let msg = Msg::Work {
+            iter: 9,
+            slot: 2,
+            params: (0..7).map(|i| i as f32 * 0.37 - 1.0).collect(),
+            dims: dims.clone(),
+            images: (0..data_len).map(|i| (i as f32).sin()).collect(),
+            labels: (0..labels as u64).collect(),
+        };
+        let back = through_the_wire(&msg);
+        assert_eq!(back.encode(), msg.encode(), "dims {dims:?} must survive");
+    }
+    // Float payloads must be bit-exact, including the awkward ones.
+    let awkward = Msg::Grad {
+        iter: 1,
+        slot: 0,
+        loss: f32::MIN_POSITIVE,
+        grad: vec![f32::NAN, -0.0, f32::INFINITY, 1e-38],
+    };
+    assert_eq!(through_the_wire(&awkward).encode(), awkward.encode());
+}
+
+#[test]
+fn truncated_stream_is_a_disconnect_not_garbage() {
+    let bytes = frame(&Msg::Ping { slot: 4 }.encode());
+    for cut in 0..bytes.len() {
+        let mut reader = FrameReader::new();
+        match reader.read_frame(&mut &bytes[..cut]) {
+            Err(WireError::Disconnected) => {}
+            other => panic!("truncation at {cut} must read as disconnect, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn corrupted_payload_is_rejected_by_checksum() {
+    let clean = frame(
+        &Msg::Grad {
+            iter: 3,
+            slot: 1,
+            loss: 0.25,
+            grad: vec![1.0; 16],
+        }
+        .encode(),
+    );
+    // Flip one bit in every payload byte position in turn.
+    for pos in 16..clean.len() {
+        let mut bytes = clean.clone();
+        bytes[pos] ^= 0x01;
+        let mut reader = FrameReader::new();
+        match reader.read_frame(&mut &bytes[..]) {
+            Err(WireError::Corrupt(_)) => {}
+            other => panic!("bit flip at {pos} must be caught, got {other:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bit-identity
+// ---------------------------------------------------------------------
+
+#[test]
+fn distributed_ssgd_matches_local_training_bit_for_bit() {
+    let trainer = TrainerConfig::new(8, 2).with_seed(11);
+    let out = run_local_cluster(LocalClusterOptions {
+        workers: 2,
+        algo: "ssgd".into(),
+        init_seed: 3,
+        trainer: trainer.clone(),
+        dist: DistConfig::new(Topology::Ps, 2),
+        late_workers: Vec::new(),
+        events: None,
+    });
+    let (net, train_set, test_set) = demo_task();
+    let mut algo = demo_algo(&net, 2, "ssgd", 3);
+    let local = train(&net, &train_set, &test_set, algo.as_mut(), &trainer);
+    assert_eq!(out.report.curve, local);
+    assert!(out.workers.iter().all(|w| w.is_ok()));
+}
+
+#[test]
+fn seeded_drops_are_deterministic_and_curve_preserving() {
+    let trainer = TrainerConfig::new(8, 2).with_seed(11);
+    let mut dist = DistConfig::new(Topology::Ps, 2);
+    // Faster resends keep the test quick; determinism comes from the
+    // seeded schedule, not the timing.
+    dist.work_resend = Duration::from_millis(500);
+    dist.retry = RetryPolicy {
+        max_retries: 6,
+        backoff_base: Duration::from_millis(25),
+        backoff_cap: Duration::from_millis(100),
+    };
+    let run = |fault: Option<NetFaultPlan>| {
+        let mut dist = dist.clone();
+        dist.fault = fault;
+        run_local_cluster(LocalClusterOptions {
+            workers: 2,
+            algo: "sma".into(),
+            init_seed: 3,
+            trainer: trainer.clone(),
+            dist,
+            late_workers: Vec::new(),
+            events: None,
+        })
+    };
+    let plan = NetFaultPlan::seeded(17).drop(0.04);
+    let clean = run(None);
+    let faulty_a = run(Some(plan.clone()));
+    let faulty_b = run(Some(plan));
+
+    // Same seed, same faults, same everything.
+    assert_eq!(faulty_a.report.curve, faulty_b.report.curve);
+    assert_eq!(faulty_a.report.counters, faulty_b.report.counters);
+    assert_eq!(
+        faulty_a.report.faults_injected,
+        faulty_b.report.faults_injected
+    );
+    assert_eq!(
+        faulty_a.report.model_checksum,
+        faulty_b.report.model_checksum
+    );
+    // Dropped frames were recovered by resend, so the arithmetic — and
+    // therefore the curve and the final model — is the clean run's.
+    assert_eq!(faulty_a.report.curve, clean.report.curve);
+    assert_eq!(faulty_a.report.model_checksum, clean.report.model_checksum);
+    assert!(
+        faulty_a.report.faults_injected > 0,
+        "the seed must actually fire faults for this test to mean anything"
+    );
+    assert!(
+        faulty_a.report.counters.retries > 0,
+        "drops must force resends"
+    );
+    assert_eq!(clean.report.counters.retries, 0);
+}
+
+// ---------------------------------------------------------------------
+// Crash recovery, in-process
+// ---------------------------------------------------------------------
+
+#[test]
+fn injected_disconnects_evict_workers_and_a_late_joiner_rebuilds() {
+    let trainer = TrainerConfig::new(8, 4).with_seed(11);
+    let mut dist = DistConfig::new(Topology::Ps, 2);
+    dist.work_resend = Duration::from_millis(300);
+    // Both original worker links die at their 8th frame (the replacement
+    // link is healthy); the run must degrade to an empty cluster, then
+    // rebuild around the late joiner.
+    dist.fault = Some(NetFaultPlan::seeded(5).disconnect_after(8).conns_below(2));
+    let out = run_local_cluster(LocalClusterOptions {
+        workers: 2,
+        algo: "sma".into(),
+        init_seed: 3,
+        trainer,
+        dist,
+        late_workers: vec![Duration::from_millis(800)],
+        events: None,
+    });
+    assert_eq!(
+        out.report.counters.evictions, 2,
+        "both original workers evicted"
+    );
+    assert_eq!(
+        out.report.counters.rejoins, 1,
+        "the late joiner was admitted mid-run"
+    );
+    assert_eq!(
+        out.report.workers, 1,
+        "the cluster ends as the lone rejoiner"
+    );
+    assert_eq!(
+        out.report.curve.epoch_accuracy.len(),
+        4,
+        "the run must complete every epoch despite losing the whole cluster"
+    );
+    // The original two workers died to injected disconnects…
+    assert!(out.workers[0].is_err());
+    assert!(out.workers[1].is_err());
+    // …and the rejoiner served the rest of the run, admitted mid-stream.
+    let rejoiner = out.workers[2]
+        .as_ref()
+        .expect("rejoiner runs to completion");
+    assert!(rejoiner.rounds > 0);
+    assert!(
+        rejoiner.joined_at_iteration > 0,
+        "admission state must reflect mid-run progress, not a fresh start"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Crash recovery, multi-process (real SIGKILL)
+// ---------------------------------------------------------------------
+
+/// Kills the child on drop so a failing test never leaks processes.
+struct Reaped(Child);
+
+impl Drop for Reaped {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn line_channel(out: ChildStdout) -> Receiver<String> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        for line in BufReader::new(out).lines().map_while(Result::ok) {
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    rx
+}
+
+/// Waits for a line matching `pred`, panicking past `timeout`.
+fn wait_for(
+    rx: &Receiver<String>,
+    what: &str,
+    timeout: Duration,
+    pred: impl Fn(&str) -> bool,
+) -> String {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let left = deadline.saturating_duration_since(Instant::now());
+        assert!(!left.is_zero(), "timed out waiting for {what}");
+        match rx.recv_timeout(left) {
+            Ok(line) => {
+                if pred(&line) {
+                    return line;
+                }
+            }
+            Err(_) => panic!("coordinator exited or timed out waiting for {what}"),
+        }
+    }
+}
+
+/// Pulls `key=value` out of a marker line.
+fn field<'a>(line: &'a str, key: &str) -> &'a str {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(key).and_then(|t| t.strip_prefix('=')))
+        .unwrap_or_else(|| panic!("no {key}= in {line:?}"))
+}
+
+fn spawn_worker(bin: &str, addr: &str, rejoin: bool) -> Reaped {
+    let mut cmd = Command::new(bin);
+    cmd.args(["dist-train", "--role", "worker", "--connect", addr]);
+    if rejoin {
+        cmd.args(["--rejoin", "1"]);
+    }
+    Reaped(
+        cmd.stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn worker"),
+    )
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("crossbow-dist-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn sigkill_worker_is_evicted_and_a_restarted_one_rejoins() {
+    let bin = env!("CARGO_BIN_EXE_crossbow");
+    let ckpt = scratch("sigkill");
+    let mut coord = Command::new(bin)
+        .args([
+            "dist-train",
+            "--role",
+            "coordinator",
+            "--workers",
+            "3",
+            "--epochs",
+            "20",
+            "--batch",
+            "8",
+            "--seed",
+            "11",
+            "--init-seed",
+            "3",
+            "--bind",
+            "127.0.0.1:0",
+            "--progress-every",
+            "5",
+            "--checkpoint-dir",
+        ])
+        .arg(&ckpt)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn coordinator");
+    let lines = line_channel(coord.stdout.take().expect("piped stdout"));
+    let mut coord = Reaped(coord);
+
+    let listening = wait_for(&lines, "LISTENING", Duration::from_secs(30), |l| {
+        l.starts_with("LISTENING ")
+    });
+    let addr = listening
+        .trim_start_matches("LISTENING ")
+        .trim()
+        .to_string();
+
+    let mut workers: Vec<Reaped> = (0..3).map(|_| spawn_worker(bin, &addr, false)).collect();
+    wait_for(&lines, "training progress", Duration::from_secs(60), |l| {
+        l.strip_prefix("PROGRESS iter=")
+            .and_then(|v| v.parse::<u64>().ok())
+            .is_some_and(|iter| iter >= 10)
+    });
+
+    // SIGKILL one worker mid-run: no goodbye, no flush, nothing.
+    let victim = workers.pop().expect("three workers");
+    drop(victim);
+
+    let evicted = wait_for(&lines, "EVICTED", Duration::from_secs(60), |l| {
+        l.starts_with("EVICTED ")
+    });
+    assert!(
+        evicted.contains("heartbeat timeout") || evicted.contains("connection lost"),
+        "eviction reason should be failure detection, got {evicted:?}"
+    );
+
+    // A replacement process rejoins against the live run.
+    workers.push(spawn_worker(bin, &addr, true));
+    wait_for(&lines, "rejoin JOINED", Duration::from_secs(60), |l| {
+        l.starts_with("JOINED") && l.contains("rejoin=true")
+    });
+
+    let report = wait_for(&lines, "REPORT", Duration::from_secs(300), |l| {
+        l.starts_with("REPORT ")
+    });
+    let status = coord.0.wait().expect("coordinator exit status");
+    assert!(status.success(), "coordinator must exit cleanly");
+
+    assert_eq!(field(&report, "evictions"), "1");
+    assert_eq!(field(&report, "rejoins"), "1");
+    assert_eq!(field(&report, "workers"), "3", "2 survivors + 1 rejoiner");
+    let final_acc: f64 = field(&report, "final_acc").parse().expect("final_acc");
+    assert!(
+        final_acc > 0.8,
+        "survivors must keep converging through the crash, got {final_acc}"
+    );
+    let retries: u64 = field(&report, "retries").parse().expect("retries");
+    let iterations: u64 = field(&report, "iterations").parse().expect("iterations");
+    assert!(iterations > 10, "the run must continue past the crash");
+    // Retries may or may not fire depending on where the kill landed;
+    // the counter just has to parse. Checksums likewise.
+    let _ = retries;
+    u64::from_str_radix(field(&report, "checksum"), 16).expect("checksum is hex");
+
+    drop(workers);
+    let _ = std::fs::remove_dir_all(&ckpt);
+}

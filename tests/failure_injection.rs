@@ -154,6 +154,43 @@ fn quarantine_shrinks_then_restores_the_sync_group() {
 }
 
 #[test]
+fn host_crash_inside_a_quarantine_window_resumes_cleanly() {
+    // Composed faults: the host dies while a straggler has the sync group
+    // quarantined. The crashed report must stay consistent (the crash and
+    // the quarantine both recorded), and a fresh process resuming past the
+    // crash point — the straggler window still in its plan — must
+    // quarantine, rejoin and finish, with no phantom crash recorded.
+    let mut sim = SimConfig::crossbow(ModelProfile::resnet32(), 4, 1, 64);
+    sim.iterations = 32;
+    let horizon = simulate(&sim).total_time;
+    let from = SimTime::ZERO + SimDuration::from_nanos(horizon.as_nanos() / 4);
+    let until = SimTime::ZERO + SimDuration::from_nanos(horizon.as_nanos() / 2);
+    let crash_at = SimTime::ZERO + SimDuration::from_nanos(horizon.as_nanos() * 2 / 5);
+
+    let crashed = simulate_robust(&RobustSimConfig::new(
+        sim.clone(),
+        FaultPlan::none()
+            .straggler(0, from, until, 3.0)
+            .host_crash(crash_at),
+    ));
+    assert_eq!(crashed.faults.host_crashes, 1, "{:?}", crashed.faults);
+    assert!(
+        crashed.faults.quarantines >= 1,
+        "the crash landed inside an active quarantine window: {:?}",
+        crashed.faults
+    );
+
+    let resumed = simulate_robust(
+        &RobustSimConfig::new(sim, FaultPlan::none().straggler(0, from, until, 3.0))
+            .with_start_iter(16),
+    );
+    assert_eq!(resumed.faults.host_crashes, 0, "{:?}", resumed.faults);
+    assert!(resumed.faults.quarantines >= 1, "{:?}", resumed.faults);
+    assert!(resumed.faults.rejoins >= 1, "{:?}", resumed.faults);
+    assert!(resumed.throughput > 0.0, "the resumed run makes progress");
+}
+
+#[test]
 fn nan_loss_rolls_back_and_still_reaches_target() {
     // Poisoned losses mid-run: the divergence guard restores the last
     // checkpoint, restarts averaging and the session still converges.
