@@ -28,6 +28,20 @@ echo "== distributed socket tests (wall-clock bounded) =="
 # binds port 0 (OS-assigned), so parallel CI runs cannot collide.
 timeout 300 cargo test -q -p crossbow --test dist_train
 
+echo "== chaos scenarios (seeded, wall-clock bounded) =="
+# Replay two named chaos scenarios end to end through the real CLI: a
+# SIGKILL of the primary coordinator with a warm-standby takeover, and a
+# cascade across all three fault-injector families. Both are pure
+# functions of --seed, every listener binds port 0, and the wall-clock
+# bound reaps any wedged child. The grep asserts the machine-readable
+# verdict, not just the exit code.
+CHAOS_LOG=$(mktemp)
+timeout 300 ./target/release/crossbow chaos --scenario kill-primary --seed 7 | tee "$CHAOS_LOG"
+grep -q "CHAOS-REPORT scenario=kill-primary seed=7 .* pass=true" "$CHAOS_LOG"
+timeout 300 ./target/release/crossbow chaos --scenario cascade --seed 7 | tee "$CHAOS_LOG"
+grep -q "CHAOS-REPORT scenario=cascade seed=7 .* pass=true" "$CHAOS_LOG"
+rm -f "$CHAOS_LOG"
+
 echo "== trace validity =="
 # A short traced run must emit parseable Chrome Trace JSON holding the
 # learning, local-sync and global-sync spans (the --check mode of the

@@ -1,0 +1,656 @@
+//! Deterministic end-to-end chaos scenarios.
+//!
+//! Each scenario composes the repo's three seeded fault injectors — the
+//! GPU simulator's `FaultPlan` (via a caller-supplied callback, since
+//! the simulator lives above this crate), the transport's
+//! [`NetFaultPlan`], and process crashes (a real `SIGKILL` against a
+//! spawned `crossbow` binary, or its in-process `crash_drop` analogue) —
+//! into a named, seeded, replayable drill that asserts a
+//! scenario-specific recovery invariant.
+//!
+//! Everything that lands in the [`ChaosReport`] marker line is a pure
+//! function of `(scenario, seed)` plus bit-identity booleans: the event
+//! *schedule* is derived from the seed with SplitMix64, and the checks
+//! compare checksums and counters that recovery is required to make
+//! deterministic. Wall-clock noise (retry counts, kill latency) stays
+//! out of the marker, so `same seed → same CHAOS-REPORT`, byte for byte.
+
+use crate::cluster::{
+    checksum_params, demo_algo, demo_task, run_local_cluster, run_local_failover,
+    LocalClusterOptions, LocalFailoverOptions,
+};
+use crate::coordinator::{DistConfig, Topology};
+use crate::fault::{splitmix64, NetFaultPlan};
+use crate::transport::RetryPolicy;
+use crossbow_sync::{train, TrainerConfig};
+use crossbow_telemetry::Telemetry;
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::sync::mpsc::{self, Receiver};
+use std::time::{Duration, Instant};
+
+/// The scenario catalog.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosScenario {
+    /// `SIGKILL` the primary coordinator process mid-round; the warm
+    /// standby must take over within one lease period, workers must
+    /// re-`Hello`, and the finished run's model checksum must equal an
+    /// undisturbed in-process run's, bit for bit.
+    KillPrimary,
+    /// Drop a seed-derived window of coordinator→worker frames (a
+    /// one-sided partition), then let it heal: resends must recover the
+    /// round with *zero* evictions and a curve bit-identical to a clean
+    /// run.
+    PartitionHeal,
+    /// The kitchen sink, phase by phase: a straggler+crash GPU
+    /// simulation (caller callback), a transport-fault cluster (random
+    /// drops plus scheduled worker-link crashes and a rebuilding late
+    /// joiner), and a primary crash-drop failover that must still end
+    /// bit-identical.
+    Cascade,
+}
+
+impl ChaosScenario {
+    /// Parses a scenario name as given on the command line.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "kill-primary" => Some(ChaosScenario::KillPrimary),
+            "partition-heal" => Some(ChaosScenario::PartitionHeal),
+            "cascade" => Some(ChaosScenario::Cascade),
+            _ => None,
+        }
+    }
+
+    /// The canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosScenario::KillPrimary => "kill-primary",
+            ChaosScenario::PartitionHeal => "partition-heal",
+            ChaosScenario::Cascade => "cascade",
+        }
+    }
+
+    /// Every scenario, for `--list` and exhaustive CI sweeps.
+    pub fn all() -> &'static [ChaosScenario] {
+        &[
+            ChaosScenario::KillPrimary,
+            ChaosScenario::PartitionHeal,
+            ChaosScenario::Cascade,
+        ]
+    }
+}
+
+/// What a GPU-simulation chaos phase reported back. The simulator lives
+/// in a crate above this one, so the cascade scenario receives the phase
+/// as a callback producing this summary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimPhaseReport {
+    /// A checksum over the simulated run's result (any stable
+    /// fingerprint; compared across replays for determinism).
+    pub checksum: u64,
+    /// Whether the simulated run recovered from its injected faults.
+    pub recovered: bool,
+    /// Faults the simulator injected.
+    pub faults: u64,
+}
+
+/// The cascade scenario's simulation phase: seed in, summary out. Must
+/// be deterministic in the seed.
+pub type SimPhase = Box<dyn Fn(u64) -> SimPhaseReport>;
+
+/// What to run and how.
+pub struct ChaosOptions {
+    /// Which drill.
+    pub scenario: ChaosScenario,
+    /// The seed every schedule and fault plan derives from.
+    pub seed: u64,
+    /// Gradient topology for the phases that take one (`kill-primary`
+    /// and the cascade's failover phase; `partition-heal` pins PS, where
+    /// frame-window semantics are exact).
+    pub topology: Topology,
+    /// Path to the `crossbow` binary, required by `kill-primary` (the
+    /// only scenario that spawns — and kills — real processes).
+    pub binary: Option<PathBuf>,
+    /// The cascade's GPU-simulation phase; skipped (and recorded as
+    /// skipped) when absent.
+    pub sim: Option<SimPhase>,
+}
+
+/// The machine-readable outcome. [`ChaosReport::marker`] renders the
+/// single `CHAOS-REPORT` line harnesses grep for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// The seed the run derived everything from.
+    pub seed: u64,
+    /// Topology label.
+    pub topology: &'static str,
+    /// The seed-derived event schedule, in firing order.
+    pub schedule: Vec<String>,
+    /// One-line statement of what recovery had to guarantee.
+    pub invariant: &'static str,
+    /// Named invariant checks and whether each held.
+    pub checks: Vec<(&'static str, bool)>,
+    /// All checks held.
+    pub pass: bool,
+}
+
+impl ChaosReport {
+    fn finish(mut self) -> Self {
+        self.pass = self.checks.iter().all(|(_, ok)| *ok);
+        self
+    }
+
+    /// The one-line machine-readable marker. Deterministic for a given
+    /// `(scenario, seed)` as long as the invariants hold the way they
+    /// are required to.
+    pub fn marker(&self) -> String {
+        let checks: Vec<String> = self
+            .checks
+            .iter()
+            .map(|(name, ok)| format!("{name}:{}", if *ok { "ok" } else { "FAIL" }))
+            .collect();
+        format!(
+            "CHAOS-REPORT scenario={} seed={} topology={} schedule=[{}] invariant={} checks=[{}] pass={}",
+            self.scenario,
+            self.seed,
+            self.topology,
+            self.schedule.join("+"),
+            self.invariant,
+            checks.join(","),
+            self.pass
+        )
+    }
+}
+
+fn topo_name(topology: Topology) -> &'static str {
+    match topology {
+        Topology::Ps => "ps",
+        Topology::Ring => "ring",
+    }
+}
+
+/// Draws `n` schedule values from the scenario's seed. Factored out so
+/// the schedule a report prints is testably a pure function of the seed.
+fn derive(seed: u64, n: usize) -> Vec<u64> {
+    let mut state = seed;
+    (0..n).map(|_| splitmix64(&mut state)).collect()
+}
+
+/// Runs one scenario to completion and returns its report. Progress
+/// lines (reference-run results, kills fired, phase transitions) go
+/// through `log`; only deterministic facts go in the report.
+///
+/// # Panics
+/// Panics when a scenario cannot be *run* at all — a missing binary for
+/// `kill-primary`, a spawn failure, or a harness timeout. Invariant
+/// *violations* are not panics; they come back as failed checks.
+pub fn run_chaos(opts: &ChaosOptions, telemetry: &Telemetry, log: &dyn Fn(String)) -> ChaosReport {
+    telemetry.metrics.counter("chaos.scenarios").inc();
+    let report = match opts.scenario {
+        ChaosScenario::KillPrimary => kill_primary(opts, telemetry, log),
+        ChaosScenario::PartitionHeal => partition_heal(opts, log),
+        ChaosScenario::Cascade => cascade(opts, log),
+    };
+    if !report.pass {
+        telemetry.metrics.counter("chaos.failed").inc();
+    }
+    report
+}
+
+// ---------------------------------------------------------------------
+// Process harness (kill-primary)
+// ---------------------------------------------------------------------
+
+/// Kills the child on drop — both the cleanup path and, for the victim,
+/// the fault itself: `Child::kill` is `SIGKILL`, no goodbye, no flush.
+struct Reaped(Child);
+
+impl Drop for Reaped {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn line_channel(out: ChildStdout) -> Receiver<String> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        for line in BufReader::new(out).lines().map_while(Result::ok) {
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    rx
+}
+
+fn wait_for(
+    rx: &Receiver<String>,
+    what: &str,
+    timeout: Duration,
+    pred: impl Fn(&str) -> bool,
+) -> String {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let left = deadline.saturating_duration_since(Instant::now());
+        assert!(
+            !left.is_zero(),
+            "chaos harness timed out waiting for {what}"
+        );
+        match rx.recv_timeout(left) {
+            Ok(line) => {
+                if pred(&line) {
+                    return line;
+                }
+            }
+            Err(_) => panic!("process exited while harness waited for {what}"),
+        }
+    }
+}
+
+fn field<'a>(line: &'a str, key: &str) -> &'a str {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(key).and_then(|t| t.strip_prefix('=')))
+        .unwrap_or_else(|| panic!("no {key}= in {line:?}"))
+}
+
+fn spawn_piped(bin: &PathBuf, args: &[&str]) -> (Reaped, Receiver<String>) {
+    let mut child = Command::new(bin)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn crossbow process");
+    let lines = line_channel(child.stdout.take().expect("piped stdout"));
+    (Reaped(child), lines)
+}
+
+fn kill_primary(opts: &ChaosOptions, telemetry: &Telemetry, log: &dyn Fn(String)) -> ChaosReport {
+    let bin = opts
+        .binary
+        .clone()
+        .expect("kill-primary spawns real processes and needs the crossbow binary path");
+    let drawn = derive(opts.seed, 1);
+    let kill_iter = 5 + drawn[0] % 10;
+    let topology = topo_name(opts.topology);
+    let schedule = vec![format!("sigkill:primary@iter>={kill_iter}")];
+
+    // The undisturbed reference, in-process: same task, same seeds.
+    let trainer = TrainerConfig::new(8, 20).with_seed(11);
+    let (net, train_set, test_set) = demo_task();
+    let mut algo = demo_algo(&net, 2, "sma", 3);
+    let reference = train(&net, &train_set, &test_set, algo.as_mut(), &trainer);
+    let ref_checksum = checksum_params(algo.consensus());
+    log(format!(
+        "chaos: reference run done ({} iterations, checksum {ref_checksum:016x})",
+        reference.iterations
+    ));
+
+    let timing: &[&str] = &["--lease-interval-ms", "100", "--lease-timeout-ms", "500"];
+    let shape: &[&str] = &[
+        "--workers",
+        "2",
+        "--topology",
+        topology,
+        "--epochs",
+        "20",
+        "--batch",
+        "8",
+        "--seed",
+        "11",
+        "--init-seed",
+        "3",
+    ];
+    let mut primary_args = vec![
+        "dist-train",
+        "--role",
+        "coordinator",
+        "--bind",
+        "127.0.0.1:0",
+        "--progress-every",
+        "1",
+    ];
+    primary_args.extend_from_slice(shape);
+    primary_args.extend_from_slice(timing);
+    let (primary, primary_lines) = spawn_piped(&bin, &primary_args);
+    let listening = wait_for(&primary_lines, "LISTENING", Duration::from_secs(60), |l| {
+        l.starts_with("LISTENING ")
+    });
+    let addr = listening
+        .trim_start_matches("LISTENING ")
+        .trim()
+        .to_string();
+
+    let mut standby_args = vec![
+        "dist-train",
+        "--role",
+        "standby",
+        "--connect",
+        &addr,
+        "--bind",
+        "127.0.0.1:0",
+        "--priority",
+        "1",
+    ];
+    standby_args.extend_from_slice(shape);
+    standby_args.extend_from_slice(timing);
+    // Bind the handle so the standby outlives the wait below and is
+    // reaped at function exit, after its REPORT is read.
+    let (_standby, standby_lines) = spawn_piped(&bin, &standby_args);
+    let standby_listening = wait_for(
+        &standby_lines,
+        "STANDBY LISTENING",
+        Duration::from_secs(60),
+        |l| l.starts_with("STANDBY LISTENING "),
+    );
+    let standby_addr = standby_listening
+        .trim_start_matches("STANDBY LISTENING ")
+        .trim()
+        .to_string();
+    wait_for(
+        &standby_lines,
+        "STANDBY REGISTERED",
+        Duration::from_secs(60),
+        |l| l.starts_with("STANDBY REGISTERED"),
+    );
+
+    let connect = format!("{addr},{standby_addr}");
+    let workers: Vec<Reaped> = (0..2)
+        .map(|i| {
+            let jitter = (i + 1).to_string();
+            let mut cmd = Command::new(&bin);
+            cmd.args([
+                "dist-train",
+                "--role",
+                "worker",
+                "--connect",
+                &connect,
+                "--failover-retries",
+                "10",
+                "--jitter-seed",
+                &jitter,
+            ]);
+            Reaped(
+                cmd.stdout(Stdio::null())
+                    .stderr(Stdio::null())
+                    .spawn()
+                    .expect("spawn worker"),
+            )
+        })
+        .collect();
+
+    wait_for(
+        &primary_lines,
+        "training progress",
+        Duration::from_secs(120),
+        |l| {
+            l.strip_prefix("PROGRESS iter=")
+                .and_then(|v| v.parse::<u64>().ok())
+                .is_some_and(|iter| iter >= kill_iter)
+        },
+    );
+    log(format!("chaos: SIGKILL primary at iter>={kill_iter}"));
+    telemetry.metrics.counter("chaos.kills").inc();
+    drop(primary);
+
+    let takeover = wait_for(
+        &standby_lines,
+        "STANDBY TAKEOVER",
+        Duration::from_secs(60),
+        |l| l.starts_with("STANDBY TAKEOVER"),
+    );
+    log(format!("chaos: {takeover}"));
+    let report = wait_for(&standby_lines, "REPORT", Duration::from_secs(300), |l| {
+        l.starts_with("REPORT ")
+    });
+    let term: u64 = field(&report, "term").parse().expect("term");
+    let checksum = u64::from_str_radix(field(&report, "checksum"), 16).expect("checksum");
+    let iterations: u64 = field(&report, "iterations").parse().expect("iterations");
+    drop(workers);
+
+    ChaosReport {
+        scenario: opts.scenario.name(),
+        seed: opts.seed,
+        topology,
+        schedule,
+        invariant: "standby-takeover-is-bit-identical",
+        checks: vec![
+            ("takeover_term_is_1", term == 1),
+            ("run_completed", iterations == reference.iterations),
+            ("checksum_matches_undisturbed", checksum == ref_checksum),
+        ],
+        pass: false,
+    }
+    .finish()
+}
+
+// ---------------------------------------------------------------------
+// In-process scenarios
+// ---------------------------------------------------------------------
+
+fn partition_heal(opts: &ChaosOptions, log: &dyn Fn(String)) -> ChaosReport {
+    let drawn = derive(opts.seed, 2);
+    let start = 6 + drawn[0] % 8;
+    let len = 3 + drawn[1] % 3;
+    let schedule = vec![format!("partition:conn0@frames[{start},{})", start + len)];
+
+    let trainer = TrainerConfig::new(8, 2).with_seed(11);
+    // PS only: the frame-index window maps one-to-one onto work sends,
+    // so the partition length bounds the resend count exactly.
+    let mut dist = DistConfig::new(Topology::Ps, 2);
+    dist.work_resend = Duration::from_millis(200);
+    dist.retry = RetryPolicy {
+        max_retries: 8,
+        backoff_base: Duration::from_millis(25),
+        backoff_cap: Duration::from_millis(100),
+    };
+    let run = |fault: Option<NetFaultPlan>| {
+        let mut dist = dist.clone();
+        dist.fault = fault;
+        run_local_cluster(LocalClusterOptions {
+            workers: 2,
+            algo: "sma".into(),
+            init_seed: 3,
+            trainer: trainer.clone(),
+            dist,
+            late_workers: Vec::new(),
+            events: None,
+        })
+    };
+    let clean = run(None);
+    log("chaos: clean reference cluster done".to_string());
+    let plan = NetFaultPlan::seeded(opts.seed)
+        .partition(start, start + len)
+        .only_conn(0);
+    let parted = run(Some(plan));
+    log(format!(
+        "chaos: partitioned run done ({} resends)",
+        parted.report.counters.retries
+    ));
+
+    ChaosReport {
+        scenario: opts.scenario.name(),
+        seed: opts.seed,
+        topology: "ps",
+        schedule,
+        invariant: "partition-heals-by-resend-without-eviction",
+        checks: vec![
+            (
+                "run_completed",
+                parted.report.curve.epoch_accuracy.len() == 2,
+            ),
+            ("resends_fired", parted.report.counters.retries > 0),
+            ("no_evictions", parted.report.counters.evictions == 0),
+            ("curve_identical", parted.report.curve == clean.report.curve),
+            (
+                "checksum_matches_clean",
+                parted.report.model_checksum == clean.report.model_checksum,
+            ),
+        ],
+        pass: false,
+    }
+    .finish()
+}
+
+fn cascade(opts: &ChaosOptions, log: &dyn Fn(String)) -> ChaosReport {
+    let drawn = derive(opts.seed, 3);
+    let crash_iter = 10 + drawn[0] % 10;
+    let disconnect_frame = 6 + drawn[1] % 6;
+    let sim_seed = drawn[2];
+    let topology = topo_name(opts.topology);
+    let schedule = vec![
+        format!("sim:straggler+crash@seed={sim_seed}"),
+        format!("disconnect:conns<2@frame={disconnect_frame}+drop:2%"),
+        format!("crashdrop:primary@iter={crash_iter}"),
+    ];
+    let mut checks: Vec<(&'static str, bool)> = Vec::new();
+
+    // Phase 1: GPU-simulator faults, via the caller's callback (the
+    // simulator lives above this crate). Replayed twice to pin
+    // determinism, not just recovery.
+    if let Some(sim) = &opts.sim {
+        let first = sim(sim_seed);
+        let second = sim(sim_seed);
+        log(format!(
+            "chaos: sim phase done ({} faults, checksum {:016x})",
+            first.faults, first.checksum
+        ));
+        checks.push(("sim_recovered", first.recovered));
+        checks.push(("sim_deterministic", first == second));
+    } else {
+        log("chaos: sim phase skipped (no simulator callback wired)".to_string());
+    }
+
+    // Phase 2: transport chaos — every original worker link dies at a
+    // scheduled frame while 2% of frames drop; a late joiner rebuilds
+    // the cluster and the run must still finish every epoch.
+    let trainer = TrainerConfig::new(8, 4).with_seed(11);
+    let mut dist = DistConfig::new(Topology::Ps, 2);
+    dist.work_resend = Duration::from_millis(300);
+    dist.fault = Some(
+        NetFaultPlan::seeded(opts.seed)
+            .drop(0.02)
+            .disconnect_after(disconnect_frame)
+            .conns_below(2),
+    );
+    let wrecked = run_local_cluster(LocalClusterOptions {
+        workers: 2,
+        algo: "sma".into(),
+        init_seed: 3,
+        trainer,
+        dist,
+        late_workers: vec![Duration::from_millis(800)],
+        events: None,
+    });
+    log(format!(
+        "chaos: net phase done (evictions={}, rejoins={})",
+        wrecked.report.counters.evictions, wrecked.report.counters.rejoins
+    ));
+    checks.push((
+        "net_run_completed",
+        wrecked.report.curve.epoch_accuracy.len() == 4,
+    ));
+    checks.push((
+        "original_workers_evicted",
+        wrecked.report.counters.evictions == 2,
+    ));
+    checks.push(("late_joiner_rebuilt", wrecked.report.counters.rejoins == 1));
+
+    // Phase 3: primary crash-drop failover; the takeover must still be
+    // bit-identical to an undisturbed run.
+    let trainer = TrainerConfig::new(8, 3).with_seed(11);
+    let mut dist = DistConfig::new(opts.topology, 2);
+    dist.lease_interval = Duration::from_millis(100);
+    dist.lease_timeout = Duration::from_millis(400);
+    let failover = run_local_failover(LocalFailoverOptions {
+        workers: 2,
+        algo: "sma".into(),
+        init_seed: 3,
+        trainer: trainer.clone(),
+        dist,
+        crash_after: crash_iter,
+    });
+    let (net, train_set, test_set) = demo_task();
+    let mut algo = demo_algo(&net, 2, "sma", 3);
+    let local = train(&net, &train_set, &test_set, algo.as_mut(), &trainer);
+    log(format!(
+        "chaos: failover phase done (term {})",
+        failover.takeover.term
+    ));
+    checks.push(("takeover_term_is_1", failover.takeover.term == 1));
+    checks.push(("failover_curve_identical", failover.takeover.curve == local));
+    checks.push((
+        "failover_checksum_matches",
+        failover.takeover.model_checksum == checksum_params(algo.consensus()),
+    ));
+
+    ChaosReport {
+        scenario: opts.scenario.name(),
+        seed: opts.seed,
+        topology,
+        schedule,
+        invariant: "every-layer-recovers-and-failover-stays-bit-identical",
+        checks,
+        pass: false,
+    }
+    .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_names_round_trip() {
+        for s in ChaosScenario::all() {
+            assert_eq!(ChaosScenario::parse(s.name()), Some(*s));
+        }
+        assert_eq!(ChaosScenario::parse("nope"), None);
+    }
+
+    #[test]
+    fn schedules_are_a_pure_function_of_the_seed() {
+        assert_eq!(derive(7, 3), derive(7, 3));
+        assert_ne!(derive(7, 3), derive(8, 3));
+    }
+
+    #[test]
+    fn marker_is_one_grepable_line() {
+        let report = ChaosReport {
+            scenario: "kill-primary",
+            seed: 7,
+            topology: "ps",
+            schedule: vec!["sigkill:primary@iter>=9".into()],
+            invariant: "standby-takeover-is-bit-identical",
+            checks: vec![("takeover_term_is_1", true), ("checksum", false)],
+            pass: false,
+        }
+        .finish();
+        let marker = report.marker();
+        assert!(marker.starts_with("CHAOS-REPORT scenario=kill-primary seed=7 "));
+        assert!(!marker.contains('\n'));
+        assert!(marker.contains("checks=[takeover_term_is_1:ok,checksum:FAIL]"));
+        assert!(marker.ends_with("pass=false"));
+        assert!(!report.pass, "one failed check fails the scenario");
+    }
+
+    #[test]
+    fn partition_heal_recovers_bit_identically() {
+        let report = run_chaos(
+            &ChaosOptions {
+                scenario: ChaosScenario::PartitionHeal,
+                seed: 7,
+                topology: Topology::Ps,
+                binary: None,
+                sim: None,
+            },
+            &Telemetry::disabled(),
+            &|_| {},
+        );
+        assert!(report.pass, "partition-heal must pass: {:?}", report.checks);
+        assert_eq!(report.schedule.len(), 1);
+    }
+}

@@ -8,8 +8,10 @@
 //! makes the full fault matrix testable from a plain `#[test]`.
 
 use crate::coordinator::{Coordinator, DistConfig, DistReport, EventHook};
+use crate::standby::{run_standby, StandbyConfig, StandbyOutcome};
+use crate::transport::RetryPolicy;
 use crate::wire::WireError;
-use crate::worker::{run_worker, WorkerConfig, WorkerOutcome};
+use crate::worker::{run_worker, run_worker_resilient, WorkerConfig, WorkerOutcome};
 use crossbow_checkpoint::codec::fnv1a64;
 use crossbow_data::synth::gaussian_mixture;
 use crossbow_data::Dataset;
@@ -117,6 +119,132 @@ pub fn run_local_cluster(opts: LocalClusterOptions) -> LocalClusterReport {
     LocalClusterReport { report, workers }
 }
 
+/// Options for an in-process primary-crash failover drill on the demo
+/// task.
+pub struct LocalFailoverOptions {
+    /// Cluster size at formation.
+    pub workers: usize,
+    /// Algorithm name ("sma" or "ssgd").
+    pub algo: String,
+    /// Model initialisation seed.
+    pub init_seed: u64,
+    /// The *full* trainer configuration; the primary runs a copy with
+    /// `crash_after` set, the standby finishes the run under this one.
+    pub trainer: TrainerConfig,
+    /// Cluster configuration shared by the primary and the takeover.
+    pub dist: DistConfig,
+    /// The primary "crashes" (sockets close with no farewell) after this
+    /// many iterations.
+    pub crash_after: u64,
+}
+
+/// What [`run_local_failover`] produced.
+pub struct LocalFailoverReport {
+    /// The crashed primary's partial report (term 0).
+    pub primary: DistReport,
+    /// The standby's end-of-run report (term 1) — the one whose curve
+    /// must match an undisturbed local run bit-for-bit.
+    pub takeover: DistReport,
+    /// Per-worker outcomes; each should have served ≥ 2 sessions.
+    pub workers: Vec<Result<WorkerOutcome, WireError>>,
+}
+
+/// Runs a primary-crash failover drill on loopback: a primary that
+/// crash-drops mid-run, one warm standby that takes over from the
+/// streamed state, and `workers` resilient workers that re-`Hello` to
+/// the standby's advertised address.
+///
+/// # Panics
+/// Panics when any piece fails to come up, the standby does not take
+/// over, or a thread panics.
+pub fn run_local_failover(opts: LocalFailoverOptions) -> LocalFailoverReport {
+    let telemetry = Telemetry::disabled();
+    let mut primary_dist = opts.dist.clone();
+    primary_dist.crash_drop = true;
+    let primary_trainer = opts.trainer.clone().with_crash_after(opts.crash_after);
+
+    let primary = Coordinator::bind("127.0.0.1:0", primary_dist, telemetry.clone())
+        .expect("bind loopback primary");
+    let primary_addr = primary.local_addr().expect("primary address").to_string();
+    let standby_listener =
+        std::net::TcpListener::bind("127.0.0.1:0").expect("bind standby listener");
+    let standby_addr = standby_listener
+        .local_addr()
+        .expect("standby address")
+        .to_string();
+
+    let standby = {
+        let takeover_dist = opts.dist.clone();
+        let scfg = StandbyConfig::new(primary_addr.clone());
+        let trainer = opts.trainer.clone();
+        let algo_name = opts.algo.clone();
+        let init_seed = opts.init_seed;
+        let telemetry = telemetry.clone();
+        std::thread::spawn(move || {
+            let (net, train_set, test_set) = demo_task();
+            run_standby(
+                &net,
+                &train_set,
+                &test_set,
+                &|k| demo_algo(&net, k, &algo_name, init_seed),
+                &trainer,
+                &takeover_dist,
+                &scfg,
+                standby_listener,
+                telemetry,
+                None,
+                &|_| {},
+            )
+        })
+    };
+
+    let handles: Vec<_> = (0..opts.workers)
+        .map(|i| {
+            let primary_addr = primary_addr.clone();
+            let standby_addr = standby_addr.clone();
+            std::thread::spawn(move || {
+                let (net, _, _) = demo_task();
+                let mut cfg = WorkerConfig::new(primary_addr);
+                cfg.fallbacks = vec![standby_addr];
+                cfg.failover_retries = 10;
+                cfg.jitter_seed = i as u64 + 1;
+                // A short dial budget per session: the dead primary's
+                // refused connections should fail over fast.
+                cfg.retry = RetryPolicy {
+                    max_retries: 2,
+                    backoff_base: Duration::from_millis(25),
+                    backoff_cap: Duration::from_millis(100),
+                };
+                run_worker_resilient(&net, &cfg, &Telemetry::disabled(), &|_| {})
+            })
+        })
+        .collect();
+
+    let primary_report = {
+        let (net, train_set, test_set) = demo_task();
+        let mut algo = demo_algo(&net, opts.workers, &opts.algo, opts.init_seed);
+        let report = primary.run(&net, &train_set, &test_set, algo.as_mut(), &primary_trainer);
+        // Drop the primary so its listener closes and reconnecting
+        // workers are refused (as a killed process's would be) instead
+        // of queueing in a backlog nobody accepts.
+        drop(primary);
+        report
+    };
+    let takeover = match standby.join().expect("standby thread panicked") {
+        Ok(StandbyOutcome::TookOver(report)) => report,
+        other => panic!("standby must take over, got {other:?}"),
+    };
+    let workers = handles
+        .into_iter()
+        .map(|h| h.join().expect("worker thread panicked"))
+        .collect();
+    LocalFailoverReport {
+        primary: primary_report,
+        takeover,
+        workers,
+    }
+}
+
 fn spawn_worker(
     addr: String,
     delay: Duration,
@@ -189,5 +317,47 @@ mod tests {
             "ring all-gather must not change the arithmetic"
         );
         assert!(out.workers.iter().all(|w| w.is_ok()));
+    }
+
+    #[test]
+    fn primary_crash_fails_over_bit_identically() {
+        let trainer = TrainerConfig::new(8, 3).with_seed(11);
+        let mut dist = DistConfig::new(Topology::Ps, 2);
+        dist.lease_interval = Duration::from_millis(100);
+        dist.lease_timeout = Duration::from_millis(400);
+        let out = run_local_failover(LocalFailoverOptions {
+            workers: 2,
+            algo: "sma".into(),
+            init_seed: 3,
+            trainer: trainer.clone(),
+            dist,
+            crash_after: 20,
+        });
+        let (net, train_set, test_set) = demo_task();
+        let mut algo = demo_algo(&net, 2, "sma", 3);
+        let local = train(&net, &train_set, &test_set, algo.as_mut(), &trainer);
+        assert_eq!(
+            out.primary.curve.iterations, 20,
+            "the primary must die exactly at the scheduled iteration"
+        );
+        assert_eq!(out.primary.term, 0);
+        assert_eq!(out.takeover.term, 1, "one takeover, one term bump");
+        assert_eq!(
+            out.takeover.curve, local,
+            "the takeover must continue the curve bit-identically"
+        );
+        assert_eq!(
+            out.takeover.model_checksum,
+            checksum_params(algo.consensus()),
+            "the final model must be the undisturbed run's, bit for bit"
+        );
+        for worker in &out.workers {
+            let outcome = worker.as_ref().expect("workers survive the failover");
+            assert!(
+                outcome.sessions >= 2,
+                "every worker must have re-admitted itself, got {} sessions",
+                outcome.sessions
+            );
+        }
     }
 }

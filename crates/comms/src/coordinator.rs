@@ -27,13 +27,14 @@ use crossbow_checkpoint::{AlgoState, CheckpointStore, TrainingState};
 use crossbow_data::Dataset;
 use crossbow_nn::Network;
 use crossbow_sync::{
-    resume_with_source, train_with_source, GradientSource, RoundStatus, SyncAlgorithm,
-    TrainerConfig, TrainingCurve,
+    resume_with_source, train_from_state_with_source, train_with_source, GradientSource,
+    RoundStatus, StateHook, SyncAlgorithm, TrainerConfig, TrainingCurve,
 };
 use crossbow_telemetry::Telemetry;
 use crossbow_tensor::Tensor;
 use std::net::{SocketAddr, TcpListener};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// How gradients travel between processes.
@@ -66,6 +67,9 @@ pub struct DistConfig {
     pub workers: usize,
     /// Evict a worker silent for longer than this.
     pub heartbeat_timeout: Duration,
+    /// Heartbeat interval workers are told to ping at (handed out in
+    /// `Welcome`); must stay below `heartbeat_timeout`.
+    pub heartbeat_interval: Duration,
     /// Re-issue a round's work after this long without a reply.
     pub work_resend: Duration,
     /// Per-member receive poll interval while collecting a round.
@@ -73,6 +77,25 @@ pub struct DistConfig {
     /// How long to wait for cluster formation, and for a replacement
     /// worker when every member is gone.
     pub join_timeout: Duration,
+    /// How long an accepted connection may take to introduce itself
+    /// (`Hello` or `Lease`) before it is dropped.
+    pub hello_timeout: Duration,
+    /// Lease-renewal interval toward registered standbys; must stay
+    /// below `lease_timeout`.
+    pub lease_interval: Duration,
+    /// How long a standby tolerates lease silence before it elects
+    /// itself primary.
+    pub lease_timeout: Duration,
+    /// Stream the training state to standbys every this many applied
+    /// iterations (1 = every step; must be at least 1).
+    pub state_every: u64,
+    /// This coordinator's failover term (0 for the original primary; a
+    /// standby takes over at the last observed term + 1).
+    pub term: u64,
+    /// Test hook: end the run by closing every socket *without* the
+    /// `Shutdown` farewell — the FIN pattern a SIGKILLed process leaves
+    /// behind, for in-process crash simulation.
+    pub crash_drop: bool,
     /// Backoff discipline for work re-issues.
     pub retry: RetryPolicy,
     /// Transport fault injection applied to coordinator-side sends.
@@ -86,9 +109,16 @@ impl DistConfig {
             topology,
             workers,
             heartbeat_timeout: Duration::from_secs(3),
+            heartbeat_interval: Duration::from_millis(200),
             work_resend: Duration::from_secs(1),
             poll: Duration::from_millis(10),
             join_timeout: Duration::from_secs(30),
+            hello_timeout: Duration::from_secs(5),
+            lease_interval: Duration::from_millis(250),
+            lease_timeout: Duration::from_secs(1),
+            state_every: 1,
+            term: 0,
+            crash_drop: false,
             retry: RetryPolicy::default(),
             fault: None,
         }
@@ -98,6 +128,49 @@ impl DistConfig {
     pub fn with_fault(mut self, plan: NetFaultPlan) -> Self {
         self.fault = Some(plan);
         self
+    }
+
+    /// Checks the timing relations the protocol depends on: heartbeats
+    /// must outpace eviction, lease renewals must outpace takeover, and
+    /// every poll/resend interval must be positive.
+    ///
+    /// # Errors
+    /// A description of the first violated relation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("workers must be at least 1".into());
+        }
+        if self.heartbeat_interval.is_zero() {
+            return Err("heartbeat interval must be positive".into());
+        }
+        if self.heartbeat_interval >= self.heartbeat_timeout {
+            return Err(format!(
+                "heartbeat interval ({:?}) must be below the eviction timeout ({:?})",
+                self.heartbeat_interval, self.heartbeat_timeout
+            ));
+        }
+        if self.lease_interval.is_zero() {
+            return Err("lease interval must be positive".into());
+        }
+        if self.lease_interval >= self.lease_timeout {
+            return Err(format!(
+                "lease interval ({:?}) must be below the lease timeout ({:?})",
+                self.lease_interval, self.lease_timeout
+            ));
+        }
+        if self.work_resend.is_zero() {
+            return Err("work resend interval must be positive".into());
+        }
+        if self.poll.is_zero() {
+            return Err("poll interval must be positive".into());
+        }
+        if self.join_timeout.is_zero() || self.hello_timeout.is_zero() {
+            return Err("join and hello timeouts must be positive".into());
+        }
+        if self.state_every == 0 {
+            return Err("state_every must be at least 1".into());
+        }
+        Ok(())
     }
 }
 
@@ -138,6 +211,11 @@ pub enum ClusterEvent {
         /// The retry attempt (1-based).
         attempt: u32,
     },
+    /// A warm standby registered for state replication.
+    StandbyJoined {
+        /// The standby's takeover priority (lower takes over first).
+        priority: u32,
+    },
 }
 
 /// Callback type for [`ClusterEvent`]s.
@@ -163,10 +241,164 @@ pub struct DistReport {
     /// FNV-1a/64 over the consensus model bits — a cheap cross-process
     /// fingerprint for "same model" assertions.
     pub model_checksum: u64,
+    /// The failover term this report was produced under (0 = the
+    /// original primary; n = the n-th takeover).
+    pub term: u64,
 }
 
-/// A TCP-listening coordinator. Bind, then [`Coordinator::run`] or
-/// [`Coordinator::resume`].
+/// One registered warm standby. The connection stays open for the life
+/// of the run — the primary pushes leases and state updates through it
+/// and never reads from it.
+struct StandbyLink {
+    conn: Conn,
+    #[allow(dead_code)] // recorded for operators; selection runs standby-side
+    priority: u32,
+}
+
+/// Shared standby-replication state: the registered links, the latest
+/// encoded [`TrainingState`], and the update sequence counter. Shared
+/// between the accept path (registration), the trainer's state hook
+/// (updates), and the lease-renewal thread.
+pub(crate) struct Replication {
+    term: u64,
+    standbys: Mutex<Vec<StandbyLink>>,
+    last_state: Mutex<Option<Vec<u8>>>,
+    seq: AtomicU64,
+}
+
+impl Replication {
+    fn new(term: u64) -> Arc<Self> {
+        Arc::new(Replication {
+            term,
+            standbys: Mutex::new(Vec::new()),
+            last_state: Mutex::new(None),
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Sends `msg` to every standby, silently dropping links whose send
+    /// failed — a dead standby must never stall the training loop.
+    fn broadcast(&self, msg: &Msg) {
+        let mut links = self.standbys.lock().unwrap_or_else(PoisonError::into_inner);
+        links.retain(|link| link.conn.send(msg).is_ok());
+    }
+
+    /// Publishes one state update to every standby and caches it for
+    /// late registrants.
+    fn publish(&self, bytes: Vec<u8>) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let msg = Msg::State {
+            term: self.term,
+            seq,
+            state: bytes.clone(),
+        };
+        *self
+            .last_state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(bytes);
+        self.broadcast(&msg);
+    }
+
+    /// Registers a standby: acks with the current term, catches it up
+    /// with the latest state, and keeps the connection. Returns false
+    /// when the link died during the handshake.
+    fn register(&self, conn: Conn, priority: u32) -> bool {
+        let ack = Msg::Lease {
+            term: self.term,
+            priority: 0,
+        };
+        if conn.send(&ack).is_err() {
+            return false;
+        }
+        let cached = self
+            .last_state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        if let Some(bytes) = cached {
+            let catch_up = Msg::State {
+                term: self.term,
+                seq: self.seq.load(Ordering::Relaxed),
+                state: bytes,
+            };
+            if conn.send(&catch_up).is_err() {
+                return false;
+            }
+        }
+        self.standbys
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(StandbyLink { conn, priority });
+        true
+    }
+
+    /// Releases every standby at end of run. A graceful finish sends
+    /// `Shutdown` (so standbys exit instead of taking over); a simulated
+    /// crash just closes the sockets.
+    fn shutdown(&self, crash_drop: bool) {
+        let mut links = self.standbys.lock().unwrap_or_else(PoisonError::into_inner);
+        for link in links.drain(..) {
+            if !crash_drop {
+                let _ = link.conn.send(&Msg::Shutdown);
+            }
+            link.conn.shutdown();
+        }
+    }
+}
+
+/// The lease-renewal thread's handle: stops and joins on drop or via
+/// [`LeaseTask::stop`].
+struct LeaseTask {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl LeaseTask {
+    fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for LeaseTask {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+fn spawn_lease(repl: Arc<Replication>, interval: Duration) -> LeaseTask {
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        // Sleep in short slices so stop is prompt even with long leases.
+        let slice = interval.min(Duration::from_millis(50));
+        let mut next = Instant::now() + interval;
+        while !flag.load(Ordering::Relaxed) {
+            std::thread::sleep(slice);
+            if Instant::now() >= next {
+                repl.broadcast(&Msg::Lease {
+                    term: repl.term,
+                    priority: 0,
+                });
+                next = Instant::now() + interval;
+            }
+        }
+    });
+    LeaseTask {
+        stop,
+        handle: Some(handle),
+    }
+}
+
+/// A TCP-listening coordinator. Bind, then [`Coordinator::run`],
+/// [`Coordinator::resume`], or (on takeover)
+/// [`Coordinator::run_from_state`].
 pub struct Coordinator {
     listener: TcpListener,
     cfg: DistConfig,
@@ -179,9 +411,26 @@ impl Coordinator {
     /// runs never collide).
     ///
     /// # Errors
-    /// Any bind failure.
+    /// Any bind failure, or `InvalidInput` when `cfg` fails
+    /// [`DistConfig::validate`].
     pub fn bind(addr: &str, cfg: DistConfig, telemetry: Telemetry) -> std::io::Result<Self> {
-        let listener = TcpListener::bind(addr)?;
+        Coordinator::from_listener(TcpListener::bind(addr)?, cfg, telemetry)
+    }
+
+    /// Wraps an already-bound listener — the takeover path, where the
+    /// standby has been listening on its advertised address all along
+    /// and now runs the cluster from it.
+    ///
+    /// # Errors
+    /// Any socket failure, or `InvalidInput` when `cfg` fails
+    /// [`DistConfig::validate`].
+    pub fn from_listener(
+        listener: TcpListener,
+        cfg: DistConfig,
+        telemetry: Telemetry,
+    ) -> std::io::Result<Self> {
+        cfg.validate()
+            .map_err(|why| std::io::Error::new(std::io::ErrorKind::InvalidInput, why))?;
         listener.set_nonblocking(true)?;
         Ok(Coordinator {
             listener,
@@ -218,9 +467,60 @@ impl Coordinator {
         algo: &mut dyn SyncAlgorithm,
         tcfg: &TrainerConfig,
     ) -> DistReport {
-        let mut cluster = RemoteCluster::form(self, algo, tcfg);
-        let curve = train_with_source(net, train_set, test_set, algo, tcfg, &mut cluster);
-        self.finish(cluster, curve, algo)
+        let (tcfg, repl, lease) = self.start_replication(tcfg);
+        let mut cluster = RemoteCluster::form(self, algo, &tcfg, Arc::clone(&repl));
+        let curve = train_with_source(net, train_set, test_set, algo, &tcfg, &mut cluster);
+        lease.stop();
+        self.finish(cluster, curve, algo, &repl)
+    }
+
+    /// As [`Coordinator::run`], but starts from an in-memory
+    /// [`TrainingState`] — the standby-takeover path. The state is the
+    /// last one the old primary streamed; continuing from it keeps the
+    /// curve bit-identical to an undisturbed run.
+    ///
+    /// # Panics
+    /// As [`Coordinator::run`], plus when the state does not fit the run.
+    pub fn run_from_state(
+        &self,
+        net: &Network,
+        train_set: &Dataset,
+        test_set: &Dataset,
+        algo: &mut dyn SyncAlgorithm,
+        tcfg: &TrainerConfig,
+        state: Option<TrainingState>,
+    ) -> DistReport {
+        let (tcfg, repl, lease) = self.start_replication(tcfg);
+        let mut cluster = RemoteCluster::form(self, algo, &tcfg, Arc::clone(&repl));
+        let curve = train_from_state_with_source(
+            net,
+            train_set,
+            test_set,
+            algo,
+            &tcfg,
+            state,
+            &mut cluster,
+        );
+        lease.stop();
+        self.finish(cluster, curve, algo, &repl)
+    }
+
+    /// Wires the replication tap into the trainer config and starts the
+    /// lease-renewal thread. Every run variant goes through here, so a
+    /// primary is always standby-capable.
+    fn start_replication(
+        &self,
+        tcfg: &TrainerConfig,
+    ) -> (TrainerConfig, Arc<Replication>, LeaseTask) {
+        let repl = Replication::new(self.cfg.term);
+        let tap = Arc::clone(&repl);
+        let hooked = tcfg
+            .clone()
+            .with_state_hook(StateHook::new(self.cfg.state_every, move |state| {
+                tap.publish(state.encode())
+            }));
+        let lease = spawn_lease(Arc::clone(&repl), self.cfg.lease_interval);
+        (hooked, repl, lease)
     }
 
     /// As [`Coordinator::run`], but resumes from the newest durable
@@ -240,9 +540,11 @@ impl Coordinator {
         algo: &mut dyn SyncAlgorithm,
         tcfg: &TrainerConfig,
     ) -> Result<DistReport, crossbow_checkpoint::CheckpointError> {
-        let mut cluster = RemoteCluster::form(self, algo, tcfg);
-        let curve = resume_with_source(net, train_set, test_set, algo, tcfg, &mut cluster)?;
-        Ok(self.finish(cluster, curve, algo))
+        let (tcfg, repl, lease) = self.start_replication(tcfg);
+        let mut cluster = RemoteCluster::form(self, algo, &tcfg, Arc::clone(&repl));
+        let curve = resume_with_source(net, train_set, test_set, algo, &tcfg, &mut cluster)?;
+        lease.stop();
+        Ok(self.finish(cluster, curve, algo, &repl))
     }
 
     fn finish(
@@ -250,8 +552,19 @@ impl Coordinator {
         mut cluster: RemoteCluster<'_>,
         curve: TrainingCurve,
         algo: &dyn SyncAlgorithm,
+        repl: &Replication,
     ) -> DistReport {
-        cluster.shutdown();
+        if self.cfg.crash_drop {
+            // Simulated primary crash: every socket closes without the
+            // Shutdown farewell — the same FIN a SIGKILLed process
+            // leaves, so peers observe `Disconnected`, not a clean end.
+            for member in &cluster.members {
+                member.conn.shutdown();
+            }
+        } else {
+            cluster.shutdown();
+        }
+        repl.shutdown(self.cfg.crash_drop);
         let metrics = &self.telemetry.metrics;
         DistReport {
             curve,
@@ -261,6 +574,7 @@ impl Coordinator {
             faults_injected: metrics.counter("net.faults_injected").get(),
             workers: cluster.members.len(),
             model_checksum: checksum_params(algo.consensus()),
+            term: self.cfg.term,
         }
     }
 }
@@ -281,6 +595,7 @@ struct RemoteCluster<'a> {
     events: Option<EventHook>,
     members: Vec<Member>,
     store: Option<CheckpointStore>,
+    repl: Arc<Replication>,
     seed: u64,
     weight_decay: f32,
     round: u64,
@@ -296,6 +611,7 @@ impl<'a> RemoteCluster<'a> {
         coordinator: &'a Coordinator,
         algo: &mut dyn SyncAlgorithm,
         tcfg: &TrainerConfig,
+        repl: Arc<Replication>,
     ) -> Self {
         assert_eq!(
             algo.k(),
@@ -309,6 +625,7 @@ impl<'a> RemoteCluster<'a> {
             events: coordinator.events.clone(),
             members: Vec::new(),
             store: tcfg.checkpoint.as_ref().and_then(|c| c.store().ok()),
+            repl,
             seed: tcfg.seed,
             weight_decay: tcfg.weight_decay,
             round: 0,
@@ -359,12 +676,22 @@ impl<'a> RemoteCluster<'a> {
         if let Some(plan) = &self.cfg.fault {
             conn = conn.with_injector(FaultInjector::new(plan, id));
         }
-        // Wait briefly for the Hello; a connector that never introduces
-        // itself is dropped, not admitted.
-        let hello_deadline = Instant::now() + Duration::from_secs(5);
+        // Wait briefly for the introduction (a worker's Hello or a
+        // standby's Lease); a connector that never introduces itself is
+        // dropped, not admitted.
+        let hello_deadline = Instant::now() + self.cfg.hello_timeout;
+        let poll = self.cfg.hello_timeout.min(Duration::from_millis(100));
         let (rejoin, ring_addr) = loop {
-            match conn.recv_timeout(Duration::from_millis(100)) {
+            match conn.recv_timeout(poll) {
                 Ok(Msg::Hello { rejoin, ring_addr }) => break (rejoin, ring_addr),
+                Ok(Msg::Lease { priority, .. }) => {
+                    // A warm standby, not a worker: hand the connection
+                    // to the replication registry and keep accepting.
+                    if self.repl.register(conn, priority) {
+                        self.emit(ClusterEvent::StandbyJoined { priority });
+                    }
+                    return false;
+                }
                 Ok(_) => continue,
                 Err(WireError::Timeout) if Instant::now() < hello_deadline => continue,
                 Err(_) => return false,
@@ -385,6 +712,7 @@ impl<'a> RemoteCluster<'a> {
             k: algo.k() as u32,
             topology: self.cfg.topology.as_u8(),
             weight_decay: self.weight_decay,
+            heartbeat_ms: self.cfg.heartbeat_interval.as_millis() as u64,
             state: self.admission_state(algo),
         };
         if conn.send(&welcome).is_err() {
@@ -767,5 +1095,45 @@ impl GradientSource for RemoteCluster<'_> {
             Topology::Ps => self.ps_round(algo, batches, grads, losses),
             Topology::Ring => self.ring_round(algo, batches, grads, losses),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation_enforces_timing_relations() {
+        assert!(DistConfig::new(Topology::Ps, 2).validate().is_ok());
+
+        let mut bad = DistConfig::new(Topology::Ps, 0);
+        assert!(bad.validate().unwrap_err().contains("workers"));
+
+        bad = DistConfig::new(Topology::Ps, 2);
+        bad.heartbeat_interval = bad.heartbeat_timeout;
+        assert!(bad.validate().unwrap_err().contains("heartbeat interval"));
+
+        bad = DistConfig::new(Topology::Ring, 2);
+        bad.lease_interval = bad.lease_timeout + Duration::from_millis(1);
+        assert!(bad.validate().unwrap_err().contains("lease interval"));
+
+        bad = DistConfig::new(Topology::Ps, 2);
+        bad.state_every = 0;
+        assert!(bad.validate().unwrap_err().contains("state_every"));
+
+        bad = DistConfig::new(Topology::Ps, 2);
+        bad.poll = Duration::ZERO;
+        assert!(bad.validate().unwrap_err().contains("poll"));
+    }
+
+    #[test]
+    fn bind_rejects_an_invalid_config() {
+        let mut cfg = DistConfig::new(Topology::Ps, 2);
+        cfg.heartbeat_interval = cfg.heartbeat_timeout * 2;
+        let err = match Coordinator::bind("127.0.0.1:0", cfg, Telemetry::disabled()) {
+            Err(err) => err,
+            Ok(_) => panic!("validation must gate the bind"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
     }
 }

@@ -123,8 +123,10 @@ impl NetFaultPlan {
     }
 }
 
-/// SplitMix64: tiny, seedable, and good enough for fault scheduling.
-fn splitmix64(state: &mut u64) -> u64 {
+/// SplitMix64: tiny, seedable, and good enough for fault scheduling —
+/// and for the transport's jittered backoff and the chaos scheduler,
+/// which draw from the same stream family.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

@@ -24,30 +24,43 @@
 //!   detection, work resend with backoff, worker eviction (SMA
 //!   renormalizes over survivors), and mid-run rejoin from the latest
 //!   checkpoint.
-//! - [`worker`]: the data plane — a stateless gradient server.
+//! - [`worker`]: the data plane — a stateless gradient server, with a
+//!   failover-surviving resilient loop that re-`Hello`s to fallback
+//!   coordinator addresses.
+//! - [`standby`]: the warm standby — registers for state replication,
+//!   watches lease renewals, and takes over as primary at the next term
+//!   when the leases stop.
 //! - [`cluster`]: loopback clusters (threads as processes) so the fault
-//!   matrix is testable from plain unit tests.
+//!   matrix — including primary-crash failover — is testable from plain
+//!   unit tests.
+//! - [`chaos`]: named, seeded, replayable chaos scenarios composing the
+//!   fault injectors end to end, each asserting a recovery invariant and
+//!   emitting a machine-readable `CHAOS-REPORT` marker.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod cluster;
 pub mod coordinator;
 pub mod fault;
 pub mod proto;
+pub mod standby;
 pub mod transport;
 pub mod wire;
 pub mod worker;
 
+pub use chaos::{run_chaos, ChaosOptions, ChaosReport, ChaosScenario, SimPhase, SimPhaseReport};
 pub use cluster::{
-    checksum_params, demo_algo, demo_task, run_local_cluster, LocalClusterOptions,
-    LocalClusterReport,
+    checksum_params, demo_algo, demo_task, run_local_cluster, run_local_failover,
+    LocalClusterOptions, LocalClusterReport, LocalFailoverOptions, LocalFailoverReport,
 };
 pub use coordinator::{
     ClusterEvent, Coordinator, DistConfig, DistCounters, DistReport, EventHook, Topology,
 };
 pub use fault::{FaultAction, FaultInjector, NetFaultPlan};
 pub use proto::Msg;
-pub use transport::{connect_retry, Conn, MsgSender, RetryPolicy};
+pub use standby::{run_standby, StandbyConfig, StandbyEvent, StandbyOutcome};
+pub use transport::{connect_retry, connect_retry_jittered, Conn, MsgSender, RetryPolicy};
 pub use wire::WireError;
-pub use worker::{run_worker, WorkerConfig, WorkerEvent, WorkerOutcome};
+pub use worker::{run_worker, run_worker_resilient, WorkerConfig, WorkerEvent, WorkerOutcome};

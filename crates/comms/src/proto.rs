@@ -33,6 +33,11 @@ pub enum Msg {
         topology: u8,
         /// Weight decay every gradient must include.
         weight_decay: f32,
+        /// Heartbeat interval the worker must ping at, in milliseconds
+        /// (0 = keep the worker's own default). Handing the interval out
+        /// at admission keeps it coordinator-driven, so the validated
+        /// `interval < eviction timeout` relation holds cluster-wide.
+        heartbeat_ms: u64,
         /// Encoded `crossbow_checkpoint::TrainingState`.
         state: Vec<u8>,
     },
@@ -110,6 +115,32 @@ pub enum Msg {
     },
     /// Coordinator → worker: the run is over; exit cleanly.
     Shutdown,
+    /// Primary ⇄ standby lease traffic. Standby → primary: register as a
+    /// warm standby (sent as the first message on the connection, in
+    /// place of `Hello`; `priority` is the standby's takeover rank, lower
+    /// first). Primary → standby: periodic lease renewal carrying the
+    /// primary's term. Terms are failover generations: a standby only
+    /// ever takes over at `term + 1`, so a deposed primary's stale
+    /// messages are recognisably old — the same generation-stamping the
+    /// ring reconfiguration uses.
+    Lease {
+        /// The sender's failover term (standbys echo the last one seen).
+        term: u64,
+        /// Takeover priority of the registering standby (0 from primary).
+        priority: u32,
+    },
+    /// Primary → standby: one replicated state update. `state` is an
+    /// encoded `TrainingState` — the same bytes a durable checkpoint
+    /// would hold — captured post-step, so resuming from the latest one
+    /// replays the rest of the run bit-identically.
+    State {
+        /// The primary's term.
+        term: u64,
+        /// Monotonic update sequence within the term.
+        seq: u64,
+        /// Encoded `crossbow_checkpoint::TrainingState`.
+        state: Vec<u8>,
+    },
 }
 
 const TAG_HELLO: u8 = 1;
@@ -122,6 +153,8 @@ const TAG_RING: u8 = 7;
 const TAG_RINGHELLO: u8 = 8;
 const TAG_BLOCK: u8 = 9;
 const TAG_SHUTDOWN: u8 = 10;
+const TAG_LEASE: u8 = 11;
+const TAG_STATE: u8 = 12;
 
 fn write_u64s(w: &mut Writer, v: &[u64]) {
     w.u64(v.len() as u64);
@@ -149,6 +182,8 @@ impl Msg {
             Msg::RingHello { .. } => "ring-hello",
             Msg::Block { .. } => "block",
             Msg::Shutdown => "shutdown",
+            Msg::Lease { .. } => "lease",
+            Msg::State { .. } => "state",
         }
     }
 
@@ -166,6 +201,7 @@ impl Msg {
                 k,
                 topology,
                 weight_decay,
+                heartbeat_ms,
                 state,
             } => {
                 w.u8(TAG_WELCOME);
@@ -173,6 +209,7 @@ impl Msg {
                 w.u32(*k);
                 w.u8(*topology);
                 w.f32(*weight_decay);
+                w.u64(*heartbeat_ms);
                 w.bytes(state);
             }
             Msg::Work {
@@ -249,6 +286,17 @@ impl Msg {
             Msg::Shutdown => {
                 w.u8(TAG_SHUTDOWN);
             }
+            Msg::Lease { term, priority } => {
+                w.u8(TAG_LEASE);
+                w.u64(*term);
+                w.u32(*priority);
+            }
+            Msg::State { term, seq, state } => {
+                w.u8(TAG_STATE);
+                w.u64(*term);
+                w.u64(*seq);
+                w.bytes(state);
+            }
         }
         w.into_bytes()
     }
@@ -270,6 +318,7 @@ impl Msg {
                 k: r.u32()?,
                 topology: r.u8()?,
                 weight_decay: r.f32()?,
+                heartbeat_ms: r.u64()?,
                 state: r.bytes()?,
             },
             TAG_WORK => Msg::Work {
@@ -309,6 +358,15 @@ impl Msg {
                 grad: r.f32_vec()?,
             },
             TAG_SHUTDOWN => Msg::Shutdown,
+            TAG_LEASE => Msg::Lease {
+                term: r.u64()?,
+                priority: r.u32()?,
+            },
+            TAG_STATE => Msg::State {
+                term: r.u64()?,
+                seq: r.u64()?,
+                state: r.bytes()?,
+            },
             _ => return Err(DecodeError("unknown message tag")),
         };
         if !r.is_empty() {
@@ -341,6 +399,7 @@ mod tests {
             k: 4,
             topology: 1,
             weight_decay: 1e-4,
+            heartbeat_ms: 200,
             state: vec![0xCB, 0x00, 0xBF],
         });
         round_trip(&Msg::Work {
@@ -380,6 +439,15 @@ mod tests {
             grad: vec![2.0; 4],
         });
         round_trip(&Msg::Shutdown);
+        round_trip(&Msg::Lease {
+            term: 3,
+            priority: 1,
+        });
+        round_trip(&Msg::State {
+            term: 3,
+            seq: 512,
+            state: vec![0xAB; 9],
+        });
     }
 
     #[test]

@@ -46,6 +46,21 @@ impl RetryPolicy {
             .saturating_mul(1u32 << exp)
             .min(self.backoff_cap)
     }
+
+    /// Full-jitter backoff: a uniform draw in `[0, backoff_for(attempt)]`
+    /// from the seeded SplitMix64 stream behind `state`. Workers that all
+    /// lost the same primary restart with decorrelated sleeps instead of
+    /// hammering the standby in lockstep — and a fixed seed keeps the
+    /// schedule replayable, like every other fault-path decision here.
+    pub fn jittered_backoff_for(&self, attempt: u32, state: &mut u64) -> Duration {
+        let cap = self.backoff_for(attempt);
+        if cap.is_zero() {
+            return cap;
+        }
+        // 53 high bits → a uniform fraction in [0, 1).
+        let frac = (crate::fault::splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64;
+        cap.mul_f64(frac)
+    }
 }
 
 /// The mutex-guarded write half of a connection.
@@ -224,6 +239,34 @@ pub fn connect_retry(
     }
 }
 
+/// [`connect_retry`] with full-jitter sleeps drawn from the SplitMix64
+/// stream behind `state` — the reconnect path workers use after a
+/// failover, where synchronized backoff would stampede the new primary.
+///
+/// # Errors
+/// The final connect error once `policy.max_retries` is exhausted.
+pub fn connect_retry_jittered(
+    addr: &str,
+    policy: &RetryPolicy,
+    state: &mut u64,
+    telemetry: &Telemetry,
+) -> Result<TcpStream, WireError> {
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                if attempt > policy.max_retries {
+                    return Err(WireError::Io(e));
+                }
+                telemetry.metrics.counter("net.retries").inc();
+                std::thread::sleep(policy.jittered_backoff_for(attempt, state));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +285,44 @@ mod tests {
         assert_eq!(p.backoff_for(3), Duration::from_millis(200));
         assert_eq!(p.backoff_for(4), Duration::from_millis(300), "capped");
         assert_eq!(p.backoff_for(10), Duration::from_millis(300));
+    }
+
+    #[test]
+    fn jittered_backoff_spreads_simultaneous_restarts() {
+        let p = RetryPolicy {
+            max_retries: 8,
+            backoff_base: Duration::from_millis(64),
+            backoff_cap: Duration::from_secs(2),
+        };
+        let cap = p.backoff_for(4);
+        // 32 workers restarting at once, each seeded by its identity.
+        let sleeps: Vec<Duration> = (0..32u64)
+            .map(|w| {
+                let mut state = 0x5EED ^ w.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                p.jittered_backoff_for(4, &mut state)
+            })
+            .collect();
+        assert!(sleeps.iter().all(|d| *d <= cap), "never above the cap");
+        let distinct: std::collections::BTreeSet<_> = sleeps.iter().collect();
+        assert!(
+            distinct.len() >= 30,
+            "herd must decorrelate, got {} distinct sleeps",
+            distinct.len()
+        );
+        let (min, max) = (sleeps.iter().min().unwrap(), sleeps.iter().max().unwrap());
+        assert!(
+            *max >= *min + cap / 2,
+            "jitter must cover a wide band, got [{min:?}, {max:?}] of cap {cap:?}"
+        );
+        // Same seed → same schedule: the jitter is replayable.
+        let mut a = 7u64;
+        let mut b = 7u64;
+        for attempt in 1..=6 {
+            assert_eq!(
+                p.jittered_backoff_for(attempt, &mut a),
+                p.jittered_backoff_for(attempt, &mut b)
+            );
+        }
     }
 
     #[test]

@@ -125,6 +125,14 @@ impl FrameReader {
         Ok(Some(payload))
     }
 
+    /// Bytes currently buffered awaiting a complete frame. A corrupt
+    /// length prefix is rejected at header time — before any
+    /// payload-sized allocation — so this never grows past the declared
+    /// frame size plus one read chunk.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
     /// Reads until one complete frame is available and returns its
     /// payload. Partial bytes stay buffered across calls, so a
     /// [`WireError::Timeout`] mid-frame is resumable.
@@ -255,5 +263,102 @@ mod tests {
             Err(WireError::Corrupt(what)) => assert!(what.contains("length")),
             other => panic!("expected corrupt, got {other:?}"),
         }
+    }
+
+    /// Drains `src` through a fresh reader: payloads until the first
+    /// error, plus the error itself. The property harness — any input
+    /// must land here, never in a panic.
+    fn drain(bytes: Vec<u8>, chunk: usize) -> (Vec<Vec<u8>>, WireError) {
+        let total = bytes.len();
+        let mut src = Dribble {
+            bytes,
+            pos: 0,
+            chunk: chunk.max(1),
+        };
+        let mut reader = FrameReader::new();
+        let mut frames = Vec::new();
+        loop {
+            match reader.read_frame(&mut src) {
+                Ok(payload) => frames.push(payload),
+                Err(e) => {
+                    assert!(
+                        reader.buffered() <= total,
+                        "the reader must never buffer more than it was fed"
+                    );
+                    return (frames, e);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_random_bytes_are_typed_errors_never_panics() {
+        // Pure noise and noise-with-valid-magic: every draw must come out
+        // as a typed error (or a miraculous valid frame), not a panic.
+        for seed in 0..64u64 {
+            let mut state = seed;
+            let len = 16 + (crate::fault::splitmix64(&mut state) % 512) as usize;
+            let mut bytes: Vec<u8> = (0..len)
+                .map(|_| crate::fault::splitmix64(&mut state) as u8)
+                .collect();
+            if seed % 2 == 0 {
+                // Half the cases start with real magic so the parser gets
+                // past the first check into length/checksum territory.
+                bytes[..4].copy_from_slice(&MAGIC);
+            }
+            let chunk = 1 + (crate::fault::splitmix64(&mut state) % 64) as usize;
+            let (_, err) = drain(bytes, chunk);
+            assert!(
+                matches!(
+                    err,
+                    WireError::Corrupt(_) | WireError::Disconnected | WireError::Io(_)
+                ),
+                "seed {seed}: unexpected outcome {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_of_a_frame_stream_is_a_clean_prefix() {
+        let payloads: [&[u8]; 3] = [b"alpha", b"", b"gamma-gamma"];
+        let mut stream = Vec::new();
+        for p in payloads {
+            stream.extend_from_slice(&frame(p));
+        }
+        for cut in 0..stream.len() {
+            let (frames, err) = drain(stream[..cut].to_vec(), 13);
+            // A truncated tail can only hide whole frames, never corrupt
+            // or reorder the ones before it.
+            assert!(
+                matches!(err, WireError::Disconnected),
+                "cut {cut}: got {err:?}"
+            );
+            assert!(frames.len() <= payloads.len());
+            for (got, want) in frames.iter().zip(payloads) {
+                assert_eq!(got, want, "cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_at_header_time() {
+        // Only the 16 header bytes arrive; the declared 4 GiB payload
+        // never does. The reader must reject at the header — without
+        // waiting for (or allocating room for) the phantom payload.
+        let mut header = Vec::new();
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&u32::MAX.to_le_bytes());
+        header.extend_from_slice(&0u64.to_le_bytes());
+        let mut src = Dribble {
+            bytes: header,
+            pos: 0,
+            chunk: 16,
+        };
+        let mut reader = FrameReader::new();
+        match reader.read_frame(&mut src) {
+            Err(WireError::Corrupt(what)) => assert!(what.contains("length")),
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+        assert_eq!(reader.buffered(), HEADER_LEN, "nothing beyond the header");
     }
 }

@@ -42,8 +42,22 @@ pub struct WorkerConfig {
     /// Abandon a wedged ring all-gather after this long (the
     /// coordinator's resend restarts the round for everyone).
     pub ring_timeout: Duration,
+    /// How long to wait for the `Welcome` after sending `Hello` — long
+    /// enough to sit in a standby's accept backlog through a takeover.
+    pub admit_timeout: Duration,
     /// Announce this join as a crash-recovery rejoin.
     pub rejoin: bool,
+    /// Fallback coordinator addresses (standbys, in takeover-priority
+    /// order) that [`run_worker_resilient`] rotates through when the
+    /// current link dies.
+    pub fallbacks: Vec<String>,
+    /// How many consecutive *failed* sessions (ended in error without
+    /// serving a round) [`run_worker_resilient`] tolerates before it
+    /// gives up.
+    pub failover_retries: u32,
+    /// Seed of the full-jitter reconnect backoff; give each worker a
+    /// distinct seed so a herd restarting after a failover decorrelates.
+    pub jitter_seed: u64,
 }
 
 impl WorkerConfig {
@@ -55,7 +69,11 @@ impl WorkerConfig {
             retry: RetryPolicy::default(),
             recv_timeout: Duration::from_millis(500),
             ring_timeout: Duration::from_secs(2),
+            admit_timeout: Duration::from_secs(30),
             rejoin: false,
+            fallbacks: Vec::new(),
+            failover_retries: 8,
+            jitter_seed: 0,
         }
     }
 }
@@ -77,13 +95,18 @@ pub enum WorkerEvent {
 /// What a worker did before shutting down.
 #[derive(Clone, Copy, Debug)]
 pub struct WorkerOutcome {
-    /// The slot owned at admission.
+    /// The slot owned at admission (the last session's, under
+    /// [`run_worker_resilient`]).
     pub slot: usize,
-    /// Gradient rounds served.
+    /// Gradient rounds served (summed over sessions under
+    /// [`run_worker_resilient`]).
     pub rounds: u64,
     /// The run iteration recorded in the admission state (non-zero for
     /// a rejoin against a mid-run checkpoint).
     pub joined_at_iteration: u64,
+    /// Coordinator sessions this worker served (1 unless the resilient
+    /// loop re-admitted it after a link loss or failover).
+    pub sessions: u32,
 }
 
 /// Ring-link state: one inbound (predecessor) and one outbound
@@ -295,17 +318,28 @@ pub fn run_worker(
         ring_addr,
     })?;
 
-    // Admission: wait for the Welcome, tolerate quiet.
-    let admit_deadline = Instant::now() + Duration::from_secs(30);
-    let (slot, _k, topology, weight_decay, state) = loop {
+    // Admission: wait for the Welcome, tolerate quiet (a standby queues
+    // the Hello and answers only once it has taken over).
+    let admit_deadline = Instant::now() + cfg.admit_timeout;
+    let (slot, _k, topology, weight_decay, heartbeat_ms, state) = loop {
         match conn.recv_timeout(cfg.recv_timeout) {
             Ok(Msg::Welcome {
                 slot,
                 k,
                 topology,
                 weight_decay,
+                heartbeat_ms,
                 state,
-            }) => break (slot as usize, k as usize, topology, weight_decay, state),
+            }) => {
+                break (
+                    slot as usize,
+                    k as usize,
+                    topology,
+                    weight_decay,
+                    heartbeat_ms,
+                    state,
+                )
+            }
             Ok(Msg::Shutdown) => return Err(WireError::Disconnected),
             Ok(_) => continue,
             Err(WireError::Timeout) if Instant::now() < admit_deadline => continue,
@@ -333,14 +367,22 @@ pub fn run_worker(
         rejoin: cfg.rejoin,
     });
 
-    // Heartbeats share the socket through the frame-atomic sender.
+    // Heartbeats share the socket through the frame-atomic sender. The
+    // coordinator's Welcome dictates the interval (keeping the validated
+    // interval < eviction-timeout relation cluster-wide); 0 falls back
+    // to the worker's own default.
+    let hb_interval = if heartbeat_ms > 0 {
+        Duration::from_millis(heartbeat_ms)
+    } else {
+        cfg.heartbeat_interval
+    };
     let stop = Arc::new(AtomicBool::new(false));
     let slot_cell = Arc::new(AtomicU32::new(slot as u32));
     let hb = spawn_heartbeat(
         conn.sender(),
         Arc::clone(&stop),
         Arc::clone(&slot_cell),
-        cfg.heartbeat_interval,
+        hb_interval,
     );
 
     let result = serve(
@@ -359,7 +401,84 @@ pub fn run_worker(
         slot,
         rounds,
         joined_at_iteration,
+        sessions: 1,
     })
+}
+
+/// [`run_worker`] in a failover-surviving loop: when a session ends in a
+/// link error, reconnect — rotating through `cfg.connect` and
+/// `cfg.fallbacks` — and re-`Hello` as a rejoin, with seeded full-jitter
+/// backoff between attempts so a worker herd restarting after a primary
+/// crash decorrelates. Returns once a session ends with the
+/// coordinator's `Shutdown`; `slot`/`rounds` describe that final
+/// session, `sessions` counts every admission attempt.
+///
+/// # Errors
+/// The last session's [`WireError`] once `cfg.failover_retries + 1`
+/// consecutive sessions failed without being admitted. A session that
+/// was admitted (its `Joined` event fired) refreshes the retry budget
+/// and restarts the dial rotation at the primary address.
+///
+/// # Panics
+/// As [`run_worker`].
+pub fn run_worker_resilient(
+    net: &Network,
+    cfg: &WorkerConfig,
+    telemetry: &Telemetry,
+    on_event: &dyn Fn(WorkerEvent),
+) -> Result<WorkerOutcome, WireError> {
+    let mut addrs = vec![cfg.connect.clone()];
+    addrs.extend(cfg.fallbacks.iter().cloned());
+    let mut jitter = cfg.jitter_seed;
+    let mut sessions = 0u32;
+    let mut failures = 0u32; // consecutive sessions that never joined
+    let mut next_addr = 0usize;
+    loop {
+        let joined = AtomicBool::new(false);
+        let tap = |ev: WorkerEvent| {
+            if matches!(ev, WorkerEvent::Joined { .. }) {
+                joined.store(true, Ordering::Relaxed);
+            }
+            on_event(ev);
+        };
+        let mut session_cfg = cfg.clone();
+        session_cfg.connect = addrs[next_addr % addrs.len()].clone();
+        // Any session after the first is a crash-recovery rejoin.
+        session_cfg.rejoin = cfg.rejoin || sessions > 0;
+        sessions += 1;
+        match run_worker(net, &session_cfg, telemetry, &tap) {
+            Ok(outcome) => {
+                telemetry
+                    .metrics
+                    .counter("net.worker_sessions")
+                    .add(u64::from(sessions));
+                return Ok(WorkerOutcome {
+                    sessions,
+                    ..outcome
+                });
+            }
+            Err(e) => {
+                if joined.load(Ordering::Relaxed) {
+                    // Admitted, then the link died mid-run — the primary
+                    // crashed or we were evicted. Fresh budget, dial the
+                    // primary address first again.
+                    failures = 0;
+                    next_addr = 0;
+                } else {
+                    failures += 1;
+                    next_addr += 1;
+                    if failures > cfg.failover_retries {
+                        return Err(e);
+                    }
+                }
+                telemetry.metrics.counter("net.worker_failovers").inc();
+                std::thread::sleep(
+                    cfg.retry
+                        .jittered_backoff_for(failures.clamp(1, 6), &mut jitter),
+                );
+            }
+        }
+    }
 }
 
 fn spawn_heartbeat(

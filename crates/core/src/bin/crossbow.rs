@@ -16,11 +16,17 @@
 use crossbow::autotuner::tune_to_convergence;
 use crossbow::benchmark::Benchmark;
 use crossbow::comms::{
-    demo_algo, demo_task, run_worker, ClusterEvent, Coordinator, DistConfig, NetFaultPlan,
-    Topology, WorkerConfig, WorkerEvent,
+    demo_algo, demo_task, run_chaos, run_standby, run_worker, run_worker_resilient, ChaosOptions,
+    ChaosScenario, ClusterEvent, Coordinator, DistConfig, DistReport, NetFaultPlan, SimPhase,
+    SimPhaseReport, StandbyConfig, StandbyEvent, StandbyOutcome, Topology, WorkerConfig,
+    WorkerEvent,
 };
 use crossbow::engine::{AlgorithmKind, Session, SessionConfig};
-use crossbow::exec_sim::{simulate, simulate_with_machine, SimConfig};
+use crossbow::exec_sim::{
+    simulate, simulate_robust, simulate_with_machine, RobustSimConfig, SimConfig,
+};
+use crossbow::gpu_sim::{FaultPlan, SimDuration};
+use crossbow::nn::ModelProfile;
 use crossbow::serve::{
     train_and_serve, BatchConfig, LoadConfig, LoadMode, ServeConfig, TrainAndServeConfig,
 };
@@ -44,6 +50,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "train" => cmd_train(rest),
         "dist-train" => cmd_dist_train(rest),
+        "chaos" => cmd_chaos(rest),
         "simulate" => cmd_simulate(rest),
         "autotune" => cmd_autotune(rest),
         "serve" => cmd_serve(rest),
@@ -76,8 +83,20 @@ USAGE:
                       [--init-seed S] [--bind ADDR] [--checkpoint-dir DIR]
                       [--progress-every I] [--fault-seed S] [--drop P]
                       [--delay-prob P] [--delay-us U] [--disconnect-after N]
-                      [--only-conn ID]
-    crossbow dist-train --role worker --connect ADDR [--rejoin 0|1]
+                      [--only-conn ID] [--partition-start F] [--partition-len F]
+                      [--heartbeat-timeout-ms T] [--heartbeat-interval-ms T]
+                      [--work-resend-ms T] [--join-timeout-ms T]
+                      [--hello-timeout-ms T] [--lease-interval-ms T]
+                      [--lease-timeout-ms T] [--state-every I] [--term N]
+    crossbow dist-train --role standby --connect ADDR [--bind ADDR]
+                      [--priority P] [--peers A,B,...] [--workers N]
+                      [--topology ps|ring] [--algo sma|ssgd] [--epochs E]
+                      [--batch B] [--seed S] [--init-seed S]
+                      [--progress-every I] [+ the coordinator timing flags]
+    crossbow dist-train --role worker --connect ADDR[,FALLBACK...]
+                      [--rejoin 0|1] [--failover-retries N] [--jitter-seed S]
+    crossbow chaos    --scenario kill-primary|partition-heal|cascade
+                      [--seed S] [--topology ps|ring] | --list 1
     crossbow simulate [--model NAME] [--gpus N] [--learners M] [--batch B]
                       [--tau T|inf] [--trace FILE]
     crossbow autotune [--model NAME] [--gpus N] [--batch B]
@@ -239,13 +258,92 @@ fn cmd_dist_train(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     match flags.get("role").unwrap_or("coordinator") {
         "coordinator" => dist_coordinator(&flags),
+        "standby" => dist_standby(&flags),
         "worker" => dist_worker(&flags),
-        other => Err(format!("unknown role `{other}` (coordinator|worker)")),
+        other => Err(format!(
+            "unknown role `{other}` (coordinator|standby|worker)"
+        )),
     }
 }
 
+/// The coordinator timing knobs shared by the coordinator and standby
+/// roles; all validated together by `DistConfig::validate` at bind time.
+const DIST_TIMING_FLAGS: &[&str] = &[
+    "heartbeat-timeout-ms",
+    "heartbeat-interval-ms",
+    "work-resend-ms",
+    "join-timeout-ms",
+    "hello-timeout-ms",
+    "lease-interval-ms",
+    "lease-timeout-ms",
+    "state-every",
+    "term",
+];
+
+fn apply_timing_flags(flags: &Flags<'_>, dist: &mut DistConfig) -> Result<(), String> {
+    let ms = |flags: &Flags<'_>, key: &str, default: Duration| -> Result<Duration, String> {
+        Ok(Duration::from_millis(
+            flags.parse_num(key, default.as_millis() as u64)?,
+        ))
+    };
+    dist.heartbeat_timeout = ms(flags, "heartbeat-timeout-ms", dist.heartbeat_timeout)?;
+    dist.heartbeat_interval = ms(flags, "heartbeat-interval-ms", dist.heartbeat_interval)?;
+    dist.work_resend = ms(flags, "work-resend-ms", dist.work_resend)?;
+    dist.join_timeout = ms(flags, "join-timeout-ms", dist.join_timeout)?;
+    dist.hello_timeout = ms(flags, "hello-timeout-ms", dist.hello_timeout)?;
+    dist.lease_interval = ms(flags, "lease-interval-ms", dist.lease_interval)?;
+    dist.lease_timeout = ms(flags, "lease-timeout-ms", dist.lease_timeout)?;
+    dist.state_every = flags.parse_num("state-every", dist.state_every)?;
+    dist.term = flags.parse_num("term", dist.term)?;
+    Ok(())
+}
+
+fn parse_topology(flags: &Flags<'_>) -> Result<Topology, String> {
+    match flags.get("topology").unwrap_or("ps") {
+        "ps" => Ok(Topology::Ps),
+        "ring" => Ok(Topology::Ring),
+        other => Err(format!("unknown topology `{other}` (ps|ring)")),
+    }
+}
+
+fn cluster_event_hook() -> Arc<dyn Fn(ClusterEvent) + Send + Sync> {
+    Arc::new(|event| match event {
+        ClusterEvent::Joined { slot, rejoin } => {
+            println!("JOINED slot={slot} rejoin={rejoin}")
+        }
+        ClusterEvent::Evicted { slot, reason } => {
+            println!("EVICTED slot={slot} reason={reason}")
+        }
+        ClusterEvent::Resent { iter, attempt } => {
+            println!("RESENT iter={iter} attempt={attempt}")
+        }
+        ClusterEvent::StandbyJoined { priority } => {
+            println!("STANDBY-JOINED priority={priority}")
+        }
+    })
+}
+
+fn print_report(report: &DistReport) {
+    println!(
+        "REPORT evictions={} rejoins={} retries={} faults_injected={} bytes_sent={} \
+         bytes_recv={} workers={} term={} checksum={:016x} final_acc={:.4} epochs={} iterations={}",
+        report.counters.evictions,
+        report.counters.rejoins,
+        report.counters.retries,
+        report.faults_injected,
+        report.bytes_sent,
+        report.bytes_recv,
+        report.workers,
+        report.term,
+        report.model_checksum,
+        report.curve.final_accuracy,
+        report.curve.epoch_accuracy.len(),
+        report.curve.iterations,
+    );
+}
+
 fn dist_coordinator(flags: &Flags<'_>) -> Result<(), String> {
-    flags.reject_unknown(&[
+    let mut allowed = vec![
         "role",
         "workers",
         "topology",
@@ -263,16 +361,17 @@ fn dist_coordinator(flags: &Flags<'_>) -> Result<(), String> {
         "delay-us",
         "disconnect-after",
         "only-conn",
-    ])?;
+        "partition-start",
+        "partition-len",
+    ];
+    allowed.extend_from_slice(DIST_TIMING_FLAGS);
+    flags.reject_unknown(&allowed)?;
     let workers = flags.parse_num("workers", 2usize)?;
-    let topology = match flags.get("topology").unwrap_or("ps") {
-        "ps" => Topology::Ps,
-        "ring" => Topology::Ring,
-        other => return Err(format!("unknown topology `{other}` (ps|ring)")),
-    };
+    let topology = parse_topology(flags)?;
     let mut dist = DistConfig::new(topology, workers);
-    if let Some(seed) = flags.get("fault-seed") {
-        let seed: u64 = seed.parse().map_err(|_| "--fault-seed expects a number")?;
+    apply_timing_flags(flags, &mut dist)?;
+    if flags.get("fault-seed").is_some() || flags.get("partition-start").is_some() {
+        let seed: u64 = flags.parse_num("fault-seed", 0u64)?;
         let mut plan = NetFaultPlan::seeded(seed)
             .drop(flags.parse_num("drop", 0.0f64)?)
             .delay(
@@ -285,6 +384,13 @@ fn dist_coordinator(flags: &Flags<'_>) -> Result<(), String> {
                     .map_err(|_| "--disconnect-after expects a number")?,
             );
         }
+        if let Some(start) = flags.get("partition-start") {
+            let start: u64 = start
+                .parse()
+                .map_err(|_| "--partition-start expects a frame index")?;
+            let len: u64 = flags.parse_num("partition-len", 4u64)?;
+            plan = plan.partition(start, start + len);
+        }
         if let Some(id) = flags.get("only-conn") {
             plan = plan.only_conn(id.parse().map_err(|_| "--only-conn expects a number")?);
         }
@@ -294,17 +400,7 @@ fn dist_coordinator(flags: &Flags<'_>) -> Result<(), String> {
     let coordinator =
         Coordinator::bind(flags.get("bind").unwrap_or("127.0.0.1:0"), dist, telemetry)
             .map_err(|e| format!("bind failed: {e}"))?
-            .with_events(Arc::new(|event| match event {
-                ClusterEvent::Joined { slot, rejoin } => {
-                    println!("JOINED slot={slot} rejoin={rejoin}")
-                }
-                ClusterEvent::Evicted { slot, reason } => {
-                    println!("EVICTED slot={slot} reason={reason}")
-                }
-                ClusterEvent::Resent { iter, attempt } => {
-                    println!("RESENT iter={iter} attempt={attempt}")
-                }
-            }));
+            .with_events(cluster_event_hook());
     println!(
         "LISTENING {}",
         coordinator.local_addr().map_err(|e| e.to_string())?
@@ -337,45 +433,203 @@ fn dist_coordinator(flags: &Flags<'_>) -> Result<(), String> {
     } else {
         coordinator.run(&net, &train_set, &test_set, algo.as_mut(), &trainer)
     };
+    print_report(&report);
+    Ok(())
+}
+
+/// `--role standby`: bind an advertised listener, register with the
+/// primary for state replication, and — if its leases stop — take over
+/// and finish the run, printing the same `REPORT` line a coordinator
+/// would.
+fn dist_standby(flags: &Flags<'_>) -> Result<(), String> {
+    let mut allowed = vec![
+        "role",
+        "connect",
+        "bind",
+        "priority",
+        "peers",
+        "workers",
+        "topology",
+        "algo",
+        "epochs",
+        "batch",
+        "seed",
+        "init-seed",
+        "progress-every",
+    ];
+    allowed.extend_from_slice(DIST_TIMING_FLAGS);
+    flags.reject_unknown(&allowed)?;
+    let connect = flags
+        .get("connect")
+        .ok_or("--role standby needs --connect ADDR")?;
+    let listener = std::net::TcpListener::bind(flags.get("bind").unwrap_or("127.0.0.1:0"))
+        .map_err(|e| format!("bind failed: {e}"))?;
     println!(
-        "REPORT evictions={} rejoins={} retries={} faults_injected={} bytes_sent={} \
-         bytes_recv={} workers={} checksum={:016x} final_acc={:.4} epochs={} iterations={}",
-        report.counters.evictions,
-        report.counters.rejoins,
-        report.counters.retries,
-        report.faults_injected,
-        report.bytes_sent,
-        report.bytes_recv,
-        report.workers,
-        report.model_checksum,
-        report.curve.final_accuracy,
-        report.curve.epoch_accuracy.len(),
-        report.curve.iterations,
+        "STANDBY LISTENING {}",
+        listener.local_addr().map_err(|e| e.to_string())?
     );
+    let workers = flags.parse_num("workers", 2usize)?;
+    let mut dist = DistConfig::new(parse_topology(flags)?, workers);
+    apply_timing_flags(flags, &mut dist)?;
+    dist.validate()?;
+    let mut scfg = StandbyConfig::new(connect);
+    scfg.priority = flags.parse_num("priority", 1u32)?;
+    if let Some(peers) = flags.get("peers") {
+        scfg.peers = peers.split(',').map(str::to_string).collect();
+    }
+    let trainer = TrainerConfig::new(
+        flags.parse_num("batch", 8usize)?,
+        flags.parse_num("epochs", 4usize)?,
+    )
+    .with_seed(flags.parse_num("seed", 11u64)?)
+    .with_publish(PublishHook::new(
+        flags.parse_num("progress-every", 5u64)?,
+        |iter, _| println!("PROGRESS iter={iter}"),
+    ));
+    let (net, train_set, test_set) = demo_task();
+    let algo_name = flags.get("algo").unwrap_or("sma").to_string();
+    let init_seed = flags.parse_num("init-seed", 3u64)?;
+    let outcome = run_standby(
+        &net,
+        &train_set,
+        &test_set,
+        &|k| demo_algo(&net, k, &algo_name, init_seed),
+        &trainer,
+        &dist,
+        &scfg,
+        listener,
+        Telemetry::disabled(),
+        Some(cluster_event_hook()),
+        &|event| match event {
+            StandbyEvent::Registered { term } => println!("STANDBY REGISTERED term={term}"),
+            StandbyEvent::State { term, seq, .. } if seq % 100 == 1 => {
+                println!("STANDBY STATE term={term} seq={seq}")
+            }
+            StandbyEvent::State { .. } => {}
+            StandbyEvent::Deferred { peer, term } => {
+                println!("STANDBY DEFERRED peer={peer} term={term}")
+            }
+            StandbyEvent::TakingOver { term } => println!("STANDBY TAKEOVER term={term}"),
+        },
+    )
+    .map_err(|e| format!("standby failed: {e}"))?;
+    match outcome {
+        StandbyOutcome::PrimaryFinished => println!("STANDBY DONE primary-finished"),
+        StandbyOutcome::TookOver(report) => print_report(&report),
+    }
     Ok(())
 }
 
 fn dist_worker(flags: &Flags<'_>) -> Result<(), String> {
-    flags.reject_unknown(&["role", "connect", "rejoin"])?;
+    flags.reject_unknown(&[
+        "role",
+        "connect",
+        "rejoin",
+        "failover-retries",
+        "jitter-seed",
+    ])?;
     let connect = flags
         .get("connect")
-        .ok_or("--role worker needs --connect ADDR")?;
-    let mut cfg = WorkerConfig::new(connect);
+        .ok_or("--role worker needs --connect ADDR[,FALLBACK...]")?;
+    let mut addrs = connect.split(',').map(str::to_string);
+    let mut cfg = WorkerConfig::new(addrs.next().expect("split yields at least one"));
+    cfg.fallbacks = addrs.collect();
     cfg.rejoin = matches!(flags.get("rejoin"), Some("1") | Some("true"));
+    cfg.failover_retries = flags.parse_num("failover-retries", 0u32)?;
+    cfg.jitter_seed = flags.parse_num("jitter-seed", 0u64)?;
+    let resilient = cfg.failover_retries > 0 || !cfg.fallbacks.is_empty();
     let (net, _, _) = demo_task();
-    let outcome = run_worker(&net, &cfg, &Telemetry::disabled(), &|event| match event {
+    let telemetry = Telemetry::disabled();
+    let on_event = |event: WorkerEvent| match event {
         WorkerEvent::Joined {
             slot,
             iterations,
             rejoin,
         } => println!("WORKER JOINED slot={slot} iter={iterations} rejoin={rejoin}"),
-    })
+    };
+    let outcome = if resilient {
+        run_worker_resilient(&net, &cfg, &telemetry, &on_event)
+    } else {
+        run_worker(&net, &cfg, &telemetry, &on_event)
+    }
     .map_err(|e| format!("worker failed: {e}"))?;
     println!(
-        "WORKER DONE slot={} rounds={} joined_at={}",
-        outcome.slot, outcome.rounds, outcome.joined_at_iteration
+        "WORKER DONE slot={} rounds={} joined_at={} sessions={}",
+        outcome.slot, outcome.rounds, outcome.joined_at_iteration, outcome.sessions
     );
     Ok(())
+}
+
+/// `crossbow chaos`: run one named, seeded chaos scenario and print its
+/// `CHAOS-REPORT` marker. Exits non-zero when an invariant fails.
+fn cmd_chaos(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.reject_unknown(&["scenario", "seed", "topology", "list"])?;
+    if flags.get("list").is_some() {
+        println!("chaos scenarios:");
+        for s in ChaosScenario::all() {
+            println!("  {}", s.name());
+        }
+        return Ok(());
+    }
+    let name = flags
+        .get("scenario")
+        .ok_or("chaos needs --scenario NAME (try --list 1)")?;
+    let scenario = ChaosScenario::parse(name)
+        .ok_or_else(|| format!("unknown scenario `{name}` (try --list 1)"))?;
+    let opts = ChaosOptions {
+        scenario,
+        seed: flags.parse_num("seed", 7u64)?,
+        topology: parse_topology(&flags)?,
+        binary: std::env::current_exe().ok(),
+        sim: Some(sim_phase()),
+    };
+    let telemetry = Telemetry::disabled();
+    let report = run_chaos(&opts, &telemetry, &|line| println!("{line}"));
+    println!("{}", report.marker());
+    println!(
+        "chaos counters: scenarios={} kills={} failed={}",
+        telemetry.metrics.counter("chaos.scenarios").get(),
+        telemetry.metrics.counter("chaos.kills").get(),
+        telemetry.metrics.counter("chaos.failed").get(),
+    );
+    if report.pass {
+        Ok(())
+    } else {
+        Err(format!("chaos invariant violated: {}", report.marker()))
+    }
+}
+
+/// The cascade scenario's GPU-simulation phase: a seeded straggler +
+/// transient-collective plan on a 4-GPU ResNet-32 run under the robust
+/// driver, summarised into a deterministic fingerprint.
+fn sim_phase() -> SimPhase {
+    Box::new(|seed| {
+        let mut sim = SimConfig::crossbow(ModelProfile::resnet32(), 4, 1, 64);
+        sim.iterations = 32;
+        let horizon = simulate(&sim).total_time;
+        let plan = FaultPlan::from_seed(seed, 4, SimDuration::from_nanos(horizon.as_nanos()));
+        let report = simulate_robust(&RobustSimConfig::new(sim, plan));
+        let c = &report.faults;
+        let mut checksum = 0xcbf2_9ce4_8422_2325u64;
+        for v in [
+            report.total_time.as_nanos(),
+            c.task_retries,
+            c.sync_retries,
+            c.dropped_syncs,
+            c.quarantines,
+            c.rejoins,
+            c.injected.total(),
+        ] {
+            checksum ^= v;
+            checksum = checksum.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        SimPhaseReport {
+            checksum,
+            recovered: c.dropped_syncs == 0 && c.injected.total() > 0,
+            faults: c.injected.total(),
+        }
+    })
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
@@ -486,7 +740,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         trainer,
         publish_every: flags.parse_num("publish-every", 20u64)?,
         serve: serve_config,
-        load: LoadConfig { mode, seed },
+        load: LoadConfig {
+            mode,
+            seed,
+            panic_client: None,
+        },
     };
     let report = train_and_serve(&net, &train_set, &test_set, &mut algo, &config);
 

@@ -455,6 +455,7 @@ impl Session {
             }),
             crash_after: c.robustness.as_ref().and_then(|r| r.crash_after),
             publish: None,
+            state_hook: None,
             telemetry: c.telemetry.clone(),
         };
         if trainer_config.checkpoint.is_some() {

@@ -673,6 +673,7 @@ mod tests {
             checkpoint: None,
             crash_after: None,
             publish: None,
+            state_hook: None,
             telemetry: None,
         };
         let synchronous =

@@ -41,6 +41,9 @@ pub struct LoadConfig {
     pub mode: LoadMode,
     /// Seed for input selection.
     pub seed: u64,
+    /// Test hook: the closed-loop client with this index panics instead
+    /// of running, exercising the harness's panic containment.
+    pub panic_client: Option<usize>,
 }
 
 /// What a load run observed.
@@ -54,6 +57,9 @@ pub struct LoadResult {
     pub rejected: u64,
     /// Requests that errored any other way (`NoModel`, `Dropped`, …).
     pub failed: u64,
+    /// Closed-loop client threads that panicked mid-run. Their partial
+    /// observations are lost, but the run itself survives and reports.
+    pub client_panics: u64,
     /// Whether every closed-loop client observed non-decreasing snapshot
     /// versions (vacuously true in open mode, where completions are
     /// unordered).
@@ -75,6 +81,7 @@ impl LoadResult {
             ok: 0,
             rejected: 0,
             failed: 0,
+            client_panics: 0,
             versions_monotonic: true,
             min_version: u64::MAX,
             max_version: 0,
@@ -88,6 +95,7 @@ impl LoadResult {
         self.ok += other.ok;
         self.rejected += other.rejected;
         self.failed += other.failed;
+        self.client_panics += other.client_panics;
         self.versions_monotonic &= other.versions_monotonic;
         self.min_version = self.min_version.min(other.min_version);
         self.max_version = self.max_version.max(other.max_version);
@@ -171,6 +179,10 @@ pub fn run_load(client: &Client, inputs: &[Vec<f32>], config: &LoadConfig) -> Lo
                     .map(|c| {
                         let client = client.clone();
                         scope.spawn(move || {
+                            assert!(
+                                config.panic_client != Some(c),
+                                "injected load-client panic (client {c})"
+                            );
                             let mut rng = Rng::new(config.seed ^ (c as u64).wrapping_mul(0x9e37));
                             let mut log = ClientLog::new();
                             for _ in 0..requests_per_client {
@@ -181,9 +193,18 @@ pub fn run_load(client: &Client, inputs: &[Vec<f32>], config: &LoadConfig) -> Lo
                         })
                     })
                     .collect();
+                // A panicked client must not take the whole run down: its
+                // observations are lost, but the panic itself becomes a
+                // counted, reportable outcome.
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("load client panicked"))
+                    .map(|h| {
+                        h.join().unwrap_or_else(|_| {
+                            let mut log = ClientLog::new();
+                            log.result.client_panics = 1;
+                            log
+                        })
+                    })
                     .collect()
             });
             let mut merged = LoadResult::empty();
@@ -251,6 +272,7 @@ mod tests {
                     requests_per_client: 25,
                 },
                 seed: 9,
+                panic_client: None,
             },
         );
         assert_eq!(result.submitted, 100);
@@ -274,12 +296,35 @@ mod tests {
                     requests: 60,
                 },
                 seed: 9,
+                panic_client: None,
             },
         );
         assert_eq!(result.submitted, 60);
         assert_eq!(result.ok, 60);
         // Pacing 60 arrivals at 2000/s takes at least ~30ms.
         assert!(result.wall >= Duration::from_millis(25));
+        server.shutdown();
+    }
+
+    #[test]
+    fn a_panicking_client_is_counted_not_fatal() {
+        let (server, inputs) = serving();
+        let result = run_load(
+            &server.client(),
+            &inputs,
+            &LoadConfig {
+                mode: LoadMode::Closed {
+                    clients: 4,
+                    requests_per_client: 25,
+                },
+                seed: 9,
+                panic_client: Some(2),
+            },
+        );
+        assert_eq!(result.client_panics, 1, "the panic is a counted outcome");
+        assert_eq!(result.submitted, 75, "the other three clients finish");
+        assert_eq!(result.ok, 75);
+        assert!(result.versions_monotonic);
         server.shutdown();
     }
 

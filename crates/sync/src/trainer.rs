@@ -70,6 +70,53 @@ impl std::fmt::Debug for PublishHook {
     }
 }
 
+/// A consumer of the trainer's complete durable state.
+///
+/// Installed via [`TrainerConfig::with_state_hook`], the hook is called
+/// with a freshly captured [`TrainingState`] after every `every`-th
+/// applied iteration — the same post-step snapshot a durable checkpoint
+/// would persist, so a consumer that later resumes from it (through
+/// [`train_from_state_with_source`]) replays the remaining run
+/// bit-identically. This is the replication tap: `crossbow-comms`
+/// streams these states to warm-standby coordinators.
+#[derive(Clone)]
+pub struct StateHook {
+    every: u64,
+    hook: StateFn,
+}
+
+/// The callback type a [`StateHook`] wraps.
+type StateFn = Arc<dyn Fn(&TrainingState) + Send + Sync>;
+
+impl StateHook {
+    /// A hook firing after every `every`-th applied iteration (`every`
+    /// is clamped to at least 1).
+    pub fn new(every: u64, hook: impl Fn(&TrainingState) + Send + Sync + 'static) -> Self {
+        StateHook {
+            every: every.max(1),
+            hook: Arc::new(hook),
+        }
+    }
+
+    /// The replication interval in applied iterations.
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// Invokes the hook unconditionally.
+    pub fn publish(&self, state: &TrainingState) {
+        (self.hook)(state);
+    }
+}
+
+impl std::fmt::Debug for StateHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StateHook")
+            .field("every", &self.every)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Configuration of a training run.
 #[derive(Clone, Debug)]
 pub struct TrainerConfig {
@@ -109,6 +156,10 @@ pub struct TrainerConfig {
     /// consumer (e.g. a serving snapshot registry) right after a
     /// synchronisation step (`None` = off).
     pub publish: Option<PublishHook>,
+    /// State-replication hook: periodically hands the run's complete
+    /// [`TrainingState`] to a consumer (e.g. a warm-standby coordinator)
+    /// at the end of an applied iteration (`None` = off).
+    pub state_hook: Option<StateHook>,
     /// Span/metrics sink: records learning, global-sync, eval,
     /// snapshot-publish and checkpoint-write spans per iteration, and
     /// wires checkpoint size/latency metrics into the store (`None` =
@@ -232,6 +283,7 @@ impl TrainerConfig {
             checkpoint: None,
             crash_after: None,
             publish: None,
+            state_hook: None,
             telemetry: None,
         }
     }
@@ -275,6 +327,12 @@ impl TrainerConfig {
     /// Installs a consensus-model publication hook (builder style).
     pub fn with_publish(mut self, publish: PublishHook) -> Self {
         self.publish = Some(publish);
+        self
+    }
+
+    /// Installs a state-replication hook (builder style).
+    pub fn with_state_hook(mut self, hook: StateHook) -> Self {
+        self.state_hook = Some(hook);
         self
     }
 
@@ -466,6 +524,53 @@ pub fn resume_with_source(
     Ok(run(
         net, train_set, test_set, algo, config, restored, store, source,
     ))
+}
+
+/// [`train_with_source`] seeded from an in-memory [`TrainingState`] — the
+/// warm-standby takeover path: a new coordinator resumes from the state
+/// the old primary streamed to it (via [`StateHook`]) instead of from a
+/// durable checkpoint file. `state: None` trains from scratch.
+///
+/// The state is post-step consistent, so the continued run replays the
+/// exact sample and update stream the interrupted run would have
+/// produced: curve and model are bit-identical to an undisturbed run.
+///
+/// # Panics
+/// Panics on configuration/dataset/network mismatches, or when `state`
+/// does not fit the run (seed, algorithm, or parameter-count mismatch) —
+/// a takeover that silently retrained from scratch would violate the
+/// failover bit-identity invariant.
+pub fn train_from_state_with_source(
+    net: &Network,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    algo: &mut dyn SyncAlgorithm,
+    config: &TrainerConfig,
+    state: Option<TrainingState>,
+    source: &mut dyn GradientSource,
+) -> TrainingCurve {
+    if let Some(st) = &state {
+        assert!(
+            st.seed == config.seed
+                && st.algorithm == algo.name()
+                && st.algo.center.len() == algo.param_len()
+                && !st.rngs.is_empty(),
+            "replicated state does not fit this run (seed {} vs {}, algorithm {:?} vs {:?}, \
+             params {} vs {})",
+            st.seed,
+            config.seed,
+            st.algorithm,
+            algo.name(),
+            st.algo.center.len(),
+            algo.param_len(),
+        );
+    }
+    let store = config
+        .checkpoint
+        .as_ref()
+        .map(|ckpt| ckpt.store().expect("cannot open the checkpoint directory"))
+        .map(|s| attach_metrics(s, config));
+    run(net, train_set, test_set, algo, config, state, store, source)
 }
 
 /// Mutable loop state beyond the curve itself — bundled so the
@@ -850,6 +955,17 @@ fn run(
                 }
             }
         }
+        if let Some(hook) = &config.state_hook {
+            // End-of-iteration replication tap: the captured state is the
+            // same post-step snapshot a durable checkpoint would persist
+            // (cursor points at the next batch), so a standby resuming
+            // from it replays the rest of the run bit-identically.
+            if curve.iterations.is_multiple_of(hook.every()) {
+                if let Some(state) = capture_state(algo, &sampler, &curve, config, &progress) {
+                    hook.publish(&state);
+                }
+            }
+        }
         if config.crash_after == Some(curve.iterations) {
             // Simulated host crash: abandon the run mid-flight. Durable
             // checkpoints survive on disk; the returned curve is partial.
@@ -1229,6 +1345,78 @@ mod tests {
         );
         assert!(seen.windows(2).all(|w| w[0] < w[1]), "iterations increase");
         assert!(seen.iter().all(|i| i.is_multiple_of(10)));
+    }
+
+    #[test]
+    fn resume_from_a_streamed_state_is_bit_identical() {
+        use std::sync::Mutex;
+        let (net, train_set, test_set) = setup();
+        let fresh_algo = || Sma::new(net.init_params(&mut Rng::new(1)), 2, SmaConfig::default());
+        let cfg = TrainerConfig::new(8, 3);
+        let mut algo = fresh_algo();
+        let full = train(&net, &train_set, &test_set, &mut algo, &cfg);
+        let full_model = algo.consensus().to_vec();
+        assert!(full.iterations > 20, "run long enough to capture mid-way");
+        // Stream every state; keep the one captured after iteration 20.
+        let captured: Arc<Mutex<Option<TrainingState>>> = Arc::new(Mutex::new(None));
+        let slot = Arc::clone(&captured);
+        let hook = StateHook::new(1, move |st| {
+            if st.iterations == 20 {
+                *slot.lock().unwrap() = Some(st.clone());
+            }
+        });
+        let mut algo = fresh_algo();
+        let _ = train(
+            &net,
+            &train_set,
+            &test_set,
+            &mut algo,
+            &cfg.clone().with_state_hook(hook),
+        );
+        let st = captured
+            .lock()
+            .unwrap()
+            .take()
+            .expect("the hook saw iteration 20");
+        assert_eq!(st.iterations, 20);
+        // A standby resuming from the streamed snapshot replays the tail
+        // and lands on the exact same curve and model.
+        let mut algo = fresh_algo();
+        let mut source = LocalGradients::new(&net, algo.k(), &cfg);
+        let resumed = train_from_state_with_source(
+            &net,
+            &train_set,
+            &test_set,
+            &mut algo,
+            &cfg,
+            Some(st),
+            &mut source,
+        );
+        assert_eq!(resumed, full, "curve must be bit-exact after takeover");
+        assert_eq!(algo.consensus(), &full_model[..], "model must match");
+    }
+
+    #[test]
+    #[should_panic(expected = "replicated state does not fit this run")]
+    fn misfit_replicated_state_is_rejected() {
+        let (net, train_set, test_set) = setup();
+        let mut algo = Sma::new(net.init_params(&mut Rng::new(1)), 2, SmaConfig::default());
+        let cfg = TrainerConfig::new(8, 1);
+        let st = TrainingState {
+            seed: cfg.seed + 1, // wrong run
+            algorithm: algo.name().to_string(),
+            ..TrainingState::default()
+        };
+        let mut source = LocalGradients::new(&net, algo.k(), &cfg);
+        let _ = train_from_state_with_source(
+            &net,
+            &train_set,
+            &test_set,
+            &mut algo,
+            &cfg,
+            Some(st),
+            &mut source,
+        );
     }
 
     #[test]

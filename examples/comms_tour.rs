@@ -103,6 +103,9 @@ fn main() {
         ClusterEvent::Resent { iter, attempt } => {
             println!("   event: iteration {iter} resent (attempt {attempt})")
         }
+        ClusterEvent::StandbyJoined { priority } => {
+            println!("   event: standby registered (priority {priority})")
+        }
     });
     let mut dist = DistConfig::new(Topology::Ps, 2)
         .with_fault(NetFaultPlan::seeded(5).disconnect_after(8).conns_below(2));

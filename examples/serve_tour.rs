@@ -73,6 +73,7 @@ fn main() {
             requests_per_client: 50,
         },
         seed: 3,
+        panic_client: None,
     };
     let result = run_load(&client, &inputs, &load);
     println!(
@@ -111,6 +112,7 @@ fn main() {
                 requests_per_client: 50,
             },
             seed: 13,
+            panic_client: None,
         },
     };
     let combined = train_and_serve(&net, &train_set, &test_set, &mut algo, &ts_config);

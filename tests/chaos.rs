@@ -1,0 +1,74 @@
+//! The chaos harness, driven the way CI drives it: through the real
+//! `crossbow chaos` CLI, as a child process.
+//!
+//! Two properties matter end to end:
+//!
+//! 1. **Replayability** — the same `--seed` produces a byte-identical
+//!    `CHAOS-REPORT` marker, twice in a row. The marker carries the
+//!    fault schedule and every invariant verdict, so equality here means
+//!    the whole scenario — injection points included — is a pure
+//!    function of the seed.
+//! 2. **Recovery** — the scenario passes: every layer's invariant holds
+//!    and the process exits zero.
+
+use std::process::Command;
+
+/// Runs one chaos scenario through the CLI, returning (exit-ok, marker).
+fn run_scenario(scenario: &str, seed: &str) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_crossbow"))
+        .args(["chaos", "--scenario", scenario, "--seed", seed])
+        .output()
+        .expect("spawn crossbow chaos");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let marker = stdout
+        .lines()
+        .find(|l| l.starts_with("CHAOS-REPORT "))
+        .unwrap_or_else(|| panic!("no CHAOS-REPORT in output:\n{stdout}"))
+        .to_string();
+    (out.status.success(), marker)
+}
+
+#[test]
+fn partition_heal_replays_byte_identically_and_passes() {
+    let (ok_a, marker_a) = run_scenario("partition-heal", "7");
+    let (ok_b, marker_b) = run_scenario("partition-heal", "7");
+    assert!(ok_a && ok_b, "scenario must pass: {marker_a}");
+    assert_eq!(marker_a, marker_b, "same seed must replay identically");
+    assert!(marker_a.ends_with("pass=true"));
+    // A different seed moves the fault window: the schedule — and only
+    // the schedule — changes; the invariant still holds.
+    let (ok_c, marker_c) = run_scenario("partition-heal", "8");
+    assert!(ok_c, "reseeded scenario must still pass: {marker_c}");
+    assert_ne!(marker_a, marker_c, "the seed must steer the schedule");
+    assert!(marker_c.ends_with("pass=true"));
+}
+
+#[test]
+fn cascade_composes_every_fault_layer_and_passes() {
+    let (ok_a, marker_a) = run_scenario("cascade", "7");
+    let (ok_b, marker_b) = run_scenario("cascade", "7");
+    assert!(ok_a && ok_b, "scenario must pass: {marker_a}");
+    assert_eq!(marker_a, marker_b, "same seed must replay identically");
+    // The cascade must genuinely touch all three layers.
+    for check in [
+        "sim_recovered:ok",
+        "original_workers_evicted:ok",
+        "failover_checksum_matches:ok",
+    ] {
+        assert!(marker_a.contains(check), "missing {check} in {marker_a}");
+    }
+}
+
+#[test]
+fn unknown_scenario_is_rejected_with_the_catalog_hint() {
+    let out = Command::new(env!("CARGO_BIN_EXE_crossbow"))
+        .args(["chaos", "--scenario", "totally-fine"])
+        .output()
+        .expect("spawn crossbow chaos");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown scenario"),
+        "should name the problem, got {stderr}"
+    );
+}

@@ -17,8 +17,8 @@
 
 use crossbow::comms::wire::{frame, FrameReader, WireError};
 use crossbow::comms::{
-    demo_algo, demo_task, run_local_cluster, DistConfig, LocalClusterOptions, Msg, NetFaultPlan,
-    RetryPolicy, Topology,
+    checksum_params, demo_algo, demo_task, run_local_cluster, DistConfig, LocalClusterOptions, Msg,
+    NetFaultPlan, RetryPolicy, Topology,
 };
 use crossbow::sync::{train, TrainerConfig};
 use std::io::{BufRead, BufReader};
@@ -405,4 +405,186 @@ fn sigkill_worker_is_evicted_and_a_restarted_one_rejoins() {
 
     drop(workers);
     let _ = std::fs::remove_dir_all(&ckpt);
+}
+
+// ---------------------------------------------------------------------
+// Coordinator failover, multi-process (real SIGKILL against the primary)
+// ---------------------------------------------------------------------
+
+/// SIGKILLs the primary coordinator mid-run and asserts the warm
+/// standby finishes the run with a curve and model checksum
+/// bit-identical to an undisturbed single-process reference.
+fn sigkill_primary_fails_over(topology: &str) {
+    let bin = env!("CARGO_BIN_EXE_crossbow");
+
+    // The undisturbed reference: same task, same seeds, no network.
+    let trainer = TrainerConfig::new(8, 20).with_seed(11);
+    let (net, train_set, test_set) = demo_task();
+    let mut algo = demo_algo(&net, 2, "sma", 3);
+    let reference = train(&net, &train_set, &test_set, algo.as_mut(), &trainer);
+    let ref_checksum = checksum_params(algo.consensus());
+
+    let shape: &[&str] = &[
+        "--workers",
+        "2",
+        "--topology",
+        topology,
+        "--epochs",
+        "20",
+        "--batch",
+        "8",
+        "--seed",
+        "11",
+        "--init-seed",
+        "3",
+        "--lease-interval-ms",
+        "100",
+        "--lease-timeout-ms",
+        "500",
+    ];
+    let mut primary = Command::new(bin)
+        .args([
+            "dist-train",
+            "--role",
+            "coordinator",
+            "--bind",
+            "127.0.0.1:0",
+            "--progress-every",
+            "1",
+        ])
+        .args(shape)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn primary");
+    let primary_lines = line_channel(primary.stdout.take().expect("piped stdout"));
+    let primary = Reaped(primary);
+    let listening = wait_for(&primary_lines, "LISTENING", Duration::from_secs(60), |l| {
+        l.starts_with("LISTENING ")
+    });
+    let addr = listening
+        .trim_start_matches("LISTENING ")
+        .trim()
+        .to_string();
+
+    let mut standby = Command::new(bin)
+        .args([
+            "dist-train",
+            "--role",
+            "standby",
+            "--connect",
+            &addr,
+            "--bind",
+            "127.0.0.1:0",
+            "--priority",
+            "1",
+        ])
+        .args(shape)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn standby");
+    let standby_lines = line_channel(standby.stdout.take().expect("piped stdout"));
+    let mut standby = Reaped(standby);
+    let standby_listening = wait_for(
+        &standby_lines,
+        "STANDBY LISTENING",
+        Duration::from_secs(60),
+        |l| l.starts_with("STANDBY LISTENING "),
+    );
+    let standby_addr = standby_listening
+        .trim_start_matches("STANDBY LISTENING ")
+        .trim()
+        .to_string();
+    wait_for(
+        &standby_lines,
+        "STANDBY REGISTERED",
+        Duration::from_secs(60),
+        |l| l.starts_with("STANDBY REGISTERED"),
+    );
+
+    // Workers dial the primary first and fail over to the standby.
+    let connect = format!("{addr},{standby_addr}");
+    let workers: Vec<Reaped> = (0..2)
+        .map(|i| {
+            let jitter = (i + 1).to_string();
+            Reaped(
+                Command::new(bin)
+                    .args([
+                        "dist-train",
+                        "--role",
+                        "worker",
+                        "--connect",
+                        &connect,
+                        "--failover-retries",
+                        "10",
+                        "--jitter-seed",
+                        &jitter,
+                    ])
+                    .stdout(Stdio::null())
+                    .stderr(Stdio::null())
+                    .spawn()
+                    .expect("spawn worker"),
+            )
+        })
+        .collect();
+
+    // Let real training progress replicate to the standby, then kill the
+    // primary with no goodbye — SIGKILL, not shutdown.
+    wait_for(
+        &primary_lines,
+        "training progress",
+        Duration::from_secs(120),
+        |l| {
+            l.strip_prefix("PROGRESS iter=")
+                .and_then(|v| v.parse::<u64>().ok())
+                .is_some_and(|iter| iter >= 10)
+        },
+    );
+    drop(primary);
+
+    let takeover = wait_for(
+        &standby_lines,
+        "STANDBY TAKEOVER",
+        Duration::from_secs(60),
+        |l| l.starts_with("STANDBY TAKEOVER"),
+    );
+    assert_eq!(field(&takeover, "term"), "1", "first failover is term 1");
+
+    let report = wait_for(&standby_lines, "REPORT", Duration::from_secs(300), |l| {
+        l.starts_with("REPORT ")
+    });
+    let status = standby.0.wait().expect("standby exit status");
+    assert!(status.success(), "standby must exit cleanly after takeover");
+
+    assert_eq!(field(&report, "term"), "1");
+    assert_eq!(field(&report, "workers"), "2", "both workers re-Hello'd");
+    let iterations: u64 = field(&report, "iterations").parse().expect("iterations");
+    assert_eq!(
+        iterations, reference.iterations,
+        "the resumed run must finish the full schedule"
+    );
+    let checksum = u64::from_str_radix(field(&report, "checksum"), 16).expect("checksum is hex");
+    assert_eq!(
+        checksum, ref_checksum,
+        "failover must not perturb the model: the takeover's final \
+         parameters must be bit-identical to the undisturbed reference"
+    );
+    let final_acc: f64 = field(&report, "final_acc").parse().expect("final_acc");
+    assert!(
+        (final_acc - reference.final_accuracy).abs() < 1e-6,
+        "accuracy must match the reference, got {final_acc} vs {}",
+        reference.final_accuracy
+    );
+    drop(workers);
+}
+
+#[test]
+fn sigkill_primary_fails_over_bit_identically_ps() {
+    sigkill_primary_fails_over("ps");
+}
+
+#[test]
+fn sigkill_primary_fails_over_bit_identically_ring() {
+    sigkill_primary_fails_over("ring");
 }

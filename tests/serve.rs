@@ -41,6 +41,7 @@ fn micro_batching_beats_per_request_dispatch() {
             requests_per_client: 40,
         },
         seed: 9,
+        panic_client: None,
     };
     let run = |batch: BatchConfig| {
         let (net, registry, inputs) = served_mlp(7);
@@ -106,6 +107,7 @@ fn hot_swap_mid_load_loses_nothing() {
             requests_per_client: 100,
         },
         seed: 3,
+        panic_client: None,
     };
     let result = std::thread::scope(|scope| {
         let publisher = scope.spawn(|| {
@@ -166,6 +168,7 @@ fn train_and_serve_publishes_fresh_models_under_load() {
                 requests_per_client: 25,
             },
             seed: 13,
+            panic_client: None,
         },
     };
     let report = train_and_serve(&net, &train_set, &test_set, &mut algo, &config);
