@@ -52,11 +52,25 @@ TRACE_DIR=$(mktemp -d)
 cargo run --release -q -p crossbow --example trace_tour -- --check "$TRACE_DIR/train.json"
 rm -rf "$TRACE_DIR"
 
+echo "== data plane (pack/verify round trip, wall-clock bounded) =="
+# Pack a small synthetic dataset into shards through the real CLI, then
+# re-validate every header, page and index checksum. `verify` exits
+# non-zero on any corrupt shard; the greps assert the machine-readable
+# markers. (The corruption matrix and disk/RAM bit-identity are covered
+# by `cargo test` above; membench below re-asserts bit-identity.)
+DATA_DIR=$(mktemp -d)
+timeout 120 ./target/release/crossbow data pack --dir "$DATA_DIR/shards" \
+    --samples 1024 --samples-per-shard 256 | grep -q "PACKED .* shards=4 samples=1024"
+timeout 120 ./target/release/crossbow data verify --dir "$DATA_DIR/shards" \
+    | grep -q "VERIFIED valid=4 corrupt=0"
+rm -rf "$DATA_DIR"
+
 echo "== memory-plan bench smoke =="
 # Smoke-sized run of the §4.5 micro-benchmarks. membench exits non-zero
 # if the arena allocation counter is not flat across iteration counts —
 # the CI assertion that the training hot path performs no steady-state
-# allocations.
+# allocations — or if an mmap-shard gather is not bit-identical to the
+# same gather from RAM (the §14 data-plane invariant).
 BENCH_DIR=$(mktemp -d)
 ./target/release/membench --smoke --out-dir "$BENCH_DIR" > /dev/null
 rm -rf "$BENCH_DIR"

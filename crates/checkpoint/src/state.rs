@@ -12,8 +12,13 @@ use crossbow_tensor::RngState;
 pub struct DataCursor {
     /// Shuffle epoch the sampler is positioned in.
     pub epoch: u64,
-    /// Batches already drawn within that epoch.
+    /// Batches (lockstep rounds, when partitioned) already drawn within
+    /// that epoch.
     pub batch: u64,
+    /// Partition groups the sampler was split into; 0 = unpartitioned
+    /// (a single `BatchSampler`). A resume refuses a mismatch, since the
+    /// index streams of a partitioned and an unpartitioned run differ.
+    pub groups: u64,
 }
 
 /// A synchronisation algorithm's complete state: the fields of an
@@ -115,6 +120,7 @@ impl TrainingState {
         w.f32_slice(&self.epoch_loss);
         w.u64(self.cursor.epoch);
         w.u64(self.cursor.batch);
+        w.u64(self.cursor.groups);
         write_algo(&mut w, &self.algo);
         match &self.guard {
             Some(g) => {
@@ -155,6 +161,7 @@ impl TrainingState {
         let cursor = DataCursor {
             epoch: r.u64()?,
             batch: r.u64()?,
+            groups: r.u64()?,
         };
         let algo = read_algo(&mut r)?;
         let guard = match r.u8()? {
@@ -217,7 +224,11 @@ mod tests {
             epochs_to_target: Some(2),
             epoch_accuracy: vec![0.5, 0.8, 0.91],
             epoch_loss: vec![1.2, 0.6, 0.3],
-            cursor: DataCursor { epoch: 3, batch: 7 },
+            cursor: DataCursor {
+                epoch: 3,
+                batch: 7,
+                groups: 2,
+            },
             algo: AlgoState {
                 center: vec![1.0, -2.0],
                 center_prev: vec![0.5, -1.5],

@@ -41,8 +41,10 @@ use std::time::Instant;
 /// Magic bytes opening every checkpoint file.
 pub const MAGIC: [u8; 8] = *b"CBWCKPT\x01";
 
-/// Current format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current format version. Version 2 added the partition-group count to
+/// the data cursor; version-1 checkpoints are refused (the payload is not
+/// forward-decodable) and a run restarts from scratch.
+pub const FORMAT_VERSION: u32 = 2;
 
 const HEADER_LEN: usize = 32;
 const FLAG_EPOCH_BOUNDARY: u32 = 1;
@@ -398,6 +400,7 @@ mod tests {
             cursor: DataCursor {
                 epoch: iterations / 10,
                 batch: iterations % 10,
+                groups: 0,
             },
             algo: AlgoState {
                 center: vec![iterations as f32],

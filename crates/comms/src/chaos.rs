@@ -458,6 +458,7 @@ fn partition_heal(opts: &ChaosOptions, log: &dyn Fn(String)) -> ChaosReport {
             dist,
             late_workers: Vec::new(),
             events: None,
+            worker_data: None,
         })
     };
     let clean = run(None);
@@ -544,6 +545,7 @@ fn cascade(opts: &ChaosOptions, log: &dyn Fn(String)) -> ChaosReport {
         dist,
         late_workers: vec![Duration::from_millis(800)],
         events: None,
+        worker_data: None,
     });
     log(format!(
         "chaos: net phase done (evictions={}, rejoins={})",

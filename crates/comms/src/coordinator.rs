@@ -24,14 +24,13 @@ use crate::proto::Msg;
 use crate::transport::{Conn, RetryPolicy};
 use crate::wire::WireError;
 use crossbow_checkpoint::{AlgoState, CheckpointStore, TrainingState};
-use crossbow_data::Dataset;
+use crossbow_data::{PartitionPlan, SampleSource};
 use crossbow_nn::Network;
 use crossbow_sync::{
     resume_with_source, train_from_state_with_source, train_with_source, GradientSource,
-    RoundStatus, StateHook, SyncAlgorithm, TrainerConfig, TrainingCurve,
+    LearnerBatch, RoundStatus, StateHook, SyncAlgorithm, TrainerConfig, TrainingCurve,
 };
 use crossbow_telemetry::Telemetry;
-use crossbow_tensor::Tensor;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -100,6 +99,12 @@ pub struct DistConfig {
     pub retry: RetryPolicy,
     /// Transport fault injection applied to coordinator-side sends.
     pub fault: Option<NetFaultPlan>,
+    /// Ship sample *indices* instead of batch payloads (`WorkIdx` rather
+    /// than `Work`). Workers must then open the dataset locally (see
+    /// `run_worker_with_data`) and gather their own batches — the
+    /// shard-partitioned data plane, which cuts per-round bytes from
+    /// O(batch × sample) to O(batch).
+    pub index_work: bool,
 }
 
 impl DistConfig {
@@ -121,12 +126,20 @@ impl DistConfig {
             crash_drop: false,
             retry: RetryPolicy::default(),
             fault: None,
+            index_work: false,
         }
     }
 
     /// Installs a fault plan (builder style).
     pub fn with_fault(mut self, plan: NetFaultPlan) -> Self {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Enables index-shipping work dispatch (builder style). Workers must
+    /// hold a local copy of the dataset.
+    pub fn with_index_work(mut self) -> Self {
+        self.index_work = true;
         self
     }
 
@@ -462,8 +475,8 @@ impl Coordinator {
     pub fn run(
         &self,
         net: &Network,
-        train_set: &Dataset,
-        test_set: &Dataset,
+        train_set: &dyn SampleSource,
+        test_set: &dyn SampleSource,
         algo: &mut dyn SyncAlgorithm,
         tcfg: &TrainerConfig,
     ) -> DistReport {
@@ -484,8 +497,8 @@ impl Coordinator {
     pub fn run_from_state(
         &self,
         net: &Network,
-        train_set: &Dataset,
-        test_set: &Dataset,
+        train_set: &dyn SampleSource,
+        test_set: &dyn SampleSource,
         algo: &mut dyn SyncAlgorithm,
         tcfg: &TrainerConfig,
         state: Option<TrainingState>,
@@ -535,8 +548,8 @@ impl Coordinator {
     pub fn resume(
         &self,
         net: &Network,
-        train_set: &Dataset,
-        test_set: &Dataset,
+        train_set: &dyn SampleSource,
+        test_set: &dyn SampleSource,
         algo: &mut dyn SyncAlgorithm,
         tcfg: &TrainerConfig,
     ) -> Result<DistReport, crossbow_checkpoint::CheckpointError> {
@@ -596,6 +609,7 @@ struct RemoteCluster<'a> {
     members: Vec<Member>,
     store: Option<CheckpointStore>,
     repl: Arc<Replication>,
+    partition: Option<PartitionPlan>,
     seed: u64,
     weight_decay: f32,
     round: u64,
@@ -626,6 +640,7 @@ impl<'a> RemoteCluster<'a> {
             members: Vec::new(),
             store: tcfg.checkpoint.as_ref().and_then(|c| c.store().ok()),
             repl,
+            partition: tcfg.partition,
             seed: tcfg.seed,
             weight_decay: tcfg.weight_decay,
             round: 0,
@@ -707,12 +722,26 @@ impl<'a> RemoteCluster<'a> {
             let _ = conn.send(&Msg::Shutdown);
             return false;
         }
+        // A partitioned run tells the worker which global sample range its
+        // slot owns; the range follows the slot, so a rejoiner adopting a
+        // different slot is re-ranged exactly like its replica. Plans are
+        // sized for the formation `k` — a grown cluster's extra slots get
+        // no range (the trainer rebuilds its plan on resize anyway).
+        let (data_lo, data_hi) = match &self.partition {
+            Some(plan) if slot < plan.groups() => {
+                let (lo, hi) = plan.range(slot);
+                (lo as u64, hi as u64)
+            }
+            _ => (0, 0),
+        };
         let welcome = Msg::Welcome {
             slot: slot as u32,
             k: algo.k() as u32,
             topology: self.cfg.topology.as_u8(),
             weight_decay: self.weight_decay,
             heartbeat_ms: self.cfg.heartbeat_interval.as_millis() as u64,
+            data_lo,
+            data_hi,
             state: self.admission_state(algo),
         };
         if conn.send(&welcome).is_err() {
@@ -847,16 +876,25 @@ impl<'a> RemoteCluster<'a> {
         j: usize,
         round: u64,
         params: &[f32],
-        batch: &(Tensor, Vec<usize>),
+        batch: &LearnerBatch,
     ) -> Result<(), WireError> {
-        let (images, labels) = batch;
-        let msg = Msg::Work {
-            iter: round,
-            slot: j as u32,
-            params: params.to_vec(),
-            dims: images.shape().dims().iter().map(|&d| d as u64).collect(),
-            images: images.data().to_vec(),
-            labels: labels.iter().map(|&l| l as u64).collect(),
+        let msg = if self.cfg.index_work {
+            Msg::WorkIdx {
+                iter: round,
+                slot: j as u32,
+                params: params.to_vec(),
+                indices: batch.indices.iter().map(|&i| i as u64).collect(),
+            }
+        } else {
+            let images = &batch.images;
+            Msg::Work {
+                iter: round,
+                slot: j as u32,
+                params: params.to_vec(),
+                dims: images.shape().dims().iter().map(|&d| d as u64).collect(),
+                images: images.data().to_vec(),
+                labels: batch.labels.iter().map(|&l| l as u64).collect(),
+            }
         };
         self.members[j].conn.send(&msg)
     }
@@ -866,7 +904,7 @@ impl<'a> RemoteCluster<'a> {
     fn ps_round(
         &mut self,
         algo: &mut dyn SyncAlgorithm,
-        batches: &[(Tensor, Vec<usize>)],
+        batches: &[LearnerBatch],
         grads: &mut [Vec<f32>],
         losses: &mut [f32],
     ) -> RoundStatus {
@@ -957,7 +995,7 @@ impl<'a> RemoteCluster<'a> {
     fn ring_round(
         &mut self,
         algo: &mut dyn SyncAlgorithm,
-        batches: &[(Tensor, Vec<usize>)],
+        batches: &[LearnerBatch],
         grads: &mut [Vec<f32>],
         losses: &mut [f32],
     ) -> RoundStatus {
@@ -1078,7 +1116,7 @@ impl GradientSource for RemoteCluster<'_> {
     fn round(
         &mut self,
         algo: &mut dyn SyncAlgorithm,
-        batches: &[(Tensor, Vec<usize>)],
+        batches: &[LearnerBatch],
         grads: &mut [Vec<f32>],
         losses: &mut [f32],
     ) -> RoundStatus {

@@ -38,6 +38,14 @@ pub enum Msg {
         /// at admission keeps it coordinator-driven, so the validated
         /// `interval < eviction timeout` relation holds cluster-wide.
         heartbeat_ms: u64,
+        /// Start of the global sample range assigned to this slot when
+        /// the run is shard-partitioned (`data_lo == data_hi` = no
+        /// assignment: batches arrive by payload, not by index). Ranges
+        /// follow the slot, so eviction/rejoin rebalances data exactly
+        /// like replicas.
+        data_lo: u64,
+        /// One past the end of the assigned sample range.
+        data_hi: u64,
         /// Encoded `crossbow_checkpoint::TrainingState`.
         state: Vec<u8>,
     },
@@ -55,6 +63,21 @@ pub enum Msg {
         images: Vec<f32>,
         /// Batch labels.
         labels: Vec<u64>,
+    },
+    /// Coordinator → worker: compute one gradient from *locally held*
+    /// data. The index-shipping twin of [`Msg::Work`]: the worker opened
+    /// its own copy of the sharded dataset, so the coordinator sends the
+    /// drawn sample indices instead of the gathered payload — same
+    /// round, a fraction of the bytes on the wire.
+    WorkIdx {
+        /// Round id; echoed back so stale replies are discardable.
+        iter: u64,
+        /// The slot this work is for.
+        slot: u32,
+        /// The slot's replica parameters.
+        params: Vec<f32>,
+        /// Global dataset indices of the batch samples.
+        indices: Vec<u64>,
     },
     /// Worker → coordinator (PS): one finished gradient.
     Grad {
@@ -155,6 +178,7 @@ const TAG_BLOCK: u8 = 9;
 const TAG_SHUTDOWN: u8 = 10;
 const TAG_LEASE: u8 = 11;
 const TAG_STATE: u8 = 12;
+const TAG_WORKIDX: u8 = 13;
 
 fn write_u64s(w: &mut Writer, v: &[u64]) {
     w.u64(v.len() as u64);
@@ -175,6 +199,7 @@ impl Msg {
             Msg::Hello { .. } => "hello",
             Msg::Welcome { .. } => "welcome",
             Msg::Work { .. } => "work",
+            Msg::WorkIdx { .. } => "work-idx",
             Msg::Grad { .. } => "grad",
             Msg::GradSet { .. } => "grad-set",
             Msg::Ping { .. } => "ping",
@@ -202,6 +227,8 @@ impl Msg {
                 topology,
                 weight_decay,
                 heartbeat_ms,
+                data_lo,
+                data_hi,
                 state,
             } => {
                 w.u8(TAG_WELCOME);
@@ -210,6 +237,8 @@ impl Msg {
                 w.u8(*topology);
                 w.f32(*weight_decay);
                 w.u64(*heartbeat_ms);
+                w.u64(*data_lo);
+                w.u64(*data_hi);
                 w.bytes(state);
             }
             Msg::Work {
@@ -227,6 +256,18 @@ impl Msg {
                 write_u64s(&mut w, dims);
                 w.f32_slice(images);
                 write_u64s(&mut w, labels);
+            }
+            Msg::WorkIdx {
+                iter,
+                slot,
+                params,
+                indices,
+            } => {
+                w.u8(TAG_WORKIDX);
+                w.u64(*iter);
+                w.u32(*slot);
+                w.f32_slice(params);
+                write_u64s(&mut w, indices);
             }
             Msg::Grad {
                 iter,
@@ -319,6 +360,8 @@ impl Msg {
                 topology: r.u8()?,
                 weight_decay: r.f32()?,
                 heartbeat_ms: r.u64()?,
+                data_lo: r.u64()?,
+                data_hi: r.u64()?,
                 state: r.bytes()?,
             },
             TAG_WORK => Msg::Work {
@@ -328,6 +371,12 @@ impl Msg {
                 dims: read_u64s(&mut r)?,
                 images: r.f32_vec()?,
                 labels: read_u64s(&mut r)?,
+            },
+            TAG_WORKIDX => Msg::WorkIdx {
+                iter: r.u64()?,
+                slot: r.u32()?,
+                params: r.f32_vec()?,
+                indices: read_u64s(&mut r)?,
             },
             TAG_GRAD => Msg::Grad {
                 iter: r.u64()?,
@@ -400,6 +449,8 @@ mod tests {
             topology: 1,
             weight_decay: 1e-4,
             heartbeat_ms: 200,
+            data_lo: 120,
+            data_hi: 240,
             state: vec![0xCB, 0x00, 0xBF],
         });
         round_trip(&Msg::Work {
@@ -409,6 +460,12 @@ mod tests {
             dims: vec![2, 3, 1, 5],
             images: vec![0.25; 30],
             labels: vec![0, 3, 1],
+        });
+        round_trip(&Msg::WorkIdx {
+            iter: 43,
+            slot: 2,
+            params: vec![0.5, -1.25],
+            indices: vec![120, 197, 133],
         });
         round_trip(&Msg::Grad {
             iter: 42,

@@ -18,6 +18,7 @@ use crate::proto::Msg;
 use crate::transport::{connect_retry, Conn, MsgSender, RetryPolicy};
 use crate::wire::{self, FrameReader, WireError};
 use crossbow_checkpoint::TrainingState;
+use crossbow_data::SampleSource;
 use crossbow_nn::network::Scratch;
 use crossbow_nn::Network;
 use crossbow_telemetry::Telemetry;
@@ -301,6 +302,29 @@ pub fn run_worker(
     telemetry: &Telemetry,
     on_event: &dyn Fn(WorkerEvent),
 ) -> Result<WorkerOutcome, WireError> {
+    run_worker_with_data(net, None, cfg, telemetry, on_event)
+}
+
+/// [`run_worker`] with a locally held dataset: when the coordinator runs
+/// shard-partitioned, it ships [`Msg::WorkIdx`] (sample indices) instead
+/// of gathered batch payloads, and the worker gathers from `data` — the
+/// mmap-backed shard set it opened itself. Workers without local data
+/// still serve payload-mode [`Msg::Work`] rounds.
+///
+/// # Errors
+/// As [`run_worker`]; additionally [`WireError::Corrupt`] when index
+/// work arrives without local data, when the assigned sample range does
+/// not fit the local dataset, or when a gather fails.
+///
+/// # Panics
+/// As [`run_worker`].
+pub fn run_worker_with_data(
+    net: &Network,
+    data: Option<Arc<dyn SampleSource>>,
+    cfg: &WorkerConfig,
+    telemetry: &Telemetry,
+    on_event: &dyn Fn(WorkerEvent),
+) -> Result<WorkerOutcome, WireError> {
     let stream = connect_retry(&cfg.connect, &cfg.retry, telemetry)?;
     // The ring listener binds on the interface that reaches the
     // coordinator, so the advertised address works for peers too.
@@ -321,7 +345,7 @@ pub fn run_worker(
     // Admission: wait for the Welcome, tolerate quiet (a standby queues
     // the Hello and answers only once it has taken over).
     let admit_deadline = Instant::now() + cfg.admit_timeout;
-    let (slot, _k, topology, weight_decay, heartbeat_ms, state) = loop {
+    let (slot, _k, topology, weight_decay, heartbeat_ms, data_range, state) = loop {
         match conn.recv_timeout(cfg.recv_timeout) {
             Ok(Msg::Welcome {
                 slot,
@@ -329,6 +353,8 @@ pub fn run_worker(
                 topology,
                 weight_decay,
                 heartbeat_ms,
+                data_lo,
+                data_hi,
                 state,
             }) => {
                 break (
@@ -337,6 +363,7 @@ pub fn run_worker(
                     topology,
                     weight_decay,
                     heartbeat_ms,
+                    (data_lo, data_hi),
                     state,
                 )
             }
@@ -359,6 +386,20 @@ pub fn run_worker(
             state.algo.center.len(),
             net.param_len()
         );
+    }
+    // A data-range assignment only makes sense against a local dataset
+    // that actually covers it.
+    if data_range.1 > data_range.0 {
+        let Some(local) = &data else {
+            return Err(WireError::Corrupt(
+                "coordinator assigned a data range but no local dataset was opened",
+            ));
+        };
+        if data_range.1 > local.len() as u64 {
+            return Err(WireError::Corrupt(
+                "assigned data range lies outside the local dataset",
+            ));
+        }
     }
     let joined_at_iteration = state.iterations;
     on_event(WorkerEvent::Joined {
@@ -387,6 +428,7 @@ pub fn run_worker(
 
     let result = serve(
         net,
+        data.as_deref(),
         cfg,
         telemetry,
         &mut conn,
@@ -427,6 +469,25 @@ pub fn run_worker_resilient(
     telemetry: &Telemetry,
     on_event: &dyn Fn(WorkerEvent),
 ) -> Result<WorkerOutcome, WireError> {
+    run_worker_resilient_with_data(net, None, cfg, telemetry, on_event)
+}
+
+/// [`run_worker_resilient`] with a locally held dataset (see
+/// [`run_worker_with_data`]). The same dataset handle is reused across
+/// reconnect sessions — remapping nothing on failover.
+///
+/// # Errors
+/// As [`run_worker_resilient`].
+///
+/// # Panics
+/// As [`run_worker`].
+pub fn run_worker_resilient_with_data(
+    net: &Network,
+    data: Option<Arc<dyn SampleSource>>,
+    cfg: &WorkerConfig,
+    telemetry: &Telemetry,
+    on_event: &dyn Fn(WorkerEvent),
+) -> Result<WorkerOutcome, WireError> {
     let mut addrs = vec![cfg.connect.clone()];
     addrs.extend(cfg.fallbacks.iter().cloned());
     let mut jitter = cfg.jitter_seed;
@@ -446,7 +507,7 @@ pub fn run_worker_resilient(
         // Any session after the first is a crash-recovery rejoin.
         session_cfg.rejoin = cfg.rejoin || sessions > 0;
         sessions += 1;
-        match run_worker(net, &session_cfg, telemetry, &tap) {
+        match run_worker_with_data(net, data.clone(), &session_cfg, telemetry, &tap) {
             Ok(outcome) => {
                 telemetry
                     .metrics
@@ -507,6 +568,7 @@ fn spawn_heartbeat(
 #[allow(clippy::too_many_arguments)]
 fn serve(
     net: &Network,
+    data: Option<&dyn SampleSource>,
     cfg: &WorkerConfig,
     telemetry: &Telemetry,
     conn: &mut Conn,
@@ -520,6 +582,63 @@ fn serve(
     let mut cached: Option<(usize, Scratch)> = None;
     let mut ring: Option<RingLinks> = None;
     let mut rounds = 0u64;
+
+    // One round's compute + reply, shared by payload (`Work`) and index
+    // (`WorkIdx`) modes: exactly the in-process trainer's arithmetic, so
+    // the distributed curve is bit-identical to the local one.
+    macro_rules! compute_round {
+        ($iter:expr, $slot:expr, $params:expr, $images:expr, $labels:expr) => {{
+            let (iter, slot, params, images, labels) = ($iter, $slot, $params, $images, $labels);
+            slot_cell.store(slot, Ordering::Relaxed);
+            let batch = images.shape().dims()[0];
+            // Scratch follows the §4.5 memory plan for this batch size
+            // and is reused across rounds.
+            let scratch = match &mut cached {
+                Some((b, scratch)) if *b == batch => scratch,
+                _ => {
+                    let plan = net.plan(batch);
+                    cached = Some((batch, net.scratch_with_plan(&plan)));
+                    &mut cached.as_mut().expect("just set").1
+                }
+            };
+            let (loss, _) = net.loss_and_grad(&params, &images, &labels, &mut grad, scratch);
+            if weight_decay != 0.0 {
+                crossbow_tensor::ops::axpy(weight_decay, &params, &mut grad);
+            }
+            rounds += 1;
+            if topology == 0 {
+                conn.send(&Msg::Grad {
+                    iter,
+                    slot,
+                    loss,
+                    grad: grad.clone(),
+                })?;
+            } else if let Some(links) = &mut ring {
+                let gathered = ring_exchange(
+                    links,
+                    ring_listener,
+                    iter,
+                    loss,
+                    &grad,
+                    cfg.ring_timeout,
+                    &cfg.retry,
+                    telemetry,
+                );
+                if let Some((losses, grads)) = gathered {
+                    if links.slot == 0 {
+                        conn.send(&Msg::GradSet {
+                            iter,
+                            losses,
+                            grads,
+                        })?;
+                    }
+                }
+                // A wedged exchange falls through: the coordinator's
+                // resend (or a new Ring config) arrives here.
+            }
+        }};
+    }
+
     loop {
         match conn.recv_timeout(cfg.recv_timeout) {
             Ok(Msg::Work {
@@ -533,58 +652,35 @@ fn serve(
                 if params.len() != plen || dims.is_empty() {
                     return Err(WireError::Corrupt("work does not fit the local model"));
                 }
-                slot_cell.store(slot, Ordering::Relaxed);
-                let batch = dims[0] as usize;
                 let dims: Vec<usize> = dims.iter().map(|&d| d as usize).collect();
                 let labels: Vec<usize> = labels.iter().map(|&l| l as usize).collect();
                 let images = Tensor::from_vec(dims.as_slice(), images);
-                // Scratch follows the §4.5 memory plan for this batch
-                // size and is reused across rounds.
-                let scratch = match &mut cached {
-                    Some((b, scratch)) if *b == batch => scratch,
-                    _ => {
-                        let plan = net.plan(batch);
-                        cached = Some((batch, net.scratch_with_plan(&plan)));
-                        &mut cached.as_mut().expect("just set").1
-                    }
+                compute_round!(iter, slot, params, images, labels);
+            }
+            Ok(Msg::WorkIdx {
+                iter,
+                slot,
+                params,
+                indices,
+            }) => {
+                if params.len() != plen || indices.is_empty() {
+                    return Err(WireError::Corrupt(
+                        "index work does not fit the local model",
+                    ));
+                }
+                let Some(local) = data else {
+                    return Err(WireError::Corrupt(
+                        "index work arrived but no local dataset was opened",
+                    ));
                 };
-                // Exactly the in-process trainer's arithmetic, so the
-                // distributed curve is bit-identical to the local one.
-                let (loss, _) = net.loss_and_grad(&params, &images, &labels, &mut grad, scratch);
-                if weight_decay != 0.0 {
-                    crossbow_tensor::ops::axpy(weight_decay, &params, &mut grad);
-                }
-                rounds += 1;
-                if topology == 0 {
-                    conn.send(&Msg::Grad {
-                        iter,
-                        slot,
-                        loss,
-                        grad: grad.clone(),
-                    })?;
-                } else if let Some(links) = &mut ring {
-                    let gathered = ring_exchange(
-                        links,
-                        ring_listener,
-                        iter,
-                        loss,
-                        &grad,
-                        cfg.ring_timeout,
-                        &cfg.retry,
-                        telemetry,
-                    );
-                    if let Some((losses, grads)) = gathered {
-                        if links.slot == 0 {
-                            conn.send(&Msg::GradSet {
-                                iter,
-                                losses,
-                                grads,
-                            })?;
-                        }
-                    }
-                    // A wedged exchange falls through: the coordinator's
-                    // resend (or a new Ring config) arrives here.
-                }
+                let indices: Vec<usize> = indices.iter().map(|&i| i as usize).collect();
+                // The gather is bit-identical to the coordinator's own
+                // (the shard format stores f32 bit patterns), which is
+                // what keeps index-mode runs on the same curve.
+                let (images, labels) = local
+                    .gather(&indices)
+                    .map_err(|_| WireError::Corrupt("local gather failed for index work"))?;
+                compute_round!(iter, slot, params, images, labels);
             }
             Ok(Msg::Ring {
                 generation,

@@ -143,7 +143,9 @@ impl Benchmark {
     pub fn dataset(&self, seed: u64) -> (Dataset, Dataset) {
         let full = image_classification(&self.data_spec, seed);
         let train_n = (full.len() as f64 * self.train_fraction) as usize;
-        let (mut train, test) = full.split_at(train_n);
+        let (mut train, test) = full
+            .split_at(train_n)
+            .expect("train fraction keeps the split in range");
         if self.label_noise > 0.0 {
             let mut rng = crossbow_tensor::Rng::new(seed ^ 0x1ABE15);
             train.corrupt_labels(self.label_noise, &mut rng);
@@ -220,7 +222,7 @@ mod tests {
         // The generator interleaves labels (i % classes); corruption must
         // have broken that pattern for a noticeable fraction.
         let broken = (0..train.len())
-            .filter(|&i| train.label(i) != i % train.classes())
+            .filter(|&i| train.label(i).expect("in range") != i % train.classes())
             .count();
         let frac = broken as f64 / train.len() as f64;
         assert!(

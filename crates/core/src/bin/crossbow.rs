@@ -16,10 +16,10 @@
 use crossbow::autotuner::tune_to_convergence;
 use crossbow::benchmark::Benchmark;
 use crossbow::comms::{
-    demo_algo, demo_task, run_chaos, run_standby, run_worker, run_worker_resilient, ChaosOptions,
-    ChaosScenario, ClusterEvent, Coordinator, DistConfig, DistReport, NetFaultPlan, SimPhase,
-    SimPhaseReport, StandbyConfig, StandbyEvent, StandbyOutcome, Topology, WorkerConfig,
-    WorkerEvent,
+    demo_algo, demo_task, run_chaos, run_standby, run_worker_resilient_with_data,
+    run_worker_with_data, ChaosOptions, ChaosScenario, ClusterEvent, Coordinator, DistConfig,
+    DistReport, NetFaultPlan, SimPhase, SimPhaseReport, StandbyConfig, StandbyEvent,
+    StandbyOutcome, Topology, WorkerConfig, WorkerEvent,
 };
 use crossbow::engine::{AlgorithmKind, Session, SessionConfig};
 use crossbow::exec_sim::{
@@ -49,6 +49,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "train" => cmd_train(rest),
+        "data" => cmd_data(rest),
         "dist-train" => cmd_dist_train(rest),
         "chaos" => cmd_chaos(rest),
         "simulate" => cmd_simulate(rest),
@@ -78,6 +79,11 @@ USAGE:
                       [--batch B] [--algorithm sma|ssgd|easgd|hier]
                       [--tau T] [--epochs E] [--target ACC] [--seed S]
                       [--trace FILE]
+    crossbow data pack    --dir DIR [--classes C] [--dim D] [--samples N]
+                      [--noise F] [--seed S] [--samples-per-shard N]
+                      [--page-samples N]
+    crossbow data inspect --dir DIR
+    crossbow data verify  --dir DIR
     crossbow dist-train --role coordinator [--workers N] [--topology ps|ring]
                       [--algo sma|ssgd] [--epochs E] [--batch B] [--seed S]
                       [--init-seed S] [--bind ADDR] [--checkpoint-dir DIR]
@@ -88,6 +94,7 @@ USAGE:
                       [--work-resend-ms T] [--join-timeout-ms T]
                       [--hello-timeout-ms T] [--lease-interval-ms T]
                       [--lease-timeout-ms T] [--state-every I] [--term N]
+                      [--data-dir DIR]
     crossbow dist-train --role standby --connect ADDR [--bind ADDR]
                       [--priority P] [--peers A,B,...] [--workers N]
                       [--topology ps|ring] [--algo sma|ssgd] [--epochs E]
@@ -95,6 +102,7 @@ USAGE:
                       [--progress-every I] [+ the coordinator timing flags]
     crossbow dist-train --role worker --connect ADDR[,FALLBACK...]
                       [--rejoin 0|1] [--failover-retries N] [--jitter-seed S]
+                      [--data-dir DIR]
     crossbow chaos    --scenario kill-primary|partition-heal|cascade
                       [--seed S] [--topology ps|ring] | --list 1
     crossbow simulate [--model NAME] [--gpus N] [--learners M] [--batch B]
@@ -249,11 +257,167 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `crossbow data pack|inspect|verify`: the on-disk data plane. `pack`
+/// freezes a synthetic Gaussian-mixture dataset into checksummed,
+/// mmap-ready shards; `inspect` prints the shard map; `verify`
+/// re-validates every shard (header, index, every page checksum) and
+/// fails when any is corrupt.
+fn cmd_data(args: &[String]) -> Result<(), String> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Err(format!(
+            "data needs a subcommand: pack|inspect|verify\n{USAGE}"
+        ));
+    };
+    let flags = Flags::parse(rest)?;
+    match sub.as_str() {
+        "pack" => data_pack(&flags),
+        "inspect" => data_inspect(&flags),
+        "verify" => data_verify(&flags),
+        other => Err(format!(
+            "unknown data subcommand `{other}` (pack|inspect|verify)"
+        )),
+    }
+}
+
+fn data_dir_flag<'a>(flags: &'a Flags<'_>) -> Result<&'a str, String> {
+    flags
+        .get("dir")
+        .ok_or_else(|| "--dir DIR is required".into())
+}
+
+fn data_pack(flags: &Flags<'_>) -> Result<(), String> {
+    flags.reject_unknown(&[
+        "dir",
+        "classes",
+        "dim",
+        "samples",
+        "noise",
+        "seed",
+        "samples-per-shard",
+        "page-samples",
+    ])?;
+    let dir = data_dir_flag(flags)?;
+    let classes = flags.parse_num("classes", 4usize)?;
+    let dim = flags.parse_num("dim", 6usize)?;
+    let samples = flags.parse_num("samples", 2048usize)?;
+    let noise = flags.parse_num("noise", 0.35f32)?;
+    let seed = flags.parse_num("seed", 7u64)?;
+    let cfg = crossbow::shard::PackConfig {
+        samples_per_shard: flags.parse_num("samples-per-shard", 512usize)?,
+        page_samples: flags.parse_num("page-samples", 64usize)?,
+        ..crossbow::shard::PackConfig::default()
+    };
+    let set = crossbow::data::synth::gaussian_mixture(classes, dim, samples, noise, seed);
+    let started = std::time::Instant::now();
+    let report =
+        crossbow::shard::pack_source(dir.as_ref(), &set, cfg).map_err(|e| format!("pack: {e}"))?;
+    let secs = started.elapsed().as_secs_f64().max(1e-9);
+    println!(
+        "PACKED dir={dir} shards={} samples={} bytes={} mb_per_s={:.1}",
+        report.shards,
+        report.samples,
+        report.bytes,
+        report.bytes as f64 / (1024.0 * 1024.0) / secs,
+    );
+    Ok(())
+}
+
+/// One shard file's validation outcome, by file name.
+type ShardScan = (
+    String,
+    Result<crossbow::shard::ShardReader, crossbow::shard::ShardError>,
+);
+
+/// Scans `dir` for sealed shard files in name order, validating each.
+fn scan_shards(dir: &str) -> Result<Vec<ShardScan>, String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read `{dir}`: {e}"))?
+        .filter_map(|entry| entry.ok())
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .filter(|name| {
+            name.starts_with("shard-") && name.ends_with(&format!(".{}", crossbow::shard::FILE_EXT))
+        })
+        .collect();
+    names.sort();
+    Ok(names
+        .into_iter()
+        .map(|name| {
+            let opened = crossbow::shard::ShardReader::open(&std::path::Path::new(dir).join(&name));
+            (name, opened)
+        })
+        .collect())
+}
+
+fn data_inspect(flags: &Flags<'_>) -> Result<(), String> {
+    flags.reject_unknown(&["dir"])?;
+    let dir = data_dir_flag(flags)?;
+    let set = crossbow::shard::ShardedDataset::open(dir.as_ref())
+        .map_err(|e| format!("open `{dir}`: {e}"))?;
+    use crossbow::data::SampleSource;
+    println!(
+        "dataset: {} samples, {} classes, sample shape {:?}",
+        set.len(),
+        set.classes(),
+        set.sample_shape().dims(),
+    );
+    println!(
+        "shards : {} valid ({} bytes on disk, mmap={})",
+        set.shard_count(),
+        set.total_file_bytes(),
+        set.fully_mmapped(),
+    );
+    for (name, opened) in scan_shards(dir)? {
+        match opened {
+            Ok(reader) => println!(
+                "  {name}: {} samples, {} bytes, page size {}",
+                reader.samples(),
+                reader.file_bytes(),
+                reader.page_samples(),
+            ),
+            Err(err) => println!("  {name}: CORRUPT ({err})"),
+        }
+    }
+    for (path, err) in set.skipped() {
+        println!("skipped: {} ({err})", path.display());
+    }
+    Ok(())
+}
+
+fn data_verify(flags: &Flags<'_>) -> Result<(), String> {
+    flags.reject_unknown(&["dir"])?;
+    let dir = data_dir_flag(flags)?;
+    let mut valid = 0usize;
+    let mut corrupt = Vec::new();
+    for (name, opened) in scan_shards(dir)? {
+        match opened {
+            Ok(reader) => {
+                println!("OK {name} samples={}", reader.samples());
+                valid += 1;
+            }
+            Err(err) => {
+                println!("BAD {name} error={err}");
+                corrupt.push(name);
+            }
+        }
+    }
+    println!("VERIFIED valid={valid} corrupt={}", corrupt.len());
+    if corrupt.is_empty() && valid > 0 {
+        Ok(())
+    } else if valid == 0 {
+        Err(format!("no valid shards under `{dir}`"))
+    } else {
+        Err(format!("corrupt shards: {}", corrupt.join(", ")))
+    }
+}
+
 /// `dist-train`: fault-tolerant multi-process training on the comms demo
 /// task. One process runs `--role coordinator`; the others `--role
 /// worker --connect ADDR`. Machine-readable markers go to stdout
 /// (`LISTENING`, `JOINED`, `EVICTED`, `RESENT`, `PROGRESS`, `REPORT`) so
 /// harnesses — and the crash-recovery integration test — can script it.
+/// With `--data-dir` the coordinator trains from a packed shard
+/// directory and ships sample *indices*; workers then need the same
+/// `--data-dir` to gather batches from their own mmap of the shards.
 fn cmd_dist_train(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     match flags.get("role").unwrap_or("coordinator") {
@@ -363,12 +527,31 @@ fn dist_coordinator(flags: &Flags<'_>) -> Result<(), String> {
         "only-conn",
         "partition-start",
         "partition-len",
+        "data-dir",
     ];
     allowed.extend_from_slice(DIST_TIMING_FLAGS);
     flags.reject_unknown(&allowed)?;
     let workers = flags.parse_num("workers", 2usize)?;
     let topology = parse_topology(flags)?;
     let mut dist = DistConfig::new(topology, workers);
+    // A shard directory switches the run to the real data plane: the
+    // coordinator trains from disk and ships indices, not payloads.
+    let shard_train = match flags.get("data-dir") {
+        Some(dir) => {
+            dist = dist.with_index_work();
+            let set = crossbow::shard::ShardedDataset::open(dir.as_ref())
+                .map_err(|e| format!("open shard dir `{dir}`: {e}"))?;
+            println!(
+                "DATA dir={dir} shards={} samples={} bytes={} mmap={}",
+                set.shard_count(),
+                crossbow::data::SampleSource::len(&set),
+                set.total_file_bytes(),
+                set.fully_mmapped(),
+            );
+            Some(set)
+        }
+        None => None,
+    };
     apply_timing_flags(flags, &mut dist)?;
     if flags.get("fault-seed").is_some() || flags.get("partition-start").is_some() {
         let seed: u64 = flags.parse_num("fault-seed", 0u64)?;
@@ -426,12 +609,22 @@ fn dist_coordinator(flags: &Flags<'_>) -> Result<(), String> {
     if let Some(dir) = checkpoint_dir {
         trainer = trainer.with_checkpointing(CheckpointConfig::new(dir));
     }
+    // Disk-backed runs partition the shard set across the worker slots.
+    let train_from_disk: Option<&dyn crossbow::data::SampleSource> = match &shard_train {
+        Some(set) => {
+            let n = crossbow::data::SampleSource::len(set);
+            trainer = trainer.with_partition(crossbow::data::PartitionPlan::even(n, workers));
+            Some(set)
+        }
+        None => None,
+    };
+    let train_source: &dyn crossbow::data::SampleSource = train_from_disk.unwrap_or(&train_set);
     let report = if checkpoint_dir.is_some() {
         coordinator
-            .resume(&net, &train_set, &test_set, algo.as_mut(), &trainer)
+            .resume(&net, train_source, &test_set, algo.as_mut(), &trainer)
             .map_err(|e| format!("checkpoint store: {e}"))?
     } else {
-        coordinator.run(&net, &train_set, &test_set, algo.as_mut(), &trainer)
+        coordinator.run(&net, train_source, &test_set, algo.as_mut(), &trainer)
     };
     print_report(&report);
     Ok(())
@@ -527,6 +720,7 @@ fn dist_worker(flags: &Flags<'_>) -> Result<(), String> {
         "rejoin",
         "failover-retries",
         "jitter-seed",
+        "data-dir",
     ])?;
     let connect = flags
         .get("connect")
@@ -537,6 +731,20 @@ fn dist_worker(flags: &Flags<'_>) -> Result<(), String> {
     cfg.rejoin = matches!(flags.get("rejoin"), Some("1") | Some("true"));
     cfg.failover_retries = flags.parse_num("failover-retries", 0u32)?;
     cfg.jitter_seed = flags.parse_num("jitter-seed", 0u64)?;
+    let data: Option<Arc<dyn crossbow::data::SampleSource>> = match flags.get("data-dir") {
+        Some(dir) => {
+            let set = crossbow::shard::ShardedDataset::open(dir.as_ref())
+                .map_err(|e| format!("open shard dir `{dir}`: {e}"))?;
+            println!(
+                "WORKER DATA dir={dir} shards={} samples={} mmap={}",
+                set.shard_count(),
+                crossbow::data::SampleSource::len(&set),
+                set.fully_mmapped(),
+            );
+            Some(Arc::new(set))
+        }
+        None => None,
+    };
     let resilient = cfg.failover_retries > 0 || !cfg.fallbacks.is_empty();
     let (net, _, _) = demo_task();
     let telemetry = Telemetry::disabled();
@@ -548,9 +756,9 @@ fn dist_worker(flags: &Flags<'_>) -> Result<(), String> {
         } => println!("WORKER JOINED slot={slot} iter={iterations} rejoin={rejoin}"),
     };
     let outcome = if resilient {
-        run_worker_resilient(&net, &cfg, &telemetry, &on_event)
+        run_worker_resilient_with_data(&net, data, &cfg, &telemetry, &on_event)
     } else {
-        run_worker(&net, &cfg, &telemetry, &on_event)
+        run_worker_with_data(&net, data, &cfg, &telemetry, &on_event)
     }
     .map_err(|e| format!("worker failed: {e}"))?;
     println!(
@@ -726,8 +934,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     // A Gaussian-mixture task small enough that training and serving both
     // run in seconds on one core.
     let net = Arc::new(mlp(6, &[16], 4));
-    let (train_set, test_set) =
-        crossbow::data::synth::gaussian_mixture(4, 6, 2560, 0.25, seed).split_at(2048);
+    let (train_set, test_set) = crossbow::data::synth::gaussian_mixture(4, 6, 2560, 0.25, seed)
+        .split_at(2048)
+        .expect("demo split is in range");
     let mut rng = Rng::new(seed);
     let initial = net.init_params(&mut rng);
     let mut algo = Sma::new(initial, 4, SmaConfig::default());

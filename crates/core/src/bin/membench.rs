@@ -7,7 +7,10 @@
 //!
 //! * `BENCH_gemm.json` — ns/iter and GFLOP/s per kernel and size;
 //! * `BENCH_train_step.json` — samples/s, ns per global step and the
-//!   arena counters, including an allocation-flatness verdict.
+//!   arena counters, including an allocation-flatness verdict;
+//! * `BENCH_data.json` — shard-pack MB/s, mmap vs in-memory batch-gather
+//!   samples/s, and the prefetch io-wait overlap, including a
+//!   bit-identity verdict for disk vs RAM gathers.
 //!
 //! ```text
 //! membench [--smoke] [--out-dir DIR]
@@ -190,6 +193,160 @@ fn bench_train_step(smoke: bool, out_dir: &str) -> std::io::Result<bool> {
     Ok(flat)
 }
 
+/// Batch-gather throughput (samples/s) over a strided index stream that
+/// touches every record page of `src`.
+fn gather_rate(smoke: bool, src: &dyn crossbow::data::SampleSource, batch: usize) -> f64 {
+    let n = src.len();
+    let mut cursor = 0usize;
+    let m = time_it(smoke, 0.0, || {
+        // Stride 7 is coprime with the page size, so successive batches
+        // walk the whole shard set rather than one hot page.
+        let indices: Vec<usize> = (0..batch).map(|k| (cursor + k * 7) % n).collect();
+        cursor = (cursor + batch * 7) % n;
+        let got = src.gather(&indices).expect("indices in range");
+        std::hint::black_box(&got);
+    });
+    batch as f64 * 1e9 / m.ns_per_iter
+}
+
+/// Benchmarks the shard data plane: ingestion (pack MB/s), mmap-backed
+/// vs in-memory batch gather, and the prefetcher's io-wait overlap when
+/// feeding from disk. Returns whether a disk gather was bit-identical to
+/// the same gather from RAM — the determinism invariant ci.sh asserts.
+fn bench_data(smoke: bool, out_dir: &str) -> std::io::Result<bool> {
+    use crossbow::data::prefetch::PrefetchConfig;
+    use crossbow::data::synth::gaussian_mixture;
+    use crossbow::data::{Prefetcher, SampleSource};
+    use crossbow::shard::{pack_source, PackConfig, ShardedDataset};
+    use std::sync::Arc;
+
+    let (classes, dim, samples) = if smoke {
+        (8, 64, 2_048)
+    } else {
+        (8, 256, 16_384)
+    };
+    let batch = 64usize;
+    let train = gaussian_mixture(classes, dim, samples, 0.35, 11);
+
+    let dir = std::env::temp_dir().join(format!("crossbow-membench-data-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir)?;
+
+    // Ingestion: every sample streamed through the bounded channel into
+    // rotating shards; the elapsed wall time covers producer + writer.
+    let cfg = PackConfig {
+        samples_per_shard: (samples / 8).max(1),
+        ..PackConfig::default()
+    };
+    let start = Instant::now();
+    let pack = pack_source(&dir, &train, cfg).map_err(std::io::Error::other)?;
+    let pack_mb_per_s = pack.bytes as f64 / 1e6 / start.elapsed().as_secs_f64();
+
+    let disk = ShardedDataset::open(&dir).map_err(std::io::Error::other)?;
+    let mmap = disk.fully_mmapped();
+
+    // Determinism spot check: the same indices must gather bit-identical
+    // images and labels from disk and from RAM.
+    let probe: Vec<usize> = (0..256).map(|i| (i * 37) % samples).collect();
+    let (mem_img, mem_lab) = train.gather(&probe).expect("probe in range");
+    let (dsk_img, dsk_lab) = disk.gather(&probe).expect("probe in range");
+    let identical = mem_lab == dsk_lab
+        && mem_img
+            .data()
+            .iter()
+            .zip(dsk_img.data())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+
+    let mem_sps = gather_rate(smoke, &train, batch);
+    let dsk_sps = gather_rate(smoke, &disk, batch);
+
+    // Prefetch overlap: feed a consumer from disk through the double
+    // buffer and measure how much of its wall time blocks on `next()`.
+    let telemetry = Telemetry::disabled();
+    let feeder = ShardedDataset::open(&dir).map_err(std::io::Error::other)?;
+    let p = Prefetcher::spawn_with_metrics(
+        Arc::new(feeder),
+        PrefetchConfig::for_learners(batch, 2),
+        23,
+        &telemetry.metrics,
+    );
+    let rounds = if smoke { 64usize } else { 512 };
+    let mut wait_ns = 0u128;
+    let mut sink = 0.0f32;
+    let consume = Instant::now();
+    for _ in 0..rounds {
+        let t = Instant::now();
+        let b = p.next();
+        wait_ns += t.elapsed().as_nanos();
+        // Stand-in compute: a couple of passes over the batch, so the
+        // pre-processor threads have something to overlap with.
+        for _ in 0..2 {
+            for v in b.images.data() {
+                sink += *v * 0.5;
+            }
+        }
+    }
+    let consume_ns = consume.elapsed().as_nanos().max(1);
+    std::hint::black_box(sink);
+    let io_wait = wait_ns as f64 / consume_ns as f64;
+    let wait_us = telemetry.metrics.histogram("prefetch.wait_us").snapshot();
+    let wait_summary = wait_us.summary();
+    drop(p);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "data pack ({samples}x{dim}): {} shards, {} bytes, {pack_mb_per_s:.1} MB/s",
+        pack.shards, pack.bytes,
+    );
+    println!(
+        "data gather (b={batch}): memory {mem_sps:.0} samples/s, mmap {dsk_sps:.0} samples/s \
+         (mmap={mmap}, {}bit-identical)",
+        if identical { "" } else { "NOT " },
+    );
+    println!(
+        "data prefetch ({rounds} batches from disk): io-wait {:.1}% of consumer time, \
+         wait p50 {:?} p95 {:?}",
+        io_wait * 100.0,
+        wait_summary.p50,
+        wait_summary.p95,
+    );
+    let json = format!(
+        concat!(
+            "{{\n  \"benchmark\": \"data\",\n  \"smoke\": {smoke},\n",
+            "  \"dataset\": {{\"samples\": {samples}, \"dim\": {dim}, \"classes\": {classes}}},\n",
+            "  \"pack\": {{\"shards\": {shards}, \"bytes\": {bytes}, ",
+            "\"mb_per_s\": {pack_mb_per_s:.2}}},\n",
+            "  \"gather\": {{\"batch\": {batch}, \"memory_samples_per_s\": {mem_sps:.0}, ",
+            "\"mmap_samples_per_s\": {dsk_sps:.0}, \"mmap\": {mmap}, ",
+            "\"bit_identical\": {identical}}},\n",
+            "  \"prefetch\": {{\"batches\": {rounds}, \"io_wait_fraction\": {io_wait:.4}, ",
+            "\"overlap_fraction\": {overlap:.4}, ",
+            "\"wait_us_p50\": {p50}, \"wait_us_p95\": {p95}}}\n}}\n"
+        ),
+        smoke = smoke,
+        samples = samples,
+        dim = dim,
+        classes = classes,
+        shards = pack.shards,
+        bytes = pack.bytes,
+        pack_mb_per_s = pack_mb_per_s,
+        batch = batch,
+        mem_sps = mem_sps,
+        dsk_sps = dsk_sps,
+        mmap = mmap,
+        identical = identical,
+        rounds = rounds,
+        io_wait = io_wait,
+        overlap = 1.0 - io_wait,
+        p50 = wait_summary.p50.as_micros(),
+        p95 = wait_summary.p95.as_micros(),
+    );
+    let path = format!("{out_dir}/BENCH_data.json");
+    std::fs::write(&path, json)?;
+    println!("wrote {path}");
+    Ok(identical)
+}
+
 fn main() {
     let mut smoke = false;
     let mut out_dir = ".".to_string();
@@ -215,8 +372,13 @@ fn main() {
     }
     bench_gemm(smoke, &out_dir).expect("write BENCH_gemm.json");
     let flat = bench_train_step(smoke, &out_dir).expect("write BENCH_train_step.json");
+    let identical = bench_data(smoke, &out_dir).expect("write BENCH_data.json");
     if !flat {
         eprintln!("FAIL: arena allocation counter grew with iteration count");
+        std::process::exit(1);
+    }
+    if !identical {
+        eprintln!("FAIL: mmap-shard gather differed from the in-memory gather");
         std::process::exit(1);
     }
 }

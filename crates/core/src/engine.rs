@@ -446,6 +446,7 @@ impl Session {
             eval_batch: 256,
             seed: c.seed,
             threads: 0,
+            partition: None,
             guard: c.robustness.as_ref().map(|r| r.guard),
             inject_nan_at: c.robustness.as_ref().and_then(|r| r.inject_nan_at),
             checkpoint: c.checkpoint.clone().map(|mut ck| {

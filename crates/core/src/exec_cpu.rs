@@ -292,7 +292,9 @@ pub fn train_concurrent(
                     // Learning task: batch + gradient on the replica.
                     let t_fetch = shard.now_ns();
                     let (indices, _) = sampler.next_batch();
-                    let (images, labels) = train_set.gather(&indices);
+                    let (images, labels) = train_set
+                        .gather(&indices)
+                        .expect("sampler indices are in range");
                     shard.close(
                         SpanKind::BatchFetch,
                         "batch-fetch",
@@ -472,6 +474,7 @@ pub fn train_concurrent(
                             cursor: DataCursor {
                                 epoch: current_epoch as u64,
                                 batch: 0,
+                                groups: 0,
                             },
                             algo: AlgoState {
                                 center: z.clone(),
@@ -514,7 +517,7 @@ mod tests {
     fn setup() -> (Network, Dataset, Dataset) {
         let net = mlp(6, &[16], 4);
         let data = gaussian_mixture(4, 6, 480, 0.35, 7);
-        let (train_set, test_set) = data.split_at(400);
+        let (train_set, test_set) = data.split_at(400).expect("split in range");
         (net, train_set, test_set)
     }
 
@@ -668,6 +671,7 @@ mod tests {
             eval_batch: 256,
             seed: cfg.seed,
             threads: 1,
+            partition: None,
             guard: None,
             inject_nan_at: None,
             checkpoint: None,

@@ -75,6 +75,7 @@ pub use crossbow_data as data;
 pub use crossbow_gpu_sim as gpu_sim;
 pub use crossbow_nn as nn;
 pub use crossbow_serve as serve;
+pub use crossbow_shard as shard;
 pub use crossbow_sync as sync;
 pub use crossbow_telemetry as telemetry;
 pub use crossbow_tensor as tensor;

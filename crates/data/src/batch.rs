@@ -117,6 +117,189 @@ impl BatchSampler {
     }
 }
 
+/// A static split of `n` samples into `groups` contiguous index ranges —
+/// the per-learner (or per-worker) data partition of a shard-partitioned
+/// run. Group `g` owns `[g*n/G, (g+1)*n/G)`, so sizes differ by at most
+/// one sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PartitionPlan {
+    n: usize,
+    groups: usize,
+}
+
+impl PartitionPlan {
+    /// An even split of `n` samples into `groups` ranges.
+    ///
+    /// # Panics
+    /// Panics when `groups == 0` or `groups > n`.
+    pub fn even(n: usize, groups: usize) -> Self {
+        assert!(groups > 0, "need at least one group");
+        assert!(groups <= n, "more groups ({groups}) than samples ({n})");
+        PartitionPlan { n, groups }
+    }
+
+    /// Total samples.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of groups.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// The half-open global index range `[lo, hi)` owned by group `g`.
+    ///
+    /// # Panics
+    /// Panics when `g >= groups()`.
+    pub fn range(&self, g: usize) -> (usize, usize) {
+        assert!(g < self.groups, "group {g} out of {}", self.groups);
+        (g * self.n / self.groups, (g + 1) * self.n / self.groups)
+    }
+
+    /// Size of the smallest group — the per-group sample budget that
+    /// bounds `rounds_per_epoch`.
+    pub fn min_group_len(&self) -> usize {
+        (0..self.groups)
+            .map(|g| {
+                let (lo, hi) = self.range(g);
+                hi - lo
+            })
+            .min()
+            .expect("at least one group")
+    }
+}
+
+/// Shard-aware lockstep sampling: one [`BatchSampler`]-style shuffled
+/// stream *per partition group*, all advancing together.
+///
+/// Every round draws one batch from each group (learner `j` always
+/// trains on group `j`'s range), every group reshuffles at the same
+/// epoch boundary — when the smallest group is exhausted, `drop_last`
+/// style — and each group's RNG is consumed only at those lockstep
+/// reshuffles. The cursor therefore stays a single `(epoch, rounds)`
+/// pair and [`PartitionSampler::seek`] replays the shuffles exactly, so
+/// a partitioned run resumes bit-identically just like a
+/// [`BatchSampler`]-driven one.
+#[derive(Clone, Debug)]
+pub struct PartitionSampler {
+    plan: PartitionPlan,
+    batch: usize,
+    orders: Vec<Vec<usize>>,
+    rngs: Vec<Rng>,
+    rounds: usize,
+    epoch: usize,
+    rounds_per_epoch: usize,
+}
+
+impl PartitionSampler {
+    /// Creates a sampler drawing `batch`-sized index blocks from each
+    /// group of `plan`. Each group's RNG is an independent fork of
+    /// `seed` (stream = group index), so group streams never correlate.
+    ///
+    /// # Panics
+    /// Panics when `batch == 0` or `batch` exceeds the smallest group.
+    pub fn new(plan: PartitionPlan, batch: usize, seed: u64) -> Self {
+        assert!(batch > 0, "zero batch size");
+        let min_len = plan.min_group_len();
+        assert!(
+            batch <= min_len,
+            "batch {batch} larger than the smallest group ({min_len})"
+        );
+        let mut orders = Vec::with_capacity(plan.groups());
+        let mut rngs = Vec::with_capacity(plan.groups());
+        for g in 0..plan.groups() {
+            let (lo, hi) = plan.range(g);
+            let mut order: Vec<usize> = (lo..hi).collect();
+            let mut rng = Rng::new(seed).fork(g as u64);
+            rng.shuffle(&mut order);
+            orders.push(order);
+            rngs.push(rng);
+        }
+        PartitionSampler {
+            plan,
+            batch,
+            orders,
+            rngs,
+            rounds: 0,
+            epoch: 0,
+            rounds_per_epoch: min_len / batch,
+        }
+    }
+
+    /// The partition plan.
+    pub fn plan(&self) -> PartitionPlan {
+        self.plan
+    }
+
+    /// Number of groups (one per learner).
+    pub fn groups(&self) -> usize {
+        self.plan.groups()
+    }
+
+    /// Batch size per group.
+    pub fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    /// Completed epochs (starts at 0).
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// Lockstep rounds per epoch: the smallest group's batch count.
+    pub fn rounds_per_epoch(&self) -> usize {
+        self.rounds_per_epoch
+    }
+
+    /// The resume cursor `(epoch, rounds_drawn_in_epoch)`.
+    pub fn cursor(&self) -> (usize, usize) {
+        (self.epoch, self.rounds)
+    }
+
+    /// Fast-forwards a *fresh* sampler (same plan, batch, seed) to a
+    /// cursor position by replaying `epoch` lockstep reshuffles in every
+    /// group. Exact for the same reason [`BatchSampler::seek`] is: RNGs
+    /// advance only at reshuffles.
+    pub fn seek(&mut self, epoch: usize, rounds: usize) {
+        for (order, rng) in self.orders.iter_mut().zip(&mut self.rngs) {
+            for _ in 0..epoch {
+                rng.shuffle(order);
+            }
+        }
+        self.epoch = epoch;
+        self.rounds = rounds.min(self.rounds_per_epoch);
+    }
+
+    /// Raw per-group RNG states, exported for checkpoint integrity
+    /// checks (group order matches slot order).
+    pub fn rng_states(&self) -> Vec<RngState> {
+        self.rngs.iter().map(|r| r.export_state()).collect()
+    }
+
+    /// Draws one round: a batch of global indices from every group, plus
+    /// the epoch the round belongs to. All groups cross the epoch
+    /// boundary together, reshuffling in lockstep.
+    pub fn next_round(&mut self) -> (Vec<Vec<usize>>, usize) {
+        if self.rounds >= self.rounds_per_epoch {
+            self.epoch += 1;
+            self.rounds = 0;
+            for (order, rng) in self.orders.iter_mut().zip(&mut self.rngs) {
+                rng.shuffle(order);
+            }
+        }
+        let start = self.rounds * self.batch;
+        let batches = self
+            .orders
+            .iter()
+            .map(|order| order[start..start + self.batch].to_vec())
+            .collect();
+        let epoch = self.epoch;
+        self.rounds += 1;
+        (batches, epoch)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,5 +407,179 @@ mod tests {
         let (b, _) = s.next_batch();
         assert_eq!(b.len(), 5);
         assert_eq!(s.batches_per_epoch(), 1);
+    }
+
+    /// Property: for every (n, batch, drop_last, draw count) in the grid,
+    /// `seek(cursor())` on a fresh same-seed sampler reproduces the
+    /// remaining stream exactly — including at and across epoch
+    /// boundaries and through partial final batches.
+    #[test]
+    fn property_seek_cursor_round_trips_everywhere() {
+        for &(n, batch) in &[(10usize, 3usize), (12, 4), (7, 7), (9, 2), (16, 5)] {
+            for &drop_last in &[true, false] {
+                let per_epoch = if drop_last {
+                    n / batch
+                } else {
+                    n.div_ceil(batch)
+                };
+                // Sweep draw counts across three epochs, hitting every
+                // boundary-adjacent position (last batch of an epoch,
+                // first of the next, mid-epoch).
+                for drawn in 0..(3 * per_epoch + 2) {
+                    let seed = (n * 1000 + batch * 10 + drawn) as u64;
+                    let mut a = BatchSampler::new(n, batch, drop_last, seed);
+                    for _ in 0..drawn {
+                        a.next_batch();
+                    }
+                    let (epoch, batches) = a.cursor();
+                    let mut b = BatchSampler::new(n, batch, drop_last, seed);
+                    b.seek(epoch, batches);
+                    assert_eq!(
+                        a.rng_state(),
+                        b.rng_state(),
+                        "rng diverged at n={n} batch={batch} drop_last={drop_last} drawn={drawn}"
+                    );
+                    for step in 0..(2 * per_epoch + 1) {
+                        assert_eq!(
+                            a.next_batch(),
+                            b.next_batch(),
+                            "stream diverged at n={n} batch={batch} \
+                             drop_last={drop_last} drawn={drawn} step={step}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Property: the cursor after the final batch of an epoch seeks to
+    /// the same stream as drawing through it, and a partial final batch
+    /// (`drop_last = false`) counts as one drawn batch in the cursor.
+    #[test]
+    fn property_partial_final_batch_counts_once() {
+        // n=10, batch=3, keep-last: epoch is 3+3+3+1 samples in 4 batches.
+        let mut a = BatchSampler::new(10, 3, false, 5);
+        for _ in 0..4 {
+            a.next_batch();
+        }
+        let (epoch, batches) = a.cursor();
+        assert_eq!((epoch, batches), (0, 4), "partial batch drawn once");
+        let mut b = BatchSampler::new(10, 3, false, 5);
+        b.seek(epoch, batches);
+        for _ in 0..9 {
+            assert_eq!(a.next_batch(), b.next_batch());
+        }
+    }
+
+    /// Seeking past an epoch boundary (batches_drawn beyond the epoch)
+    /// clamps to the epoch end rather than running off the permutation.
+    #[test]
+    fn seek_past_epoch_clamps_to_the_boundary() {
+        let mut a = BatchSampler::new(12, 4, true, 3);
+        for _ in 0..3 {
+            a.next_batch(); // exhaust epoch 0
+        }
+        let mut b = BatchSampler::new(12, 4, true, 3);
+        b.seek(0, 99); // far beyond the 3 batches of an epoch
+        assert_eq!(a.rng_state(), b.rng_state());
+        for _ in 0..7 {
+            assert_eq!(a.next_batch(), b.next_batch());
+        }
+    }
+
+    // ---- PartitionSampler -------------------------------------------
+
+    #[test]
+    fn partition_plan_splits_evenly_and_covers() {
+        let plan = PartitionPlan::even(10, 3);
+        let ranges: Vec<_> = (0..3).map(|g| plan.range(g)).collect();
+        assert_eq!(ranges, vec![(0, 3), (3, 6), (6, 10)]);
+        assert_eq!(plan.min_group_len(), 3);
+    }
+
+    #[test]
+    fn partition_groups_stay_inside_their_ranges() {
+        let plan = PartitionPlan::even(20, 2);
+        let mut s = PartitionSampler::new(plan, 4, 11);
+        for _ in 0..10 {
+            let (batches, _) = s.next_round();
+            assert_eq!(batches.len(), 2);
+            for (g, b) in batches.iter().enumerate() {
+                let (lo, hi) = plan.range(g);
+                assert!(b.iter().all(|&i| i >= lo && i < hi), "group {g}: {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_covers_each_group_every_epoch() {
+        let plan = PartitionPlan::even(12, 2);
+        let mut s = PartitionSampler::new(plan, 2, 4);
+        assert_eq!(s.rounds_per_epoch(), 3);
+        let mut seen = vec![0usize; 12];
+        for _ in 0..s.rounds_per_epoch() {
+            let (batches, e) = s.next_round();
+            assert_eq!(e, 0);
+            for b in batches {
+                for i in b {
+                    seen[i] += 1;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+
+    #[test]
+    fn partition_epochs_advance_in_lockstep() {
+        let plan = PartitionPlan::even(8, 2);
+        let mut s = PartitionSampler::new(plan, 4, 9);
+        assert_eq!(s.rounds_per_epoch(), 1);
+        let (_, e0) = s.next_round();
+        let (_, e1) = s.next_round();
+        assert_eq!((e0, e1), (0, 1), "all groups cross the boundary together");
+        assert_eq!(s.epoch(), 1);
+    }
+
+    #[test]
+    fn partition_seek_reproduces_the_stream_mid_epoch() {
+        let plan = PartitionPlan::even(24, 3);
+        let mut a = PartitionSampler::new(plan, 2, 13);
+        for _ in 0..7 {
+            a.next_round();
+        }
+        let (epoch, rounds) = a.cursor();
+        assert_eq!((epoch, rounds), (1, 3));
+        let mut b = PartitionSampler::new(plan, 2, 13);
+        b.seek(epoch, rounds);
+        assert_eq!(a.rng_states(), b.rng_states(), "all group RNGs aligned");
+        for _ in 0..10 {
+            assert_eq!(a.next_round(), b.next_round());
+        }
+    }
+
+    #[test]
+    fn partition_deterministic_per_seed_and_distinct_across_groups() {
+        let plan = PartitionPlan::even(16, 2);
+        let mut a = PartitionSampler::new(plan, 4, 21);
+        let mut b = PartitionSampler::new(plan, 4, 21);
+        for _ in 0..6 {
+            assert_eq!(a.next_round(), b.next_round());
+        }
+        // Different seeds give different streams.
+        let mut c = PartitionSampler::new(plan, 4, 22);
+        let mut differs = false;
+        let mut a2 = PartitionSampler::new(plan, 4, 21);
+        for _ in 0..6 {
+            if a2.next_round() != c.next_round() {
+                differs = true;
+            }
+        }
+        assert!(differs, "seed must steer the permutations");
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than the smallest group")]
+    fn partition_rejects_oversized_batches() {
+        let _ = PartitionSampler::new(PartitionPlan::even(10, 3), 4, 0);
     }
 }

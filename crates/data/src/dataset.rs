@@ -1,5 +1,6 @@
 //! In-memory labelled datasets.
 
+use crate::source::{DataError, SampleSource};
 use crossbow_tensor::{Rng, Shape, Tensor};
 
 /// An in-memory classification dataset: `n` samples of a fixed per-sample
@@ -64,14 +65,32 @@ impl Dataset {
     }
 
     /// Raw view of sample `i`.
-    pub fn image(&self, i: usize) -> &[f32] {
+    ///
+    /// # Errors
+    /// [`DataError::IndexOutOfRange`] when `i >= len()`.
+    pub fn image(&self, i: usize) -> Result<&[f32], DataError> {
+        if i >= self.len() {
+            return Err(DataError::IndexOutOfRange {
+                index: i,
+                len: self.len(),
+            });
+        }
         let l = self.sample_len();
-        &self.images[i * l..(i + 1) * l]
+        Ok(&self.images[i * l..(i + 1) * l])
     }
 
     /// Label of sample `i`.
-    pub fn label(&self, i: usize) -> usize {
-        self.labels[i]
+    ///
+    /// # Errors
+    /// [`DataError::IndexOutOfRange`] when `i >= len()`.
+    pub fn label(&self, i: usize) -> Result<usize, DataError> {
+        self.labels
+            .get(i)
+            .copied()
+            .ok_or(DataError::IndexOutOfRange {
+                index: i,
+                len: self.len(),
+            })
     }
 
     /// All labels.
@@ -90,30 +109,38 @@ impl Dataset {
     /// Gathers the given sample indices into a `[batch, ...sample]` tensor
     /// and a label vector.
     ///
-    /// # Panics
-    /// Panics on empty or out-of-range indices.
-    pub fn gather(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
-        assert!(!indices.is_empty(), "empty batch");
+    /// # Errors
+    /// [`DataError::EmptyBatch`] when `indices` is empty, or
+    /// [`DataError::IndexOutOfRange`] for any index beyond the dataset.
+    pub fn gather(&self, indices: &[usize]) -> Result<(Tensor, Vec<usize>), DataError> {
+        if indices.is_empty() {
+            return Err(DataError::EmptyBatch);
+        }
         let l = self.sample_len();
         let mut data = Vec::with_capacity(indices.len() * l);
         let mut labels = Vec::with_capacity(indices.len());
         for &i in indices {
-            data.extend_from_slice(self.image(i));
+            data.extend_from_slice(self.image(i)?);
             labels.push(self.labels[i]);
         }
         let mut dims = vec![indices.len()];
         dims.extend_from_slice(self.sample_shape.dims());
-        (Tensor::from_vec(Shape::new(&dims), data), labels)
+        Ok((Tensor::from_vec(Shape::new(&dims), data), labels))
     }
 
     /// Splits into `(first, second)` where `first` holds `first_n`
     /// samples. Used for train/test splits (generators interleave classes,
     /// so a prefix split is stratified enough).
     ///
-    /// # Panics
-    /// Panics if `first_n > len()`.
-    pub fn split_at(self, first_n: usize) -> (Dataset, Dataset) {
-        assert!(first_n <= self.len(), "split beyond dataset");
+    /// # Errors
+    /// [`DataError::SplitOutOfRange`] when `first_n > len()`.
+    pub fn split_at(self, first_n: usize) -> Result<(Dataset, Dataset), DataError> {
+        if first_n > self.len() {
+            return Err(DataError::SplitOutOfRange {
+                at: first_n,
+                len: self.len(),
+            });
+        }
         let l = self.sample_len();
         let (img_a, img_b) = {
             let mut imgs = self.images;
@@ -125,10 +152,10 @@ impl Dataset {
             let b = labs.split_off(first_n);
             (labs, b)
         };
-        (
+        Ok((
             Dataset::new(img_a, lab_a, self.sample_shape.clone(), self.classes),
             Dataset::new(img_b, lab_b, self.sample_shape, self.classes),
-        )
+        ))
     }
 
     /// Randomises a fraction of the labels (uniformly over all classes).
@@ -160,6 +187,34 @@ impl Dataset {
     }
 }
 
+impl SampleSource for Dataset {
+    fn len(&self) -> usize {
+        Dataset::len(self)
+    }
+
+    fn sample_shape(&self) -> &Shape {
+        Dataset::sample_shape(self)
+    }
+
+    fn classes(&self) -> usize {
+        Dataset::classes(self)
+    }
+
+    fn label(&self, i: usize) -> Result<usize, DataError> {
+        Dataset::label(self, i)
+    }
+
+    fn gather(&self, indices: &[usize]) -> Result<(Tensor, Vec<usize>), DataError> {
+        Dataset::gather(self, indices)
+    }
+
+    fn eval_tensors(&self) -> Result<(Tensor, Vec<usize>), DataError> {
+        // The in-memory layout already is [n, sample_len]; skip the
+        // per-index copy of the default implementation.
+        Ok((self.images_tensor(), self.labels.clone()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,15 +234,37 @@ mod tests {
         assert_eq!(d.len(), 3);
         assert_eq!(d.classes(), 2);
         assert_eq!(d.sample_len(), 2);
-        assert_eq!(d.image(1), &[2.0, 3.0]);
-        assert_eq!(d.label(2), 0);
+        assert_eq!(d.image(1).expect("in range"), &[2.0, 3.0]);
+        assert_eq!(d.label(2), Ok(0));
         assert_eq!(d.class_histogram(), vec![2, 1]);
+    }
+
+    #[test]
+    fn out_of_range_access_is_a_typed_error() {
+        let d = toy();
+        assert_eq!(
+            d.image(3).unwrap_err(),
+            DataError::IndexOutOfRange { index: 3, len: 3 }
+        );
+        assert_eq!(
+            d.label(9).unwrap_err(),
+            DataError::IndexOutOfRange { index: 9, len: 3 }
+        );
+        assert_eq!(
+            d.gather(&[0, 7]).unwrap_err(),
+            DataError::IndexOutOfRange { index: 7, len: 3 }
+        );
+        assert_eq!(d.gather(&[]).unwrap_err(), DataError::EmptyBatch);
+        assert_eq!(
+            d.split_at(4).unwrap_err(),
+            DataError::SplitOutOfRange { at: 4, len: 3 }
+        );
     }
 
     #[test]
     fn gather_builds_batches() {
         let d = toy();
-        let (t, l) = d.gather(&[2, 0]);
+        let (t, l) = d.gather(&[2, 0]).expect("gather");
         assert_eq!(t.shape().dims(), &[2, 2]);
         assert_eq!(t.data(), &[4.0, 5.0, 0.0, 1.0]);
         assert_eq!(l, vec![0, 0]);
@@ -196,11 +273,11 @@ mod tests {
     #[test]
     fn split_preserves_everything() {
         let d = toy();
-        let (a, b) = d.split_at(2);
+        let (a, b) = d.split_at(2).expect("split");
         assert_eq!(a.len(), 2);
         assert_eq!(b.len(), 1);
-        assert_eq!(b.image(0), &[4.0, 5.0]);
-        assert_eq!(b.label(0), 0);
+        assert_eq!(b.image(0).expect("in range"), &[4.0, 5.0]);
+        assert_eq!(b.label(0), Ok(0));
     }
 
     #[test]
@@ -236,6 +313,6 @@ mod tests {
         let d = toy();
         let t = d.images_tensor();
         assert_eq!(t.shape().dims(), &[3, 2]);
-        assert_eq!(&t.data()[..2], d.image(0));
+        assert_eq!(&t.data()[..2], d.image(0).expect("in range"));
     }
 }

@@ -25,8 +25,10 @@ pub mod batch;
 pub mod chan;
 pub mod dataset;
 pub mod prefetch;
+pub mod source;
 pub mod synth;
 
-pub use batch::BatchSampler;
+pub use batch::{BatchSampler, PartitionPlan, PartitionSampler};
 pub use dataset::Dataset;
 pub use prefetch::{Batch, PrefetchError, Prefetcher};
+pub use source::{DataError, SampleSource};

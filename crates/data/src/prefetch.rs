@@ -24,7 +24,7 @@
 use crate::augment::Augment;
 use crate::batch::BatchSampler;
 use crate::chan::{bounded, Receiver, RecvTimeoutError, SendTimeoutError};
-use crate::dataset::Dataset;
+use crate::source::SampleSource;
 use crossbow_telemetry::{Counter, Gauge, HistogramCell, MetricsRegistry};
 use crossbow_tensor::{Rng, Tensor};
 use std::panic::AssertUnwindSafe;
@@ -146,7 +146,7 @@ impl Prefetcher {
     /// # Panics
     /// Panics on zero threads/capacity or a batch larger than the dataset.
     pub fn spawn_with_metrics(
-        dataset: Arc<Dataset>,
+        dataset: Arc<dyn SampleSource>,
         config: PrefetchConfig,
         seed: u64,
         metrics: &MetricsRegistry,
@@ -164,7 +164,7 @@ impl Prefetcher {
     ///
     /// # Panics
     /// Panics on zero threads/capacity or a batch larger than the dataset.
-    pub fn spawn(dataset: Arc<Dataset>, config: PrefetchConfig, seed: u64) -> Self {
+    pub fn spawn(dataset: Arc<dyn SampleSource>, config: PrefetchConfig, seed: u64) -> Self {
         assert!(config.threads > 0, "need at least one pre-processor");
         assert!(config.capacity > 0, "need a buffer");
         let mut sampler = BatchSampler::new(dataset.len(), config.batch_size, true, seed);
@@ -195,7 +195,13 @@ impl Prefetcher {
                         }
                         let (indices, epoch) =
                             sampler.lock().expect("sampler lock poisoned").next_batch();
-                        let (mut images, labels) = dataset.gather(&indices);
+                        // A gather failure (index rot, disk fault) panics
+                        // here on purpose: the catch below turns it into
+                        // a terminal `PrefetchError::Terminated` carrying
+                        // the message, which the consumer surfaces.
+                        let (mut images, labels) = dataset
+                            .gather(&indices)
+                            .unwrap_or_else(|e| panic!("pre-processor gather failed: {e}"));
                         if !config.augment.is_noop() {
                             config.augment.apply(&mut images, &mut rng);
                         }
@@ -346,7 +352,7 @@ mod tests {
     use super::*;
     use crate::synth::gaussian_mixture;
 
-    fn dataset() -> Arc<Dataset> {
+    fn dataset() -> Arc<dyn SampleSource> {
         Arc::new(gaussian_mixture(4, 6, 64, 0.3, 1))
     }
 

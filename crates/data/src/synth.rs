@@ -242,17 +242,17 @@ mod tests {
         let spec = ImageSpec::mnist_like().with_samples(50);
         let a = image_classification(&spec, 7);
         let b = image_classification(&spec, 7);
-        assert_eq!(a.image(3), b.image(3));
+        assert_eq!(a.image(3).expect("in range"), b.image(3).expect("in range"));
         let c = image_classification(&spec, 8);
-        assert_ne!(a.image(3), c.image(3));
+        assert_ne!(a.image(3).expect("in range"), c.image(3).expect("in range"));
     }
 
     #[test]
     fn labels_are_interleaved_and_balanced() {
         let d = image_classification(&ImageSpec::cifar10_like().with_samples(100), 1);
-        assert_eq!(d.label(0), 0);
-        assert_eq!(d.label(1), 1);
-        assert_eq!(d.label(11), 1);
+        assert_eq!(d.label(0), Ok(0));
+        assert_eq!(d.label(1), Ok(1));
+        assert_eq!(d.label(11), Ok(1));
         assert!(d.class_histogram().iter().all(|&c| c == 10));
     }
 
@@ -290,7 +290,7 @@ mod tests {
         let mut n_inter = 0;
         for i in 0..50 {
             for j in (i + 1)..50 {
-                let dd = dist(d.image(i), d.image(j));
+                let dd = dist(d.image(i).expect("in range"), d.image(j).expect("in range"));
                 if d.label(i) == d.label(j) {
                     intra += dd;
                     n_intra += 1;

@@ -1,0 +1,54 @@
+//! Typed failures of the shard data plane.
+
+/// Why a shard could not be written, opened or read.
+///
+/// Every validation failure is a *typed error*, never UB: the reader
+/// bounds-checks all offsets against the mapped file length before
+/// dereferencing anything, so a truncated file, a flipped bit or a stale
+/// header version surfaces here instead of in a fault handler.
+#[derive(Debug)]
+pub enum ShardError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The file exists but fails validation (bad magic, truncated,
+    /// checksum mismatch, impossible geometry).
+    Corrupt(String),
+    /// The header carries a format version this build does not read.
+    Version {
+        /// The version found in the header.
+        found: u32,
+        /// The version this build writes and reads.
+        expected: u32,
+    },
+    /// Shards in a directory disagree on dataset metadata, or no valid
+    /// shard remains after corruption fallback.
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Io(e) => write!(f, "shard I/O error: {e}"),
+            ShardError::Corrupt(why) => write!(f, "corrupt shard: {why}"),
+            ShardError::Version { found, expected } => {
+                write!(
+                    f,
+                    "unsupported shard format version {found} (expected {expected})"
+                )
+            }
+            ShardError::Inconsistent(why) => write!(f, "inconsistent shard set: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<std::io::Error> for ShardError {
+    fn from(e: std::io::Error) -> Self {
+        ShardError::Io(e)
+    }
+}
+
+pub(crate) fn corrupt(why: impl Into<String>) -> ShardError {
+    ShardError::Corrupt(why.into())
+}

@@ -42,6 +42,6 @@ pub use sma::{easgd, Sma, SmaConfig};
 pub use ssgd::SSgd;
 pub use trainer::{
     resume, resume_with_source, train, train_from_state_with_source, train_with_source,
-    CheckpointConfig, GradientSource, GuardConfig, LocalGradients, PublishHook, RoundStatus,
-    StateHook, TrainerConfig, TrainingCurve,
+    CheckpointConfig, GradientSource, GuardConfig, LearnerBatch, LocalGradients, PublishHook,
+    RoundStatus, StateHook, TrainerConfig, TrainingCurve,
 };

@@ -16,11 +16,11 @@ use crate::schedule::LrSchedule;
 use crossbow_checkpoint::{
     AlgoState, CheckpointError, CheckpointStore, DataCursor, RetentionPolicy, TrainingState,
 };
-use crossbow_data::{BatchSampler, Dataset};
+use crossbow_data::{BatchSampler, PartitionPlan, PartitionSampler, SampleSource};
 use crossbow_nn::{Network, Scratch};
 use crossbow_telemetry::{Shard, SpanKind, Telemetry, HOST_DEVICE};
 use crossbow_tensor::stats::WindowedMedian;
-use crossbow_tensor::Tensor;
+use crossbow_tensor::{RngState, Tensor};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -166,6 +166,13 @@ pub struct TrainerConfig {
     /// off). Never affects the [`TrainingCurve`]: timing is observed,
     /// not fed back.
     pub telemetry: Option<Telemetry>,
+    /// Shard-aware sampling: split the dataset into one contiguous range
+    /// per learner and draw lockstep rounds with a [`PartitionSampler`]
+    /// (`None` = the classic shared [`BatchSampler`]). The plan's group
+    /// count must equal the algorithm's learner count; with faults off,
+    /// a partitioned distributed run draws the exact index stream a
+    /// partitioned single-process run draws.
+    pub partition: Option<PartitionPlan>,
 }
 
 /// Settings of durable (on-disk) checkpointing.
@@ -285,6 +292,7 @@ impl TrainerConfig {
             publish: None,
             state_hook: None,
             telemetry: None,
+            partition: None,
         }
     }
 
@@ -341,6 +349,12 @@ impl TrainerConfig {
         self.telemetry = Some(telemetry);
         self
     }
+
+    /// Enables partitioned (shard-aware) sampling (builder style).
+    pub fn with_partition(mut self, plan: PartitionPlan) -> Self {
+        self.partition = Some(plan);
+        self
+    }
 }
 
 /// The result of a training run.
@@ -389,6 +403,21 @@ pub enum RoundStatus {
     Resized,
 }
 
+/// One learner's batch for one round: the gathered payload plus the
+/// global sample indices it came from. A local source consumes the
+/// tensors; a remote source whose workers hold the dataset themselves
+/// (shard-partitioned `dist-train`) ships just the indices and lets the
+/// worker gather locally — same round, a fraction of the bytes.
+#[derive(Clone, Debug)]
+pub struct LearnerBatch {
+    /// Batched images, `[b, …sample dims]`.
+    pub images: Tensor,
+    /// Per-sample class labels.
+    pub labels: Vec<usize>,
+    /// Global dataset indices the batch was gathered from.
+    pub indices: Vec<usize>,
+}
+
 /// Where the per-learner gradients of one iteration come from.
 ///
 /// Every iteration the training loop draws one batch per learner and asks
@@ -407,7 +436,7 @@ pub trait GradientSource {
     fn round(
         &mut self,
         algo: &mut dyn SyncAlgorithm,
-        batches: &[(Tensor, Vec<usize>)],
+        batches: &[LearnerBatch],
         grads: &mut [Vec<f32>],
         losses: &mut [f32],
     ) -> RoundStatus;
@@ -419,8 +448,8 @@ pub trait GradientSource {
 /// Panics on configuration/dataset/network mismatches.
 pub fn train(
     net: &Network,
-    train_set: &Dataset,
-    test_set: &Dataset,
+    train_set: &dyn SampleSource,
+    test_set: &dyn SampleSource,
     algo: &mut dyn SyncAlgorithm,
     config: &TrainerConfig,
 ) -> TrainingCurve {
@@ -434,8 +463,8 @@ pub fn train(
 /// Panics on configuration/dataset/network mismatches.
 pub fn train_with_source(
     net: &Network,
-    train_set: &Dataset,
-    test_set: &Dataset,
+    train_set: &dyn SampleSource,
+    test_set: &dyn SampleSource,
     algo: &mut dyn SyncAlgorithm,
     config: &TrainerConfig,
     source: &mut dyn GradientSource,
@@ -475,8 +504,8 @@ fn attach_metrics(store: CheckpointStore, config: &TrainerConfig) -> CheckpointS
 /// Panics on configuration/dataset/network mismatches.
 pub fn resume(
     net: &Network,
-    train_set: &Dataset,
-    test_set: &Dataset,
+    train_set: &dyn SampleSource,
+    test_set: &dyn SampleSource,
     algo: &mut dyn SyncAlgorithm,
     config: &TrainerConfig,
 ) -> Result<TrainingCurve, CheckpointError> {
@@ -494,8 +523,8 @@ pub fn resume(
 /// Panics on configuration/dataset/network mismatches.
 pub fn resume_with_source(
     net: &Network,
-    train_set: &Dataset,
-    test_set: &Dataset,
+    train_set: &dyn SampleSource,
+    test_set: &dyn SampleSource,
     algo: &mut dyn SyncAlgorithm,
     config: &TrainerConfig,
     source: &mut dyn GradientSource,
@@ -542,8 +571,8 @@ pub fn resume_with_source(
 /// failover bit-identity invariant.
 pub fn train_from_state_with_source(
     net: &Network,
-    train_set: &Dataset,
-    test_set: &Dataset,
+    train_set: &dyn SampleSource,
+    test_set: &dyn SampleSource,
     algo: &mut dyn SyncAlgorithm,
     config: &TrainerConfig,
     state: Option<TrainingState>,
@@ -607,11 +636,74 @@ fn state_to_snapshot(state: &AlgoState) -> AlgoSnapshot {
     }
 }
 
+/// The trainer's data-order engine: either the classic shared
+/// [`BatchSampler`] (one global shuffle, `k` draws per iteration) or a
+/// [`PartitionSampler`] (one contiguous range per learner, lockstep
+/// rounds). Both expose the same `(epoch, position)` cursor and exact
+/// seek, so checkpoint capture and restore are mode-agnostic.
+enum Sampling {
+    Single(BatchSampler),
+    Parts(PartitionSampler),
+}
+
+impl Sampling {
+    /// Draws one index list per learner.
+    fn next_round(&mut self, k: usize) -> Vec<Vec<usize>> {
+        match self {
+            Sampling::Single(s) => (0..k).map(|_| s.next_batch().0).collect(),
+            Sampling::Parts(p) => {
+                let (round, _) = p.next_round();
+                debug_assert_eq!(round.len(), k, "one partition group per learner");
+                round
+            }
+        }
+    }
+
+    fn epoch(&self) -> usize {
+        match self {
+            Sampling::Single(s) => s.epoch(),
+            Sampling::Parts(p) => p.epoch(),
+        }
+    }
+
+    fn cursor(&self) -> (usize, usize) {
+        match self {
+            Sampling::Single(s) => s.cursor(),
+            Sampling::Parts(p) => p.cursor(),
+        }
+    }
+
+    fn seek(&mut self, epoch: usize, pos: usize) {
+        match self {
+            Sampling::Single(s) => s.seek(epoch, pos),
+            Sampling::Parts(p) => p.seek(epoch, pos),
+        }
+    }
+
+    /// RNG streams in checkpoint order: the single sampler stream, or one
+    /// stream per partition group.
+    fn rng_states(&self) -> Vec<RngState> {
+        match self {
+            Sampling::Single(s) => vec![s.rng_state()],
+            Sampling::Parts(p) => p.rng_states(),
+        }
+    }
+
+    /// Partition groups, 0 when unpartitioned — the value the checkpoint
+    /// cursor records so a resume refuses a sampling-mode mismatch.
+    fn groups(&self) -> u64 {
+        match self {
+            Sampling::Single(_) => 0,
+            Sampling::Parts(p) => p.groups() as u64,
+        }
+    }
+}
+
 /// Captures the run's complete durable state. Returns `None` when the
 /// algorithm does not support snapshots (nothing useful to persist).
 fn capture_state(
     algo: &dyn SyncAlgorithm,
-    sampler: &BatchSampler,
+    sampler: &Sampling,
     curve: &TrainingCurve,
     config: &TrainerConfig,
     progress: &Progress,
@@ -635,10 +727,11 @@ fn capture_state(
         cursor: DataCursor {
             epoch: epoch as u64,
             batch: batch as u64,
+            groups: sampler.groups(),
         },
         algo: snapshot_to_state(&snap),
         guard: progress.guard.as_ref().map(snapshot_to_state),
-        rngs: vec![sampler.rng_state()],
+        rngs: sampler.rng_states(),
         learners_per_gpu: config.checkpoint.as_ref().map_or(0, |c| c.learners_per_gpu),
     })
 }
@@ -647,7 +740,7 @@ fn capture_state(
 fn save_checkpoint(
     store: &CheckpointStore,
     algo: &dyn SyncAlgorithm,
-    sampler: &BatchSampler,
+    sampler: &Sampling,
     curve: &TrainingCurve,
     config: &TrainerConfig,
     progress: &Progress,
@@ -673,8 +766,8 @@ fn save_checkpoint(
 #[allow(clippy::too_many_arguments)]
 fn run(
     net: &Network,
-    train_set: &Dataset,
-    test_set: &Dataset,
+    train_set: &dyn SampleSource,
+    test_set: &dyn SampleSource,
     algo: &mut dyn SyncAlgorithm,
     config: &TrainerConfig,
     restored: Option<TrainingState>,
@@ -692,10 +785,30 @@ fn run(
         "dataset does not match the network input"
     );
     assert!(config.max_epochs > 0, "need at least one epoch");
-    let mut sampler =
-        BatchSampler::new(train_set.len(), config.batch_per_learner, true, config.seed);
-    let test_images = test_set.images_tensor();
-    let test_labels = test_set.labels().to_vec();
+    let mut sampler = match config.partition {
+        Some(plan) => {
+            assert_eq!(
+                plan.n(),
+                train_set.len(),
+                "partition plan does not cover the dataset"
+            );
+            assert_eq!(plan.groups(), algo.k(), "one partition group per learner");
+            Sampling::Parts(PartitionSampler::new(
+                plan,
+                config.batch_per_learner,
+                config.seed,
+            ))
+        }
+        None => Sampling::Single(BatchSampler::new(
+            train_set.len(),
+            config.batch_per_learner,
+            true,
+            config.seed,
+        )),
+    };
+    let (test_images, test_labels) = test_set
+        .eval_tensors()
+        .expect("test set must gather cleanly");
     let recorder = config
         .telemetry
         .as_ref()
@@ -731,12 +844,19 @@ fn run(
             algo.restore(&state_to_snapshot(&st.algo)),
             "checkpoint does not fit this algorithm"
         );
-        sampler.seek(st.cursor.epoch as usize, st.cursor.batch as usize);
-        // The sampler replays its RNG from the seed; the replayed stream
-        // must land exactly where the interrupted run left it.
         assert_eq!(
-            sampler.rng_state(),
-            st.rngs[0],
+            st.cursor.groups,
+            sampler.groups(),
+            "checkpoint partitioning does not match this run: the index streams of \
+             partitioned and unpartitioned sampling differ"
+        );
+        sampler.seek(st.cursor.epoch as usize, st.cursor.batch as usize);
+        // The sampler replays its RNG streams from the seed; every
+        // replayed stream must land exactly where the interrupted run
+        // left it.
+        assert_eq!(
+            sampler.rng_states(),
+            st.rngs,
             "checkpoint data cursor is inconsistent with the sampler stream"
         );
         curve.iterations = st.iterations;
@@ -780,11 +900,29 @@ fn run(
             losses.resize(k, 0.0);
         }
         // Draw one batch per learner.
-        let mut batches: Vec<(Tensor, Vec<usize>)> = Vec::with_capacity(k);
-        for _ in 0..k {
-            let (idx, _) = sampler.next_batch();
-            batches.push(train_set.gather(&idx));
-        }
+        let t_fetch = shard.now_ns();
+        let batches: Vec<LearnerBatch> = sampler
+            .next_round(k)
+            .into_iter()
+            .map(|indices| {
+                let (images, labels) = train_set
+                    .gather(&indices)
+                    .expect("sampler indices are in range by construction");
+                LearnerBatch {
+                    images,
+                    labels,
+                    indices,
+                }
+            })
+            .collect();
+        shard.close(
+            SpanKind::BatchFetch,
+            "batch-fetch",
+            t_fetch,
+            HOST_DEVICE,
+            0,
+            Some(curve.iterations),
+        );
         let lr = config.schedule.lr_at(progress.current_epoch);
         let t_learn = shard.now_ns();
         let status = source.round(algo, &batches, &mut grads, &mut losses);
@@ -798,7 +936,22 @@ fn run(
         );
         if status == RoundStatus::Resized {
             // Membership changed under us: the algorithm already holds the
-            // new learner group; redo the iteration at the new size.
+            // new learner group; redo the iteration at the new size. Under
+            // partitioned sampling the group count just changed too, so
+            // rebuild the partition over the new learner count, restarting
+            // the current shuffle epoch — faults make the index stream
+            // diverge from an undisturbed run by design (the bit-identity
+            // claim holds with faults off).
+            if let Sampling::Parts(p) = &mut sampler {
+                let (epoch, _) = p.cursor();
+                let mut rebuilt = PartitionSampler::new(
+                    PartitionPlan::even(train_set.len(), algo.k()),
+                    config.batch_per_learner,
+                    config.seed,
+                );
+                rebuilt.seek(epoch, 0);
+                *p = rebuilt;
+            }
             continue;
         }
         let diverged =
@@ -1023,7 +1176,7 @@ impl GradientSource for LocalGradients<'_> {
     fn round(
         &mut self,
         algo: &mut dyn SyncAlgorithm,
-        batches: &[(Tensor, Vec<usize>)],
+        batches: &[LearnerBatch],
         grads: &mut [Vec<f32>],
         losses: &mut [f32],
     ) -> RoundStatus {
@@ -1036,9 +1189,14 @@ impl GradientSource for LocalGradients<'_> {
         if threads <= 1 {
             let scratch = &mut self.scratches[0];
             for j in 0..k {
-                let (images, labels) = &batches[j];
-                let (loss, _) =
-                    net.loss_and_grad(replicas[j], images, labels, &mut grads[j], scratch);
+                let batch = &batches[j];
+                let (loss, _) = net.loss_and_grad(
+                    replicas[j],
+                    &batch.images,
+                    &batch.labels,
+                    &mut grads[j],
+                    scratch,
+                );
                 losses[j] = loss;
                 if wd != 0.0 {
                     crossbow_tensor::ops::axpy(wd, replicas[j], &mut grads[j]);
@@ -1063,9 +1221,14 @@ impl GradientSource for LocalGradients<'_> {
                     let replicas = &replicas;
                     scope.spawn(move || {
                         for (j, grad, loss) in thread_slots {
-                            let (images, labels) = &batches[j];
-                            let (l, _) =
-                                net.loss_and_grad(replicas[j], images, labels, grad, scratch);
+                            let batch = &batches[j];
+                            let (l, _) = net.loss_and_grad(
+                                replicas[j],
+                                &batch.images,
+                                &batch.labels,
+                                grad,
+                                scratch,
+                            );
                             *loss = l;
                             if wd != 0.0 {
                                 crossbow_tensor::ops::axpy(wd, replicas[j], grad);
@@ -1089,10 +1252,10 @@ mod tests {
     use crossbow_nn::zoo::mlp;
     use crossbow_tensor::Rng;
 
-    fn setup() -> (Network, Dataset, Dataset) {
+    fn setup() -> (Network, crossbow_data::Dataset, crossbow_data::Dataset) {
         let net = mlp(6, &[16], 4);
         let data = gaussian_mixture(4, 6, 480, 0.35, 7);
-        let (train_set, test_set) = data.split_at(400);
+        let (train_set, test_set) = data.split_at(400).expect("split in range");
         (net, train_set, test_set)
     }
 

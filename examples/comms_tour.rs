@@ -47,6 +47,7 @@ fn main() {
         dist: DistConfig::new(Topology::Ps, 2),
         late_workers: Vec::new(),
         events: None,
+        worker_data: None,
     });
     println!("-- parameter-server topology, 2 workers --");
     println!(
@@ -75,6 +76,7 @@ fn main() {
         dist: DistConfig::new(Topology::Ring, 3),
         late_workers: Vec::new(),
         events: None,
+        worker_data: None,
     });
     println!("-- decentralized ring topology, 3 workers --");
     println!(
@@ -122,6 +124,7 @@ fn main() {
         init_seed: 3,
         trainer: trainer.clone(),
         dist,
+        worker_data: None,
         late_workers: vec![Duration::from_millis(800)],
         events: Some(events),
     });

@@ -80,7 +80,7 @@ fn main() {
         for (l, scratch) in scratches.iter_mut().enumerate() {
             let base = (step * learners + l) * batch;
             let indices: Vec<usize> = (base..base + batch).map(|i| i % train.len()).collect();
-            let (images, labels) = train.gather(&indices);
+            let (images, labels) = train.gather(&indices).expect("indices in range");
             let (loss, _) = net.loss_and_grad(&params, &images, &labels, &mut grad, scratch);
             let stats = scratch.workspace_stats();
             println!(

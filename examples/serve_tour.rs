@@ -47,7 +47,9 @@ fn main() {
     let server = Server::start(Arc::clone(&net), Arc::clone(&registry), config);
     let client = server.client();
 
-    let (train_set, test_set) = gaussian_mixture(4, 6, 2304, 0.25, 8).split_at(2048);
+    let (train_set, test_set) = gaussian_mixture(4, 6, 2304, 0.25, 8)
+        .split_at(2048)
+        .expect("demo split is in range");
     let sample_len = test_set.sample_len();
     let inputs: Vec<Vec<f32>> = test_set
         .images_tensor()

@@ -20,7 +20,7 @@ use std::path::PathBuf;
 fn setup() -> (Network, Dataset, Dataset) {
     let net = mlp(6, &[16], 4);
     let data = gaussian_mixture(4, 6, 480, 0.35, 7);
-    let (train_set, test_set) = data.split_at(400);
+    let (train_set, test_set) = data.split_at(400).expect("split in range");
     (net, train_set, test_set)
 }
 

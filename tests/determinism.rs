@@ -110,7 +110,7 @@ fn training_curves_survive_gradient_thread_count_changes() {
     // `threads = k` splits them — the numbers have to match exactly.
     let net = mlp(6, &[16], 4);
     let data = gaussian_mixture(4, 6, 480, 0.35, 7);
-    let (train_set, test_set) = data.split_at(400);
+    let (train_set, test_set) = data.split_at(400).expect("split in range");
     let run = |threads: usize| {
         let mut algo = Sma::new(net.init_params(&mut Rng::new(3)), 2, SmaConfig::default());
         let mut cfg = TrainerConfig::new(8, 3).with_seed(11);

@@ -123,6 +123,7 @@ fn distributed_ssgd_matches_local_training_bit_for_bit() {
         dist: DistConfig::new(Topology::Ps, 2),
         late_workers: Vec::new(),
         events: None,
+        worker_data: None,
     });
     let (net, train_set, test_set) = demo_task();
     let mut algo = demo_algo(&net, 2, "ssgd", 3);
@@ -154,6 +155,7 @@ fn seeded_drops_are_deterministic_and_curve_preserving() {
             dist,
             late_workers: Vec::new(),
             events: None,
+            worker_data: None,
         })
     };
     let plan = NetFaultPlan::seeded(17).drop(0.04);
@@ -208,6 +210,7 @@ fn injected_disconnects_evict_workers_and_a_late_joiner_rebuilds() {
         dist,
         late_workers: vec![Duration::from_millis(800)],
         events: None,
+        worker_data: None,
     });
     assert_eq!(
         out.report.counters.evictions, 2,

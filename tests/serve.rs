@@ -154,7 +154,9 @@ fn train_and_serve_publishes_fresh_models_under_load() {
     // load round must complete requests while early versions are still
     // current, or the mid-load straddle below would be vacuous.
     let net = Arc::new(mlp(64, &[256, 256], 10));
-    let (train_set, test_set) = gaussian_mixture(10, 64, 2176, 0.3, 5).split_at(2048);
+    let (train_set, test_set) = gaussian_mixture(10, 64, 2176, 0.3, 5)
+        .split_at(2048)
+        .expect("split in range");
     let mut rng = Rng::new(5);
     let mut algo = Sma::new(net.init_params(&mut rng), 4, SmaConfig::default());
 

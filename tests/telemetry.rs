@@ -14,7 +14,7 @@ use crossbow::{train_concurrent, CpuEngineConfig};
 fn setup() -> (Network, Dataset, Dataset) {
     let net = mlp(6, &[32, 16], 4);
     let data = gaussian_mixture(4, 6, 480, 0.35, 7);
-    let (train_set, test_set) = data.split_at(400);
+    let (train_set, test_set) = data.split_at(400).expect("split in range");
     (net, train_set, test_set)
 }
 
@@ -43,7 +43,7 @@ fn concurrent_runtime_overlaps_sync_with_next_learning() {
     let run = || {
         let net = mlp(6, &[256, 128], 4);
         let data = gaussian_mixture(4, 6, 480, 0.35, 7);
-        let (train_set, test_set) = data.split_at(400);
+        let (train_set, test_set) = data.split_at(400).expect("split in range");
         let telemetry = Telemetry::wall();
         let mut cfg = CpuEngineConfig::new(2, 64);
         cfg.max_epochs = 12;
