@@ -42,6 +42,19 @@ timeout 300 ./target/release/crossbow chaos --scenario cascade --seed 7 | tee "$
 grep -q "CHAOS-REPORT scenario=cascade seed=7 .* pass=true" "$CHAOS_LOG"
 rm -f "$CHAOS_LOG"
 
+echo "== fleet serving smoke (seeded, wall-clock bounded) =="
+# Drive the multi-model serving fleet through the real CLI: an
+# open-loop flood with mixed-priority closed streams, a canary staged
+# and promoted mid-run, a shadow mirror, and manual autoscaler probes.
+# The binary exits non-zero unless every admitted request was answered,
+# per-client versions stayed monotone, the canary served, the promotion
+# was observed, and the pools scaled both ways; the grep asserts the
+# machine-readable verdict, not just the exit code.
+FLEET_LOG=$(mktemp)
+timeout 120 ./target/release/crossbow fleet --seed 7 | tee "$FLEET_LOG"
+grep -q "FLEET-REPORT pass=true" "$FLEET_LOG"
+rm -f "$FLEET_LOG"
+
 echo "== trace validity =="
 # A short traced run must emit parseable Chrome Trace JSON holding the
 # learning, local-sync and global-sync spans (the --check mode of the
@@ -69,8 +82,11 @@ echo "== memory-plan bench smoke =="
 # Smoke-sized run of the §4.5 micro-benchmarks. membench exits non-zero
 # if the arena allocation counter is not flat across iteration counts —
 # the CI assertion that the training hot path performs no steady-state
-# allocations — or if an mmap-shard gather is not bit-identical to the
-# same gather from RAM (the §14 data-plane invariant).
+# allocations — if an mmap-shard gather is not bit-identical to the
+# same gather from RAM (the §14 data-plane invariant), or if a fleet
+# serving run leaves an admitted request unanswered (the §15 invariant;
+# BENCH_serve.json records per-SLO goodput for 1- vs 3-model fleets
+# with the autoscaler off and on).
 BENCH_DIR=$(mktemp -d)
 ./target/release/membench --smoke --out-dir "$BENCH_DIR" > /dev/null
 rm -rf "$BENCH_DIR"

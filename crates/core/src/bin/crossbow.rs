@@ -25,6 +25,10 @@ use crossbow::engine::{AlgorithmKind, Session, SessionConfig};
 use crossbow::exec_sim::{
     simulate, simulate_robust, simulate_with_machine, RobustSimConfig, SimConfig,
 };
+use crossbow::fleet::{
+    run_fleet_load, Arrival, AutoscalerConfig, CandidateMode, Fleet, FleetConfig, FleetLoadReport,
+    SloClass, StreamSpec,
+};
 use crossbow::gpu_sim::{FaultPlan, SimDuration};
 use crossbow::nn::ModelProfile;
 use crossbow::serve::{
@@ -55,6 +59,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(rest),
         "autotune" => cmd_autotune(rest),
         "serve" => cmd_serve(rest),
+        "fleet" => cmd_fleet(rest),
         "models" => cmd_models(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -112,6 +117,9 @@ USAGE:
                       [--mode closed|open] [--clients C] [--requests R]
                       [--rate RPS] [--epochs E] [--publish-every I]
                       [--seed S] [--trace FILE]
+    crossbow fleet    [--models N] [--workers N] [--max-batch B]
+                      [--requests R] [--rate RPS] [--canary-pct P]
+                      [--autoscale 0|1] [--seed S] [--trace FILE]
     crossbow models
 
 MODELS: lenet, resnet-32, vgg-16, resnet-50 (default: resnet-32)
@@ -982,6 +990,214 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         let timeline = t.recorder.timeline();
         let json = chrome::to_chrome_json(timeline.spans(), &[(HOST_DEVICE, "host")]);
         write_trace(path, &json, timeline.len())?;
+    }
+    Ok(())
+}
+
+/// Prints the per-(model, class) goodput table for one load round.
+fn print_fleet_round(label: &str, names: &[String], report: &FleetLoadReport) {
+    println!("{label}:");
+    for name in names {
+        let classes = [SloClass::Interactive, SloClass::Standard, SloClass::Batch];
+        let cells: Vec<String> = classes
+            .iter()
+            .map(|&c| format!("{c} {}", report.goodput(name, c)))
+            .collect();
+        println!("  {name}: goodput {}", cells.join(", "));
+    }
+    for s in &report.streams {
+        if s.shed + s.rejected + s.failed > 0 {
+            println!(
+                "  {}/{}: {} shed, {} rejected, {} failed",
+                s.model, s.class, s.shed, s.rejected, s.failed
+            );
+        }
+    }
+}
+
+fn cmd_fleet(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    flags.reject_unknown(&[
+        "models",
+        "workers",
+        "max-batch",
+        "requests",
+        "rate",
+        "canary-pct",
+        "autoscale",
+        "seed",
+        "trace",
+    ])?;
+    let seed = flags.parse_num("seed", 42u64)?;
+    let n_models = flags.parse_num("models", 3usize)?.max(1);
+    let requests = flags.parse_num("requests", 120usize)?.max(8);
+    let rate = flags.parse_num("rate", 1200.0f64)?;
+    let canary_pct: u8 = flags.parse_num("canary-pct", 30u8)?.min(100);
+    let autoscale = flags.parse_num("autoscale", 1u8)? != 0;
+    let telemetry = flags.get("trace").map(|_| Telemetry::wall());
+
+    let config = FleetConfig {
+        batch: BatchConfig {
+            max_batch: flags.parse_num("max-batch", 4usize)?,
+            max_delay: Duration::from_micros(500),
+            queue_depth: 32,
+        },
+        initial_workers: flags.parse_num("workers", 1usize)?,
+        work_stealing: true,
+        // The forward pass is microseconds on these tiny models; a fixed
+        // synthetic service time makes overload and scaling observable.
+        synthetic_delay: Some(Duration::from_millis(5)),
+        autoscaler: autoscale.then(|| AutoscalerConfig {
+            slo_p99: Duration::from_millis(25),
+            queue_high_water: 8,
+            shrink_margin: 0.5,
+            min_workers: 1,
+            max_workers: 4,
+            cooldown_ticks: 0,
+            interval: None,
+        }),
+        telemetry: telemetry.clone(),
+    };
+
+    let net = Arc::new(mlp(6, &[16], 4));
+    let names: Vec<String> = (0..n_models).map(|i| format!("model-{i}")).collect();
+    let mut builder = Fleet::builder(config);
+    for name in &names {
+        builder = builder.model(name, Arc::clone(&net));
+    }
+    let fleet = builder.start();
+    let mut rng = Rng::new(seed);
+    for name in &names {
+        let registry = fleet.registry(name).expect("just registered");
+        registry
+            .publish(net.init_params(&mut rng), 1)
+            .map_err(|e| format!("publish {name}: {e}"))?;
+    }
+    let inputs: Vec<Vec<f32>> = (0..64)
+        .map(|_| (0..6).map(|_| rng.uniform(-1.0, 1.0)).collect())
+        .collect();
+    let client = fleet.client();
+
+    // Phase 1 — overload: every model floods with open-loop Batch
+    // traffic past pool capacity while closed Interactive/Standard
+    // streams keep submitting; queues fill, Batch work is shed first.
+    let mut specs = Vec::new();
+    for name in &names {
+        specs.push(StreamSpec {
+            model: name.clone(),
+            class: SloClass::Batch,
+            arrival: Arrival::Open { rps: rate },
+            requests,
+            deadline: Duration::from_millis(50),
+        });
+        specs.push(StreamSpec {
+            model: name.clone(),
+            class: SloClass::Interactive,
+            arrival: Arrival::Closed,
+            requests: requests / 4,
+            deadline: Duration::from_millis(100),
+        });
+        specs.push(StreamSpec {
+            model: name.clone(),
+            class: SloClass::Standard,
+            arrival: Arrival::Closed,
+            requests: requests / 4,
+            deadline: Duration::from_millis(200),
+        });
+    }
+    let overload = run_fleet_load(&client, &inputs, &specs, seed);
+    fleet.tick();
+    print_fleet_round("phase 1 (overload)", &names, &overload);
+
+    // Phase 2 — canary: stage fresh parameters on model-0 as a canary
+    // and (with >1 model) shadow-mirror model-1, then drive moderate
+    // closed load; canary replies carry the id-fraction split.
+    let canary_model = names[0].clone();
+    fleet
+        .stage_candidate(
+            &canary_model,
+            net.init_params(&mut rng),
+            CandidateMode::Canary {
+                percent: canary_pct,
+            },
+        )
+        .map_err(|e| format!("stage canary: {e}"))?;
+    if let Some(shadow_model) = names.get(1) {
+        fleet
+            .stage_candidate(
+                shadow_model,
+                net.init_params(&mut rng),
+                CandidateMode::Shadow,
+            )
+            .map_err(|e| format!("stage shadow: {e}"))?;
+    }
+    let specs: Vec<StreamSpec> = names
+        .iter()
+        .map(|name| StreamSpec {
+            model: name.clone(),
+            class: SloClass::Standard,
+            arrival: Arrival::Closed,
+            requests: requests / 2,
+            deadline: Duration::from_millis(100),
+        })
+        .collect();
+    let canary_round = run_fleet_load(&client, &inputs, &specs, seed ^ 1);
+    let promoted = fleet
+        .promote(&canary_model, 2)
+        .map_err(|e| format!("promote: {e}"))?;
+    if let Some(shadow_model) = names.get(1) {
+        fleet.abort_candidate(shadow_model).ok();
+    }
+    fleet.tick();
+    print_fleet_round("phase 2 (canary + shadow)", &names, &canary_round);
+
+    // Phase 3 — calm: light closed traffic sees the promoted version;
+    // the probe now reads headroom and shrinks the pools back down.
+    let specs: Vec<StreamSpec> = names
+        .iter()
+        .map(|name| StreamSpec {
+            model: name.clone(),
+            class: SloClass::Standard,
+            arrival: Arrival::Closed,
+            requests: (requests / 8).max(4),
+            deadline: Duration::from_millis(200),
+        })
+        .collect();
+    let calm = run_fleet_load(&client, &inputs, &specs, seed ^ 2);
+    fleet.tick();
+    print_fleet_round("phase 3 (calm)", &names, &calm);
+
+    let report = fleet.shutdown();
+    println!("{}", report.summary());
+    if let (Some(path), Some(t)) = (flags.get("trace"), &telemetry) {
+        let timeline = t.recorder.timeline();
+        let json = chrome::to_chrome_json(timeline.spans(), &[(HOST_DEVICE, "host")]);
+        write_trace(path, &json, timeline.len())?;
+    }
+
+    // Invariants the run must uphold; ci.sh greps the marker line.
+    let rounds = [&overload, &canary_round, &calm];
+    let answered = rounds.iter().all(|r| {
+        r.streams
+            .iter()
+            .all(|s| s.failed == 0 && s.ok + s.shed + s.rejected == s.submitted)
+    });
+    let monotonic = rounds.iter().all(|r| r.versions_monotonic());
+    let canary_seen = canary_pct == 0 || canary_round.streams.iter().any(|s| s.canary > 0);
+    let promoted_ok =
+        promoted == Some(2) && report.model(&canary_model).map(|m| m.max_version) == Some(2);
+    let scaled = !autoscale || report.scaled_both_ways();
+    let pass = answered && monotonic && canary_seen && promoted_ok && scaled;
+    println!(
+        "FLEET-REPORT pass={pass} answered={answered} monotonic={monotonic} \
+         canary={canary_seen} promoted={promoted_ok} scaled={scaled} \
+         completed={} shed={} decisions={}",
+        report.total_completed(),
+        report.total_shed(),
+        report.decisions.len(),
+    );
+    if !pass {
+        return Err("fleet invariants violated (see FLEET-REPORT line)".into());
     }
     Ok(())
 }

@@ -10,7 +10,11 @@
 //!   arena counters, including an allocation-flatness verdict;
 //! * `BENCH_data.json` — shard-pack MB/s, mmap vs in-memory batch-gather
 //!   samples/s, and the prefetch io-wait overlap, including a
-//!   bit-identity verdict for disk vs RAM gathers.
+//!   bit-identity verdict for disk vs RAM gathers;
+//! * `BENCH_serve.json` — fleet serving under mixed-priority load:
+//!   per-SLO-class goodput for a 1-model vs a 3-model fleet with the
+//!   autoscaler off and on, including an every-admitted-request-answered
+//!   verdict.
 //!
 //! ```text
 //! membench [--smoke] [--out-dir DIR]
@@ -23,9 +27,16 @@
 
 use crossbow::benchmark::Benchmark;
 use crossbow::exec_cpu::{train_concurrent, CpuEngineConfig};
+use crossbow::fleet::{
+    run_fleet_load, Arrival, AutoscalerConfig, Fleet, FleetConfig, SloClass, StreamSpec,
+};
+use crossbow::nn::zoo::mlp;
+use crossbow::serve::BatchConfig;
 use crossbow_telemetry::Telemetry;
 use crossbow_tensor::gemm::{gemm_naive, gemm_parallel, gemm_ws};
 use crossbow_tensor::{Rng, Workspace};
+use std::sync::Arc;
+use std::time::Duration;
 use std::time::Instant;
 
 struct Measurement {
@@ -347,6 +358,181 @@ fn bench_data(smoke: bool, out_dir: &str) -> std::io::Result<bool> {
     Ok(identical)
 }
 
+/// What one fleet-serving run produced, per SLO class.
+struct ClassStats {
+    submitted: u64,
+    ok: u64,
+    goodput: u64,
+    shed: u64,
+    rejected: u64,
+}
+
+/// Drives one fleet (1 or 3 models, autoscaler off or on a 50 ms probe
+/// interval) through the standard mixed-priority load: an open-loop
+/// Batch flood past pool capacity plus closed Interactive/Standard
+/// streams per model. Returns (per-class stats in [Interactive,
+/// Standard, Batch] order, scale-ups, scale-downs, p99 µs, wall s,
+/// every-admitted-request-answered).
+fn fleet_serve_run(
+    models: usize,
+    autoscale: bool,
+    smoke: bool,
+) -> ([ClassStats; 3], u64, u64, u128, f64, bool) {
+    let (requests, rps) = if smoke {
+        (60usize, 900.0)
+    } else {
+        (150, 1200.0)
+    };
+    let config = FleetConfig {
+        batch: BatchConfig {
+            max_batch: 4,
+            max_delay: Duration::from_micros(500),
+            queue_depth: 32,
+        },
+        initial_workers: 1,
+        work_stealing: true,
+        // Fixed synthetic service time so the tiny model's pools can
+        // actually saturate and the autoscaler has something to do.
+        synthetic_delay: Some(Duration::from_millis(5)),
+        autoscaler: autoscale.then(|| AutoscalerConfig {
+            slo_p99: Duration::from_millis(25),
+            queue_high_water: 8,
+            shrink_margin: 0.5,
+            min_workers: 1,
+            max_workers: 4,
+            cooldown_ticks: 1,
+            interval: Some(Duration::from_millis(50)),
+        }),
+        telemetry: None,
+    };
+    let net = Arc::new(mlp(6, &[16], 4));
+    let names: Vec<String> = (0..models).map(|i| format!("m{i}")).collect();
+    let mut builder = Fleet::builder(config);
+    for name in &names {
+        builder = builder.model(name, Arc::clone(&net));
+    }
+    let fleet = builder.start();
+    let mut rng = Rng::new(17);
+    for name in &names {
+        fleet
+            .registry(name)
+            .expect("registered")
+            .publish(net.init_params(&mut rng), 1)
+            .expect("fresh registry accepts v1");
+    }
+    let inputs: Vec<Vec<f32>> = (0..64)
+        .map(|_| (0..6).map(|_| rng.uniform(-1.0, 1.0)).collect())
+        .collect();
+    let mut specs = Vec::new();
+    for name in &names {
+        specs.push(StreamSpec {
+            model: name.clone(),
+            class: SloClass::Batch,
+            arrival: Arrival::Open { rps },
+            requests,
+            deadline: Duration::from_millis(50),
+        });
+        specs.push(StreamSpec {
+            model: name.clone(),
+            class: SloClass::Interactive,
+            arrival: Arrival::Closed,
+            requests: requests / 4,
+            deadline: Duration::from_millis(100),
+        });
+        specs.push(StreamSpec {
+            model: name.clone(),
+            class: SloClass::Standard,
+            arrival: Arrival::Closed,
+            requests: requests / 4,
+            deadline: Duration::from_millis(200),
+        });
+    }
+    let load = run_fleet_load(&fleet.client(), &inputs, &specs, 17);
+    let report = fleet.shutdown();
+    let classes = [SloClass::Interactive, SloClass::Standard, SloClass::Batch];
+    let stats = classes.map(|class| {
+        let streams = || load.streams.iter().filter(move |s| s.class == class);
+        ClassStats {
+            submitted: streams().map(|s| s.submitted).sum(),
+            ok: streams().map(|s| s.ok).sum(),
+            goodput: streams().map(|s| s.goodput).sum(),
+            shed: streams().map(|s| s.shed).sum(),
+            rejected: streams().map(|s| s.rejected).sum(),
+        }
+    });
+    let up = report.decisions.iter().filter(|d| d.to > d.from).count() as u64;
+    let down = report.decisions.iter().filter(|d| d.to < d.from).count() as u64;
+    let p99 = report
+        .models
+        .iter()
+        .map(|m| m.latency.p99.as_micros())
+        .max()
+        .unwrap_or(0);
+    let answered = load
+        .streams
+        .iter()
+        .all(|s| s.failed == 0 && s.ok + s.shed + s.rejected == s.submitted);
+    (stats, up, down, p99, load.wall.as_secs_f64(), answered)
+}
+
+fn bench_serve(smoke: bool, out_dir: &str) -> std::io::Result<bool> {
+    let mut rows = Vec::new();
+    let mut all_answered = true;
+    for (models, autoscale) in [(1usize, false), (1, true), (3, false), (3, true)] {
+        let (stats, up, down, p99_us, wall_s, answered) = fleet_serve_run(models, autoscale, smoke);
+        all_answered &= answered;
+        let [i, s, b] = &stats;
+        println!(
+            "serve fleet (models={models}, autoscale={autoscale}): goodput \
+             interactive {}/{}, standard {}/{}, batch {}/{} \
+             (+{up}/-{down} scale, p99 {p99_us} us, {}answered)",
+            i.goodput,
+            i.submitted,
+            s.goodput,
+            s.submitted,
+            b.goodput,
+            b.submitted,
+            if answered { "" } else { "NOT " },
+        );
+        let class_json = |c: &ClassStats| {
+            format!(
+                "{{\"submitted\": {}, \"ok\": {}, \"goodput\": {}, \
+                 \"shed\": {}, \"rejected\": {}}}",
+                c.submitted, c.ok, c.goodput, c.shed, c.rejected
+            )
+        };
+        rows.push(format!(
+            concat!(
+                "    {{\"models\": {models}, \"autoscale\": {autoscale},\n",
+                "     \"interactive\": {i},\n",
+                "     \"standard\": {s},\n",
+                "     \"batch\": {b},\n",
+                "     \"scale_up\": {up}, \"scale_down\": {down}, ",
+                "\"p99_us\": {p99}, \"wall_s\": {wall:.3}, \"all_answered\": {answered}}}"
+            ),
+            models = models,
+            autoscale = autoscale,
+            i = class_json(i),
+            s = class_json(s),
+            b = class_json(b),
+            up = up,
+            down = down,
+            p99 = p99_us,
+            wall = wall_s,
+            answered = answered,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"serve\",\n  \"smoke\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        smoke,
+        rows.join(",\n"),
+    );
+    let path = format!("{out_dir}/BENCH_serve.json");
+    std::fs::write(&path, json)?;
+    println!("wrote {path}");
+    Ok(all_answered)
+}
+
 fn main() {
     let mut smoke = false;
     let mut out_dir = ".".to_string();
@@ -373,12 +559,17 @@ fn main() {
     bench_gemm(smoke, &out_dir).expect("write BENCH_gemm.json");
     let flat = bench_train_step(smoke, &out_dir).expect("write BENCH_train_step.json");
     let identical = bench_data(smoke, &out_dir).expect("write BENCH_data.json");
+    let answered = bench_serve(smoke, &out_dir).expect("write BENCH_serve.json");
     if !flat {
         eprintln!("FAIL: arena allocation counter grew with iteration count");
         std::process::exit(1);
     }
     if !identical {
         eprintln!("FAIL: mmap-shard gather differed from the in-memory gather");
+        std::process::exit(1);
+    }
+    if !answered {
+        eprintln!("FAIL: a fleet run left an admitted request unanswered");
         std::process::exit(1);
     }
 }

@@ -72,6 +72,7 @@ pub use crossbow_sync::CheckpointConfig;
 pub use crossbow_checkpoint as checkpoint;
 pub use crossbow_comms as comms;
 pub use crossbow_data as data;
+pub use crossbow_fleet as fleet;
 pub use crossbow_gpu_sim as gpu_sim;
 pub use crossbow_nn as nn;
 pub use crossbow_serve as serve;

@@ -1,0 +1,227 @@
+//! The Algorithm-2-style serving autoscaler.
+//!
+//! The paper's tuner probes training throughput and adds or removes
+//! learners when the trend justifies it. The serving analogue probes
+//! each pool's tail latency and queue backlog over a fixed interval and
+//! grows or shrinks the pool's worker target:
+//!
+//! * **grow** when interval p99 exceeds the SLO, or the queue's
+//!   high-water mark crossed its threshold — the pool is falling
+//!   behind;
+//! * **shrink** when p99 sits below `shrink_margin × SLO` *and* the
+//!   queue stayed calm (high-water well below the grow threshold) —
+//!   headroom the pool does not need;
+//! * otherwise **hold**.
+//!
+//! Hysteresis comes from three places: the grow and shrink conditions
+//! do not share a boundary (the dead band between `shrink_margin × SLO`
+//! and the SLO itself holds steady), a `cooldown_ticks` refractory
+//! period follows every change so one burst cannot thrash the pool, and
+//! an interval with no samples never shrinks (silence is not evidence
+//! of headroom — the pool may be wedged, not idle).
+//!
+//! This module is pure decision logic over an [`Observation`]; the
+//! fleet applies decisions (spawning and retiring workers) and records
+//! them as [`ScaleDecision`]s, `fleet.*` metrics and `autoscale` spans.
+
+use std::time::Duration;
+
+/// Autoscaler parameters for one fleet.
+#[derive(Clone, Debug)]
+pub struct AutoscalerConfig {
+    /// The tail-latency objective: grow when interval p99 exceeds it.
+    pub slo_p99: Duration,
+    /// Grow when the interval's queue high-water mark reaches this.
+    pub queue_high_water: u64,
+    /// Shrink only when p99 < `shrink_margin × slo_p99` (0–1); the gap
+    /// up to the SLO is the hysteresis dead band.
+    pub shrink_margin: f64,
+    /// Pool floor; never shrinks below (and at least 1, so a queue
+    /// always has a worker to drain it).
+    pub min_workers: usize,
+    /// Pool ceiling; never grows above.
+    pub max_workers: usize,
+    /// Ticks to hold after any change before changing again.
+    pub cooldown_ticks: u64,
+    /// Background probe interval; `None` means manual
+    /// [`Fleet::tick`](crate::Fleet::tick) only (deterministic tests).
+    pub interval: Option<Duration>,
+}
+
+impl Default for AutoscalerConfig {
+    fn default() -> Self {
+        AutoscalerConfig {
+            slo_p99: Duration::from_millis(50),
+            queue_high_water: 16,
+            shrink_margin: 0.25,
+            min_workers: 1,
+            max_workers: 8,
+            cooldown_ticks: 2,
+            interval: None,
+        }
+    }
+}
+
+/// What one pool looked like over the last probe interval.
+#[derive(Clone, Copy, Debug)]
+pub struct Observation {
+    /// Interval p99 request latency, `None` when nothing completed.
+    pub p99: Option<Duration>,
+    /// Deepest queue backlog seen during the interval.
+    pub queue_high_water: u64,
+    /// Current worker target.
+    pub workers: usize,
+    /// Ticks since this pool last changed size (`u64::MAX` = never).
+    pub ticks_since_change: u64,
+}
+
+/// Why the autoscaler moved a pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScaleReason {
+    /// Interval p99 exceeded the SLO.
+    LatencyAboveSlo,
+    /// The queue's high-water mark crossed its threshold.
+    QueueBacklog,
+    /// Latency and backlog both showed sustained headroom.
+    Headroom,
+}
+
+impl ScaleReason {
+    /// Stable lowercase name, used in reports and span labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScaleReason::LatencyAboveSlo => "latency-above-slo",
+            ScaleReason::QueueBacklog => "queue-backlog",
+            ScaleReason::Headroom => "headroom",
+        }
+    }
+}
+
+/// One applied resize, as kept in the fleet's decision history.
+#[derive(Clone, Debug)]
+pub struct ScaleDecision {
+    /// The pool that moved.
+    pub model: String,
+    /// Probe tick (monotone per fleet) at which it moved.
+    pub tick: u64,
+    /// Worker target before.
+    pub from: usize,
+    /// Worker target after.
+    pub to: usize,
+    /// Interval p99 that informed the decision (zero when no samples).
+    pub p99: Duration,
+    /// Interval queue high-water mark that informed the decision.
+    pub queue_high_water: u64,
+    /// Why.
+    pub reason: ScaleReason,
+}
+
+impl std::fmt::Display for ScaleDecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tick {}: {} {} -> {} workers ({}, p99 {:?}, queue hw {})",
+            self.tick,
+            self.model,
+            self.from,
+            self.to,
+            self.reason.name(),
+            self.p99,
+            self.queue_high_water,
+        )
+    }
+}
+
+/// Decides a pool's next worker target, or `None` to hold.
+pub fn decide(config: &AutoscalerConfig, obs: &Observation) -> Option<(usize, ScaleReason)> {
+    if obs.ticks_since_change < config.cooldown_ticks {
+        return None;
+    }
+    let over_slo = obs.p99.is_some_and(|p99| p99 > config.slo_p99);
+    let backlog = obs.queue_high_water >= config.queue_high_water.max(1);
+    if (over_slo || backlog) && obs.workers < config.max_workers {
+        let reason = if backlog {
+            ScaleReason::QueueBacklog
+        } else {
+            ScaleReason::LatencyAboveSlo
+        };
+        return Some((obs.workers + 1, reason));
+    }
+    let calm_latency = obs
+        .p99
+        .is_some_and(|p99| p99.as_secs_f64() < config.slo_p99.as_secs_f64() * config.shrink_margin);
+    // A transient depth of 1 is just a request being admitted; "calm"
+    // means well below the grow threshold, not literally empty.
+    let calm_queue = obs.queue_high_water <= config.queue_high_water / 4;
+    if calm_latency && calm_queue && obs.workers > config.min_workers.max(1) {
+        return Some((obs.workers - 1, ScaleReason::Headroom));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> AutoscalerConfig {
+        AutoscalerConfig {
+            slo_p99: Duration::from_millis(100),
+            queue_high_water: 8,
+            shrink_margin: 0.25,
+            min_workers: 1,
+            max_workers: 4,
+            cooldown_ticks: 2,
+            interval: None,
+        }
+    }
+
+    fn obs(p99_ms: Option<u64>, hw: u64, workers: usize, since: u64) -> Observation {
+        Observation {
+            p99: p99_ms.map(Duration::from_millis),
+            queue_high_water: hw,
+            workers,
+            ticks_since_change: since,
+        }
+    }
+
+    #[test]
+    fn grows_on_slo_violation_and_on_backlog() {
+        let c = config();
+        assert_eq!(
+            decide(&c, &obs(Some(150), 0, 1, 10)),
+            Some((2, ScaleReason::LatencyAboveSlo))
+        );
+        assert_eq!(
+            decide(&c, &obs(Some(10), 20, 2, 10)),
+            Some((3, ScaleReason::QueueBacklog))
+        );
+    }
+
+    #[test]
+    fn shrinks_only_on_sustained_headroom() {
+        let c = config();
+        assert_eq!(
+            decide(&c, &obs(Some(10), 0, 3, 10)),
+            Some((2, ScaleReason::Headroom))
+        );
+        // In the dead band (above margin, below SLO): hold.
+        assert_eq!(decide(&c, &obs(Some(60), 0, 3, 10)), None);
+        // Calm latency but a nonzero backlog: hold.
+        assert_eq!(decide(&c, &obs(Some(10), 3, 3, 10)), None);
+        // No samples is not evidence of headroom: hold.
+        assert_eq!(decide(&c, &obs(None, 0, 3, 10)), None);
+    }
+
+    #[test]
+    fn respects_bounds_and_cooldown() {
+        let c = config();
+        assert_eq!(decide(&c, &obs(Some(500), 99, 4, 10)), None, "at ceiling");
+        assert_eq!(decide(&c, &obs(Some(1), 0, 1, 10)), None, "at floor");
+        assert_eq!(decide(&c, &obs(Some(500), 99, 1, 1)), None, "cooling down");
+        assert_eq!(
+            decide(&c, &obs(Some(500), 99, 1, 2)),
+            Some((2, ScaleReason::QueueBacklog)),
+            "cooldown elapsed"
+        );
+    }
+}

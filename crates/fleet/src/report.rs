@@ -1,0 +1,115 @@
+//! The aggregated fleet report.
+
+use crate::autoscaler::ScaleDecision;
+use crossbow_telemetry::LatencySummary;
+use std::time::Duration;
+
+/// What one model's pool did over the fleet's lifetime.
+#[derive(Clone, Debug)]
+pub struct ModelReport {
+    /// Model name.
+    pub name: String,
+    /// Requests answered with a prediction.
+    pub completed: u64,
+    /// Admitted requests evicted for a higher class (answered `Shed`).
+    pub shed: u64,
+    /// Requests refused at admission (queue full, nothing evictable).
+    pub rejected: u64,
+    /// Requests answered `NoModel`.
+    pub no_model: u64,
+    /// Inference batches executed against this model.
+    pub batches: u64,
+    /// Batches of this model's work served by another pool's worker.
+    pub stolen: u64,
+    /// Requests answered by a staged canary candidate.
+    pub canary_served: u64,
+    /// Shadow-mode candidate answers that disagreed with the primary.
+    pub shadow_divergence: u64,
+    /// Request latency (queue time + inference) percentiles.
+    pub latency: LatencySummary,
+    /// Deepest queue backlog observed.
+    pub max_queue_depth: u64,
+    /// Worker target when the fleet stopped.
+    pub final_workers: usize,
+    /// Largest worker target ever set.
+    pub max_workers: usize,
+    /// Lowest snapshot version that answered (0 when none did).
+    pub min_version: u64,
+    /// Highest snapshot version that answered (0 when none did).
+    pub max_version: u64,
+}
+
+impl ModelReport {
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} ok / {} shed / {} rejected, {} batches ({} stolen), \
+             p99 {:?}, workers {} (max {}), versions {}..{}",
+            self.name,
+            self.completed,
+            self.shed,
+            self.rejected,
+            self.batches,
+            self.stolen,
+            self.latency.p99,
+            self.final_workers,
+            self.max_workers,
+            self.min_version,
+            self.max_version,
+        )
+    }
+}
+
+/// What a fleet did over its lifetime, produced by
+/// [`Fleet::shutdown`](crate::Fleet::shutdown).
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// Per-model pool reports, in registration order.
+    pub models: Vec<ModelReport>,
+    /// Every applied autoscaler resize, in decision order.
+    pub decisions: Vec<ScaleDecision>,
+    /// Fleet lifetime, start to drained shutdown.
+    pub wall: Duration,
+}
+
+impl FleetReport {
+    /// The report for a named model.
+    pub fn model(&self, name: &str) -> Option<&ModelReport> {
+        self.models.iter().find(|m| m.name == name)
+    }
+
+    /// Requests answered with a prediction, across all models.
+    pub fn total_completed(&self) -> u64 {
+        self.models.iter().map(|m| m.completed).sum()
+    }
+
+    /// Admitted-then-evicted requests, across all models.
+    pub fn total_shed(&self) -> u64 {
+        self.models.iter().map(|m| m.shed).sum()
+    }
+
+    /// True when the autoscaler both grew and shrank at least one pool.
+    pub fn scaled_both_ways(&self) -> bool {
+        self.decisions.iter().any(|d| d.to > d.from) && self.decisions.iter().any(|d| d.to < d.from)
+    }
+
+    /// Multi-line human summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for m in &self.models {
+            out.push_str(&m.summary());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "autoscaler: {} decisions ({} up, {} down), wall {:?}\n",
+            self.decisions.len(),
+            self.decisions.iter().filter(|d| d.to > d.from).count(),
+            self.decisions.iter().filter(|d| d.to < d.from).count(),
+            self.wall,
+        ));
+        for d in &self.decisions {
+            out.push_str(&format!("  {d}\n"));
+        }
+        out
+    }
+}

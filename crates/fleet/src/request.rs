@@ -1,0 +1,200 @@
+//! Request vocabulary: SLO classes, deadlines, replies and errors.
+//!
+//! Every fleet request carries an [`SloClass`] (its priority lattice
+//! position) and a relative deadline. Admission, queueing and shedding
+//! are all expressed in these terms: a higher class is never shed to
+//! make room for a lower one, and a reply records whether it actually
+//! met its deadline so goodput (not just throughput) is measurable end
+//! to end.
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// The service classes of the admission lattice, lowest priority first.
+///
+/// Ordering is total and explicit: `Batch < Standard < Interactive`.
+/// Under overload the queue sheds strictly lower classes to admit
+/// higher ones, never the reverse and never within a class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SloClass {
+    /// Throughput traffic: analytics, backfills. First to shed.
+    Batch,
+    /// Default request class.
+    Standard,
+    /// Latency-critical traffic: admitted and scheduled first.
+    Interactive,
+}
+
+impl SloClass {
+    /// Every class, lowest priority first.
+    pub const ALL: [SloClass; 3] = [SloClass::Batch, SloClass::Standard, SloClass::Interactive];
+
+    /// Numeric priority (higher = more important).
+    pub fn priority(self) -> u8 {
+        match self {
+            SloClass::Batch => 0,
+            SloClass::Standard => 1,
+            SloClass::Interactive => 2,
+        }
+    }
+
+    /// Stable lowercase name, used in metric keys and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SloClass::Batch => "batch",
+            SloClass::Standard => "standard",
+            SloClass::Interactive => "interactive",
+        }
+    }
+}
+
+impl std::fmt::Display for SloClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A served fleet inference result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FleetPrediction {
+    /// Predicted class (argmax of the logits).
+    pub class: usize,
+    /// Version of the primary snapshot current when this request was
+    /// served. Canary replies carry the same primary version (the
+    /// candidate has no version until promotion) so per-client version
+    /// sequences stay monotone through a promotion.
+    pub version: u64,
+    /// Queue time + inference latency.
+    pub latency: Duration,
+    /// Whether the reply arrived within the request's deadline — the
+    /// unit of goodput.
+    pub met_deadline: bool,
+    /// True when the candidate (canary) parameters produced this answer.
+    pub canary: bool,
+}
+
+/// Why a fleet request was not answered with a prediction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FleetError {
+    /// The named model is not part of this fleet.
+    UnknownModel,
+    /// The input does not match the model's sample shape.
+    BadRequest {
+        /// Flat input length the model expects.
+        expected: usize,
+        /// Flat input length that was submitted.
+        got: usize,
+    },
+    /// The queue is full and the request is not higher-priority than
+    /// everything queued; shed at admission.
+    Overloaded,
+    /// The request was admitted but later evicted to make room for a
+    /// higher [`SloClass`] — answered, never silently dropped.
+    Shed,
+    /// The fleet is draining; no new requests are admitted.
+    ShuttingDown,
+    /// No snapshot has been published for the model yet.
+    NoModel,
+    /// The worker died before answering (a bug, surfaced rather than
+    /// hung on).
+    Dropped,
+    /// [`FleetTicket::wait_deadline`] gave up before an answer arrived.
+    Deadline,
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::UnknownModel => write!(f, "no such model in the fleet"),
+            FleetError::BadRequest { expected, got } => {
+                write!(f, "input has {got} values, model expects {expected}")
+            }
+            FleetError::Overloaded => write!(f, "queue full and request not high-priority enough"),
+            FleetError::Shed => write!(f, "evicted for a higher service class"),
+            FleetError::ShuttingDown => write!(f, "fleet is shutting down"),
+            FleetError::NoModel => write!(f, "no model published yet"),
+            FleetError::Dropped => write!(f, "request dropped without an answer"),
+            FleetError::Deadline => write!(f, "gave up waiting for the answer"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// A request's answer, as delivered to its [`FleetTicket`].
+pub(crate) type Reply = Result<FleetPrediction, FleetError>;
+
+/// One admitted request, owned by the queue until a worker takes it.
+#[derive(Debug)]
+pub(crate) struct FleetJob {
+    /// Fleet-wide request id; drives the deterministic canary split.
+    pub id: u64,
+    pub input: Vec<f32>,
+    pub class: SloClass,
+    pub enqueued: Instant,
+    /// Absolute deadline; queue ordering key within a class and the
+    /// goodput bound at reply time.
+    pub deadline: Instant,
+    pub resp: mpsc::Sender<Reply>,
+}
+
+impl FleetJob {
+    /// Answers this job; a caller that abandoned its ticket is its own
+    /// business.
+    pub fn answer(self, reply: Reply) {
+        let _ = self.resp.send(reply);
+    }
+}
+
+/// A pending fleet request; redeem with [`FleetTicket::wait`].
+#[derive(Debug)]
+pub struct FleetTicket(pub(crate) mpsc::Receiver<Reply>);
+
+impl FleetTicket {
+    /// Blocks until the request is answered.
+    pub fn wait(self) -> Result<FleetPrediction, FleetError> {
+        self.0.recv().unwrap_or(Err(FleetError::Dropped))
+    }
+
+    /// Blocks until the request is answered or `limit` elapses.
+    ///
+    /// # Errors
+    /// [`FleetError::Deadline`] on timeout, [`FleetError::Dropped`] when
+    /// the worker died, or whatever the worker answered.
+    pub fn wait_deadline(self, limit: Duration) -> Result<FleetPrediction, FleetError> {
+        match self.0.recv_timeout(limit) {
+            Ok(reply) => reply,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(FleetError::Deadline),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(FleetError::Dropped),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_lattice_orders_classes_by_priority() {
+        assert!(SloClass::Batch < SloClass::Standard);
+        assert!(SloClass::Standard < SloClass::Interactive);
+        let mut prios: Vec<u8> = SloClass::ALL.iter().map(|c| c.priority()).collect();
+        let sorted = prios.clone();
+        prios.sort_unstable();
+        assert_eq!(prios, sorted, "ALL is lowest-first");
+    }
+
+    #[test]
+    fn errors_and_classes_display() {
+        assert_eq!(SloClass::Interactive.to_string(), "interactive");
+        assert!(FleetError::Shed
+            .to_string()
+            .contains("higher service class"));
+        assert!(FleetError::BadRequest {
+            expected: 4,
+            got: 7
+        }
+        .to_string()
+        .contains("expects 4"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Train-into-fleet: a live trainer publishing into one model of a
+//! serving fleet, mid-load.
+//!
+//! The fleet analogue of `crossbow_serve::train_and_serve`: one named
+//! model's registry is fed by a background trainer's
+//! [`PublishHook`](crossbow_sync::PublishHook) while mixed-priority
+//! load runs against the whole fleet. Hot swaps stay invisible except
+//! as rising snapshot versions; the other models serve their static
+//! snapshots undisturbed.
+
+use crate::fleet::Fleet;
+use crate::loadgen::{run_fleet_load, FleetLoadReport, StreamSpec};
+use crate::report::FleetReport;
+use crossbow_data::Dataset;
+use crossbow_nn::Network;
+use crossbow_sync::algorithm::SyncAlgorithm;
+use crossbow_sync::{train, TrainerConfig, TrainingCurve};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A train-into-fleet run's parameters.
+#[derive(Clone, Debug)]
+pub struct FleetTrainConfig {
+    /// The fleet model the trainer publishes into.
+    pub live_model: String,
+    /// The background training run.
+    pub trainer: TrainerConfig,
+    /// Publish the consensus model every this many applied iterations.
+    pub publish_every: u64,
+    /// The load streams to run in rounds until training finishes.
+    pub load: Vec<StreamSpec>,
+    /// Seed for request selection (varied per round).
+    pub seed: u64,
+}
+
+/// What a train-into-fleet run produced.
+#[derive(Clone, Debug)]
+pub struct FleetTrainReport {
+    /// The background trainer's curve.
+    pub curve: TrainingCurve,
+    /// The merged observation of every load round.
+    pub load: FleetLoadReport,
+    /// The fleet's own report.
+    pub fleet: FleetReport,
+}
+
+/// Trains `algo` in a background thread, publishing its consensus model
+/// into the live model's registry every `publish_every` iterations,
+/// while the configured load streams run against the fleet in rounds
+/// until the trainer finishes (with one final round guaranteed to run
+/// entirely after the last publication). Request payloads are drawn
+/// from `test_set`.
+///
+/// The initial consensus model is published before load starts, so no
+/// request ever sees `NoModel`. Consumes and drains the fleet.
+///
+/// # Panics
+/// Panics when the live model is not in the fleet or its spec does not
+/// match `net`.
+pub fn train_into_fleet<A: SyncAlgorithm + Send>(
+    fleet: Fleet,
+    net: &Arc<Network>,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    algo: &mut A,
+    config: &FleetTrainConfig,
+) -> FleetTrainReport {
+    let registry = fleet
+        .registry(&config.live_model)
+        .expect("live model must be registered in the fleet");
+    registry
+        .publish(algo.consensus().to_vec(), 0)
+        .expect("initial model fits its own network");
+    let trainer_config = config
+        .trainer
+        .clone()
+        .with_publish(registry.hook(config.publish_every));
+
+    let sample_len = test_set.sample_len();
+    let images = test_set.images_tensor();
+    let inputs: Vec<Vec<f32>> = images
+        .data()
+        .chunks_exact(sample_len)
+        .take(64)
+        .map(<[f32]>::to_vec)
+        .collect();
+
+    let client = fleet.client();
+    let done = AtomicBool::new(false);
+    let (curve, load) = std::thread::scope(|scope| {
+        let trainer = scope.spawn(|| {
+            let curve = train(net, train_set, test_set, algo, &trainer_config);
+            done.store(true, Ordering::Release);
+            curve
+        });
+        let mut merged: Option<FleetLoadReport> = None;
+        let mut round = 0u64;
+        loop {
+            // Sampled before the round: when true, this round runs
+            // wholly after training, so the loop always ends with a
+            // post-training round against the final model.
+            let finished = done.load(Ordering::Acquire);
+            let result = run_fleet_load(&client, &inputs, &config.load, config.seed ^ round);
+            round += 1;
+            merged = Some(match merged {
+                None => result,
+                Some(mut earlier) => {
+                    earlier.wall += result.wall;
+                    earlier.streams.extend(result.streams);
+                    earlier
+                }
+            });
+            if finished {
+                break;
+            }
+        }
+        let curve = trainer.join().expect("trainer thread panicked");
+        (curve, merged.expect("at least one load round"))
+    });
+    let fleet = fleet.shutdown();
+    FleetTrainReport { curve, load, fleet }
+}

@@ -13,6 +13,12 @@ use crate::server::{Client, ServeError, Ticket};
 use crossbow_tensor::Rng;
 use std::time::{Duration, Instant};
 
+/// How long a load client waits for any single answer before giving up
+/// with [`ServeError::Deadline`]. Far above any sane service time, so it
+/// never fires in a healthy run — it exists so one stuck worker turns
+/// into a counted failure instead of hanging the whole load run.
+const WAIT_LIMIT: Duration = Duration::from_secs(60);
+
 /// The arrival model of a load run.
 #[derive(Clone, Copy, Debug)]
 pub enum LoadMode {
@@ -187,7 +193,10 @@ pub fn run_load(client: &Client, inputs: &[Vec<f32>], config: &LoadConfig) -> Lo
                             let mut log = ClientLog::new();
                             for _ in 0..requests_per_client {
                                 let input = inputs[rng.below(inputs.len())].clone();
-                                log.observe(client.call(input), true);
+                                let outcome = client
+                                    .submit(input)
+                                    .and_then(|ticket| ticket.wait_deadline(WAIT_LIMIT));
+                                log.observe(outcome, true);
                             }
                             log
                         })
@@ -234,7 +243,7 @@ pub fn run_load(client: &Client, inputs: &[Vec<f32>], config: &LoadConfig) -> Lo
                 }
             }
             for ticket in tickets {
-                log.observe(ticket.wait(), false);
+                log.observe(ticket.wait_deadline(WAIT_LIMIT), false);
             }
             log.result
         }

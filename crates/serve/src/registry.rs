@@ -240,6 +240,68 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_publishers_keep_versions_dense_and_snapshots_untorn() {
+        const PUBLISHERS: u64 = 4;
+        const ROUNDS: u64 = 250;
+        let reg = Arc::new(SnapshotRegistry::new(spec(8)));
+        std::thread::scope(|scope| {
+            // A reader races the publishers: every snapshot it pulls must
+            // be internally consistent (all 8 params carry the same tag —
+            // a torn swap would mix tags) and versions must never move
+            // backwards across reads.
+            let reader = {
+                let reg = Arc::clone(&reg);
+                scope.spawn(move || {
+                    let mut last = 0u64;
+                    while last < PUBLISHERS * ROUNDS {
+                        if let Some(snap) = reg.current() {
+                            let tag = snap.params[0];
+                            assert!(
+                                snap.params.iter().all(|&p| p == tag),
+                                "torn snapshot at version {}",
+                                snap.version
+                            );
+                            assert!(
+                                snap.version >= last,
+                                "version went backwards: {last} -> {}",
+                                snap.version
+                            );
+                            last = snap.version;
+                        }
+                        std::hint::spin_loop();
+                    }
+                })
+            };
+            let publishers: Vec<_> = (0..PUBLISHERS)
+                .map(|p| {
+                    let reg = Arc::clone(&reg);
+                    scope.spawn(move || {
+                        let mut versions = Vec::with_capacity(ROUNDS as usize);
+                        for r in 0..ROUNDS {
+                            let tag = (p * ROUNDS + r) as f32;
+                            versions.push(reg.publish(vec![tag; 8], r).unwrap());
+                        }
+                        versions
+                    })
+                })
+                .collect();
+            let mut all: Vec<u64> = publishers
+                .into_iter()
+                .flat_map(|h| h.join().expect("publisher"))
+                .collect();
+            reader.join().expect("reader");
+            // Each publisher's own versions are strictly increasing by
+            // construction of publish(); across all publishers the
+            // assigned versions must be exactly 1..=N with no gaps or
+            // duplicates — the registry never loses or reuses a version.
+            all.sort_unstable();
+            let expected: Vec<u64> = (1..=PUBLISHERS * ROUNDS).collect();
+            assert_eq!(all, expected, "versions are dense and unique");
+        });
+        assert_eq!(reg.version(), PUBLISHERS * ROUNDS);
+    }
+
+    #[test]
     fn hook_publishes_into_the_registry() {
         let reg = Arc::new(SnapshotRegistry::new(spec(2)));
         let hook = reg.hook(5);

@@ -44,6 +44,10 @@ pub enum ServeError {
     /// The worker died before answering (a bug, surfaced rather than
     /// hung on).
     Dropped,
+    /// [`Ticket::wait_deadline`] gave up before an answer arrived. The
+    /// request itself may still be served; only this caller stopped
+    /// waiting.
+    Deadline,
 }
 
 impl std::fmt::Display for ServeError {
@@ -56,6 +60,7 @@ impl std::fmt::Display for ServeError {
                 write!(f, "input has {got} values, model expects {expected}")
             }
             ServeError::Dropped => write!(f, "request dropped without an answer"),
+            ServeError::Deadline => write!(f, "gave up waiting for the answer"),
         }
     }
 }
@@ -92,6 +97,22 @@ impl Ticket {
     /// Blocks until the request is answered.
     pub fn wait(self) -> Result<Prediction, ServeError> {
         self.0.recv().unwrap_or(Err(ServeError::Dropped))
+    }
+
+    /// Blocks until the request is answered or `limit` elapses, whichever
+    /// comes first.
+    ///
+    /// # Errors
+    /// [`ServeError::Deadline`] on timeout — a typed, bounded outcome, so
+    /// a wedged worker can never hang a caller forever —
+    /// [`ServeError::Dropped`] when the worker died, or whatever the
+    /// worker answered.
+    pub fn wait_deadline(self, limit: Duration) -> Result<Prediction, ServeError> {
+        match self.0.recv_timeout(limit) {
+            Ok(reply) => reply,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::Deadline),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::Dropped),
+        }
     }
 }
 
@@ -336,6 +357,11 @@ fn worker_loop(
             }
         };
         let batch = collect_batch(rx, first, &config.batch, &shared.stopping);
+        // Re-sample the depth gauge at flush time too: between a burst of
+        // submits and the next admission the queue may drain through many
+        // batches, and a submit-only gauge would under-report the
+        // high-water mark of anything enqueued while workers were busy.
+        shared.queue_depth.set(rx.len() as u64);
         shard.close(
             SpanKind::BatchFetch,
             "collect-batch",
@@ -541,6 +567,69 @@ mod tests {
         // only the instrument's existence is deterministic here; the
         // overload test asserts a positive high-water mark.
         assert!(snap.gauges.contains_key("serve.queue_depth"));
+    }
+
+    #[test]
+    fn wait_deadline_times_out_with_a_typed_error() {
+        let (net, registry, params) = setup();
+        registry.publish(params, 1).unwrap();
+        let config = ServeConfig {
+            workers: 1,
+            // A long per-batch charge so the second request is still
+            // queued when its caller gives up.
+            synthetic_delay: Some(Duration::from_millis(200)),
+            ..ServeConfig::new(1)
+        };
+        let server = Server::start(net, registry, config);
+        let client = server.client();
+        let first = client.submit(vec![0.0; 4]).expect("admitted");
+        let second = client.submit(vec![0.0; 4]).expect("admitted");
+        assert_eq!(
+            second.wait_deadline(Duration::from_millis(1)),
+            Err(ServeError::Deadline),
+            "a bounded wait must not hang on a busy worker"
+        );
+        // The request itself is still served; only the caller stopped
+        // waiting. A generous bound succeeds.
+        first
+            .wait_deadline(Duration::from_secs(30))
+            .expect("served within the bound");
+        let report = server.shutdown();
+        assert_eq!(report.completed, 2, "abandoned tickets still complete");
+    }
+
+    #[test]
+    fn queue_depth_high_water_is_recorded_at_flush_not_only_submit() {
+        let (net, registry, params) = setup();
+        registry.publish(params, 1).unwrap();
+        let telemetry = Telemetry::wall();
+        let config = ServeConfig {
+            workers: 1,
+            batch: BatchConfig {
+                max_batch: 1,
+                max_delay: Duration::ZERO,
+                queue_depth: 64,
+            },
+            synthetic_delay: Some(Duration::from_millis(5)),
+            telemetry: Some(telemetry.clone()),
+        };
+        let server = Server::start(net, registry, config);
+        let client = server.client();
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|_| client.submit(vec![0.1; 4]).expect("admitted"))
+            .collect();
+        for t in tickets {
+            t.wait().expect("served");
+        }
+        let report = server.shutdown();
+        // Six requests, batch=1: the worker flushes six times, and each
+        // flush re-samples the gauge, so the high-water mark reflects the
+        // backlog even though no submit happened after the burst.
+        assert_eq!(report.completed, 6);
+        assert!(
+            telemetry.metrics.gauge("serve.queue_depth").max() >= 1,
+            "flush-time sampling must observe the backlog"
+        );
     }
 
     #[test]

@@ -179,11 +179,15 @@ impl HistogramCell {
 }
 
 /// Named counters, gauges and histograms, created on first use.
+///
+/// Names are owned `String`s so runtimes can mint per-instance
+/// instruments (the fleet registers `fleet.<model>.*` per model); the
+/// common case of a `&'static str` literal still works unchanged.
 #[derive(Default)]
 pub struct MetricsRegistry {
-    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
-    gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
-    histograms: Mutex<BTreeMap<&'static str, Arc<HistogramCell>>>,
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCell>>>,
 }
 
 impl fmt::Debug for MetricsRegistry {
@@ -199,18 +203,30 @@ impl MetricsRegistry {
     }
 
     /// The counter named `name`, created if absent.
-    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
-        Arc::clone(self.counters.lock().unwrap().entry(name).or_default())
+    pub fn counter(&self, name: impl Into<String>) -> Arc<Counter> {
+        Arc::clone(
+            self.counters
+                .lock()
+                .unwrap()
+                .entry(name.into())
+                .or_default(),
+        )
     }
 
     /// The gauge named `name`, created if absent.
-    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
-        Arc::clone(self.gauges.lock().unwrap().entry(name).or_default())
+    pub fn gauge(&self, name: impl Into<String>) -> Arc<Gauge> {
+        Arc::clone(self.gauges.lock().unwrap().entry(name.into()).or_default())
     }
 
     /// The histogram named `name`, created if absent.
-    pub fn histogram(&self, name: &'static str) -> Arc<HistogramCell> {
-        Arc::clone(self.histograms.lock().unwrap().entry(name).or_default())
+    pub fn histogram(&self, name: impl Into<String>) -> Arc<HistogramCell> {
+        Arc::clone(
+            self.histograms
+                .lock()
+                .unwrap()
+                .entry(name.into())
+                .or_default(),
+        )
     }
 
     /// A point-in-time copy of every instrument.
@@ -221,16 +237,16 @@ impl MetricsRegistry {
                 .lock()
                 .unwrap()
                 .iter()
-                .map(|(&k, v)| (k, v.get()))
+                .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
             gauges: self
                 .gauges
                 .lock()
                 .unwrap()
                 .iter()
-                .map(|(&k, v)| {
+                .map(|(k, v)| {
                     (
-                        k,
+                        k.clone(),
                         GaugeValue {
                             value: v.get(),
                             max: v.max(),
@@ -243,7 +259,7 @@ impl MetricsRegistry {
                 .lock()
                 .unwrap()
                 .iter()
-                .map(|(&k, v)| (k, v.snapshot()))
+                .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),
         }
     }
@@ -262,11 +278,11 @@ pub struct GaugeValue {
 #[derive(Clone, Debug, Default)]
 pub struct MetricsSnapshot {
     /// Counter values by name.
-    pub counters: BTreeMap<&'static str, u64>,
+    pub counters: BTreeMap<String, u64>,
     /// Gauge values by name.
-    pub gauges: BTreeMap<&'static str, GaugeValue>,
+    pub gauges: BTreeMap<String, GaugeValue>,
     /// Histogram copies by name.
-    pub histograms: BTreeMap<&'static str, Histogram>,
+    pub histograms: BTreeMap<String, Histogram>,
 }
 
 impl fmt::Display for MetricsSnapshot {
@@ -358,7 +374,7 @@ mod tests {
         reg.histogram("h.lat").record(Duration::from_micros(100));
         let snap = reg.snapshot();
         assert_eq!(
-            snap.counters.keys().copied().collect::<Vec<_>>(),
+            snap.counters.keys().map(String::as_str).collect::<Vec<_>>(),
             vec!["a.count", "b.count"]
         );
         assert_eq!(snap.gauges["q.depth"].max, 7);

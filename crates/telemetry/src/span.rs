@@ -44,6 +44,9 @@ pub enum SpanKind {
     NetSend,
     /// A framed message read from a socket (distributed runtime).
     NetRecv,
+    /// An autoscaler decision evaluation (fleet serving): one probe of a
+    /// pool's SLO health plus the resulting grow/shrink/hold verdict.
+    Autoscale,
 }
 
 impl SpanKind {
@@ -63,11 +66,12 @@ impl SpanKind {
             SpanKind::Host => "host",
             SpanKind::NetSend => "net-send",
             SpanKind::NetRecv => "net-recv",
+            SpanKind::Autoscale => "autoscale",
         }
     }
 
     /// All kinds, in display order for breakdowns.
-    pub const ALL: [SpanKind; 13] = [
+    pub const ALL: [SpanKind; 14] = [
         SpanKind::Learn,
         SpanKind::LocalSync,
         SpanKind::GlobalSync,
@@ -81,6 +85,7 @@ impl SpanKind {
         SpanKind::Host,
         SpanKind::NetSend,
         SpanKind::NetRecv,
+        SpanKind::Autoscale,
     ];
 }
 

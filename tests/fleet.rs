@@ -1,0 +1,316 @@
+//! Integration tests for the serving fleet: SLO-ordered shedding under
+//! overload, lossless canary promotion mid-load, an autoscaler that
+//! moves both ways, and a live trainer feeding one model of a fleet.
+
+use crossbow::data::synth::gaussian_mixture;
+use crossbow::fleet::{
+    run_fleet_load, train_into_fleet, Arrival, AutoscalerConfig, CandidateMode, Fleet, FleetConfig,
+    FleetLoadReport, FleetTrainConfig, SloClass, StreamSpec,
+};
+use crossbow::nn::zoo::mlp;
+use crossbow::nn::Network;
+use crossbow::serve::BatchConfig;
+use crossbow::sync::sma::{Sma, SmaConfig};
+use crossbow::sync::TrainerConfig;
+use crossbow::telemetry::Telemetry;
+use crossbow::tensor::Rng;
+use std::sync::Arc;
+use std::time::Duration;
+
+const DIM: usize = 6;
+
+/// A fleet of `n` spec-compatible mlps, each with its own published v1.
+fn fleet_of(n: usize, config: FleetConfig) -> (Fleet, Arc<Network>, Vec<String>) {
+    let net = Arc::new(mlp(DIM, &[16], 4));
+    let names: Vec<String> = (0..n).map(|i| format!("model-{i}")).collect();
+    let mut builder = Fleet::builder(config);
+    for name in &names {
+        builder = builder.model(name, Arc::clone(&net));
+    }
+    let fleet = builder.start();
+    let mut rng = Rng::new(7);
+    for name in &names {
+        fleet
+            .registry(name)
+            .expect("just registered")
+            .publish(net.init_params(&mut rng), 1)
+            .expect("fresh registry accepts v1");
+    }
+    (fleet, net, names)
+}
+
+fn inputs(seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = Rng::new(seed);
+    (0..32)
+        .map(|_| (0..DIM).map(|_| rng.uniform(-1.0, 1.0)).collect())
+        .collect()
+}
+
+/// Every stream got a terminal answer for every submission, and nothing
+/// admitted was silently dropped.
+fn all_answered(report: &FleetLoadReport) -> bool {
+    report
+        .streams
+        .iter()
+        .all(|s| s.failed == 0 && s.ok + s.shed + s.rejected == s.submitted)
+}
+
+fn closed(model: &str, class: SloClass, requests: usize, deadline_ms: u64) -> StreamSpec {
+    StreamSpec {
+        model: model.to_string(),
+        class,
+        arrival: Arrival::Closed,
+        requests,
+        deadline: Duration::from_millis(deadline_ms),
+    }
+}
+
+/// A single-worker config with a fixed synthetic service time and a
+/// small queue, so open-loop floods genuinely overload the pools.
+fn tight_config() -> FleetConfig {
+    FleetConfig {
+        batch: BatchConfig {
+            max_batch: 4,
+            max_delay: Duration::from_micros(500),
+            queue_depth: 16,
+        },
+        initial_workers: 1,
+        work_stealing: false,
+        synthetic_delay: Some(Duration::from_millis(5)),
+        autoscaler: None,
+        telemetry: None,
+    }
+}
+
+/// (a) + (b): under an open-loop Batch flood, every admitted request is
+/// still answered, only the lowest class is shed or rejected, and the
+/// higher classes keep the goodput they get from an unloaded fleet.
+#[test]
+fn overload_sheds_only_the_lowest_class_and_answers_everything() {
+    let interactive = 20usize;
+    let standard = 20usize;
+
+    // Unloaded baseline: the same closed streams against an idle fleet.
+    let (fleet, _, names) = fleet_of(2, tight_config());
+    let specs: Vec<StreamSpec> = names
+        .iter()
+        .flat_map(|m| {
+            [
+                closed(m, SloClass::Interactive, interactive, 150),
+                closed(m, SloClass::Standard, standard, 300),
+            ]
+        })
+        .collect();
+    let baseline = run_fleet_load(&fleet.client(), &inputs(3), &specs, 3);
+    fleet.shutdown();
+    assert!(all_answered(&baseline));
+
+    // Overload: add a Batch flood past each single worker's capacity.
+    let (fleet, _, names) = fleet_of(2, tight_config());
+    let mut specs: Vec<StreamSpec> = Vec::new();
+    for m in &names {
+        specs.push(StreamSpec {
+            model: m.clone(),
+            class: SloClass::Batch,
+            arrival: Arrival::Open { rps: 1500.0 },
+            requests: 150,
+            deadline: Duration::from_millis(50),
+        });
+        specs.push(closed(m, SloClass::Interactive, interactive, 150));
+        specs.push(closed(m, SloClass::Standard, standard, 300));
+    }
+    let overload = run_fleet_load(&fleet.client(), &inputs(3), &specs, 3);
+    let report = fleet.shutdown();
+
+    assert!(all_answered(&overload), "{}", overload.summary());
+    assert_eq!(
+        overload.shed_for_class(SloClass::Interactive),
+        0,
+        "interactive is never shed"
+    );
+    assert_eq!(
+        overload.shed_for_class(SloClass::Standard),
+        0,
+        "standard is never shed"
+    );
+    assert!(
+        overload.shed_for_class(SloClass::Batch) > 0,
+        "the flood must overflow the queue: {}",
+        overload.summary()
+    );
+    assert!(
+        report.total_shed() > 0,
+        "shed events reach the fleet report"
+    );
+    for m in &names {
+        for (class, unloaded) in [
+            (
+                SloClass::Interactive,
+                baseline.goodput(m, SloClass::Interactive),
+            ),
+            (SloClass::Standard, baseline.goodput(m, SloClass::Standard)),
+        ] {
+            assert!(
+                overload.goodput(m, class) >= unloaded,
+                "{m}/{class} goodput fell under overload: {} < {unloaded}",
+                overload.goodput(m, class)
+            );
+        }
+    }
+}
+
+/// (c): a canary staged and promoted while closed streams run loses no
+/// requests, and every client's observed versions stay monotone across
+/// the promotion.
+#[test]
+fn canary_promotion_mid_load_is_lossless_and_monotone() {
+    let config = FleetConfig {
+        synthetic_delay: Some(Duration::from_millis(2)),
+        ..FleetConfig::default()
+    };
+    let (fleet, net, names) = fleet_of(1, config);
+    let model = names[0].clone();
+    let specs = [
+        closed(&model, SloClass::Standard, 120, 500),
+        closed(&model, SloClass::Interactive, 120, 500),
+    ];
+    let client = fleet.client();
+    let payload = inputs(5);
+    let load = std::thread::scope(|scope| {
+        let load = scope.spawn(|| run_fleet_load(&client, &payload, &specs, 5));
+        // Stage mid-load, let the split serve for a while, then promote.
+        std::thread::sleep(Duration::from_millis(60));
+        let mut rng = Rng::new(99);
+        fleet
+            .stage_candidate(
+                &model,
+                net.init_params(&mut rng),
+                CandidateMode::Canary { percent: 40 },
+            )
+            .expect("candidate fits the spec");
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(fleet.promote(&model, 2).expect("model exists"), Some(2));
+        load.join().expect("load thread panicked")
+    });
+    let report = fleet.shutdown();
+
+    for s in &load.streams {
+        assert_eq!(s.ok, s.submitted, "no request lost across the promotion");
+        assert!(s.versions_monotonic, "versions went backwards: {s:?}");
+    }
+    let m = report.model(&model).expect("registered");
+    assert_eq!(m.completed, 240);
+    assert_eq!(m.shed + m.rejected + m.no_model, 0);
+    assert_eq!(m.max_version, 2, "the promotion was observed");
+}
+
+/// (d): the autoscaler grows the pool under load and shrinks it again
+/// under headroom, and both movements are visible in the report's
+/// decision history and in the `fleet.*` metrics.
+#[test]
+fn autoscaler_scales_both_ways_visibly() {
+    let telemetry = Telemetry::disabled();
+    let config = FleetConfig {
+        batch: BatchConfig {
+            max_batch: 4,
+            max_delay: Duration::ZERO,
+            queue_depth: 256,
+        },
+        work_stealing: false,
+        synthetic_delay: Some(Duration::from_millis(4)),
+        autoscaler: Some(AutoscalerConfig {
+            slo_p99: Duration::from_millis(10),
+            queue_high_water: 4,
+            shrink_margin: 0.9,
+            min_workers: 1,
+            max_workers: 3,
+            cooldown_ticks: 0,
+            interval: None,
+        }),
+        telemetry: Some(telemetry.clone()),
+        ..FleetConfig::default()
+    };
+    let (fleet, _, names) = fleet_of(1, config);
+    let model = names[0].clone();
+    let client = fleet.client();
+
+    // Overloaded interval: the flood blows the SLO and the queue.
+    let flood = [StreamSpec {
+        model: model.clone(),
+        class: SloClass::Batch,
+        arrival: Arrival::Open { rps: 2000.0 },
+        requests: 64,
+        deadline: Duration::from_millis(50),
+    }];
+    run_fleet_load(&client, &inputs(11), &flood, 11);
+    let up = fleet.tick();
+    assert_eq!(up.len(), 1, "overload grows the pool: {up:?}");
+    assert!(up[0].to > up[0].from);
+
+    // Calm-but-sampled interval: cheap closed traffic, empty queue.
+    let calm = [closed(&model, SloClass::Standard, 8, 300)];
+    run_fleet_load(&client, &inputs(11), &calm, 12);
+    let down = fleet.tick();
+    assert_eq!(down.len(), 1, "headroom shrinks the pool: {down:?}");
+    assert!(down[0].to < down[0].from);
+
+    let report = fleet.shutdown();
+    assert!(report.scaled_both_ways());
+    let m = report.model(&model).expect("registered");
+    assert!(m.max_workers > 1 && m.final_workers == 1);
+
+    // The same movements, through the metrics registry.
+    let metrics = &telemetry.metrics;
+    assert!(metrics.counter("fleet.scale_up").get() >= 1);
+    assert!(metrics.counter("fleet.scale_down").get() >= 1);
+    assert!(metrics.gauge(format!("fleet.{model}.workers")).max() >= 2);
+    assert!(metrics.counter(format!("fleet.{model}.completed")).get() >= 72);
+}
+
+/// The train-and-serve path of the fleet: a live trainer publishes into
+/// one model mid-load while a static sibling serves undisturbed; closed
+/// clients must see strictly rising versions and lose nothing.
+#[test]
+fn a_live_trainer_feeds_one_fleet_model_mid_load() {
+    let net = Arc::new(mlp(DIM, &[16], 4));
+    let (train_set, test_set) = gaussian_mixture(4, DIM, 1280, 0.25, 21)
+        .split_at(1024)
+        .expect("split in range");
+    let fleet = Fleet::builder(FleetConfig::default())
+        .model("live", Arc::clone(&net))
+        .model("static", Arc::clone(&net))
+        .start();
+    let mut rng = Rng::new(21);
+    fleet
+        .registry("static")
+        .expect("registered")
+        .publish(net.init_params(&mut rng), 1)
+        .expect("fresh registry accepts v1");
+    let mut algo = Sma::new(net.init_params(&mut rng), 2, SmaConfig::default());
+    let config = FleetTrainConfig {
+        live_model: "live".into(),
+        trainer: TrainerConfig::new(16, 2).with_seed(21),
+        publish_every: 10,
+        load: vec![
+            closed("live", SloClass::Standard, 25, 500),
+            closed("static", SloClass::Standard, 25, 500),
+        ],
+        seed: 21,
+    };
+    let report = train_into_fleet(fleet, &net, &train_set, &test_set, &mut algo, &config);
+
+    assert!(all_answered(&report.load), "{}", report.load.summary());
+    assert!(report.load.versions_monotonic());
+    let live = report.fleet.model("live").expect("registered");
+    assert!(
+        live.max_version > 1,
+        "the trainer published mid-load: {live:?}"
+    );
+    let st = report.fleet.model("static").expect("registered");
+    assert_eq!(
+        (st.min_version, st.max_version),
+        (1, 1),
+        "the static sibling is undisturbed"
+    );
+    assert!(report.curve.iterations > 0);
+}
