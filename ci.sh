@@ -53,6 +53,11 @@ echo "== fleet serving smoke (seeded, wall-clock bounded) =="
 FLEET_LOG=$(mktemp)
 timeout 120 ./target/release/crossbow fleet --seed 7 | tee "$FLEET_LOG"
 grep -q "FLEET-REPORT pass=true" "$FLEET_LOG"
+# Same drill with an int8 canary: the candidate is quantized from the
+# primary, staged with its measured accuracy delta, and the promoted
+# primary must keep the precision label and delta (precision_ok).
+timeout 120 ./target/release/crossbow fleet --seed 7 --precision int8 | tee "$FLEET_LOG"
+grep -q "FLEET-REPORT pass=true .*precision=int8 precision_ok=true" "$FLEET_LOG"
 rm -f "$FLEET_LOG"
 
 echo "== trace validity =="
@@ -83,10 +88,15 @@ echo "== memory-plan bench smoke =="
 # if the arena allocation counter is not flat across iteration counts —
 # the CI assertion that the training hot path performs no steady-state
 # allocations — if an mmap-shard gather is not bit-identical to the
-# same gather from RAM (the §14 data-plane invariant), or if a fleet
+# same gather from RAM (the §14 data-plane invariant), if a fleet
 # serving run leaves an admitted request unanswered (the §15 invariant;
 # BENCH_serve.json records per-SLO goodput for 1- vs 3-model fleets
-# with the autoscaler off and on).
+# with the autoscaler off and on), if any SIMD GEMM tier produces
+# different bits than the scalar fallback (the §16 kernel-dispatch
+# invariant, checked per size in BENCH_gemm.json), or if forced-scalar
+# inference diverges bitwise from the auto-detected SIMD path
+# (BENCH_infer.json, which also records f32/bf16/int8 eval throughput,
+# snapshot bytes and accuracy deltas).
 BENCH_DIR=$(mktemp -d)
 ./target/release/membench --smoke --out-dir "$BENCH_DIR" > /dev/null
 rm -rf "$BENCH_DIR"

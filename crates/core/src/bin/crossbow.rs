@@ -40,7 +40,7 @@ use crossbow::sync::TrainerConfig;
 use crossbow::telemetry::{chrome, Telemetry, Timeline, HOST_DEVICE};
 use crossbow::CheckpointConfig;
 use crossbow_nn::zoo::mlp;
-use crossbow_tensor::Rng;
+use crossbow_tensor::{Precision, Rng};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -116,10 +116,11 @@ USAGE:
     crossbow serve    [--workers N] [--max-batch B] [--max-delay-us U]
                       [--mode closed|open] [--clients C] [--requests R]
                       [--rate RPS] [--epochs E] [--publish-every I]
-                      [--seed S] [--trace FILE]
+                      [--precision f32|bf16|int8] [--seed S] [--trace FILE]
     crossbow fleet    [--models N] [--workers N] [--max-batch B]
                       [--requests R] [--rate RPS] [--canary-pct P]
-                      [--autoscale 0|1] [--seed S] [--trace FILE]
+                      [--precision f32|bf16|int8] [--autoscale 0|1]
+                      [--seed S] [--trace FILE]
     crossbow models
 
 MODELS: lenet, resnet-32, vgg-16, resnet-50 (default: resnet-32)
@@ -917,8 +918,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         "publish-every",
         "seed",
         "trace",
+        "precision",
     ])?;
     let seed = flags.parse_num("seed", 42u64)?;
+    let precision: Precision = flags.get("precision").unwrap_or("f32").parse()?;
     let mode = match flags.get("mode").unwrap_or("closed") {
         "closed" => LoadMode::Closed {
             clients: flags.parse_num("clients", 4usize)?,
@@ -962,6 +965,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             seed,
             panic_client: None,
         },
+        precision,
     };
     let report = train_and_serve(&net, &train_set, &test_set, &mut algo, &config);
 
@@ -980,6 +984,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         report.load.min_version, report.load.max_version, report.load.versions_monotonic
     );
     println!("server             : {}", report.serve.summary());
+    println!(
+        "final precision    : {}{}",
+        report.serve.precision,
+        match report.serve.accuracy_delta {
+            Some(d) => format!(" (accuracy delta vs f32: {d:+.4})"),
+            None => String::new(),
+        }
+    );
     println!(
         "latency            : p50 {:?}  p95 {:?}  p99 {:?}",
         report.serve.request_latency.p50,
@@ -1027,12 +1039,14 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
         "autoscale",
         "seed",
         "trace",
+        "precision",
     ])?;
     let seed = flags.parse_num("seed", 42u64)?;
     let n_models = flags.parse_num("models", 3usize)?.max(1);
     let requests = flags.parse_num("requests", 120usize)?.max(8);
     let rate = flags.parse_num("rate", 1200.0f64)?;
     let canary_pct: u8 = flags.parse_num("canary-pct", 30u8)?.min(100);
+    let precision: Precision = flags.get("precision").unwrap_or("f32").parse()?;
     let autoscale = flags.parse_num("autoscale", 1u8)? != 0;
     let telemetry = flags.get("trace").map(|_| Telemetry::wall());
 
@@ -1109,19 +1123,56 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
     fleet.tick();
     print_fleet_round("phase 1 (overload)", &names, &overload);
 
-    // Phase 2 — canary: stage fresh parameters on model-0 as a canary
-    // and (with >1 model) shadow-mirror model-1, then drive moderate
-    // closed load; canary replies carry the id-fraction split.
+    // Phase 2 — canary: stage a candidate on model-0 as a canary and
+    // (with >1 model) shadow-mirror model-1, then drive moderate closed
+    // load; canary replies carry the id-fraction split. At f32 the
+    // candidate is a fresh parameter set; at bf16/int8 it is the
+    // *current primary quantized* — the staged-rollout path for a
+    // reduced-precision build, with its accuracy delta measured on a
+    // labelled mixture set before any traffic touches it.
     let canary_model = names[0].clone();
-    fleet
-        .stage_candidate(
-            &canary_model,
-            net.init_params(&mut rng),
-            CandidateMode::Canary {
-                percent: canary_pct,
-            },
-        )
-        .map_err(|e| format!("stage canary: {e}"))?;
+    let mut staged_delta = None;
+    if precision == Precision::F32 {
+        fleet
+            .stage_candidate(
+                &canary_model,
+                net.init_params(&mut rng),
+                CandidateMode::Canary {
+                    percent: canary_pct,
+                },
+            )
+            .map_err(|e| format!("stage canary: {e}"))?;
+    } else {
+        let primary = fleet
+            .registry(&canary_model)
+            .expect("registered above")
+            .current()
+            .expect("published above");
+        let quant = Arc::new(net.quantize(&primary.params, precision));
+        let eval = crossbow::data::synth::gaussian_mixture(4, 6, 512, 0.25, seed ^ 7);
+        let delta = crossbow::nn::accuracy_delta(
+            &net,
+            &primary.params,
+            &quant,
+            &eval.images_tensor(),
+            eval.labels(),
+            64,
+        );
+        staged_delta = Some(delta);
+        fleet
+            .stage_quantized_candidate(
+                &canary_model,
+                quant,
+                Some(delta),
+                CandidateMode::Canary {
+                    percent: canary_pct,
+                },
+            )
+            .map_err(|e| format!("stage quantized canary: {e}"))?;
+        println!(
+            "staged {precision} canary on {canary_model} (accuracy delta vs f32: {delta:+.4})"
+        );
+    }
     if let Some(shadow_model) = names.get(1) {
         fleet
             .stage_candidate(
@@ -1145,6 +1196,7 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
     let promoted = fleet
         .promote(&canary_model, 2)
         .map_err(|e| format!("promote: {e}"))?;
+    let canary_registry = fleet.registry(&canary_model).expect("registered above");
     if let Some(shadow_model) = names.get(1) {
         fleet.abort_candidate(shadow_model).ok();
     }
@@ -1187,11 +1239,20 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
     let promoted_ok =
         promoted == Some(2) && report.model(&canary_model).map(|m| m.max_version) == Some(2);
     let scaled = !autoscale || report.scaled_both_ways();
-    let pass = answered && monotonic && canary_seen && promoted_ok && scaled;
+    // With a quantized candidate, promotion must carry the precision and
+    // its measured accuracy delta into the primary snapshot.
+    let final_snapshot = canary_registry
+        .current()
+        .ok_or("canary model lost its snapshot")?;
+    let precision_ok =
+        final_snapshot.precision == precision && final_snapshot.accuracy_delta == staged_delta;
+    let pass = answered && monotonic && canary_seen && promoted_ok && scaled && precision_ok;
     println!(
         "FLEET-REPORT pass={pass} answered={answered} monotonic={monotonic} \
          canary={canary_seen} promoted={promoted_ok} scaled={scaled} \
+         precision={} precision_ok={precision_ok} \
          completed={} shed={} decisions={}",
+        final_snapshot.precision,
         report.total_completed(),
         report.total_shed(),
         report.decisions.len(),

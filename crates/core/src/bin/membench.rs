@@ -5,7 +5,12 @@
 //! concurrent runtime on the ResNet-style zoo model, and writes the
 //! results as JSON:
 //!
-//! * `BENCH_gemm.json` — ns/iter and GFLOP/s per kernel and size;
+//! * `BENCH_gemm.json` — ns/iter and GFLOP/s per kernel and size,
+//!   including one row per SIMD micro-kernel tier (scalar/avx2/avx512)
+//!   with a bits-match-scalar verdict;
+//! * `BENCH_infer.json` — quantized inference: eval samples/s, snapshot
+//!   bytes and accuracy delta vs f32 for each serving precision, plus a
+//!   scalar-fallback bit-identity verdict;
 //! * `BENCH_train_step.json` — samples/s, ns per global step and the
 //!   arena counters, including an allocation-flatness verdict;
 //! * `BENCH_data.json` — shard-pack MB/s, mmap vs in-memory batch-gather
@@ -17,7 +22,7 @@
 //!   verdict.
 //!
 //! ```text
-//! membench [--smoke] [--out-dir DIR]
+//! membench [--smoke] [--only gemm,infer,train,data,serve] [--out-dir DIR]
 //! ```
 //!
 //! `--smoke` shrinks sizes and epochs so the run finishes in seconds; the
@@ -33,8 +38,8 @@ use crossbow::fleet::{
 use crossbow::nn::zoo::mlp;
 use crossbow::serve::BatchConfig;
 use crossbow_telemetry::Telemetry;
-use crossbow_tensor::gemm::{gemm_naive, gemm_parallel, gemm_ws};
-use crossbow_tensor::{Rng, Workspace};
+use crossbow_tensor::gemm::{gemm_naive, gemm_parallel, gemm_ws, with_kernel};
+use crossbow_tensor::{GemmKernel, Rng, Workspace};
 use std::sync::Arc;
 use std::time::Duration;
 use std::time::Instant;
@@ -68,11 +73,16 @@ fn time_it(smoke: bool, flops: f64, mut f: impl FnMut()) -> Measurement {
     }
 }
 
-fn bench_gemm(smoke: bool, out_dir: &str) -> std::io::Result<()> {
+/// Benchmarks the packed GEMM per micro-kernel tier and checks that
+/// every supported SIMD tier is bit-identical to the scalar fallback.
+/// Returns whether the tiers agreed — the divergence gate ci.sh asserts.
+fn bench_gemm(smoke: bool, out_dir: &str) -> std::io::Result<bool> {
     let sizes: &[usize] = if smoke { &[48, 96] } else { &[64, 128, 256] };
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let detected = GemmKernel::detected();
     let mut rows = Vec::new();
     let mut ws = Workspace::new();
+    let mut tiers_identical = true;
     for &n in sizes {
         let mut rng = Rng::new(7);
         let a: Vec<f32> = (0..n * n).map(|_| rng.normal()).collect();
@@ -91,13 +101,61 @@ fn bench_gemm(smoke: bool, out_dir: &str) -> std::io::Result<()> {
             gemm_parallel(n, n, n, 1.0, &a, &b, 0.0, &mut c, threads, &mut ws);
             std::hint::black_box(&c);
         });
+
+        // Per-tier packed GEMM: time each supported micro-kernel and
+        // compare its output bits against the scalar fallback's.
+        let mut c_scalar = vec![0.0f32; n * n];
+        with_kernel(GemmKernel::Scalar, || {
+            gemm_ws(n, n, n, 1.0, &a, &b, 0.0, &mut c_scalar, &mut ws);
+        });
+        let mut kernel_rows = Vec::new();
+        let mut scalar_gflops = 0.0f64;
+        let mut best_simd_gflops = 0.0f64;
+        for kernel in GemmKernel::all() {
+            if !kernel.supported() {
+                continue;
+            }
+            let m = time_it(smoke, flops, || {
+                with_kernel(kernel, || {
+                    gemm_ws(n, n, n, 1.0, &a, &b, 0.0, &mut c, &mut ws);
+                });
+                std::hint::black_box(&c);
+            });
+            with_kernel(kernel, || {
+                gemm_ws(n, n, n, 1.0, &a, &b, 0.0, &mut c, &mut ws);
+            });
+            let same = c
+                .iter()
+                .zip(&c_scalar)
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            tiers_identical &= same;
+            if kernel == GemmKernel::Scalar {
+                scalar_gflops = m.gflops;
+            } else {
+                best_simd_gflops = best_simd_gflops.max(m.gflops);
+            }
+            kernel_rows.push(format!(
+                "\"{}\": {{\"ns_per_iter\": {:.1}, \"gflops\": {:.3}, \
+                 \"bits_match_scalar\": {same}}}",
+                kernel.name(),
+                m.ns_per_iter,
+                m.gflops,
+            ));
+        }
+        let simd_speedup = if best_simd_gflops > 0.0 {
+            best_simd_gflops / scalar_gflops
+        } else {
+            1.0 // scalar-only machine: no SIMD tier to compare
+        };
         println!(
-            "gemm {n}x{n}x{n}: naive {:.0} ns, packed {:.0} ns ({:.2}x), parallel({threads}) {:.0} ns ({:.2}x)",
+            "gemm {n}x{n}x{n}: naive {:.0} ns, packed {:.0} ns ({:.2}x), parallel({threads}) {:.0} ns ({:.2}x), \
+             simd {simd_speedup:.2}x over scalar ({}identical)",
             naive.ns_per_iter,
             packed.ns_per_iter,
             naive.ns_per_iter / packed.ns_per_iter,
             parallel.ns_per_iter,
             naive.ns_per_iter / parallel.ns_per_iter,
+            if tiers_identical { "" } else { "NOT " },
         );
         rows.push(format!(
             concat!(
@@ -105,7 +163,9 @@ fn bench_gemm(smoke: bool, out_dir: &str) -> std::io::Result<()> {
                 "     \"naive\": {{\"ns_per_iter\": {:.1}, \"gflops\": {:.3}}},\n",
                 "     \"packed\": {{\"ns_per_iter\": {:.1}, \"gflops\": {:.3}}},\n",
                 "     \"parallel\": {{\"threads\": {threads}, \"ns_per_iter\": {:.1}, \"gflops\": {:.3}}},\n",
-                "     \"packed_vs_naive_speedup\": {:.3}}}"
+                "     \"kernels\": {{{kernels}}},\n",
+                "     \"packed_vs_naive_speedup\": {:.3},\n",
+                "     \"simd_vs_scalar_speedup\": {simd_speedup:.3}}}"
             ),
             naive.ns_per_iter,
             naive.gflops,
@@ -116,16 +176,22 @@ fn bench_gemm(smoke: bool, out_dir: &str) -> std::io::Result<()> {
             naive.ns_per_iter / packed.ns_per_iter,
             n = n,
             threads = threads,
+            kernels = kernel_rows.join(", "),
+            simd_speedup = simd_speedup,
         ));
     }
     let stats = ws.stats();
     let json = format!(
         concat!(
             "{{\n  \"benchmark\": \"gemm\",\n  \"smoke\": {},\n",
+            "  \"kernel_detected\": \"{}\",\n",
+            "  \"kernel_bit_identical\": {},\n",
             "  \"sizes\": [\n{}\n  ],\n",
             "  \"arena\": {{\"fresh_allocs\": {}, \"reuse_hits\": {}, \"high_water_bytes\": {}}}\n}}\n"
         ),
         smoke,
+        detected.name(),
+        tiers_identical,
         rows.join(",\n"),
         stats.fresh_allocs,
         stats.reuse_hits,
@@ -134,7 +200,180 @@ fn bench_gemm(smoke: bool, out_dir: &str) -> std::io::Result<()> {
     let path = format!("{out_dir}/BENCH_gemm.json");
     std::fs::write(&path, json)?;
     println!("wrote {path}");
-    Ok(())
+    Ok(tiers_identical)
+}
+
+/// Benchmarks the quantized inference path: trains a small classifier,
+/// then for each precision (f32/bf16/int8) measures eval throughput,
+/// quantized-snapshot bytes on disk, and the accuracy delta vs f32.
+/// Also forces the scalar GEMM fallback and checks that f32 logits are
+/// bit-identical to the SIMD tier's. Returns that bit-identity verdict.
+fn bench_infer(smoke: bool, out_dir: &str) -> std::io::Result<bool> {
+    use crossbow::data::synth::gaussian_mixture;
+    use crossbow::nn::accuracy_delta;
+    use crossbow::serve::{export_quant_snapshot, ModelSpec, SnapshotRegistry};
+    use crossbow::sync::sma::{Sma, SmaConfig};
+    use crossbow::sync::{train, TrainerConfig};
+    use crossbow_tensor::{Precision, Shape, Tensor};
+
+    let (hidden, samples, epochs): (&[usize], usize, usize) = if smoke {
+        (&[32], 768, 2)
+    } else {
+        (&[128, 64], 4096, 4)
+    };
+    // Two eval batch sizes: the server's default max_batch (16), the
+    // regime the quantized path is for — the f32 GEMM re-packs weights
+    // every call while the int8 operator is pre-packed at quantize time
+    // — and a large batch (64) where the packed f32 GEMM amortises.
+    let (classes, dim, batch, big_batch) = (8usize, 32usize, 16usize, 64usize);
+    let net = mlp(dim, hidden, classes);
+    let (train_set, test_set) = gaussian_mixture(classes, dim, samples, 2.5, 29)
+        .split_at(samples * 3 / 4)
+        .expect("split in range");
+    let mut rng = Rng::new(29);
+    let mut algo = Sma::new(net.init_params(&mut rng), 4, SmaConfig::default());
+    let cfg = TrainerConfig::new(16, epochs).with_seed(29);
+    let curve = train(&net, &train_set, &test_set, &mut algo, &cfg);
+    let params = algo.center_mut().to_vec();
+
+    // One eval batch per size, reused by every precision's loop.
+    let images = test_set.images_tensor();
+    let sample_len = test_set.sample_len();
+    let head = Tensor::from_vec(
+        Shape::new(&[batch, dim]),
+        images.data()[..batch * sample_len].to_vec(),
+    );
+    let big_head = Tensor::from_vec(
+        Shape::new(&[big_batch, dim]),
+        images.data()[..big_batch * sample_len].to_vec(),
+    );
+    let mut scratch = net.scratch();
+
+    // Scalar-fallback bit-identity on the served logits: the dispatch
+    // tier must never change what a model answers.
+    let simd_logits = net.forward_eval(&params, &head, &mut scratch);
+    let scalar_logits = with_kernel(GemmKernel::Scalar, || {
+        net.forward_eval(&params, &head, &mut scratch)
+    });
+    let fallback_identical = simd_logits
+        .data()
+        .iter()
+        .zip(scalar_logits.data())
+        .all(|(x, y)| x.to_bits() == y.to_bits());
+
+    let dir = std::env::temp_dir().join(format!("crossbow-membench-infer-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let flops = 0.0; // throughput reported as samples/s, not GFLOP/s
+    let mut rows = Vec::new();
+    let mut int8_smaller_and_faster = true;
+    let mut f32_bytes = 0u64;
+    let mut f32_sps = 0.0f64;
+    for precision in Precision::all() {
+        let registry = SnapshotRegistry::new(ModelSpec::of(&net));
+        let (delta, m, m_big) = match precision {
+            Precision::F32 => {
+                registry.publish(params.clone(), 1).expect("fresh registry");
+                let m = time_it(smoke, flops, || {
+                    let out = net.forward_eval(&params, &head, &mut scratch);
+                    std::hint::black_box(&out);
+                });
+                let m_big = time_it(smoke, flops, || {
+                    let out = net.forward_eval(&params, &big_head, &mut scratch);
+                    std::hint::black_box(&out);
+                });
+                (0.0f32, m, m_big)
+            }
+            _ => {
+                let model = Arc::new(net.quantize(&params, precision));
+                let delta =
+                    accuracy_delta(&net, &params, &model, &images, test_set.labels(), batch);
+                registry
+                    .publish_quantized(Arc::clone(&model), 1, Some(delta))
+                    .expect("fresh registry");
+                let m = time_it(smoke, flops, || {
+                    let out = net.forward_eval_quant(&model, &head, &mut scratch);
+                    std::hint::black_box(&out);
+                });
+                let m_big = time_it(smoke, flops, || {
+                    let out = net.forward_eval_quant(&model, &big_head, &mut scratch);
+                    std::hint::black_box(&out);
+                });
+                (delta, m, m_big)
+            }
+        };
+        let snapshot = registry.current().expect("just published");
+        let bytes = export_quant_snapshot(&dir.join(precision.name()), &net, &snapshot)
+            .map_err(std::io::Error::other)?;
+        let sps = batch as f64 * 1e9 / m.ns_per_iter;
+        let sps_big = big_batch as f64 * 1e9 / m_big.ns_per_iter;
+        match precision {
+            Precision::F32 => {
+                f32_bytes = bytes;
+                f32_sps = sps;
+            }
+            Precision::Int8 => {
+                int8_smaller_and_faster = bytes < f32_bytes && sps > f32_sps;
+            }
+            Precision::Bf16 => {}
+        }
+        println!(
+            "infer {precision}: b{batch} {sps:.0} samples/s, b{big_batch} {sps_big:.0} samples/s, \
+             snapshot {bytes} bytes, accuracy delta vs f32 {delta:+.4}",
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"precision\": \"{precision}\", ",
+                "\"eval_samples_per_s\": {{\"batch{batch}\": {sps:.0}, ",
+                "\"batch{big_batch}\": {sps_big:.0}}}, ",
+                "\"snapshot_bytes\": {bytes}, ",
+                "\"accuracy_delta_vs_f32\": {delta:.6}}}"
+            ),
+            precision = precision,
+            batch = batch,
+            big_batch = big_batch,
+            sps = sps,
+            sps_big = sps_big,
+            bytes = bytes,
+            delta = delta,
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "infer fallback: scalar logits {}bit-identical to {} \
+         (int8 smaller & faster than f32: {int8_smaller_and_faster})",
+        if fallback_identical { "" } else { "NOT " },
+        GemmKernel::detected().name(),
+    );
+    let json = format!(
+        concat!(
+            "{{\n  \"benchmark\": \"infer\",\n  \"smoke\": {smoke},\n",
+            "  \"model\": {{\"dim\": {dim}, \"hidden\": {hidden:?}, \"classes\": {classes}, ",
+            "\"params\": {plen}, \"trained_accuracy\": {acc:.4}}},\n",
+            "  \"eval_batches\": [{batch}, {big_batch}],\n",
+            "  \"kernel_detected\": \"{kernel}\",\n",
+            "  \"scalar_fallback_bit_identical\": {fallback},\n",
+            "  \"int8_smaller_and_faster_than_f32\": {smaller},\n",
+            "  \"precisions\": [\n{rows}\n  ]\n}}\n"
+        ),
+        smoke = smoke,
+        dim = dim,
+        hidden = hidden,
+        classes = classes,
+        plen = net.param_len(),
+        acc = curve.final_accuracy,
+        batch = batch,
+        big_batch = big_batch,
+        kernel = GemmKernel::detected().name(),
+        fallback = fallback_identical,
+        smaller = int8_smaller_and_faster,
+        rows = rows.join(",\n"),
+    );
+    let path = format!("{out_dir}/BENCH_infer.json");
+    std::fs::write(&path, json)?;
+    println!("wrote {path}");
+    Ok(fallback_identical)
 }
 
 /// Runs the concurrent CPU engine on the ResNet-style zoo model and
@@ -536,6 +775,7 @@ fn bench_serve(smoke: bool, out_dir: &str) -> std::io::Result<bool> {
 fn main() {
     let mut smoke = false;
     let mut out_dir = ".".to_string();
+    let mut only: Option<Vec<String>> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -546,8 +786,15 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--only" => {
+                let list = args.next().unwrap_or_else(|| {
+                    eprintln!("--only needs a comma-separated list");
+                    std::process::exit(2);
+                });
+                only = Some(list.split(',').map(str::to_string).collect());
+            }
             "--help" | "-h" => {
-                println!("membench [--smoke] [--out-dir DIR]");
+                println!("membench [--smoke] [--only gemm,infer,train,data,serve] [--out-dir DIR]");
                 return;
             }
             other => {
@@ -556,20 +803,32 @@ fn main() {
             }
         }
     }
-    bench_gemm(smoke, &out_dir).expect("write BENCH_gemm.json");
-    let flat = bench_train_step(smoke, &out_dir).expect("write BENCH_train_step.json");
-    let identical = bench_data(smoke, &out_dir).expect("write BENCH_data.json");
-    let answered = bench_serve(smoke, &out_dir).expect("write BENCH_serve.json");
-    if !flat {
+    let runs = |name: &str| {
+        only.as_ref()
+            .is_none_or(|list| list.iter().any(|s| s == name))
+    };
+    let mut failed = false;
+    if runs("gemm") && !bench_gemm(smoke, &out_dir).expect("write BENCH_gemm.json") {
+        eprintln!("FAIL: a SIMD GEMM tier diverged from the scalar fallback");
+        failed = true;
+    }
+    if runs("infer") && !bench_infer(smoke, &out_dir).expect("write BENCH_infer.json") {
+        eprintln!("FAIL: forced-scalar inference diverged from the SIMD path");
+        failed = true;
+    }
+    if runs("train") && !bench_train_step(smoke, &out_dir).expect("write BENCH_train_step.json") {
         eprintln!("FAIL: arena allocation counter grew with iteration count");
-        std::process::exit(1);
+        failed = true;
     }
-    if !identical {
+    if runs("data") && !bench_data(smoke, &out_dir).expect("write BENCH_data.json") {
         eprintln!("FAIL: mmap-shard gather differed from the in-memory gather");
-        std::process::exit(1);
+        failed = true;
     }
-    if !answered {
+    if runs("serve") && !bench_serve(smoke, &out_dir).expect("write BENCH_serve.json") {
         eprintln!("FAIL: a fleet run left an admitted request unanswered");
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

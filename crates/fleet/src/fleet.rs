@@ -22,7 +22,7 @@ use crate::queue::{Admission, SloQueue};
 use crate::report::{FleetReport, ModelReport};
 use crate::request::{FleetError, FleetJob, FleetPrediction, FleetTicket, SloClass};
 use crate::router::{routes_to_canary, CandidateMode, ModelRouter};
-use crossbow_nn::{Network, Scratch};
+use crossbow_nn::{Network, QuantizedModel, Scratch};
 use crossbow_serve::{BatchConfig, ModelSpec, SnapshotRegistry};
 use crossbow_telemetry::{
     Counter, Gauge, Histogram, HistogramCell, SpanKind, Telemetry, HOST_DEVICE,
@@ -431,6 +431,37 @@ impl Fleet {
             .map_err(|_| FleetError::BadRequest { expected, got })
     }
 
+    /// Stages a quantized candidate on the named model — how a
+    /// reduced-precision build is rolled out: canary a slice of real
+    /// traffic against the f32 primary (or shadow all of it), watch the
+    /// divergence counters, then [`Fleet::promote`] or
+    /// [`Fleet::abort_candidate`]. `accuracy_delta` is the offline
+    /// quantization cost vs f32; it is published with the snapshot on
+    /// promotion so the serve report carries it.
+    ///
+    /// # Errors
+    /// [`FleetError::UnknownModel`], or [`FleetError::BadRequest`] when
+    /// the model does not fit the spec.
+    pub fn stage_quantized_candidate(
+        &self,
+        model: &str,
+        quant: Arc<QuantizedModel>,
+        accuracy_delta: Option<f32>,
+        mode: CandidateMode,
+    ) -> Result<(), FleetError> {
+        let idx = *self
+            .inner
+            .by_name
+            .get(model)
+            .ok_or(FleetError::UnknownModel)?;
+        let rt = &self.inner.models[idx];
+        let expected = rt.router.primary().spec().param_len;
+        let got = quant.params().len();
+        rt.router
+            .stage_quantized(quant, accuracy_delta, mode)
+            .map_err(|_| FleetError::BadRequest { expected, got })
+    }
+
     /// Promotes the named model's staged candidate into its primary
     /// registry; returns the new version, `None` when nothing is staged.
     ///
@@ -663,10 +694,12 @@ fn collect_batch(
     batch
 }
 
-/// Runs one forward pass of `net` with `params` over `jobs`' inputs.
+/// Runs one forward pass over `jobs`' inputs: the quantized path when
+/// `quant` is set, the plain f32 eval path on `params` otherwise.
 fn forward(
     net: &Network,
     params: &[f32],
+    quant: Option<&QuantizedModel>,
     jobs: &[FleetJob],
     spec: &ModelSpec,
     config: &FleetConfig,
@@ -682,7 +715,11 @@ fn forward(
     if let Some(delay) = config.synthetic_delay {
         std::thread::sleep(delay);
     }
-    net.predict(params, &Tensor::from_vec(Shape::new(&dims), data), scratch)
+    let input = Tensor::from_vec(Shape::new(&dims), data);
+    match quant {
+        Some(model) => net.predict_quant(model, &input, scratch),
+        None => net.predict(params, &input, scratch),
+    }
 }
 
 fn serve_batch(
@@ -704,8 +741,8 @@ fn serve_batch(
     // deterministic id-fraction to the candidate.
     let mut primary_jobs = Vec::with_capacity(batch.len());
     let mut canary_jobs = Vec::new();
-    match plan.candidate {
-        Some((_, CandidateMode::Canary { percent })) => {
+    match plan.candidate.as_ref().map(|route| route.mode) {
+        Some(CandidateMode::Canary { percent }) => {
             for job in batch {
                 if routes_to_canary(job.id, percent) {
                     canary_jobs.push(job);
@@ -721,16 +758,29 @@ fn serve_batch(
         let classes = forward(
             &rt.net,
             &plan.primary.params,
+            plan.primary.quant.as_deref(),
             &primary_jobs,
             &spec,
             config,
             scratch,
         );
-        if let Some((params, CandidateMode::Shadow)) = &plan.candidate {
+        if let Some(route) = plan
+            .candidate
+            .as_ref()
+            .filter(|route| route.mode == CandidateMode::Shadow)
+        {
             // Mirror the same inputs through the candidate and count
             // disagreements; replies below still come from the primary.
             let shadow_started = Instant::now();
-            let shadow = forward(&rt.net, params, &primary_jobs, &spec, config, scratch);
+            let shadow = forward(
+                &rt.net,
+                &route.params,
+                route.quant.as_deref(),
+                &primary_jobs,
+                &spec,
+                config,
+                scratch,
+            );
             rt.shadow_latency.record(shadow_started.elapsed());
             let diverged = classes.iter().zip(&shadow).filter(|(a, b)| a != b).count();
             rt.shadow_divergence.add(diverged as u64);
@@ -738,11 +788,19 @@ fn serve_batch(
         answer_all(rt, primary_jobs, classes, version, false);
     }
     if !canary_jobs.is_empty() {
-        let (params, _) = plan
+        let route = plan
             .candidate
             .as_ref()
             .expect("canary jobs imply candidate");
-        let classes = forward(&rt.net, params, &canary_jobs, &spec, config, scratch);
+        let classes = forward(
+            &rt.net,
+            &route.params,
+            route.quant.as_deref(),
+            &canary_jobs,
+            &spec,
+            config,
+            scratch,
+        );
         rt.canary_served.add(canary_jobs.len() as u64);
         answer_all(rt, canary_jobs, classes, version, true);
     }

@@ -20,6 +20,7 @@
 //! next version), `abort` discards it; both are atomic with respect to
 //! in-flight batches, which finish on whichever plan they already took.
 
+use crossbow_nn::QuantizedModel;
 use crossbow_serve::{ModelSnapshot, PublishError, SnapshotRegistry};
 use std::sync::{Arc, Mutex};
 
@@ -39,7 +40,21 @@ pub enum CandidateMode {
 #[derive(Clone, Debug)]
 struct Candidate {
     params: Arc<Vec<f32>>,
+    /// Quantized serving form of the candidate (`None` = plain f32).
+    quant: Option<Arc<QuantizedModel>>,
+    /// Accuracy delta vs f32 measured at staging time, carried into the
+    /// primary snapshot on promotion.
+    accuracy_delta: Option<f32>,
     mode: CandidateMode,
+}
+
+/// One side of a batch's routing plan: what answers (or mirrors) the
+/// candidate's share of traffic.
+#[derive(Clone, Debug)]
+pub(crate) struct CandidateRoute {
+    pub params: Arc<Vec<f32>>,
+    pub quant: Option<Arc<QuantizedModel>>,
+    pub mode: CandidateMode,
 }
 
 /// A batch's routing plan, taken once per batch so every job in it sees
@@ -47,7 +62,7 @@ struct Candidate {
 #[derive(Clone, Debug)]
 pub(crate) struct RoutePlan {
     pub primary: Arc<ModelSnapshot>,
-    pub candidate: Option<(Arc<Vec<f32>>, CandidateMode)>,
+    pub candidate: Option<CandidateRoute>,
 }
 
 /// Primary registry plus an optional staged candidate.
@@ -87,6 +102,39 @@ impl ModelRouter {
         }
         *self.candidate.lock().expect("router lock poisoned") = Some(Candidate {
             params: Arc::new(params),
+            quant: None,
+            accuracy_delta: None,
+            mode,
+        });
+        Ok(())
+    }
+
+    /// Stages a quantized candidate — the staged-rollout path for a
+    /// reduced-precision model: canary (or shadow) it against the f32
+    /// primary, then promote or abort on the observed divergence. The
+    /// accuracy delta measured at quantization time travels with the
+    /// candidate into the primary snapshot on promotion.
+    ///
+    /// # Errors
+    /// [`PublishError::ShapeMismatch`] when the model does not fit the
+    /// primary's spec.
+    pub fn stage_quantized(
+        &self,
+        quant: Arc<QuantizedModel>,
+        accuracy_delta: Option<f32>,
+        mode: CandidateMode,
+    ) -> Result<(), PublishError> {
+        let expected = self.primary.spec().param_len;
+        if quant.params().len() != expected {
+            return Err(PublishError::ShapeMismatch {
+                expected,
+                got: quant.params().len(),
+            });
+        }
+        *self.candidate.lock().expect("router lock poisoned") = Some(Candidate {
+            params: Arc::new(quant.params().to_vec()),
+            quant: Some(quant),
+            accuracy_delta,
             mode,
         });
         Ok(())
@@ -96,17 +144,25 @@ impl ModelRouter {
     ///
     /// Returns the new primary version, or `None` when nothing was
     /// staged. After promotion there is no candidate; all traffic goes
-    /// to the (new) primary.
+    /// to the (new) primary. A quantized candidate is published as a
+    /// quantized primary, so its serving path (and precision label)
+    /// survives promotion.
     pub fn promote(&self, iteration: u64) -> Option<u64> {
         let candidate = self
             .candidate
             .lock()
             .expect("router lock poisoned")
             .take()?;
-        let version = self
-            .primary
-            .publish(candidate.params.as_ref().clone(), iteration)
-            .expect("staged candidate already validated against the spec");
+        let version = match candidate.quant {
+            Some(quant) => self
+                .primary
+                .publish_quantized(quant, iteration, candidate.accuracy_delta)
+                .expect("staged candidate already validated against the spec"),
+            None => self
+                .primary
+                .publish(candidate.params.as_ref().clone(), iteration)
+                .expect("staged candidate already validated against the spec"),
+        };
         Some(version)
     }
 
@@ -138,7 +194,11 @@ impl ModelRouter {
             .lock()
             .expect("router lock poisoned")
             .as_ref()
-            .map(|c| (Arc::clone(&c.params), c.mode));
+            .map(|c| CandidateRoute {
+                params: Arc::clone(&c.params),
+                quant: c.quant.as_ref().map(Arc::clone),
+                mode: c.mode,
+            });
         Some(RoutePlan { primary, candidate })
     }
 }
@@ -214,6 +274,51 @@ mod tests {
         assert_eq!(current.params, vec![2.0; 2]);
         assert_eq!(current.iteration, 7);
         assert_eq!(router.promote(8), None, "nothing left to promote");
+    }
+
+    #[test]
+    fn a_quantized_candidate_promotes_to_a_quantized_primary() {
+        use crossbow_nn::zoo::mlp;
+        use crossbow_tensor::{Precision, Rng};
+        let net = mlp(4, &[6], 3);
+        let registry = Arc::new(SnapshotRegistry::new(ModelSpec::of(&net)));
+        let router = ModelRouter::new(Arc::clone(&registry));
+        let params = net.init_params(&mut Rng::new(3));
+        registry.publish(params.clone(), 1).unwrap();
+
+        let model = Arc::new(net.quantize(&params, Precision::Int8));
+        router
+            .stage_quantized(
+                Arc::clone(&model),
+                Some(-0.02),
+                CandidateMode::Canary { percent: 30 },
+            )
+            .unwrap();
+        let plan = router.plan().unwrap();
+        let route = plan.candidate.as_ref().unwrap();
+        assert!(route.quant.is_some(), "candidate carries the quant model");
+        assert_eq!(route.params.as_slice(), model.params());
+
+        assert_eq!(router.promote(9), Some(2));
+        let current = registry.current().unwrap();
+        assert_eq!(current.precision, Precision::Int8);
+        assert_eq!(current.accuracy_delta, Some(-0.02));
+        assert!(current.quant.is_some(), "promotion keeps the quant path");
+        assert_eq!(current.params.as_slice(), model.params());
+    }
+
+    #[test]
+    fn a_mis_sized_quantized_candidate_is_refused() {
+        use crossbow_nn::zoo::mlp;
+        use crossbow_tensor::{Precision, Rng};
+        let net = mlp(4, &[6], 3);
+        let router = ModelRouter::new(registry(net.param_len() + 1));
+        let params = net.init_params(&mut Rng::new(4));
+        let model = Arc::new(net.quantize(&params, Precision::Bf16));
+        assert!(router
+            .stage_quantized(model, None, CandidateMode::Shadow)
+            .is_err());
+        assert!(!router.has_candidate());
     }
 
     #[test]

@@ -164,6 +164,10 @@ impl Layer for Dense {
         // The stashed input copy.
         batch * self.in_features
     }
+
+    fn as_dense(&self) -> Option<&Dense> {
+        Some(self)
+    }
 }
 
 /// Reshapes any per-sample input to a flat vector. Carries no parameters;

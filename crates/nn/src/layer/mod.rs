@@ -128,6 +128,13 @@ pub trait Layer: Send + Sync {
     fn op_count(&self) -> usize {
         2
     }
+
+    /// Downcast hook for the quantized serving path: dense layers return
+    /// themselves so [`crate::quant`] can swap their matrix product for
+    /// the int8 kernel; every other layer runs its normal `f32` forward.
+    fn as_dense(&self) -> Option<&Dense> {
+        None
+    }
 }
 
 /// Splits a batched tensor's first dimension: `(batch, per-sample length)`.

@@ -33,8 +33,10 @@ pub mod layer;
 pub mod loss;
 pub mod network;
 pub mod profile;
+pub mod quant;
 pub mod zoo;
 
 pub use layer::{Layer, Slot};
 pub use network::{NetPlan, Network, Scratch};
 pub use profile::ModelProfile;
+pub use quant::{accuracy_delta, QuantDense, QuantizedModel};

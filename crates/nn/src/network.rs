@@ -64,8 +64,10 @@ impl NetworkBuilder {
 /// backs every activation, stash and kernel scratch buffer.
 #[derive(Clone, Debug, Default)]
 pub struct Scratch {
-    slots: Vec<Slot>,
-    ws: Workspace,
+    pub(crate) slots: Vec<Slot>,
+    pub(crate) ws: Workspace,
+    /// Reusable quantized-activation buffer for the int8 serving path.
+    pub(crate) quant_xq: Vec<i16>,
 }
 
 impl Scratch {
@@ -223,6 +225,7 @@ impl Network {
         Scratch {
             slots: vec![Slot::default(); self.layers.len()],
             ws: Workspace::new(),
+            quant_xq: Vec::new(),
         }
     }
 
@@ -232,6 +235,7 @@ impl Network {
         Scratch {
             slots: vec![Slot::default(); self.layers.len()],
             ws: plan.build_workspace(),
+            quant_xq: Vec::new(),
         }
     }
 

@@ -22,6 +22,10 @@
 //! * [`snapshot`] — model exchange over the PR-2 checkpoint format
 //!   (export a snapshot durably, serve straight out of a training
 //!   checkpoint directory);
+//! * [`quant_snapshot`] — the `CBQS` quantized snapshot format: a
+//!   versioned, checksummed, atomically-written inference artifact at
+//!   f32, bf16 or per-channel int8 precision, reassembled on load so the
+//!   served bytes match the exporter's exactly;
 //! * [`loadgen`] + [`train_serve`] — closed/open-loop load generators
 //!   and the combined run where a background trainer keeps publishing
 //!   fresher `z` snapshots mid-load.
@@ -32,6 +36,7 @@
 pub mod batcher;
 pub mod loadgen;
 pub mod metrics;
+pub mod quant_snapshot;
 pub mod registry;
 pub mod server;
 pub mod snapshot;
@@ -40,6 +45,7 @@ pub mod train_serve;
 pub use batcher::BatchConfig;
 pub use loadgen::{run_load, LoadConfig, LoadMode, LoadResult};
 pub use metrics::{Histogram, LatencySummary, ServeReport};
+pub use quant_snapshot::{export_quant_snapshot, load_quant_into, QUANT_SNAPSHOT_FILE};
 pub use registry::{ModelSnapshot, ModelSpec, PublishError, SnapshotRegistry};
 pub use server::{Client, Prediction, ServeConfig, ServeError, Server, Ticket};
 pub use snapshot::{export_snapshot, load_into, ImportError, SNAPSHOT_ALGORITHM};

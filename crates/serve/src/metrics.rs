@@ -10,6 +10,7 @@
 pub use crossbow_telemetry::{Histogram, LatencySummary};
 
 use crossbow_telemetry::PhaseBreakdown;
+use crossbow_tensor::Precision;
 use std::time::Duration;
 
 /// Per-worker counters, merged into a [`ServeReport`] at shutdown.
@@ -74,6 +75,12 @@ pub struct ServeReport {
     pub min_version: u64,
     /// Highest snapshot version that answered a request (0 when none did).
     pub max_version: u64,
+    /// Serving precision of the registry's final snapshot (f32 when no
+    /// snapshot was ever published).
+    pub precision: Precision,
+    /// Accuracy delta of the final snapshot against its f32 source, when
+    /// it was quantized with an eval set (`None` for f32 serving).
+    pub accuracy_delta: Option<f32>,
     /// Server lifetime, start to drained shutdown.
     pub wall: Duration,
     /// Per-phase time breakdown of the spans recorded through the
@@ -87,9 +94,13 @@ pub struct ServeReport {
 impl ServeReport {
     /// One-line human summary.
     pub fn summary(&self) -> String {
+        let delta = match self.accuracy_delta {
+            Some(d) => format!(" (acc delta {d:+.4})"),
+            None => String::new(),
+        };
         format!(
             "{} ok / {} rejected, {} batches (mean {:.1}), {:.0} req/s, \
-             p50 {:?} p99 {:?}, versions {}..{}",
+             p50 {:?} p99 {:?}, versions {}..{}, precision {}{}",
             self.completed,
             self.rejected,
             self.batches,
@@ -99,6 +110,8 @@ impl ServeReport {
             self.request_latency.p99,
             self.min_version,
             self.max_version,
+            self.precision,
+            delta,
         )
     }
 }

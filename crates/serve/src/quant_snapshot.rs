@@ -1,0 +1,502 @@
+//! The quantized snapshot format (`CBQS`).
+//!
+//! The PR-2 checkpoint format stores a full-precision training state;
+//! serving wants the opposite trade — a small, inference-only artifact
+//! at a chosen precision. A `CBQS` file holds one deployable model:
+//!
+//! ```text
+//! magic "CBQS" | format u32 | precision u8
+//! spec: input dims (u64 count + u64 each) | classes u64 | param_len u64
+//! snapshot version u64 | iteration u64 | accuracy_delta opt_f32
+//! payload (by precision):
+//!   f32  — length-prefixed f32 parameter vector
+//!   bf16 — length-prefixed raw bytes, 2 per parameter (LE u16 bf16)
+//!   int8 — layer count u64, then per layer: presence u8, and when
+//!          present rows u64 | cols u64 | per-channel scales (f32 slice)
+//!          | weights (byte slice, two's-complement i8); then the
+//!          remaining f32 parameters (biases + non-dense layers) in
+//!          layer order
+//! checksum u64 — FNV-1a/64 over everything above
+//! ```
+//!
+//! Everything multi-byte is little-endian via the checkpoint crate's
+//! [`codec`](crossbow_checkpoint::codec); writes go through a temp file
+//! and an atomic rename, mirroring the checkpoint store.
+//!
+//! The int8 payload stores the *quantized* weights plus their scales —
+//! not the dequantized f32s — so the loader reassembles through
+//! [`Network::requantized`] and serves byte-identical predictions to the
+//! exporter. Re-quantizing dequantized weights would re-derive every
+//! channel scale and serve different bytes; see the warning on
+//! [`Network::requantized`].
+
+use crate::registry::{ModelSnapshot, ModelSpec, SnapshotRegistry};
+use crate::snapshot::ImportError;
+use crossbow_checkpoint::codec::{fnv1a64, DecodeError, Reader, Writer};
+use crossbow_checkpoint::CheckpointError;
+use crossbow_nn::{Network, QuantizedModel};
+use crossbow_tensor::quant::{bf16_decode, bf16_encode_slice, QuantLinear};
+use crossbow_tensor::Precision;
+use std::path::Path;
+use std::sync::Arc;
+
+/// File name of a quantized snapshot inside its directory.
+pub const QUANT_SNAPSHOT_FILE: &str = "model.cbqs";
+
+/// `b"CBQS"` as a little-endian `u32`.
+const MAGIC: u32 = u32::from_le_bytes(*b"CBQS");
+
+/// Bumped on any incompatible layout change.
+const FORMAT_VERSION: u32 = 1;
+
+/// Decoded payload, before reassembly against a concrete network.
+enum Payload {
+    F32(Vec<f32>),
+    Bf16(Vec<u16>),
+    Int8 {
+        lins: Vec<Option<QuantLinear>>,
+        rest: Vec<f32>,
+    },
+}
+
+/// Durably exports a snapshot into `dir/`[`QUANT_SNAPSHOT_FILE`] at the
+/// snapshot's own precision, returning the file size in bytes. An f32
+/// snapshot stores the raw parameter vector; quantized snapshots store
+/// the reduced-precision payload, so the file shrinks roughly 2x (bf16)
+/// or 4x (int8 weights) against f32.
+///
+/// `net` must be the network the snapshot was published for (it supplies
+/// the per-layer parameter ranges the int8 payload is split by).
+///
+/// # Errors
+/// [`CheckpointError::Io`] when the directory or file cannot be written.
+///
+/// # Panics
+/// Panics if `net` does not match the snapshot's spec.
+pub fn export_quant_snapshot(
+    dir: &Path,
+    net: &Network,
+    snapshot: &ModelSnapshot,
+) -> Result<u64, CheckpointError> {
+    assert_eq!(
+        ModelSpec::of(net),
+        snapshot.spec,
+        "snapshot from a different network"
+    );
+    let mut w = Writer::new();
+    w.u32(MAGIC);
+    w.u32(FORMAT_VERSION);
+    w.u8(snapshot.precision.tag());
+    w.u64(snapshot.spec.input_shape.len() as u64);
+    for &d in &snapshot.spec.input_shape {
+        w.u64(d as u64);
+    }
+    w.u64(snapshot.spec.classes as u64);
+    w.u64(snapshot.spec.param_len as u64);
+    w.u64(snapshot.version);
+    w.u64(snapshot.iteration);
+    w.opt_f32(snapshot.accuracy_delta);
+    match &snapshot.quant {
+        Some(model) if model.precision() == Precision::Bf16 => {
+            // The model's params already went through the bf16 round
+            // trip, so encoding is exact: the loader decodes the same
+            // f32 values the exporter served.
+            let raw: Vec<u8> = bf16_encode_slice(model.params())
+                .into_iter()
+                .flat_map(u16::to_le_bytes)
+                .collect();
+            w.bytes(&raw);
+        }
+        Some(model) if model.precision() == Precision::Int8 => {
+            let layers = model.dense_layers();
+            w.u64(layers.len() as u64);
+            for qd in layers {
+                match qd {
+                    Some(qd) => {
+                        w.u8(1);
+                        w.u64(qd.lin.rows as u64);
+                        w.u64(qd.lin.cols as u64);
+                        w.f32_slice(&qd.lin.scales);
+                        let bytes: Vec<u8> = qd.lin.q.iter().map(|&v| v as u8).collect();
+                        w.bytes(&bytes);
+                    }
+                    None => w.u8(0),
+                }
+            }
+            w.f32_slice(&non_dense_params(net, model));
+        }
+        // f32 snapshots (and a defensively-handled f32 QuantizedModel)
+        // store the raw parameter vector.
+        _ => w.f32_slice(&snapshot.params),
+    }
+    let mut body = w.into_bytes();
+    let checksum = fnv1a64(&body);
+    body.extend_from_slice(&checksum.to_le_bytes());
+
+    std::fs::create_dir_all(dir).map_err(CheckpointError::Io)?;
+    let tmp = dir.join(format!("{QUANT_SNAPSHOT_FILE}.tmp"));
+    let fin = dir.join(QUANT_SNAPSHOT_FILE);
+    std::fs::write(&tmp, &body).map_err(CheckpointError::Io)?;
+    std::fs::rename(&tmp, &fin).map_err(CheckpointError::Io)?;
+    Ok(body.len() as u64)
+}
+
+/// The f32 parameters an int8 payload keeps verbatim: per layer, the
+/// bias when the layer's weights are quantized, the full range otherwise.
+fn non_dense_params(net: &Network, model: &QuantizedModel) -> Vec<f32> {
+    let params = model.params();
+    let mut rest = Vec::new();
+    for (i, qd) in model.dense_layers().iter().enumerate() {
+        let range = net.param_range(i);
+        let skip = qd.as_ref().map_or(0, |qd| qd.lin.rows * qd.lin.cols);
+        rest.extend_from_slice(&params[range.start + skip..range.end]);
+    }
+    rest
+}
+
+/// Publishes the quantized snapshot in `dir` into the registry, if one
+/// exists. Returns the assigned registry version, or `None` when the
+/// file is absent or fails validation (bad magic, version, checksum, or
+/// internal structure) — the same corrupt-fallback semantics as
+/// [`crate::snapshot::load_into`].
+///
+/// `net` must be the network behind `registry`: an int8 payload is
+/// reassembled through [`Network::requantized`] so the served bytes are
+/// exactly what the exporter measured, and a bf16 payload re-enters
+/// through [`Network::quantize`] (a no-op on already-rounded values).
+///
+/// # Errors
+/// [`ImportError::Checkpoint`] on I/O failure, [`ImportError::Mismatch`]
+/// when a valid file holds a model for a different spec.
+pub fn load_quant_into(
+    registry: &SnapshotRegistry,
+    net: &Network,
+    dir: &Path,
+) -> Result<Option<u64>, ImportError> {
+    assert_eq!(
+        &ModelSpec::of(net),
+        registry.spec(),
+        "registry from a different network"
+    );
+    let path = dir.join(QUANT_SNAPSHOT_FILE);
+    let bytes = match std::fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(ImportError::Checkpoint(CheckpointError::Io(e))),
+    };
+    let Ok((spec, version, iteration, accuracy_delta, payload)) = decode(&bytes) else {
+        return Ok(None);
+    };
+    if &spec != registry.spec() {
+        return Err(ImportError::Mismatch {
+            expected: registry.spec().param_len,
+            got: spec.param_len,
+        });
+    }
+    let published = match payload {
+        Payload::F32(params) => registry
+            .publish(params, iteration)
+            .expect("spec checked above"),
+        Payload::Bf16(us) => {
+            if us.len() != net.param_len() {
+                return Ok(None);
+            }
+            let params: Vec<f32> = us.into_iter().map(bf16_decode).collect();
+            let model = net.quantize(&params, Precision::Bf16);
+            registry
+                .publish_quantized(Arc::new(model), iteration, accuracy_delta)
+                .expect("spec checked above")
+        }
+        Payload::Int8 { lins, rest } => {
+            let Ok(model) = rebuild_int8(net, lins, &rest) else {
+                return Ok(None);
+            };
+            registry
+                .publish_quantized(Arc::new(model), iteration, accuracy_delta)
+                .expect("spec checked above")
+        }
+    };
+    let _ = version; // provenance only; the registry assigns its own.
+    Ok(Some(published))
+}
+
+/// Decodes and checksums a `CBQS` byte image. Any structural problem is
+/// a [`DecodeError`] — the loader treats it as "no usable snapshot".
+#[allow(clippy::type_complexity)]
+fn decode(bytes: &[u8]) -> Result<(ModelSpec, u64, u64, Option<f32>, Payload), DecodeError> {
+    if bytes.len() < 8 {
+        return Err(DecodeError("file shorter than its checksum"));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8"));
+    if fnv1a64(body) != stored {
+        return Err(DecodeError("checksum mismatch"));
+    }
+    let mut r = Reader::new(body);
+    if r.u32()? != MAGIC {
+        return Err(DecodeError("not a CBQS file"));
+    }
+    if r.u32()? != FORMAT_VERSION {
+        return Err(DecodeError("unsupported CBQS version"));
+    }
+    let precision = Precision::from_tag(r.u8()?).ok_or(DecodeError("unknown precision tag"))?;
+    let ndims = r.u64()? as usize;
+    if ndims > 16 {
+        return Err(DecodeError("implausible input rank"));
+    }
+    let mut input_shape = Vec::with_capacity(ndims);
+    for _ in 0..ndims {
+        input_shape.push(r.u64()? as usize);
+    }
+    let spec = ModelSpec {
+        input_shape,
+        classes: r.u64()? as usize,
+        param_len: r.u64()? as usize,
+    };
+    let version = r.u64()?;
+    let iteration = r.u64()?;
+    let accuracy_delta = r.opt_f32()?;
+    let payload = match precision {
+        Precision::F32 => Payload::F32(r.f32_vec()?),
+        Precision::Bf16 => {
+            let raw = r.bytes()?;
+            if raw.len() % 2 != 0 {
+                return Err(DecodeError("odd bf16 byte count"));
+            }
+            Payload::Bf16(
+                raw.chunks_exact(2)
+                    .map(|c| u16::from_le_bytes([c[0], c[1]]))
+                    .collect(),
+            )
+        }
+        Precision::Int8 => {
+            let n_layers = r.u64()? as usize;
+            if n_layers > 4096 {
+                return Err(DecodeError("implausible layer count"));
+            }
+            let mut lins = Vec::with_capacity(n_layers);
+            for _ in 0..n_layers {
+                match r.u8()? {
+                    0 => lins.push(None),
+                    1 => {
+                        let rows = r.u64()? as usize;
+                        let cols = r.u64()? as usize;
+                        let scales = r.f32_vec()?;
+                        let q: Vec<i8> = r.bytes()?.into_iter().map(|b| b as i8).collect();
+                        if scales.len() != rows || q.len() != rows.saturating_mul(cols) {
+                            return Err(DecodeError("dense layer sizes inconsistent"));
+                        }
+                        lins.push(Some(QuantLinear::from_parts(rows, cols, scales, q)));
+                    }
+                    _ => return Err(DecodeError("invalid presence tag")),
+                }
+            }
+            Payload::Int8 {
+                lins,
+                rest: r.f32_vec()?,
+            }
+        }
+    };
+    if !r.is_empty() {
+        return Err(DecodeError("trailing bytes after payload"));
+    }
+    Ok((spec, version, iteration, accuracy_delta, payload))
+}
+
+/// Reassembles an int8 model against `net`, validating the payload's
+/// layer structure first so a malformed file errors instead of panicking
+/// inside [`Network::requantized`].
+fn rebuild_int8(
+    net: &Network,
+    lins: Vec<Option<QuantLinear>>,
+    rest: &[f32],
+) -> Result<QuantizedModel, DecodeError> {
+    if lins.len() != net.layers().len() {
+        return Err(DecodeError("layer count mismatch"));
+    }
+    let mut params = vec![0.0f32; net.param_len()];
+    let mut pos = 0usize;
+    for (i, layer) in net.layers().iter().enumerate() {
+        let range = net.param_range(i);
+        let skip = match (layer.as_dense(), &lins[i]) {
+            (Some(d), Some(lin)) => {
+                if lin.rows != d.out_features() || lin.cols != d.in_features() {
+                    return Err(DecodeError("dense layer shape mismatch"));
+                }
+                lin.rows * lin.cols
+            }
+            (_, None) => 0,
+            (None, Some(_)) => return Err(DecodeError("quantized weights for a non-dense layer")),
+        };
+        let keep = range.len() - skip;
+        if pos + keep > rest.len() {
+            return Err(DecodeError("f32 remainder too short"));
+        }
+        params[range.start + skip..range.end].copy_from_slice(&rest[pos..pos + keep]);
+        pos += keep;
+    }
+    if pos != rest.len() {
+        return Err(DecodeError("f32 remainder too long"));
+    }
+    Ok(net.requantized(params, lins))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbow_nn::zoo::mlp;
+    use crossbow_tensor::{Rng, Shape, Tensor};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("crossbow-cbqs-{name}-{}", std::process::id()))
+    }
+
+    fn setup() -> (Network, SnapshotRegistry, Vec<f32>) {
+        let net = mlp(6, &[10], 4);
+        let registry = SnapshotRegistry::new(ModelSpec::of(&net));
+        let params = net.init_params(&mut Rng::new(5));
+        (net, registry, params)
+    }
+
+    fn publish_at(
+        net: &Network,
+        registry: &SnapshotRegistry,
+        params: &[f32],
+        precision: Precision,
+    ) {
+        match precision {
+            Precision::F32 => {
+                registry.publish(params.to_vec(), 9).unwrap();
+            }
+            _ => {
+                let model = Arc::new(net.quantize(params, precision));
+                registry.publish_quantized(model, 9, Some(-0.0125)).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn every_precision_round_trips_to_identical_predictions() {
+        for precision in Precision::all() {
+            let dir = tmp(&format!("roundtrip-{precision}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            let (net, registry, params) = setup();
+            publish_at(&net, &registry, &params, precision);
+            let exported = registry.current().unwrap();
+            export_quant_snapshot(&dir, &net, &exported).expect("export");
+
+            let fresh = SnapshotRegistry::new(ModelSpec::of(&net));
+            let version = load_quant_into(&fresh, &net, &dir)
+                .expect("load")
+                .expect("present");
+            assert_eq!(version, 1);
+            let loaded = fresh.current().unwrap();
+            assert_eq!(loaded.precision, precision);
+            assert_eq!(loaded.iteration, 9);
+            assert_eq!(
+                loaded.params, exported.params,
+                "{precision}: effective params survive the disk trip"
+            );
+            if precision != Precision::F32 {
+                assert_eq!(loaded.accuracy_delta, Some(-0.0125));
+                assert!(loaded.quant.is_some());
+            }
+            // The served predictions are byte-identical to the exporter's.
+            let batch = Tensor::randn(Shape::new(&[8, 6]), 1.0, &mut Rng::new(6));
+            let mut scratch = net.scratch();
+            let before = match &exported.quant {
+                Some(m) => net.forward_eval_quant(m, &batch, &mut scratch),
+                None => net.forward_eval(&exported.params, &batch, &mut scratch),
+            };
+            let after = match &loaded.quant {
+                Some(m) => net.forward_eval_quant(m, &batch, &mut scratch),
+                None => net.forward_eval(&loaded.params, &batch, &mut scratch),
+            };
+            assert_eq!(before.data(), after.data(), "{precision}");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn quantized_files_are_smaller_than_f32() {
+        let dir = tmp("sizes");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Big enough that the int8 side costs (per-channel scales, f32
+        // biases, layer headers) are dwarfed by the 1-byte weights; on a
+        // ~100-parameter toy they would not be.
+        let net = mlp(16, &[128], 4);
+        let registry = SnapshotRegistry::new(ModelSpec::of(&net));
+        let params = net.init_params(&mut Rng::new(5));
+        let mut sizes = Vec::new();
+        for precision in Precision::all() {
+            publish_at(&net, &registry, &params, precision);
+            let bytes =
+                export_quant_snapshot(&dir, &net, &registry.current().unwrap()).expect("export");
+            sizes.push(bytes);
+        }
+        let (f32b, bf16b, int8b) = (sizes[0], sizes[1], sizes[2]);
+        assert!(bf16b < f32b, "bf16 {bf16b} vs f32 {f32b}");
+        assert!(int8b < bf16b, "int8 {int8b} vs bf16 {bf16b}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_missing_file_imports_nothing() {
+        let (net, registry, _) = setup();
+        let dir = tmp("absent");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(load_quant_into(&registry, &net, &dir)
+            .expect("no error")
+            .is_none());
+        assert_eq!(registry.version(), 0);
+    }
+
+    #[test]
+    fn corruption_anywhere_is_detected_and_skipped() {
+        let dir = tmp("corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (net, registry, params) = setup();
+        publish_at(&net, &registry, &params, Precision::Int8);
+        export_quant_snapshot(&dir, &net, &registry.current().unwrap()).expect("export");
+        let path = dir.join(QUANT_SNAPSHOT_FILE);
+        let good = std::fs::read(&path).unwrap();
+        // Flip one byte at a spread of offsets (checksum catches all).
+        for at in (0..good.len()).step_by(good.len() / 13 + 1) {
+            let mut bad = good.clone();
+            bad[at] ^= 0x40;
+            std::fs::write(&path, &bad).unwrap();
+            let fresh = SnapshotRegistry::new(ModelSpec::of(&net));
+            assert!(
+                load_quant_into(&fresh, &net, &dir)
+                    .expect("no io error")
+                    .is_none(),
+                "flip at {at} must be rejected"
+            );
+            assert_eq!(fresh.version(), 0, "nothing published at {at}");
+        }
+        // Truncations too.
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        let fresh = SnapshotRegistry::new(ModelSpec::of(&net));
+        assert!(load_quant_into(&fresh, &net, &dir).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_valid_file_for_a_different_model_is_refused() {
+        let dir = tmp("wrongspec");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (net, registry, params) = setup();
+        publish_at(&net, &registry, &params, Precision::Bf16);
+        export_quant_snapshot(&dir, &net, &registry.current().unwrap()).expect("export");
+        let wider = mlp(6, &[11], 4);
+        let narrow = SnapshotRegistry::new(ModelSpec::of(&wider));
+        match load_quant_into(&narrow, &wider, &dir) {
+            Err(ImportError::Mismatch { expected, got }) => {
+                assert_eq!(expected, wider.param_len());
+                assert_eq!(got, net.param_len());
+            }
+            unexpected => panic!("expected mismatch, got {unexpected:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

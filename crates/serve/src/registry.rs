@@ -9,8 +9,9 @@
 //! versions only ever grow, two reads ordered in time always observe
 //! non-decreasing versions.
 
-use crossbow_nn::Network;
+use crossbow_nn::{Network, QuantizedModel};
 use crossbow_sync::PublishHook;
+use crossbow_tensor::Precision;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -55,9 +56,20 @@ pub struct ModelSnapshot {
     /// imported model without provenance).
     pub iteration: u64,
     /// The flat parameter vector (the trainer's consensus model `z`).
+    /// For a quantized snapshot these are the *effective* parameters
+    /// (dense weights dequantized), so every f32 consumer keeps working.
     pub params: Vec<f32>,
     /// The shape contract the weights satisfy.
     pub spec: ModelSpec,
+    /// Serving precision of this snapshot.
+    pub precision: Precision,
+    /// Accuracy this snapshot gains (+) or loses (−) against its f32
+    /// source, measured at quantization time (`None` for f32 snapshots
+    /// or when no eval set was available).
+    pub accuracy_delta: Option<f32>,
+    /// The quantized serving form; `None` means workers run the plain
+    /// f32 forward on `params`.
+    pub quant: Option<Arc<QuantizedModel>>,
 }
 
 /// Why a publication was refused.
@@ -120,6 +132,41 @@ impl SnapshotRegistry {
     /// [`PublishError::ShapeMismatch`] when `params` does not fit the
     /// registry's spec; the current snapshot is left in place.
     pub fn publish(&self, params: Vec<f32>, iteration: u64) -> Result<u64, PublishError> {
+        self.publish_snapshot(params, iteration, Precision::F32, None, None)
+    }
+
+    /// Publishes a quantized model as the next snapshot. The snapshot's
+    /// `params` are the model's effective f32 parameters, so f32
+    /// consumers (candidate staging, checkpoint export) keep working;
+    /// workers serve through the quantized forward path.
+    ///
+    /// # Errors
+    /// [`PublishError::ShapeMismatch`] when the model does not fit the
+    /// registry's spec.
+    pub fn publish_quantized(
+        &self,
+        quant: Arc<QuantizedModel>,
+        iteration: u64,
+        accuracy_delta: Option<f32>,
+    ) -> Result<u64, PublishError> {
+        let precision = quant.precision();
+        self.publish_snapshot(
+            quant.params().to_vec(),
+            iteration,
+            precision,
+            accuracy_delta,
+            Some(quant),
+        )
+    }
+
+    fn publish_snapshot(
+        &self,
+        params: Vec<f32>,
+        iteration: u64,
+        precision: Precision,
+        accuracy_delta: Option<f32>,
+        quant: Option<Arc<QuantizedModel>>,
+    ) -> Result<u64, PublishError> {
         if params.len() != self.spec.param_len {
             return Err(PublishError::ShapeMismatch {
                 expected: self.spec.param_len,
@@ -133,6 +180,9 @@ impl SnapshotRegistry {
             iteration,
             params,
             spec: self.spec.clone(),
+            precision,
+            accuracy_delta,
+            quant,
         }));
         self.version.store(version, Ordering::Release);
         Ok(version)

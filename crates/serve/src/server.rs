@@ -231,6 +231,7 @@ pub struct Server {
     client: Client,
     workers: Vec<JoinHandle<WorkerStats>>,
     shared: Arc<Shared>,
+    registry: Arc<SnapshotRegistry>,
     telemetry: Telemetry,
     started: Instant,
 }
@@ -272,6 +273,7 @@ impl Server {
             },
             workers,
             shared,
+            registry,
             telemetry,
             started: Instant::now(),
         }
@@ -294,7 +296,16 @@ impl Server {
         }
         let wall = self.started.elapsed();
         let answered = merged.requests + merged.no_model;
+        // Serving precision of the final snapshot: the steady state the
+        // server drained in, which is what a canary comparison cares
+        // about.
+        let (precision, accuracy_delta) = match self.registry.current() {
+            Some(snapshot) => (snapshot.precision, snapshot.accuracy_delta),
+            None => (crossbow_tensor::Precision::F32, None),
+        };
         ServeReport {
+            precision,
+            accuracy_delta,
             completed: merged.requests,
             rejected: self.shared.rejected.get(),
             no_model: merged.no_model,
@@ -415,7 +426,12 @@ fn serve_batch(
         std::thread::sleep(delay);
     }
     let forward_started = Instant::now();
-    let classes = net.predict(&snapshot.params, &input, scratch);
+    // A quantized snapshot serves through its reduced-precision forward;
+    // an f32 snapshot runs the plain eval path on the raw parameters.
+    let classes = match &snapshot.quant {
+        Some(model) => net.predict_quant(model, &input, scratch),
+        None => net.predict(&snapshot.params, &input, scratch),
+    };
     stats.batch_hist.record(forward_started.elapsed());
     let answered = Instant::now();
     for (job, class) in batch.into_iter().zip(classes) {
@@ -471,6 +487,34 @@ mod tests {
         assert_eq!((report.min_version, report.max_version), (1, 1));
         assert!(report.batches >= 1 && report.batches <= 20);
         assert!(report.request_latency.p99 > Duration::ZERO);
+    }
+
+    #[test]
+    fn a_quantized_snapshot_serves_through_the_quant_path() {
+        use crossbow_tensor::Precision;
+        let (net, registry, params) = setup();
+        let model = Arc::new(net.quantize(&params, Precision::Int8));
+        registry
+            .publish_quantized(Arc::clone(&model), 11, Some(-0.01))
+            .unwrap();
+        let server = Server::start(Arc::clone(&net), Arc::clone(&registry), ServeConfig::new(1));
+        let client = server.client();
+        let mut rng = Rng::new(9);
+        for _ in 0..12 {
+            let input: Vec<f32> = (0..4).map(|_| rng.normal()).collect();
+            let served = client.call(input.clone()).expect("served");
+            let direct = net.predict_quant(
+                &model,
+                &Tensor::from_vec(Shape::new(&[1, 4]), input),
+                &mut net.scratch(),
+            );
+            assert_eq!(served.class, direct[0], "server matches the int8 forward");
+        }
+        let report = server.shutdown();
+        assert_eq!(report.completed, 12);
+        assert_eq!(report.precision, Precision::Int8);
+        assert_eq!(report.accuracy_delta, Some(-0.01));
+        assert!(report.summary().contains("precision int8"));
     }
 
     #[test]

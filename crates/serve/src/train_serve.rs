@@ -13,11 +13,15 @@ use crate::metrics::ServeReport;
 use crate::registry::{ModelSpec, SnapshotRegistry};
 use crate::server::{ServeConfig, Server};
 use crossbow_data::Dataset;
-use crossbow_nn::Network;
+use crossbow_nn::{accuracy_delta, Network};
 use crossbow_sync::algorithm::SyncAlgorithm;
 use crossbow_sync::{train, TrainerConfig, TrainingCurve};
+use crossbow_tensor::Precision;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// How many test samples the quantization accuracy delta is measured on.
+const DELTA_EVAL_SAMPLES: usize = 256;
 
 /// A combined training-and-serving run.
 #[derive(Clone, Debug)]
@@ -30,6 +34,13 @@ pub struct TrainAndServeConfig {
     pub serve: ServeConfig,
     /// The foreground load.
     pub load: LoadConfig,
+    /// Serving precision of the *final* model. Training publications stay
+    /// f32 (the model is still moving; quantizing every few iterations
+    /// buys nothing); once training finishes, the last consensus model is
+    /// quantized, its accuracy delta measured against f32 on the test
+    /// set, and the result published before the guaranteed post-training
+    /// load round — so that round serves at the configured precision.
+    pub precision: Precision,
 }
 
 /// What a train-and-serve run produced.
@@ -76,7 +87,7 @@ pub fn train_and_serve<A: SyncAlgorithm + Send>(
         .map(<[f32]>::to_vec)
         .collect();
 
-    let server = Server::start(Arc::clone(net), registry, config.serve.clone());
+    let server = Server::start(Arc::clone(net), Arc::clone(&registry), config.serve.clone());
     let client = server.client();
     let done = AtomicBool::new(false);
     let (curve, load) = std::thread::scope(|scope| {
@@ -91,6 +102,9 @@ pub fn train_and_serve<A: SyncAlgorithm + Send>(
             // after training, so the loop always ends with a post-training
             // round against the final model.
             let finished = done.load(Ordering::Acquire);
+            if finished && config.precision != Precision::F32 {
+                publish_final_quantized(net, &registry, test_set, config.precision);
+            }
             let round = run_load(&client, &inputs, &config.load);
             merged = Some(match merged {
                 None => round,
@@ -105,4 +119,43 @@ pub fn train_and_serve<A: SyncAlgorithm + Send>(
     });
     let serve = server.shutdown();
     TrainAndServeReport { curve, load, serve }
+}
+
+/// Quantizes the registry's latest model (the final consensus `z` at
+/// this point), measures what the precision costs against f32 on a
+/// bounded slice of the test set, and publishes the result.
+fn publish_final_quantized(
+    net: &Network,
+    registry: &SnapshotRegistry,
+    test_set: &Dataset,
+    precision: Precision,
+) {
+    let snapshot = registry.current().expect("published before serving");
+    let model = net.quantize(&snapshot.params, precision);
+    let sample_len = test_set.sample_len();
+    let n = test_set.labels().len().min(DELTA_EVAL_SAMPLES);
+    let delta = if n > 0 {
+        let images = test_set.images_tensor();
+        let head = crossbow_tensor::Tensor::from_vec(
+            crossbow_tensor::Shape::new(&{
+                let mut dims = vec![n];
+                dims.extend_from_slice(net.input_shape().dims());
+                dims
+            }),
+            images.data()[..n * sample_len].to_vec(),
+        );
+        Some(accuracy_delta(
+            net,
+            &snapshot.params,
+            &model,
+            &head,
+            &test_set.labels()[..n],
+            32,
+        ))
+    } else {
+        None
+    };
+    registry
+        .publish_quantized(Arc::new(model), snapshot.iteration, delta)
+        .expect("quantized model keeps its own spec");
 }

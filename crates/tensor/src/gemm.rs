@@ -22,15 +22,37 @@
 //! The kernel follows the classic BLIS/Goto decomposition: `k` is split
 //! into `KC`-sized blocks and `m` into `MC`-sized blocks; for each
 //! block pair the relevant panels of `A` and `B` are *packed* into
-//! contiguous tiles (`MR`-row tiles of `A`, `NR`-column tiles of `B`)
-//! held in workspace buffers, and an unrolled `MR x NR` register-blocked
+//! contiguous tiles (`mr`-row tiles of `A`, `nr`-column tiles of `B`)
+//! held in workspace buffers, and an unrolled `mr x nr` register-blocked
 //! micro-kernel accumulates the product. Packing pays for itself because
-//! each packed `A` tile is reused across all `NR`-column strips and each
-//! packed `B` strip across all `MR`-row strips, with unit-stride loads.
+//! each packed `A` tile is reused across all `nr`-column strips and each
+//! packed `B` strip across all `mr`-row strips, with unit-stride loads.
 //!
 //! The same micro-kernel serves the transposed variants: packing reads
 //! through a generic `(row stride, col stride)` view, so `A^T` and `B^T`
 //! never materialise.
+//!
+//! # Kernel tiers
+//!
+//! Three micro-kernel variants share the loop nest, selected once per
+//! process by [`GemmKernel::detected`] from runtime CPU features:
+//!
+//! | kernel            | tile (`mr x nr`) | requires    |
+//! |-------------------|------------------|-------------|
+//! | [`GemmKernel::Scalar`] | 4 x 8       | —           |
+//! | [`GemmKernel::Avx2`]   | 6 x 16      | AVX2        |
+//! | [`GemmKernel::Avx512`] | 8 x 16      | AVX-512F    |
+//!
+//! The SIMD kernels deliberately use *separate* vector multiply and add
+//! (`vmulps` + `vaddps`), **not** FMA: a fused multiply-add does not
+//! round the intermediate product, so its result can differ from the
+//! scalar kernel's `acc += a * b` in the last bit. With unfused ops each
+//! vector lane performs exactly the IEEE-754 operation sequence the
+//! scalar kernel performs, so every kernel tier produces bit-identical
+//! output (pinned by tests). `CROSSBOW_GEMM_KERNEL=scalar|avx2|avx512`
+//! overrides detection (read once; silently clamped to what the CPU
+//! supports), and [`with_kernel`] scopes a forced kernel to one closure
+//! for tests and benches.
 //!
 //! # Determinism
 //!
@@ -39,7 +61,9 @@
 //! blocks; within a block, products accumulate into a register in
 //! ascending `p`; each block's partial sum is scaled by `alpha` and added
 //! to `C[i][j]` in ascending block order. This order depends only on
-//! `(i, j, k)` — not on which `MC`/`NR` block the element lands in.
+//! `(i, j, k)` — not on which `MC`/`nr` block the element lands in, and
+//! not on the kernel tier (`KC` is shared by all tiers; widening
+//! `mr`/`nr` only regroups elements across registers).
 //!
 //! [`gemm_parallel`] partitions `C`'s rows into contiguous chunks and runs
 //! the *identical* serial kernel per chunk, so every element sees the same
@@ -48,16 +72,20 @@
 //! equality.
 
 use crate::workspace::{with_thread_workspace, Workspace};
+use std::cell::Cell;
+use std::sync::OnceLock;
 
-/// Micro-kernel rows: each inner step updates an `MR x NR` block of C.
+/// Scalar micro-kernel rows: each inner step updates an `MR x NR` block
+/// of C.
 const MR: usize = 4;
-/// Micro-kernel columns.
+/// Scalar micro-kernel columns.
 const NR: usize = 8;
-/// k-dimension cache block: an `MR x KC` A-tile plus an `KC x NR` B-tile
-/// stay resident in L1.
+/// k-dimension cache block: an `mr x KC` A-tile plus a `KC x nr` B-tile
+/// stay resident in L1. Shared by every kernel tier — the per-element
+/// partial-sum boundaries (and hence bit-identity) depend on it.
 const KC: usize = 256;
-/// m-dimension cache block (multiple of `MR`): the packed A block
-/// (`MC x KC` floats) stays resident in L2.
+/// m-dimension cache block (rounded down to a whole number of `mr`-row
+/// tiles per kernel): the packed A block stays resident in L2.
 const MC: usize = 64;
 
 /// Minimum FLOP count (2·m·k·n) before [`gemm_ws`] fans out to
@@ -73,6 +101,140 @@ const DIRECT_MAX_FLOPS: usize = 1 << 20;
 /// only beats the packed micro-kernel when `C` rows are wide enough to
 /// amortise the per-`(i, p)` scalar work.
 const DIRECT_MIN_N: usize = 128;
+
+/// A micro-kernel variant. Dispatch is a pure function of detected CPU
+/// features (plus the `CROSSBOW_GEMM_KERNEL` override, read once): the
+/// same binary on the same machine always picks the same kernel, and all
+/// variants produce bit-identical output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GemmKernel {
+    /// Portable 4x8 kernel; the fallback on every target.
+    Scalar,
+    /// 6x16 AVX2 kernel (unfused `vmulps`/`vaddps`).
+    Avx2,
+    /// 8x16 AVX-512F kernel (unfused `vmulps`/`vaddps`).
+    Avx512,
+}
+
+impl GemmKernel {
+    /// Every kernel tier, slowest first.
+    pub fn all() -> [GemmKernel; 3] {
+        [GemmKernel::Scalar, GemmKernel::Avx2, GemmKernel::Avx512]
+    }
+
+    /// Whether this process's CPU can run the kernel.
+    pub fn supported(self) -> bool {
+        match self {
+            GemmKernel::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            GemmKernel::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "x86_64")]
+            GemmKernel::Avx512 => std::arch::is_x86_feature_detected!("avx512f"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+
+    /// The kernel this process dispatches to: the fastest supported tier,
+    /// clamped by `CROSSBOW_GEMM_KERNEL` when set. Detected once and
+    /// cached; deterministic for the life of the process.
+    pub fn detected() -> GemmKernel {
+        static DETECTED: OnceLock<GemmKernel> = OnceLock::new();
+        *DETECTED.get_or_init(|| {
+            let requested = match std::env::var("CROSSBOW_GEMM_KERNEL").as_deref() {
+                Ok("scalar") => Some(GemmKernel::Scalar),
+                Ok("avx2") => Some(GemmKernel::Avx2),
+                Ok("avx512") => Some(GemmKernel::Avx512),
+                _ => None,
+            };
+            let best = *GemmKernel::all()
+                .iter()
+                .rev()
+                .find(|k| k.supported())
+                .expect("the scalar kernel is always supported");
+            match requested {
+                Some(k) if k.supported() => k,
+                _ => best,
+            }
+        })
+    }
+
+    /// The kernel the current thread will use: a [`with_kernel`] override
+    /// when one is in scope, otherwise [`GemmKernel::detected`].
+    pub fn active() -> GemmKernel {
+        FORCED
+            .with(|cell| cell.get())
+            .unwrap_or_else(Self::detected)
+    }
+
+    /// Stable lower-case name (used in benchmark output and the
+    /// `CROSSBOW_GEMM_KERNEL` override).
+    pub fn name(self) -> &'static str {
+        match self {
+            GemmKernel::Scalar => "scalar",
+            GemmKernel::Avx2 => "avx2",
+            GemmKernel::Avx512 => "avx512",
+        }
+    }
+
+    /// Micro-tile rows for this kernel.
+    fn mr(self) -> usize {
+        match self {
+            GemmKernel::Scalar => MR,
+            GemmKernel::Avx2 => 6,
+            GemmKernel::Avx512 => 8,
+        }
+    }
+
+    /// Micro-tile columns for this kernel.
+    fn nr(self) -> usize {
+        match self {
+            GemmKernel::Scalar => NR,
+            GemmKernel::Avx2 => 16,
+            GemmKernel::Avx512 => 16,
+        }
+    }
+
+    /// `MC` rounded down to whole `mr`-row tiles, so every full m-block
+    /// packs without a ragged trailing tile.
+    fn mc(self) -> usize {
+        (MC / self.mr()) * self.mr()
+    }
+}
+
+impl std::fmt::Display for GemmKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+thread_local! {
+    static FORCED: Cell<Option<GemmKernel>> = const { Cell::new(None) };
+}
+
+/// Restores the previous forced kernel even if the closure panics.
+struct ForceGuard(Option<GemmKernel>);
+
+impl Drop for ForceGuard {
+    fn drop(&mut self) {
+        FORCED.with(|cell| cell.set(self.0));
+    }
+}
+
+/// Runs `f` with every GEMM on *this thread* forced onto `kernel`,
+/// regardless of what detection picked. The forced-fallback tests and
+/// `membench` use this to prove the scalar path serves the same bytes.
+///
+/// # Panics
+/// Panics when the CPU does not support `kernel`.
+pub fn with_kernel<R>(kernel: GemmKernel, f: impl FnOnce() -> R) -> R {
+    assert!(
+        kernel.supported(),
+        "kernel {kernel} is not supported on this CPU"
+    );
+    let _guard = ForceGuard(FORCED.with(|cell| cell.replace(Some(kernel))));
+    f()
+}
 
 /// A logical row-major `rows x cols` matrix viewed through strides, so the
 /// packing routines can read `A`, `A^T` and `B^T` without materialising
@@ -118,17 +280,26 @@ pub fn gemm_naive(
     }
 }
 
-/// Packs an `mr x kc` sub-panel of `a` (rows `i0..i0+mr`, k `p0..p0+kc`)
-/// into `MR`-row tiles: tile-major, then `p`-major, then row within tile.
-/// Rows past `mr` are zero-filled so the micro-kernel never branches.
-fn pack_a(a: View<'_>, i0: usize, mr: usize, p0: usize, kc: usize, out: &mut [f32]) {
-    let tiles = mr.div_ceil(MR);
+/// Packs an `rows_total x kc` sub-panel of `a` (rows `i0..i0+rows_total`,
+/// k `p0..p0+kc`) into `mr`-row tiles: tile-major, then `p`-major, then
+/// row within tile. Rows past the panel are zero-filled so the
+/// micro-kernel never branches.
+fn pack_a(
+    a: View<'_>,
+    i0: usize,
+    rows_total: usize,
+    p0: usize,
+    kc: usize,
+    mr: usize,
+    out: &mut [f32],
+) {
+    let tiles = rows_total.div_ceil(mr);
     for t in 0..tiles {
-        let base = t * kc * MR;
-        let row0 = i0 + t * MR;
-        let rows = MR.min(i0 + mr - row0);
+        let base = t * kc * mr;
+        let row0 = i0 + t * mr;
+        let rows = mr.min(i0 + rows_total - row0);
         for p in 0..kc {
-            let dst = &mut out[base + p * MR..base + p * MR + MR];
+            let dst = &mut out[base + p * mr..base + p * mr + mr];
             for (r, d) in dst.iter_mut().enumerate() {
                 *d = if r < rows {
                     a.at(row0 + r, p0 + p)
@@ -141,16 +312,16 @@ fn pack_a(a: View<'_>, i0: usize, mr: usize, p0: usize, kc: usize, out: &mut [f3
 }
 
 /// Packs a `kc x nc` sub-panel of `b` (k `p0..p0+kc`, cols `j0..j0+nc`)
-/// into `NR`-column tiles: tile-major, then `p`-major, then column within
+/// into `nr`-column tiles: tile-major, then `p`-major, then column within
 /// tile. Columns past `nc` are zero-filled.
-fn pack_b(b: View<'_>, p0: usize, kc: usize, j0: usize, nc: usize, out: &mut [f32]) {
-    let tiles = nc.div_ceil(NR);
+fn pack_b(b: View<'_>, p0: usize, kc: usize, j0: usize, nc: usize, nr: usize, out: &mut [f32]) {
+    let tiles = nc.div_ceil(nr);
     for t in 0..tiles {
-        let base = t * kc * NR;
-        let col0 = j0 + t * NR;
-        let cols = NR.min(j0 + nc - col0);
+        let base = t * kc * nr;
+        let col0 = j0 + t * nr;
+        let cols = nr.min(j0 + nc - col0);
         for p in 0..kc {
-            let dst = &mut out[base + p * NR..base + p * NR + NR];
+            let dst = &mut out[base + p * nr..base + p * nr + nr];
             for (cidx, d) in dst.iter_mut().enumerate() {
                 *d = if cidx < cols {
                     b.at(p0 + p, col0 + cidx)
@@ -162,12 +333,38 @@ fn pack_b(b: View<'_>, p0: usize, kc: usize, j0: usize, nc: usize, out: &mut [f3
     }
 }
 
-/// The `MR x NR` register-blocked micro-kernel: accumulates
+/// Adds `alpha *` the valid `rows x cols` corner of a spilled accumulator
+/// tile to C. Shared by every kernel's edge path; the per-element
+/// operation (`c += alpha * acc`, separate multiply and add) is identical
+/// to the full-tile vector write-back.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn spill_writeback(
+    spill: &[f32],
+    nr: usize,
+    alpha: f32,
+    c: &mut [f32],
+    c_row0: usize,
+    c_col0: usize,
+    n: usize,
+    rows: usize,
+    cols: usize,
+) {
+    for r in 0..rows {
+        let crow = &mut c[(c_row0 + r) * n + c_col0..(c_row0 + r) * n + c_col0 + cols];
+        let srow = &spill[r * nr..r * nr + cols];
+        for (cv, &av) in crow.iter_mut().zip(srow) {
+            *cv += alpha * av;
+        }
+    }
+}
+
+/// The scalar `MR x NR` register-blocked micro-kernel: accumulates
 /// `sum_p a_tile[p] (x) b_tile[p]` over `kc` steps into registers, then
 /// adds `alpha *` the result to the valid `rows x cols` corner of C.
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-fn micro_kernel(
+fn micro_scalar(
     kc: usize,
     alpha: f32,
     a_tile: &[f32], // kc * MR, p-major
@@ -198,11 +395,168 @@ fn micro_kernel(
     }
 }
 
+/// The 6x16 AVX2 micro-kernel. Unfused multiply + add per lane keeps the
+/// per-element operation sequence identical to [`micro_scalar`].
+///
+/// # Safety
+/// The caller must have verified AVX2 support (kernel dispatch does).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn micro_avx2(
+    kc: usize,
+    alpha: f32,
+    a_tile: &[f32], // kc * 6, p-major
+    b_tile: &[f32], // kc * 16, p-major
+    c: &mut [f32],
+    c_row0: usize,
+    c_col0: usize,
+    n: usize,
+    rows: usize,
+    cols: usize,
+) {
+    use std::arch::x86_64::*;
+    const KMR: usize = 6;
+    const KNR: usize = 16;
+    debug_assert!(a_tile.len() >= kc * KMR && b_tile.len() >= kc * KNR);
+    let mut acc = [[_mm256_setzero_ps(); 2]; KMR];
+    let mut ap = a_tile.as_ptr();
+    let mut bp = b_tile.as_ptr();
+    for _ in 0..kc {
+        let b0 = _mm256_loadu_ps(bp);
+        let b1 = _mm256_loadu_ps(bp.add(8));
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let ar = _mm256_set1_ps(*ap.add(r));
+            accr[0] = _mm256_add_ps(accr[0], _mm256_mul_ps(ar, b0));
+            accr[1] = _mm256_add_ps(accr[1], _mm256_mul_ps(ar, b1));
+        }
+        ap = ap.add(KMR);
+        bp = bp.add(KNR);
+    }
+    if rows == KMR && cols == KNR {
+        let alpha_v = _mm256_set1_ps(alpha);
+        for (r, accr) in acc.iter().enumerate() {
+            let cp = c.as_mut_ptr().add((c_row0 + r) * n + c_col0);
+            _mm256_storeu_ps(
+                cp,
+                _mm256_add_ps(_mm256_loadu_ps(cp), _mm256_mul_ps(alpha_v, accr[0])),
+            );
+            let cp8 = cp.add(8);
+            _mm256_storeu_ps(
+                cp8,
+                _mm256_add_ps(_mm256_loadu_ps(cp8), _mm256_mul_ps(alpha_v, accr[1])),
+            );
+        }
+    } else {
+        let mut spill = [0.0f32; KMR * KNR];
+        for (r, accr) in acc.iter().enumerate() {
+            _mm256_storeu_ps(spill.as_mut_ptr().add(r * KNR), accr[0]);
+            _mm256_storeu_ps(spill.as_mut_ptr().add(r * KNR + 8), accr[1]);
+        }
+        spill_writeback(&spill, KNR, alpha, c, c_row0, c_col0, n, rows, cols);
+    }
+}
+
+/// The 8x16 AVX-512F micro-kernel: one zmm accumulator column per row.
+/// Unfused multiply + add per lane keeps the per-element operation
+/// sequence identical to [`micro_scalar`].
+///
+/// # Safety
+/// The caller must have verified AVX-512F support (kernel dispatch does).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn micro_avx512(
+    kc: usize,
+    alpha: f32,
+    a_tile: &[f32], // kc * 8, p-major
+    b_tile: &[f32], // kc * 16, p-major
+    c: &mut [f32],
+    c_row0: usize,
+    c_col0: usize,
+    n: usize,
+    rows: usize,
+    cols: usize,
+) {
+    use std::arch::x86_64::*;
+    const KMR: usize = 8;
+    const KNR: usize = 16;
+    debug_assert!(a_tile.len() >= kc * KMR && b_tile.len() >= kc * KNR);
+    let mut acc = [_mm512_setzero_ps(); KMR];
+    let mut ap = a_tile.as_ptr();
+    let mut bp = b_tile.as_ptr();
+    for _ in 0..kc {
+        let bv = _mm512_loadu_ps(bp);
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let ar = _mm512_set1_ps(*ap.add(r));
+            *accr = _mm512_add_ps(*accr, _mm512_mul_ps(ar, bv));
+        }
+        ap = ap.add(KMR);
+        bp = bp.add(KNR);
+    }
+    if rows == KMR && cols == KNR {
+        let alpha_v = _mm512_set1_ps(alpha);
+        for (r, accr) in acc.iter().enumerate() {
+            let cp = c.as_mut_ptr().add((c_row0 + r) * n + c_col0);
+            _mm512_storeu_ps(
+                cp,
+                _mm512_add_ps(_mm512_loadu_ps(cp), _mm512_mul_ps(alpha_v, *accr)),
+            );
+        }
+    } else {
+        let mut spill = [0.0f32; KMR * KNR];
+        for (r, accr) in acc.iter().enumerate() {
+            _mm512_storeu_ps(spill.as_mut_ptr().add(r * KNR), *accr);
+        }
+        spill_writeback(&spill, KNR, alpha, c, c_row0, c_col0, n, rows, cols);
+    }
+}
+
+/// Dispatches one micro-tile to the selected kernel.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro_tile(
+    kernel: GemmKernel,
+    kc: usize,
+    alpha: f32,
+    a_tile: &[f32],
+    b_tile: &[f32],
+    c: &mut [f32],
+    c_row0: usize,
+    c_col0: usize,
+    n: usize,
+    rows: usize,
+    cols: usize,
+) {
+    match kernel {
+        GemmKernel::Scalar => {
+            micro_scalar(kc, alpha, a_tile, b_tile, c, c_row0, c_col0, n, rows, cols)
+        }
+        #[cfg(target_arch = "x86_64")]
+        GemmKernel::Avx2 => {
+            // SAFETY: dispatch only selects Avx2 when `supported()` saw
+            // the avx2 CPU feature.
+            unsafe { micro_avx2(kc, alpha, a_tile, b_tile, c, c_row0, c_col0, n, rows, cols) }
+        }
+        #[cfg(target_arch = "x86_64")]
+        GemmKernel::Avx512 => {
+            // SAFETY: dispatch only selects Avx512 when `supported()` saw
+            // the avx512f CPU feature.
+            unsafe { micro_avx512(kc, alpha, a_tile, b_tile, c, c_row0, c_col0, n, rows, cols) }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        GemmKernel::Avx2 | GemmKernel::Avx512 => {
+            unreachable!("SIMD kernels are never selected off x86-64")
+        }
+    }
+}
+
 /// Serial packed GEMM over logical views: `C = alpha * A @ B + beta * C`
 /// where `a` is a logical `m x k` view and `b` a logical `k x n` view and
 /// `c` is dense row-major `m x n`. Packing buffers come from `ws`.
 #[allow(clippy::too_many_arguments)]
 fn packed_serial(
+    kernel: GemmKernel,
     m: usize,
     k: usize,
     n: usize,
@@ -217,18 +571,21 @@ fn packed_serial(
     if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
         return;
     }
+    let (mr, nr) = (kernel.mr(), kernel.nr());
     let kc_max = k.min(KC);
-    let mut a_pack = ws.take_pack(MC.min(m.div_ceil(MR) * MR) * kc_max);
-    let mut b_pack = ws.take_pack(kc_max * n.div_ceil(NR) * NR);
-    packed_serial_into(m, k, n, alpha, a, b, c, &mut a_pack, &mut b_pack);
+    let mut a_pack = ws.take_pack(kernel.mc().min(m).div_ceil(mr) * mr * kc_max);
+    let mut b_pack = ws.take_pack(kc_max * n.div_ceil(nr) * nr);
+    packed_serial_into(kernel, m, k, n, alpha, a, b, c, &mut a_pack, &mut b_pack);
     ws.give(a_pack);
     ws.give(b_pack);
 }
 
 /// The packed loop nest proper, with caller-provided packing buffers
-/// (`a_pack`: at least `MC*KC`; `b_pack`: at least `KC * ceil(n/NR)*NR`).
+/// (`a_pack`: at least `ceil(min(mc, m)/mr)*mr * KC`; `b_pack`: at least
+/// `KC * ceil(n/nr)*nr`).
 #[allow(clippy::too_many_arguments)]
 fn packed_serial_into(
+    kernel: GemmKernel,
     m: usize,
     k: usize,
     n: usize,
@@ -239,26 +596,28 @@ fn packed_serial_into(
     a_pack: &mut [f32],
     b_pack: &mut [f32],
 ) {
+    let (mr, nr, mc_step) = (kernel.mr(), kernel.nr(), kernel.mc());
     for p0 in (0..k).step_by(KC) {
         let kc = KC.min(k - p0);
-        pack_b(b, p0, kc, 0, n, b_pack);
-        for i0 in (0..m).step_by(MC) {
-            let mc = MC.min(m - i0);
-            pack_a(a, i0, mc, p0, kc, a_pack);
-            for jt in 0..n.div_ceil(NR) {
-                let j0 = jt * NR;
-                let cols = NR.min(n - j0);
-                let b_tile = &b_pack[jt * kc * NR..(jt + 1) * kc * NR];
-                for it in 0..mc.div_ceil(MR) {
-                    let rows = MR.min(mc - it * MR);
-                    let a_tile = &a_pack[it * kc * MR..(it + 1) * kc * MR];
-                    micro_kernel(
+        pack_b(b, p0, kc, 0, n, nr, b_pack);
+        for i0 in (0..m).step_by(mc_step) {
+            let mc = mc_step.min(m - i0);
+            pack_a(a, i0, mc, p0, kc, mr, a_pack);
+            for jt in 0..n.div_ceil(nr) {
+                let j0 = jt * nr;
+                let cols = nr.min(n - j0);
+                let b_tile = &b_pack[jt * kc * nr..(jt + 1) * kc * nr];
+                for it in 0..mc.div_ceil(mr) {
+                    let rows = mr.min(mc - it * mr);
+                    let a_tile = &a_pack[it * kc * mr..(it + 1) * kc * mr];
+                    micro_tile(
+                        kernel,
                         kc,
                         alpha,
                         a_tile,
                         b_tile,
                         c,
-                        i0 + it * MR,
+                        i0 + it * mr,
                         j0,
                         n,
                         rows,
@@ -284,12 +643,12 @@ fn apply_beta(beta: f32, c: &mut [f32]) {
 /// direct kernel needs dense `B` rows (`cs == 1`) and wins only on
 /// small, wide-output problems: its per-`(i, p)` scalar load amortises
 /// over a full `C` row, while packing cost amortises over `C`'s rows
-/// (`B` panels are reused `m/MR` times) and so dominates at small
+/// (`B` panels are reused `m/mr` times) and so dominates at small
 /// `m·k·n`. Measured on the conv-lowered shapes in this workspace the
 /// crossover sits near `n = 128` / 1 MFLOP. The predicate is a pure
-/// function of the problem shape and layout — never of thread counts —
-/// so serial and parallel entry points always agree on the path taken
-/// and results stay bit-identical.
+/// function of the problem shape and layout — never of thread counts or
+/// the kernel tier — so serial and parallel entry points always agree on
+/// the path taken and results stay bit-identical.
 fn use_direct(m: usize, k: usize, n: usize, b: View<'_>) -> bool {
     b.cs == 1 && n >= DIRECT_MIN_N && 2 * m * k * n < DIRECT_MAX_FLOPS
 }
@@ -349,19 +708,23 @@ fn packed_dispatch(
         direct_serial(m, k, n, alpha, a, b, beta, c);
         return;
     }
+    let kernel = GemmKernel::active();
     let threads = ws.parallelism();
-    if threads > 1 && 2 * m * k * n >= PARALLEL_MIN_FLOPS && m >= 2 * MR {
-        packed_parallel(m, k, n, alpha, a, b, beta, c, threads, ws);
+    if threads > 1 && 2 * m * k * n >= PARALLEL_MIN_FLOPS && m >= 2 * kernel.mr() {
+        packed_parallel(kernel, m, k, n, alpha, a, b, beta, c, threads, ws);
     } else {
-        packed_serial(m, k, n, alpha, a, b, beta, c, ws);
+        packed_serial(kernel, m, k, n, alpha, a, b, beta, c, ws);
     }
 }
 
 /// Multi-threaded packed GEMM over row panels. Each thread runs the
 /// identical serial kernel on a contiguous chunk of C's rows (and the
 /// matching rows of A), so output is bit-identical to the serial kernel.
+/// A plan that collapses to a single chunk runs inline on the caller's
+/// thread — no spawn, no join, same bytes.
 #[allow(clippy::too_many_arguments)]
 fn packed_parallel(
+    kernel: GemmKernel,
     m: usize,
     k: usize,
     n: usize,
@@ -377,15 +740,27 @@ fn packed_parallel(
     if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
         return;
     }
+    let (mr, nr) = (kernel.mr(), kernel.nr());
     // Contiguous row chunks, rounded up to whole micro-tiles.
-    let chunk = m.div_ceil(threads).div_ceil(MR) * MR;
+    let chunk = m.div_ceil(threads).div_ceil(mr) * mr;
     let kc_max = k.min(KC);
-    let a_pack_len = MC.min(chunk) * kc_max;
-    let b_pack_len = kc_max * n.div_ceil(NR) * NR;
+    let a_pack_len = kernel.mc().min(chunk).div_ceil(mr) * mr * kc_max;
+    let b_pack_len = kc_max * n.div_ceil(nr) * nr;
+    let n_chunks = m.div_ceil(chunk);
+    if n_chunks <= 1 {
+        // One chunk is the whole problem: spawning a thread to run the
+        // serial kernel only adds scope/join overhead (measurably slower
+        // in BENCH_gemm.json), so run it inline.
+        let mut a_pack = ws.take_pack(a_pack_len);
+        let mut b_pack = ws.take_pack(b_pack_len);
+        packed_serial_into(kernel, m, k, n, alpha, a, b, c, &mut a_pack, &mut b_pack);
+        ws.give(a_pack);
+        ws.give(b_pack);
+        return;
+    }
     // Check the per-thread packing buffers out of the caller's arena
     // up-front; they travel into the scoped threads and come back after
     // the join, so the parallel path stays allocation-flat too.
-    let n_chunks = m.div_ceil(chunk);
     let mut buffers: Vec<(Vec<f32>, Vec<f32>)> = (0..n_chunks)
         .map(|_| (ws.take_pack(a_pack_len), ws.take_pack(b_pack_len)))
         .collect();
@@ -403,6 +778,7 @@ fn packed_parallel(
             };
             handles.push(s.spawn(move || {
                 packed_serial_into(
+                    kernel,
                     rows,
                     k,
                     n,
@@ -476,7 +852,9 @@ pub fn gemm_ws(
 
 /// Explicitly multi-threaded packed GEMM: `C = alpha * A @ B + beta * C`
 /// split over `threads` row panels. Bit-identical to [`gemm_ws`] with
-/// parallelism 1 — see the module-level *Determinism* notes.
+/// parallelism 1 — see the module-level *Determinism* notes. With
+/// `threads <= 1` (or a plan that collapses to one row chunk) the serial
+/// packed path runs directly, with no thread spawned.
 #[allow(clippy::too_many_arguments)] // BLAS-style signature
 pub fn gemm_parallel(
     m: usize,
@@ -501,12 +879,13 @@ pub fn gemm_parallel(
         rs: n,
         cs: 1,
     };
+    let kernel = GemmKernel::active();
     if use_direct(m, k, n, bv) {
         direct_serial(m, k, n, alpha, av, bv, beta, c);
-    } else if threads <= 1 || m < 2 * MR {
-        packed_serial(m, k, n, alpha, av, bv, beta, c, ws);
+    } else if threads <= 1 || m < 2 * kernel.mr() {
+        packed_serial(kernel, m, k, n, alpha, av, bv, beta, c, ws);
     } else {
-        packed_parallel(m, k, n, alpha, av, bv, beta, c, threads, ws);
+        packed_parallel(kernel, m, k, n, alpha, av, bv, beta, c, threads, ws);
     }
 }
 
@@ -637,6 +1016,14 @@ mod tests {
         }
     }
 
+    /// The kernels the running CPU can actually execute.
+    fn supported_kernels() -> Vec<GemmKernel> {
+        GemmKernel::all()
+            .into_iter()
+            .filter(|k| k.supported())
+            .collect()
+    }
+
     #[test]
     fn naive_matches_hand_example() {
         // [1 2; 3 4] @ [5 6; 7 8] = [19 22; 43 50]
@@ -717,6 +1104,92 @@ mod tests {
         }
     }
 
+    /// Tentpole property test: every supported SIMD kernel is
+    /// *bit-identical* to the forced scalar kernel (exact equality, no
+    /// tolerance) over odd shapes, alpha/beta corners, and all four
+    /// layout entry points (A@B, A^T@B, A@B^T, and the threaded split).
+    #[test]
+    fn simd_kernels_are_bit_identical_to_scalar_over_layouts() {
+        let sizes = [1usize, 3, 5, 17, 31, 64, 65, 129, 300];
+        let mut rng = Rng::new(1234);
+        for trial in 0..40 {
+            let m = sizes[rng.below(sizes.len())];
+            let k = sizes[rng.below(sizes.len())];
+            let n = sizes[rng.below(sizes.len())];
+            let alpha = [1.0f32, 0.7, 0.0][trial % 3];
+            let beta = [0.0f32, 1.0, 0.3][(trial / 3) % 3];
+            let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+            let c0: Vec<f32> = (0..m * n).map(|_| rng.normal()).collect();
+            let mut at = vec![0.0; k * m];
+            for i in 0..m {
+                for p in 0..k {
+                    at[p * m + i] = a[i * k + p];
+                }
+            }
+            let mut bt = vec![0.0; n * k];
+            for p in 0..k {
+                for j in 0..n {
+                    bt[j * k + p] = b[p * n + j];
+                }
+            }
+            let run = |kernel: GemmKernel| {
+                with_kernel(kernel, || {
+                    let mut ws = Workspace::new();
+                    let mut plain = c0.clone();
+                    gemm_ws(m, k, n, alpha, &a, &b, beta, &mut plain, &mut ws);
+                    let mut with_at = c0.clone();
+                    gemm_at_ws(m, k, n, alpha, &at, &b, beta, &mut with_at, &mut ws);
+                    let mut with_bt = c0.clone();
+                    gemm_bt_ws(m, k, n, alpha, &a, &bt, beta, &mut with_bt, &mut ws);
+                    let mut par = c0.clone();
+                    gemm_parallel(m, k, n, alpha, &a, &b, beta, &mut par, 3, &mut ws);
+                    (plain, with_at, with_bt, par)
+                })
+            };
+            let scalar = run(GemmKernel::Scalar);
+            for kernel in supported_kernels() {
+                if kernel == GemmKernel::Scalar {
+                    continue;
+                }
+                let simd = run(kernel);
+                assert_eq!(scalar.0, simd.0, "{kernel} A@B m={m} k={k} n={n}");
+                assert_eq!(scalar.1, simd.1, "{kernel} A^T@B m={m} k={k} n={n}");
+                assert_eq!(scalar.2, simd.2, "{kernel} A@B^T m={m} k={k} n={n}");
+                assert_eq!(scalar.3, simd.3, "{kernel} parallel m={m} k={k} n={n}");
+            }
+        }
+    }
+
+    /// Satellite: forcing the scalar fallback must reproduce the default
+    /// dispatch byte-for-byte — the fallback serves the same bytes.
+    #[test]
+    fn forced_scalar_fallback_serves_same_bytes_as_default_dispatch() {
+        let mut rng = Rng::new(5);
+        let (m, k, n) = (37, 129, 45);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+        let mut default = vec![0.0; m * n];
+        gemm(m, k, n, 1.0, &a, &b, 0.0, &mut default);
+        let mut forced = vec![0.0; m * n];
+        with_kernel(GemmKernel::Scalar, || {
+            gemm(m, k, n, 1.0, &a, &b, 0.0, &mut forced);
+        });
+        assert_eq!(default, forced);
+    }
+
+    #[test]
+    fn kernel_dispatch_is_deterministic_and_scoped() {
+        let detected = GemmKernel::detected();
+        assert!(detected.supported());
+        assert_eq!(detected, GemmKernel::detected(), "detection is cached");
+        assert_eq!(GemmKernel::active(), detected);
+        with_kernel(GemmKernel::Scalar, || {
+            assert_eq!(GemmKernel::active(), GemmKernel::Scalar);
+        });
+        assert_eq!(GemmKernel::active(), detected, "override is scoped");
+    }
+
     /// Satellite property test: the parallel kernel is *bit-identical* to
     /// the serial one for any thread count (exact equality, no tolerance).
     #[test]
@@ -740,6 +1213,25 @@ mod tests {
                 gemm_parallel(m, k, n, 0.7, &a, &b, 0.3, &mut par, threads, &mut ws);
                 assert_eq!(serial, par, "threads={threads} m={m} k={k} n={n}");
             }
+        }
+    }
+
+    /// Satellite: a parallel plan that collapses to one chunk (few rows,
+    /// many threads) must take the inline bypass and still match.
+    #[test]
+    fn single_chunk_parallel_runs_inline_and_matches_serial() {
+        let mut rng = Rng::new(21);
+        let (m, k, n) = (9, 200, 90);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+        let mut ws = Workspace::new();
+        let mut serial = vec![0.0; m * n];
+        gemm_ws(m, k, n, 1.0, &a, &b, 0.0, &mut serial, &mut ws);
+        // m=9 rounds to at most one chunk at high thread counts.
+        for threads in [1, 2, 16] {
+            let mut par = vec![0.0; m * n];
+            gemm_parallel(m, k, n, 1.0, &a, &b, 0.0, &mut par, threads, &mut ws);
+            assert_eq!(serial, par, "threads={threads}");
         }
     }
 

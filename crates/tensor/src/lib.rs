@@ -23,12 +23,15 @@
 pub mod conv;
 pub mod gemm;
 pub mod ops;
+pub mod quant;
 pub mod rng;
 pub mod shape;
 pub mod stats;
 pub mod tensor;
 pub mod workspace;
 
+pub use gemm::GemmKernel;
+pub use quant::{PackedQuantLinear, Precision, QuantLinear};
 pub use rng::{Rng, RngState};
 pub use shape::Shape;
 pub use tensor::Tensor;

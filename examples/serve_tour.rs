@@ -1,5 +1,6 @@
 //! Tour of the serving subsystem: snapshot hot-swap, micro-batching,
-//! checkpoint round-trips, and the combined train-and-serve run.
+//! checkpoint round-trips, the combined train-and-serve run, and a
+//! quantized int8 candidate staged through the fleet's canary route.
 //!
 //! ```sh
 //! cargo run --release -p crossbow --example serve_tour
@@ -10,9 +11,12 @@
 //! that can be swapped under load, a [`Server`] coalesces concurrent
 //! requests into micro-batches, and [`train_and_serve`] runs both halves
 //! at once — the trainer keeps publishing fresher `z` snapshots while
-//! clients hammer the server.
+//! clients hammer the server. The finale quantizes the trained model to
+//! int8, measures its accuracy delta against the f32 source, and walks
+//! it through canary staging and promotion (DESIGN.md §16).
 
 use crossbow::data::synth::gaussian_mixture;
+use crossbow::fleet::{CandidateMode, Fleet, FleetConfig, SloClass};
 use crossbow::nn::zoo::mlp;
 use crossbow::serve::{
     export_snapshot, load_into, run_load, train_and_serve, BatchConfig, LoadConfig, LoadMode,
@@ -20,7 +24,7 @@ use crossbow::serve::{
 };
 use crossbow::sync::sma::{Sma, SmaConfig};
 use crossbow::sync::TrainerConfig;
-use crossbow::tensor::Rng;
+use crossbow::tensor::{Precision, Rng};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -116,6 +120,7 @@ fn main() {
             seed: 13,
             panic_client: None,
         },
+        precision: Precision::F32,
     };
     let combined = train_and_serve(&net, &train_set, &test_set, &mut algo, &ts_config);
     println!();
@@ -133,4 +138,79 @@ fn main() {
         combined.load.versions_monotonic
     );
     println!("  server        : {}", combined.serve.summary());
+
+    // -- 6. An int8 candidate through the canary route -------------------
+    // Serve the trained f32 model from a one-model fleet, quantize it to
+    // int8 (per-output-channel scales, ~3.6x smaller snapshots), measure
+    // the top-1 accuracy delta on the held-out set, and stage it as a
+    // canary taking 25% of traffic. Promotion publishes the quantized
+    // model as the next primary version — the precision label and the
+    // measured delta ride along, so operators (and crossbow-fleet's
+    // report) always know what is serving and what it cost in accuracy.
+    let trained = algo.center_mut().to_vec();
+    let fleet = Fleet::builder(FleetConfig::default())
+        .model("tour", Arc::clone(&net))
+        .start();
+    let registry = fleet.registry("tour").expect("registered above");
+    registry
+        .publish(trained.clone(), combined.curve.iterations as u64)
+        .expect("trained model fits");
+
+    let quant = Arc::new(net.quantize(&trained, Precision::Int8));
+    let delta = crossbow::nn::accuracy_delta(
+        &net,
+        &trained,
+        &quant,
+        &test_set.images_tensor(),
+        test_set.labels(),
+        64,
+    );
+    fleet
+        .stage_quantized_candidate(
+            "tour",
+            quant,
+            Some(delta),
+            CandidateMode::Canary { percent: 25 },
+        )
+        .expect("spec matches");
+    let fclient = fleet.client();
+    let mut canary_hits = 0;
+    for input in &inputs {
+        let p = fclient
+            .call(
+                "tour",
+                input.clone(),
+                SloClass::Interactive,
+                Duration::from_millis(100),
+            )
+            .expect("fleet up");
+        canary_hits += usize::from(p.canary);
+    }
+    let promoted = fleet
+        .promote("tour", combined.curve.iterations as u64 + 1)
+        .expect("model exists")
+        .expect("candidate staged");
+    let snapshot = registry.current().expect("published above");
+    println!();
+    println!("int8 canary:");
+    println!(
+        "  staged        : accuracy delta vs f32 {delta:+.4}, {canary_hits}/{} requests \
+         took the canary",
+        inputs.len()
+    );
+    println!(
+        "  promoted      : v{promoted} serves {} (delta recorded: {})",
+        snapshot.precision,
+        snapshot
+            .accuracy_delta
+            .map_or_else(|| "none".to_string(), |d| format!("{d:+.4}")),
+    );
+    assert_eq!(snapshot.precision, Precision::Int8);
+    assert_eq!(snapshot.accuracy_delta, Some(delta));
+    let fleet_report = fleet.shutdown();
+    println!(
+        "  fleet         : {} completed, {} shed",
+        fleet_report.total_completed(),
+        fleet_report.total_shed()
+    );
 }

@@ -13,7 +13,7 @@ use crossbow::serve::BatchConfig;
 use crossbow::sync::sma::{Sma, SmaConfig};
 use crossbow::sync::TrainerConfig;
 use crossbow::telemetry::Telemetry;
-use crossbow::tensor::Rng;
+use crossbow::tensor::{Precision, Rng, Shape, Tensor};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -313,4 +313,85 @@ fn a_live_trainer_feeds_one_fleet_model_mid_load() {
         "the static sibling is undisturbed"
     );
     assert!(report.curve.iterations > 0);
+}
+
+/// An int8 candidate staged at 100% canary answers every request with
+/// the exact-integer forward (bit-identical to a direct
+/// `predict_quant`), and promotion turns it into a quantized primary
+/// that keeps serving the same classes with its precision label.
+#[test]
+fn quantized_canary_serves_exactly_and_survives_promotion() {
+    let (fleet, net, names) = fleet_of(1, FleetConfig::default());
+    let model = names[0].clone();
+    let params = fleet
+        .registry(&model)
+        .expect("registered")
+        .current()
+        .expect("published")
+        .params
+        .clone();
+    let quant = Arc::new(net.quantize(&params, Precision::Int8));
+    fleet
+        .stage_quantized_candidate(
+            &model,
+            Arc::clone(&quant),
+            Some(-0.005),
+            CandidateMode::Canary { percent: 100 },
+        )
+        .expect("candidate fits the spec");
+
+    let client = fleet.client();
+    let mut scratch = net.scratch();
+    for input in inputs(11) {
+        let served = client
+            .submit(
+                &model,
+                input.clone(),
+                SloClass::Standard,
+                Duration::from_secs(5),
+            )
+            .expect("admitted")
+            .wait()
+            .expect("answered");
+        assert!(served.canary, "100% canary routes every request");
+        let direct = net.predict_quant(
+            &quant,
+            &Tensor::from_vec(Shape::new(&[1, DIM]), input),
+            &mut scratch,
+        );
+        assert_eq!(served.class, direct[0], "canary serves the int8 forward");
+    }
+
+    assert_eq!(fleet.promote(&model, 5).expect("model exists"), Some(2));
+    let current = fleet
+        .registry(&model)
+        .expect("registered")
+        .current()
+        .expect("published");
+    assert_eq!(current.precision, Precision::Int8);
+    assert_eq!(current.accuracy_delta, Some(-0.005));
+    assert!(current.quant.is_some());
+    for input in inputs(12) {
+        let served = client
+            .submit(
+                &model,
+                input.clone(),
+                SloClass::Standard,
+                Duration::from_secs(5),
+            )
+            .expect("admitted")
+            .wait()
+            .expect("answered");
+        assert!(!served.canary, "promoted model is the primary now");
+        assert_eq!(served.version, 2);
+        let direct = net.predict_quant(
+            &quant,
+            &Tensor::from_vec(Shape::new(&[1, DIM]), input),
+            &mut scratch,
+        );
+        assert_eq!(served.class, direct[0], "primary serves the int8 forward");
+    }
+    let report = fleet.shutdown();
+    let m = report.model(&model).expect("registered");
+    assert_eq!(m.canary_served, 32, "exactly the pre-promotion requests");
 }

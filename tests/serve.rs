@@ -11,7 +11,7 @@ use crossbow::serve::{
 };
 use crossbow::sync::sma::{Sma, SmaConfig};
 use crossbow::sync::TrainerConfig;
-use crossbow::tensor::Rng;
+use crossbow::tensor::{Precision, Rng};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -172,6 +172,7 @@ fn train_and_serve_publishes_fresh_models_under_load() {
             seed: 13,
             panic_client: None,
         },
+        precision: Precision::F32,
     };
     let report = train_and_serve(&net, &train_set, &test_set, &mut algo, &config);
 
